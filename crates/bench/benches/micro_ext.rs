@@ -1,0 +1,113 @@
+//! Micro-benchmarks for the extension subsystems: software dependence
+//! tracking, the RBTR trace codec, NVM device modelling, and the
+//! output-commit buffer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rebound_core::OutputCommitBuffer;
+use rebound_engine::{Addr, CoreId, Cycle};
+use rebound_nvm::{NvmConfig, NvmLog, StartGap};
+use rebound_swdep::{CommGraph, Granularity, SwTracker};
+use rebound_trace::{record, Trace};
+use rebound_workloads::profile_named;
+use std::hint::black_box;
+
+fn bench_swdep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swdep");
+
+    g.bench_function("tracker_store_load_pair", |b| {
+        let mut t = SwTracker::new(64, Granularity::Line);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let a = Addr((i % 4096) * 32);
+            t.store(CoreId((i % 64) as usize), a);
+            t.load(CoreId(((i + 1) % 64) as usize), a);
+        });
+    });
+
+    g.bench_function("ichk_closure_dense_64", |b| {
+        // Worst-case: a 64-core graph with a long dependence chain plus
+        // random chords.
+        let mut graph = CommGraph::new(64);
+        for i in 1..64 {
+            graph.record(CoreId(i - 1), CoreId(i));
+            graph.record(CoreId((i * 7) % 64), CoreId((i * 13) % 64));
+        }
+        b.iter(|| black_box(graph.ichk(CoreId(63))));
+    });
+    g.finish();
+}
+
+fn bench_trace_codec(c: &mut Criterion) {
+    let profile = profile_named("Barnes").expect("catalog app");
+    let trace = record(&profile, 8, 1, 10_000);
+    let mut encoded = Vec::new();
+    trace.write_to(&mut encoded).expect("encode");
+
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            trace.write_to(&mut buf).expect("encode");
+            black_box(buf.len())
+        });
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(Trace::read_from(&encoded[..]).expect("decode")));
+    });
+    g.finish();
+}
+
+fn bench_nvm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvm");
+
+    g.bench_function("startgap_map", |b| {
+        let mut sg = StartGap::new(4096, 64);
+        for _ in 0..10_000 {
+            sg.on_write();
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(sg.map(i))
+        });
+    });
+
+    g.bench_function("log_append_4k_lines", |b| {
+        b.iter_batched(
+            || NvmLog::new(NvmConfig::pcm()),
+            |mut log| black_box(log.append_lines(4096)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_iocommit(c: &mut Criterion) {
+    c.bench_function("iocommit_push_seal_release", |b| {
+        b.iter_batched(
+            || OutputCommitBuffer::new(16, 1_000),
+            |mut buf| {
+                for iv in 0..8u64 {
+                    for core in 0..16 {
+                        buf.push(CoreId(core), Cycle(iv * 100), iv);
+                    }
+                    for core in 0..16 {
+                        buf.checkpoint_complete(CoreId(core), iv, Cycle(iv * 100 + 50));
+                    }
+                    black_box(buf.release(Cycle(iv * 100 + 1_100)).len());
+                }
+                black_box(buf.committed())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_swdep, bench_trace_codec, bench_nvm, bench_iocommit
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig6_1 data. See `rebound_bench::experiments`.
+
+use rebound_bench::{experiments, ExpScale};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!("# fig6_1 (scale: interval={} insts)", scale.interval);
+    println!("{}", experiments::fig6_1::run(scale).render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig 6.3: error-free checkpointing overhead for
+//! (a) 64-processor SPLASH-2 and (b) 24-processor PARSEC/Apache.
+
+use rebound_bench::{experiments::fig6_3, ExpScale};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!(
+        "# fig6_3(a) SPLASH-2, 64 processors (scale: interval={} insts)",
+        scale.interval
+    );
+    println!("{}", fig6_3::run_splash(scale).render());
+    println!("# fig6_3(b) PARSEC + Apache, 24 processors");
+    println!("{}", fig6_3::run_parsec(scale).render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig6_4 data. See `rebound_bench::experiments`.
+
+use rebound_bench::{experiments, ExpScale};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!("# fig6_4 (scale: interval={} insts)", scale.interval);
+    println!("{}", experiments::fig6_4::run(scale).render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 6.5: overhead breakdown normalized to Global.
+
+use rebound_bench::{experiments::fig6_5, ExpScale};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!("# fig6_5 overhead breakdown, normalized to Global=100");
+    println!("{}", fig6_5::run(scale).render());
+}

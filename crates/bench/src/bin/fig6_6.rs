@@ -1,0 +1,12 @@
+//! Regenerates Fig 6.6: scalability of overhead, energy and recovery
+//! latency with processor count (16/32/64, SPLASH-2).
+
+use rebound_bench::{experiments::fig6_6, ExpScale};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!("# fig6_6(a,b) overhead & energy vs processor count");
+    println!("{}", fig6_6::run_overhead_energy(scale).render());
+    println!("# fig6_6(c) recovery latency vs processor count");
+    println!("{}", fig6_6::run_recovery(scale).render());
+}

@@ -1,0 +1,120 @@
+//! NVM log-storage sweep (paper §8: interfacing Rebound to a non-volatile
+//! storage subsystem).
+//!
+//! Measures one Rebound run's log traffic, then prices it across storage
+//! technologies, device sizes and wear-leveling rates:
+//!
+//! * append cost and recovery latency per technology (PCM / STT-MRAM /
+//!   battery-backed DRAM);
+//! * log-area size needed for a 5-year service life at paper-scale write
+//!   rates;
+//! * Start-Gap ψ versus write amplification and levelled wear.
+//!
+//! ```sh
+//! cargo run --release -p rebound-bench --bin nvm_sweep
+//! ```
+
+use rebound_bench::{config_for, ExpScale, Table};
+use rebound_core::{Machine, Scheme};
+use rebound_nvm::{Lifetime, NvmConfig, NvmDevice, NvmLog};
+use rebound_workloads::profile_named;
+
+const CORES: usize = 32;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!(
+        "# nvm_sweep (scale: interval={} insts, {CORES} cores)\n",
+        scale.interval
+    );
+
+    // One measured run drives every estimate.
+    let profile = profile_named("Ocean").expect("catalog app");
+    let cfg = config_for(Scheme::REBOUND, CORES, scale);
+    let report = Machine::from_profile(&cfg, &profile, scale.quota).run_to_completion();
+    let lines = report.log_entries;
+    // Machine-wide log volume per paper-scale (4M-inst) interval, using
+    // the same rescaling as the Table 6.1 harness, arriving at the
+    // paper's ~6.5 ms checkpoint cadence.
+    let paper_interval_bytes =
+        report.log_max_interval_bytes as f64 * CORES as f64 / scale.vs_paper();
+    let paper_lines_per_sec = paper_interval_bytes / 32.0 / 6.5e-3;
+    println!(
+        "measured: {lines} log lines; {:.1} MB per 4M-inst interval; \
+         paper-scale log rate {:.0} MB/s\n",
+        paper_interval_bytes / 1.0e6,
+        paper_lines_per_sec * 32.0 / 1.0e6
+    );
+
+    technology_table(lines);
+    sizing_table(paper_lines_per_sec);
+    psi_table();
+}
+
+fn technology_table(lines: u64) {
+    let mut t = Table::new(["technology", "append cycles", "recovery ms", "read:write"]);
+    for (name, cfg, nvm_mem) in [
+        ("DRAM+battery", NvmConfig::dram_like(), false),
+        ("STT-MRAM", NvmConfig::stt_mram(), true),
+        ("PCM", NvmConfig::pcm(), true),
+    ] {
+        let mut log = NvmLog::new(NvmConfig { blocks: 1 << 20, ..cfg });
+        let append = log.append_lines(lines);
+        let rec = log.estimate_recovery(lines, nvm_mem);
+        t.row([
+            name.to_string(),
+            append.cycles.to_string(),
+            format!("{:.3}", rec.total_ms()),
+            format!("1:{:.1}", cfg.write_cycles as f64 / cfg.read_cycles as f64),
+        ]);
+    }
+    println!("## log traffic by technology\n\n{}", t.render());
+}
+
+fn sizing_table(paper_lines_per_sec: f64) {
+    let mut t = Table::new(["PCM log area", "lifetime", "meets 5y"]);
+    for (label, blocks) in [
+        ("1 GiB", 1usize << 18),
+        ("4 GiB", 1 << 20),
+        ("16 GiB", 1 << 22),
+        ("64 GiB", 1 << 24),
+    ] {
+        let cfg = NvmConfig { blocks, ..NvmConfig::pcm() };
+        let life = Lifetime::estimate(
+            &cfg,
+            paper_lines_per_sec / cfg.lines_per_block as f64,
+            1.0, // steady-state ring appends
+        );
+        t.row([
+            label.to_string(),
+            life.to_string(),
+            if life.meets_service_life(5.0) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("## PCM log-area sizing (paper-scale write rate)\n\n{}", t.render());
+}
+
+fn psi_table() {
+    // A pathological hot-block workload: how flat does Start-Gap keep the
+    // wear, and what write amplification does each ψ cost?
+    let mut t = Table::new(["psi", "max wear", "efficiency", "amplification"]);
+    for psi in [16u64, 64, 256, 1024] {
+        let cfg = NvmConfig {
+            blocks: 256,
+            lines_per_block: 1,
+            leveling_psi: Some(psi),
+            ..NvmConfig::pcm()
+        };
+        let mut dev = NvmDevice::new(cfg);
+        for _ in 0..200_000 {
+            dev.write_line(13);
+        }
+        t.row([
+            psi.to_string(),
+            dev.max_wear().to_string(),
+            format!("{:.3}", dev.leveling_efficiency()),
+            format!("{:.4}", 1.0 + 1.0 / psi as f64),
+        ]);
+    }
+    println!("## Start-Gap rotation period (hot-block stress)\n\n{}", t.render());
+}

@@ -1,0 +1,55 @@
+//! Runs the complete reproduction matrix — every figure and table of the
+//! paper's evaluation — and prints an `EXPERIMENTS.md`-ready transcript.
+//!
+//! Control the scale with `REBOUND_SCALE=tiny|std|full` (default `std`:
+//! a ~1/27-scale checkpoint interval; relative results are scale-stable).
+
+use rebound_bench::{experiments as e, ExpScale};
+use std::time::Instant;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!("# Rebound reproduction — full experiment matrix");
+    println!(
+        "scale: interval={} insts (paper: 4M), quota={} insts/core, L={} cycles\n",
+        scale.interval, scale.quota, scale.detect_latency
+    );
+    let t0 = Instant::now();
+    let section = |name: &str, table: rebound_bench::Table| {
+        println!("## {name}  [t+{:.0}s]\n", t0.elapsed().as_secs_f64());
+        println!("{}", table.render());
+    };
+    section(
+        "Fig 6.1 — ICHK size, PARSEC/Apache, 24p",
+        e::fig6_1::run(scale),
+    );
+    section(
+        "Fig 6.2 — ICHK size, SPLASH-2, 32p & 64p",
+        e::fig6_2::run(scale),
+    );
+    section(
+        "Fig 6.3(a) — overhead, SPLASH-2 64p",
+        e::fig6_3::run_splash(scale),
+    );
+    section(
+        "Fig 6.3(b) — overhead, PARSEC/Apache 24p",
+        e::fig6_3::run_parsec(scale),
+    );
+    section("Fig 6.4 — barrier optimization", e::fig6_4::run(scale));
+    section(
+        "Fig 6.5 — overhead breakdown (Global=100)",
+        e::fig6_5::run(scale),
+    );
+    section(
+        "Fig 6.6(a,b) — scalability: overhead & energy",
+        e::fig6_6::run_overhead_energy(scale),
+    );
+    section(
+        "Fig 6.6(c) — recovery latency",
+        e::fig6_6::run_recovery(scale),
+    );
+    section("Fig 6.7 — output I/O impact", e::fig6_7::run(scale));
+    section("Fig 6.8 — power", e::fig6_8::run(scale));
+    section("Table 6.1 — characterization", e::table6_1::run(scale));
+    println!("total wall time: {:.0}s", t0.elapsed().as_secs_f64());
+}

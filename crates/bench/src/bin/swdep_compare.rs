@@ -1,0 +1,82 @@
+//! Hardware vs. software dependence tracking (paper §8's non-coherent
+//! direction): for each application, compare the mean transitive
+//! interaction set under
+//!
+//! * the hardware Dep registers (directory transactions + LW-ID + WSIG),
+//! * runtime software instrumentation at line and page granularity, and
+//! * the compiler's conservative static graph,
+//!
+//! all driven by the identical recorded trace.
+//!
+//! ```sh
+//! cargo run --release -p rebound-bench --bin swdep_compare
+//! ```
+
+use rebound_bench::{config_for, ExpScale, Table};
+use rebound_core::{CoreProgram, Machine, Scheme};
+use rebound_engine::CoreId;
+use rebound_swdep::{CommGraph, Granularity, Replay, StaticGraph};
+use rebound_trace::record;
+use rebound_workloads::{all_profiles, Op};
+
+const CORES: usize = 16;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let quota = (scale.quota / 8).max(20_000);
+    println!("# swdep_compare ({CORES} cores, {quota} insts/core)\n");
+
+    let mut t = Table::new(["app", "hardware", "sw line", "sw page", "static", "sound"]);
+    for profile in all_profiles() {
+        // Record once; strip the final barrier so end-of-run global
+        // synchronization does not saturate every mode equally.
+        let trace = record(&profile, CORES, 1, quota);
+        let scripts: Vec<Vec<Op>> = trace
+            .into_scripts()
+            .into_iter()
+            .map(|mut s| {
+                if let Some(i) = s.iter().rposition(|o| matches!(o, Op::Barrier)) {
+                    s.truncate(i);
+                }
+                s
+            })
+            .collect();
+
+        let mut cfg = config_for(Scheme::REBOUND, CORES, scale);
+        cfg.ckpt_interval_insts = u64::MAX / 2;
+        let programs = scripts.iter().cloned().map(CoreProgram::script).collect();
+        let mut hw = Machine::with_programs(&cfg, programs);
+        hw.run_to_completion();
+        let mut hw_graph = CommGraph::new(CORES);
+        for p in 0..CORES {
+            for c in hw.my_consumers(CoreId(p)).iter() {
+                hw_graph.record(CoreId(p), c);
+            }
+        }
+
+        let line = Replay::new(scripts.clone(), Granularity::Line).run();
+        let page = Replay::new(scripts.clone(), Granularity::Page).run();
+        let stat = StaticGraph::from_pattern(
+            &profile.pattern,
+            CORES,
+            profile.barrier_period.is_some() || profile.lock_period.is_some(),
+        );
+
+        let mean = |f: &dyn Fn(CoreId) -> usize| {
+            (0..CORES).map(|c| f(CoreId(c))).sum::<usize>() as f64 / CORES as f64
+        };
+        t.row([
+            profile.name.to_string(),
+            format!("{:.1}", mean(&|c| hw_graph.ichk(c).len())),
+            format!("{:.1}", mean(&|c| line.graph.ichk(c).len())),
+            format!("{:.1}", mean(&|c| page.graph.ichk(c).len())),
+            format!("{:.1}", mean(&|c| stat.ichk(c).len())),
+            if stat.covers(&line.graph) { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("## mean transitive ICHK by tracking mode\n\n{}", t.render());
+    println!(
+        "hardware ≥ sw-line (RDX/WSIG edges), page ≥ line (false sharing),\n\
+         static = conservative ceiling; 'sound' checks static ⊇ dynamic."
+    );
+}

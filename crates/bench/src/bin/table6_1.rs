@@ -1,0 +1,9 @@
+//! Regenerates the paper's table6_1 data. See `rebound_bench::experiments`.
+
+use rebound_bench::{experiments, ExpScale};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!("# table6_1 (scale: interval={} insts)", scale.interval);
+    println!("{}", experiments::table6_1::run(scale).render());
+}

@@ -1,0 +1,31 @@
+//! Fig 6.1: average Interaction Set for Checkpointing, PARSEC + Apache,
+//! 24-processor runs, as a percentage of the machine — Global vs Rebound.
+
+use rebound_core::Scheme;
+use rebound_workloads::parsec_and_apache;
+
+use crate::{run_cell, ExpScale, Table};
+
+use super::PARSEC_CORES;
+
+/// Runs the experiment and returns the figure's data as a table.
+pub fn run(scale: ExpScale) -> Table {
+    let mut t = Table::new(["App", "Global ICHK %", "Rebound ICHK %"]);
+    let mut sum = 0.0;
+    let mut n = 0.0;
+    for p in parsec_and_apache() {
+        let g = run_cell(&p, Scheme::GLOBAL, PARSEC_CORES, scale);
+        let r = run_cell(&p, Scheme::REBOUND, PARSEC_CORES, scale);
+        let gp = 100.0 * g.ichk_fraction();
+        let rp = 100.0 * r.ichk_fraction();
+        sum += rp;
+        n += 1.0;
+        t.row([p.name.to_string(), format!("{gp:.0}"), format!("{rp:.1}")]);
+    }
+    t.row([
+        "Average".to_string(),
+        "100".to_string(),
+        format!("{:.1}", sum / n),
+    ]);
+    t
+}

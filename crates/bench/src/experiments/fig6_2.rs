@@ -1,0 +1,30 @@
+//! Fig 6.2: average Interaction Set for Checkpointing for SPLASH-2, as a
+//! percentage of the machine, for (a) 32-processor and (b) 64-processor
+//! runs under Rebound.
+
+use rebound_core::Scheme;
+use rebound_workloads::splash2;
+
+use crate::{run_cell, ExpScale, Table};
+
+/// Runs the experiment and returns the figure's data as a table.
+pub fn run(scale: ExpScale) -> Table {
+    let mut t = Table::new(["App", "ICHK % (32p)", "ICHK % (64p)"]);
+    let (mut s32, mut s64, mut n) = (0.0, 0.0, 0.0);
+    for p in splash2() {
+        let r32 = run_cell(&p, Scheme::REBOUND, 32, scale);
+        let r64 = run_cell(&p, Scheme::REBOUND, 64, scale);
+        let p32 = 100.0 * r32.ichk_fraction();
+        let p64 = 100.0 * r64.ichk_fraction();
+        s32 += p32;
+        s64 += p64;
+        n += 1.0;
+        t.row([p.name.to_string(), format!("{p32:.1}"), format!("{p64:.1}")]);
+    }
+    t.row([
+        "Average".to_string(),
+        format!("{:.1}", s32 / n),
+        format!("{:.1}", s64 / n),
+    ]);
+    t
+}

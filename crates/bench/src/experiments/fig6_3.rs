@@ -1,0 +1,78 @@
+//! Fig 6.3: checkpointing overhead (as a fraction of execution time)
+//! during error-free execution — (a) 64-processor SPLASH-2 and
+//! (b) 24-processor PARSEC/Apache — for Global, Global_DWB,
+//! Rebound_NoDWB and Rebound.
+//!
+//! The paper's headline: for 64-processor SPLASH-2, Global averages 15%
+//! while Rebound averages 2%.
+
+use rebound_core::{RunReport, Scheme};
+use rebound_workloads::{parsec_and_apache, splash2, AppProfile};
+
+use crate::{run_cell, ExpScale, Table};
+
+use super::{PARSEC_CORES, SPLASH_CORES};
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::GLOBAL,
+    Scheme::GLOBAL_DWB,
+    Scheme::REBOUND_NODWB,
+    Scheme::REBOUND,
+];
+
+/// Overheads of the four schemes for one app, plus the baseline report.
+pub fn app_overheads(p: &AppProfile, cores: usize, scale: ExpScale) -> (Vec<f64>, RunReport) {
+    let base = run_cell(p, Scheme::None, cores, scale);
+    let ovh = SCHEMES
+        .iter()
+        .map(|&s| {
+            let r = run_cell(p, s, cores, scale);
+            100.0 * (r.cycles as f64 - base.cycles as f64) / base.cycles as f64
+        })
+        .collect();
+    (ovh, base)
+}
+
+fn suite_table(apps: Vec<AppProfile>, cores: usize, scale: ExpScale) -> Table {
+    let mut t = Table::new([
+        "App",
+        "Global %",
+        "Global_DWB %",
+        "Rebound_NoDWB %",
+        "Rebound %",
+    ]);
+    let mut sums = [0.0f64; 4];
+    let mut n = 0.0;
+    for p in &apps {
+        let (ovh, _) = app_overheads(p, cores, scale);
+        for (s, v) in sums.iter_mut().zip(&ovh) {
+            *s += v;
+        }
+        n += 1.0;
+        t.row([
+            p.name.to_string(),
+            format!("{:.1}", ovh[0]),
+            format!("{:.1}", ovh[1]),
+            format!("{:.1}", ovh[2]),
+            format!("{:.1}", ovh[3]),
+        ]);
+    }
+    t.row([
+        "Average".to_string(),
+        format!("{:.1}", sums[0] / n),
+        format!("{:.1}", sums[1] / n),
+        format!("{:.1}", sums[2] / n),
+        format!("{:.1}", sums[3] / n),
+    ]);
+    t
+}
+
+/// Fig 6.3(a): 64-processor SPLASH-2 runs.
+pub fn run_splash(scale: ExpScale) -> Table {
+    suite_table(splash2(), SPLASH_CORES, scale)
+}
+
+/// Fig 6.3(b): 24-processor PARSEC and Apache runs.
+pub fn run_parsec(scale: ExpScale) -> Table {
+    suite_table(parsec_and_apache(), PARSEC_CORES, scale)
+}

@@ -1,0 +1,59 @@
+//! Fig 6.4: impact of the Barrier optimization on checkpointing overhead
+//! for the barrier-intensive applications: Global, Rebound_NoDWB,
+//! Rebound_NoDWB_Barr, Rebound, Rebound_Barr.
+//!
+//! The paper finds both the Barrier optimization and delayed writebacks
+//! effective but *not additive*.
+
+use rebound_core::Scheme;
+use rebound_workloads::barrier_intensive;
+
+use crate::{run_cell, ExpScale, Table};
+
+use super::SPLASH_CORES;
+
+const SCHEMES: [Scheme; 5] = [
+    Scheme::GLOBAL,
+    Scheme::REBOUND_NODWB,
+    Scheme::REBOUND_NODWB_BARR,
+    Scheme::REBOUND,
+    Scheme::REBOUND_BARR,
+];
+
+/// Runs the experiment and returns the figure's data as a table.
+pub fn run(scale: ExpScale) -> Table {
+    let mut t = Table::new([
+        "App",
+        "Global %",
+        "R_NoDWB %",
+        "R_NoDWB_Barr %",
+        "Rebound %",
+        "R_Barr %",
+    ]);
+    let apps = barrier_intensive();
+    let mut sums = [0.0f64; 5];
+    let mut n = 0.0;
+    for p in &apps {
+        let cores = if p.suite == rebound_workloads::Suite::Splash2 {
+            SPLASH_CORES
+        } else {
+            super::PARSEC_CORES
+        };
+        let base = run_cell(p, Scheme::None, cores, scale);
+        let mut row = vec![p.name.to_string()];
+        for (i, &s) in SCHEMES.iter().enumerate() {
+            let r = run_cell(p, s, cores, scale);
+            let ovh = 100.0 * (r.cycles as f64 - base.cycles as f64) / base.cycles as f64;
+            sums[i] += ovh;
+            row.push(format!("{ovh:.1}"));
+        }
+        n += 1.0;
+        t.row(row);
+    }
+    let mut avg = vec!["Average".to_string()];
+    for s in sums {
+        avg.push(format!("{:.1}", s / n));
+    }
+    t.row(avg);
+    t
+}

@@ -1,0 +1,60 @@
+//! Fig 6.5: breakdown of the checkpointing overhead into WBDelay,
+//! WBImbalanceDelay, SyncDelay and IPCDelay, for Global, Rebound_NoDWB
+//! and Rebound, normalized to Global (= 100).
+//!
+//! The paper's reading: in Global and Rebound_NoDWB, WBDelay and
+//! WBImbalanceDelay dominate; in Rebound the writebacks are in the
+//! background, so IPCDelay becomes the main contributor and SyncDelay
+//! stays minor.
+
+use rebound_core::{Scheme, StallBreakdown};
+use rebound_workloads::{all_profiles, Suite};
+
+use crate::{run_cell, ExpScale, Table};
+
+use super::{PARSEC_CORES, SPLASH_CORES};
+
+const SCHEMES: [Scheme; 3] = [Scheme::GLOBAL, Scheme::REBOUND_NODWB, Scheme::REBOUND];
+
+fn fmt(b: &StallBreakdown, norm: f64) -> String {
+    format!(
+        "wb={:.0} imb={:.0} sync={:.0} ipc={:.0}",
+        b.wb_delay as f64 / norm * 100.0,
+        b.wb_imbalance as f64 / norm * 100.0,
+        b.sync_delay as f64 / norm * 100.0,
+        b.ipc_delay as f64 / norm * 100.0,
+    )
+}
+
+/// Runs the experiment; cells show each category as % of Global's total.
+pub fn run(scale: ExpScale) -> Table {
+    let mut t = Table::new(["App", "Global", "Rebound_NoDWB", "Rebound"]);
+    let mut agg: Vec<StallBreakdown> = vec![StallBreakdown::default(); 3];
+    for p in all_profiles() {
+        let cores = if p.suite == Suite::Splash2 {
+            SPLASH_CORES
+        } else {
+            PARSEC_CORES
+        };
+        let mut cells = vec![p.name.to_string()];
+        let mut norm = 1.0;
+        for (i, &s) in SCHEMES.iter().enumerate() {
+            let r = run_cell(&p, s, cores, scale);
+            let b = r.metrics.breakdown;
+            if i == 0 {
+                norm = b.total().max(1) as f64;
+            }
+            agg[i].merge(&b);
+            cells.push(fmt(&b, norm));
+        }
+        t.row(cells);
+    }
+    let norm = agg[0].total().max(1) as f64;
+    t.row([
+        "Total".to_string(),
+        fmt(&agg[0], norm),
+        fmt(&agg[1], norm),
+        fmt(&agg[2], norm),
+    ]);
+    t
+}

@@ -1,0 +1,57 @@
+//! Fig 6.8: estimated on-chip power consumption (dynamic + static) for
+//! Global, Rebound_NoDWB and Rebound, averaged over SPLASH-2 at 64
+//! processors.
+//!
+//! The paper finds Rebound_NoDWB and Rebound consume 2% and 4% more power
+//! than Global (the faster, denser execution does the same work in less
+//! time, and the Dep structures add ~1.3%), while Rebound improves ED² by
+//! ~27%.
+
+use rebound_core::Scheme;
+use rebound_power::EnergyParams;
+use rebound_workloads::splash2;
+
+use crate::{energy_of, run_cell, ExpScale, Table};
+
+use super::SPLASH_CORES;
+
+const SCHEMES: [Scheme; 3] = [Scheme::GLOBAL, Scheme::REBOUND_NODWB, Scheme::REBOUND];
+
+/// Runs the experiment and returns average power plus the ED² comparison.
+pub fn run(scale: ExpScale) -> Table {
+    let params = EnergyParams::default();
+    let mut t = Table::new([
+        "Scheme",
+        "Avg power (W)",
+        "Power vs Global %",
+        "ED^2 vs Global %",
+    ]);
+    // Collect per-scheme totals across applications.
+    let mut power = [0.0f64; 3];
+    let mut ed2 = [0.0f64; 3];
+    let mut n = 0.0;
+    for p in splash2() {
+        let mut cell_e = [0.0f64; 3];
+        let mut cell_d = [0.0f64; 3];
+        for (i, &s) in SCHEMES.iter().enumerate() {
+            let r = run_cell(&p, s, SPLASH_CORES, scale);
+            let summary = energy_of(&r, &params);
+            power[i] += summary.avg_power_w;
+            cell_e[i] = summary.energy.total();
+            cell_d[i] = summary.seconds;
+        }
+        for i in 0..3 {
+            ed2[i] += cell_e[i] * cell_d[i] * cell_d[i];
+        }
+        n += 1.0;
+    }
+    for (i, &s) in SCHEMES.iter().enumerate() {
+        t.row([
+            s.label().to_string(),
+            format!("{:.2}", power[i] / n),
+            format!("{:+.1}", 100.0 * (power[i] - power[0]) / power[0]),
+            format!("{:+.1}", 100.0 * (ed2[i] - ed2[0]) / ed2[0]),
+        ]);
+    }
+    t
+}

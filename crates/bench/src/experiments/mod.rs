@@ -1,0 +1,20 @@
+//! One module per figure/table of the paper's evaluation (Chapter 6).
+//!
+//! Every module exposes `run(scale) -> Table` producing the same rows or
+//! series the paper reports, at the harness scale. The `reproduce` binary
+//! chains them all and prints an `EXPERIMENTS.md`-ready transcript.
+
+pub mod fig6_1;
+pub mod fig6_2;
+pub mod fig6_3;
+pub mod fig6_4;
+pub mod fig6_5;
+pub mod fig6_6;
+pub mod fig6_7;
+pub mod fig6_8;
+pub mod table6_1;
+
+/// Core counts used by the paper for each suite.
+pub const SPLASH_CORES: usize = 64;
+/// PARSEC and Apache run with up to 24 threads in the paper.
+pub const PARSEC_CORES: usize = 24;

@@ -1,0 +1,252 @@
+//! Experiment harness for reproducing every table and figure of the paper.
+//!
+//! Each `src/bin/fig6_*.rs` / `table6_1.rs` binary regenerates one figure
+//! or table; `bin/reproduce` runs them all and emits `EXPERIMENTS.md`-ready
+//! output. The criterion benches under `benches/` exercise reduced-scale
+//! versions of the same experiments plus micro-benchmarks of the core data
+//! structures.
+//!
+//! # Scaling
+//!
+//! The paper simulates full application runs with a 4M-instruction
+//! checkpoint interval. This harness defaults to a proportionally scaled
+//! run (interval and run length divided by ~25) so the complete matrix
+//! finishes in minutes; set `REBOUND_SCALE=full` for paper-scale intervals
+//! or `REBOUND_SCALE=tiny` for smoke tests. Relative results — who wins,
+//! by what factor — are scale-stable; `EXPERIMENTS.md` records the scale
+//! used.
+
+pub mod experiments;
+
+use rebound_core::{Machine, MachineConfig, RunReport, Scheme};
+use rebound_power::{run_energy, ActivityCounts, EnergyParams, PowerSummary};
+use rebound_workloads::AppProfile;
+
+/// Experiment scale: checkpoint interval and per-core instruction quota.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpScale {
+    /// Checkpoint interval, instructions (paper: 4M).
+    pub interval: u64,
+    /// Instructions per core.
+    pub quota: u64,
+    /// Fault-detection latency bound L, cycles.
+    pub detect_latency: u64,
+}
+
+impl ExpScale {
+    /// The default scaled configuration (~1/25 of the paper).
+    pub fn standard() -> ExpScale {
+        ExpScale {
+            interval: 150_000,
+            quota: 450_000,
+            detect_latency: 5_000,
+        }
+    }
+
+    /// Smoke-test scale for CI and criterion.
+    pub fn tiny() -> ExpScale {
+        ExpScale {
+            interval: 20_000,
+            quota: 60_000,
+            detect_latency: 1_000,
+        }
+    }
+
+    /// Paper-scale intervals (slow: full 4M-instruction intervals).
+    pub fn full() -> ExpScale {
+        ExpScale {
+            interval: 4_000_000,
+            quota: 12_000_000,
+            detect_latency: 50_000,
+        }
+    }
+
+    /// Reads `REBOUND_SCALE` (`tiny` / `std` / `full`), defaulting to
+    /// [`ExpScale::standard`].
+    pub fn from_env() -> ExpScale {
+        match std::env::var("REBOUND_SCALE").as_deref() {
+            Ok("tiny") => ExpScale::tiny(),
+            Ok("full") => ExpScale::full(),
+            _ => ExpScale::standard(),
+        }
+    }
+
+    /// The instruction-count ratio versus the paper's 4M interval; used to
+    /// rescale absolute quantities (like log bytes) for reporting.
+    pub fn vs_paper(&self) -> f64 {
+        self.interval as f64 / 4.0e6
+    }
+}
+
+/// Builds the machine configuration for one experiment run.
+pub fn config_for(scheme: Scheme, cores: usize, scale: ExpScale) -> MachineConfig {
+    let mut cfg = MachineConfig::paper(cores);
+    cfg.scheme = scheme;
+    cfg.ckpt_interval_insts = scale.interval;
+    cfg.detect_latency = scale.detect_latency;
+    cfg.seed = std::env::var("REBOUND_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    cfg
+}
+
+/// Runs one (profile, scheme, cores) cell.
+pub fn run_cell(profile: &AppProfile, scheme: Scheme, cores: usize, scale: ExpScale) -> RunReport {
+    let cfg = config_for(scheme, cores, scale);
+    Machine::from_profile(&cfg, profile, scale.quota).run_to_completion()
+}
+
+/// A run plus its checkpoint-free baseline, for overhead computation.
+#[derive(Clone, Debug)]
+pub struct OverheadCell {
+    /// The checkpointing run.
+    pub run: RunReport,
+    /// The same seed and workload without checkpointing.
+    pub base: RunReport,
+}
+
+impl OverheadCell {
+    /// Checkpointing overhead as a percentage of baseline execution time —
+    /// the y-axis of Figs 6.3/6.4/6.6(a).
+    pub fn overhead_percent(&self) -> f64 {
+        100.0 * (self.run.cycles as f64 - self.base.cycles as f64) / self.base.cycles as f64
+    }
+
+    /// Energy increase due to checkpointing, percent (Fig 6.6(b)).
+    pub fn energy_increase_percent(&self, params: &EnergyParams) -> f64 {
+        let e_run = energy_of(&self.run, params).energy.total();
+        let e_base = energy_of(&self.base, params).energy.total();
+        100.0 * (e_run - e_base) / e_base
+    }
+}
+
+/// Runs a scheme and its checkpoint-free baseline on the same seed.
+pub fn run_overhead(
+    profile: &AppProfile,
+    scheme: Scheme,
+    cores: usize,
+    scale: ExpScale,
+) -> OverheadCell {
+    OverheadCell {
+        run: run_cell(profile, scheme, cores, scale),
+        base: run_cell(profile, Scheme::None, cores, scale),
+    }
+}
+
+/// Extracts the power model's activity counts from a run.
+pub fn activity_of(report: &RunReport) -> ActivityCounts {
+    ActivityCounts {
+        instructions: report.insts,
+        l1_accesses: report.metrics.l1_accesses.get(),
+        l2_accesses: report.metrics.l2_accesses.get(),
+        mem_lines: report.metrics.mem_lines.get(),
+        net_msgs: report.msgs.total(),
+        dep_ops: report.metrics.wsig_ops.get(),
+        lwid_updates: report.metrics.lwid_updates.get(),
+        log_entries: report.metrics.log_entries.get(),
+        cycles: report.cycles,
+        has_dep_hardware: report.scheme.tracks_dependences(),
+    }
+}
+
+/// Energy/power summary of a run under the default 45 nm parameters.
+pub fn energy_of(report: &RunReport, params: &EnergyParams) -> PowerSummary {
+    run_energy(params, &activity_of(report))
+}
+
+/// Fixed-width table printer for figure/table binaries.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table as aligned text (also valid Markdown).
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let c = cells.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(&format!(" {c:<w$} |"));
+            }
+            s
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebound_workloads::profile_named;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(ExpScale::tiny().interval < ExpScale::standard().interval);
+        assert!(ExpScale::standard().interval < ExpScale::full().interval);
+        assert!(ExpScale::standard().vs_paper() < 1.0);
+    }
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(["App", "Ovh%"]);
+        t.row(["Ocean", "2.0"]);
+        let s = t.render();
+        assert!(s.contains("| App   | Ovh% |"));
+        assert!(s.contains("| Ocean | 2.0  |"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn tiny_overhead_cell_runs() {
+        let p = profile_named("Blackscholes").unwrap();
+        let cell = run_overhead(&p, Scheme::REBOUND, 4, ExpScale::tiny());
+        assert!(cell.base.cycles > 0);
+        assert!(cell.run.checkpoints > 0);
+        // Overhead is finite and sane.
+        let ovh = cell.overhead_percent();
+        assert!(ovh > -50.0 && ovh < 500.0, "overhead {ovh}%");
+    }
+
+    #[test]
+    fn activity_counts_flow_to_energy() {
+        let p = profile_named("Blackscholes").unwrap();
+        let r = run_cell(&p, Scheme::REBOUND, 4, ExpScale::tiny());
+        let s = energy_of(&r, &EnergyParams::default());
+        assert!(s.energy.total() > 0.0);
+        assert!(s.energy.dep_hardware > 0.0, "Rebound has Dep activity");
+    }
+}

@@ -1,0 +1,316 @@
+//! A bitmask over the processors of the chip.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+use rebound_engine::CoreId;
+
+/// A set of processors, stored as a 64-bit mask.
+///
+/// The paper's `MyProducers` and `MyConsumers` Dep registers "have as many
+/// bits as processors in the chip" (§3.3.1); the evaluated machine tops out
+/// at 64 cores, so a single word suffices — exactly the hardware structure
+/// being modelled.
+///
+/// # Example
+///
+/// ```
+/// use rebound_coherence::CoreSet;
+/// use rebound_engine::CoreId;
+///
+/// let mut s = CoreSet::new();
+/// s.insert(CoreId(3));
+/// s.insert(CoreId(5));
+/// assert!(s.contains(CoreId(3)));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![CoreId(3), CoreId(5)]);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CoreSet(u64);
+
+impl CoreSet {
+    /// The maximum number of processors a `CoreSet` can represent.
+    pub const MAX_CORES: usize = 64;
+
+    /// Creates an empty set.
+    pub fn new() -> CoreSet {
+        CoreSet(0)
+    }
+
+    /// Creates a set holding exactly one processor.
+    pub fn singleton(core: CoreId) -> CoreSet {
+        let mut s = CoreSet::new();
+        s.insert(core);
+        s
+    }
+
+    /// Creates the full set of an `n`-processor machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn all(n: usize) -> CoreSet {
+        assert!(n <= Self::MAX_CORES, "at most {} cores", Self::MAX_CORES);
+        if n == 64 {
+            CoreSet(u64::MAX)
+        } else {
+            CoreSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Adds a processor. Returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index is 64 or greater.
+    #[inline]
+    pub fn insert(&mut self, core: CoreId) -> bool {
+        assert!(core.index() < Self::MAX_CORES);
+        let bit = 1u64 << core.index();
+        let new = self.0 & bit == 0;
+        self.0 |= bit;
+        new
+    }
+
+    /// Removes a processor. Returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, core: CoreId) -> bool {
+        if core.index() >= Self::MAX_CORES {
+            return false;
+        }
+        let bit = 1u64 << core.index();
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// Whether the processor is in the set.
+    #[inline]
+    pub fn contains(self, core: CoreId) -> bool {
+        core.index() < Self::MAX_CORES && self.0 & (1u64 << core.index()) != 0
+    }
+
+    /// Number of processors in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Empties the set (what "clearing MyProducers/MyConsumers" does at a
+    /// checkpoint, §3.3.1).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Set union, used e.g. to OR the `MyConsumers` of every rolled-back
+    /// interval (§4.2, second event).
+    #[inline]
+    pub fn union(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 & other.0)
+    }
+
+    /// Elements of `self` not in `other`.
+    #[inline]
+    pub fn difference(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 & !other.0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(self, other: CoreSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over members in increasing core-id order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Constructs from a raw bitmask.
+    pub fn from_bits(bits: u64) -> CoreSet {
+        CoreSet(bits)
+    }
+}
+
+/// Iterator over the members of a [`CoreSet`].
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = CoreId;
+
+    fn next(&mut self) -> Option<CoreId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(CoreId(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for CoreSet {
+    type Item = CoreId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<CoreId> for CoreSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> CoreSet {
+        let mut s = CoreSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl Extend<CoreId> for CoreSet {
+    fn extend<I: IntoIterator<Item = CoreId>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl BitOr for CoreSet {
+    type Output = CoreSet;
+    fn bitor(self, rhs: CoreSet) -> CoreSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for CoreSet {
+    fn bitor_assign(&mut self, rhs: CoreSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for CoreSet {
+    type Output = CoreSet;
+    fn bitand(self, rhs: CoreSet) -> CoreSet {
+        self.intersection(rhs)
+    }
+}
+
+impl fmt::Display for CoreSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = CoreSet::new();
+        assert!(s.insert(CoreId(7)));
+        assert!(!s.insert(CoreId(7)));
+        assert!(s.contains(CoreId(7)));
+        assert!(s.remove(CoreId(7)));
+        assert!(!s.remove(CoreId(7)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn all_covers_exactly_n() {
+        let s = CoreSet::all(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(CoreId(4)));
+        assert!(!s.contains(CoreId(5)));
+        assert_eq!(CoreSet::all(64).len(), 64);
+        assert_eq!(CoreSet::all(0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn all_rejects_too_many() {
+        CoreSet::all(65);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: CoreSet = [CoreId(0), CoreId(1), CoreId(2)].into_iter().collect();
+        let b: CoreSet = [CoreId(1), CoreId(2), CoreId(3)].into_iter().collect();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b).len(), 2);
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![CoreId(0)]);
+        assert!(a.intersection(b).is_subset(a));
+        assert!(!a.is_subset(b));
+        assert_eq!((a | b).len(), 4);
+        assert_eq!((a & b).len(), 2);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_exact() {
+        let s: CoreSet = [CoreId(9), CoreId(1), CoreId(33)].into_iter().collect();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![CoreId(1), CoreId(9), CoreId(33)]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = CoreSet::all(8);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn singleton_and_bits_round_trip() {
+        let s = CoreSet::singleton(CoreId(10));
+        assert_eq!(s.bits(), 1 << 10);
+        assert_eq!(CoreSet::from_bits(s.bits()), s);
+    }
+
+    #[test]
+    fn extend_unions() {
+        let mut s = CoreSet::singleton(CoreId(0));
+        s.extend([CoreId(1), CoreId(2)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s: CoreSet = [CoreId(2), CoreId(4)].into_iter().collect();
+        assert_eq!(s.to_string(), "{P2,P4}");
+        assert_eq!(CoreSet::new().to_string(), "{}");
+    }
+}

@@ -1,0 +1,252 @@
+//! The full-map directory, extended with Rebound's LW-ID field.
+
+use std::collections::HashMap;
+
+use rebound_engine::{CoreId, LineAddr};
+
+use crate::coreset::CoreSet;
+
+/// Directory state for one memory line.
+///
+/// A standard full-map MESI directory entry (sharer list + owner + Dirty
+/// bit), augmented with the paper's **Last Writer ID**: "each entry in the
+/// directory module is augmented with a processor ID field called Last
+/// Writer ID (LW-ID)" (§3.3). Crucially, LW-ID is *not* cleared when the
+/// line is displaced from the writer's cache, nor when the writer
+/// checkpoints — it is allowed to go stale (§3.3.2) and is lazily corrected
+/// by `NO_WR` replies after a WSIG membership miss.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Processors holding a (clean) copy of the line.
+    pub sharers: CoreSet,
+    /// Processor holding the line exclusively (E or M), if any.
+    pub owner: Option<CoreId>,
+    /// Whether memory's copy is stale (an owner holds it Modified).
+    pub dirty: bool,
+    /// The last processor to write (or read-exclusively acquire) the line in
+    /// *some* checkpoint interval; may be stale.
+    pub lw_id: Option<CoreId>,
+}
+
+impl DirEntry {
+    /// All processors with any cached copy (owner plus sharers).
+    pub fn present(&self) -> CoreSet {
+        let mut s = self.sharers;
+        if let Some(o) = self.owner {
+            s.insert(o);
+        }
+        s
+    }
+
+    /// Whether no processor caches the line.
+    pub fn is_uncached(&self) -> bool {
+        self.owner.is_none() && self.sharers.is_empty()
+    }
+}
+
+/// The machine's directory: one logical full-map entry per line that has
+/// ever been cached.
+///
+/// Physically the directory is distributed across tiles (the home node of a
+/// line is `LineAddr::home_of`); since home placement only affects message
+/// latency, the state itself is kept in one map.
+///
+/// # Example
+///
+/// ```
+/// use rebound_coherence::Directory;
+/// use rebound_engine::{CoreId, LineAddr};
+///
+/// let mut dir = Directory::new();
+/// let e = dir.entry_mut(LineAddr(4));
+/// e.owner = Some(CoreId(1));
+/// e.lw_id = Some(CoreId(1));
+/// assert_eq!(dir.entry(LineAddr(4)).lw_id, Some(CoreId(1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Read-only view of a line's entry (default state if never touched).
+    pub fn entry(&self, addr: LineAddr) -> DirEntry {
+        self.entries.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Mutable entry, created on first touch.
+    pub fn entry_mut(&mut self, addr: LineAddr) -> &mut DirEntry {
+        self.entries.entry(addr).or_default()
+    }
+
+    /// Number of lines with directory state.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the Dirty bit of `addr` if `core` owns it — what happens as a
+    /// checkpoint writes a dirty line back while keeping LW-ID intact
+    /// (§3.3.1: "the directory clears the Dirty bit but not the LW-ID").
+    pub fn clean_owned_line(&mut self, addr: LineAddr, core: CoreId) {
+        if let Some(e) = self.entries.get_mut(&addr) {
+            if e.owner == Some(core) {
+                e.dirty = false;
+            }
+        }
+    }
+
+    /// Removes `core` from every sharer list and ownership, as cache
+    /// invalidation during rollback requires. Returns the number of entries
+    /// touched.
+    pub fn purge_core(&mut self, core: CoreId) -> usize {
+        let mut touched = 0;
+        for e in self.entries.values_mut() {
+            let mut hit = false;
+            if e.sharers.remove(core) {
+                hit = true;
+            }
+            if e.owner == Some(core) {
+                e.owner = None;
+                e.dirty = false;
+                hit = true;
+            }
+            if hit {
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    /// Clears LW-ID (and Dirty) fields that point at `core`. "Although not
+    /// necessary for correctness, as lines are restored to memory, the
+    /// directories clear those LW-ID fields and Dirty bits that point to the
+    /// processor" (§3.3.5).
+    pub fn clear_lwid_of(&mut self, core: CoreId) -> usize {
+        let mut touched = 0;
+        for e in self.entries.values_mut() {
+            if e.lw_id == Some(core) {
+                e.lw_id = None;
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    /// Iterates over all (line, entry) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &DirEntry)> + '_ {
+        self.entries.iter().map(|(&a, e)| (a, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_entry_is_default() {
+        let dir = Directory::new();
+        let e = dir.entry(LineAddr(1));
+        assert!(e.is_uncached());
+        assert_eq!(e.lw_id, None);
+        assert!(!e.dirty);
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn entry_mut_creates_state() {
+        let mut dir = Directory::new();
+        dir.entry_mut(LineAddr(2)).sharers.insert(CoreId(3));
+        assert_eq!(dir.len(), 1);
+        assert!(dir.entry(LineAddr(2)).sharers.contains(CoreId(3)));
+    }
+
+    #[test]
+    fn present_includes_owner_and_sharers() {
+        let mut e = DirEntry::default();
+        e.sharers.insert(CoreId(1));
+        e.owner = Some(CoreId(2));
+        let p = e.present();
+        assert!(p.contains(CoreId(1)) && p.contains(CoreId(2)));
+        assert_eq!(p.len(), 2);
+        assert!(!e.is_uncached());
+    }
+
+    #[test]
+    fn clean_owned_line_only_for_owner() {
+        let mut dir = Directory::new();
+        {
+            let e = dir.entry_mut(LineAddr(5));
+            e.owner = Some(CoreId(0));
+            e.dirty = true;
+            e.lw_id = Some(CoreId(0));
+        }
+        dir.clean_owned_line(LineAddr(5), CoreId(1));
+        assert!(dir.entry(LineAddr(5)).dirty, "non-owner cannot clean");
+        dir.clean_owned_line(LineAddr(5), CoreId(0));
+        let e = dir.entry(LineAddr(5));
+        assert!(!e.dirty);
+        assert_eq!(e.lw_id, Some(CoreId(0)), "LW-ID must survive cleaning");
+    }
+
+    #[test]
+    fn purge_core_removes_presence_everywhere() {
+        let mut dir = Directory::new();
+        {
+            let e = dir.entry_mut(LineAddr(1));
+            e.owner = Some(CoreId(4));
+            e.dirty = true;
+        }
+        dir.entry_mut(LineAddr(2)).sharers.insert(CoreId(4));
+        dir.entry_mut(LineAddr(3)).sharers.insert(CoreId(5));
+        assert_eq!(dir.purge_core(CoreId(4)), 2);
+        assert!(dir.entry(LineAddr(1)).is_uncached());
+        assert!(!dir.entry(LineAddr(1)).dirty);
+        assert!(dir.entry(LineAddr(2)).sharers.is_empty());
+        assert!(dir.entry(LineAddr(3)).sharers.contains(CoreId(5)));
+    }
+
+    #[test]
+    fn purge_core_preserves_lwid() {
+        let mut dir = Directory::new();
+        {
+            let e = dir.entry_mut(LineAddr(1));
+            e.owner = Some(CoreId(4));
+            e.lw_id = Some(CoreId(4));
+        }
+        dir.purge_core(CoreId(4));
+        assert_eq!(
+            dir.entry(LineAddr(1)).lw_id,
+            Some(CoreId(4)),
+            "displacement/purge never clears LW-ID (§3.3.1)"
+        );
+    }
+
+    #[test]
+    fn clear_lwid_of_targets_one_core() {
+        let mut dir = Directory::new();
+        dir.entry_mut(LineAddr(1)).lw_id = Some(CoreId(1));
+        dir.entry_mut(LineAddr(2)).lw_id = Some(CoreId(1));
+        dir.entry_mut(LineAddr(3)).lw_id = Some(CoreId(2));
+        assert_eq!(dir.clear_lwid_of(CoreId(1)), 2);
+        assert_eq!(dir.entry(LineAddr(1)).lw_id, None);
+        assert_eq!(dir.entry(LineAddr(3)).lw_id, Some(CoreId(2)));
+    }
+
+    #[test]
+    fn iter_sees_all_entries() {
+        let mut dir = Directory::new();
+        dir.entry_mut(LineAddr(1));
+        dir.entry_mut(LineAddr(2));
+        assert_eq!(dir.iter().count(), 2);
+    }
+}

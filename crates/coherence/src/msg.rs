@@ -1,0 +1,210 @@
+//! Message taxonomy and traffic accounting.
+//!
+//! Table 6.1 of the paper reports the *additional* number of messages — over
+//! the regular cache-coherence protocol — needed to maintain the LW-ID bits
+//! and Dep registers (on average +4.2%). To reproduce that row, every
+//! message the simulated machine sends is classified as baseline coherence,
+//! dependence maintenance, or checkpoint/rollback protocol, and counted.
+
+use std::fmt;
+
+use rebound_engine::Counter;
+
+/// Every message type the simulated machine exchanges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    // --- Baseline directory-protocol messages -------------------------
+    /// Read request to the home directory.
+    GetS,
+    /// Write / read-exclusive request to the home directory.
+    GetX,
+    /// Directory forwards a read to the current owner.
+    FwdGetS,
+    /// Invalidation sent to a sharer.
+    Inval,
+    /// Invalidation acknowledgment.
+    InvAck,
+    /// Data reply (from memory, owner or directory).
+    Data,
+    /// Dirty-line writeback (eviction or checkpoint).
+    Writeback,
+    // --- Dependence-maintenance messages (Rebound extra) --------------
+    /// "Are you the last writer?" query to the LW-ID processor when the
+    /// data itself comes from elsewhere (§3.3.1: "the protocol still sends
+    /// a message to the LW-ID processor").
+    LwQuery,
+    /// NO_WR reply after a WSIG membership miss (§3.3.2).
+    NoWr,
+    /// Positive acknowledgment of an [`MsgKind::LwQuery`].
+    LwAck,
+    // --- Checkpoint / rollback protocol messages (§3.3.4–3.3.5) -------
+    /// Checkpoint request from a consumer ("CK?").
+    CkRequest,
+    /// Acknowledgment of a CK? to the requesting consumer.
+    CkAck,
+    /// Accept sent to the checkpoint initiator, carrying MyProducers.
+    CkAccept,
+    /// Decline sent to the initiator (stale info / already checkpointed).
+    CkDecline,
+    /// Busy reply (already participating in another checkpoint).
+    CkBusy,
+    /// Initiator releasing already-accepted participants after a Busy.
+    CkRelease,
+    /// Initiator's order to start writing back dirty lines.
+    CkStartWb,
+    /// Participant notifies the initiator its writebacks are done.
+    CkWbDone,
+    /// Initiator's order to resume execution / checkpoint complete.
+    CkResume,
+    /// Nack of an external checkpoint request while draining delayed
+    /// writebacks (§4.1).
+    CkNack,
+    /// Barrier-optimization proactive checkpoint signal (§4.2.1).
+    BarCk,
+    /// Rollback request ("Roll?").
+    RollRequest,
+    /// Accept of a rollback request.
+    RollAccept,
+    /// Decline of a rollback request.
+    RollDecline,
+    /// Busy reply to a rollback request.
+    RollBusy,
+    /// Order to perform the rollback.
+    RollStart,
+    /// Completion notification of a local rollback.
+    RollDone,
+    /// Order to resume after a completed rollback.
+    RollResume,
+}
+
+/// Coarse classification used for the Table 6.1 traffic row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Regular directory-protocol traffic.
+    Base,
+    /// Extra traffic to maintain LW-ID and the Dep registers.
+    DepMaintenance,
+    /// Checkpoint/rollback software-protocol traffic (cross-processor
+    /// interrupts and memory flags in the real system).
+    Protocol,
+}
+
+impl MsgKind {
+    /// The accounting class of this message kind.
+    pub fn class(self) -> MsgClass {
+        use MsgKind::*;
+        match self {
+            GetS | GetX | FwdGetS | Inval | InvAck | Data | Writeback => MsgClass::Base,
+            LwQuery | NoWr | LwAck => MsgClass::DepMaintenance,
+            _ => MsgClass::Protocol,
+        }
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Aggregate message counters by class.
+///
+/// # Example
+///
+/// ```
+/// use rebound_coherence::{MsgKind, MsgStats};
+///
+/// let mut s = MsgStats::new();
+/// s.record(MsgKind::GetS);
+/// s.record(MsgKind::LwQuery);
+/// assert_eq!(s.base.get(), 1);
+/// assert_eq!(s.dep.get(), 1);
+/// assert!((s.dep_overhead_percent() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MsgStats {
+    /// Baseline coherence messages.
+    pub base: Counter,
+    /// Dependence-maintenance messages (the Table 6.1 numerator).
+    pub dep: Counter,
+    /// Checkpoint/rollback protocol messages.
+    pub protocol: Counter,
+}
+
+impl MsgStats {
+    /// Creates zeroed counters.
+    pub fn new() -> MsgStats {
+        MsgStats::default()
+    }
+
+    /// Counts one message.
+    #[inline]
+    pub fn record(&mut self, kind: MsgKind) {
+        match kind.class() {
+            MsgClass::Base => self.base.incr(),
+            MsgClass::DepMaintenance => self.dep.incr(),
+            MsgClass::Protocol => self.protocol.incr(),
+        }
+    }
+
+    /// Total messages of all classes.
+    pub fn total(&self) -> u64 {
+        self.base.get() + self.dep.get() + self.protocol.get()
+    }
+
+    /// Dependence-maintenance traffic as a percentage of baseline coherence
+    /// traffic — the Table 6.1 "% Increase in coher. messages" row.
+    pub fn dep_overhead_percent(&self) -> f64 {
+        if self.base.get() == 0 {
+            0.0
+        } else {
+            100.0 * self.dep.get() as f64 / self.base.get() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_assigned_correctly() {
+        assert_eq!(MsgKind::GetS.class(), MsgClass::Base);
+        assert_eq!(MsgKind::Writeback.class(), MsgClass::Base);
+        assert_eq!(MsgKind::LwQuery.class(), MsgClass::DepMaintenance);
+        assert_eq!(MsgKind::NoWr.class(), MsgClass::DepMaintenance);
+        assert_eq!(MsgKind::LwAck.class(), MsgClass::DepMaintenance);
+        assert_eq!(MsgKind::CkRequest.class(), MsgClass::Protocol);
+        assert_eq!(MsgKind::RollDone.class(), MsgClass::Protocol);
+        assert_eq!(MsgKind::BarCk.class(), MsgClass::Protocol);
+    }
+
+    #[test]
+    fn stats_accumulate_by_class() {
+        let mut s = MsgStats::new();
+        for _ in 0..10 {
+            s.record(MsgKind::GetS);
+        }
+        for _ in 0..3 {
+            s.record(MsgKind::NoWr);
+        }
+        s.record(MsgKind::CkRequest);
+        assert_eq!(s.base.get(), 10);
+        assert_eq!(s.dep.get(), 3);
+        assert_eq!(s.protocol.get(), 1);
+        assert_eq!(s.total(), 14);
+        assert!((s.dep_overhead_percent() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_percent_with_no_base_traffic_is_zero() {
+        let mut s = MsgStats::new();
+        s.record(MsgKind::LwQuery);
+        assert_eq!(s.dep_overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(MsgKind::GetS.to_string(), "GetS");
+    }
+}

@@ -1,0 +1,119 @@
+//! The on-chip interconnect latency model.
+//!
+//! The paper's machine uses a multistage interconnect with an *average*
+//! 60-cycle round trip between L2s (Fig 4.3(a)). Rebound's results do not
+//! depend on topology details, so the model charges a fixed one-way latency
+//! between distinct tiles and zero for same-tile communication, with an
+//! optional per-hop spread to avoid pathological synchronization artifacts.
+
+use rebound_engine::CoreId;
+
+/// Interconnect latency parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetConfig {
+    /// One-way latency between two distinct tiles (paper: 30 ⇒ 60 RT).
+    pub remote_one_way: u64,
+    /// Directory/tile-local pipeline cost charged per directory visit.
+    pub dir_access: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            remote_one_way: 30,
+            dir_access: 2,
+        }
+    }
+}
+
+/// Fixed-latency interconnect.
+///
+/// # Example
+///
+/// ```
+/// use rebound_coherence::Interconnect;
+/// use rebound_engine::CoreId;
+///
+/// let net = Interconnect::default();
+/// assert_eq!(net.one_way(CoreId(0), CoreId(1)), 30);
+/// assert_eq!(net.one_way(CoreId(2), CoreId(2)), 0);
+/// assert_eq!(net.round_trip(CoreId(0), CoreId(1)), 60);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Interconnect {
+    cfg: NetConfig,
+}
+
+impl Interconnect {
+    /// Creates an interconnect with the given parameters.
+    pub fn new(cfg: NetConfig) -> Interconnect {
+        Interconnect { cfg }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> NetConfig {
+        self.cfg
+    }
+
+    /// One-way message latency from tile `from` to tile `to`.
+    #[inline]
+    pub fn one_way(&self, from: CoreId, to: CoreId) -> u64 {
+        if from == to {
+            0
+        } else {
+            self.cfg.remote_one_way
+        }
+    }
+
+    /// Round-trip latency between two tiles.
+    #[inline]
+    pub fn round_trip(&self, a: CoreId, b: CoreId) -> u64 {
+        2 * self.one_way(a, b)
+    }
+
+    /// Cost of consulting the directory slice on tile `home` from tile
+    /// `from`: one-way network latency plus the directory pipeline.
+    #[inline]
+    pub fn to_directory(&self, from: CoreId, home: CoreId) -> u64 {
+        self.one_way(from, home) + self.cfg.dir_access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_average() {
+        let net = Interconnect::default();
+        // 60-cycle round trip between distinct L2s.
+        assert_eq!(net.round_trip(CoreId(0), CoreId(63)), 60);
+    }
+
+    #[test]
+    fn same_tile_is_free() {
+        let net = Interconnect::default();
+        assert_eq!(net.one_way(CoreId(5), CoreId(5)), 0);
+        assert_eq!(net.round_trip(CoreId(5), CoreId(5)), 0);
+        assert_eq!(net.to_directory(CoreId(5), CoreId(5)), 2);
+    }
+
+    #[test]
+    fn directory_cost_includes_pipeline() {
+        let net = Interconnect::new(NetConfig {
+            remote_one_way: 10,
+            dir_access: 3,
+        });
+        assert_eq!(net.to_directory(CoreId(0), CoreId(1)), 13);
+    }
+
+    #[test]
+    fn custom_config_round_trips() {
+        let net = Interconnect::new(NetConfig {
+            remote_one_way: 7,
+            dir_access: 0,
+        });
+        assert_eq!(net.config().remote_one_way, 7);
+        assert_eq!(net.round_trip(CoreId(1), CoreId(2)), 14);
+    }
+}

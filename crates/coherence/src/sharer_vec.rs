@@ -1,0 +1,284 @@
+//! Alternative directory sharer representations (the paper's §8: *"as the
+//! number of processors increases, the directory may have pointers to
+//! groups (or clusters) of processors"*).
+//!
+//! A full-map directory stores one presence bit per core per entry — exact
+//! but linear in machine size. The two classic compressed organizations
+//! trade precision for storage:
+//!
+//! * **Coarse vector**: one bit per *cluster* of `k` cores. Any member
+//!   caching the line sets the cluster's bit; an invalidation must be sent
+//!   to every core of every set cluster.
+//! * **Limited pointer** (Dir<sub>i</sub>B): up to `i` exact core
+//!   pointers; on pointer overflow the entry degrades to broadcast and an
+//!   invalidation goes to everyone.
+//!
+//! Both over-approximate the true sharer set, so invalidations (and, for
+//! Rebound, dependence-recording messages) fan out to cores that never
+//! cached the line. [`SharerVector::targets`] returns exactly that
+//! over-approximation, letting the `directory_orgs` harness price each
+//! organization's extra traffic against its storage on real traces.
+
+use crate::coreset::CoreSet;
+use rebound_engine::CoreId;
+use std::fmt;
+
+/// Which representation a [`SharerVector`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirOrg {
+    /// One presence bit per core (exact).
+    FullMap,
+    /// One presence bit per cluster of `cluster` cores.
+    CoarseVector {
+        /// Cores per cluster (must divide into the machine; the last
+        /// cluster may be short).
+        cluster: usize,
+    },
+    /// Up to `pointers` exact core ids; overflow degrades to broadcast.
+    LimitedPointer {
+        /// Pointer slots per entry.
+        pointers: usize,
+    },
+}
+
+impl DirOrg {
+    /// Directory storage bits per entry for an `n`-core machine (the
+    /// sharer field only; owner/state bits are common to all).
+    pub fn bits_per_entry(self, n: usize) -> usize {
+        match self {
+            DirOrg::FullMap => n,
+            DirOrg::CoarseVector { cluster } => n.div_ceil(cluster),
+            // Each pointer needs log2(n) bits, plus one broadcast bit.
+            DirOrg::LimitedPointer { pointers } => {
+                pointers * (usize::BITS - (n - 1).leading_zeros()) as usize + 1
+            }
+        }
+    }
+}
+
+impl fmt::Display for DirOrg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirOrg::FullMap => write!(f, "full-map"),
+            DirOrg::CoarseVector { cluster } => write!(f, "coarse-{cluster}"),
+            DirOrg::LimitedPointer { pointers } => write!(f, "dir{pointers}B"),
+        }
+    }
+}
+
+/// One directory entry's sharer field under a chosen organization.
+///
+/// # Example
+///
+/// ```
+/// use rebound_coherence::{DirOrg, SharerVector};
+/// use rebound_engine::CoreId;
+///
+/// let mut v = SharerVector::new(DirOrg::CoarseVector { cluster: 4 }, 16);
+/// v.add(CoreId(5));
+/// // The whole cluster {4,5,6,7} becomes an invalidation target.
+/// assert_eq!(v.targets().len(), 4);
+/// assert!(v.targets().contains(CoreId(6)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharerVector {
+    org: DirOrg,
+    ncores: usize,
+    /// Exact sharers (ground truth for precision accounting).
+    exact: CoreSet,
+    /// Limited-pointer state: the stored pointers, or broadcast.
+    pointers: Vec<CoreId>,
+    broadcast: bool,
+}
+
+impl SharerVector {
+    /// An empty sharer field for an `n`-core machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 64, if a coarse cluster is 0, or if
+    /// a limited-pointer count is 0.
+    pub fn new(org: DirOrg, n: usize) -> SharerVector {
+        assert!(n > 0 && n <= 64, "1..=64 cores supported, got {n}");
+        match org {
+            DirOrg::CoarseVector { cluster } => assert!(cluster > 0, "cluster must be > 0"),
+            DirOrg::LimitedPointer { pointers } => assert!(pointers > 0, "need >= 1 pointer"),
+            DirOrg::FullMap => {}
+        }
+        SharerVector { org, ncores: n, exact: CoreSet::new(), pointers: Vec::new(), broadcast: false }
+    }
+
+    /// The organization in use.
+    pub fn org(&self) -> DirOrg {
+        self.org
+    }
+
+    /// Records that `core` now caches the line.
+    pub fn add(&mut self, core: CoreId) {
+        assert!(core.index() < self.ncores, "core out of range");
+        self.exact.insert(core);
+        if let DirOrg::LimitedPointer { pointers } = self.org {
+            if !self.broadcast && !self.pointers.contains(&core) {
+                if self.pointers.len() < pointers {
+                    self.pointers.push(core);
+                } else {
+                    // Dir_iB overflow: degrade to broadcast.
+                    self.broadcast = true;
+                    self.pointers.clear();
+                }
+            }
+        }
+    }
+
+    /// Resets the field, as an invalidating write or displacement of the
+    /// last copy does.
+    pub fn clear(&mut self) {
+        self.exact.clear();
+        self.pointers.clear();
+        self.broadcast = false;
+    }
+
+    /// The exact sharer set (what a full map would store).
+    pub fn exact(&self) -> CoreSet {
+        self.exact
+    }
+
+    /// The cores an invalidation (or a Rebound dependence-maintenance
+    /// message) must be sent to under this organization — always a
+    /// superset of [`SharerVector::exact`].
+    pub fn targets(&self) -> CoreSet {
+        match self.org {
+            DirOrg::FullMap => self.exact,
+            DirOrg::CoarseVector { cluster } => {
+                let mut t = CoreSet::new();
+                for s in self.exact.iter() {
+                    let base = (s.index() / cluster) * cluster;
+                    for c in base..(base + cluster).min(self.ncores) {
+                        t.insert(CoreId(c));
+                    }
+                }
+                t
+            }
+            DirOrg::LimitedPointer { .. } => {
+                if self.broadcast {
+                    CoreSet::all(self.ncores)
+                } else {
+                    self.exact
+                }
+            }
+        }
+    }
+
+    /// Invalidations wasted on non-sharers for one full invalidation of
+    /// this entry.
+    pub fn overshoot(&self) -> usize {
+        self.targets().len() - self.exact.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_map_is_exact() {
+        let mut v = SharerVector::new(DirOrg::FullMap, 16);
+        for c in [0usize, 5, 9] {
+            v.add(CoreId(c));
+        }
+        assert_eq!(v.targets(), v.exact());
+        assert_eq!(v.overshoot(), 0);
+    }
+
+    #[test]
+    fn coarse_vector_rounds_up_to_clusters() {
+        let mut v = SharerVector::new(DirOrg::CoarseVector { cluster: 4 }, 16);
+        v.add(CoreId(0));
+        v.add(CoreId(9));
+        let t = v.targets();
+        assert_eq!(t.len(), 8, "two clusters of four");
+        assert!(t.contains(CoreId(3)) && t.contains(CoreId(11)));
+        assert_eq!(v.overshoot(), 6);
+    }
+
+    #[test]
+    fn coarse_vector_short_last_cluster() {
+        let mut v = SharerVector::new(DirOrg::CoarseVector { cluster: 4 }, 10);
+        v.add(CoreId(9));
+        assert_eq!(v.targets().len(), 2, "last cluster holds only {{8,9}}");
+    }
+
+    #[test]
+    fn limited_pointer_exact_until_overflow() {
+        let mut v = SharerVector::new(DirOrg::LimitedPointer { pointers: 2 }, 16);
+        v.add(CoreId(1));
+        v.add(CoreId(2));
+        assert_eq!(v.overshoot(), 0);
+        v.add(CoreId(3)); // third sharer: overflow to broadcast
+        assert_eq!(v.targets().len(), 16);
+        assert_eq!(v.overshoot(), 13);
+    }
+
+    #[test]
+    fn readding_a_pointer_is_not_overflow() {
+        let mut v = SharerVector::new(DirOrg::LimitedPointer { pointers: 2 }, 8);
+        v.add(CoreId(1));
+        v.add(CoreId(1));
+        v.add(CoreId(2));
+        assert_eq!(v.overshoot(), 0, "duplicate adds must not consume pointers");
+    }
+
+    #[test]
+    fn clear_resets_broadcast() {
+        let mut v = SharerVector::new(DirOrg::LimitedPointer { pointers: 1 }, 8);
+        v.add(CoreId(0));
+        v.add(CoreId(1));
+        assert_eq!(v.targets().len(), 8);
+        v.clear();
+        v.add(CoreId(3));
+        assert_eq!(v.targets().len(), 1, "broadcast state must not be sticky");
+    }
+
+    #[test]
+    fn storage_accounting() {
+        assert_eq!(DirOrg::FullMap.bits_per_entry(64), 64);
+        assert_eq!(DirOrg::CoarseVector { cluster: 4 }.bits_per_entry(64), 16);
+        // 4 pointers * 6 bits + broadcast bit.
+        assert_eq!(DirOrg::LimitedPointer { pointers: 4 }.bits_per_entry(64), 25);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(DirOrg::FullMap.to_string(), "full-map");
+        assert_eq!(DirOrg::CoarseVector { cluster: 8 }.to_string(), "coarse-8");
+        assert_eq!(DirOrg::LimitedPointer { pointers: 3 }.to_string(), "dir3B");
+    }
+
+    proptest! {
+        /// Every organization's targets are a superset of the exact
+        /// sharers, and full-map is always exactly the sharers.
+        #[test]
+        fn targets_contain_exact(
+            adds in proptest::collection::vec(0usize..32, 0..40),
+            cluster in 1usize..9,
+            pointers in 1usize..6,
+        ) {
+            let orgs = [
+                DirOrg::FullMap,
+                DirOrg::CoarseVector { cluster },
+                DirOrg::LimitedPointer { pointers },
+            ];
+            for org in orgs {
+                let mut v = SharerVector::new(org, 32);
+                for &a in &adds {
+                    v.add(CoreId(a));
+                }
+                prop_assert!(v.exact().is_subset(v.targets()), "{org}");
+                if org == DirOrg::FullMap {
+                    prop_assert_eq!(v.overshoot(), 0);
+                }
+            }
+        }
+    }
+}

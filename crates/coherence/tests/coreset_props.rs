@@ -1,0 +1,71 @@
+//! Property tests: `CoreSet` behaves exactly like a `BTreeSet<usize>`.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rebound_coherence::CoreSet;
+use rebound_engine::CoreId;
+
+fn to_btree(s: CoreSet) -> BTreeSet<usize> {
+    s.iter().map(|c| c.index()).collect()
+}
+
+proptest! {
+    #[test]
+    fn insert_remove_matches_reference(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..64), 0..200),
+    ) {
+        let mut cs = CoreSet::new();
+        let mut rf: BTreeSet<usize> = BTreeSet::new();
+        for (insert, id) in ops {
+            if insert {
+                prop_assert_eq!(cs.insert(CoreId(id)), rf.insert(id));
+            } else {
+                prop_assert_eq!(cs.remove(CoreId(id)), rf.remove(&id));
+            }
+            prop_assert_eq!(cs.len(), rf.len());
+        }
+        prop_assert_eq!(to_btree(cs), rf);
+    }
+
+    #[test]
+    fn algebra_matches_reference(
+        a in proptest::collection::btree_set(0usize..64, 0..64),
+        b in proptest::collection::btree_set(0usize..64, 0..64),
+    ) {
+        let ca: CoreSet = a.iter().map(|&i| CoreId(i)).collect();
+        let cb: CoreSet = b.iter().map(|&i| CoreId(i)).collect();
+        prop_assert_eq!(
+            to_btree(ca.union(cb)),
+            a.union(&b).copied().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(
+            to_btree(ca.intersection(cb)),
+            a.intersection(&b).copied().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(
+            to_btree(ca.difference(cb)),
+            a.difference(&b).copied().collect::<BTreeSet<_>>()
+        );
+        prop_assert_eq!(ca.is_subset(cb), a.is_subset(&b));
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete(
+        ids in proptest::collection::btree_set(0usize..64, 0..64),
+    ) {
+        let cs: CoreSet = ids.iter().map(|&i| CoreId(i)).collect();
+        let got: Vec<usize> = cs.iter().map(|c| c.index()).collect();
+        let want: Vec<usize> = ids.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bits_round_trip(bits in any::<u64>()) {
+        let cs = CoreSet::from_bits(bits);
+        prop_assert_eq!(cs.bits(), bits);
+        prop_assert_eq!(cs.len(), bits.count_ones() as usize);
+        let rebuilt: CoreSet = cs.iter().collect();
+        prop_assert_eq!(rebuilt, cs);
+    }
+}

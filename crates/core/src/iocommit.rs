@@ -1,0 +1,353 @@
+//! Output commit: holding externally visible output until the covering
+//! checkpoint is safe.
+//!
+//! §6.4 of the paper studies *input* side pressure — an output I/O must be
+//! preceded by a checkpoint, so I/O-intensive codes force frequent
+//! checkpoints. The flip side, studied by the ReViveI/O work the paper
+//! builds on (its reference \[33\]), is the **output commit problem**: a
+//! byte written to the network or disk cannot be recalled, so it must not
+//! leave the machine until no rollback can ever undo the execution that
+//! produced it. Under Rebound's fault model that means the checkpoint
+//! covering the output must have completed more than the detection
+//! latency `L` ago (§3.2: "a checkpoint completed more than L cycles ago
+//! is safe").
+//!
+//! [`OutputCommitBuffer`] implements the device-side holding buffer:
+//!
+//! * outputs are pushed tagged with the checkpoint interval that produced
+//!   them;
+//! * when the checkpoint sealing interval `i` completes at cycle `t`,
+//!   every buffered output of intervals `≤ i` becomes releasable at
+//!   `t + L`;
+//! * a rollback that undoes intervals `> i` discards their buffered
+//!   outputs — they never escaped, which is the whole point.
+//!
+//! The buffer preserves per-core FIFO order (a device must see writes in
+//! program order) and exposes the commit latency each output paid, the
+//! metric a latency-sensitive server cares about.
+
+use rebound_engine::{CoreId, Cycle};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One buffered output operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingOutput {
+    /// Core that issued the output.
+    pub core: CoreId,
+    /// Issue order within the core (monotone per core).
+    pub seq: u64,
+    /// Cycle the output was produced.
+    pub produced_at: Cycle,
+    /// Checkpoint interval (per-core index) that produced it.
+    pub interval: u64,
+}
+
+/// An output released to the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommittedOutput {
+    /// The buffered output.
+    pub output: PendingOutput,
+    /// Cycle it became safe and left the buffer.
+    pub committed_at: Cycle,
+}
+
+impl CommittedOutput {
+    /// Cycles the output waited in the buffer.
+    pub fn commit_latency(&self) -> u64 {
+        self.committed_at.0.saturating_sub(self.output.produced_at.0)
+    }
+}
+
+impl fmt::Display for CommittedOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} output #{} (interval {}) committed after {} cycles",
+            self.output.core,
+            self.output.seq,
+            self.output.interval,
+            self.commit_latency()
+        )
+    }
+}
+
+/// Per-core state: buffered outputs plus the covering-checkpoint horizon.
+#[derive(Clone, Debug, Default)]
+struct CoreOutputs {
+    pending: VecDeque<PendingOutput>,
+    /// Highest interval whose sealing checkpoint has completed, and when.
+    sealed: Vec<(u64, Cycle)>,
+    next_seq: u64,
+}
+
+/// The device-side output-commit buffer for one machine.
+///
+/// # Example
+///
+/// ```
+/// use rebound_core::iocommit::OutputCommitBuffer;
+/// use rebound_engine::{CoreId, Cycle};
+///
+/// let mut buf = OutputCommitBuffer::new(2, 1_000); // L = 1000 cycles
+/// buf.push(CoreId(0), Cycle(100), 0);
+/// // Interval 0's checkpoint completes at cycle 500...
+/// buf.checkpoint_complete(CoreId(0), 0, Cycle(500));
+/// assert!(buf.release(Cycle(1_400)).is_empty(), "not safe yet");
+/// let out = buf.release(Cycle(1_500)); // 500 + L reached
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].commit_latency(), 1_400);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OutputCommitBuffer {
+    cores: Vec<CoreOutputs>,
+    detect_latency: u64,
+    committed: u64,
+    discarded: u64,
+    latency_sum: u64,
+    latency_max: u64,
+}
+
+impl OutputCommitBuffer {
+    /// A buffer for `n` cores under detection latency `detect_latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, detect_latency: u64) -> OutputCommitBuffer {
+        assert!(n > 0, "need at least one core");
+        OutputCommitBuffer {
+            cores: vec![CoreOutputs::default(); n],
+            detect_latency,
+            committed: 0,
+            discarded: 0,
+            latency_sum: 0,
+            latency_max: 0,
+        }
+    }
+
+    /// Buffers an output produced by `core` at `now` in checkpoint
+    /// interval `interval`, returning its per-core sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` precedes an already-buffered output's interval
+    /// on the same core (intervals are monotone in program order).
+    pub fn push(&mut self, core: CoreId, now: Cycle, interval: u64) -> u64 {
+        let st = &mut self.cores[core.index()];
+        if let Some(last) = st.pending.back() {
+            assert!(
+                interval >= last.interval,
+                "interval went backwards: {} after {}",
+                interval,
+                last.interval
+            );
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.pending.push_back(PendingOutput { core, seq, produced_at: now, interval });
+        seq
+    }
+
+    /// Records that `core`'s checkpoint sealing `interval` completed at
+    /// `at` (delayed writebacks included). Outputs of intervals `≤
+    /// interval` become releasable at `at + L`.
+    pub fn checkpoint_complete(&mut self, core: CoreId, interval: u64, at: Cycle) {
+        self.cores[core.index()].sealed.push((interval, at));
+    }
+
+    /// Releases every output that is safe at `now`, in per-core FIFO
+    /// order. An output of interval `i` is safe when some checkpoint
+    /// sealing an interval `≥ i` completed at `t` with `now ≥ t + L`.
+    pub fn release(&mut self, now: Cycle) -> Vec<CommittedOutput> {
+        let mut out = Vec::new();
+        let l = self.detect_latency;
+        for st in &mut self.cores {
+            while let Some(front) = st.pending.front() {
+                let safe = st
+                    .sealed
+                    .iter()
+                    .filter(|(iv, _)| *iv >= front.interval)
+                    .map(|(_, t)| t.0 + l)
+                    .min();
+                match safe {
+                    Some(safe_at) if now.0 >= safe_at => {
+                        let o = st.pending.pop_front().expect("front exists");
+                        let c = CommittedOutput { output: o, committed_at: now };
+                        self.committed += 1;
+                        self.latency_sum += c.commit_latency();
+                        self.latency_max = self.latency_max.max(c.commit_latency());
+                        out.push(c);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        out
+    }
+
+    /// A rollback undid `core`'s intervals `>= first_undone`: discard
+    /// their buffered outputs (they never reached the device) and drop
+    /// seal records for those intervals. Returns how many outputs were
+    /// discarded.
+    pub fn rollback(&mut self, core: CoreId, first_undone: u64) -> usize {
+        let st = &mut self.cores[core.index()];
+        let before = st.pending.len();
+        st.pending.retain(|o| o.interval < first_undone);
+        st.sealed.retain(|(iv, _)| *iv < first_undone);
+        let dropped = before - st.pending.len();
+        self.discarded += dropped as u64;
+        dropped
+    }
+
+    /// Outputs currently held.
+    pub fn pending(&self) -> usize {
+        self.cores.iter().map(|c| c.pending.len()).sum()
+    }
+
+    /// Outputs committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Outputs discarded by rollbacks.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Mean commit latency over committed outputs (0 if none).
+    pub fn mean_commit_latency(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.committed as f64
+        }
+    }
+
+    /// Worst-case commit latency observed.
+    pub fn max_commit_latency(&self) -> u64 {
+        self.latency_max
+    }
+
+    /// The detection latency the buffer enforces.
+    pub fn detect_latency(&self) -> u64 {
+        self.detect_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_waits_for_seal_plus_latency() {
+        let mut buf = OutputCommitBuffer::new(1, 100);
+        buf.push(CoreId(0), Cycle(10), 0);
+        assert!(buf.release(Cycle(1_000_000)).is_empty(), "unsealed: held forever");
+        buf.checkpoint_complete(CoreId(0), 0, Cycle(50));
+        assert!(buf.release(Cycle(149)).is_empty());
+        let out = buf.release(Cycle(150));
+        assert_eq!(out.len(), 1);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn later_seal_covers_earlier_intervals() {
+        let mut buf = OutputCommitBuffer::new(1, 10);
+        buf.push(CoreId(0), Cycle(0), 0);
+        buf.push(CoreId(0), Cycle(1), 1);
+        // Only interval 1's checkpoint is recorded; it covers interval 0's
+        // output too (checkpoints seal everything before them).
+        buf.checkpoint_complete(CoreId(0), 1, Cycle(100));
+        let out = buf.release(Cycle(110));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].output.seq, 0);
+        assert_eq!(out[1].output.seq, 1);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_per_core() {
+        let mut buf = OutputCommitBuffer::new(1, 0);
+        buf.push(CoreId(0), Cycle(0), 0);
+        buf.push(CoreId(0), Cycle(1), 1);
+        buf.checkpoint_complete(CoreId(0), 0, Cycle(5));
+        // Interval 0 is safe but interval 1 is not: the head releases,
+        // and release stops before seq 1 — order never inverts.
+        let out = buf.release(Cycle(10));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].output.seq, 0);
+        buf.checkpoint_complete(CoreId(0), 1, Cycle(20));
+        let out = buf.release(Cycle(20));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].output.seq, 1);
+    }
+
+    #[test]
+    fn rollback_discards_undone_outputs_only() {
+        let mut buf = OutputCommitBuffer::new(1, 10);
+        buf.push(CoreId(0), Cycle(0), 0);
+        buf.push(CoreId(0), Cycle(1), 1);
+        buf.push(CoreId(0), Cycle(2), 2);
+        buf.checkpoint_complete(CoreId(0), 0, Cycle(5));
+        // Fault undoes intervals 1 and 2.
+        assert_eq!(buf.rollback(CoreId(0), 1), 2);
+        assert_eq!(buf.discarded(), 2);
+        // Interval 0's output still commits.
+        let out = buf.release(Cycle(15));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].output.interval, 0);
+    }
+
+    #[test]
+    fn rollback_drops_seals_of_undone_intervals() {
+        let mut buf = OutputCommitBuffer::new(1, 10);
+        buf.checkpoint_complete(CoreId(0), 3, Cycle(5));
+        buf.rollback(CoreId(0), 2);
+        // A new output in re-executed interval 2 must NOT be released by
+        // the stale interval-3 seal.
+        buf.push(CoreId(0), Cycle(20), 2);
+        assert!(buf.release(Cycle(1_000)).is_empty());
+        assert_eq!(buf.pending(), 1);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut buf = OutputCommitBuffer::new(2, 10);
+        buf.push(CoreId(0), Cycle(0), 0);
+        buf.push(CoreId(1), Cycle(0), 0);
+        buf.checkpoint_complete(CoreId(0), 0, Cycle(5));
+        let out = buf.release(Cycle(100));
+        assert_eq!(out.len(), 1, "only P0's output is sealed");
+        assert_eq!(out[0].output.core, CoreId(0));
+        assert_eq!(buf.pending(), 1);
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut buf = OutputCommitBuffer::new(1, 100);
+        buf.push(CoreId(0), Cycle(0), 0);
+        buf.push(CoreId(0), Cycle(100), 0);
+        buf.checkpoint_complete(CoreId(0), 0, Cycle(200));
+        let out = buf.release(Cycle(300));
+        assert_eq!(out.len(), 2);
+        assert_eq!(buf.mean_commit_latency(), 250.0); // 300 & 200
+        assert_eq!(buf.max_commit_latency(), 300);
+        assert_eq!(buf.committed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval went backwards")]
+    fn intervals_must_be_monotone() {
+        let mut buf = OutputCommitBuffer::new(1, 10);
+        buf.push(CoreId(0), Cycle(0), 5);
+        buf.push(CoreId(0), Cycle(1), 4);
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_per_core() {
+        let mut buf = OutputCommitBuffer::new(2, 10);
+        assert_eq!(buf.push(CoreId(0), Cycle(0), 0), 0);
+        assert_eq!(buf.push(CoreId(0), Cycle(1), 0), 1);
+        assert_eq!(buf.push(CoreId(1), Cycle(2), 0), 0);
+    }
+}

@@ -1,0 +1,1155 @@
+//! Checkpointing: the distributed interaction-set protocol (§3.3.4), the
+//! writeback phases with and without delayed writebacks (§4.1), multiple
+//! checkpoints (§4.2), the barrier optimization (§4.2.1), and the Global
+//! baselines.
+
+use rebound_coherence::{CoreSet, MsgKind};
+use rebound_engine::{CoreId, LineAddr};
+use rebound_mem::{MemAccessClass, MesiState};
+use rebound_workloads::AddressLayout;
+
+use crate::config::Scheme;
+use crate::metrics::OverheadKind;
+
+use super::{
+    CkptRecord, CkptRole, Event, InitState, Machine, ProtoMsg, RunState, WbKind,
+    CKPT_LOCAL_SETUP_COST, DEP_RETRY_PERIOD, PROTO_HANDLE_COST, REG_LOG_COST,
+};
+
+impl Machine {
+    /// Charges a protocol-interrupt handling cost to a running core (its
+    /// current op is pushed back by `cost` cycles, accounted as SyncDelay).
+    pub(crate) fn interrupt_cost(&mut self, core: CoreId, cost: u64) {
+        let now = self.now;
+        let c = &mut self.cores[core.index()];
+        if c.run == RunState::Ready && !c.exec_gate {
+            c.busy_until = c.busy_until.max(now) + cost;
+            c.stall.add(OverheadKind::Sync, cost);
+            let at = c.busy_until;
+            self.schedule_step(core, at);
+        }
+    }
+
+    // ==================================================================
+    // Triggering
+    // ==================================================================
+
+    /// Checks the interval timer / forced flags; returns true if a
+    /// checkpoint was initiated (the core's step is consumed).
+    pub(crate) fn maybe_trigger_checkpoint(&mut self, core: CoreId) -> bool {
+        let idx = core.index();
+        match self.cfg.scheme {
+            Scheme::None => false,
+            Scheme::Global { .. } => {
+                let c = &self.cores[idx];
+                let due = c.force_ckpt || c.insts >= c.next_ckpt_due;
+                if !due || self.global.active || c.role != CkptRole::Idle || c.drain.active {
+                    return false;
+                }
+                self.cores[idx].force_ckpt = false;
+                self.start_global_checkpoint(core);
+                true
+            }
+            Scheme::Rebound { .. } => {
+                let c = &self.cores[idx];
+                if c.role != CkptRole::Idle
+                    || c.drain.active
+                    || c.barck_pending
+                    || self.barrier.barck_active
+                    || self.now < c.backoff_until
+                {
+                    return false;
+                }
+                let due = c.force_ckpt || c.insts >= c.next_ckpt_due;
+                if !due {
+                    return false;
+                }
+                let for_io = c.force_ckpt;
+                self.cores[idx].force_ckpt = false;
+                self.initiate_checkpoint(core, for_io);
+                true
+            }
+        }
+    }
+
+    // ==================================================================
+    // Rebound: interaction-set collection (§3.3.4)
+    // ==================================================================
+
+    /// Begins collecting the Interaction Set for Checkpointing: CK? goes to
+    /// every processor in MyProducers, transitively.
+    pub(crate) fn initiate_checkpoint(&mut self, core: CoreId, for_io: bool) {
+        let idx = core.index();
+        debug_assert_eq!(self.cores[idx].role, CkptRole::Idle);
+        self.cores[idx].ckpt_epoch += 1;
+        let epoch = self.cores[idx].ckpt_epoch;
+        let producers = self.cores[idx].dep.active().my_producers;
+        // Producer bits name cores (or, at cluster granularity, clusters —
+        // expanded here); the initiator's cluster-mates always join (§8:
+        // global checkpointing inside a cluster).
+        let mut targets = self
+            .expand_dep_bits(producers)
+            .union(self.cluster_mates(core));
+        targets.remove(core);
+        let mut expected = vec![0u8; self.cores.len()];
+        for p in targets.iter() {
+            expected[p.index()] += 1;
+        }
+        let st = InitState {
+            epoch,
+            ichk: CoreSet::singleton(core),
+            expected,
+            wb_done: CoreSet::new(),
+            started: false,
+            for_io,
+        };
+        let empty = !st.awaiting();
+        self.cores[idx].role = CkptRole::Initiating(st);
+        self.block_ckpt(core, OverheadKind::Sync);
+        if empty {
+            self.start_writebacks(core);
+        } else {
+            for p in targets.iter() {
+                self.send(
+                    core,
+                    p,
+                    MsgKind::CkRequest,
+                    ProtoMsg::CkReq {
+                        initiator: core,
+                        epoch,
+                        from: core,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Aborts a collection (Busy/Nack received): release everyone, back
+    /// off for a random time, retry (§3.3.4 deadlock avoidance).
+    fn abort_initiation(&mut self, core: CoreId) {
+        let idx = core.index();
+        let CkptRole::Initiating(st) = std::mem::replace(&mut self.cores[idx].role, CkptRole::Idle)
+        else {
+            return;
+        };
+        debug_assert!(!st.started, "cannot abort after writebacks started");
+        for m in st.ichk.iter().filter(|&m| m != core) {
+            self.send(
+                core,
+                m,
+                MsgKind::CkRelease,
+                ProtoMsg::CkRelease {
+                    initiator: core,
+                    epoch: st.epoch,
+                },
+            );
+        }
+        self.metrics.busy_aborts += 1;
+        let backoff = 100 + self.rng.below(self.cfg.backoff_cycles.max(1));
+        self.cores[idx].backoff_until = self.now + backoff;
+        self.cores[idx].retry_gen += 1;
+        let gen = self.cores[idx].retry_gen;
+        if st.for_io {
+            // Keep the core parked on the I/O; retry initiation directly.
+            self.cores[idx].force_ckpt = true;
+            self.retag_block(core, OverheadKind::Sync);
+            self.queue
+                .push(self.now + backoff, Event::RetryCkpt { core, gen });
+        } else {
+            self.unblock_ckpt(core);
+            self.queue
+                .push(self.now + backoff, Event::RetryCkpt { core, gen });
+        }
+    }
+
+    /// Backoff expired: try initiating again if still appropriate.
+    pub(crate) fn retry_initiation(&mut self, core: CoreId) {
+        let idx = core.index();
+        if self.cores[idx].role != CkptRole::Idle
+            || self.cores[idx].drain.active
+            || self.barrier.barck_active
+        {
+            // Still busy; the regular trigger will fire later.
+            return;
+        }
+        let c = &self.cores[idx];
+        let due = c.force_ckpt || c.insts >= c.next_ckpt_due;
+        if due {
+            let for_io = self.cores[idx].force_ckpt;
+            self.cores[idx].force_ckpt = false;
+            // If the core is running, it initiates at its next step; if it
+            // was parked for I/O, initiate right away.
+            if for_io || self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
+                self.initiate_checkpoint(core, for_io);
+            } else {
+                self.cores[idx].force_ckpt = true;
+            }
+        }
+    }
+
+    /// Collection finished: record the interaction set and order writebacks.
+    fn start_writebacks(&mut self, core: CoreId) {
+        let idx = core.index();
+        let (ichk, epoch) = {
+            let CkptRole::Initiating(st) = &mut self.cores[idx].role else {
+                return;
+            };
+            st.started = true;
+            (st.ichk, st.epoch)
+        };
+        // Interaction-set metrics: the protocol-built set feeds the
+        // Fig 6.1/6.2 sizes; the WSIG false-positive study (Table 6.1 row 1)
+        // compares *static* closures — bloom-recorded edges vs exact-oracle
+        // edges — so both sides share the protocol's timing dynamics.
+        self.metrics.ichk_sizes.push(ichk.len() as f64);
+        self.metrics
+            .ichk_bloom_sizes
+            .push(self.static_ichk(core, false).len() as f64);
+        self.metrics
+            .ichk_oracle_sizes
+            .push(self.static_ichk(core, true).len() as f64);
+
+        for m in ichk.iter() {
+            if m == core {
+                self.begin_member_wb(
+                    core,
+                    WbKind::Local {
+                        initiator: core,
+                        epoch,
+                    },
+                );
+            } else {
+                self.send(
+                    core,
+                    m,
+                    MsgKind::CkStartWb,
+                    ProtoMsg::CkStartWb {
+                        initiator: core,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Static interaction-set closure over the recorded producer edges
+    /// (bloom-based registers, or the exact oracle copies when `oracle`),
+    /// with the consumer-validation mirroring the Decline rule. Used only
+    /// for the false-positive metrics; the live set is built by the
+    /// distributed protocol.
+    fn static_ichk(&self, initiator: CoreId, oracle: bool) -> CoreSet {
+        let mut set = self.cluster_mates(initiator);
+        let mut work: Vec<CoreId> = set.iter().collect();
+        while let Some(x) = work.pop() {
+            let dep = self.cores[x.index()].dep.active();
+            let bits = if oracle {
+                dep.oracle_producers
+            } else {
+                dep.my_producers
+            };
+            for w in self.expand_dep_bits(bits).iter() {
+                if set.contains(w) {
+                    continue;
+                }
+                let wdep = self.cores[w.index()].dep.active();
+                let consumers = if oracle {
+                    wdep.oracle_consumers
+                } else {
+                    wdep.my_consumers
+                };
+                if consumers.contains(self.dep_bit_of(x)) {
+                    for m in self.cluster_mates(w).iter() {
+                        if set.insert(m) {
+                            work.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    // ==================================================================
+    // Writeback phase (shared by Local / Global / Barrier checkpoints)
+    // ==================================================================
+
+    /// Starts the writeback phase on one member: rotate Dep registers,
+    /// snapshot architectural state, then either stall-and-flush (NoDWB)
+    /// or mark Delayed bits and drain in the background (DWB).
+    pub(crate) fn begin_member_wb(&mut self, core: CoreId, kind: WbKind) {
+        let idx = core.index();
+        // Rotation may stall for want of a free Dep set (§4.2).
+        let rotated = self.cores[idx]
+            .dep
+            .rotate(self.now, self.cfg.detect_latency);
+        if rotated.is_none() {
+            self.cores[idx].pending_wb = Some(kind);
+            if self.cores[idx].run == RunState::Ready {
+                self.block_ckpt(core, OverheadKind::Sync);
+            }
+            self.queue
+                .push(self.now + DEP_RETRY_PERIOD, Event::RetryRotate { core });
+            return;
+        }
+        let new_interval = self.cores[idx].dep.active().interval;
+        let old_interval = new_interval - 1;
+        // Architectural snapshot — the "register state" of the checkpoint.
+        let snapshot = self.cores[idx].program.clone();
+        let insts = self.cores[idx].insts;
+        let store_seq = self.cores[idx].store_seq;
+        self.cores[idx].records.push(CkptRecord {
+            stub_seq: new_interval,
+            program: snapshot,
+            insts,
+            store_seq,
+            complete_at: None,
+        });
+        self.cores[idx].interval_start_insts = insts;
+        self.cores[idx].next_ckpt_due = insts + self.cfg.ckpt_interval_insts;
+
+        // Set the member's role for the drain/flush completion dispatch.
+        // An initiator keeps its Initiating role (it is its own member).
+        match kind {
+            WbKind::Local { initiator, epoch } if initiator != core => {
+                self.cores[idx].role = CkptRole::Member { initiator, epoch };
+            }
+            WbKind::Local { .. } => {}
+            WbKind::Global { coordinator } => {
+                self.cores[idx].role = CkptRole::GlobalMember { coordinator };
+            }
+            WbKind::Barrier { initiator } => {
+                self.cores[idx].role = CkptRole::BarMember { initiator };
+            }
+        }
+
+        let dirty: Vec<LineAddr> = self.cores[idx]
+            .l2
+            .iter()
+            .filter(|(_, l)| l.state.is_dirty())
+            .map(|(a, _)| a)
+            .collect();
+
+        let background = match kind {
+            // The barrier optimization always hides writebacks in the
+            // background (behind barrier imbalance), DWB or not (§4.2.1).
+            WbKind::Barrier { .. } => true,
+            _ => self.cfg.scheme.dwb(),
+        };
+
+        if dirty.is_empty() {
+            self.finalize_member_checkpoint(core);
+            return;
+        }
+
+        if background {
+            // Flash-set the Delayed bits; the application resumes after a
+            // short setup pause while the engine drains in the background.
+            for (_, l) in self.cores[idx].l2.iter_mut() {
+                if l.state.is_dirty() {
+                    l.delayed = true;
+                }
+            }
+            let d = &mut self.cores[idx].drain;
+            d.active = true;
+            d.queue = dirty.into();
+            d.interval = old_interval;
+            d.stub_seq = new_interval;
+            // Barrier-optimization drains hide behind barrier waiting, so
+            // they run at full speed instead of yielding to execution.
+            d.fast = matches!(kind, WbKind::Barrier { .. });
+            d.gen += 1;
+            let gen = d.gen;
+            if self.cores[idx].run == RunState::Ready {
+                self.block_ckpt(core, OverheadKind::Sync);
+            }
+            self.queue.push(
+                self.now + CKPT_LOCAL_SETUP_COST,
+                Event::Proto {
+                    to: core,
+                    msg: ProtoMsg::SetupDone,
+                },
+            );
+            self.queue.push(
+                self.now + CKPT_LOCAL_SETUP_COST + self.cfg.drain_gap,
+                Event::DrainTick { core, gen },
+            );
+        } else {
+            // Stalled writeback: the application stops while every dirty
+            // line is pushed to memory (Fig 4.1(a)).
+            self.cores[idx].exec_gate = true;
+            if self.cores[idx].run == RunState::Ready {
+                self.block_ckpt(core, OverheadKind::WbDelay);
+            } else if self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
+                self.retag_block(core, OverheadKind::WbDelay);
+            }
+            let mut done_at = self.now;
+            for line in dirty {
+                let value = {
+                    let l = self.cores[idx].l2.peek_mut(line).expect("dirty line");
+                    l.state = MesiState::Exclusive; // keep a clean copy
+                    l.value
+                };
+                let lat = self.memory_writeback(
+                    core,
+                    line,
+                    value,
+                    old_interval,
+                    MemAccessClass::Checkpoint,
+                );
+                self.dir.clean_owned_line(line, core);
+                done_at = done_at.max(self.now + lat);
+            }
+            self.queue.push(
+                done_at + REG_LOG_COST,
+                Event::Proto {
+                    to: core,
+                    msg: ProtoMsg::WbFlushDone,
+                },
+            );
+        }
+    }
+
+    /// Rotation stall retry (§4.2 "it stalls ... until ... recycled").
+    pub(crate) fn retry_rotation(&mut self, core: CoreId) {
+        let Some(kind) = self.cores[core.index()].pending_wb.take() else {
+            return;
+        };
+        self.begin_member_wb(core, kind);
+    }
+
+    /// A member's checkpoint is complete: stub in the log, Dep set marked
+    /// complete, record stamped, stats taken, and the initiator notified.
+    pub(crate) fn finalize_member_checkpoint(&mut self, core: CoreId) {
+        let idx = core.index();
+        let stub_seq = self.cores[idx]
+            .records
+            .last()
+            .expect("boot record exists")
+            .stub_seq;
+        self.log.append_stub(core, stub_seq);
+        self.cores[idx]
+            .records
+            .last_mut()
+            .expect("record")
+            .complete_at = Some(self.now);
+        self.cores[idx].dep.complete(stub_seq - 1, self.now);
+        self.metrics.processor_checkpoints += 1;
+        let gap = self.now.saturating_since(self.cores[idx].last_ckpt_cycle);
+        self.metrics.ckpt_intervals.push(gap as f64);
+        self.cores[idx].last_ckpt_cycle = self.now;
+
+        match self.cores[idx].role.clone() {
+            CkptRole::Member { initiator, epoch } => {
+                if self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
+                    self.retag_block(core, OverheadKind::WbImbalance);
+                }
+                self.send(
+                    core,
+                    initiator,
+                    MsgKind::CkWbDone,
+                    ProtoMsg::CkWbDone { from: core, epoch },
+                );
+            }
+            CkptRole::Initiating(st) => {
+                if self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
+                    self.retag_block(core, OverheadKind::WbImbalance);
+                }
+                let epoch = st.epoch;
+                self.send(
+                    core,
+                    core,
+                    MsgKind::CkWbDone,
+                    ProtoMsg::CkWbDone { from: core, epoch },
+                );
+            }
+            CkptRole::GlobalMember { coordinator } => {
+                if self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
+                    self.retag_block(core, OverheadKind::WbImbalance);
+                }
+                self.send(
+                    core,
+                    coordinator,
+                    MsgKind::CkWbDone,
+                    ProtoMsg::GlobalWbDone { from: core },
+                );
+            }
+            CkptRole::BarMember { initiator } => {
+                self.cores[idx].role = CkptRole::Idle;
+                self.cores[idx].barck_wb_done = true;
+                self.send(
+                    core,
+                    initiator,
+                    MsgKind::BarCk,
+                    ProtoMsg::BarCkDone { from: core },
+                );
+                // BarCkDone requires both the Update section and the
+                // writebacks; the send above is harmless if not yet
+                // arrived — the initiator counts each sender once.
+                let _ = self.cores[idx].barck_notified;
+                self.cores[idx].barck_notified = true;
+            }
+            CkptRole::Idle | CkptRole::Accepted { .. } => {}
+        }
+    }
+
+    // ==================================================================
+    // Background drain (§4.1)
+    // ==================================================================
+
+    /// One background-writeback tick: write back the next still-Delayed
+    /// line, with rate control against memory backlog.
+    pub(crate) fn drain_tick(&mut self, core: CoreId) {
+        let idx = core.index();
+        if !self.cores[idx].drain.active {
+            return;
+        }
+        // Find the next line whose Delayed bit is still set (stores and
+        // ownership transfers may have flushed some already).
+        let mut line = None;
+        while let Some(cand) = self.cores[idx].drain.queue.pop_front() {
+            let still = self.cores[idx]
+                .l2
+                .peek(cand)
+                .map(|l| l.delayed)
+                .unwrap_or(false);
+            if still {
+                line = Some(cand);
+                break;
+            }
+        }
+        let Some(line) = line else {
+            self.drain_complete(core);
+            return;
+        };
+        let (value, interval) = {
+            let iv = self.cores[idx].drain.interval;
+            let l = self.cores[idx].l2.peek_mut(line).expect("delayed line");
+            l.delayed = false;
+            l.state = MesiState::Exclusive;
+            (l.value, iv)
+        };
+        self.memory_writeback(core, line, value, interval, MemAccessClass::Checkpoint);
+        self.dir.clean_owned_line(line, core);
+
+        // Rate control: delayed writebacks yield to demand traffic; if the
+        // controller is backed up, slow down (§4.1), unless a Nack demanded
+        // a fast drain.
+        let fast = self.cores[idx].drain.fast;
+        let mut gap = if fast {
+            (self.cfg.drain_gap / 4).max(1)
+        } else {
+            self.cfg.drain_gap
+        };
+        if !fast && self.mem_ctl.backlog(self.now) > 1_000 {
+            gap *= 4;
+        }
+        let gen = self.cores[idx].drain.gen;
+        self.queue
+            .push(self.now + gap, Event::DrainTick { core, gen });
+    }
+
+    /// All delayed lines drained: complete the member checkpoint.
+    fn drain_complete(&mut self, core: CoreId) {
+        let idx = core.index();
+        self.cores[idx].drain.active = false;
+        self.cores[idx].drain.gen += 1;
+        self.finalize_member_checkpoint(core);
+        // A deferred BarCK can now proceed.
+        if self.cores[idx].barck_pending && self.barrier.barck_active {
+            self.cores[idx].barck_pending = false;
+            if self.cores[idx].role == CkptRole::Idle {
+                let initiator = self.barrier.barck_initiator.expect("active barck");
+                self.barck_join(core, initiator);
+            }
+        }
+    }
+
+    // ==================================================================
+    // Global baseline
+    // ==================================================================
+
+    /// Starts a Global checkpoint episode: interrupt every processor; all
+    /// of them write back and synchronize (Fig 4.1(a)/(b) at machine scale).
+    pub(crate) fn start_global_checkpoint(&mut self, coordinator: CoreId) {
+        debug_assert!(!self.global.active);
+        self.global.active = true;
+        self.global.coordinator = Some(coordinator);
+        self.global.wb_done = CoreSet::new();
+        self.metrics.ichk_sizes.push(self.cores.len() as f64);
+        self.metrics.ichk_bloom_sizes.push(self.cores.len() as f64);
+        self.metrics.ichk_oracle_sizes.push(self.cores.len() as f64);
+        self.block_ckpt(coordinator, OverheadKind::Sync);
+        let n = self.cores.len();
+        for i in 0..n {
+            let m = CoreId(i);
+            if m == coordinator {
+                self.begin_global_member(m);
+            } else {
+                self.send(
+                    coordinator,
+                    m,
+                    MsgKind::CkStartWb,
+                    ProtoMsg::GlobalStart { coordinator },
+                );
+            }
+        }
+    }
+
+    fn begin_global_member(&mut self, core: CoreId) {
+        let coordinator = self.global.coordinator.expect("active global episode");
+        self.interrupt_cost(core, PROTO_HANDLE_COST);
+        self.begin_member_wb(core, WbKind::Global { coordinator });
+    }
+
+    fn global_wb_done(&mut self, from: CoreId) {
+        if !self.global.active {
+            self.dropped_msgs += 1;
+            return;
+        }
+        self.global.wb_done.insert(from);
+        if self.global.wb_done.len() == self.cores.len() {
+            let coordinator = self.global.coordinator.expect("coordinator");
+            self.metrics.checkpoint_episodes += 1;
+            self.global.active = false;
+            self.global.coordinator = None;
+            let n = self.cores.len();
+            for i in 0..n {
+                let m = CoreId(i);
+                if m == coordinator {
+                    self.global_resume(m);
+                } else {
+                    self.send(coordinator, m, MsgKind::CkResume, ProtoMsg::GlobalResume);
+                }
+            }
+        }
+    }
+
+    fn global_resume(&mut self, core: CoreId) {
+        let idx = core.index();
+        if !matches!(self.cores[idx].role, CkptRole::GlobalMember { .. }) {
+            self.dropped_msgs += 1;
+            return;
+        }
+        self.cores[idx].role = CkptRole::Idle;
+        self.cores[idx].exec_gate = false;
+        self.unblock_ckpt(core);
+    }
+
+    // ==================================================================
+    // Barrier optimization (§4.2.1)
+    // ==================================================================
+
+    /// Whether this processor, inside the barrier Update section, wants to
+    /// initiate a proactive checkpoint.
+    pub(crate) fn barck_interested(&self, core: CoreId) -> bool {
+        let c = &self.cores[core.index()];
+        self.cfg.scheme.tracks_dependences()
+            && c.role == CkptRole::Idle
+            && !c.drain.active
+            && c.insts.saturating_sub(c.interval_start_insts)
+                >= self.cfg.ckpt_interval_insts * 9 / 10
+    }
+
+    /// Elects this processor BarCK initiator: set `BarCK_sent`, broadcast
+    /// BarCK (Fig 4.2(d)).
+    pub(crate) fn barck_initiate(&mut self, core: CoreId) {
+        let layout = AddressLayout;
+        self.barrier.barck_active = true;
+        self.barrier.barck_initiator = Some(core);
+        self.barrier.barck_done = CoreSet::new();
+        self.barrier.release_gated = false;
+        // The BarCK_sent flag is a real shared-memory write.
+        let _ = self.access(core, layout.barck_sent_line(), true, true);
+        let n = self.cores.len();
+        for i in 0..n {
+            let m = CoreId(i);
+            if m == core {
+                self.barck_join(core, core);
+            } else {
+                self.send(core, m, MsgKind::BarCk, ProtoMsg::BarCk { initiator: core });
+            }
+        }
+    }
+
+    /// A processor joins the barrier checkpoint: snapshot + Delayed bits +
+    /// background drain, hidden behind its path to (and wait at) the
+    /// barrier.
+    pub(crate) fn barck_join(&mut self, core: CoreId, initiator: CoreId) {
+        let idx = core.index();
+        if self.cores[idx].role != CkptRole::Idle || self.cores[idx].drain.active {
+            self.cores[idx].barck_pending = true;
+            return;
+        }
+        self.cores[idx].barck_wb_done = false;
+        self.cores[idx].barck_notified = false;
+        self.begin_member_wb(core, WbKind::Barrier { initiator });
+    }
+
+    /// Sends BarCkDone once both conditions hold (Update done + WBs done).
+    pub(crate) fn maybe_send_barck_done(&mut self, core: CoreId) {
+        let idx = core.index();
+        if !self.barrier.barck_active {
+            return;
+        }
+        let c = &self.cores[idx];
+        if c.barck_arrived && c.barck_wb_done && !c.barck_notified {
+            let initiator = self.barrier.barck_initiator.expect("active barck");
+            self.cores[idx].barck_notified = true;
+            self.send(
+                core,
+                initiator,
+                MsgKind::BarCk,
+                ProtoMsg::BarCkDone { from: core },
+            );
+        }
+    }
+
+    /// Whether every processor has reported BarCkDone.
+    pub(crate) fn barck_all_done(&self) -> bool {
+        self.barrier.barck_done.len() == self.cores.len()
+    }
+
+    fn barck_done_msg(&mut self, from: CoreId) {
+        if !self.barrier.barck_active {
+            self.dropped_msgs += 1;
+            return;
+        }
+        self.barrier.barck_done.insert(from);
+        if self.barck_all_done() {
+            let initiator = self.barrier.barck_initiator.expect("initiator");
+            self.metrics.checkpoint_episodes += 1;
+            // With the optimization, processors leave the barrier with an
+            // interaction set of just {self, flag-setter} — reflected in
+            // the stats as per-processor sets of size ~2.
+            self.metrics.ichk_sizes.push(2.0);
+            self.metrics.ichk_bloom_sizes.push(2.0);
+            self.metrics.ichk_oracle_sizes.push(2.0);
+            self.barrier.barck_active = false;
+            self.barrier.barck_initiator = None;
+            let n = self.cores.len();
+            for i in 0..n {
+                let m = CoreId(i);
+                self.send(initiator, m, MsgKind::BarCk, ProtoMsg::BarCkComplete);
+            }
+        }
+    }
+
+    fn barck_complete(&mut self, core: CoreId) {
+        let idx = core.index();
+        self.cores[idx].barck_arrived = false;
+        self.cores[idx].barck_wb_done = false;
+        self.cores[idx].barck_notified = false;
+        // The withheld flag write happens now (§4.2.1: "At this point, the
+        // last arriving processor will write the flag").
+        if self.barrier.release_gated && self.barrier.last_arrival == Some(core) {
+            self.release_barrier(0);
+        }
+    }
+
+    // ==================================================================
+    // I/O pressure timer (§6.4)
+    // ==================================================================
+
+    pub(crate) fn handle_io_tick(&mut self) {
+        if let Some(io) = self.cfg.io {
+            let idx = io.core.index();
+            if self.cores[idx].run != RunState::Done {
+                self.cores[idx].force_ckpt = true;
+                // If the core is parked (e.g. spinning), nudge it so the
+                // forced checkpoint is noticed promptly.
+                if self.cores[idx].run == RunState::Ready && !self.cores[idx].exec_gate {
+                    let at = self.cores[idx].busy_until.max(self.now);
+                    self.schedule_step(io.core, at);
+                }
+                self.queue.push(self.now + io.period_cycles, Event::IoTick);
+            }
+        }
+    }
+
+    // ==================================================================
+    // Protocol message dispatch
+    // ==================================================================
+
+    pub(crate) fn handle_proto(&mut self, to: CoreId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::CkReq {
+                initiator,
+                epoch,
+                from,
+            } => self.on_ck_req(to, initiator, epoch, from),
+            ProtoMsg::CkAck { .. } => {
+                // Handshake of the forwarding chain; cost only.
+                self.interrupt_cost(to, PROTO_HANDLE_COST / 2);
+            }
+            ProtoMsg::CkAccept {
+                from,
+                via,
+                epoch,
+                producers,
+                forwarded,
+            } => self.on_ck_accept(to, from, via, epoch, producers, forwarded),
+            ProtoMsg::CkDecline { from, epoch } => self.on_ck_decline(to, from, epoch),
+            ProtoMsg::CkBusy { from: _, epoch } | ProtoMsg::CkNack { from: _, epoch } => {
+                self.on_ck_busy(to, epoch)
+            }
+            ProtoMsg::CkRelease { initiator, epoch } => {
+                let c = &mut self.cores[to.index()];
+                let slot = &mut c.released_epochs[initiator.index()];
+                *slot = (*slot).max(epoch);
+                if c.role == (CkptRole::Accepted { initiator, epoch }) {
+                    c.role = CkptRole::Idle;
+                } else {
+                    self.dropped_msgs += 1;
+                }
+            }
+            ProtoMsg::CkStartWb { initiator, epoch } => {
+                let role = self.cores[to.index()].role.clone();
+                if role == (CkptRole::Accepted { initiator, epoch }) {
+                    self.interrupt_cost(to, PROTO_HANDLE_COST);
+                    self.begin_member_wb(to, WbKind::Local { initiator, epoch });
+                } else {
+                    self.dropped_msgs += 1;
+                }
+            }
+            ProtoMsg::CkWbDone { from, epoch } => self.on_ck_wb_done(to, from, epoch),
+            ProtoMsg::CkComplete { initiator, epoch } => {
+                let idx = to.index();
+                if self.cores[idx].role == (CkptRole::Member { initiator, epoch }) {
+                    self.cores[idx].role = CkptRole::Idle;
+                    self.cores[idx].exec_gate = false;
+                    self.unblock_ckpt(to);
+                } else {
+                    self.dropped_msgs += 1;
+                }
+            }
+            ProtoMsg::GlobalStart { .. } => {
+                if self.global.active {
+                    self.begin_global_member(to);
+                } else {
+                    self.dropped_msgs += 1;
+                }
+            }
+            ProtoMsg::GlobalWbDone { from } => self.global_wb_done(from),
+            ProtoMsg::GlobalResume => self.global_resume(to),
+            ProtoMsg::BarCk { initiator } => {
+                if self.barrier.barck_active {
+                    self.interrupt_cost(to, PROTO_HANDLE_COST);
+                    self.barck_join(to, initiator);
+                } else {
+                    self.dropped_msgs += 1;
+                }
+            }
+            ProtoMsg::BarCkDone { from } => self.barck_done_msg(from),
+            ProtoMsg::BarCkComplete => self.barck_complete(to),
+            ProtoMsg::WbFlushDone => self.on_wb_flush_done(to),
+            ProtoMsg::SetupDone => {
+                // Delayed-writeback setup finished; resume the application
+                // (unless the checkpoint precedes an output I/O, in which
+                // case the initiator stays parked until completion).
+                let keep_parked = matches!(
+                    &self.cores[to.index()].role,
+                    CkptRole::Initiating(st) if st.for_io
+                );
+                if !keep_parked
+                    && self.cores[to.index()].run == RunState::Blocked(super::Block::Ckpt)
+                {
+                    self.unblock_ckpt(to);
+                }
+            }
+        }
+    }
+
+    /// CK? arriving at a prospective producer (§3.3.4 receiver rules).
+    fn on_ck_req(&mut self, to: CoreId, initiator: CoreId, epoch: u64, from: CoreId) {
+        let idx = to.index();
+        if to == initiator {
+            self.dropped_msgs += 1;
+            return;
+        }
+        self.interrupt_cost(to, PROTO_HANDLE_COST);
+        match self.cores[idx].role.clone() {
+            CkptRole::Initiating(st) => {
+                if !st.started && initiator < to {
+                    // Static priority: the lower-id initiator wins; back
+                    // down and reconsider the request as a normal core.
+                    self.abort_initiation(to);
+                    self.on_ck_req_idle(to, initiator, epoch, from);
+                } else {
+                    self.send(
+                        to,
+                        initiator,
+                        MsgKind::CkBusy,
+                        ProtoMsg::CkBusy { from: to, epoch },
+                    );
+                }
+            }
+            CkptRole::Accepted {
+                initiator: cur,
+                epoch: cur_epoch,
+            } => {
+                if cur == initiator && cur_epoch == epoch {
+                    // Second CK? with the same initiator: Ack and Accept,
+                    // but do not forward again (§3.3.4).
+                    self.send(to, from, MsgKind::CkAck, ProtoMsg::CkAck { from: to });
+                    self.send(
+                        to,
+                        initiator,
+                        MsgKind::CkAccept,
+                        ProtoMsg::CkAccept {
+                            from: to,
+                            via: from,
+                            epoch,
+                            producers: CoreSet::new(),
+                            forwarded: false,
+                        },
+                    );
+                } else {
+                    self.send(
+                        to,
+                        initiator,
+                        MsgKind::CkBusy,
+                        ProtoMsg::CkBusy { from: to, epoch },
+                    );
+                }
+            }
+            CkptRole::Member { .. }
+            | CkptRole::GlobalMember { .. }
+            | CkptRole::BarMember { .. } => {
+                self.send(
+                    to,
+                    initiator,
+                    MsgKind::CkBusy,
+                    ProtoMsg::CkBusy { from: to, epoch },
+                );
+            }
+            CkptRole::Idle => self.on_ck_req_idle(to, initiator, epoch, from),
+        }
+    }
+
+    fn on_ck_req_idle(&mut self, to: CoreId, initiator: CoreId, epoch: u64, from: CoreId) {
+        let idx = to.index();
+        if self.cores[idx].released_epochs[initiator.index()] >= epoch {
+            // Straggler CK? of an episode we were already released from.
+            self.metrics.declines += 1;
+            self.send(
+                to,
+                initiator,
+                MsgKind::CkDecline,
+                ProtoMsg::CkDecline { from: to, epoch },
+            );
+            return;
+        }
+        if self.cores[idx].drain.active {
+            // Still draining a delayed checkpoint: Nack and speed up (§4.1).
+            self.cores[idx].drain.fast = true;
+            self.send(
+                to,
+                initiator,
+                MsgKind::CkNack,
+                ProtoMsg::CkNack { from: to, epoch },
+            );
+            self.metrics.nacks += 1;
+            return;
+        }
+        let same_cluster = self.dep_bit_of(to) == self.dep_bit_of(from);
+        let is_consumer = self.cores[idx]
+            .dep
+            .active()
+            .my_consumers
+            .contains(self.dep_bit_of(from));
+        if !is_consumer && !same_cluster {
+            // Stale MyProducers at the consumer, or we checkpointed since:
+            // Decline (§3.3.4 stop rule (iii)). Cluster-mates of a
+            // checkpointing core are never declined: inside a cluster,
+            // checkpointing is global (§8 extension).
+            self.metrics.declines += 1;
+            self.send(
+                to,
+                initiator,
+                MsgKind::CkDecline,
+                ProtoMsg::CkDecline { from: to, epoch },
+            );
+            return;
+        }
+        self.cores[idx].role = CkptRole::Accepted { initiator, epoch };
+        self.send(to, from, MsgKind::CkAck, ProtoMsg::CkAck { from: to });
+        let producers = self.cores[idx].dep.active().my_producers;
+        // The Accept carries the raw producer set plus `via`; the
+        // initiator reconstructs this node's forward fan-out exactly.
+        self.send(
+            to,
+            initiator,
+            MsgKind::CkAccept,
+            ProtoMsg::CkAccept {
+                from: to,
+                via: from,
+                epoch,
+                producers,
+                forwarded: true,
+            },
+        );
+        let targets = self
+            .expand_dep_bits(producers)
+            .union(self.cluster_mates(to));
+        for q in targets.iter() {
+            if q != initiator && q != to && q != from {
+                self.send(
+                    to,
+                    q,
+                    MsgKind::CkRequest,
+                    ProtoMsg::CkReq {
+                        initiator,
+                        epoch,
+                        from: to,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_ck_accept(
+        &mut self,
+        to: CoreId,
+        from: CoreId,
+        via: CoreId,
+        epoch: u64,
+        producers: CoreSet,
+        forwarded: bool,
+    ) {
+        let idx = to.index();
+        let stale = match &self.cores[idx].role {
+            CkptRole::Initiating(st) => st.epoch != epoch || st.started,
+            _ => true,
+        };
+        if stale {
+            // Late accept from a dead episode: release the sender so it
+            // does not wait for a StartWB that will never come.
+            self.send(
+                to,
+                from,
+                MsgKind::CkRelease,
+                ProtoMsg::CkRelease {
+                    initiator: to,
+                    epoch,
+                },
+            );
+            self.dropped_msgs += 1;
+            return;
+        }
+        // Replicate the accepter's forward fan-out so the outstanding-reply
+        // counts stay exact even when a core is asked more than once.
+        let fwd_targets = if forwarded {
+            let mut t = self
+                .expand_dep_bits(producers)
+                .union(self.cluster_mates(from));
+            t.remove(to);
+            t.remove(from);
+            t.remove(via);
+            t
+        } else {
+            CoreSet::new()
+        };
+        let mut ready = false;
+        if let CkptRole::Initiating(st) = &mut self.cores[idx].role {
+            if st.expected[from.index()] > 0 {
+                st.expected[from.index()] -= 1;
+            }
+            st.ichk.insert(from);
+            for q in fwd_targets.iter() {
+                st.expected[q.index()] += 1;
+            }
+            ready = !st.awaiting();
+        }
+        if ready {
+            self.start_writebacks(to);
+        }
+    }
+
+    fn on_ck_decline(&mut self, to: CoreId, from: CoreId, epoch: u64) {
+        let idx = to.index();
+        let mut ready = false;
+        match &mut self.cores[idx].role {
+            CkptRole::Initiating(st) if st.epoch == epoch && !st.started => {
+                if st.expected[from.index()] > 0 {
+                    st.expected[from.index()] -= 1;
+                }
+                // A decline never un-joins: the core may have accepted a
+                // different CK? of this same episode already.
+                ready = !st.awaiting();
+            }
+            _ => {
+                self.dropped_msgs += 1;
+            }
+        }
+        if ready {
+            self.start_writebacks(to);
+        }
+    }
+
+    fn on_ck_busy(&mut self, to: CoreId, epoch: u64) {
+        let idx = to.index();
+        match &self.cores[idx].role {
+            CkptRole::Initiating(st) if st.epoch == epoch && !st.started => {
+                self.abort_initiation(to);
+            }
+            _ => {
+                self.dropped_msgs += 1;
+            }
+        }
+    }
+
+    fn on_ck_wb_done(&mut self, to: CoreId, from: CoreId, epoch: u64) {
+        let idx = to.index();
+        let mut complete: Option<(CoreSet, u64)> = None;
+        if let CkptRole::Initiating(st) = &mut self.cores[idx].role {
+            if st.epoch == epoch && st.started {
+                st.wb_done.insert(from);
+                if st.wb_done == st.ichk {
+                    complete = Some((st.ichk, st.epoch));
+                }
+            } else {
+                self.dropped_msgs += 1;
+            }
+        } else {
+            self.dropped_msgs += 1;
+        }
+        let Some((ichk, epoch)) = complete else {
+            return;
+        };
+        self.metrics.checkpoint_episodes += 1;
+        for m in ichk.iter() {
+            if m == to {
+                // The initiator completes locally.
+                self.cores[idx].role = CkptRole::Idle;
+                self.cores[idx].exec_gate = false;
+                self.unblock_ckpt(to);
+            } else {
+                self.send(
+                    to,
+                    m,
+                    MsgKind::CkResume,
+                    ProtoMsg::CkComplete {
+                        initiator: to,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A stalled (NoDWB) writeback burst completed.
+    fn on_wb_flush_done(&mut self, to: CoreId) {
+        let role = self.cores[to.index()].role.clone();
+        match role {
+            CkptRole::Member { .. } | CkptRole::GlobalMember { .. } => {
+                self.finalize_member_checkpoint(to);
+            }
+            CkptRole::Initiating(ref st) if st.started => {
+                self.finalize_member_checkpoint(to);
+            }
+            _ => {
+                self.dropped_msgs += 1;
+            }
+        }
+    }
+}

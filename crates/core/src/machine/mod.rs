@@ -1,0 +1,1091 @@
+//! The simulated manycore: cores, caches, directory, memory, log — and the
+//! Rebound checkpointing machinery wired through all of them.
+//!
+//! The machine is a deterministic event-driven simulator. A single global
+//! [`EventQueue`] orders per-core continuations, protocol-message
+//! deliveries and background-writeback ticks; coherence transactions are
+//! resolved atomically at the requesting core's access time with latencies
+//! charged per Fig 4.3(a). Everything is reproducible from the seed.
+
+mod access;
+mod ckpt;
+mod rollback;
+mod sync;
+
+use std::collections::VecDeque;
+
+use rebound_coherence::{CoreSet, Directory, Interconnect, MsgStats};
+use rebound_engine::{CoreId, Cycle, DetRng, EventQueue, LineAddr, LineGeometry};
+use rebound_mem::{L1Line, L2Line, MainMemory, MemoryController, SetAssoc, UndoLog};
+use rebound_workloads::{AppProfile, Op, OpStream};
+
+use crate::config::{MachineConfig, Scheme};
+use crate::depregs::DepRegFile;
+use crate::metrics::{MachineMetrics, OverheadKind, StallBreakdown};
+use crate::program::CoreProgram;
+
+/// Fixed cost of handling a cross-processor protocol interrupt, in cycles.
+pub(crate) const PROTO_HANDLE_COST: u64 = 50;
+/// Fixed cost of flash-setting the Delayed bits / rotating Dep sets.
+pub(crate) const CKPT_LOCAL_SETUP_COST: u64 = 100;
+/// Cost of logging the register state at a checkpoint.
+pub(crate) const REG_LOG_COST: u64 = 60;
+/// Cycles to flash-invalidate a core's caches during rollback.
+pub(crate) const CACHE_INVAL_COST: u64 = 1_000;
+/// Log-scan cost per record examined during rollback, per bank.
+pub(crate) const LOG_SCAN_COST: u64 = 2;
+/// Cost per restored line during rollback (log read + memory write).
+pub(crate) const LOG_RESTORE_COST: u64 = 24;
+/// Retry period while stalled for a free Dep register set.
+pub(crate) const DEP_RETRY_PERIOD: u64 = 200;
+/// Stall a store suffers when it hits a still-Delayed line and must push
+/// the checkpoint value into the writeback buffer first (§4.1).
+pub(crate) const DELAYED_FLUSH_STALL: u64 = 20;
+
+/// Events on the global queue.
+#[derive(Clone, Debug)]
+pub(crate) enum Event {
+    /// Run the next operation of a core (stale if `gen` mismatches).
+    Step { core: CoreId, gen: u64 },
+    /// Deliver a protocol message.
+    Proto { to: CoreId, msg: ProtoMsg },
+    /// Background delayed-writeback tick.
+    DrainTick { core: CoreId, gen: u64 },
+    /// Retry a checkpoint initiation after backoff.
+    RetryCkpt { core: CoreId, gen: u64 },
+    /// Retry Dep-register rotation (out-of-sets stall, §4.2).
+    RetryRotate { core: CoreId },
+    /// A fault becomes *detected* at this core (§3.2).
+    FaultDetect { core: CoreId },
+    /// Periodic forced checkpoint by the I/O core (§6.4).
+    IoTick,
+}
+
+/// Checkpoint/rollback protocol messages (§3.3.4–§3.3.5, §4.1–§4.2.1).
+///
+/// Local-checkpoint messages carry the initiator's `epoch` so replies from
+/// an aborted (released and retried) episode are recognized as stale and
+/// dropped instead of corrupting the new episode.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum ProtoMsg {
+    /// CK? — join initiator's checkpoint; `from` is the consumer that asked.
+    CkReq {
+        initiator: CoreId,
+        epoch: u64,
+        from: CoreId,
+    },
+    /// Ack of a CK? back to the consumer that forwarded it.
+    CkAck { from: CoreId },
+    /// Accept to the initiator, carrying the accepter's MyProducers, the
+    /// consumer whose CK? it answered (`via`), and whether it forwarded
+    /// CK? onward — enough for the initiator to reconstruct exactly how
+    /// many replies remain outstanding even when a core is asked twice.
+    CkAccept {
+        from: CoreId,
+        via: CoreId,
+        epoch: u64,
+        producers: CoreSet,
+        forwarded: bool,
+    },
+    /// Decline to the initiator (stale info or recent checkpoint).
+    CkDecline { from: CoreId, epoch: u64 },
+    /// Busy to the initiator (already in another checkpoint).
+    CkBusy { from: CoreId, epoch: u64 },
+    /// Nack: target is draining delayed writebacks (§4.1).
+    CkNack { from: CoreId, epoch: u64 },
+    /// Initiator releases an already-accepted participant after a Busy.
+    CkRelease { initiator: CoreId, epoch: u64 },
+    /// Start writing back dirty lines.
+    CkStartWb { initiator: CoreId, epoch: u64 },
+    /// Participant's writebacks (stalled or delayed) have drained.
+    CkWbDone { from: CoreId, epoch: u64 },
+    /// Episode complete: resume / recycle.
+    CkComplete { initiator: CoreId, epoch: u64 },
+    /// Global-scheme checkpoint interrupt.
+    GlobalStart { coordinator: CoreId },
+    /// Global-scheme per-core writeback completion.
+    GlobalWbDone { from: CoreId },
+    /// Global-scheme resume broadcast.
+    GlobalResume,
+    /// Barrier-optimization proactive checkpoint signal (§4.2.1).
+    BarCk { initiator: CoreId },
+    /// Participant finished both its barrier Update and its writebacks.
+    BarCkDone { from: CoreId },
+    /// Barrier checkpoint complete; the last arrival may set the flag.
+    BarCkComplete,
+    /// Self-addressed: a stalled (NoDWB) writeback burst finished.
+    WbFlushDone,
+    /// Self-addressed: delayed-writeback setup (bit flash + Dep rotation)
+    /// finished; resume the application.
+    SetupDone,
+}
+
+/// Which checkpoint flavour a writeback phase belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WbKind {
+    /// A Rebound interaction-set checkpoint.
+    Local { initiator: CoreId, epoch: u64 },
+    /// A Global-scheme checkpoint.
+    Global { coordinator: CoreId },
+    /// A barrier-optimization checkpoint (§4.2.1).
+    Barrier { initiator: CoreId },
+}
+
+/// Why a core is not currently executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Spinning on the barrier flag (generation it is waiting to pass).
+    BarrierFlag { gen: u64 },
+    /// Queued on a lock.
+    Lock { id: u32 },
+    /// Stalled by the checkpoint machinery (initiator collection, NoDWB
+    /// writebacks, waiting for resume, waiting for a Dep set, I/O ckpt).
+    Ckpt,
+    /// Being rolled back; will be rescheduled by the recovery code.
+    Rollback,
+}
+
+/// A core's execution state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RunState {
+    /// Executing; a `Step` event is (or will be) scheduled.
+    Ready,
+    /// Blocked; someone will wake it.
+    Blocked(Block),
+    /// Program finished.
+    Done,
+}
+
+/// Checkpoint-protocol role of one core.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum CkptRole {
+    /// Not involved in any checkpoint.
+    Idle,
+    /// Collecting its interaction set (§3.3.4).
+    Initiating(InitState),
+    /// Accepted an initiator's CK?; waiting for StartWB.
+    Accepted { initiator: CoreId, epoch: u64 },
+    /// Writing back (stalled, NoDWB) or draining (DWB) for an episode.
+    Member { initiator: CoreId, epoch: u64 },
+    /// Participating in a Global checkpoint.
+    GlobalMember { coordinator: CoreId },
+    /// Participating in a barrier-optimization checkpoint.
+    BarMember { initiator: CoreId },
+}
+
+/// Initiator-side collection state.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct InitState {
+    /// This episode's epoch (stale-reply filtering).
+    pub epoch: u64,
+    /// Members so far (includes the initiator).
+    pub ichk: CoreSet,
+    /// Outstanding replies expected per core. A core may legitimately be
+    /// asked more than once in one episode (e.g. by the initiator's
+    /// producer expansion and by a cluster-mate's forward), and each CK?
+    /// produces exactly one reply.
+    pub expected: Vec<u8>,
+    /// Phase 2: members whose WbDone has arrived.
+    pub wb_done: CoreSet,
+    /// Whether collection finished and writebacks were started.
+    pub started: bool,
+    /// Forced by output I/O (stall the core until complete).
+    pub for_io: bool,
+}
+
+impl InitState {
+    /// Whether any reply is still outstanding.
+    pub fn awaiting(&self) -> bool {
+        self.expected.iter().any(|&c| c > 0)
+    }
+}
+
+/// One checkpoint record of a core (its "register state" plus metadata).
+#[derive(Clone, Debug)]
+pub(crate) struct CkptRecord {
+    /// The stub sequence number this checkpoint writes on completion.
+    pub stub_seq: u64,
+    /// Program (architectural) snapshot at the checkpoint point.
+    pub program: CoreProgram,
+    /// Instructions retired at the checkpoint point.
+    pub insts: u64,
+    /// Store-sequence counter at the checkpoint point (so re-execution
+    /// reproduces the same store values).
+    pub store_seq: u64,
+    /// Completion time (stub written), once known.
+    pub complete_at: Option<Cycle>,
+}
+
+/// Background delayed-writeback drain state (§4.1).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DrainState {
+    /// Whether a drain is in progress.
+    pub active: bool,
+    /// Lines still to write back (skipped if their Delayed bit cleared).
+    pub queue: VecDeque<LineAddr>,
+    /// Dep-file interval whose data is draining.
+    pub interval: u64,
+    /// Stub to write at completion.
+    pub stub_seq: u64,
+    /// Accelerated drain after a Nack (§4.1).
+    pub fast: bool,
+    /// Invalidates stale `DrainTick` events.
+    pub gen: u64,
+}
+
+/// Per-core simulator context.
+#[derive(Clone, Debug)]
+pub(crate) struct CoreCtx {
+    pub id: CoreId,
+    pub program: CoreProgram,
+    pub run: RunState,
+    /// Invalidates stale Step events after preemption.
+    pub step_gen: u64,
+    /// Time the core's current operation completes.
+    pub busy_until: Cycle,
+    /// Instructions retired.
+    pub insts: u64,
+    /// Instruction count at the start of the current checkpoint interval.
+    pub interval_start_insts: u64,
+    /// Instruction count at which the next interval checkpoint is due.
+    /// The *first* due point is jittered per core: identical synthetic
+    /// cores would otherwise cross their interval in lockstep, making
+    /// every local checkpoint collide on memory bandwidth — real
+    /// applications stagger naturally through rate variation.
+    pub next_ckpt_due: u64,
+    pub l1: SetAssoc<L1Line>,
+    pub l2: SetAssoc<L2Line>,
+    pub dep: DepRegFile,
+    /// Monotonic counter making store values unique.
+    pub store_seq: u64,
+    /// Checkpoint records, oldest first (`records[0]` is boot).
+    pub records: Vec<CkptRecord>,
+    pub role: CkptRole,
+    pub drain: DrainState,
+    /// When true the core may not execute app code (NoDWB ckpt stall).
+    pub exec_gate: bool,
+    /// Stall-cycle accounting.
+    pub stall: StallBreakdown,
+    /// Start of the current Ckpt block, with its category.
+    pub block_since: Option<(Cycle, OverheadKind)>,
+    /// Cycle of this core's last completed checkpoint (interval stats).
+    pub last_ckpt_cycle: Cycle,
+    /// Retry generation for checkpoint initiation backoff.
+    pub retry_gen: u64,
+    /// Forced-checkpoint flag (I/O pressure or OutputIo op).
+    pub force_ckpt: bool,
+    /// Set while the core has arrived at the barrier but not yet passed.
+    pub at_barrier: bool,
+    /// Barrier-opt bookkeeping: Update section done / writebacks done.
+    pub barck_arrived: bool,
+    pub barck_wb_done: bool,
+    pub barck_notified: bool,
+    /// Got a BarCK while busy; will join once the current episode ends.
+    pub barck_pending: bool,
+    /// Initiation-epoch counter (stale-message filtering).
+    pub ckpt_epoch: u64,
+    /// No new initiation before this time (post-Busy random backoff,
+    /// §3.3.4).
+    pub backoff_until: Cycle,
+    /// Highest *released* episode epoch seen per initiator. A CK? whose
+    /// epoch is not newer is a straggler of a dead (aborted) episode and
+    /// is declined instead of re-accepted — otherwise in-flight forwards
+    /// and releases echo each other indefinitely.
+    pub released_epochs: Vec<u64>,
+    /// A writeback phase waiting for a free Dep register set (§4.2 stall).
+    pub pending_wb: Option<WbKind>,
+    /// An interrupted op to resume (remaining compute).
+    pub resume_op: Option<Op>,
+    pub ended_at: Option<Cycle>,
+}
+
+/// Machine-level lock table entry (locks are *lowered* to coherence
+/// accesses on the lock line; this table only sequences ownership).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LockState {
+    pub holder: Option<CoreId>,
+    pub queue: VecDeque<CoreId>,
+}
+
+/// Global barrier state (one global barrier, as in the workloads).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BarrierState {
+    /// Cores arrived in the current episode.
+    pub arrived: usize,
+    /// Release generation (sense-reversing).
+    pub generation: u64,
+    /// Cores spinning on the flag.
+    pub waiters: Vec<CoreId>,
+    /// The core that arrived last (sets the flag).
+    pub last_arrival: Option<CoreId>,
+    /// Barrier-opt: a BarCK episode is active.
+    pub barck_active: bool,
+    pub barck_initiator: Option<CoreId>,
+    /// Members that sent BarCkDone.
+    pub barck_done: CoreSet,
+    /// All cores have arrived; release is gated on BarCkComplete.
+    pub release_gated: bool,
+}
+
+/// Global-checkpoint scheme state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct GlobalState {
+    pub active: bool,
+    pub coordinator: Option<CoreId>,
+    pub wb_done: CoreSet,
+    /// Number of cores still draining the *previous* global checkpoint
+    /// (Global_DWB: the next checkpoint must wait for these).
+    pub draining: usize,
+}
+
+/// Summary of one completed simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Total simulated cycles until the last core finished.
+    pub cycles: u64,
+    /// Total instructions retired across cores.
+    pub insts: u64,
+    /// Completed checkpoint episodes.
+    pub checkpoints: u64,
+    /// Completed rollback episodes.
+    pub rollbacks: u64,
+    /// Full metrics.
+    pub metrics: MachineMetrics,
+    /// Message traffic counters.
+    pub msgs: MsgStats,
+    /// Undo-log entry count at end of run.
+    pub log_entries: u64,
+    /// Largest per-interval log footprint (bytes).
+    pub log_max_interval_bytes: u64,
+    /// The scheme that ran.
+    pub scheme: Scheme,
+    /// Core count.
+    pub cores: usize,
+}
+
+impl RunReport {
+    /// Mean ICHK size as a fraction of the machine (Figs 6.1/6.2).
+    pub fn ichk_fraction(&self) -> f64 {
+        self.metrics.ichk_sizes.mean() / self.cores as f64
+    }
+}
+
+/// The simulated manycore with Rebound support (Fig 3.1).
+#[derive(Clone, Debug)]
+pub struct Machine {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) geom: LineGeometry,
+    pub(crate) now: Cycle,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) cores: Vec<CoreCtx>,
+    pub(crate) dir: Directory,
+    pub(crate) memory: MainMemory,
+    pub(crate) mem_ctl: MemoryController,
+    pub(crate) log: UndoLog,
+    pub(crate) net: Interconnect,
+    pub(crate) msgs: MsgStats,
+    /// Run metrics (public for inspection between `step()` calls).
+    pub metrics: MachineMetrics,
+    pub(crate) locks: Vec<LockState>,
+    pub(crate) barrier: BarrierState,
+    pub(crate) global: GlobalState,
+    pub(crate) rng: DetRng,
+    pub(crate) done_cores: usize,
+    pub(crate) dropped_msgs: u64,
+    /// Runtime master switch for dependence tracking (§8: "selectively
+    /// enable and disable Rebound for a certain period of time").
+    pub(crate) tracking_enabled: bool,
+}
+
+impl Machine {
+    /// Builds a machine whose cores all run `profile` for `quota`
+    /// instructions each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MachineConfig::validate`].
+    pub fn from_profile(cfg: &MachineConfig, profile: &AppProfile, quota: u64) -> Machine {
+        let programs = (0..cfg.cores)
+            .map(|c| {
+                CoreProgram::stream(OpStream::new(
+                    profile,
+                    CoreId(c),
+                    cfg.cores,
+                    cfg.seed,
+                    quota,
+                ))
+            })
+            .collect();
+        Machine::with_programs(cfg, programs)
+    }
+
+    /// Builds a machine with explicit per-core programs (used by tests and
+    /// examples for deterministic scenarios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != cfg.cores` or the config is invalid.
+    pub fn with_programs(cfg: &MachineConfig, programs: Vec<CoreProgram>) -> Machine {
+        cfg.validate().expect("invalid machine configuration");
+        assert_eq!(programs.len(), cfg.cores, "one program per core");
+        let geom = cfg.l2.geometry();
+        let mut log = UndoLog::new(cfg.log_banks, cfg.log_entry_bytes)
+            .with_filter(cfg.log_first_wb_filter);
+        let cores: Vec<CoreCtx> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| {
+                let id = CoreId(i);
+                // Boot checkpoint: stub 0, complete at time zero.
+                log.append_stub(id, 0);
+                CoreCtx {
+                    id,
+                    records: vec![CkptRecord {
+                        stub_seq: 0,
+                        program: program.clone(),
+                        insts: 0,
+                        store_seq: 0,
+                        complete_at: Some(Cycle::ZERO),
+                    }],
+                    program,
+                    run: RunState::Ready,
+                    step_gen: 0,
+                    busy_until: Cycle::ZERO,
+                    insts: 0,
+                    interval_start_insts: 0,
+                    next_ckpt_due: u64::MAX, // set after construction
+
+                    l1: SetAssoc::new(cfg.l1),
+                    l2: SetAssoc::new(cfg.l2),
+                    dep: DepRegFile::new(cfg.dep_sets.max(2), cfg.wsig_bits, cfg.wsig_hashes),
+                    store_seq: 0,
+                    role: CkptRole::Idle,
+                    drain: DrainState::default(),
+                    exec_gate: false,
+                    stall: StallBreakdown::default(),
+                    block_since: None,
+                    last_ckpt_cycle: Cycle::ZERO,
+                    retry_gen: 0,
+                    force_ckpt: false,
+                    at_barrier: false,
+                    barck_arrived: false,
+                    barck_wb_done: false,
+                    barck_notified: false,
+                    barck_pending: false,
+                    ckpt_epoch: 0,
+                    backoff_until: Cycle::ZERO,
+                    released_epochs: vec![0; cfg.cores],
+                    pending_wb: None,
+                    resume_op: None,
+                    ended_at: None,
+                }
+            })
+            .collect();
+        let max_locks = 1024;
+        let mut m = Machine {
+            cfg: cfg.clone(),
+            geom,
+            now: Cycle::ZERO,
+            queue: EventQueue::new(),
+            cores,
+            dir: Directory::new(),
+            memory: MainMemory::new(),
+            mem_ctl: MemoryController::new(cfg.mem_channels, cfg.mem_timing),
+            log,
+            net: Interconnect::new(cfg.net),
+            msgs: MsgStats::new(),
+            metrics: MachineMetrics::new(),
+            locks: (0..max_locks).map(|_| LockState::default()).collect(),
+            barrier: BarrierState::default(),
+            global: GlobalState::default(),
+            rng: DetRng::new(cfg.seed.wrapping_mul(0x9E37_79B9) ^ 0x00C0_FFEE),
+            done_cores: 0,
+            dropped_msgs: 0,
+            tracking_enabled: true,
+        };
+        let interval = m.cfg.ckpt_interval_insts.max(1);
+        for c in 0..m.cores.len() {
+            // First checkpoint due in [0.6, 1.0] x interval, per-core.
+            let jitter = m.rng.below(interval * 2 / 5 + 1);
+            m.cores[c].next_ckpt_due = interval - jitter;
+            m.schedule_step(CoreId(c), Cycle::ZERO);
+        }
+        if let Some(io) = cfg.io {
+            m.queue.push(Cycle(io.period_cycles), Event::IoTick);
+        }
+        m
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of cores.
+    pub fn ncores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The memory image (for functional verification in tests).
+    pub fn memory(&self) -> &MainMemory {
+        &self.memory
+    }
+
+    /// The directory (for inspection in tests).
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// The undo log (for inspection in tests).
+    pub fn undo_log(&self) -> &UndoLog {
+        &self.log
+    }
+
+    /// Message-traffic counters.
+    pub fn msg_stats(&self) -> &MsgStats {
+        &self.msgs
+    }
+
+    /// Pending event count (diagnostics).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The architecturally visible value of a line: the dirty copy in the
+    /// owner's L2 if one exists, else memory. Used by tests comparing
+    /// machine states.
+    pub fn effective_line_value(&self, line: LineAddr) -> u64 {
+        for c in &self.cores {
+            if let Some(l) = c.l2.peek(line) {
+                if l.state.is_dirty() {
+                    return l.value;
+                }
+            }
+        }
+        self.memory.read(line)
+    }
+
+    /// Instructions retired by `core`.
+    pub fn core_insts(&self, core: CoreId) -> u64 {
+        self.cores[core.index()].insts
+    }
+
+    /// The `MyProducers` of `core`'s current interval (test introspection).
+    pub fn my_producers(&self, core: CoreId) -> CoreSet {
+        self.cores[core.index()].dep.active().my_producers
+    }
+
+    /// The `MyConsumers` of `core`'s current interval (test introspection).
+    pub fn my_consumers(&self, core: CoreId) -> CoreSet {
+        self.cores[core.index()].dep.active().my_consumers
+    }
+
+    /// Completed checkpoints (stubs written) of `core`.
+    pub fn checkpoints_of(&self, core: CoreId) -> u64 {
+        self.cores[core.index()]
+            .records
+            .iter()
+            .filter(|r| r.complete_at.is_some())
+            .count() as u64
+            - 1 // exclude the boot record
+    }
+
+    /// Schedules a transient fault to be *detected* at `core` at `at`.
+    /// (§3.2: detection happens within L cycles of occurrence; the caller
+    /// chooses the detection instant directly.)
+    pub fn schedule_fault_detection(&mut self, core: CoreId, at: Cycle) {
+        assert!(core.index() < self.cores.len(), "core out of range");
+        self.queue.push(at, Event::FaultDetect { core });
+    }
+
+    // ------------------------------------------------------------------
+    // Event plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn schedule_step(&mut self, core: CoreId, at: Cycle) {
+        let c = &mut self.cores[core.index()];
+        c.step_gen += 1;
+        let gen = c.step_gen;
+        self.queue.push(at, Event::Step { core, gen });
+    }
+
+    /// Sends a protocol message with interconnect latency, recording it
+    /// (local self-deliveries are not network traffic and are not counted).
+    pub(crate) fn send(
+        &mut self,
+        from: CoreId,
+        to: CoreId,
+        kind: rebound_coherence::MsgKind,
+        msg: ProtoMsg,
+    ) {
+        if from != to {
+            self.msgs.record(kind);
+        }
+        let lat = self.net.one_way(from, to).max(1);
+        self.queue.push(self.now + lat, Event::Proto { to, msg });
+    }
+
+    /// Starts (or extends) a `Ckpt` block on a core, tagging subsequent
+    /// blocked time with `kind`.
+    pub(crate) fn block_ckpt(&mut self, core: CoreId, kind: OverheadKind) {
+        let now = self.now;
+        let c = &mut self.cores[core.index()];
+        if let Some((since, k)) = c.block_since.take() {
+            c.stall.add(k, now.saturating_since(since));
+        }
+        c.block_since = Some((now, kind));
+        c.run = RunState::Blocked(Block::Ckpt);
+        c.step_gen += 1; // cancel any scheduled step
+    }
+
+    /// Re-tags an ongoing Ckpt block with a new category, flushing elapsed
+    /// time into the old one.
+    pub(crate) fn retag_block(&mut self, core: CoreId, kind: OverheadKind) {
+        let now = self.now;
+        let c = &mut self.cores[core.index()];
+        if let Some((since, k)) = c.block_since.take() {
+            c.stall.add(k, now.saturating_since(since));
+        }
+        c.block_since = Some((now, kind));
+    }
+
+    /// Ends a Ckpt block and resumes execution (if not gated or done).
+    pub(crate) fn unblock_ckpt(&mut self, core: CoreId) {
+        let now = self.now;
+        let c = &mut self.cores[core.index()];
+        if let Some((since, k)) = c.block_since.take() {
+            c.stall.add(k, now.saturating_since(since));
+        }
+        if c.run == RunState::Blocked(Block::Ckpt) {
+            c.run = RunState::Ready;
+        }
+        if c.run == RunState::Ready && !c.exec_gate {
+            let at = c.busy_until.max(now);
+            self.schedule_step(core, at);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Whether the run is finished: all programs done, no checkpoint or
+    /// drain activity outstanding.
+    pub fn is_finished(&self) -> bool {
+        self.done_cores == self.cores.len()
+            && !self.global.active
+            && !self.barrier.barck_active
+            && self
+                .cores
+                .iter()
+                .all(|c| c.role == CkptRole::Idle && !c.drain.active)
+    }
+
+    /// Processes one event. Returns `false` when nothing is left to do.
+    pub fn step(&mut self) -> bool {
+        if self.is_finished() {
+            return false;
+        }
+        let Some((t, ev)) = self.queue.pop() else {
+            // Queue empty but not finished — a liveness bug; surface loudly.
+            panic!(
+                "event queue drained with live state: {} done of {}, roles {:?}",
+                self.done_cores,
+                self.cores.len(),
+                self.cores
+                    .iter()
+                    .map(|c| c.role.clone())
+                    .collect::<Vec<_>>()
+            );
+        };
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        match ev {
+            Event::Step { core, gen } => {
+                if self.cores[core.index()].step_gen == gen {
+                    self.exec_step(core);
+                }
+            }
+            Event::Proto { to, msg } => self.handle_proto(to, msg),
+            Event::DrainTick { core, gen } => {
+                if self.cores[core.index()].drain.gen == gen {
+                    self.drain_tick(core);
+                }
+            }
+            Event::RetryCkpt { core, gen } => {
+                if self.cores[core.index()].retry_gen == gen {
+                    self.retry_initiation(core);
+                }
+            }
+            Event::RetryRotate { core } => self.retry_rotation(core),
+            Event::FaultDetect { core } => self.handle_fault_detect(core),
+            Event::IoTick => self.handle_io_tick(),
+        }
+        true
+    }
+
+    /// Runs until finished and summarizes.
+    pub fn run_to_completion(&mut self) -> RunReport {
+        while self.step() {}
+        self.report()
+    }
+
+    /// Runs until `deadline` (or completion) and reports progress.
+    pub fn run_until(&mut self, deadline: Cycle) -> bool {
+        while !self.is_finished() {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.is_finished()
+    }
+
+    /// Builds the run summary.
+    pub fn report(&self) -> RunReport {
+        let cycles = self
+            .cores
+            .iter()
+            .map(|c| c.ended_at.unwrap_or(self.now).raw())
+            .max()
+            .unwrap_or(0)
+            .max(self.now.raw());
+        let mut metrics = self.metrics.clone();
+        metrics.breakdown = StallBreakdown::default();
+        for c in &self.cores {
+            metrics.breakdown.merge(&c.stall);
+        }
+        metrics.insts = self.cores.iter().map(|c| c.insts).sum();
+        metrics.dep_stalls = self.cores.iter().map(|c| c.dep.rotation_stalls).sum();
+        metrics.log_entries = self.log.entries;
+        RunReport {
+            cycles,
+            insts: metrics.insts,
+            checkpoints: metrics.checkpoint_episodes,
+            rollbacks: metrics.rollbacks,
+            metrics,
+            msgs: self.msgs.clone(),
+            log_entries: self.log.entries.get(),
+            log_max_interval_bytes: self.log.max_interval_bytes(),
+            scheme: self.cfg.scheme,
+            cores: self.cores.len(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core execution
+    // ------------------------------------------------------------------
+
+    /// Executes the next operation of `core`.
+    fn exec_step(&mut self, core: CoreId) {
+        let idx = core.index();
+        if self.cores[idx].run != RunState::Ready || self.cores[idx].exec_gate {
+            return;
+        }
+        // Checkpoint-interval trigger (and forced I/O checkpoints).
+        if self.maybe_trigger_checkpoint(core) {
+            return;
+        }
+        let op = match self.cores[idx].resume_op.take() {
+            Some(op) => op,
+            None => self.cores[idx].program.next_op(),
+        };
+        match op {
+            Op::Compute(n) => {
+                let c = &mut self.cores[idx];
+                c.insts += n;
+                c.busy_until = self.now + n;
+                let at = c.busy_until;
+                self.schedule_step(core, at);
+            }
+            Op::Load(addr) => {
+                let lat = self.access(core, addr, false, true);
+                self.metrics.load_latency.record(lat);
+                let c = &mut self.cores[idx];
+                c.insts += 1;
+                c.busy_until = self.now + lat.max(1);
+                let at = c.busy_until;
+                self.schedule_step(core, at);
+            }
+            Op::Store(addr) => {
+                // Stores retire through the store buffer: the coherence
+                // work happens now, the core only pays one cycle.
+                let _ = self.access(core, addr, true, true);
+                let c = &mut self.cores[idx];
+                c.insts += 1;
+                c.busy_until = self.now + 1;
+                let at = c.busy_until;
+                self.schedule_step(core, at);
+            }
+            Op::LockAcquire(id) => self.lock_acquire(core, id),
+            Op::LockRelease(id) => self.lock_release(core, id),
+            Op::Barrier => self.barrier_arrive(core),
+            Op::OutputIo => self.output_io(core),
+            Op::CheckpointHint => {
+                self.cores[idx].force_ckpt = true;
+                self.schedule_step(core, self.now + 1);
+            }
+            Op::End => {
+                let c = &mut self.cores[idx];
+                if c.run != RunState::Done {
+                    c.run = RunState::Done;
+                    c.ended_at = Some(self.now);
+                    self.done_cores += 1;
+                }
+            }
+        }
+    }
+
+    /// Deterministic store value: unique per (core, store sequence).
+    pub(crate) fn store_value(&mut self, core: CoreId) -> u64 {
+        let c = &mut self.cores[core.index()];
+        c.store_seq += 1;
+        let mut z = ((core.index() as u64) << 48) ^ c.store_seq;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z | 1 // never zero, so MainMemory keeps it resident
+    }
+
+    /// The home tile of a line (address-interleaved).
+    pub(crate) fn home_of(&self, line: LineAddr) -> CoreId {
+        CoreId(line.home_of(self.cores.len()).index())
+    }
+
+    /// Enables or disables dependence tracking at runtime (§8). While
+    /// disabled, accesses record no LW-ID/WSIG/Dep state, so subsequent
+    /// checkpoints see no new interaction edges; checkpointing itself
+    /// (and its correctness machinery) is unaffected.
+    pub fn set_tracking_enabled(&mut self, enabled: bool) {
+        self.tracking_enabled = enabled;
+    }
+
+    /// Whether `addr` participates in dependence tracking: the scheme must
+    /// track, the runtime switch must be on, and the address must not fall
+    /// in a configured untracked range.
+    pub(crate) fn tracks_addr(&self, addr: rebound_engine::Addr) -> bool {
+        if !self.cfg.scheme.tracks_dependences() || !self.tracking_enabled {
+            return false;
+        }
+        !self
+            .cfg
+            .untracked_ranges
+            .iter()
+            .any(|&(lo, hi)| addr.0 >= lo && addr.0 < hi)
+    }
+
+    /// The Dep-register bit index representing `core` (its cluster id at
+    /// granularities above 1; the §8 clustered-directory extension).
+    pub(crate) fn dep_bit_of(&self, core: CoreId) -> CoreId {
+        CoreId(core.index() / self.cfg.dep_cluster.max(1))
+    }
+
+    /// Expands a set of Dep-register bits into the set of cores they name.
+    pub(crate) fn expand_dep_bits(&self, bits: CoreSet) -> CoreSet {
+        let g = self.cfg.dep_cluster.max(1);
+        if g == 1 {
+            return bits;
+        }
+        let mut out = CoreSet::new();
+        for b in bits.iter() {
+            for i in 0..g {
+                let c = b.index() * g + i;
+                if c < self.cores.len() {
+                    out.insert(CoreId(c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Every core in `core`'s cluster (including itself).
+    pub(crate) fn cluster_mates(&self, core: CoreId) -> CoreSet {
+        self.expand_dep_bits(CoreSet::singleton(self.dep_bit_of(core)))
+    }
+}
+
+
+impl Machine {
+    /// Histogram of pending event kinds (diagnostics).
+    pub fn queue_histogram(&self) -> Vec<(String, usize)> {
+        use std::collections::HashMap;
+        let mut h: HashMap<String, usize> = HashMap::new();
+        for e in self.queue.iter_payloads() {
+            let k = match e {
+                Event::Step { .. } => "Step".to_string(),
+                Event::Proto { msg, .. } => format!("Proto::{:?}", std::mem::discriminant(msg)),
+                Event::DrainTick { .. } => "DrainTick".to_string(),
+                Event::RetryCkpt { .. } => "RetryCkpt".to_string(),
+                Event::RetryRotate { .. } => "RetryRotate".to_string(),
+                Event::FaultDetect { .. } => "FaultDetect".to_string(),
+                Event::IoTick => "IoTick".to_string(),
+            };
+            *h.entry(k).or_insert(0) += 1;
+        }
+        let mut v: Vec<_> = h.into_iter().collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
+        v
+    }
+}
+
+impl Machine {
+    /// Debug dump of each core's protocol state (diagnostics).
+    pub fn debug_roles(&self) -> String {
+        let mut s = String::new();
+        for c in &self.cores {
+            s.push_str(&format!(
+                "P{}: run={:?} role={:?} drain={} gate={} insts={} epoch={}\n",
+                c.id.index(),
+                c.run,
+                match &c.role {
+                    CkptRole::Idle => "Idle".to_string(),
+                    CkptRole::Initiating(st) => format!(
+                        "Init(e{} ichk={} awaiting={} wbd={} started={})",
+                        st.epoch,
+                        st.ichk,
+                        st.expected.iter().map(|&c| c as u32).sum::<u32>(),
+                        st.wb_done,
+                        st.started
+                    ),
+                    r => format!("{r:?}"),
+                },
+                c.drain.active,
+                c.exec_gate,
+                c.insts,
+                c.ckpt_epoch,
+            ));
+        }
+        s
+    }
+}
+
+impl Machine {
+    /// Pops and describes one event without filtering (diagnostics).
+    pub fn trace_step(&mut self) -> Option<String> {
+        if self.is_finished() {
+            return None;
+        }
+        let desc = {
+            // Peek at the next event by popping manually.
+            let (t, ev) = self.queue.pop()?;
+            let d = format!("{:>9} {:?}", t.raw(), ev);
+            self.now = t;
+            match ev {
+                Event::Step { core, gen } => {
+                    let c = &self.cores[core.index()];
+                    let live = c.step_gen == gen;
+                    let d2 = format!("{d} live={live} run={:?} busy={}", c.run, c.busy_until);
+                    if live {
+                        self.exec_step(core);
+                    }
+                    d2
+                }
+                Event::Proto { to, msg } => {
+                    self.handle_proto(to, msg);
+                    d
+                }
+                Event::DrainTick { core, gen } => {
+                    if self.cores[core.index()].drain.gen == gen {
+                        self.drain_tick(core);
+                    }
+                    d
+                }
+                Event::RetryCkpt { core, gen } => {
+                    if self.cores[core.index()].retry_gen == gen {
+                        self.retry_initiation(core);
+                    }
+                    d
+                }
+                Event::RetryRotate { core } => {
+                    self.retry_rotation(core);
+                    d
+                }
+                Event::FaultDetect { core } => {
+                    self.handle_fault_detect(core);
+                    d
+                }
+                Event::IoTick => {
+                    self.handle_io_tick();
+                    d
+                }
+            }
+        };
+        Some(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebound_engine::Addr;
+
+    fn cfg(n: usize) -> MachineConfig {
+        let mut c = MachineConfig::small(n);
+        c.scheme = Scheme::None;
+        c
+    }
+
+    #[test]
+    fn empty_programs_finish_immediately() {
+        let programs = (0..2).map(|_| CoreProgram::script([])).collect();
+        let mut m = Machine::with_programs(&cfg(2), programs);
+        let r = m.run_to_completion();
+        assert_eq!(r.insts, 0);
+        assert!(m.is_finished());
+    }
+
+    #[test]
+    fn compute_advances_time_by_instruction_count() {
+        let programs = vec![CoreProgram::script([Op::Compute(1_000)])];
+        let mut m = Machine::with_programs(&cfg(1), programs);
+        let r = m.run_to_completion();
+        assert_eq!(r.insts, 1_000);
+        assert!(r.cycles >= 1_000);
+    }
+
+    #[test]
+    fn store_then_load_round_trips_value() {
+        let a = Addr(0x1000);
+        let programs = vec![CoreProgram::script([Op::Store(a), Op::Load(a)])];
+        let mut m = Machine::with_programs(&cfg(1), programs);
+        m.run_to_completion();
+        // The value must be in the L2 (dirty) and not yet in memory.
+        let line = a.line(LineGeometry::default());
+        let l2 = &m.cores[0].l2;
+        let entry = l2.peek(line).expect("line cached");
+        assert!(entry.state.is_dirty());
+        assert_eq!(m.memory().read(line), 0, "write-back: memory still stale");
+    }
+
+    #[test]
+    fn report_counts_all_cores_instructions() {
+        let programs = (0..4)
+            .map(|_| CoreProgram::script([Op::Compute(10), Op::Compute(5)]))
+            .collect();
+        let mut m = Machine::with_programs(&cfg(4), programs);
+        let r = m.run_to_completion();
+        assert_eq!(r.insts, 60);
+        assert_eq!(r.cores, 4);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let mk = || {
+            let c = cfg(4);
+            let profile = rebound_workloads::profile_named("Barnes").unwrap();
+            let mut m = Machine::from_profile(&c, &profile, 5_000);
+            m.run_to_completion()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.insts, b.insts);
+        assert_eq!(a.msgs.total(), b.msgs.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "one program per core")]
+    fn program_count_must_match() {
+        Machine::with_programs(&cfg(2), vec![CoreProgram::script([])]);
+    }
+}

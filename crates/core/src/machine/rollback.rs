@@ -1,0 +1,386 @@
+//! Rollback and recovery (§3.3.5, §4.2): on fault detection, the faulty
+//! processor's Interaction Set for Recovery — the transitive closure of its
+//! consumers — rolls back to a consistent recovery line of *safe*
+//! checkpoints (completed at least L cycles ago, delayed writebacks
+//! included). Appendix A's no-domino argument is what makes this line
+//! consistent; the property tests exercise it.
+
+use std::collections::HashMap;
+
+use rebound_engine::CoreId;
+
+use crate::config::Scheme;
+
+use super::{
+    Block, CkptRole, Machine, RunState, CACHE_INVAL_COST, LOG_RESTORE_COST, LOG_SCAN_COST,
+};
+
+impl Machine {
+    /// A fault has been *detected* at `core` (§3.2). Roll back the
+    /// interaction set for recovery.
+    pub(crate) fn handle_fault_detect(&mut self, core: CoreId) {
+        let now = self.now;
+        let l = self.cfg.detect_latency;
+
+        // 1. Pick each processor's rollback target: the latest checkpoint
+        //    that fully completed at least L cycles ago (§4.2), falling
+        //    back to the boot checkpoint.
+        let target_of = |m: &Machine, x: CoreId| -> usize {
+            let recs = &m.cores[x.index()].records;
+            recs.iter()
+                .rposition(|r| {
+                    r.complete_at
+                        .map(|t| t.saturating_add(l) <= now)
+                        .unwrap_or(false)
+                })
+                .unwrap_or(0)
+        };
+
+        // 2. Build the Interaction Set for Recovery: transitive closure of
+        //    MyConsumers over every interval being undone. Under the
+        //    Global scheme every processor rolls back.
+        let mut irec = vec![false; self.cores.len()];
+        let mut order: Vec<CoreId> = Vec::new();
+        if matches!(self.cfg.scheme, Scheme::Global { .. }) || !self.cfg.scheme.checkpoints() {
+            for (i, flag) in irec.iter_mut().enumerate() {
+                *flag = true;
+                order.push(CoreId(i));
+            }
+        } else {
+            let mut work = vec![core];
+            irec[core.index()] = true;
+            order.push(core);
+            while let Some(x) = work.pop() {
+                let t = target_of(self, x);
+                let from_interval = self.cores[x.index()].records[t].stub_seq;
+                let consumer_bits = self.cores[x.index()].dep.consumers_since(from_interval);
+                // Expand dep bits to cores and pull in cluster-mates (the
+                // §8 extension rolls whole clusters back together).
+                let consumers = self
+                    .expand_dep_bits(consumer_bits)
+                    .union(self.cluster_mates(x));
+                for cns in consumers.iter() {
+                    if !irec[cns.index()] {
+                        irec[cns.index()] = true;
+                        order.push(cns);
+                        work.push(cns);
+                    }
+                }
+            }
+        }
+
+        // 3. Abort every checkpoint episode touching the recovery set ("a
+        //    fault detected in a processor while checkpointing aborts the
+        //    whole checkpoint", §3.3.4); members outside the recovery set
+        //    complete their local checkpoints immediately — their data has
+        //    no dependence on the faulty processor.
+        self.abort_episodes_for(&irec);
+
+        // 4. Per-member rollback: caches, directory presence, Dep
+        //    registers, sync-state fixups, architectural state.
+        let mut targets: HashMap<CoreId, u64> = HashMap::new();
+        for &m in &order {
+            let t = target_of(self, m);
+            let stub = self.cores[m.index()].records[t].stub_seq;
+            targets.insert(m, stub);
+            self.rollback_core_state(m, t);
+        }
+
+        // 5. Undo the log and restore memory (reverse order per bank).
+        let outcome = self.log.rollback(&targets);
+        for r in &outcome.restores {
+            self.memory.write(r.addr, r.old);
+        }
+
+        // 6. Recovery latency: invalidation + banked log scan + restores +
+        //    the recovery protocol's messaging.
+        let banks = self.log.banks() as u64;
+        let proto = 2 * self.net.config().remote_one_way * (order.len() as u64).max(1);
+        let recovery = CACHE_INVAL_COST
+            + proto
+            + (outcome.scanned * LOG_SCAN_COST) / banks
+            + (outcome.restores.len() as u64 * LOG_RESTORE_COST) / banks;
+
+        self.metrics.rollbacks += 1;
+        self.metrics.irec_sizes.push(order.len() as f64);
+        self.metrics.recovery_cycles.push(recovery as f64);
+
+        // 7. Resume every member once restoration completes.
+        let resume_at = now + recovery;
+        for &m in &order {
+            let c = &mut self.cores[m.index()];
+            c.run = RunState::Ready;
+            c.busy_until = resume_at;
+            self.schedule_step(m, resume_at);
+        }
+        self.fixup_locks_after(&irec);
+    }
+
+    /// Aborts checkpoint episodes that include any rolling-back processor.
+    fn abort_episodes_for(&mut self, irec: &[bool]) {
+        // Which local-episode initiators are affected?
+        let mut dead_initiators: Vec<(CoreId, u64)> = Vec::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            if !irec[i] {
+                continue;
+            }
+            match &c.role {
+                CkptRole::Initiating(st) => dead_initiators.push((c.id, st.epoch)),
+                CkptRole::Accepted { initiator, epoch } | CkptRole::Member { initiator, epoch } => {
+                    dead_initiators.push((*initiator, *epoch))
+                }
+                _ => {}
+            }
+        }
+        dead_initiators.sort();
+        dead_initiators.dedup();
+
+        for (i, &rolling) in irec.iter().enumerate() {
+            if rolling {
+                continue; // full reset below
+            }
+            let id = CoreId(i);
+            let role = self.cores[i].role.clone();
+            let in_dead_local = match &role {
+                CkptRole::Initiating(st) => dead_initiators.contains(&(id, st.epoch)),
+                CkptRole::Accepted { initiator, epoch } | CkptRole::Member { initiator, epoch } => {
+                    dead_initiators.contains(&(*initiator, *epoch))
+                }
+                CkptRole::GlobalMember { .. } => {
+                    // Global episodes only abort if some member rolls back,
+                    // which under the Global scheme means everyone; a
+                    // Rebound machine never has GlobalMembers.
+                    false
+                }
+                CkptRole::BarMember { .. } => self.barrier.barck_active,
+                CkptRole::Idle => false,
+            };
+            if !in_dead_local {
+                continue;
+            }
+            // Survivor of an aborted episode: its own checkpointed data is
+            // sound — complete the local checkpoint immediately.
+            match role {
+                CkptRole::Accepted { .. } => {
+                    self.cores[i].role = CkptRole::Idle;
+                }
+                _ => self.fast_complete_member(id),
+            }
+        }
+
+        // An active Global episode dies when any member rolls back (under
+        // the Global scheme that is every processor); the machine-level
+        // coordination state must not wait for WbDones that cannot come.
+        if self.global.active {
+            let any = self
+                .cores
+                .iter()
+                .enumerate()
+                .any(|(i, c)| irec[i] && matches!(c.role, CkptRole::GlobalMember { .. }))
+                || self
+                    .global
+                    .coordinator
+                    .map(|c| irec[c.index()])
+                    .unwrap_or(false);
+            if any {
+                self.global.active = false;
+                self.global.coordinator = None;
+                self.global.wb_done.clear();
+            }
+        }
+
+        // A barrier-opt episode with any rolled-back member dies entirely.
+        if self.barrier.barck_active {
+            let any = self.cores.iter().enumerate().any(|(i, c)| {
+                irec[i]
+                    && (matches!(c.role, CkptRole::BarMember { .. })
+                        || c.barck_pending
+                        || c.barck_arrived)
+            });
+            if any {
+                self.barrier.barck_active = false;
+                self.barrier.barck_initiator = None;
+                self.barrier.barck_done.clear();
+                for c in self.cores.iter_mut() {
+                    c.barck_pending = false;
+                    c.barck_notified = false;
+                }
+                if self.barrier.release_gated {
+                    if let Some(last) = self.barrier.last_arrival {
+                        if !irec[last.index()] {
+                            self.release_barrier(0);
+                        } else {
+                            self.barrier.release_gated = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Synchronously finishes a non-rolled-back member's checkpoint after
+    /// its episode was aborted.
+    fn fast_complete_member(&mut self, core: CoreId) {
+        let idx = core.index();
+        if self.cores[idx].drain.active {
+            // Flush the remaining Delayed lines immediately.
+            let pending: Vec<_> = self.cores[idx].drain.queue.drain(..).collect();
+            for line in pending {
+                self.flush_delayed_line(core, line);
+            }
+            self.cores[idx].drain.active = false;
+            self.cores[idx].drain.gen += 1;
+        }
+        let unfinished = self.cores[idx]
+            .records
+            .last()
+            .map(|r| r.complete_at.is_none())
+            .unwrap_or(false);
+        if unfinished {
+            let stub_seq = self.cores[idx].records.last().expect("record").stub_seq;
+            self.log.append_stub(core, stub_seq);
+            self.cores[idx]
+                .records
+                .last_mut()
+                .expect("record")
+                .complete_at = Some(self.now);
+            self.cores[idx].dep.complete(stub_seq - 1, self.now);
+            self.metrics.processor_checkpoints += 1;
+        }
+        self.cores[idx].role = CkptRole::Idle;
+        self.cores[idx].pending_wb = None;
+        self.cores[idx].exec_gate = false;
+        // Unconditional: the core may have gone Ready while gated (e.g. a
+        // lock grant during the writeback stall) and needs rescheduling.
+        self.unblock_ckpt(core);
+    }
+
+    /// Resets one rolling-back core to its target record.
+    fn rollback_core_state(&mut self, core: CoreId, target_idx: usize) {
+        let idx = core.index();
+
+        // Cancel in-flight activity.
+        {
+            let c = &mut self.cores[idx];
+            c.drain.active = false;
+            c.drain.queue.clear();
+            c.drain.gen += 1;
+            c.role = CkptRole::Idle;
+            c.exec_gate = false;
+            c.block_since = None;
+            c.pending_wb = None;
+            c.resume_op = None;
+            c.force_ckpt = false;
+            c.barck_pending = false;
+            c.barck_arrived = false;
+            c.barck_wb_done = false;
+            c.barck_notified = false;
+            c.retry_gen += 1;
+            c.step_gen += 1;
+        }
+
+        // Barrier fixups: a rolled-back arrival will re-arrive.
+        if self.cores[idx].at_barrier {
+            self.cores[idx].at_barrier = false;
+            self.barrier.arrived = self.barrier.arrived.saturating_sub(1);
+            self.barrier.waiters.retain(|&w| w != core);
+            if self.barrier.last_arrival == Some(core) {
+                self.barrier.last_arrival = None;
+                self.barrier.release_gated = false;
+            }
+        }
+
+        // Caches: invalidate everything (§3.3.5 step (ii)); dirty data of
+        // the undone intervals dies here, the log restores memory.
+        {
+            let c = &mut self.cores[idx];
+            c.l1.invalidate_all(|_, _| {});
+            c.l2.invalidate_all(|_, _| {});
+        }
+        self.dir.purge_core(core);
+        self.dir.clear_lwid_of(core);
+
+        // Dep registers (§3.3.5 step (i)) and architectural state.
+        let rec = self.cores[idx].records[target_idx].clone();
+        {
+            let c = &mut self.cores[idx];
+            c.records.truncate(target_idx + 1);
+            c.dep.reset_all(rec.stub_seq);
+            c.program = rec.program.clone();
+            c.insts = rec.insts;
+            c.store_seq = rec.store_seq;
+            c.interval_start_insts = rec.insts;
+            c.next_ckpt_due = rec.insts + self.cfg.ckpt_interval_insts;
+            c.last_ckpt_cycle = self.now;
+            if c.run == RunState::Done {
+                c.ended_at = None;
+                self.done_cores -= 1;
+            }
+            c.run = RunState::Blocked(Block::Rollback);
+        }
+    }
+
+    /// Releases locks held (or queued for) by rolled-back cores and grants
+    /// them to surviving waiters.
+    fn fixup_locks_after(&mut self, irec: &[bool]) {
+        use rebound_workloads::AddressLayout;
+        let layout = AddressLayout;
+        for id in 0..self.locks.len() {
+            self.locks[id].queue.retain(|w| !irec[w.index()]);
+            let holder = self.locks[id].holder;
+            if let Some(h) = holder {
+                if irec[h.index()] {
+                    self.locks[id].holder = None;
+                    if let Some(next) = self.locks[id].queue.pop_front() {
+                        self.locks[id].holder = Some(next);
+                        let grant = self.access(next, layout.lock_line(id as u32), true, true);
+                        self.cores[next.index()].insts += 1;
+                        self.resume_core(next, grant.max(1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::program::CoreProgram;
+    use rebound_engine::{Addr, Cycle};
+    use rebound_workloads::Op;
+
+    fn rebound_cfg(n: usize) -> MachineConfig {
+        let mut c = MachineConfig::small(n);
+        c.scheme = Scheme::REBOUND;
+        c.detect_latency = 500;
+        c
+    }
+
+    /// A fault with no checkpoints rolls a solo core back to boot and
+    /// restores memory exactly.
+    #[test]
+    fn solo_rollback_to_boot_restores_memory() {
+        let a = Addr(0x40);
+        let program = CoreProgram::script([
+            Op::Store(a),
+            Op::Compute(200_000), // long enough to evict nothing; fault lands here
+            Op::Store(a),
+            Op::End,
+        ]);
+        let mut cfg = rebound_cfg(1);
+        cfg.ckpt_interval_insts = 1_000_000; // never checkpoint
+        let mut m = Machine::with_programs(&cfg, vec![program]);
+        m.schedule_fault_detection(CoreId(0), Cycle(10_000));
+        let r = m.run_to_completion();
+        assert_eq!(r.rollbacks, 1);
+        // The store re-executed after rollback; its dirty line sits in L2
+        // again. Memory must hold the boot value (0) for the line because
+        // no writeback ever committed.
+        assert_eq!(m.memory().read(a.line(Default::default())), 0);
+        // The program completed (re-execution after recovery).
+        assert!(m.is_finished());
+        assert!(r.metrics.irec_sizes.mean() >= 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Synchronization lowering: locks and the global barrier become real
+//! shared-memory accesses, so inter-thread dependences at synchronization
+//! points arise through the coherence protocol exactly as in Fig 4.2.
+
+use rebound_engine::CoreId;
+use rebound_workloads::AddressLayout;
+
+use super::{Block, Machine, RunState};
+
+impl Machine {
+    /// Resumes a core `extra` cycles from now, respecting the execution
+    /// gate (a NoDWB checkpoint in progress keeps it parked).
+    pub(crate) fn resume_core(&mut self, core: CoreId, extra: u64) {
+        let now = self.now;
+        let c = &mut self.cores[core.index()];
+        c.run = RunState::Ready;
+        c.busy_until = now + extra;
+        if !c.exec_gate {
+            let at = c.busy_until;
+            self.schedule_step(core, at);
+        }
+    }
+
+    /// `Op::LockAcquire`: a read-modify-write on the lock's line (the
+    /// test-and-set). The GetX picks up a WW dependence on the previous
+    /// holder through LW-ID — which is how lock-heavy applications end up
+    /// with near-global interaction sets (§6.1, Raytrace/Radiosity).
+    pub(crate) fn lock_acquire(&mut self, core: CoreId, id: u32) {
+        let layout = AddressLayout;
+        let lat = self.access(core, layout.lock_line(id), true, true);
+        self.cores[core.index()].insts += 1;
+        let lock = &mut self.locks[id as usize];
+        if lock.holder.is_none() {
+            lock.holder = Some(core);
+            self.resume_core(core, lat.max(1));
+        } else {
+            debug_assert_ne!(lock.holder, Some(core), "no recursive locks");
+            lock.queue.push_back(core);
+            let c = &mut self.cores[core.index()];
+            c.run = RunState::Blocked(Block::Lock { id });
+            c.step_gen += 1;
+        }
+    }
+
+    /// `Op::LockRelease`: a store to the lock line; the next queued waiter
+    /// is granted the lock and performs its own acquiring access (reading
+    /// what the releaser wrote — the dependence of Fig 4.2(b)).
+    pub(crate) fn lock_release(&mut self, core: CoreId, id: u32) {
+        let layout = AddressLayout;
+        let lat = self.access(core, layout.lock_line(id), true, true);
+        self.cores[core.index()].insts += 1;
+        let lock = &mut self.locks[id as usize];
+        debug_assert_eq!(lock.holder, Some(core), "release by non-holder");
+        lock.holder = None;
+        let next = lock.queue.pop_front();
+        if let Some(next) = next {
+            self.locks[id as usize].holder = Some(next);
+            // The waiter's retrying test-and-set finally succeeds.
+            let grant_lat = self.access(next, layout.lock_line(id), true, true);
+            self.cores[next.index()].insts += 1;
+            self.resume_core(next, lat.max(1) + grant_lat.max(1));
+        }
+        self.resume_core(core, lat.max(1));
+    }
+
+    /// `Op::Barrier`: the Update critical section (an RMW on the count
+    /// line) followed by a spin on the flag line, per Fig 4.2(a). The last
+    /// arrival writes the flag; every waiter re-reads it on release, giving
+    /// the all-processor dependence chain of Fig 4.2(b).
+    pub(crate) fn barrier_arrive(&mut self, core: CoreId) {
+        let layout = AddressLayout;
+        let update_lat = self.access(core, layout.barrier_count_line(), true, true);
+        {
+            let c = &mut self.cores[core.index()];
+            c.insts += 1;
+            c.at_barrier = true;
+            c.barck_arrived = true;
+        }
+        self.barrier.arrived += 1;
+
+        // Barrier-optimization hook (§4.2.1): inside the Update section,
+        // an interested processor that finds BarCK_sent clear elects
+        // itself initiator of a proactive checkpoint.
+        if self.cfg.scheme.barrier_opt()
+            && !self.barrier.barck_active
+            && self.barck_interested(core)
+        {
+            self.barck_initiate(core);
+        }
+        self.maybe_send_barck_done(core);
+
+        if self.barrier.arrived == self.cores.len() {
+            self.barrier.last_arrival = Some(core);
+            // With an active barrier checkpoint, "the processor that
+            // arrives at the barrier last is not allowed to set the flag
+            // yet" (§4.2.1).
+            if self.barrier.barck_active && !self.barck_all_done() {
+                self.barrier.release_gated = true;
+                let c = &mut self.cores[core.index()];
+                c.run = RunState::Blocked(Block::BarrierFlag {
+                    gen: self.barrier.generation,
+                });
+                c.step_gen += 1;
+            } else {
+                self.release_barrier(update_lat);
+            }
+        } else {
+            // Spin on the flag: one initial read, then the core parks and
+            // is woken by the flag write (spin-on-read costs nothing more
+            // while the line stays cached Shared).
+            let _ = self.access(core, layout.barrier_flag_line(), false, true);
+            self.cores[core.index()].insts += 1;
+            let gen = self.barrier.generation;
+            self.barrier.waiters.push(core);
+            let c = &mut self.cores[core.index()];
+            c.run = RunState::Blocked(Block::BarrierFlag { gen });
+            c.step_gen += 1;
+        }
+    }
+
+    /// Releases the barrier: the last arrival writes the flag and every
+    /// waiter re-reads it (consuming the write), then all continue.
+    pub(crate) fn release_barrier(&mut self, extra: u64) {
+        let layout = AddressLayout;
+        let last = self
+            .barrier
+            .last_arrival
+            .expect("release without a last arrival");
+        let flag_lat = self.access(last, layout.barrier_flag_line(), true, true);
+        self.cores[last.index()].insts += 1;
+        self.barrier.generation += 1;
+        self.barrier.arrived = 0;
+        self.barrier.last_arrival = None;
+        self.barrier.release_gated = false;
+        let waiters = std::mem::take(&mut self.barrier.waiters);
+        for w in waiters {
+            let read_lat = self.access(w, layout.barrier_flag_line(), false, true);
+            self.cores[w.index()].insts += 1;
+            self.cores[w.index()].at_barrier = false;
+            self.resume_core(w, flag_lat + read_lat.max(1));
+        }
+        self.cores[last.index()].at_barrier = false;
+        self.resume_core(last, extra + flag_lat.max(1));
+    }
+
+    /// `Op::OutputIo`: output must be preceded by a checkpoint (§6.4), so
+    /// the core initiates one and blocks until it completes. If the
+    /// machinery is busy the op retries shortly.
+    pub(crate) fn output_io(&mut self, core: CoreId) {
+        use rebound_workloads::Op;
+        match self.cfg.scheme {
+            crate::config::Scheme::None => {
+                self.cores[core.index()].insts += 1;
+                self.resume_core(core, 1);
+            }
+            crate::config::Scheme::Global { .. } => {
+                if self.global.active || self.global.draining > 0 {
+                    // Retry once the current episode finishes.
+                    self.cores[core.index()].resume_op = Some(Op::OutputIo);
+                    self.resume_core(core, 500);
+                } else {
+                    self.cores[core.index()].insts += 1;
+                    self.start_global_checkpoint(core);
+                }
+            }
+            crate::config::Scheme::Rebound { .. } => {
+                let c = &self.cores[core.index()];
+                if c.role != super::CkptRole::Idle || c.drain.active {
+                    self.cores[core.index()].resume_op = Some(Op::OutputIo);
+                    self.resume_core(core, 500);
+                } else {
+                    self.cores[core.index()].insts += 1;
+                    self.initiate_checkpoint(core, true);
+                }
+            }
+        }
+    }
+}

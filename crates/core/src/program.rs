@@ -1,0 +1,109 @@
+//! What a simulated core executes: a workload stream or a test script.
+
+use std::sync::Arc;
+
+use rebound_workloads::{Op, OpStream};
+
+/// The instruction source of one core.
+///
+/// Cloning a `CoreProgram` captures a complete architectural snapshot —
+/// resuming from the clone replays exactly the same operations. The machine
+/// clones the program at every checkpoint as the "register state" saved
+/// with the checkpoint, and restores the clone on rollback.
+///
+/// # Example
+///
+/// ```
+/// use rebound_core::CoreProgram;
+/// use rebound_workloads::Op;
+/// use rebound_engine::Addr;
+///
+/// let mut p = CoreProgram::script([Op::Store(Addr(64)), Op::Load(Addr(64))]);
+/// assert_eq!(p.next_op(), Op::Store(Addr(64)));
+/// let snap = p.clone();
+/// assert_eq!(p.next_op(), Op::Load(Addr(64)));
+/// assert_eq!(snap.clone().next_op(), Op::Load(Addr(64)));
+/// assert_eq!(p.next_op(), Op::End);
+/// ```
+#[derive(Clone, Debug)]
+pub enum CoreProgram {
+    /// A synthetic-application stream (boxed: stream state is much larger
+    /// than a script cursor, and programs are cloned at every checkpoint).
+    Stream(Box<OpStream>),
+    /// A fixed operation sequence (deterministic protocol tests, examples).
+    Script {
+        /// The shared, immutable script.
+        ops: Arc<Vec<Op>>,
+        /// Next position.
+        pos: usize,
+    },
+}
+
+impl CoreProgram {
+    /// Wraps a workload stream.
+    pub fn stream(s: OpStream) -> CoreProgram {
+        CoreProgram::Stream(Box::new(s))
+    }
+
+    /// Builds a scripted program; after the script runs out it yields
+    /// [`Op::End`] forever.
+    pub fn script(ops: impl IntoIterator<Item = Op>) -> CoreProgram {
+        CoreProgram::Script {
+            ops: Arc::new(ops.into_iter().collect()),
+            pos: 0,
+        }
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> Op {
+        match self {
+            CoreProgram::Stream(s) => s.next_op(),
+            CoreProgram::Script { ops, pos } => {
+                if *pos < ops.len() {
+                    let op = ops[*pos];
+                    *pos += 1;
+                    op
+                } else {
+                    Op::End
+                }
+            }
+        }
+    }
+}
+
+impl From<OpStream> for CoreProgram {
+    fn from(s: OpStream) -> CoreProgram {
+        CoreProgram::stream(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebound_engine::Addr;
+
+    #[test]
+    fn script_yields_in_order_then_end() {
+        let mut p = CoreProgram::script([Op::Compute(5), Op::Load(Addr(32))]);
+        assert_eq!(p.next_op(), Op::Compute(5));
+        assert_eq!(p.next_op(), Op::Load(Addr(32)));
+        assert_eq!(p.next_op(), Op::End);
+        assert_eq!(p.next_op(), Op::End);
+    }
+
+    #[test]
+    fn clone_replays_suffix() {
+        let mut p = CoreProgram::script([Op::Compute(1), Op::Compute(2), Op::Compute(3)]);
+        p.next_op();
+        let mut snap = p.clone();
+        assert_eq!(p.next_op(), snap.next_op());
+        assert_eq!(p.next_op(), snap.next_op());
+        assert_eq!(p.next_op(), Op::End);
+    }
+
+    #[test]
+    fn empty_script_is_immediately_done() {
+        let mut p = CoreProgram::script([]);
+        assert_eq!(p.next_op(), Op::End);
+    }
+}

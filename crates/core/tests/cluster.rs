@@ -1,0 +1,169 @@
+//! Tests of the §8 extension: cluster-granularity dependence tracking.
+//!
+//! "As the number of processors increases, the directory may have pointers
+//! to groups (or clusters) of processors. In this case, the
+//! MyConsumers/MyProducers registers will be assigned to clusters ...
+//! Inside a cluster, we can perform global checkpointing."
+
+use rebound_core::{CoreProgram, Machine, MachineConfig, Scheme};
+use rebound_engine::{Addr, CoreId, Cycle};
+use rebound_workloads::Op;
+
+fn line(i: u64) -> Addr {
+    Addr(0x80_0000 + i * 32)
+}
+
+fn cfg(n: usize, cluster: usize) -> MachineConfig {
+    let mut c = MachineConfig::small(n);
+    c.scheme = Scheme::REBOUND;
+    c.ckpt_interval_insts = 1_000_000;
+    c.detect_latency = 200;
+    c.dep_cluster = cluster;
+    c
+}
+
+#[test]
+fn solo_checkpoint_pulls_the_whole_cluster() {
+    // 8 cores in clusters of 4. P1 checkpoints with no data dependences at
+    // all: its cluster {P0..P3} must checkpoint with it, and the other
+    // cluster must be untouched.
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| {
+            if i == 1 {
+                CoreProgram::script([Op::Store(line(1)), Op::CheckpointHint, Op::Compute(20_000)])
+            } else {
+                CoreProgram::script([Op::Compute(20_000)])
+            }
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cfg(8, 4), programs);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1);
+    assert!((r.metrics.ichk_sizes.mean() - 4.0).abs() < 1e-9);
+    for c in 0..4 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 1, "cluster mate {c}");
+    }
+    for c in 4..8 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 0, "other cluster {c}");
+    }
+}
+
+#[test]
+fn cross_cluster_dependence_pulls_both_clusters() {
+    // P5 consumes data produced by P0: a checkpoint initiated by P5 must
+    // include P0's entire cluster as well as P5's own.
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| match i {
+            0 => CoreProgram::script([Op::Store(line(1)), Op::Compute(30_000)]),
+            5 => CoreProgram::script([
+                Op::Compute(3_000),
+                Op::Load(line(1)),
+                Op::CheckpointHint,
+                Op::Compute(20_000),
+            ]),
+            _ => CoreProgram::script([Op::Compute(30_000)]),
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cfg(8, 4), programs);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1);
+    assert!(
+        (r.metrics.ichk_sizes.mean() - 8.0).abs() < 1e-9,
+        "both clusters checkpoint, got {}",
+        r.metrics.ichk_sizes.mean()
+    );
+    for c in 0..8 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 1, "core {c}");
+    }
+}
+
+#[test]
+fn rollback_expands_to_whole_clusters() {
+    // P0 produces for P5 (other cluster). A fault at P0 rolls back P0's
+    // cluster and, through the dependence, P5's cluster too.
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| match i {
+            0 => CoreProgram::script([Op::Store(line(1)), Op::Compute(60_000)]),
+            5 => CoreProgram::script([Op::Compute(3_000), Op::Load(line(1)), Op::Compute(60_000)]),
+            _ => CoreProgram::script([Op::Compute(60_000)]),
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cfg(8, 4), programs);
+    m.schedule_fault_detection(CoreId(0), Cycle(20_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!(
+        (r.metrics.irec_sizes.mean() - 8.0).abs() < 1e-9,
+        "whole clusters roll back, got {}",
+        r.metrics.irec_sizes.mean()
+    );
+}
+
+#[test]
+fn independent_cluster_survives_other_clusters_rollback() {
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| match i {
+            0 => CoreProgram::script([Op::Store(line(1)), Op::Compute(60_000)]),
+            _ => CoreProgram::script([Op::Compute(60_000)]),
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cfg(8, 4), programs);
+    m.schedule_fault_detection(CoreId(0), Cycle(20_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!(
+        (r.metrics.irec_sizes.mean() - 4.0).abs() < 1e-9,
+        "only the faulty cluster rolls back, got {}",
+        r.metrics.irec_sizes.mean()
+    );
+}
+
+#[test]
+fn granularity_one_matches_per_processor_tracking() {
+    // With dep_cluster = 1, a solo checkpoint involves exactly one core —
+    // the baseline behaviour the rest of the suite relies on.
+    let programs: Vec<CoreProgram> = (0..4)
+        .map(|i| {
+            if i == 0 {
+                CoreProgram::script([Op::Store(line(1)), Op::CheckpointHint, Op::Compute(5_000)])
+            } else {
+                CoreProgram::script([Op::Compute(5_000)])
+            }
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cfg(4, 1), programs);
+    let r = m.run_to_completion();
+    assert!((r.metrics.ichk_sizes.mean() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn cluster_machine_recovers_to_fault_free_state() {
+    let mk = || {
+        let programs: Vec<CoreProgram> = (0..8)
+            .map(|i| {
+                CoreProgram::script([
+                    Op::Store(line(10 + i)),
+                    Op::Compute(5_000),
+                    Op::CheckpointHint,
+                    Op::Store(line(20 + i)),
+                    Op::Compute(40_000),
+                ])
+            })
+            .collect();
+        Machine::with_programs(&cfg(8, 4), programs)
+    };
+    let mut clean = mk();
+    clean.run_to_completion();
+    let mut faulty = mk();
+    faulty.schedule_fault_detection(CoreId(3), Cycle(25_000));
+    let r = faulty.run_to_completion();
+    assert!(r.rollbacks >= 1);
+    for i in 0..32 {
+        let l = line(i).line(Default::default());
+        assert_eq!(
+            clean.effective_line_value(l),
+            faulty.effective_line_value(l),
+            "line {i}"
+        );
+    }
+}

@@ -1,0 +1,605 @@
+//! Directed protocol tests: each scenario exercises one rule of the paper
+//! (dependence recording of Fig 3.2, the checkpoint/rollback rules of
+//! Fig 2.1, the distributed protocols of §3.3.4–§3.3.5, the delayed
+//! writebacks of §4.1 and the multi-checkpoint discipline of §4.2) on a
+//! scripted machine where every access is hand-placed.
+
+use rebound_core::{CoreProgram, Machine, MachineConfig, Scheme};
+use rebound_engine::{Addr, CoreId, Cycle};
+use rebound_workloads::Op;
+
+/// A shared line address (distinct line per index).
+fn line(i: u64) -> Addr {
+    Addr(0x10_0000 + i * 32)
+}
+
+fn cfg(n: usize) -> MachineConfig {
+    let mut c = MachineConfig::small(n);
+    c.scheme = Scheme::REBOUND;
+    c.ckpt_interval_insts = 1_000_000; // interval timer never fires in tests
+    c.detect_latency = 200;
+    c
+}
+
+/// Two-core machine where P0 produces `x` and P1 consumes it, with enough
+/// trailing compute to keep both alive.
+fn producer_consumer(extra0: Vec<Op>, extra1: Vec<Op>) -> Machine {
+    let mut p0 = vec![Op::Store(line(1)), Op::Compute(500)];
+    p0.extend(extra0);
+    // P1 waits long enough for P0's store to globally land, then reads.
+    let mut p1 = vec![Op::Compute(2_000), Op::Load(line(1)), Op::Compute(500)];
+    p1.extend(extra1);
+    Machine::with_programs(
+        &cfg(2),
+        vec![CoreProgram::script(p0), CoreProgram::script(p1)],
+    )
+}
+
+// ---------------------------------------------------------------------
+// Dependence recording (Fig 3.2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn read_after_write_records_producer_consumer() {
+    let mut m = producer_consumer(vec![], vec![]);
+    m.run_to_completion();
+    assert!(
+        m.my_consumers(CoreId(0)).contains(CoreId(1)),
+        "producer's MyConsumers must gain the reader's bit"
+    );
+    assert!(
+        m.my_producers(CoreId(1)).contains(CoreId(0)),
+        "consumer's MyProducers must gain the writer's bit"
+    );
+}
+
+#[test]
+fn write_after_write_records_dependence() {
+    // WW is a dependence too: "the second writer can later read silently".
+    let p0 = CoreProgram::script([Op::Store(line(1)), Op::Compute(500)]);
+    let p1 = CoreProgram::script([Op::Compute(2_000), Op::Store(line(1)), Op::Compute(500)]);
+    let mut m = Machine::with_programs(&cfg(2), vec![p0, p1]);
+    m.run_to_completion();
+    assert!(m.my_consumers(CoreId(0)).contains(CoreId(1)));
+    assert!(m.my_producers(CoreId(1)).contains(CoreId(0)));
+}
+
+#[test]
+fn read_exclusive_counts_as_write_for_lwid() {
+    // P0 merely loads the line (granted Exclusive — the RDX row of
+    // Fig 3.2); P1's later read must still record the dependence because
+    // P0 could have written silently.
+    let p0 = CoreProgram::script([Op::Load(line(1)), Op::Compute(500)]);
+    let p1 = CoreProgram::script([Op::Compute(2_000), Op::Load(line(1)), Op::Compute(500)]);
+    let mut m = Machine::with_programs(&cfg(2), vec![p0, p1]);
+    m.run_to_completion();
+    assert!(
+        m.my_producers(CoreId(1)).contains(CoreId(0)),
+        "RDX saves the reader's PID in LW-ID"
+    );
+}
+
+#[test]
+fn no_dependence_between_disjoint_lines() {
+    let p0 = CoreProgram::script([Op::Store(line(1)), Op::Compute(500)]);
+    let p1 = CoreProgram::script([Op::Compute(2_000), Op::Store(line(2)), Op::Compute(500)]);
+    let mut m = Machine::with_programs(&cfg(2), vec![p0, p1]);
+    m.run_to_completion();
+    assert!(m.my_consumers(CoreId(0)).is_empty());
+    assert!(m.my_producers(CoreId(1)).is_empty());
+}
+
+#[test]
+fn stale_lwid_yields_no_dependence_after_checkpoint() {
+    // P0 writes, checkpoints (clearing its WSIG for the new interval),
+    // then P1 reads. The stale LW-ID query must answer NO_WR: no
+    // dependence in P0's *active* set.
+    let p0 = CoreProgram::script([
+        Op::Store(line(1)),
+        Op::Compute(100),
+        Op::CheckpointHint,
+        Op::Compute(8_000),
+    ]);
+    let p1 = CoreProgram::script([Op::Compute(6_000), Op::Load(line(1)), Op::Compute(500)]);
+    let mut m = Machine::with_programs(&cfg(2), vec![p0, p1]);
+    m.run_to_completion();
+    assert_eq!(m.checkpoints_of(CoreId(0)), 1);
+    assert!(
+        m.my_consumers(CoreId(0)).is_empty(),
+        "post-checkpoint active MyConsumers must not see the old write"
+    );
+    // The consumer side is allowed to be a superset (it optimistically set
+    // the bit), so we do not assert on P1's MyProducers here.
+}
+
+// ---------------------------------------------------------------------
+// The checkpoint rule of Fig 2.1(b): consumer checkpoints ⇒ producer too
+// ---------------------------------------------------------------------
+
+#[test]
+fn consumer_checkpoint_drags_producer() {
+    let mut m = producer_consumer(
+        vec![Op::Compute(8_000)],
+        vec![Op::Compute(100), Op::CheckpointHint, Op::Compute(2_000)],
+    );
+    let r = m.run_to_completion();
+    assert_eq!(m.checkpoints_of(CoreId(1)), 1, "initiator checkpointed");
+    assert_eq!(
+        m.checkpoints_of(CoreId(0)),
+        1,
+        "producer must checkpoint with its consumer (Fig 2.1(b))"
+    );
+    assert!(r.metrics.ichk_sizes.mean() >= 2.0);
+}
+
+#[test]
+fn independent_core_not_dragged_into_checkpoint() {
+    let p0 = CoreProgram::script([Op::Store(line(1)), Op::Compute(9_000)]);
+    let p1 = CoreProgram::script([
+        Op::Compute(2_000),
+        Op::Load(line(1)),
+        Op::CheckpointHint,
+        Op::Compute(2_000),
+    ]);
+    let p2 = CoreProgram::script([Op::Store(line(7)), Op::Compute(9_000)]);
+    let mut m = Machine::with_programs(&cfg(3), vec![p0, p1, p2]);
+    m.run_to_completion();
+    assert_eq!(m.checkpoints_of(CoreId(1)), 1);
+    assert_eq!(m.checkpoints_of(CoreId(0)), 1);
+    assert_eq!(
+        m.checkpoints_of(CoreId(2)),
+        0,
+        "an uninvolved processor must not be forced to checkpoint"
+    );
+}
+
+#[test]
+fn transitive_producers_join_the_interaction_set() {
+    // P0 -> P1 -> P2 dependence chain; P2 initiates; all three join.
+    let p0 = CoreProgram::script([Op::Store(line(1)), Op::Compute(20_000)]);
+    let p1 = CoreProgram::script([
+        Op::Compute(2_000),
+        Op::Load(line(1)),
+        Op::Store(line(2)),
+        Op::Compute(20_000),
+    ]);
+    let p2 = CoreProgram::script([
+        Op::Compute(5_000),
+        Op::Load(line(2)),
+        Op::CheckpointHint,
+        Op::Compute(10_000),
+    ]);
+    let mut m = Machine::with_programs(&cfg(3), vec![p0, p1, p2]);
+    let r = m.run_to_completion();
+    for c in 0..3 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 1, "core {c}");
+    }
+    assert!((r.metrics.ichk_sizes.mean() - 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn producer_declines_if_it_already_checkpointed() {
+    // P0 produces, checkpoints alone; P1's later initiation gets a
+    // Decline (P0's MyConsumers was cleared) and P1 checkpoints alone.
+    let p0 = CoreProgram::script([
+        Op::Store(line(1)),
+        Op::Compute(3_000),
+        Op::CheckpointHint,
+        Op::Compute(12_000),
+    ]);
+    let p1 = CoreProgram::script([
+        Op::Compute(1_000),
+        Op::Load(line(1)),
+        Op::Compute(8_000),
+        Op::CheckpointHint,
+        Op::Compute(4_000),
+    ]);
+    let mut m = Machine::with_programs(&cfg(2), vec![p0, p1]);
+    let r = m.run_to_completion();
+    assert_eq!(m.checkpoints_of(CoreId(0)), 1, "P0 checkpointed once only");
+    assert_eq!(m.checkpoints_of(CoreId(1)), 1);
+    assert!(r.metrics.declines >= 1, "the stale CK? must be declined");
+}
+
+#[test]
+fn solo_checkpoint_with_no_producers() {
+    let p0 = CoreProgram::script([Op::Store(line(1)), Op::CheckpointHint, Op::Compute(2_000)]);
+    let mut m = Machine::with_programs(&cfg(1), vec![p0]);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1);
+    assert_eq!(m.checkpoints_of(CoreId(0)), 1);
+    assert!((r.metrics.ichk_sizes.mean() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn checkpoint_writes_back_dirty_lines_keeping_clean_copies() {
+    let a = line(3);
+    let p0 = CoreProgram::script([Op::Store(a), Op::CheckpointHint, Op::Compute(3_000)]);
+    let mut m = Machine::with_programs(&cfg(1), vec![p0]);
+    m.run_to_completion();
+    let la = a.line(Default::default());
+    assert_ne!(m.memory().read(la), 0, "dirty line must reach memory");
+    // The L2 keeps a clean copy.
+    assert!(m.undo_log().entries.get() >= 1, "the old value was logged");
+}
+
+// ---------------------------------------------------------------------
+// Rollback rules (Fig 2.1(c), §3.3.5)
+// ---------------------------------------------------------------------
+
+#[test]
+fn producer_rollback_drags_consumer() {
+    let mut m = producer_consumer(vec![Op::Compute(40_000)], vec![Op::Compute(40_000)]);
+    m.schedule_fault_detection(CoreId(0), Cycle(20_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!(
+        (r.metrics.irec_sizes.mean() - 2.0).abs() < 1e-9,
+        "the consumer must roll back with its producer (Fig 2.1(c))"
+    );
+}
+
+#[test]
+fn consumer_fault_does_not_drag_producer() {
+    // Dependences are directional: rolling back the *consumer* does not
+    // require the producer to roll back.
+    let mut m = producer_consumer(vec![Op::Compute(40_000)], vec![Op::Compute(40_000)]);
+    m.schedule_fault_detection(CoreId(1), Cycle(20_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!(
+        (r.metrics.irec_sizes.mean() - 1.0).abs() < 1e-9,
+        "only the faulty consumer rolls back"
+    );
+}
+
+#[test]
+fn rollback_restores_memory_exactly() {
+    // Run the same program twice, once with a mid-run fault. Deterministic
+    // re-execution from the recovery line must converge to the identical
+    // final memory image.
+    let script = || {
+        vec![
+            Op::Store(line(1)),
+            Op::Store(line(2)),
+            Op::CheckpointHint,
+            Op::Compute(5_000),
+            Op::Store(line(1)),
+            Op::Store(line(4)),
+            Op::Compute(30_000),
+            Op::CheckpointHint,
+            Op::Compute(1_000),
+        ]
+    };
+    let run = |fault: bool| {
+        let mut m = Machine::with_programs(&cfg(1), vec![CoreProgram::script(script())]);
+        if fault {
+            m.schedule_fault_detection(CoreId(0), Cycle(15_000));
+        }
+        m.run_to_completion();
+        m.memory().snapshot()
+    };
+    let clean = run(false);
+    let faulty = run(true);
+    assert_eq!(clean, faulty, "recovery must reproduce the clean run");
+}
+
+#[test]
+fn rollback_goes_to_safe_checkpoint_only() {
+    // With detection latency L, a checkpoint completed more recently than
+    // L ago is not safe; the rollback must go one further back.
+    let mut c = cfg(1);
+    c.detect_latency = 50_000; // enormous L: no post-boot checkpoint is safe
+    let p0 = CoreProgram::script([
+        Op::Store(line(1)),
+        Op::CheckpointHint,
+        Op::Compute(10_000),
+        Op::Store(line(2)),
+        Op::Compute(20_000),
+    ]);
+    let mut m = Machine::with_programs(&c, vec![p0]);
+    m.schedule_fault_detection(CoreId(0), Cycle(20_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    // Rolled back to boot: its one checkpoint was undone and re-created,
+    // so the core ends with exactly one completed checkpoint again and the
+    // full program re-ran (instructions ≥ 2x the pre-fault work).
+    assert!(m.is_finished());
+    assert_eq!(m.checkpoints_of(CoreId(0)), 1);
+}
+
+#[test]
+fn faulted_done_core_reexecutes_and_finishes() {
+    // Core 0 finishes quickly; core 1 keeps the machine alive. The fault
+    // at the already-Done core 0 must still roll it back and let it
+    // re-execute to completion.
+    let p0 = CoreProgram::script([Op::Store(line(1)), Op::Compute(100)]);
+    let p1 = CoreProgram::script([Op::Compute(50_000)]);
+    let mut m = Machine::with_programs(&cfg(2), vec![p0, p1]);
+    m.schedule_fault_detection(CoreId(0), Cycle(5_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!(m.is_finished());
+}
+
+#[test]
+fn global_scheme_rolls_back_every_processor() {
+    let mut c = cfg(3);
+    c.scheme = Scheme::GLOBAL;
+    let progs = (0..3)
+        .map(|i| CoreProgram::script([Op::Store(line(10 + i)), Op::Compute(40_000)]))
+        .collect();
+    let mut m = Machine::with_programs(&c, progs);
+    m.schedule_fault_detection(CoreId(1), Cycle(20_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!((r.metrics.irec_sizes.mean() - 3.0).abs() < 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Synchronization lowering
+// ---------------------------------------------------------------------
+
+#[test]
+fn lock_handoff_creates_dependence_chain() {
+    // P0 takes and releases the lock; P1 then takes it: the test-and-set
+    // on the lock line is a WW dependence with the previous holder.
+    let p0 = CoreProgram::script([
+        Op::LockAcquire(0),
+        Op::Compute(50),
+        Op::LockRelease(0),
+        Op::Compute(5_000),
+    ]);
+    let p1 = CoreProgram::script([
+        Op::Compute(2_000),
+        Op::LockAcquire(0),
+        Op::Compute(50),
+        Op::LockRelease(0),
+        Op::Compute(2_000),
+    ]);
+    let mut m = Machine::with_programs(&cfg(2), vec![p0, p1]);
+    m.run_to_completion();
+    assert!(
+        m.my_producers(CoreId(1)).contains(CoreId(0)),
+        "lock handoff must chain holder to next holder"
+    );
+}
+
+#[test]
+fn lock_mutual_exclusion_and_queueing() {
+    // Both cores contend; both eventually complete their critical section.
+    let mk = || {
+        CoreProgram::script([
+            Op::LockAcquire(3),
+            Op::Compute(500),
+            Op::LockRelease(3),
+            Op::Compute(100),
+        ])
+    };
+    let mut m = Machine::with_programs(&cfg(2), vec![mk(), mk()]);
+    let r = m.run_to_completion();
+    assert!(m.is_finished());
+    // 602 instructions per core, plus one extra retried test-and-set by
+    // the core that found the lock held and was granted it on release.
+    assert_eq!(r.insts, 2 * 602 + 1);
+}
+
+#[test]
+fn barrier_chains_all_processors() {
+    // After a barrier, an initiating processor finds everyone in its
+    // interaction set (Fig 4.2(b)).
+    let mk = |i: usize| {
+        let mut v = vec![Op::Compute(100 * (i as u64 + 1))];
+        v.push(Op::Barrier);
+        v.push(Op::Compute(200));
+        if i == 2 {
+            v.push(Op::CheckpointHint);
+        }
+        v.push(Op::Compute(2_000));
+        CoreProgram::script(v)
+    };
+    let mut m = Machine::with_programs(&cfg(4), (0..4).map(mk).collect());
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1);
+    assert!(
+        (r.metrics.ichk_sizes.mean() - 4.0).abs() < 1e-9,
+        "global barriers induce global checkpoints (§4.2.1), got {}",
+        r.metrics.ichk_sizes.mean()
+    );
+    for c in 0..4 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 1, "core {c}");
+    }
+}
+
+#[test]
+fn barrier_releases_all_waiters() {
+    let mk =
+        |i: u64| CoreProgram::script([Op::Compute(10 + i * 1_000), Op::Barrier, Op::Compute(50)]);
+    let mut m = Machine::with_programs(&cfg(3), (0..3).map(mk).collect());
+    m.run_to_completion();
+    assert!(m.is_finished(), "no waiter may be stranded");
+}
+
+// ---------------------------------------------------------------------
+// Output I/O (§6.4)
+// ---------------------------------------------------------------------
+
+#[test]
+fn output_io_forces_a_checkpoint_first() {
+    let p0 = CoreProgram::script([
+        Op::Store(line(1)),
+        Op::Compute(500),
+        Op::OutputIo,
+        Op::Compute(500),
+    ]);
+    let mut m = Machine::with_programs(&cfg(1), vec![p0]);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1, "output must be preceded by a checkpoint");
+    // The store's data reached safe memory before the I/O.
+    assert_ne!(m.memory().read(line(1).line(Default::default())), 0);
+}
+
+#[test]
+fn output_io_under_global_scheme() {
+    let mut c = cfg(2);
+    c.scheme = Scheme::GLOBAL;
+    let p0 = CoreProgram::script([Op::Store(line(1)), Op::OutputIo, Op::Compute(500)]);
+    let p1 = CoreProgram::script([Op::Compute(6_000)]);
+    let mut m = Machine::with_programs(&c, vec![p0, p1]);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1);
+    assert_eq!(
+        m.checkpoints_of(CoreId(1)),
+        1,
+        "global scheme drags everyone"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Delayed writebacks (§4.1) and multiple checkpoints (§4.2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn delayed_writebacks_eventually_drain() {
+    let mut c = cfg(1);
+    c.scheme = Scheme::REBOUND; // DWB on
+    let mut ops = vec![];
+    for i in 0..50 {
+        ops.push(Op::Store(line(100 + i)));
+    }
+    ops.push(Op::CheckpointHint);
+    ops.push(Op::Compute(30_000));
+    let mut m = Machine::with_programs(&c, vec![CoreProgram::script(ops)]);
+    m.run_to_completion();
+    for i in 0..50 {
+        assert_ne!(
+            m.memory().read(line(100 + i).line(Default::default())),
+            0,
+            "line {i} must drain to memory"
+        );
+    }
+    assert_eq!(m.checkpoints_of(CoreId(0)), 1);
+}
+
+#[test]
+fn write_to_delayed_line_is_flushed_first_then_new_value_wins() {
+    let a = line(5);
+    let mut c = cfg(1);
+    c.drain_gap = 5_000; // drain slowly so the store hits a Delayed line
+    let p0 = CoreProgram::script([
+        Op::Store(a),
+        Op::CheckpointHint,
+        Op::Compute(100),
+        Op::Store(a), // forces the immediate flush of the checkpoint value
+        Op::Compute(40_000),
+        Op::CheckpointHint, // second checkpoint pushes the new value out
+        Op::Compute(1_000),
+    ]);
+    let mut m = Machine::with_programs(&c, vec![p0]);
+    m.run_to_completion();
+    assert_eq!(m.checkpoints_of(CoreId(0)), 2);
+    // Two distinct values were logged for the line across the intervals.
+    assert!(m.undo_log().entries.get() >= 2);
+}
+
+#[test]
+fn dwb_rollback_may_undo_two_intervals() {
+    // Fig 4.1(d): with delayed writebacks, a fault may require undoing the
+    // interval whose data was still draining plus the current one.
+    let mut c = cfg(1);
+    c.detect_latency = 8_000;
+    c.drain_gap = 2_000; // slow drain
+    let p0 = CoreProgram::script([
+        Op::Store(line(1)),
+        Op::CheckpointHint, // checkpoint A
+        Op::Compute(2_000),
+        Op::Store(line(2)),
+        Op::Compute(60_000),
+    ]);
+    let mut m = Machine::with_programs(&c, vec![p0]);
+    // Detected while checkpoint A's writebacks may still be draining and
+    // in any case less than L after completion: A is unsafe.
+    m.schedule_fault_detection(CoreId(0), Cycle(6_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!(m.is_finished());
+    // The rollback target was the boot checkpoint (A was unsafe), so the
+    // whole program re-executed and finished.
+}
+
+#[test]
+fn dep_register_exhaustion_stalls_but_progresses() {
+    let mut c = cfg(1);
+    c.dep_sets = 2;
+    c.detect_latency = 30_000; // sets stay pinned a long time
+    let mut ops = vec![];
+    for i in 0..4 {
+        ops.push(Op::Store(line(50 + i)));
+        ops.push(Op::CheckpointHint);
+        ops.push(Op::Compute(500));
+    }
+    ops.push(Op::Compute(2_000));
+    let mut m = Machine::with_programs(&c, vec![CoreProgram::script(ops)]);
+    let r = m.run_to_completion();
+    assert_eq!(m.checkpoints_of(CoreId(0)), 4, "all checkpoints complete");
+    assert!(
+        r.metrics.dep_stalls > 0,
+        "with 2 sets and huge L, rotation must have stalled at least once"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Schemes: Global baseline behaviour
+// ---------------------------------------------------------------------
+
+#[test]
+fn global_checkpoint_includes_every_processor() {
+    let mut c = cfg(3);
+    c.scheme = Scheme::GLOBAL;
+    c.ckpt_interval_insts = 5_000;
+    let progs = (0..3)
+        .map(|_| CoreProgram::script([Op::Compute(12_000)]))
+        .collect();
+    let mut m = Machine::with_programs(&c, progs);
+    let r = m.run_to_completion();
+    assert!(r.checkpoints >= 1);
+    assert!((r.metrics.ichk_sizes.mean() - 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn no_scheme_means_no_checkpoints_no_log() {
+    let mut c = cfg(2);
+    c.scheme = Scheme::None;
+    let progs = (0..2)
+        .map(|_| CoreProgram::script([Op::Store(line(1)), Op::Compute(1_000)]))
+        .collect();
+    let mut m = Machine::with_programs(&c, progs);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 0);
+    assert_eq!(r.log_entries, 0);
+}
+
+// ---------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------
+
+#[test]
+fn full_machine_determinism_with_checkpoints_and_fault() {
+    let run = || {
+        let profile = rebound_workloads::profile_named("FMM").unwrap();
+        let mut c = MachineConfig::small(6);
+        c.scheme = Scheme::REBOUND;
+        c.ckpt_interval_insts = 8_000;
+        let mut m = Machine::from_profile(&c, &profile, 30_000);
+        m.schedule_fault_detection(CoreId(2), Cycle(40_000));
+        let r = m.run_to_completion();
+        (
+            r.cycles,
+            r.insts,
+            r.checkpoints,
+            r.rollbacks,
+            m.memory().snapshot(),
+        )
+    };
+    assert_eq!(run(), run());
+}

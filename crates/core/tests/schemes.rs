@@ -1,0 +1,242 @@
+//! Scheme-level behavioural tests: the configuration matrix of Fig 4.3(a)
+//! must produce the qualitative behaviours the paper attributes to each
+//! variant.
+
+use rebound_core::{CoreProgram, Machine, MachineConfig, Scheme};
+use rebound_engine::{Addr, CoreId};
+use rebound_workloads::{profile_named, Op};
+
+fn line(i: u64) -> Addr {
+    Addr(0xA0_0000 + i * 32)
+}
+
+fn cfg(n: usize, scheme: Scheme) -> MachineConfig {
+    let mut c = MachineConfig::small(n);
+    c.scheme = scheme;
+    c.ckpt_interval_insts = 8_000;
+    c.detect_latency = 500;
+    c
+}
+
+#[test]
+fn global_dwb_resumes_before_drain_completes() {
+    // With Global_DWB the application resumes right after the Delayed bits
+    // are set; the stalled variant keeps every core parked for the whole
+    // writeback burst. Same workload, same seed: DWB must finish sooner.
+    // (Paper-sized caches: the effect needs realistic dirty footprints.)
+    let p = profile_named("Ocean").unwrap();
+    let run = |s: Scheme| {
+        let mut c = MachineConfig::paper(8);
+        c.scheme = s;
+        c.ckpt_interval_insts = 60_000;
+        c.detect_latency = 2_000;
+        let mut m = Machine::from_profile(&c, &p, 200_000);
+        m.run_to_completion().cycles
+    };
+    let stalled = run(Scheme::GLOBAL);
+    let dwb = run(Scheme::GLOBAL_DWB);
+    assert!(
+        dwb < stalled,
+        "delayed writebacks must shorten the run ({dwb} vs {stalled})"
+    );
+}
+
+#[test]
+fn rebound_dwb_beats_stalled_writebacks() {
+    let p = profile_named("LU-C").unwrap();
+    let run = |s: Scheme| {
+        let mut m = Machine::from_profile(&cfg(8, s), &p, 30_000);
+        m.run_to_completion().cycles
+    };
+    let stalled = run(Scheme::REBOUND_NODWB);
+    let dwb = run(Scheme::REBOUND);
+    assert!(
+        dwb < stalled,
+        "Rebound with DWB must be faster ({dwb} vs {stalled})"
+    );
+}
+
+#[test]
+fn global_checkpoints_have_no_dep_traffic_or_declines() {
+    let p = profile_named("Barnes").unwrap();
+    let mut m = Machine::from_profile(&cfg(8, Scheme::GLOBAL), &p, 30_000);
+    let r = m.run_to_completion();
+    assert_eq!(r.msgs.dep.get(), 0, "Global needs no LW-ID machinery");
+    assert_eq!(r.metrics.declines, 0);
+    assert_eq!(r.metrics.busy_aborts, 0);
+}
+
+#[test]
+fn rebound_stall_breakdown_shifts_from_wb_to_ipc_with_dwb() {
+    // The Fig 6.5 story in miniature: stalled writebacks dominate without
+    // DWB; with DWB the writeback stall largely disappears.
+    let p = profile_named("Radix").unwrap();
+    let run = |s: Scheme| {
+        let mut m = Machine::from_profile(&cfg(8, s), &p, 40_000);
+        m.run_to_completion().metrics.breakdown
+    };
+    let no_dwb = run(Scheme::REBOUND_NODWB);
+    let dwb = run(Scheme::REBOUND);
+    assert!(no_dwb.wb_delay > 0);
+    assert!(
+        dwb.wb_delay < no_dwb.wb_delay / 2,
+        "DWB must slash WBDelay ({} vs {})",
+        dwb.wb_delay,
+        no_dwb.wb_delay
+    );
+    // With DWB the cost reappears as background-traffic interference.
+    assert!(dwb.ipc_delay > 0, "DWB must show IPCDelay");
+}
+
+#[test]
+fn nack_is_sent_while_draining_and_requester_retries() {
+    // P0 checkpoints with a big dirty set and a glacial drain; P1, a
+    // consumer of P0, then tries to checkpoint and must get Nacked, retry,
+    // and eventually succeed.
+    let mut c = cfg(2, Scheme::REBOUND);
+    c.ckpt_interval_insts = 1_000_000;
+    c.drain_gap = 3_000;
+    let mut ops0 = vec![Op::Store(line(0))];
+    for i in 0..40 {
+        ops0.push(Op::Store(line(10 + i)));
+    }
+    ops0.push(Op::CheckpointHint);
+    ops0.push(Op::Compute(200_000));
+    let p0 = CoreProgram::script(ops0);
+    let p1 = CoreProgram::script([
+        Op::Compute(500),
+        Op::Load(line(0)), // dependence on P0
+        Op::Compute(3_000),
+        Op::CheckpointHint, // lands while P0 drains
+        Op::Compute(200_000),
+    ]);
+    let mut m = Machine::with_programs(&c, vec![p0, p1]);
+    let r = m.run_to_completion();
+    // While P0 is still finishing its delayed checkpoint it answers Busy
+    // (episode not complete) or Nack (drain after completion); either way
+    // P1 backs off, retries and eventually succeeds.
+    assert!(
+        r.metrics.busy_aborts + r.metrics.nacks >= 1,
+        "P1 must have been pushed back at least once"
+    );
+    assert!(
+        m.checkpoints_of(CoreId(1)) >= 1,
+        "P1's checkpoint must eventually complete"
+    );
+}
+
+#[test]
+fn barrier_opt_produces_small_sets_on_barrier_heavy_code() {
+    // Ocean synchronizes every 50k instructions; the run must cross
+    // several barriers with the interval sized so processors are
+    // "interested" when they reach one.
+    let p = profile_named("Ocean").unwrap();
+    let run = |s: Scheme| {
+        let mut c = cfg(8, s);
+        c.ckpt_interval_insts = 40_000;
+        let mut m = Machine::from_profile(&c, &p, 220_000);
+        m.run_to_completion()
+    };
+    let plain = run(Scheme::REBOUND);
+    let barr = run(Scheme::REBOUND_BARR);
+    assert!(
+        barr.metrics.ichk_sizes.mean() < plain.metrics.ichk_sizes.mean(),
+        "the barrier optimization must shrink recorded sets ({} vs {})",
+        barr.metrics.ichk_sizes.mean(),
+        plain.metrics.ichk_sizes.mean()
+    );
+}
+
+#[test]
+fn checkpoint_interval_tracks_configuration() {
+    let p = profile_named("Blackscholes").unwrap();
+    let mut short = cfg(4, Scheme::REBOUND);
+    short.ckpt_interval_insts = 5_000;
+    let mut long = cfg(4, Scheme::REBOUND);
+    long.ckpt_interval_insts = 20_000;
+    let r_short = Machine::from_profile(&short, &p, 60_000).run_to_completion();
+    let r_long = Machine::from_profile(&long, &p, 60_000).run_to_completion();
+    assert!(
+        r_short.metrics.processor_checkpoints > 2 * r_long.metrics.processor_checkpoints,
+        "a 4x shorter interval must produce several times more checkpoints ({} vs {})",
+        r_short.metrics.processor_checkpoints,
+        r_long.metrics.processor_checkpoints
+    );
+}
+
+#[test]
+fn seeds_change_runs_but_configs_are_deterministic() {
+    let p = profile_named("Ferret").unwrap();
+    let run = |seed: u64| {
+        let mut c = cfg(4, Scheme::REBOUND);
+        c.seed = seed;
+        let mut m = Machine::from_profile(&c, &p, 20_000);
+        m.run_to_completion().cycles
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn gated_lock_grant_survives_episode_abort() {
+    // Regression: a NoDWB checkpoint member that is blocked on a lock when
+    // StartWB arrives, gets the lock granted while execution-gated, and
+    // whose episode is then killed by a fault at another member, must be
+    // rescheduled when the gate clears (lost-wakeup bug).
+    let mut c = cfg(3, Scheme::REBOUND_NODWB);
+    c.ckpt_interval_insts = 1_000_000;
+    c.detect_latency = 300;
+    // P1 produces for P0 and then waits on a lock held by P2.
+    let mut p1_ops = vec![Op::Store(line(40))];
+    for i in 0..60 {
+        p1_ops.push(Op::Store(line(50 + i))); // big dirty set: long WB stall
+    }
+    p1_ops.push(Op::LockAcquire(5));
+    p1_ops.push(Op::LockRelease(5));
+    p1_ops.push(Op::Compute(50_000));
+    let p1 = CoreProgram::script(p1_ops);
+    // P0 consumes P1's data and initiates a checkpoint.
+    let p0 = CoreProgram::script([
+        Op::Compute(2_500),
+        Op::Load(line(40)),
+        Op::CheckpointHint,
+        Op::Compute(80_000),
+    ]);
+    // P2 holds the lock across the checkpoint start, releasing mid-WB.
+    let p2 = CoreProgram::script([
+        Op::LockAcquire(5),
+        Op::Compute(4_000),
+        Op::LockRelease(5),
+        Op::Compute(80_000),
+    ]);
+    let mut m = Machine::with_programs(&c, vec![p0, p1, p2]);
+    // Fault at the initiator while the episode is in flight.
+    m.schedule_fault_detection(CoreId(0), rebound_engine::Cycle(4_500));
+    let r = m.run_to_completion();
+    assert!(m.is_finished(), "no core may be stranded");
+    assert!(r.rollbacks >= 1);
+}
+
+#[test]
+fn load_latency_histogram_is_populated_and_shifted_by_contention() {
+    let p = profile_named("Ocean").unwrap();
+    let run = |s: Scheme| {
+        let mut m = Machine::from_profile(&cfg(8, s), &p, 30_000);
+        m.run_to_completion().metrics.load_latency
+    };
+    let base = run(Scheme::None);
+    let reb = run(Scheme::REBOUND);
+    assert!(base.count() > 1_000, "loads must be recorded");
+    assert!(reb.count() > 1_000);
+    // Checkpoint traffic can only push the mean latency up.
+    assert!(
+        reb.mean() >= base.mean() * 0.98,
+        "Rebound mean load latency {} vs baseline {}",
+        reb.mean(),
+        base.mean()
+    );
+    // Latencies span the hierarchy: medians within the memory-access
+    // class, and some loads reach main memory.
+    assert!(base.quantile_upper_bound(0.5) <= 512, "median within memory class");
+    assert!(base.max() >= 200, "some loads reach memory");
+}

@@ -1,0 +1,88 @@
+//! Tests of the §8 selective-tracking extension: the runtime can disable
+//! dependence tracking globally or exclude address ranges, and such
+//! accesses never create interaction edges.
+
+use rebound_core::{CoreProgram, Machine, MachineConfig, Scheme};
+use rebound_engine::{Addr, CoreId};
+use rebound_workloads::Op;
+
+fn line(i: u64) -> Addr {
+    Addr(0xC0_0000 + i * 32)
+}
+
+fn cfg(n: usize) -> MachineConfig {
+    let mut c = MachineConfig::small(n);
+    c.scheme = Scheme::REBOUND;
+    c.ckpt_interval_insts = 1_000_000;
+    c.detect_latency = 200;
+    c
+}
+
+fn producer_consumer_programs(addr: Addr) -> Vec<CoreProgram> {
+    vec![
+        CoreProgram::script([Op::Store(addr), Op::Compute(3_000)]),
+        CoreProgram::script([Op::Compute(1_500), Op::Load(addr), Op::Compute(1_500)]),
+    ]
+}
+
+#[test]
+fn untracked_range_creates_no_dependences() {
+    let a = line(5);
+    let mut c = cfg(2);
+    c.untracked_ranges = vec![(a.0, a.0 + 32)];
+    let mut m = Machine::with_programs(&c, producer_consumer_programs(a));
+    m.run_to_completion();
+    assert!(
+        m.my_consumers(CoreId(0)).is_empty(),
+        "untracked addresses must not set MyConsumers"
+    );
+    assert!(m.my_producers(CoreId(1)).is_empty());
+}
+
+#[test]
+fn tracked_addresses_outside_the_range_still_record() {
+    let a = line(5);
+    let mut c = cfg(2);
+    c.untracked_ranges = vec![(line(100).0, line(200).0)];
+    let mut m = Machine::with_programs(&c, producer_consumer_programs(a));
+    m.run_to_completion();
+    assert!(m.my_consumers(CoreId(0)).contains(CoreId(1)));
+}
+
+#[test]
+fn runtime_switch_disables_tracking() {
+    let a = line(7);
+    let mut m = Machine::with_programs(&cfg(2), producer_consumer_programs(a));
+    m.set_tracking_enabled(false);
+    m.run_to_completion();
+    assert!(m.my_consumers(CoreId(0)).is_empty());
+    assert!(m.my_producers(CoreId(1)).is_empty());
+}
+
+#[test]
+fn untracked_dependence_keeps_checkpoints_solo() {
+    // With the shared line untracked, the consumer's checkpoint must not
+    // drag the producer (the runtime has vouched for that data).
+    let a = line(9);
+    let mut c = cfg(2);
+    c.untracked_ranges = vec![(a.0, a.0 + 32)];
+    let p0 = CoreProgram::script([Op::Store(a), Op::Compute(8_000)]);
+    let p1 = CoreProgram::script([
+        Op::Compute(1_500),
+        Op::Load(a),
+        Op::CheckpointHint,
+        Op::Compute(3_000),
+    ]);
+    let mut m = Machine::with_programs(&c, vec![p0, p1]);
+    let r = m.run_to_completion();
+    assert_eq!(m.checkpoints_of(CoreId(1)), 1);
+    assert_eq!(m.checkpoints_of(CoreId(0)), 0, "producer not dragged");
+    assert!((r.metrics.ichk_sizes.mean() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn config_rejects_empty_ranges() {
+    let mut c = cfg(2);
+    c.untracked_ranges = vec![(100, 100)];
+    assert!(c.validate().is_err());
+}

@@ -1,0 +1,129 @@
+//! Deterministic 16-core stress matrix: every scheme, several workload
+//! shapes, faults landing mid-run (including inside checkpoint episodes),
+//! with structural invariants asserted on each cell.
+//!
+//! Where the property tests probe small adversarial programs, this suite
+//! pressures the *protocols at scale*: many concurrent initiators,
+//! Busy/Decline storms, delayed-writeback drains racing rollbacks.
+
+use rebound_core::{Machine, MachineConfig, RunReport, Scheme};
+use rebound_engine::{CoreId, Cycle};
+use rebound_workloads::profile_named;
+
+const CORES: usize = 16;
+
+fn run(scheme: Scheme, app: &str, faults: &[(usize, u64)]) -> RunReport {
+    let mut cfg = MachineConfig::small(CORES);
+    cfg.scheme = scheme;
+    cfg.ckpt_interval_insts = 5_000;
+    cfg.detect_latency = 800;
+    let profile = profile_named(app).expect("catalog app");
+    let mut m = Machine::from_profile(&cfg, &profile, 30_000);
+    for &(c, at) in faults {
+        m.schedule_fault_detection(CoreId(c % CORES), Cycle(at));
+    }
+    let mut steps = 0u64;
+    while m.step() {
+        steps += 1;
+        assert!(
+            steps < 120_000_000,
+            "livelock: {scheme:?}/{app} with {} faults",
+            faults.len()
+        );
+    }
+    m.report()
+}
+
+fn check_invariants(r: &RunReport, scheme: Scheme, app: &str) {
+    let ctx = format!("{scheme:?}/{app}");
+    // Every core retired its quota (the machine finished the program).
+    assert!(r.insts >= 30_000 * CORES as u64, "{ctx}: lost instructions");
+    // Episode accounting: one ICHK sample per completed episode, and
+    // per-processor completions sum the episode sizes.
+    assert_eq!(
+        r.metrics.checkpoint_episodes,
+        r.metrics.ichk_sizes.count(),
+        "{ctx}: episode/sample mismatch"
+    );
+    if scheme.checkpoints() {
+        assert!(r.checkpoints > 0, "{ctx}: no checkpoints at this cadence");
+        assert!(
+            r.metrics.processor_checkpoints >= r.metrics.checkpoint_episodes,
+            "{ctx}: episodes larger than processor completions"
+        );
+        // ICHK sizes are within the machine.
+        assert!(r.metrics.ichk_sizes.max() <= CORES as f64, "{ctx}: ICHK > machine");
+    } else {
+        assert_eq!(r.checkpoints, 0, "{ctx}: phantom checkpoints");
+    }
+    // Rollback accounting mirrors checkpointing.
+    assert_eq!(
+        r.metrics.rollbacks,
+        r.metrics.irec_sizes.count(),
+        "{ctx}: rollback/sample mismatch"
+    );
+}
+
+#[test]
+fn fault_free_matrix_holds_invariants() {
+    for scheme in [
+        Scheme::None,
+        Scheme::GLOBAL,
+        Scheme::GLOBAL_DWB,
+        Scheme::REBOUND,
+        Scheme::REBOUND_NODWB,
+        Scheme::REBOUND_BARR,
+        Scheme::REBOUND_NODWB_BARR,
+    ] {
+        for app in ["Barnes", "Ocean", "Apache"] {
+            let r = run(scheme, app, &[]);
+            check_invariants(&r, scheme, app);
+            assert_eq!(r.rollbacks, 0, "{scheme:?}/{app}: phantom rollbacks");
+        }
+    }
+}
+
+#[test]
+fn fault_storm_matrix_recovers_everywhere() {
+    // Five faults spread across cores and time, several timed to land
+    // inside checkpoint episodes (a fault during checkpointing aborts the
+    // episode, §3.3.4).
+    let faults: Vec<(usize, u64)> =
+        vec![(0, 9_000), (5, 9_100), (11, 22_000), (11, 22_500), (3, 60_000)];
+    for scheme in [Scheme::GLOBAL, Scheme::REBOUND, Scheme::REBOUND_NODWB] {
+        for app in ["Barnes", "Ocean", "Apache"] {
+            let r = run(scheme, app, &faults);
+            check_invariants(&r, scheme, app);
+            assert!(r.rollbacks > 0, "{scheme:?}/{app}: faults produced no rollback");
+            // Bounded work loss (Appendix A): rollbacks cannot exceed the
+            // fault count times the machine (every detection rolls back
+            // at most one interaction set per core).
+            assert!(
+                r.metrics.irec_sizes.count() <= faults.len() as u64,
+                "{scheme:?}/{app}: rollback storm"
+            );
+        }
+    }
+}
+
+#[test]
+fn rebound_under_io_pressure_and_faults() {
+    // §6.4's I/O pressure plus a fault: the I/O core checkpoints every
+    // 2.5k cycles while core 9 faults mid-run.
+    let mut cfg = MachineConfig::small(CORES);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 5_000;
+    cfg.detect_latency = 800;
+    cfg.io = Some(rebound_core::IoPressure { core: CoreId(2), period_cycles: 2_500 });
+    let profile = profile_named("Blackscholes").expect("catalog app");
+    let mut m = Machine::from_profile(&cfg, &profile, 30_000);
+    m.schedule_fault_detection(CoreId(9), Cycle(20_000));
+    let r = m.run_to_completion();
+    check_invariants(&r, Scheme::REBOUND, "Blackscholes+IO");
+    assert!(r.rollbacks >= 1);
+    // The I/O core's forced cadence shows up as extra episodes.
+    assert!(
+        r.metrics.checkpoint_episodes > r.insts / cfg.ckpt_interval_insts / CORES as u64,
+        "I/O pressure produced no extra checkpoints"
+    );
+}

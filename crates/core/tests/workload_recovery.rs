@@ -1,0 +1,172 @@
+//! Workload-level recovery and transparency properties.
+//!
+//! The scripted property tests (`properties.rs`) pin the recovery-line
+//! invariants on adversarial little programs; these tests run the *full
+//! workload machinery* (generators, locks, barriers, caches, logs) and
+//! check the system-level contracts:
+//!
+//! * faults + rollback leave exactly the memory state of a fault-free run
+//!   (checkpointing is transparent to the application), and
+//! * the checkpoint scheme is invisible to application data — any scheme,
+//!   including none at all, produces identical final data values.
+//!
+//! Both contracts are checked on *deterministic-data* applications: codes
+//! whose application lines have a single writer (no dynamic locks, no
+//! migratory objects), so final data values do not depend on timing.
+//! Synchronization lines (locks/barriers: region 3) are excluded — their
+//! values are arrival-order-dependent by design.
+
+use proptest::prelude::*;
+use rebound_core::{Machine, MachineConfig, Scheme};
+use rebound_engine::{CoreId, Cycle, LineAddr};
+use rebound_workloads::profile_named;
+use std::collections::BTreeSet;
+
+/// Applications whose data lines are single-writer (sharing happens by
+/// reading a partner's slice, never by writing shared lines from two
+/// cores): no locks, no migratory pool objects.
+const DETERMINISTIC_APPS: &[&str] = &["Blackscholes", "FFT", "Ocean", "LU-C", "Streamcluster"];
+
+/// Byte-address region field (see `rebound-workloads`' AddressLayout):
+/// 1 = private, 2 = shared, 3 = sync. Line addresses are byte >> 5.
+fn region_of(line: LineAddr) -> u64 {
+    line.raw() >> 35
+}
+
+fn data_lines(m: &Machine) -> BTreeSet<LineAddr> {
+    m.memory()
+        .snapshot()
+        .keys()
+        .copied()
+        .filter(|l| region_of(*l) != 3)
+        .collect()
+}
+
+fn final_data_state(m: &Machine, lines: &BTreeSet<LineAddr>) -> Vec<u64> {
+    lines.iter().map(|l| m.effective_line_value(*l)).collect()
+}
+
+fn run_machine(cfg: &MachineConfig, app: &str, quota: u64, faults: &[(usize, u64)]) -> Machine {
+    let profile = profile_named(app).expect("catalog app");
+    let mut m = Machine::from_profile(cfg, &profile, quota);
+    for &(core, at) in faults {
+        m.schedule_fault_detection(CoreId(core % cfg.cores), Cycle(at));
+    }
+    let mut steps = 0u64;
+    while m.step() {
+        steps += 1;
+        assert!(steps < 60_000_000, "machine livelocked");
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fault recovery on full workloads converges to the fault-free final
+    /// data state.
+    #[test]
+    fn workload_fault_recovery_converges(
+        app_idx in 0usize..DETERMINISTIC_APPS.len(),
+        seed in 0u64..500,
+        faults in proptest::collection::vec((0usize..8, 5_000u64..120_000), 1..3),
+    ) {
+        let app = DETERMINISTIC_APPS[app_idx];
+        let mut cfg = MachineConfig::small(4);
+        cfg.scheme = Scheme::REBOUND;
+        cfg.ckpt_interval_insts = 8_000;
+        cfg.detect_latency = 500;
+        cfg.seed = seed;
+
+        let clean = run_machine(&cfg, app, 24_000, &[]);
+        let faulty = run_machine(&cfg, app, 24_000, &faults);
+        prop_assert!(faulty.report().rollbacks <= 8, "rollback storm");
+
+        let lines: BTreeSet<_> =
+            data_lines(&clean).union(&data_lines(&faulty)).copied().collect();
+        prop_assert!(!lines.is_empty());
+        prop_assert_eq!(
+            final_data_state(&clean, &lines),
+            final_data_state(&faulty, &lines),
+            "app={} rollbacks={}", app, faulty.report().rollbacks
+        );
+    }
+
+    /// The checkpoint scheme never changes application data: every scheme
+    /// (and no checkpointing at all) ends with identical data values.
+    #[test]
+    fn schemes_are_transparent_to_application_data(
+        app_idx in 0usize..DETERMINISTIC_APPS.len(),
+        seed in 0u64..500,
+    ) {
+        let app = DETERMINISTIC_APPS[app_idx];
+        let schemes = [
+            Scheme::None,
+            Scheme::GLOBAL,
+            Scheme::GLOBAL_DWB,
+            Scheme::REBOUND,
+            Scheme::REBOUND_NODWB,
+            Scheme::REBOUND_BARR,
+        ];
+        let machines: Vec<Machine> = schemes
+            .iter()
+            .map(|&scheme| {
+                let mut cfg = MachineConfig::small(4);
+                cfg.scheme = scheme;
+                cfg.ckpt_interval_insts = 6_000;
+                cfg.seed = seed;
+                run_machine(&cfg, app, 18_000, &[])
+            })
+            .collect();
+
+        let mut lines = BTreeSet::new();
+        for m in &machines {
+            lines.extend(data_lines(m));
+        }
+        let reference = final_data_state(&machines[0], &lines);
+        for (m, scheme) in machines.iter().zip(schemes) {
+            prop_assert_eq!(
+                &final_data_state(m, &lines),
+                &reference,
+                "app={} scheme={:?} diverged", app, scheme
+            );
+        }
+    }
+}
+
+#[test]
+fn simultaneous_fault_detection_on_all_cores_recovers() {
+    // §3.2's worst chip-wide case short of metadata corruption: every
+    // core detects a fault at the same cycle. The machine must terminate
+    // and converge.
+    let mut cfg = MachineConfig::small(6);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 8_000;
+    cfg.detect_latency = 500;
+
+    let clean = run_machine(&cfg, "FFT", 24_000, &[]);
+    let faults: Vec<(usize, u64)> = (0..6).map(|c| (c, 40_000)).collect();
+    let faulty = run_machine(&cfg, "FFT", 24_000, &faults);
+
+    let lines: BTreeSet<_> =
+        data_lines(&clean).union(&data_lines(&faulty)).copied().collect();
+    assert_eq!(final_data_state(&clean, &lines), final_data_state(&faulty, &lines));
+    assert!(faulty.report().rollbacks >= 1);
+}
+
+#[test]
+fn back_to_back_faults_within_detection_latency_recover() {
+    // Two detections on the same core closer together than L: the second
+    // arrives while (or right after) the first recovery runs.
+    let mut cfg = MachineConfig::small(4);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 8_000;
+    cfg.detect_latency = 2_000;
+
+    let clean = run_machine(&cfg, "Blackscholes", 24_000, &[]);
+    let faulty = run_machine(&cfg, "Blackscholes", 24_000, &[(1, 30_000), (1, 31_000)]);
+
+    let lines: BTreeSet<_> =
+        data_lines(&clean).union(&data_lines(&faulty)).copied().collect();
+    assert_eq!(final_data_state(&clean, &lines), final_data_state(&faulty, &lines));
+}

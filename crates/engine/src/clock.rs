@@ -1,0 +1,150 @@
+//! The simulated clock domain.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in processor clock cycles.
+///
+/// The simulated machine is clocked at a nominal 1 GHz (as in the paper's
+/// Fig 4.3(a)), so one cycle is one nanosecond of simulated wall time; the
+/// [`Cycle::as_millis`] helper applies that conversion when reporting
+/// recovery latencies against the paper's 860 ms availability budget.
+///
+/// `Cycle` is an absolute timestamp; durations are plain `u64` cycle counts.
+///
+/// # Example
+///
+/// ```
+/// use rebound_engine::Cycle;
+///
+/// let t = Cycle(1_000) + 500;
+/// assert_eq!(t, Cycle(1_500));
+/// assert_eq!(t - Cycle(1_000), 500);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero: the instant the simulated machine comes out of reset.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating timestamp addition (never wraps past [`Cycle::MAX`]).
+    #[inline]
+    pub fn saturating_add(self, d: u64) -> Cycle {
+        Cycle(self.0.saturating_add(d))
+    }
+
+    /// Cycles elapsed since `earlier`, or zero if `earlier` is in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Simulated milliseconds at the nominal 1 GHz clock.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Simulated microseconds at the nominal 1 GHz clock.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 as f64 / 1.0e3
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Duration between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative duration: {self} - {rhs}");
+        self.0 - rhs.0
+    }
+}
+
+impl SubAssign<u64> for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: u64) {
+        self.0 -= rhs;
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let t = Cycle(100);
+        assert_eq!((t + 23) - t, 23);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        assert_eq!(Cycle(5).saturating_since(Cycle(10)), 0);
+        assert_eq!(Cycle(10).saturating_since(Cycle(5)), 5);
+    }
+
+    #[test]
+    fn saturating_add_never_wraps() {
+        assert_eq!(Cycle::MAX.saturating_add(1), Cycle::MAX);
+    }
+
+    #[test]
+    fn millis_conversion_matches_one_ghz() {
+        assert_eq!(Cycle(1_000_000).as_millis(), 1.0);
+        assert_eq!(Cycle(1_000).as_micros(), 1.0);
+    }
+
+    #[test]
+    fn ordering_is_by_time() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle::ZERO, Cycle(0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(7).to_string(), "7cyc");
+    }
+}

@@ -1,0 +1,214 @@
+//! Strongly typed identifiers and cache-line address geometry.
+
+use std::fmt;
+
+/// Identifier of a processor core (and, in the tiled layout of Fig 3.1, of
+/// its tile: private L1/L2, directory slice and network port share the id).
+///
+/// Core ids are dense: a machine with `n` cores uses `CoreId(0..n)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// Index into per-core arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterator over all core ids of an `n`-core machine.
+    pub fn all(n: usize) -> impl Iterator<Item = CoreId> {
+        (0..n).map(CoreId)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(v: usize) -> CoreId {
+        CoreId(v)
+    }
+}
+
+/// Identifier of a directory/memory home node.
+///
+/// The machine interleaves physical line addresses across home nodes; a
+/// [`LineAddr`] maps to its home via [`LineAddr::home_of`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A byte-granularity physical address.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address, under geometry `geom`.
+    #[inline]
+    pub fn line(self, geom: LineGeometry) -> LineAddr {
+        LineAddr(self.0 >> geom.offset_bits)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A cache-line-granularity address (byte address divided by the line size).
+///
+/// All coherence, directory and log state is kept at line granularity, as in
+/// the paper ("coherence protocols work at the cache-line level", §3.3.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Raw line number.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line under geometry `geom`.
+    #[inline]
+    pub fn base(self, geom: LineGeometry) -> Addr {
+        Addr(self.0 << geom.offset_bits)
+    }
+
+    /// The home directory/memory node of this line in an
+    /// `n`-node machine (low-order line-address interleaving).
+    #[inline]
+    pub fn home_of(self, nodes: usize) -> NodeId {
+        debug_assert!(nodes > 0);
+        NodeId((self.0 as usize) % nodes)
+    }
+
+    /// The memory-controller channel serving this line.
+    #[inline]
+    pub fn channel_of(self, channels: usize) -> usize {
+        debug_assert!(channels > 0);
+        ((self.0 >> 4) as usize) % channels
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L0x{:x}", self.0)
+    }
+}
+
+/// Cache-line geometry shared by every cache level and the directory.
+///
+/// The paper's configuration (Fig 4.3(a)) uses 32-byte lines, which is the
+/// [`LineGeometry::default`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LineGeometry {
+    /// log2 of the line size in bytes.
+    pub offset_bits: u32,
+}
+
+impl LineGeometry {
+    /// Geometry for a line of `bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two or is zero.
+    pub fn new(bytes: u64) -> LineGeometry {
+        assert!(bytes.is_power_of_two(), "line size must be a power of two");
+        LineGeometry {
+            offset_bits: bytes.trailing_zeros(),
+        }
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_bytes(self) -> u64 {
+        1 << self.offset_bits
+    }
+}
+
+impl Default for LineGeometry {
+    /// 32-byte lines, matching the paper's simulated machine.
+    fn default() -> LineGeometry {
+        LineGeometry::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_geometry_default_is_32_bytes() {
+        let g = LineGeometry::default();
+        assert_eq!(g.line_bytes(), 32);
+        assert_eq!(g.offset_bits, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_geometry_rejects_non_power_of_two() {
+        LineGeometry::new(48);
+    }
+
+    #[test]
+    fn addr_to_line_and_back() {
+        let g = LineGeometry::default();
+        let a = Addr(0x1234);
+        let l = a.line(g);
+        assert_eq!(l, LineAddr(0x1234 >> 5));
+        assert_eq!(l.base(g), Addr(0x1220));
+    }
+
+    #[test]
+    fn same_line_for_all_offsets() {
+        let g = LineGeometry::default();
+        let base = Addr(0x40);
+        for off in 0..32 {
+            assert_eq!(Addr(0x40 + off).line(g), base.line(g));
+        }
+        assert_ne!(Addr(0x60).line(g), base.line(g));
+    }
+
+    #[test]
+    fn home_interleaving_is_dense() {
+        let nodes = 8;
+        let mut seen = vec![false; nodes];
+        for l in 0..64 {
+            seen[LineAddr(l).home_of(nodes).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all home nodes must be used");
+    }
+
+    #[test]
+    fn core_id_all_is_dense() {
+        let ids: Vec<_> = CoreId::all(4).collect();
+        assert_eq!(ids, vec![CoreId(0), CoreId(1), CoreId(2), CoreId(3)]);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(CoreId(3).to_string(), "P3");
+        assert_eq!(NodeId(2).to_string(), "N2");
+        assert_eq!(Addr(16).to_string(), "0x10");
+        assert_eq!(LineAddr(16).to_string(), "L0x10");
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic event-driven simulation engine for the Rebound reproduction.
+//!
+//! This crate provides the substrate-independent pieces every simulated
+//! component relies on:
+//!
+//! * [`Cycle`] — the simulated clock domain (a `u64` newtype with saturating
+//!   arithmetic helpers).
+//! * [`ids`] — strongly typed identifiers for cores, tiles and memory lines,
+//!   plus cache-line address geometry.
+//! * [`EventQueue`] — a stable (FIFO-on-tie) time-ordered priority queue that
+//!   drives the whole machine.
+//! * [`DetRng`] — a small, fast, fully deterministic random number generator
+//!   (SplitMix64), so every experiment is reproducible from a seed.
+//! * [`stats`] — counters, histograms and running statistics used by the
+//!   metric plumbing of the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use rebound_engine::{Cycle, EventQueue};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(Cycle(30), "later");
+//! q.push(Cycle(10), "first");
+//! q.push(Cycle(10), "second");
+//! assert_eq!(q.pop(), Some((Cycle(10), "first")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "second")));
+//! assert_eq!(q.pop(), Some((Cycle(30), "later")));
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use clock::Cycle;
+pub use event::EventQueue;
+pub use ids::{Addr, CoreId, LineAddr, LineGeometry, NodeId};
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, RunningStats};

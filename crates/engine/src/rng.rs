@@ -1,0 +1,185 @@
+//! Deterministic pseudo-random number generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator used throughout the simulator.
+///
+/// Every stochastic decision in the system — workload address streams,
+/// checkpoint-retry backoff ("continues execution for a random number of
+/// cycles before attempting a checkpoint again", §3.3.4), fault injection
+/// times — draws from a `DetRng` seeded from the experiment configuration,
+/// so a run is exactly reproducible from `(config, seed)`.
+///
+/// Internally this wraps [`rand::rngs::SmallRng`] and adds the small set of
+/// convenience draws the simulator needs.
+///
+/// # Example
+///
+/// ```
+/// use rebound_engine::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> DetRng {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each core or
+    /// workload its own stream while staying reproducible from one seed.
+    pub fn fork(&mut self, salt: u64) -> DetRng {
+        // Mix the salt through SplitMix64 so children with adjacent salts
+        // do not produce correlated streams.
+        let mut z = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::new(z ^ (z >> 31))
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Geometric-ish burst length: uniform in `[1, 2*mean]`, so the mean is
+    /// `mean + 0.5`. Used for compute-burst sizing in workload generators.
+    #[inline]
+    pub fn burst(&mut self, mean: u64) -> u64 {
+        if mean == 0 {
+            1
+        } else {
+            self.range(1, 2 * mean + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge");
+    }
+
+    #[test]
+    fn forked_children_are_independent_and_deterministic() {
+        let mut parent1 = DetRng::new(99);
+        let mut parent2 = DetRng::new(99);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut p = DetRng::new(99);
+        let mut a = p.fork(1);
+        let mut b = p.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_is_in_range() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn below_zero_panics() {
+        DetRng::new(0).below(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = DetRng::new(5);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn burst_bounds() {
+        let mut r = DetRng::new(6);
+        for _ in 0..1000 {
+            let v = r.burst(10);
+            assert!((1..=20).contains(&v));
+        }
+        assert_eq!(r.burst(0), 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! Counters, histograms and running statistics for simulator metrics.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use rebound_engine::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero, returning the previous count.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming mean/min/max/variance over `f64` samples (Welford's algorithm).
+///
+/// Used for per-run aggregates such as the average interaction-set size
+/// (Figs 6.1/6.2) or average checkpoint interval (Fig 6.7).
+///
+/// # Example
+///
+/// ```
+/// use rebound_engine::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> RunningStats {
+        RunningStats::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: f64) {
+        if self.n == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.n += 1;
+        let d = v - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (v - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (zero for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (zero when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (zero when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64) * (other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)` with bucket 0 holding zero.
+/// Cheap enough to keep per-core for latency distributions.
+///
+/// # Example
+///
+/// ```
+/// use rebound_engine::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(100);
+/// assert_eq!(h.count(), 3);
+/// assert!(h.mean() > 33.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = if v == 0 {
+            0
+        } else {
+            64 - (v.leading_zeros() as usize)
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile: upper bound of the first bucket at which the
+    /// cumulative count reaches `q` (0.0–1.0) of all samples.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            acc += b;
+            if acc >= target.max(1) {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50<={} p99<={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile_upper_bound(0.50),
+            self.quantile_upper_bound(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn running_stats_mean_and_bounds() {
+        let mut s = RunningStats::new();
+        for v in [4.0, 8.0, 6.0] {
+            s.push(v);
+        }
+        assert!((s.mean() - 6.0).abs() < 1e-12);
+        assert_eq!(s.min(), 4.0);
+        assert_eq!(s.max(), 8.0);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn running_stats_variance_matches_direct() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        // population variance of 1..5 is 2
+        assert!((s.variance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_empty_is_zeroed() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_combined() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 7 % 13) as f64).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(2.0);
+        let before = a.mean();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before);
+
+        let mut e = RunningStats::new();
+        let mut b = RunningStats::new();
+        b.push(5.0);
+        e.merge(&b);
+        assert_eq!(e.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.max(), 1000);
+        assert!(h.quantile_upper_bound(0.5) <= 4);
+        assert!(h.quantile_upper_bound(1.0) >= 1000);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!Counter::new().to_string().is_empty());
+        assert!(!RunningStats::new().to_string().is_empty());
+        assert!(!Histogram::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,470 @@
+//! Set-associative cache arrays with LRU replacement.
+//!
+//! Both cache levels of the simulated tile are instances of [`SetAssoc`]:
+//! the write-through L1 stores [`L1Line`] (presence only — its data always
+//! also lives in the inclusive L2), and the write-back L2 stores [`L2Line`]
+//! (MESI state, the line's 64-bit value, and Rebound's *Delayed* writeback
+//! bit from §4.1).
+
+use rebound_engine::{LineAddr, LineGeometry};
+
+/// Geometry and capacity of one cache level.
+///
+/// # Example
+///
+/// ```
+/// use rebound_mem::CacheConfig;
+///
+/// // The paper's L2: 256 KB, 8-way, 32 B lines (Fig 4.3(a)).
+/// let cfg = CacheConfig::new(256 * 1024, 8, 32);
+/// assert_eq!(cfg.sets(), 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless size, ways and line size are consistent powers of two
+    /// producing at least one set.
+    pub fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> CacheConfig {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(ways > 0, "associativity must be positive");
+        let lines = size_bytes / line_bytes;
+        assert!(
+            lines >= ways as u64 && lines.is_multiple_of(ways as u64),
+            "capacity must hold a whole number of sets"
+        );
+        let sets = lines / ways as u64;
+        assert!(sets.is_power_of_two(), "set count must be 2^k");
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / self.ways as u64
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// The line geometry implied by this configuration.
+    pub fn geometry(&self) -> LineGeometry {
+        LineGeometry::new(self.line_bytes)
+    }
+}
+
+/// MESI coherence state of an L2 line.
+///
+/// The directory protocol of §3.3.1 is described "without loss of generality"
+/// over MESI; we implement exactly that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Modified: owned and dirty; memory is stale.
+    Modified,
+    /// Exclusive: sole clean copy; silent upgrade to Modified is allowed.
+    Exclusive,
+    /// Shared: one of possibly many clean copies.
+    Shared,
+    /// Invalid.
+    #[default]
+    Invalid,
+}
+
+impl MesiState {
+    /// Whether the line holds usable data.
+    pub fn is_valid(self) -> bool {
+        self != MesiState::Invalid
+    }
+
+    /// Whether the line is dirty with respect to memory.
+    pub fn is_dirty(self) -> bool {
+        self == MesiState::Modified
+    }
+
+    /// Whether a store may proceed without a coherence transaction.
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+}
+
+/// Metadata of one L1 line. The L1 is write-through and inclusive in L2, so
+/// it carries no data value and no dirty state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L1Line;
+
+/// Metadata of one L2 line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L2Line {
+    /// MESI coherence state.
+    pub state: MesiState,
+    /// Current 64-bit value of the line (one value stands in for the whole
+    /// 32-byte payload; enough to verify logging/rollback functionally).
+    pub value: u64,
+    /// Rebound's *Delayed* writeback bit (§4.1): set on all dirty lines when
+    /// a delayed-writeback checkpoint begins, cleared as the background
+    /// engine drains them.
+    pub delayed: bool,
+}
+
+/// A line evicted by [`SetAssoc::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine<T> {
+    /// Address of the displaced line.
+    pub addr: LineAddr,
+    /// Its metadata at eviction time.
+    pub data: T,
+}
+
+#[derive(Clone, Debug)]
+struct Slot<T> {
+    tag: u64,
+    lru: u64,
+    data: T,
+}
+
+/// A set-associative array with true-LRU replacement.
+///
+/// `T` is the per-line metadata. Invalid lines simply do not occupy a slot;
+/// eviction returns the displaced line so the caller can write it back.
+///
+/// # Example
+///
+/// ```
+/// use rebound_mem::{CacheConfig, SetAssoc};
+/// use rebound_engine::LineAddr;
+///
+/// let mut c: SetAssoc<u32> = SetAssoc::new(CacheConfig::new(128, 2, 32));
+/// assert!(c.insert(LineAddr(1), 10).is_none());
+/// assert_eq!(c.get(LineAddr(1)), Some(&10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssoc<T> {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Slot<T>>>,
+    set_mask: u64,
+    set_bits: u32,
+    tick: u64,
+}
+
+impl<T> SetAssoc<T> {
+    /// Creates an empty cache with the given configuration.
+    pub fn new(cfg: CacheConfig) -> SetAssoc<T> {
+        let sets = cfg.sets();
+        SetAssoc {
+            cfg,
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+            set_mask: sets - 1,
+            set_bits: sets.trailing_zeros(),
+            tick: 0,
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn split(&self, addr: LineAddr) -> (usize, u64) {
+        let set = (addr.0 & self.set_mask) as usize;
+        let tag = addr.0 >> self.set_bits;
+        (set, tag)
+    }
+
+    #[inline]
+    fn join(&self, set: usize, tag: u64) -> LineAddr {
+        LineAddr((tag << self.set_bits) | set as u64)
+    }
+
+    /// Looks up a line without touching LRU state.
+    pub fn peek(&self, addr: LineAddr) -> Option<&T> {
+        let (set, tag) = self.split(addr);
+        self.sets[set]
+            .iter()
+            .find(|s| s.tag == tag)
+            .map(|s| &s.data)
+    }
+
+    /// Looks up a line, promoting it to most-recently-used.
+    pub fn get(&mut self, addr: LineAddr) -> Option<&T> {
+        self.get_mut(addr).map(|d| &*d)
+    }
+
+    /// Mutable lookup, promoting the line to most-recently-used.
+    pub fn get_mut(&mut self, addr: LineAddr) -> Option<&mut T> {
+        let (set, tag) = self.split(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        self.sets[set].iter_mut().find(|s| s.tag == tag).map(|s| {
+            s.lru = tick;
+            &mut s.data
+        })
+    }
+
+    /// Mutable lookup without LRU promotion (for external/snoop accesses
+    /// that should not perturb replacement).
+    pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut T> {
+        let (set, tag) = self.split(addr);
+        self.sets[set]
+            .iter_mut()
+            .find(|s| s.tag == tag)
+            .map(|s| &mut s.data)
+    }
+
+    /// Inserts (or overwrites) a line, returning the LRU victim if the set
+    /// was full.
+    pub fn insert(&mut self, addr: LineAddr, data: T) -> Option<EvictedLine<T>> {
+        let (set, tag) = self.split(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.cfg.ways;
+        let slots = &mut self.sets[set];
+        if let Some(s) = slots.iter_mut().find(|s| s.tag == tag) {
+            s.lru = tick;
+            s.data = data;
+            return None;
+        }
+        if slots.len() < ways {
+            slots.push(Slot {
+                tag,
+                lru: tick,
+                data,
+            });
+            return None;
+        }
+        // Evict the least-recently-used way.
+        let victim_idx = slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.lru)
+            .map(|(i, _)| i)
+            .expect("full set has a victim");
+        let victim_tag = slots[victim_idx].tag;
+        let old = std::mem::replace(
+            &mut slots[victim_idx],
+            Slot {
+                tag,
+                lru: tick,
+                data,
+            },
+        );
+        Some(EvictedLine {
+            addr: self.join(set, victim_tag),
+            data: old.data,
+        })
+    }
+
+    /// Removes a line, returning its metadata.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<T> {
+        let (set, tag) = self.split(addr);
+        let slots = &mut self.sets[set];
+        let idx = slots.iter().position(|s| s.tag == tag)?;
+        Some(slots.swap_remove(idx).data)
+    }
+
+    /// Removes every line, invoking `f` on each (address, metadata) pair.
+    pub fn invalidate_all(&mut self, mut f: impl FnMut(LineAddr, T)) {
+        for set in 0..self.sets.len() {
+            for slot in std::mem::take(&mut self.sets[set]) {
+                f(self.join(set, slot.tag), slot.data);
+            }
+        }
+    }
+
+    /// Iterates over all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> + '_ {
+        self.sets.iter().enumerate().flat_map(move |(set, slots)| {
+            slots.iter().map(move |s| (self.join(set, s.tag), &s.data))
+        })
+    }
+
+    /// Mutably iterates over all resident lines.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> + '_ {
+        let set_bits = self.set_bits;
+        self.sets
+            .iter_mut()
+            .enumerate()
+            .flat_map(move |(set, slots)| {
+                slots
+                    .iter_mut()
+                    .map(move |s| (LineAddr((s.tag << set_bits) | set as u64), &mut s.data))
+            })
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssoc<u32> {
+        // 2 sets x 2 ways, 32B lines.
+        SetAssoc::new(CacheConfig::new(128, 2, 32))
+    }
+
+    #[test]
+    fn config_paper_l1_and_l2() {
+        let l1 = CacheConfig::new(16 * 1024, 4, 32);
+        assert_eq!(l1.sets(), 128);
+        assert_eq!(l1.lines(), 512);
+        let l2 = CacheConfig::new(256 * 1024, 8, 32);
+        assert_eq!(l2.sets(), 1024);
+        assert_eq!(l2.lines(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn config_rejects_bad_line_size() {
+        CacheConfig::new(128, 2, 33);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(c.insert(LineAddr(4), 7).is_none());
+        assert_eq!(c.get(LineAddr(4)), Some(&7));
+        assert_eq!(c.peek(LineAddr(4)), Some(&7));
+        assert_eq!(c.get(LineAddr(5)), None);
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 1);
+        assert!(c.insert(LineAddr(0), 2).is_none());
+        assert_eq!(c.get(LineAddr(0)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (even line addresses with 2 sets).
+        c.insert(LineAddr(0), 10);
+        c.insert(LineAddr(2), 20);
+        c.get(LineAddr(0)); // 0 is now MRU; 2 is LRU
+        let ev = c.insert(LineAddr(4), 40).expect("must evict");
+        assert_eq!(ev.addr, LineAddr(2));
+        assert_eq!(ev.data, 20);
+        assert_eq!(c.get(LineAddr(0)), Some(&10));
+        assert_eq!(c.get(LineAddr(4)), Some(&40));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 10);
+        c.insert(LineAddr(2), 20);
+        c.peek(LineAddr(0)); // no promotion: 0 stays LRU
+        let ev = c.insert(LineAddr(4), 40).expect("must evict");
+        assert_eq!(ev.addr, LineAddr(0));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(LineAddr(3), 30);
+        assert_eq!(c.invalidate(LineAddr(3)), Some(30));
+        assert_eq!(c.invalidate(LineAddr(3)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_all_visits_everything() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 1);
+        c.insert(LineAddr(1), 2);
+        c.insert(LineAddr(2), 3);
+        let mut seen = Vec::new();
+        c.invalidate_all(|a, d| seen.push((a, d)));
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![(LineAddr(0), 1), (LineAddr(1), 2), (LineAddr(2), 3)]
+        );
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iter_reconstructs_addresses() {
+        let mut c = tiny();
+        for i in 0..4u64 {
+            c.insert(LineAddr(i), i as u32);
+        }
+        let mut got: Vec<_> = c.iter().map(|(a, &d)| (a, d)).collect();
+        got.sort();
+        assert_eq!(
+            got,
+            (0..4u64)
+                .map(|i| (LineAddr(i), i as u32))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn iter_mut_can_flip_state() {
+        let mut c: SetAssoc<L2Line> = SetAssoc::new(CacheConfig::new(128, 2, 32));
+        c.insert(
+            LineAddr(0),
+            L2Line {
+                state: MesiState::Modified,
+                value: 9,
+                delayed: false,
+            },
+        );
+        for (_, l) in c.iter_mut() {
+            l.delayed = true;
+        }
+        assert!(c.peek(LineAddr(0)).unwrap().delayed);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 1); // set 0
+        c.insert(LineAddr(1), 2); // set 1
+        c.insert(LineAddr(2), 3); // set 0
+        c.insert(LineAddr(3), 4); // set 1
+        assert_eq!(c.len(), 4);
+        // No evictions yet: each set holds exactly two lines.
+        assert!(c.insert(LineAddr(4), 5).is_some());
+    }
+
+    #[test]
+    fn mesi_state_predicates() {
+        use MesiState::*;
+        assert!(Modified.is_valid() && Modified.is_dirty());
+        assert!(Exclusive.is_valid() && !Exclusive.is_dirty());
+        assert!(Shared.is_valid() && !Shared.is_dirty());
+        assert!(!Invalid.is_valid() && !Invalid.is_dirty());
+        assert!(Modified.can_write_silently());
+        assert!(Exclusive.can_write_silently());
+        assert!(!Shared.can_write_silently());
+        assert!(!Invalid.can_write_silently());
+    }
+}

@@ -1,0 +1,31 @@
+//! Memory-hierarchy substrate for the Rebound reproduction.
+//!
+//! The paper's machine (Fig 3.1 / Fig 4.3(a)) has, per tile, a private
+//! write-through L1 and a private write-back L2, plus off-chip main memory
+//! behind a small number of DDR2 channels, and — the part Rebound adds — a
+//! *software undo log* in safe memory maintained by the memory controllers
+//! (§3.3.3, inherited from ReVive).
+//!
+//! This crate provides those pieces as plain data structures; the timing glue
+//! lives in `rebound-core`:
+//!
+//! * [`SetAssoc`] — a generic set-associative array with LRU replacement,
+//!   instantiated as the L1 ([`L1Line`]) and L2 ([`L2Line`]) caches.
+//! * [`MainMemory`] — the line-granularity backing store. Lines carry real
+//!   64-bit values so rollback can be verified *functionally*, not just timed.
+//! * [`MemoryController`] — a bounded-bandwidth channel model that separates
+//!   demand traffic from checkpoint traffic, so the extra queueing a demand
+//!   miss suffers behind checkpoint writebacks can be attributed exactly
+//!   (the `IPCDelay` category of Fig 6.5).
+//! * [`UndoLog`] — the banked, stubbed, first-writeback-filtered undo log of
+//!   §3.3.3, with reverse-scan rollback.
+
+pub mod cache;
+pub mod controller;
+pub mod log;
+pub mod memory;
+
+pub use cache::{CacheConfig, EvictedLine, L1Line, L2Line, MesiState, SetAssoc};
+pub use controller::{MemAccessClass, MemoryController, MemoryTiming};
+pub use log::{LogEntry, LogRecord, RestoredLine, UndoLog};
+pub use memory::MainMemory;

@@ -1,0 +1,506 @@
+//! The in-memory undo log (§3.3.3, after ReVive).
+//!
+//! At every checkpoint the participating processors write back their dirty
+//! lines; the memory controller saves each line's *old* value into a software
+//! log before overwriting it. Between checkpoints, dirty displacements are
+//! logged the same way. A *stub* marks the completion of a processor's
+//! checkpoint; rolling a set of processors back means reverse-scanning the
+//! log, restoring only those processors' entries, until each processor's
+//! target stub is found.
+//!
+//! The log is banked by address for parallelism ("Logs can be multi-banked
+//! based on address"; stubs are "inserted in all of the banks"), and applies
+//! ReVive's optimization of logging only the first writeback of a line per
+//! checkpoint interval.
+
+use std::collections::HashMap;
+
+use rebound_engine::{CoreId, Counter, LineAddr};
+
+/// One undo record: the old value of `addr` before processor `pid`
+/// overwrote it in its checkpoint interval `interval`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The processor whose writeback triggered the record.
+    pub pid: CoreId,
+    /// The processor's checkpoint-interval sequence number at logging time.
+    pub interval: u64,
+    /// Line address.
+    pub addr: LineAddr,
+    /// The line's value in memory before the writeback.
+    pub old: u64,
+}
+
+/// A record stored in a log bank: either an undo entry or a checkpoint stub.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// An undo entry.
+    Entry(LogEntry),
+    /// Marks that processor `pid`'s checkpoint number `seq` fully completed
+    /// (all its writebacks, delayed or not, have drained). Rolling back to
+    /// checkpoint `seq` undoes everything above this record.
+    Stub {
+        /// The checkpointing processor.
+        pid: CoreId,
+        /// Its checkpoint sequence number.
+        seq: u64,
+    },
+}
+
+/// A memory restore produced by rollback; apply in the order returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestoredLine {
+    /// Line to restore.
+    pub addr: LineAddr,
+    /// Value to write back into memory.
+    pub old: u64,
+}
+
+/// Outcome of a rollback scan.
+#[derive(Clone, Debug, Default)]
+pub struct RollbackOutcome {
+    /// Restores in application order (newest-first within each bank).
+    pub restores: Vec<RestoredLine>,
+    /// Total records examined across banks (drives recovery-latency cost).
+    pub scanned: u64,
+}
+
+/// The banked undo log.
+///
+/// # Example
+///
+/// ```
+/// use rebound_mem::UndoLog;
+/// use rebound_engine::{CoreId, LineAddr};
+///
+/// let mut log = UndoLog::new(2, 44);
+/// let p = CoreId(0);
+/// log.append_stub(p, 0);
+/// assert!(log.append(p, 1, LineAddr(9), 0xAA)); // first writeback: logged
+/// assert!(!log.append(p, 1, LineAddr(9), 0xBB)); // same interval: filtered
+/// let out = log.rollback(&[(p, 0)].into_iter().collect());
+/// assert_eq!(out.restores.len(), 1);
+/// assert_eq!(out.restores[0].old, 0xAA);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UndoLog {
+    banks: Vec<Vec<LogRecord>>,
+    /// The (pid, interval) of the most recent entry for each line, for the
+    /// first-writeback-per-interval filter.
+    last_logged: HashMap<LineAddr, (CoreId, u64)>,
+    entry_bytes: u64,
+    /// Entries appended (after filtering).
+    pub entries: Counter,
+    /// Entries suppressed by the first-writeback filter.
+    pub filtered: Counter,
+    /// Stubs appended (one per bank per checkpoint).
+    pub stubs: Counter,
+    /// Bytes held per pid since that pid's last stub.
+    open_interval_bytes: HashMap<CoreId, u64>,
+    /// Largest per-interval byte footprint observed for any pid.
+    max_interval_bytes: u64,
+    /// Whether the ReVive first-writeback-per-interval filter is active
+    /// (on by default; disable to measure the filter's benefit).
+    filter_enabled: bool,
+}
+
+impl UndoLog {
+    /// Creates a log with `banks` address-interleaved banks and
+    /// `entry_bytes` bytes per entry (paper: line payload + address + PID,
+    /// ~44 bytes for 32-byte lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(banks: usize, entry_bytes: u64) -> UndoLog {
+        assert!(banks > 0, "need at least one log bank");
+        UndoLog {
+            banks: vec![Vec::new(); banks],
+            last_logged: HashMap::new(),
+            entry_bytes,
+            entries: Counter::new(),
+            filtered: Counter::new(),
+            stubs: Counter::new(),
+            open_interval_bytes: HashMap::new(),
+            max_interval_bytes: 0,
+            filter_enabled: true,
+        }
+    }
+
+    /// Enables or disables the first-writeback-per-interval filter
+    /// (ReVive's logging optimization, §3.3.3). Disabling it only adds
+    /// redundant older-value records — rollback remains correct because
+    /// restoration runs in reverse order — but grows the log; the
+    /// `ablations` harness measures by how much.
+    pub fn with_filter(mut self, enabled: bool) -> UndoLog {
+        self.filter_enabled = enabled;
+        self
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: LineAddr) -> usize {
+        (addr.raw() as usize) % self.banks.len()
+    }
+
+    /// Appends an undo entry unless the first-writeback filter suppresses
+    /// it. Returns whether the entry was stored.
+    ///
+    /// The filter suppresses a record only when the *most recent* record for
+    /// the line came from the same `(pid, interval)`; an interleaved
+    /// writeback by another processor re-arms logging so rollback stays
+    /// correct.
+    pub fn append(&mut self, pid: CoreId, interval: u64, addr: LineAddr, old: u64) -> bool {
+        if self.filter_enabled && self.last_logged.get(&addr) == Some(&(pid, interval)) {
+            self.filtered.incr();
+            return false;
+        }
+        self.last_logged.insert(addr, (pid, interval));
+        let bank = self.bank_of(addr);
+        self.banks[bank].push(LogRecord::Entry(LogEntry {
+            pid,
+            interval,
+            addr,
+            old,
+        }));
+        self.entries.incr();
+        let b = self.open_interval_bytes.entry(pid).or_insert(0);
+        *b += self.entry_bytes;
+        self.max_interval_bytes = self.max_interval_bytes.max(*b);
+        true
+    }
+
+    /// Appends a completion stub for `(pid, seq)` into every bank.
+    pub fn append_stub(&mut self, pid: CoreId, seq: u64) {
+        for bank in &mut self.banks {
+            bank.push(LogRecord::Stub { pid, seq });
+            self.stubs.incr();
+        }
+        self.open_interval_bytes.insert(pid, 0);
+    }
+
+    /// Rolls back every processor in `targets` to its given stub sequence
+    /// number, returning the memory restores to apply (in order) and
+    /// removing the undone records from the log so a later, deeper rollback
+    /// never resurrects a dead timeline.
+    ///
+    /// Entries of processors not in `targets` are left untouched, exactly as
+    /// in the paper ("retrieving the entries of only these processors").
+    pub fn rollback(&mut self, targets: &HashMap<CoreId, u64>) -> RollbackOutcome {
+        let mut out = RollbackOutcome::default();
+        for bank in &mut self.banks {
+            // Walk newest-to-oldest; collect restores until each target pid's
+            // stub is seen, and mark undone records for removal.
+            let mut active: HashMap<CoreId, u64> = targets.clone();
+            let mut remove = vec![false; bank.len()];
+            for (i, rec) in bank.iter().enumerate().rev() {
+                if active.is_empty() {
+                    break;
+                }
+                out.scanned += 1;
+                match *rec {
+                    LogRecord::Entry(e) => {
+                        if active.contains_key(&e.pid) {
+                            out.restores.push(RestoredLine {
+                                addr: e.addr,
+                                old: e.old,
+                            });
+                            remove[i] = true;
+                        }
+                    }
+                    LogRecord::Stub { pid, seq } => {
+                        if let Some(&target) = active.get(&pid) {
+                            if seq == target {
+                                active.remove(&pid);
+                            } else {
+                                // A dead stub from an undone newer interval.
+                                remove[i] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            let mut idx = 0;
+            bank.retain(|_| {
+                let keep = !remove[idx];
+                idx += 1;
+                keep
+            });
+        }
+        // The filter cache may now point at removed records; dropping the
+        // affected keys merely re-arms logging, which is always safe.
+        self.last_logged
+            .retain(|_, (pid, _)| !targets.contains_key(pid));
+        for pid in targets.keys() {
+            self.open_interval_bytes.insert(*pid, 0);
+        }
+        out
+    }
+
+    /// Total records currently held across banks.
+    pub fn len(&self) -> usize {
+        self.banks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current log footprint in bytes (entries only; stubs are negligible).
+    pub fn bytes(&self) -> u64 {
+        self.entries.get() * self.entry_bytes
+    }
+
+    /// Largest byte footprint any single processor accumulated within one
+    /// checkpoint interval (Table 6.1, "Log Size" row).
+    pub fn max_interval_bytes(&self) -> u64 {
+        self.max_interval_bytes
+    }
+
+    /// Truncates records older than each processor's given stub. Models log
+    /// space reclamation once a checkpoint is older than the fault-detection
+    /// latency; primarily used to bound memory in long runs.
+    pub fn truncate_before(&mut self, safe: &HashMap<CoreId, u64>) {
+        for bank in &mut self.banks {
+            // Find the oldest index that must be kept: scan newest-to-oldest
+            // until every pid's safe stub has been seen.
+            let mut pending: HashMap<CoreId, u64> = safe.clone();
+            let mut cut = 0;
+            for (i, rec) in bank.iter().enumerate().rev() {
+                if pending.is_empty() {
+                    cut = i + 1;
+                    break;
+                }
+                if let LogRecord::Stub { pid, seq } = *rec {
+                    if pending.get(&pid) == Some(&seq) {
+                        pending.remove(&pid);
+                    }
+                }
+            }
+            if pending.is_empty() && cut > 0 {
+                bank.drain(..cut);
+            }
+        }
+    }
+
+    /// Read-only view of a bank's records (newest last), for inspection in
+    /// tests and tooling.
+    pub fn bank(&self, i: usize) -> &[LogRecord] {
+        &self.banks[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(list: &[(usize, u64)]) -> HashMap<CoreId, u64> {
+        list.iter().map(|&(p, s)| (CoreId(p), s)).collect()
+    }
+
+    #[test]
+    fn filter_suppresses_second_writeback_same_interval() {
+        let mut log = UndoLog::new(1, 44);
+        let p = CoreId(0);
+        assert!(log.append(p, 1, LineAddr(5), 10));
+        assert!(!log.append(p, 1, LineAddr(5), 20));
+        assert!(log.append(p, 2, LineAddr(5), 30)); // new interval: logged
+        assert_eq!(log.entries.get(), 2);
+        assert_eq!(log.filtered.get(), 1);
+    }
+
+    #[test]
+    fn interleaved_writer_rearms_filter() {
+        let mut log = UndoLog::new(1, 44);
+        assert!(log.append(CoreId(0), 1, LineAddr(5), 10));
+        assert!(log.append(CoreId(1), 1, LineAddr(5), 20));
+        // P0 again, same interval — must log because P1 got in between.
+        assert!(log.append(CoreId(0), 1, LineAddr(5), 30));
+    }
+
+    #[test]
+    fn rollback_restores_in_reverse_order() {
+        let mut log = UndoLog::new(1, 44);
+        let p = CoreId(0);
+        log.append_stub(p, 0);
+        log.append(p, 1, LineAddr(1), 100);
+        log.append(p, 1, LineAddr(2), 200);
+        let out = log.rollback(&targets(&[(0, 0)]));
+        // Newest first: line 2 then line 1.
+        assert_eq!(
+            out.restores,
+            vec![
+                RestoredLine {
+                    addr: LineAddr(2),
+                    old: 200
+                },
+                RestoredLine {
+                    addr: LineAddr(1),
+                    old: 100
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rollback_stops_at_target_stub() {
+        let mut log = UndoLog::new(1, 44);
+        let p = CoreId(0);
+        log.append_stub(p, 0);
+        log.append(p, 1, LineAddr(1), 1);
+        log.append_stub(p, 1);
+        log.append(p, 2, LineAddr(1), 2);
+        let out = log.rollback(&targets(&[(0, 1)]));
+        assert_eq!(out.restores.len(), 1);
+        assert_eq!(out.restores[0].old, 2, "only the post-stub entry undone");
+    }
+
+    #[test]
+    fn rollback_ignores_other_processors() {
+        let mut log = UndoLog::new(1, 44);
+        log.append_stub(CoreId(0), 0);
+        log.append_stub(CoreId(1), 0);
+        log.append(CoreId(0), 1, LineAddr(1), 10);
+        log.append(CoreId(1), 1, LineAddr(2), 20);
+        let out = log.rollback(&targets(&[(0, 0)]));
+        assert_eq!(out.restores.len(), 1);
+        assert_eq!(out.restores[0].addr, LineAddr(1));
+        // P1's entry must survive for its own future rollback.
+        let out2 = log.rollback(&targets(&[(1, 0)]));
+        assert_eq!(out2.restores.len(), 1);
+        assert_eq!(out2.restores[0].addr, LineAddr(2));
+    }
+
+    #[test]
+    fn repeated_rollback_does_not_resurrect_dead_timeline() {
+        let mut log = UndoLog::new(1, 44);
+        let p = CoreId(0);
+        log.append_stub(p, 0);
+        log.append(p, 1, LineAddr(7), 111);
+        let first = log.rollback(&targets(&[(0, 0)]));
+        assert_eq!(first.restores.len(), 1);
+        // Re-execution logs a different old value, then rolls back again.
+        log.append(p, 1, LineAddr(7), 222);
+        let second = log.rollback(&targets(&[(0, 0)]));
+        assert_eq!(
+            second.restores,
+            vec![RestoredLine {
+                addr: LineAddr(7),
+                old: 222
+            }]
+        );
+    }
+
+    #[test]
+    fn dead_stubs_are_removed_on_deep_rollback() {
+        let mut log = UndoLog::new(1, 44);
+        let p = CoreId(0);
+        log.append_stub(p, 0);
+        log.append(p, 1, LineAddr(1), 1);
+        log.append_stub(p, 1);
+        log.append(p, 2, LineAddr(1), 2);
+        // Deep rollback to checkpoint 0 undoes both intervals and kills stub 1.
+        let out = log.rollback(&targets(&[(0, 0)]));
+        assert_eq!(out.restores.len(), 2);
+        assert_eq!(log.bank(0).len(), 1, "only stub 0 remains");
+        assert!(matches!(log.bank(0)[0], LogRecord::Stub { seq: 0, .. }));
+    }
+
+    #[test]
+    fn stubs_go_to_every_bank_and_entries_interleave() {
+        let mut log = UndoLog::new(4, 44);
+        log.append_stub(CoreId(0), 0);
+        assert_eq!(log.stubs.get(), 4);
+        for i in 0..8 {
+            log.append(CoreId(0), 1, LineAddr(i), i);
+        }
+        for b in 0..4 {
+            // Each bank: 1 stub + 2 entries.
+            assert_eq!(log.bank(b).len(), 3);
+        }
+        let out = log.rollback(&targets(&[(0, 0)]));
+        assert_eq!(out.restores.len(), 8);
+        assert_eq!(log.len(), 4, "stubs remain");
+    }
+
+    #[test]
+    fn interval_byte_accounting_tracks_max() {
+        let mut log = UndoLog::new(1, 100);
+        let p = CoreId(0);
+        log.append_stub(p, 0);
+        log.append(p, 1, LineAddr(1), 0);
+        log.append(p, 1, LineAddr(2), 0);
+        assert_eq!(log.max_interval_bytes(), 200);
+        log.append_stub(p, 1);
+        log.append(p, 2, LineAddr(3), 0);
+        // New interval is smaller; max is sticky.
+        assert_eq!(log.max_interval_bytes(), 200);
+        assert_eq!(log.bytes(), 300);
+    }
+
+    #[test]
+    fn truncate_before_drops_prehistory() {
+        let mut log = UndoLog::new(1, 44);
+        let p = CoreId(0);
+        log.append_stub(p, 0);
+        log.append(p, 1, LineAddr(1), 1);
+        log.append_stub(p, 1);
+        log.append(p, 2, LineAddr(2), 2);
+        log.append_stub(p, 2);
+        log.truncate_before(&targets(&[(0, 1)]));
+        // Everything strictly older than stub 1 is gone.
+        assert!(matches!(log.bank(0)[0], LogRecord::Stub { seq: 1, .. }));
+        // Rollback to checkpoint 1 still works.
+        let out = log.rollback(&targets(&[(0, 1)]));
+        assert_eq!(out.restores.len(), 1);
+        assert_eq!(out.restores[0].addr, LineAddr(2));
+    }
+
+    #[test]
+    fn rollback_with_no_matching_records_is_empty() {
+        let mut log = UndoLog::new(2, 44);
+        log.append_stub(CoreId(3), 0);
+        let out = log.rollback(&targets(&[(3, 0)]));
+        assert!(out.restores.is_empty());
+        assert!(out.scanned >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_banks_rejected() {
+        UndoLog::new(0, 44);
+    }
+
+    #[test]
+    fn disabled_filter_logs_every_writeback() {
+        let mut log = UndoLog::new(2, 44).with_filter(false);
+        let p = CoreId(0);
+        log.append_stub(p, 0);
+        assert!(log.append(p, 1, LineAddr(9), 0xAA));
+        assert!(log.append(p, 1, LineAddr(9), 0xBB), "filter off: duplicate logged");
+        assert_eq!(log.filtered.get(), 0);
+        assert_eq!(log.entries.get(), 2);
+    }
+
+    #[test]
+    fn rollback_is_correct_without_the_filter() {
+        // Redundant records restore in reverse order, so the *oldest*
+        // value wins — identical to the filtered outcome.
+        let p = CoreId(0);
+        let run = |filter: bool| {
+            let mut log = UndoLog::new(2, 44).with_filter(filter);
+            log.append_stub(p, 0);
+            log.append(p, 1, LineAddr(9), 0xAA);
+            log.append(p, 1, LineAddr(9), 0xBB);
+            let out = log.rollback(&targets(&[(0, 0)]));
+            out.restores.last().map(|r| (r.addr, r.old))
+        };
+        assert_eq!(run(true), run(false));
+        assert_eq!(run(false), Some((LineAddr(9), 0xAA)));
+    }
+}

@@ -1,0 +1,114 @@
+//! The line-granularity main-memory backing store.
+
+use std::collections::HashMap;
+
+use rebound_engine::LineAddr;
+
+/// Off-chip main memory.
+///
+/// The paper assumes off-chip memory (and the log it hosts) is *safe* —
+/// protected by ECC, raiding or non-volatility (§3.2) — so this model never
+/// corrupts it. Each line stores one 64-bit value standing in for the
+/// 32-byte payload; values are what make rollback verifiable: the undo log
+/// records old values read from here, and rollback must restore them exactly.
+///
+/// Untouched lines read as zero, as if the machine booted with zeroed DRAM.
+///
+/// # Example
+///
+/// ```
+/// use rebound_mem::MainMemory;
+/// use rebound_engine::LineAddr;
+///
+/// let mut m = MainMemory::new();
+/// assert_eq!(m.read(LineAddr(7)), 0);
+/// m.write(LineAddr(7), 42);
+/// assert_eq!(m.read(LineAddr(7)), 42);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MainMemory {
+    lines: HashMap<LineAddr, u64>,
+}
+
+impl MainMemory {
+    /// Creates a zeroed memory.
+    pub fn new() -> MainMemory {
+        MainMemory::default()
+    }
+
+    /// Reads the value of a line (zero if never written).
+    #[inline]
+    pub fn read(&self, addr: LineAddr) -> u64 {
+        self.lines.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes a line, returning the old value. This is exactly the
+    /// read-old-then-write sequence the Rebound memory controller performs
+    /// when logging a writeback (§3.3.3).
+    #[inline]
+    pub fn write(&mut self, addr: LineAddr, value: u64) -> u64 {
+        if value == 0 {
+            self.lines.remove(&addr).unwrap_or(0)
+        } else {
+            self.lines.insert(addr, value).unwrap_or(0)
+        }
+    }
+
+    /// Number of lines with nonzero content (for tests and footprint stats).
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Snapshot of the full (nonzero) memory state, for oracle comparison in
+    /// rollback tests.
+    pub fn snapshot(&self) -> HashMap<LineAddr, u64> {
+        self.lines.clone()
+    }
+
+    /// Whether the current state equals `snapshot` exactly.
+    pub fn matches_snapshot(&self, snapshot: &HashMap<LineAddr, u64>) -> bool {
+        self.lines == *snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_lines_read_zero() {
+        let m = MainMemory::new();
+        assert_eq!(m.read(LineAddr(123)), 0);
+        assert_eq!(m.resident_lines(), 0);
+    }
+
+    #[test]
+    fn write_returns_old_value() {
+        let mut m = MainMemory::new();
+        assert_eq!(m.write(LineAddr(1), 10), 0);
+        assert_eq!(m.write(LineAddr(1), 20), 10);
+        assert_eq!(m.read(LineAddr(1)), 20);
+    }
+
+    #[test]
+    fn writing_zero_is_equivalent_to_erasing() {
+        let mut m = MainMemory::new();
+        m.write(LineAddr(5), 9);
+        assert_eq!(m.write(LineAddr(5), 0), 9);
+        assert_eq!(m.read(LineAddr(5)), 0);
+        assert_eq!(m.resident_lines(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut m = MainMemory::new();
+        m.write(LineAddr(1), 11);
+        m.write(LineAddr(2), 22);
+        let snap = m.snapshot();
+        assert!(m.matches_snapshot(&snap));
+        m.write(LineAddr(2), 33);
+        assert!(!m.matches_snapshot(&snap));
+        m.write(LineAddr(2), 22);
+        assert!(m.matches_snapshot(&snap));
+    }
+}

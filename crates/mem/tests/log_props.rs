@@ -1,0 +1,201 @@
+//! Property tests of the undo log against a naive reference model.
+//!
+//! The reference keeps, per processor, a full snapshot of the "memory"
+//! at each of its checkpoints. After any sequence of writebacks,
+//! checkpoints and rollbacks, replaying the log's restores must take the
+//! modelled memory back to exactly the snapshot of each rolled-back
+//! processor's target checkpoint (for the lines that processor wrote),
+//! while other processors' later writes survive.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rebound_engine::{CoreId, LineAddr};
+use rebound_mem::UndoLog;
+
+/// One scripted action against the log.
+#[derive(Clone, Debug)]
+enum Act {
+    /// Processor writes line (value = fresh unique), logging the old value.
+    Write { pid: usize, line: u64 },
+    /// Processor completes a checkpoint (stub).
+    Ckpt { pid: usize },
+    /// Processor rolls back to its latest stub (alone).
+    Roll { pid: usize },
+}
+
+fn act_strategy(npids: usize, nlines: u64) -> impl Strategy<Value = Act> {
+    prop_oneof![
+        4 => (0..npids, 0..nlines).prop_map(|(pid, line)| Act::Write { pid, line }),
+        1 => (0..npids).prop_map(|pid| Act::Ckpt { pid }),
+        1 => (0..npids).prop_map(|pid| Act::Roll { pid }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Differential test: the banked, filtered, dead-timeline-pruning
+    /// log produces exactly the same post-rollback memory as a naive
+    /// reference log (single bank, no filter, entries replayed in strict
+    /// reverse order and removed when undone).
+    #[test]
+    fn rollback_matches_naive_reference_log(
+        acts in proptest::collection::vec(act_strategy(3, 8), 1..100),
+        banks in 1usize..4,
+    ) {
+        let npids = 3;
+        let mut log = UndoLog::new(banks, 44);
+        #[derive(Clone)]
+        enum RefRec {
+            Entry { pid: usize, addr: LineAddr, old: u64 },
+            Stub { pid: usize, seq: u64 },
+        }
+        let mut reference: Vec<RefRec> = Vec::new();
+        let mut mem_real: HashMap<LineAddr, u64> = HashMap::new();
+        let mut mem_ref: HashMap<LineAddr, u64> = HashMap::new();
+        let mut next_val = 1u64;
+        let mut stub_seq = vec![0u64; npids];
+        let mut interval = vec![0u64; npids];
+        for p in 0..npids {
+            log.append_stub(CoreId(p), 0);
+            reference.push(RefRec::Stub { pid: p, seq: 0 });
+        }
+
+        for act in acts {
+            match act {
+                Act::Write { pid, line } => {
+                    let la = LineAddr(line);
+                    let old = mem_real.get(&la).copied().unwrap_or(0);
+                    prop_assert_eq!(&mem_real, &mem_ref);
+                    log.append(CoreId(pid), interval[pid], la, old);
+                    reference.push(RefRec::Entry { pid, addr: la, old });
+                    mem_real.insert(la, next_val);
+                    mem_ref.insert(la, next_val);
+                    next_val += 1;
+                }
+                Act::Ckpt { pid } => {
+                    stub_seq[pid] += 1;
+                    interval[pid] = stub_seq[pid];
+                    log.append_stub(CoreId(pid), stub_seq[pid]);
+                    reference.push(RefRec::Stub { pid, seq: stub_seq[pid] });
+                }
+                Act::Roll { pid } => {
+                    // Real log.
+                    let targets: HashMap<CoreId, u64> =
+                        [(CoreId(pid), stub_seq[pid])].into_iter().collect();
+                    let out = log.rollback(&targets);
+                    for r in &out.restores {
+                        if r.old == 0 {
+                            mem_real.remove(&r.addr);
+                        } else {
+                            mem_real.insert(r.addr, r.old);
+                        }
+                    }
+                    // Reference: reverse scan to the pid's target stub.
+                    let mut keep = Vec::new();
+                    let mut active = true;
+                    for rec in reference.iter().rev() {
+                        match rec {
+                            RefRec::Entry { pid: p, addr, old } if active && *p == pid => {
+                                if *old == 0 {
+                                    mem_ref.remove(addr);
+                                } else {
+                                    mem_ref.insert(*addr, *old);
+                                }
+                                // removed (not kept)
+                            }
+                            RefRec::Stub { pid: p, seq } if active && *p == pid => {
+                                if *seq == stub_seq[pid] {
+                                    active = false;
+                                    keep.push(rec.clone());
+                                }
+                                // dead newer stubs removed
+                            }
+                            other => keep.push(other.clone()),
+                        }
+                    }
+                    keep.reverse();
+                    reference = keep;
+                    prop_assert_eq!(&mem_real, &mem_ref, "post-rollback divergence");
+                }
+            }
+        }
+        prop_assert_eq!(&mem_real, &mem_ref);
+    }
+
+    /// With a single processor, rollback must restore memory exactly.
+    #[test]
+    fn single_writer_rollback_is_exact(
+        acts in proptest::collection::vec(act_strategy(1, 6), 1..60),
+        banks in 1usize..4,
+    ) {
+        let mut log = UndoLog::new(banks, 44);
+        let mut mem: HashMap<LineAddr, u64> = HashMap::new();
+        let mut next_val = 1u64;
+        let mut stub = 0u64;
+        let mut snapshot: HashMap<LineAddr, u64> = HashMap::new();
+        log.append_stub(CoreId(0), 0);
+
+        for act in acts {
+            match act {
+                Act::Write { line, .. } => {
+                    let la = LineAddr(line);
+                    let old = mem.get(&la).copied().unwrap_or(0);
+                    log.append(CoreId(0), stub, la, old);
+                    mem.insert(la, next_val);
+                    next_val += 1;
+                }
+                Act::Ckpt { .. } => {
+                    stub += 1;
+                    log.append_stub(CoreId(0), stub);
+                    snapshot = mem.clone();
+                }
+                Act::Roll { .. } => {
+                    let targets: HashMap<CoreId, u64> =
+                        [(CoreId(0), stub)].into_iter().collect();
+                    let out = log.rollback(&targets);
+                    for r in &out.restores {
+                        if r.old == 0 {
+                            mem.remove(&r.addr);
+                        } else {
+                            mem.insert(r.addr, r.old);
+                        }
+                    }
+                    prop_assert_eq!(&mem, &snapshot, "exact restore");
+                }
+            }
+        }
+    }
+
+    /// The first-writeback filter never changes rollback results, only
+    /// log volume.
+    #[test]
+    fn filter_preserves_rollback_semantics(
+        lines in proptest::collection::vec(0u64..5, 1..40),
+    ) {
+        // Write the same random line sequence twice within one interval;
+        // the second writes are filtered, and rollback restores the state
+        // at the stub regardless.
+        let mut log = UndoLog::new(2, 44);
+        log.append_stub(CoreId(0), 0);
+        let mut mem: HashMap<LineAddr, u64> = HashMap::new();
+        for (v, &l) in (1u64..).zip(lines.iter().chain(lines.iter())) {
+            let la = LineAddr(l);
+            let old = mem.get(&la).copied().unwrap_or(0);
+            log.append(CoreId(0), 0, la, old);
+            mem.insert(la, v);
+        }
+        let targets: HashMap<CoreId, u64> = [(CoreId(0), 0)].into_iter().collect();
+        let out = log.rollback(&targets);
+        for r in &out.restores {
+            if r.old == 0 {
+                mem.remove(&r.addr);
+            } else {
+                mem.insert(r.addr, r.old);
+            }
+        }
+        prop_assert!(mem.is_empty(), "all lines must return to zero");
+        prop_assert!(log.filtered.get() > 0, "the filter must have fired");
+    }
+}

@@ -1,0 +1,333 @@
+//! The NVM device: asymmetric read/write timing, banked write bandwidth,
+//! per-block wear counters, optional Start-Gap wear leveling.
+
+use crate::wear::StartGap;
+use std::fmt;
+
+/// Timing, geometry and endurance parameters of one NVM device.
+///
+/// Latencies are in core cycles per cache line (1 GHz nominal core, per
+/// Fig 4.3(a)); presets follow the PCM literature the paper cites
+/// (its reference \[22\]): PCM array reads land near DRAM, writes are
+/// several-fold slower and bank parallelism hides part of that for
+/// streaming traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NvmConfig {
+    /// Cycles to read one line once the command reaches the device.
+    pub read_cycles: u64,
+    /// Cycles to write one line (set/reset pulse dominated).
+    pub write_cycles: u64,
+    /// Independent write banks; streaming writes overlap across banks.
+    pub banks: u64,
+    /// Writes one cell (block) endures before failing.
+    pub endurance: u64,
+    /// Device capacity in wear-tracked blocks.
+    pub blocks: usize,
+    /// Lines per wear-tracked block.
+    pub lines_per_block: u64,
+    /// Start-Gap rotation period (gap moves every `psi` writes);
+    /// `None` disables wear leveling.
+    pub leveling_psi: Option<u64>,
+}
+
+impl NvmConfig {
+    /// Phase-change memory: ~4x slower reads than DRAM rows, ~10x slower
+    /// writes, 10⁸ endurance, Start-Gap enabled.
+    pub fn pcm() -> NvmConfig {
+        NvmConfig {
+            read_cycles: 150,
+            write_cycles: 450,
+            banks: 8,
+            endurance: 100_000_000,
+            blocks: 4096,
+            lines_per_block: 128,
+            leveling_psi: Some(100),
+        }
+    }
+
+    /// A DRAM-like device (battery-backed): symmetric timing, effectively
+    /// unlimited endurance, no leveling needed. The baseline the paper's
+    /// evaluation implicitly assumes.
+    pub fn dram_like() -> NvmConfig {
+        NvmConfig {
+            read_cycles: 100,
+            write_cycles: 100,
+            banks: 8,
+            endurance: u64::MAX,
+            blocks: 4096,
+            lines_per_block: 128,
+            leveling_psi: None,
+        }
+    }
+
+    /// STT-MRAM: near-DRAM reads, moderately slower writes, high
+    /// endurance.
+    pub fn stt_mram() -> NvmConfig {
+        NvmConfig {
+            read_cycles: 110,
+            write_cycles: 200,
+            banks: 8,
+            endurance: 4_000_000_000_000_000,
+            blocks: 4096,
+            lines_per_block: 128,
+            leveling_psi: None,
+        }
+    }
+
+    /// Effective cycles per line for a long streaming write burst
+    /// (bank-parallel).
+    pub fn streaming_write_cycles_per_line(&self) -> f64 {
+        self.write_cycles as f64 / self.banks as f64
+    }
+
+    /// Effective cycles per line for a long streaming read burst.
+    pub fn streaming_read_cycles_per_line(&self) -> f64 {
+        self.read_cycles as f64 / self.banks as f64
+    }
+}
+
+impl Default for NvmConfig {
+    fn default() -> NvmConfig {
+        NvmConfig::pcm()
+    }
+}
+
+/// The time one device operation (or burst) took.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ServiceTime {
+    /// Core cycles of device occupancy.
+    pub cycles: u64,
+}
+
+impl fmt::Display for ServiceTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.cycles)
+    }
+}
+
+/// One NVM device with wear accounting.
+///
+/// Logical block addresses are remapped through [`StartGap`] when leveling
+/// is enabled; wear counters index *physical* frames, so the counters show
+/// exactly the skew (or flatness) the leveling achieves.
+#[derive(Clone, Debug)]
+pub struct NvmDevice {
+    cfg: NvmConfig,
+    leveler: Option<StartGap>,
+    wear: Vec<u64>,
+    line_writes: u64,
+    line_reads: u64,
+}
+
+impl NvmDevice {
+    /// A fresh device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero blocks, banks or
+    /// lines-per-block.
+    pub fn new(cfg: NvmConfig) -> NvmDevice {
+        assert!(cfg.blocks > 0 && cfg.banks > 0 && cfg.lines_per_block > 0);
+        let leveler = cfg.leveling_psi.map(|psi| StartGap::new(cfg.blocks, psi));
+        // One extra physical frame when Start-Gap is active (the gap).
+        let frames = cfg.blocks + usize::from(leveler.is_some());
+        NvmDevice {
+            cfg,
+            leveler,
+            wear: vec![0; frames],
+            line_writes: 0,
+            line_reads: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &NvmConfig {
+        &self.cfg
+    }
+
+    /// Writes one line at logical block `block`, returning the service
+    /// time and bumping the physical frame's wear counter.
+    pub fn write_line(&mut self, block: usize) -> ServiceTime {
+        let frame = self.frame_of(block);
+        self.wear[frame] += 1;
+        self.line_writes += 1;
+        if let Some(lv) = &mut self.leveler {
+            if let Some(copied_frame) = lv.on_write() {
+                // Gap movement copies one block — that copy is a write too.
+                self.wear[copied_frame] += self.cfg.lines_per_block;
+            }
+        }
+        ServiceTime { cycles: self.cfg.write_cycles }
+    }
+
+    /// Reads one line at logical block `_block` (reads do not wear PCM,
+    /// so only the counter moves).
+    pub fn read_line(&mut self, _block: usize) -> ServiceTime {
+        self.line_reads += 1;
+        ServiceTime { cycles: self.cfg.read_cycles }
+    }
+
+    /// Streaming burst of `lines` writes laid out sequentially from
+    /// logical line offset `start_line` (bank-parallel timing; wear
+    /// charged per underlying block).
+    pub fn write_burst(&mut self, start_line: u64, lines: u64) -> ServiceTime {
+        for i in 0..lines {
+            let block =
+                ((start_line + i) / self.cfg.lines_per_block) as usize % self.cfg.blocks;
+            self.write_line(block);
+        }
+        ServiceTime {
+            cycles: (lines as f64 * self.cfg.streaming_write_cycles_per_line()).ceil()
+                as u64,
+        }
+    }
+
+    /// Streaming burst of `lines` reads (bank-parallel timing).
+    pub fn read_burst(&mut self, start_line: u64, lines: u64) -> ServiceTime {
+        for i in 0..lines {
+            let block =
+                ((start_line + i) / self.cfg.lines_per_block) as usize % self.cfg.blocks;
+            self.read_line(block);
+        }
+        ServiceTime {
+            cycles: (lines as f64 * self.cfg.streaming_read_cycles_per_line()).ceil()
+                as u64,
+        }
+    }
+
+    fn frame_of(&self, block: usize) -> usize {
+        let b = block % self.cfg.blocks;
+        match &self.leveler {
+            Some(lv) => lv.map(b),
+            None => b,
+        }
+    }
+
+    /// Total line writes serviced.
+    pub fn line_writes(&self) -> u64 {
+        self.line_writes
+    }
+
+    /// Total line reads serviced.
+    pub fn line_reads(&self) -> u64 {
+        self.line_reads
+    }
+
+    /// Highest per-frame wear count.
+    pub fn max_wear(&self) -> u64 {
+        self.wear.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-frame wear count.
+    pub fn mean_wear(&self) -> f64 {
+        if self.wear.is_empty() {
+            0.0
+        } else {
+            self.wear.iter().sum::<u64>() as f64 / self.wear.len() as f64
+        }
+    }
+
+    /// Wear-leveling efficiency: mean wear / max wear (1.0 = perfectly
+    /// flat, → 0 = one hot frame takes everything). Defined as 1.0 on an
+    /// unwritten device.
+    pub fn leveling_efficiency(&self) -> f64 {
+        let max = self.max_wear();
+        if max == 0 {
+            1.0
+        } else {
+            self.mean_wear() / max as f64
+        }
+    }
+
+    /// Remaining endurance fraction of the hottest frame.
+    pub fn headroom(&self) -> f64 {
+        if self.cfg.endurance == u64::MAX {
+            return 1.0;
+        }
+        1.0 - (self.max_wear() as f64 / self.cfg.endurance as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sanely() {
+        let pcm = NvmConfig::pcm();
+        let dram = NvmConfig::dram_like();
+        assert!(pcm.write_cycles > pcm.read_cycles, "PCM writes slower than reads");
+        assert!(pcm.write_cycles > dram.write_cycles);
+        assert_eq!(dram.read_cycles, dram.write_cycles);
+    }
+
+    #[test]
+    fn streaming_rates_divide_by_banks() {
+        let cfg = NvmConfig { banks: 4, write_cycles: 400, ..NvmConfig::pcm() };
+        assert_eq!(cfg.streaming_write_cycles_per_line(), 100.0);
+    }
+
+    #[test]
+    fn write_line_accumulates_wear() {
+        let mut cfg = NvmConfig::dram_like();
+        cfg.blocks = 4;
+        let mut dev = NvmDevice::new(cfg);
+        for _ in 0..10 {
+            dev.write_line(1);
+        }
+        assert_eq!(dev.line_writes(), 10);
+        assert_eq!(dev.max_wear(), 10);
+        assert!(dev.leveling_efficiency() < 1.0);
+    }
+
+    #[test]
+    fn burst_timing_uses_bank_parallelism() {
+        let mut dev = NvmDevice::new(NvmConfig::pcm());
+        let t = dev.write_burst(0, 800);
+        // 800 lines * 450/8 cycles.
+        assert_eq!(t.cycles, 45_000);
+        let r = dev.read_burst(0, 800);
+        assert_eq!(r.cycles, 15_000);
+    }
+
+    #[test]
+    fn leveling_flattens_hot_block_traffic() {
+        let mk = |psi: Option<u64>| {
+            let cfg = NvmConfig {
+                blocks: 64,
+                leveling_psi: psi,
+                lines_per_block: 1, // make gap-copy cost negligible per move
+                ..NvmConfig::pcm()
+            };
+            let mut dev = NvmDevice::new(cfg);
+            for _ in 0..50_000 {
+                dev.write_line(7); // pathologically hot block
+            }
+            dev
+        };
+        let unleveled = mk(None);
+        let leveled = mk(Some(16));
+        assert!(leveled.max_wear() < unleveled.max_wear() / 4,
+            "leveled {} vs unleveled {}", leveled.max_wear(), unleveled.max_wear());
+        assert!(leveled.leveling_efficiency() > unleveled.leveling_efficiency());
+    }
+
+    #[test]
+    fn headroom_shrinks_with_wear() {
+        let cfg = NvmConfig { endurance: 100, blocks: 2, leveling_psi: None, ..NvmConfig::pcm() };
+        let mut dev = NvmDevice::new(cfg);
+        assert_eq!(dev.headroom(), 1.0);
+        for _ in 0..50 {
+            dev.write_line(0);
+        }
+        assert!((dev.headroom() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reads_do_not_wear() {
+        let mut dev = NvmDevice::new(NvmConfig::pcm());
+        dev.read_burst(0, 1000);
+        assert_eq!(dev.max_wear(), 0);
+        assert_eq!(dev.line_reads(), 1000);
+    }
+}

@@ -1,0 +1,47 @@
+//! Non-volatile-memory storage modelling for Rebound's undo log
+//! (the paper's §8 direction: *"we are fleshing out how Rebound interfaces
+//! to a highly-efficient storage subsystem based on non-volatile
+//! memory"*).
+//!
+//! Rebound's safety argument leans on off-chip memory and the log being
+//! fault-free (§3.2), and the paper points at phase-change memory (PCM,
+//! its reference \[22\]) as the enabling technology. PCM brings two problems
+//! DRAM does not have and this crate models both:
+//!
+//! * **Asymmetric, slower writes** — checkpoint writebacks and log appends
+//!   are write traffic; recovery's reverse scan is read traffic. The
+//!   [`NvmDevice`] charges each with its own latency and a bounded write
+//!   bandwidth, so checkpoint-interval and recovery-latency estimates can
+//!   be re-derived for an NVM-resident log ([`NvmLog`]).
+//! * **Finite write endurance** — PCM cells survive ~10⁷–10⁹ writes. The
+//!   log is an append-heavy structure, so the crate implements Start-Gap
+//!   style **wear leveling** ([`StartGap`]) and reports per-block wear and
+//!   device [`Lifetime`] under a measured checkpoint write rate.
+//!
+//! Everything here is a *storage timing/endurance* model: it does not
+//! duplicate the undo log's contents (that lives in `rebound-mem`); it
+//! prices the traffic a run produced. The `nvm_sweep` harness in
+//! `rebound-bench` connects a full machine run to these estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use rebound_nvm::{NvmConfig, NvmLog};
+//!
+//! // Price one checkpoint's log traffic on default PCM vs. the recovery
+//! // scan that would undo it.
+//! let mut log = NvmLog::new(NvmConfig::pcm());
+//! let append = log.append_lines(10_000);
+//! let scan = log.scan_lines(10_000);
+//! assert!(append.cycles > scan.cycles, "PCM writes cost more than reads");
+//! ```
+
+pub mod device;
+pub mod lifetime;
+pub mod log;
+pub mod wear;
+
+pub use device::{NvmConfig, NvmDevice, ServiceTime};
+pub use lifetime::Lifetime;
+pub use log::{NvmLog, RecoveryEstimate};
+pub use wear::StartGap;

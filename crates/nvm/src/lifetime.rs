@@ -1,0 +1,119 @@
+//! Device-lifetime estimation under checkpoint logging traffic.
+
+use crate::device::{NvmConfig, NvmDevice};
+use std::fmt;
+
+/// An endurance-limited lifetime estimate.
+///
+/// The classical first-order model: a device of `B` blocks whose cells
+/// endure `E` writes, written at `w` block-writes per second with wear
+/// spread at efficiency `η` (mean wear / max wear), fails when the hottest
+/// block hits `E`:
+///
+/// ```text
+/// lifetime_seconds = E · B · η / w
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lifetime {
+    /// Estimated seconds until the hottest block exhausts its endurance.
+    pub seconds: f64,
+}
+
+impl Lifetime {
+    /// Estimates lifetime from first principles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes_per_sec` is not positive or `efficiency` is
+    /// outside `(0, 1]`.
+    pub fn estimate(
+        cfg: &NvmConfig,
+        writes_per_sec: f64,
+        efficiency: f64,
+    ) -> Lifetime {
+        assert!(writes_per_sec > 0.0, "write rate must be positive");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1], got {efficiency}"
+        );
+        if cfg.endurance == u64::MAX {
+            return Lifetime { seconds: f64::INFINITY };
+        }
+        let seconds = cfg.endurance as f64 * cfg.blocks as f64 * efficiency
+            / writes_per_sec;
+        Lifetime { seconds }
+    }
+
+    /// Estimates lifetime from a device's *measured* wear distribution
+    /// and a measured write rate (block writes per second).
+    pub fn from_device(dev: &NvmDevice, writes_per_sec: f64) -> Lifetime {
+        Lifetime::estimate(dev.config(), writes_per_sec, dev.leveling_efficiency())
+    }
+
+    /// Lifetime in years.
+    pub fn years(&self) -> f64 {
+        self.seconds / (365.25 * 24.0 * 3600.0)
+    }
+
+    /// Whether the device outlives a target service life.
+    pub fn meets_service_life(&self, years: f64) -> bool {
+        self.years() >= years
+    }
+}
+
+impl fmt::Display for Lifetime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.seconds.is_infinite() {
+            write!(f, "unlimited")
+        } else if self.years() >= 1.0 {
+            write!(f, "{:.1} years", self.years())
+        } else {
+            write!(f, "{:.1} days", self.seconds / 86_400.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_leveling_scales_linearly_with_blocks() {
+        let mut cfg = NvmConfig::pcm();
+        cfg.endurance = 1_000_000;
+        cfg.blocks = 1000;
+        let l = Lifetime::estimate(&cfg, 1000.0, 1.0);
+        // 1e6 * 1e3 / 1e3 = 1e6 seconds.
+        assert!((l.seconds - 1.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn poor_leveling_costs_proportionally() {
+        let cfg = NvmConfig { endurance: 1_000_000, blocks: 1000, ..NvmConfig::pcm() };
+        let good = Lifetime::estimate(&cfg, 1000.0, 1.0);
+        let bad = Lifetime::estimate(&cfg, 1000.0, 0.1);
+        assert!((good.seconds / bad.seconds - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dram_like_is_unlimited() {
+        let l = Lifetime::estimate(&NvmConfig::dram_like(), 1e9, 1.0);
+        assert!(l.seconds.is_infinite());
+        assert_eq!(l.to_string(), "unlimited");
+        assert!(l.meets_service_life(100.0));
+    }
+
+    #[test]
+    fn display_picks_units() {
+        let day = Lifetime { seconds: 2.0 * 86_400.0 };
+        assert_eq!(day.to_string(), "2.0 days");
+        let years = Lifetime { seconds: 10.0 * 365.25 * 86_400.0 };
+        assert_eq!(years.to_string(), "10.0 years");
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_rejected() {
+        Lifetime::estimate(&NvmConfig::pcm(), 1.0, 0.0);
+    }
+}

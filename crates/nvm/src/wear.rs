@@ -1,0 +1,191 @@
+//! Start-Gap wear leveling (Qureshi et al., ISCA 2009) — the standard
+//! low-overhead PCM remapping scheme: one spare "gap" frame rotates
+//! through the physical address space, shifting the logical→physical
+//! mapping by one frame per full rotation. Hot logical blocks therefore
+//! sweep across all physical frames over time.
+
+/// The Start-Gap remapper over `n` logical blocks and `n + 1` physical
+/// frames.
+///
+/// The mapping is `pa = (la + start) mod n`, then skipping the gap frame:
+/// `if pa >= gap { pa += 1 }`. Every `psi` writes the gap moves down one
+/// frame (copying the displaced block); when it wraps past frame 0,
+/// `start` advances — after `n + 1` gap movements every logical block has
+/// shifted by one physical frame.
+///
+/// # Example
+///
+/// ```
+/// use rebound_nvm::StartGap;
+///
+/// let mut sg = StartGap::new(8, 4);
+/// let before = sg.map(3);
+/// // 8 gap movements * 4 writes each: a full rotation plus one step.
+/// for _ in 0..36 { sg.on_write(); }
+/// assert_ne!(sg.map(3), before, "hot block moved to a new frame");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StartGap {
+    n: usize,
+    start: usize,
+    gap: usize,
+    psi: u64,
+    writes_since_move: u64,
+    gap_moves: u64,
+}
+
+impl StartGap {
+    /// A remapper over `n` logical blocks, moving the gap every `psi`
+    /// writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `psi == 0`.
+    pub fn new(n: usize, psi: u64) -> StartGap {
+        assert!(n > 0, "need at least one block");
+        assert!(psi > 0, "gap must move at a positive period");
+        StartGap { n, start: 0, gap: n, psi, writes_since_move: 0, gap_moves: 0 }
+    }
+
+    /// Physical frame of logical block `la` (frames run `0..=n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `la >= n`.
+    pub fn map(&self, la: usize) -> usize {
+        assert!(la < self.n, "logical block {la} out of range (n={})", self.n);
+        let mut pa = (la + self.start) % self.n;
+        if pa >= self.gap {
+            pa += 1;
+        }
+        pa
+    }
+
+    /// Accounts one write. If the write triggers a gap movement, returns
+    /// `Some(frame)` — the physical frame whose block was copied into the
+    /// old gap (the caller charges that copy's wear and latency).
+    pub fn on_write(&mut self) -> Option<usize> {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.psi {
+            return None;
+        }
+        self.writes_since_move = 0;
+        self.gap_moves += 1;
+        // The gap moves down by one: the block in the frame below the gap
+        // is copied into the gap frame.
+        if self.gap == 0 {
+            self.start = (self.start + 1) % self.n;
+            self.gap = self.n;
+            // Wrapping movement copies the block now logically adjacent;
+            // charge the frame just below the new gap position.
+            Some(self.n - 1)
+        } else {
+            self.gap -= 1;
+            Some(self.gap)
+        }
+    }
+
+    /// Gap movements so far (each cost one block copy).
+    pub fn gap_moves(&self) -> u64 {
+        self.gap_moves
+    }
+
+    /// The write amplification the leveling itself adds: block copies per
+    /// payload write.
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 / self.psi as f64
+    }
+
+    /// Current gap frame (for inspection/tests).
+    pub fn gap(&self) -> usize {
+        self.gap
+    }
+
+    /// Current rotation offset (for inspection/tests).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of logical blocks.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: there is at least one block.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identity_before_any_movement() {
+        let sg = StartGap::new(8, 10);
+        for la in 0..8 {
+            assert_eq!(sg.map(la), la, "gap starts at frame n; mapping is identity");
+        }
+    }
+
+    #[test]
+    fn gap_frame_is_never_mapped() {
+        let mut sg = StartGap::new(8, 1);
+        for _ in 0..100 {
+            let mapped: HashSet<usize> = (0..8).map(|la| sg.map(la)).collect();
+            assert!(!mapped.contains(&sg.gap()), "gap {} mapped", sg.gap());
+            sg.on_write();
+        }
+    }
+
+    #[test]
+    fn movement_returns_copied_frame() {
+        let mut sg = StartGap::new(4, 2);
+        assert_eq!(sg.on_write(), None);
+        assert_eq!(sg.on_write(), Some(3)); // gap 4 -> 3, frame 3 copied
+        assert_eq!(sg.gap(), 3);
+        assert_eq!(sg.gap_moves(), 1);
+    }
+
+    #[test]
+    fn full_rotation_advances_start() {
+        let n = 4;
+        let mut sg = StartGap::new(n, 1);
+        for _ in 0..n {
+            sg.on_write(); // gap walks n -> 0
+        }
+        assert_eq!(sg.gap(), 0);
+        assert_eq!(sg.start(), 0);
+        sg.on_write(); // wrap: start advances
+        assert_eq!(sg.gap(), n);
+        assert_eq!(sg.start(), 1);
+        // Mapping shifted by one.
+        assert_eq!(sg.map(0), 1);
+    }
+
+    #[test]
+    fn overhead_is_one_over_psi() {
+        assert_eq!(StartGap::new(8, 100).overhead_fraction(), 0.01);
+    }
+
+    proptest! {
+        /// The mapping is a bijection from logical blocks into physical
+        /// frames at every point of the rotation.
+        #[test]
+        fn mapping_stays_bijective(n in 1usize..64, psi in 1u64..8, writes in 0u64..2000) {
+            let mut sg = StartGap::new(n, psi);
+            for _ in 0..writes {
+                sg.on_write();
+            }
+            let mapped: HashSet<usize> = (0..n).map(|la| sg.map(la)).collect();
+            prop_assert_eq!(mapped.len(), n, "collision after {} writes", writes);
+            for pa in &mapped {
+                prop_assert!(*pa <= n);
+                prop_assert_ne!(*pa, sg.gap());
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-event energies and static power (45 nm class constants).
+
+/// Energy cost per architectural event, in picojoules, plus static power.
+///
+/// Absolute values are CACTI/Wattch-class estimates for a 45 nm, 1 GHz,
+/// 200 mm² manycore (Fig 4.3(a)); the experiments only use ratios between
+/// schemes, which are insensitive to the absolute calibration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per committed instruction (core datapath), pJ.
+    pub per_instruction_pj: f64,
+    /// Energy per L1 access, pJ.
+    pub l1_access_pj: f64,
+    /// Energy per L2 access, pJ.
+    pub l2_access_pj: f64,
+    /// Energy per line moved over a memory channel (incl. DRAM), pJ.
+    pub mem_line_pj: f64,
+    /// Energy per on-chip network message, pJ.
+    pub net_msg_pj: f64,
+    /// Energy per WSIG insert/check or Dep-register update, pJ.
+    pub dep_op_pj: f64,
+    /// Energy per undo-log entry (read-old + write-log), pJ.
+    pub log_entry_pj: f64,
+    /// Chip static power, W (leakage + clock tree at 45 nm).
+    pub static_w: f64,
+    /// Static-power adder for Rebound's structures as a fraction of
+    /// static power (paper: the added hardware costs ~1.3% power, §6.5).
+    pub dep_static_frac: f64,
+    /// Nominal clock, Hz (cycles → seconds).
+    pub clock_hz: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> EnergyParams {
+        EnergyParams {
+            per_instruction_pj: 60.0,
+            l1_access_pj: 10.0,
+            l2_access_pj: 40.0,
+            mem_line_pj: 2_000.0,
+            net_msg_pj: 100.0,
+            dep_op_pj: 4.0,
+            log_entry_pj: 4_000.0,
+            static_w: 20.0,
+            dep_static_frac: 0.013,
+            clock_hz: 1.0e9,
+        }
+    }
+}
+
+/// Energy totals of one run, by component, in joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core datapath energy.
+    pub core: f64,
+    /// L1 + L2 energy.
+    pub caches: f64,
+    /// Memory-channel / DRAM energy.
+    pub memory: f64,
+    /// Interconnect energy.
+    pub network: f64,
+    /// Rebound structures: WSIG/Dep ops and LW-ID updates.
+    pub dep_hardware: f64,
+    /// Undo-log maintenance.
+    pub log: f64,
+    /// Static energy over the run (incl. the Dep static adder if enabled).
+    pub static_energy: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.core
+            + self.caches
+            + self.memory
+            + self.network
+            + self.dep_hardware
+            + self.log
+            + self.static_energy
+    }
+
+    /// Dynamic (non-static) energy in joules.
+    pub fn dynamic(&self) -> f64 {
+        self.total() - self.static_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let p = EnergyParams::default();
+        assert!(p.per_instruction_pj > 0.0);
+        assert!(p.static_w > 0.0);
+        assert!(p.dep_static_frac > 0.0 && p.dep_static_frac < 0.05);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = EnergyBreakdown {
+            core: 1.0,
+            caches: 2.0,
+            memory: 3.0,
+            network: 4.0,
+            dep_hardware: 5.0,
+            log: 6.0,
+            static_energy: 7.0,
+        };
+        assert_eq!(b.total(), 28.0);
+        assert_eq!(b.dynamic(), 21.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Activity-based power/energy model for the Rebound reproduction.
+//!
+//! The paper integrates CACTI and Wattch models (updated with ITRS 2010
+//! data, 45 nm) into its simulator and reports *relative* energy and power
+//! between checkpointing schemes (Figs 6.6(b) and 6.8). Neither tool is
+//! available here, so this crate provides the standard substitution: an
+//! **activity-count energy model** — fixed energy per architectural event
+//! (cache access, line transfer, network message, Dep-register operation)
+//! plus static power integrated over the run. Because every figure using
+//! it compares schemes on the *same* machine, only the per-event ratios
+//! matter, and those are taken from well-known 45 nm CACTI/Wattch-class
+//! numbers.
+//!
+//! The extra hardware Rebound adds (Dep registers, WSIG, LW-ID fields) is
+//! charged both a per-operation energy and a static-power adder calibrated
+//! to the paper's statement that the structures cost "a 1.3% power" adder
+//! (§6.5).
+
+pub mod energy;
+pub mod model;
+
+pub use energy::{EnergyBreakdown, EnergyParams};
+pub use model::{power_watts, run_energy, ActivityCounts, PowerSummary};

@@ -1,0 +1,164 @@
+//! Converting run activity into energy and power.
+
+use crate::energy::{EnergyBreakdown, EnergyParams};
+
+/// Architectural event counts of one run (extracted from the simulator's
+/// metrics by the caller, keeping this crate dependency-free).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActivityCounts {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// L1 accesses.
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// Memory line transfers (demand + checkpoint writebacks).
+    pub mem_lines: u64,
+    /// On-chip messages of all classes.
+    pub net_msgs: u64,
+    /// WSIG operations plus Dep-register updates.
+    pub dep_ops: u64,
+    /// LW-ID directory-field updates.
+    pub lwid_updates: u64,
+    /// Undo-log entries appended.
+    pub log_entries: u64,
+    /// Run length in cycles.
+    pub cycles: u64,
+    /// Whether the machine carries Rebound's extra structures (their
+    /// static-power adder applies even when idle).
+    pub has_dep_hardware: bool,
+}
+
+/// Energy and power summary of one run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerSummary {
+    /// Energy by component.
+    pub energy: EnergyBreakdown,
+    /// Average power over the run, in watts.
+    pub avg_power_w: f64,
+    /// Run time in seconds.
+    pub seconds: f64,
+}
+
+/// Integrates per-event energies and static power over a run.
+///
+/// # Example
+///
+/// ```
+/// use rebound_power::{run_energy, EnergyParams};
+/// use rebound_power::model::ActivityCounts;
+///
+/// let counts = ActivityCounts {
+///     instructions: 1_000_000,
+///     cycles: 1_500_000,
+///     ..Default::default()
+/// };
+/// let s = run_energy(&EnergyParams::default(), &counts);
+/// assert!(s.energy.total() > 0.0);
+/// assert!(s.avg_power_w > 0.0);
+/// ```
+pub fn run_energy(params: &EnergyParams, counts: &ActivityCounts) -> PowerSummary {
+    const PJ: f64 = 1.0e-12;
+    let seconds = counts.cycles as f64 / params.clock_hz;
+    let static_w = if counts.has_dep_hardware {
+        params.static_w * (1.0 + params.dep_static_frac)
+    } else {
+        params.static_w
+    };
+    let energy = EnergyBreakdown {
+        core: counts.instructions as f64 * params.per_instruction_pj * PJ,
+        caches: (counts.l1_accesses as f64 * params.l1_access_pj
+            + counts.l2_accesses as f64 * params.l2_access_pj)
+            * PJ,
+        memory: counts.mem_lines as f64 * params.mem_line_pj * PJ,
+        network: counts.net_msgs as f64 * params.net_msg_pj * PJ,
+        dep_hardware: (counts.dep_ops + counts.lwid_updates) as f64 * params.dep_op_pj * PJ,
+        log: counts.log_entries as f64 * params.log_entry_pj * PJ,
+        static_energy: static_w * seconds,
+    };
+    let avg_power_w = if seconds > 0.0 {
+        energy.total() / seconds
+    } else {
+        0.0
+    };
+    PowerSummary {
+        energy,
+        avg_power_w,
+        seconds,
+    }
+}
+
+/// Average power of a run in watts (shorthand over [`run_energy`]).
+pub fn power_watts(params: &EnergyParams, counts: &ActivityCounts) -> f64 {
+    run_energy(params, counts).avg_power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_counts() -> ActivityCounts {
+        ActivityCounts {
+            instructions: 10_000_000,
+            l1_accesses: 3_000_000,
+            l2_accesses: 500_000,
+            mem_lines: 50_000,
+            net_msgs: 100_000,
+            dep_ops: 0,
+            lwid_updates: 0,
+            log_entries: 0,
+            cycles: 15_000_000,
+            has_dep_hardware: false,
+        }
+    }
+
+    #[test]
+    fn zero_cycles_zero_power() {
+        let s = run_energy(&EnergyParams::default(), &ActivityCounts::default());
+        assert_eq!(s.avg_power_w, 0.0);
+        assert_eq!(s.energy.total(), 0.0);
+    }
+
+    #[test]
+    fn more_traffic_more_energy() {
+        let p = EnergyParams::default();
+        let a = run_energy(&p, &base_counts());
+        let mut heavier = base_counts();
+        heavier.mem_lines *= 10;
+        heavier.log_entries = 50_000;
+        let b = run_energy(&p, &heavier);
+        assert!(b.energy.total() > a.energy.total());
+        assert!(b.energy.memory > a.energy.memory);
+        assert!(b.energy.log > 0.0 && a.energy.log == 0.0);
+    }
+
+    #[test]
+    fn dep_hardware_adds_static_percent() {
+        let p = EnergyParams::default();
+        let mut with = base_counts();
+        with.has_dep_hardware = true;
+        let a = run_energy(&p, &base_counts());
+        let b = run_energy(&p, &with);
+        let ratio = b.energy.static_energy / a.energy.static_energy;
+        assert!((ratio - 1.013).abs() < 1e-9, "got ratio {ratio}");
+    }
+
+    #[test]
+    fn same_work_longer_run_costs_more_static_energy_less_power() {
+        let p = EnergyParams::default();
+        let fast = base_counts();
+        let mut slow = base_counts();
+        slow.cycles *= 2;
+        let ef = run_energy(&p, &fast);
+        let es = run_energy(&p, &slow);
+        assert!(es.energy.total() > ef.energy.total());
+        assert!(es.avg_power_w < ef.avg_power_w);
+    }
+
+    #[test]
+    fn power_watts_matches_summary() {
+        let p = EnergyParams::default();
+        let c = base_counts();
+        assert_eq!(power_watts(&p, &c), run_energy(&p, &c).avg_power_w);
+    }
+}

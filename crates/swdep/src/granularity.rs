@@ -1,0 +1,140 @@
+//! Tracking granularity for software dependence recording.
+//!
+//! Hardware coherence observes sharing at cache-line granularity; software
+//! instrumentation chooses its own trade-off. Finer granularities cost more
+//! metadata and instrumentation work but record fewer false dependences;
+//! coarser ones (pages, whole objects) are cheap but conservatively merge
+//! neighbouring data, exactly like line-granularity false sharing — only
+//! bigger.
+
+use rebound_engine::Addr;
+use std::fmt;
+
+/// The unit at which the software tracker maps addresses to a last writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Granularity {
+    /// 8-byte machine words — the finest practical instrumentation unit.
+    Word,
+    /// 32-byte cache lines (the paper's line size, Fig 4.3(a)) — matches
+    /// what the hardware directory observes.
+    Line,
+    /// 4 KiB pages — what page-protection-based instrumentation sees.
+    Page,
+    /// An arbitrary power-of-two region of `2^bits` bytes (object pools,
+    /// software-managed segments).
+    Custom {
+        /// log2 of the region size in bytes. Must be ≤ 63.
+        bits: u32,
+    },
+}
+
+impl Granularity {
+    /// log2 of the region size in bytes.
+    pub fn offset_bits(self) -> u32 {
+        match self {
+            Granularity::Word => 3,
+            Granularity::Line => 5,
+            Granularity::Page => 12,
+            Granularity::Custom { bits } => bits,
+        }
+    }
+
+    /// Region size in bytes.
+    pub fn bytes(self) -> u64 {
+        1u64 << self.offset_bits()
+    }
+
+    /// The region containing byte address `addr`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rebound_swdep::Granularity;
+    /// use rebound_engine::Addr;
+    ///
+    /// let g = Granularity::Line;
+    /// assert_eq!(g.region_of(Addr(0x100)), g.region_of(Addr(0x11f)));
+    /// assert_ne!(g.region_of(Addr(0x100)), g.region_of(Addr(0x120)));
+    /// ```
+    pub fn region_of(self, addr: Addr) -> Region {
+        Region(addr.0 >> self.offset_bits())
+    }
+
+    /// Whether `self` is at least as coarse as `other` (every `other`
+    /// region is contained in exactly one `self` region).
+    pub fn is_coarser_or_equal(self, other: Granularity) -> bool {
+        self.offset_bits() >= other.offset_bits()
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Granularity::Word => write!(f, "word"),
+            Granularity::Line => write!(f, "line"),
+            Granularity::Page => write!(f, "page"),
+            Granularity::Custom { bits } => write!(f, "2^{bits}B"),
+        }
+    }
+}
+
+/// A tracking region: a byte address divided by the granularity's size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Region(pub u64);
+
+impl Region {
+    /// First byte address of the region under granularity `g`.
+    pub fn base(self, g: Granularity) -> Addr {
+        Addr(self.0 << g.offset_bits())
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Granularity::Word.bytes(), 8);
+        assert_eq!(Granularity::Line.bytes(), 32);
+        assert_eq!(Granularity::Page.bytes(), 4096);
+        assert_eq!(Granularity::Custom { bits: 7 }.bytes(), 128);
+    }
+
+    #[test]
+    fn region_mapping_splits_at_boundaries() {
+        let g = Granularity::Page;
+        assert_eq!(g.region_of(Addr(0)), Region(0));
+        assert_eq!(g.region_of(Addr(4095)), Region(0));
+        assert_eq!(g.region_of(Addr(4096)), Region(1));
+    }
+
+    #[test]
+    fn coarseness_is_a_total_order_here() {
+        assert!(Granularity::Page.is_coarser_or_equal(Granularity::Line));
+        assert!(Granularity::Line.is_coarser_or_equal(Granularity::Word));
+        assert!(Granularity::Line.is_coarser_or_equal(Granularity::Line));
+        assert!(!Granularity::Word.is_coarser_or_equal(Granularity::Line));
+    }
+
+    #[test]
+    fn region_base_roundtrip() {
+        let g = Granularity::Line;
+        let r = g.region_of(Addr(0x1234));
+        assert_eq!(g.region_of(r.base(g)), r);
+        assert_eq!(r.base(g).0 % g.bytes(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Granularity::Line.to_string(), "line");
+        assert_eq!(Granularity::Custom { bits: 9 }.to_string(), "2^9B");
+        assert_eq!(Region(0x40).to_string(), "R0x40");
+    }
+}

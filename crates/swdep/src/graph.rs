@@ -1,0 +1,285 @@
+//! The inter-thread communication graph and its interaction-set queries.
+//!
+//! This is the data structure the paper's §8 sketch asks software to
+//! maintain in lieu of the Dep registers: per core, the set of cores it
+//! consumed from (`MyProducers`) and the set it produced for
+//! (`MyConsumers`) in the current checkpoint interval. The distributed
+//! checkpoint and rollback algorithms of §3.3.4–3.3.5 then become
+//! transitive closures over this graph, with the same Decline rule for
+//! stale edges.
+
+use rebound_coherence::CoreSet;
+use rebound_engine::CoreId;
+use std::fmt;
+
+/// A dynamic communication graph over `n` cores.
+///
+/// Edges are directed producer → consumer and recorded per checkpoint
+/// interval; a core's edges are cleared when it completes a checkpoint
+/// (its own registers reset) while other cores' references to it may go
+/// stale — exactly the asymmetry §3.3.2 allows, resolved at query time by
+/// the Decline rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommGraph {
+    producers: Vec<CoreSet>,
+    consumers: Vec<CoreSet>,
+    /// Dependences recorded since construction (never reset by
+    /// [`CommGraph::clear_core`]); one count per `record` call that
+    /// inserted at least one new edge side.
+    edges_recorded: u64,
+}
+
+impl CommGraph {
+    /// An empty graph over `n` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds [`CoreSet`]'s 64-core capacity.
+    pub fn new(n: usize) -> CommGraph {
+        assert!(n > 0 && n <= 64, "CommGraph supports 1..=64 cores, got {n}");
+        CommGraph {
+            producers: vec![CoreSet::new(); n],
+            consumers: vec![CoreSet::new(); n],
+            edges_recorded: 0,
+        }
+    }
+
+    /// Number of cores in the graph.
+    pub fn ncores(&self) -> usize {
+        self.producers.len()
+    }
+
+    /// Records that `producer` wrote data that `consumer` then accessed.
+    ///
+    /// Self-dependences are ignored (a core reading its own writes is not
+    /// communication). Returns `true` if the edge was new on either side.
+    pub fn record(&mut self, producer: CoreId, consumer: CoreId) -> bool {
+        if producer == consumer {
+            return false;
+        }
+        let a = self.consumers[producer.index()].insert(consumer);
+        let b = self.producers[consumer.index()].insert(producer);
+        if a || b {
+            self.edges_recorded += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The cores `core` consumed from this interval (its `MyProducers`).
+    pub fn producers_of(&self, core: CoreId) -> CoreSet {
+        self.producers[core.index()]
+    }
+
+    /// The cores `core` produced for this interval (its `MyConsumers`).
+    pub fn consumers_of(&self, core: CoreId) -> CoreSet {
+        self.consumers[core.index()]
+    }
+
+    /// Clears `core`'s own registers, as a completed checkpoint or rollback
+    /// does (§3.3.4). Other cores' bits naming `core` are left stale; the
+    /// closure queries apply the Decline rule to ignore them.
+    pub fn clear_core(&mut self, core: CoreId) {
+        self.producers[core.index()].clear();
+        self.consumers[core.index()].clear();
+    }
+
+    /// Total `record` calls that added an edge (monotone; survives
+    /// clearing).
+    pub fn edges_recorded(&self) -> u64 {
+        self.edges_recorded
+    }
+
+    /// Live directed edges currently in the graph (symmetric pairs count
+    /// once; stale one-sided bits count zero, since only mutually-held
+    /// edges act in the closures).
+    pub fn live_edges(&self) -> usize {
+        let mut n = 0;
+        for p in 0..self.ncores() {
+            for c in self.consumers[p].iter() {
+                if self.producers[c.index()].contains(CoreId(p)) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// The Interaction Set for Checkpointing seeded at `initiator`:
+    /// transitive closure over `MyProducers`, admitting a producer only if
+    /// its own `MyConsumers` confirms the edge (otherwise it Declines, as
+    /// when it recently checkpointed — §3.3.4).
+    pub fn ichk(&self, initiator: CoreId) -> CoreSet {
+        self.closure(initiator, |g, member| g.producers[member.index()], |g, cand, member| {
+            g.consumers[cand.index()].contains(member)
+        })
+    }
+
+    /// The Interaction Set for Recovery seeded at `initiator`: transitive
+    /// closure over `MyConsumers`, with the dual Decline rule (§3.3.5).
+    pub fn irec(&self, initiator: CoreId) -> CoreSet {
+        self.closure(initiator, |g, member| g.consumers[member.index()], |g, cand, member| {
+            g.producers[cand.index()].contains(member)
+        })
+    }
+
+    fn closure(
+        &self,
+        initiator: CoreId,
+        neighbours: impl Fn(&CommGraph, CoreId) -> CoreSet,
+        confirms: impl Fn(&CommGraph, CoreId, CoreId) -> bool,
+    ) -> CoreSet {
+        assert!(initiator.index() < self.ncores(), "core out of range");
+        let mut set = CoreSet::singleton(initiator);
+        let mut frontier = vec![initiator];
+        while let Some(member) = frontier.pop() {
+            for cand in neighbours(self, member).iter() {
+                if !set.contains(cand) && confirms(self, cand, member) {
+                    set.insert(cand);
+                    frontier.push(cand);
+                }
+            }
+        }
+        set
+    }
+
+    /// Whether every live edge of `self` also exists (live) in `other`.
+    /// Used to check conservativeness: a static compiler graph must contain
+    /// every dynamically observed communication.
+    pub fn is_subgraph_of(&self, other: &CommGraph) -> bool {
+        debug_assert_eq!(self.ncores(), other.ncores());
+        for p in 0..self.ncores() {
+            for c in self.consumers[p].iter() {
+                if self.producers[c.index()].contains(CoreId(p))
+                    && !(other.consumers[p].contains(c)
+                        && other.producers[c.index()].contains(CoreId(p)))
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for CommGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CommGraph({} cores, {} live edges)", self.ncores(), self.live_edges())?;
+        for p in 0..self.ncores() {
+            if !self.consumers[p].is_empty() {
+                write!(f, "  P{p} ->")?;
+                for c in self.consumers[p].iter() {
+                    write!(f, " {c}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> CommGraph {
+        // P0 -> P1 -> ... -> P(n-1)
+        let mut g = CommGraph::new(n);
+        for i in 1..n {
+            g.record(CoreId(i - 1), CoreId(i));
+        }
+        g
+    }
+
+    #[test]
+    fn record_sets_both_sides() {
+        let mut g = CommGraph::new(4);
+        assert!(g.record(CoreId(0), CoreId(2)));
+        assert!(g.consumers_of(CoreId(0)).contains(CoreId(2)));
+        assert!(g.producers_of(CoreId(2)).contains(CoreId(0)));
+        // Duplicate record is a no-op.
+        assert!(!g.record(CoreId(0), CoreId(2)));
+        assert_eq!(g.edges_recorded(), 1);
+    }
+
+    #[test]
+    fn self_dependences_are_ignored() {
+        let mut g = CommGraph::new(2);
+        assert!(!g.record(CoreId(1), CoreId(1)));
+        assert!(g.producers_of(CoreId(1)).is_empty());
+        assert_eq!(g.live_edges(), 0);
+    }
+
+    #[test]
+    fn ichk_walks_producers_transitively() {
+        // P0 -> P1 -> P2: the consumer P2's checkpoint must pull in both
+        // upstream producers (Fig 2.1(b) applied transitively).
+        let g = chain(3);
+        let set = g.ichk(CoreId(2));
+        assert_eq!(set.len(), 3);
+        // The pure producer P0 initiating only checkpoints itself.
+        assert_eq!(g.ichk(CoreId(0)).len(), 1);
+    }
+
+    #[test]
+    fn irec_walks_consumers_transitively() {
+        let g = chain(3);
+        let set = g.irec(CoreId(0));
+        assert_eq!(set.len(), 3);
+        assert_eq!(g.irec(CoreId(2)).len(), 1);
+    }
+
+    #[test]
+    fn cyclic_dependences_terminate() {
+        let mut g = CommGraph::new(3);
+        g.record(CoreId(0), CoreId(1));
+        g.record(CoreId(1), CoreId(2));
+        g.record(CoreId(2), CoreId(0));
+        assert_eq!(g.ichk(CoreId(0)).len(), 3);
+        assert_eq!(g.irec(CoreId(1)).len(), 3);
+    }
+
+    #[test]
+    fn cleared_core_declines_stale_requests() {
+        // P1 consumed from P0; then P0 checkpointed (clearing its
+        // MyConsumers). P1's later checkpoint must not drag P0 in — P0
+        // would Decline (§3.3.4's "recently checkpointed" case).
+        let mut g = chain(2);
+        g.clear_core(CoreId(0));
+        assert!(g.producers_of(CoreId(1)).contains(CoreId(0)), "stale bit remains");
+        assert_eq!(g.ichk(CoreId(1)).len(), 1, "stale producer declined");
+    }
+
+    #[test]
+    fn clearing_breaks_transitive_reach_through_middle() {
+        let mut g = chain(3);
+        g.clear_core(CoreId(1));
+        // P2's closure reaches P1? P1's consumers were cleared, so P1
+        // declines; P0 is then unreachable.
+        assert_eq!(g.ichk(CoreId(2)).len(), 1);
+    }
+
+    #[test]
+    fn live_edges_ignore_one_sided_staleness() {
+        let mut g = chain(2);
+        assert_eq!(g.live_edges(), 1);
+        g.clear_core(CoreId(0));
+        assert_eq!(g.live_edges(), 0);
+    }
+
+    #[test]
+    fn subgraph_check() {
+        let small = chain(3);
+        let mut big = chain(3);
+        big.record(CoreId(0), CoreId(2));
+        assert!(small.is_subgraph_of(&big));
+        assert!(!big.is_subgraph_of(&small));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn zero_cores_rejected() {
+        CommGraph::new(0);
+    }
+}

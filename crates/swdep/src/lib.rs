@@ -1,0 +1,69 @@
+//! Software dependence tracking for Rebound on machines **without**
+//! hardware cache coherence (the paper's §8 future-work direction).
+//!
+//! Rebound proper piggybacks dependence recording on directory-protocol
+//! transactions. Chapter 8 of the paper observes that on a manycore with no
+//! hardware coherence, *"the software can generate a graph of the
+//! inter-thread communications, to be used by our algorithms to decide
+//! which processors to checkpoint or rollback together. The compiler can
+//! generate such a graph statically or may emit code that, at runtime,
+//! generates it."*
+//!
+//! This crate implements both halves of that sentence:
+//!
+//! * [`SwTracker`] — the **runtime** path: instrumentation-style observation
+//!   of every load and store at a configurable [`Granularity`] (word, cache
+//!   line, page, or object), maintaining a software analogue of the LW-ID
+//!   field and feeding a [`CommGraph`].
+//! * [`StaticGraph`] — the **compiler** path: a conservative communication
+//!   graph derived from the program's sharing structure (ring, pipeline,
+//!   star, clusters, …), usable when no runtime instrumentation is
+//!   affordable.
+//! * [`CommGraph`] — the graph itself, with the transitive-closure queries
+//!   the paper's distributed protocols need: the Interaction Set for
+//!   Checkpointing over producers and the Interaction Set for Recovery over
+//!   consumers, plus the per-core clearing a completed checkpoint performs.
+//! * [`Replay`] — a deterministic interleaver that drives per-core
+//!   operation sequences through a tracker, lowering locks and barriers to
+//!   the same shared-memory accesses the hardware machine uses (Fig 4.2(a)),
+//!   so software-tracked sets are directly comparable to hardware-tracked
+//!   ones.
+//!
+//! # Fidelity contract
+//!
+//! When software and hardware observe the *same access order*, software
+//! tracking at line granularity records a **subset** of what the hardware
+//! records: the directory also creates dependences from read-exclusive
+//! (RDX) grants and WSIG aliasing, both of which only *add* edges.
+//! Coarser granularities (page, object) add false sharing and therefore
+//! record supersets of the line-granularity graph. Both containments are
+//! property-tested in this crate; they are exactly the safety direction
+//! Rebound needs (extra edges cause extra checkpointing, never a missed
+//! rollback). For programs with races, each tracker is sound for the
+//! interleaving *it* observed — the instrumentation runs in-order with
+//! the accesses it instruments, exactly like the directory does.
+//!
+//! # Example
+//!
+//! ```
+//! use rebound_swdep::{CommGraph, Granularity, SwTracker};
+//! use rebound_engine::{Addr, CoreId};
+//!
+//! let mut t = SwTracker::new(4, Granularity::Line);
+//! t.store(CoreId(0), Addr(0x100));   // P0 produces
+//! t.load(CoreId(1), Addr(0x104));    // P1 consumes (same 32B line)
+//! assert!(t.graph().producers_of(CoreId(1)).contains(CoreId(0)));
+//! assert_eq!(t.graph().ichk(CoreId(1)).len(), 2); // {P0, P1}
+//! ```
+
+pub mod graph;
+pub mod granularity;
+pub mod replay;
+pub mod static_graph;
+pub mod tracker;
+
+pub use graph::CommGraph;
+pub use granularity::{Granularity, Region};
+pub use replay::{Replay, ReplayReport};
+pub use static_graph::StaticGraph;
+pub use tracker::SwTracker;

@@ -1,0 +1,412 @@
+//! Deterministic replay of per-core operation sequences through the
+//! software tracker, with lock and barrier lowering.
+//!
+//! The hardware machine lowers synchronization to real shared-memory
+//! accesses (a read-modify-write on the lock line; the count-update plus
+//! flag-spin of Fig 4.2(a) for barriers) so that dependence chains arise
+//! naturally. The software path must see the *same* accesses or its graph
+//! would miss the barrier-induced chains of Fig 4.2(b); this replayer
+//! performs the identical lowering while interleaving cores round-robin.
+
+use crate::graph::CommGraph;
+use crate::granularity::Granularity;
+use crate::tracker::SwTracker;
+use rebound_engine::{Addr, CoreId};
+use rebound_workloads::Op;
+
+/// Base of the address range the replayer uses for synchronization lines
+/// (far above any workload data).
+const SYNC_BASE: u64 = 0xFFFF_0000_0000;
+/// The barrier arrival-count line (Fig 4.2(a)'s `count`).
+const BARRIER_COUNT: Addr = Addr(SYNC_BASE);
+/// The barrier release flag line (Fig 4.2(a)'s `flag`).
+const BARRIER_FLAG: Addr = Addr(SYNC_BASE + 0x1000);
+/// First lock line; lock `id` lives at `LOCK_BASE + id * LOCK_STRIDE`.
+const LOCK_BASE: u64 = SYNC_BASE + 0x2000;
+/// Byte stride between lock lines (page-sized so locks stay distinct even
+/// under page-granularity tracking).
+const LOCK_STRIDE: u64 = 0x1000;
+
+/// Summary of one replay run.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Operations executed across all cores (sync lowering counted as the
+    /// original op, not its constituent accesses).
+    pub ops: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Checkpoint episodes (one per `CheckpointHint` or `OutputIo`).
+    pub checkpoints: u64,
+    /// Interaction-set sizes of those episodes, in arrival order.
+    pub ichk_sizes: Vec<usize>,
+    /// Rollback episodes (one per injected fault that found work to undo).
+    pub rollbacks: u64,
+    /// Recovery interaction-set sizes of those episodes, in order.
+    pub irec_sizes: Vec<usize>,
+    /// The final communication graph (registers as of the last event).
+    pub graph: CommGraph,
+}
+
+impl ReplayReport {
+    /// Mean checkpoint interaction-set size, or 0 if no checkpoints ran.
+    pub fn mean_ichk(&self) -> f64 {
+        if self.ichk_sizes.is_empty() {
+            0.0
+        } else {
+            self.ichk_sizes.iter().sum::<usize>() as f64 / self.ichk_sizes.len() as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CoreState {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+/// Replays per-core scripts through a [`SwTracker`].
+///
+/// # Example
+///
+/// ```
+/// use rebound_swdep::{Granularity, Replay};
+/// use rebound_workloads::Op;
+/// use rebound_engine::Addr;
+///
+/// // P0 produces, P1 consumes, P1 checkpoints: ICHK = {P0, P1}.
+/// let report = Replay::new(
+///     vec![
+///         vec![Op::Store(Addr(0x100))],
+///         vec![Op::Compute(5), Op::Load(Addr(0x100)), Op::CheckpointHint],
+///     ],
+///     Granularity::Line,
+/// )
+/// .run();
+/// assert_eq!(report.ichk_sizes, vec![2]);
+/// ```
+#[derive(Debug)]
+pub struct Replay {
+    tracker: SwTracker,
+    scripts: Vec<Vec<Op>>,
+    pos: Vec<usize>,
+    state: Vec<CoreState>,
+    ops: u64,
+    barriers: u64,
+    checkpoints: u64,
+    ichk_sizes: Vec<usize>,
+    rollbacks: u64,
+    irec_sizes: Vec<usize>,
+    /// Injected fault detections: (global op count, faulty core).
+    faults: Vec<(u64, CoreId)>,
+}
+
+impl Replay {
+    /// A replayer over one script per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scripts` is empty or has more than 64 cores.
+    pub fn new(scripts: Vec<Vec<Op>>, granularity: Granularity) -> Replay {
+        let n = scripts.len();
+        let tracker = SwTracker::new(n, granularity);
+        Replay {
+            tracker,
+            pos: vec![0; n],
+            state: vec![CoreState::Running; n],
+            scripts,
+            ops: 0,
+            barriers: 0,
+            checkpoints: 0,
+            ichk_sizes: Vec::new(),
+            rollbacks: 0,
+            irec_sizes: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// Injects a fault detection at `core` once `at_op` operations have
+    /// executed machine-wide. At that point the replayer performs the
+    /// software rollback episode of §3.3.5: it collects `core`'s recovery
+    /// interaction set over `MyConsumers` and clears every member's
+    /// registers (each member rolled back to its latest safe checkpoint).
+    pub fn with_fault(mut self, at_op: u64, core: CoreId) -> Replay {
+        assert!(core.index() < self.scripts.len(), "core out of range");
+        self.faults.push((at_op, core));
+        self.faults.sort_unstable();
+        self
+    }
+
+    /// The lock line address used when lowering lock `id`.
+    pub fn lock_addr(id: u32) -> Addr {
+        Addr(LOCK_BASE + u64::from(id) * LOCK_STRIDE)
+    }
+
+    /// Runs all scripts to completion and returns the report.
+    pub fn run(mut self) -> ReplayReport {
+        let n = self.scripts.len();
+        loop {
+            let mut progressed = false;
+            for c in 0..n {
+                if self.state[c] == CoreState::Running {
+                    self.step_core(CoreId(c));
+                    progressed = true;
+                }
+            }
+            self.try_release_barrier();
+            if !progressed && self.state.iter().all(|s| *s != CoreState::Running) {
+                // Either everyone is done, or the remaining cores are all
+                // blocked at the barrier and release just handled them.
+                if self.state.iter().all(|s| *s == CoreState::Done) {
+                    break;
+                }
+                if self.state.iter().all(|s| *s != CoreState::AtBarrier) {
+                    break;
+                }
+            }
+            if self.state.iter().all(|s| *s == CoreState::Done) {
+                break;
+            }
+        }
+        // Detection latency can outlive execution: deliver any fault
+        // still pending once all cores have finished.
+        while let Some((_, faulty)) = self.faults.first().copied() {
+            self.faults.remove(0);
+            self.rollback_episode(faulty);
+        }
+        ReplayReport {
+            ops: self.ops,
+            barriers: self.barriers,
+            checkpoints: self.checkpoints,
+            ichk_sizes: self.ichk_sizes,
+            rollbacks: self.rollbacks,
+            irec_sizes: self.irec_sizes,
+            graph: self.tracker.graph().clone(),
+        }
+    }
+
+    fn step_core(&mut self, core: CoreId) {
+        let c = core.index();
+        let op = if self.pos[c] < self.scripts[c].len() {
+            let op = self.scripts[c][self.pos[c]];
+            self.pos[c] += 1;
+            op
+        } else {
+            Op::End
+        };
+        self.ops += 1;
+        match op {
+            Op::Compute(_) => {}
+            Op::Load(a) => self.tracker.load(core, a),
+            Op::Store(a) => self.tracker.store(core, a),
+            Op::LockAcquire(id) => {
+                // RMW on the lock line: read the holder, write ourselves.
+                let a = Replay::lock_addr(id);
+                self.tracker.load(core, a);
+                self.tracker.store(core, a);
+            }
+            Op::LockRelease(id) => self.tracker.store(core, Replay::lock_addr(id)),
+            Op::Barrier => {
+                // Update section of Fig 4.2(a): count++ under the lock —
+                // an RMW on the count line. Then block on the flag.
+                self.tracker.load(core, BARRIER_COUNT);
+                self.tracker.store(core, BARRIER_COUNT);
+                self.state[c] = CoreState::AtBarrier;
+            }
+            Op::OutputIo | Op::CheckpointHint => self.checkpoint_episode(core),
+            Op::End => self.state[c] = CoreState::Done,
+        }
+        // Deliver any fault detection that has come due.
+        while self.faults.first().is_some_and(|(at, _)| *at <= self.ops) {
+            let (_, faulty) = self.faults.remove(0);
+            self.rollback_episode(faulty);
+        }
+    }
+
+    /// A coordinated rollback: collect the initiator's recovery set over
+    /// `MyConsumers` and clear every member (each rolled back; its
+    /// registers reset per §3.3.5).
+    fn rollback_episode(&mut self, initiator: CoreId) {
+        let set = self.tracker.irec(initiator);
+        self.irec_sizes.push(set.len());
+        for m in set.iter() {
+            self.tracker.checkpoint(m); // clearing is identical for both
+        }
+        self.rollbacks += 1;
+    }
+
+    /// Releases the barrier when every non-finished core has arrived: the
+    /// last arrival writes the flag, every waiter reads it (Fig 4.2(a)).
+    fn try_release_barrier(&mut self) {
+        let waiting: Vec<usize> = (0..self.scripts.len())
+            .filter(|&c| self.state[c] == CoreState::AtBarrier)
+            .collect();
+        if waiting.is_empty()
+            || self.state.contains(&CoreState::Running)
+        {
+            return;
+        }
+        // Last arrival in round-robin order is the highest-index waiter.
+        let setter = *waiting.last().expect("nonempty");
+        self.tracker.store(CoreId(setter), BARRIER_FLAG);
+        for &c in &waiting {
+            self.tracker.load(CoreId(c), BARRIER_FLAG);
+            self.state[c] = CoreState::Running;
+        }
+        self.barriers += 1;
+    }
+
+    /// A coordinated checkpoint: collect the initiator's interaction set,
+    /// then clear every member's registers (they all checkpointed).
+    fn checkpoint_episode(&mut self, initiator: CoreId) {
+        let set = self.tracker.ichk(initiator);
+        self.ichk_sizes.push(set.len());
+        for m in set.iter() {
+            self.tracker.checkpoint(m);
+        }
+        self.checkpoints += 1;
+    }
+
+    /// The tracker (for inspecting the graph mid-construction in tests).
+    pub fn tracker(&self) -> &SwTracker {
+        &self.tracker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_compute_finishes_with_empty_graph() {
+        let r = Replay::new(vec![vec![Op::Compute(10)]; 4], Granularity::Line).run();
+        assert_eq!(r.graph.live_edges(), 0);
+        assert_eq!(r.barriers, 0);
+    }
+
+    #[test]
+    fn producer_consumer_checkpoint_pulls_producer() {
+        let r = Replay::new(
+            vec![
+                vec![Op::Store(Addr(0x200))],
+                vec![Op::Compute(1), Op::Load(Addr(0x200)), Op::CheckpointHint],
+            ],
+            Granularity::Line,
+        )
+        .run();
+        assert_eq!(r.checkpoints, 1);
+        assert_eq!(r.ichk_sizes, vec![2]);
+        // Both members cleared afterwards.
+        assert_eq!(r.graph.live_edges(), 0);
+    }
+
+    #[test]
+    fn barrier_chains_all_cores() {
+        // After a barrier, any core's ICHK includes at least itself and
+        // the flag setter; the count-line RMW chain links all arrivals
+        // transitively (Fig 4.2(b)).
+        let n = 6;
+        let scripts = vec![vec![Op::Barrier, Op::CheckpointHint]; n];
+        let r = Replay::new(scripts, Granularity::Line).run();
+        assert_eq!(r.barriers, 1);
+        // The first checkpoint (initiated by P0 right after the barrier)
+        // sees the full chain.
+        assert_eq!(r.ichk_sizes[0], n);
+    }
+
+    #[test]
+    fn locks_create_migratory_dependences() {
+        let scripts = vec![
+            vec![Op::LockAcquire(3), Op::LockRelease(3)],
+            vec![Op::Compute(2), Op::LockAcquire(3), Op::LockRelease(3), Op::CheckpointHint],
+        ];
+        let r = Replay::new(scripts, Granularity::Line).run();
+        assert_eq!(r.ichk_sizes, vec![2]);
+    }
+
+    #[test]
+    fn uneven_scripts_do_not_deadlock_the_barrier() {
+        // P0 finishes without a barrier; P1 and P2 barrier together.
+        let scripts = vec![
+            vec![Op::Compute(1)],
+            vec![Op::Barrier],
+            vec![Op::Compute(3), Op::Barrier],
+        ];
+        let r = Replay::new(scripts, Granularity::Line).run();
+        assert_eq!(r.barriers, 1);
+    }
+
+    #[test]
+    fn output_io_forces_checkpoint() {
+        let r = Replay::new(
+            vec![vec![Op::Store(Addr(0)), Op::OutputIo]],
+            Granularity::Line,
+        )
+        .run();
+        assert_eq!(r.checkpoints, 1);
+        assert_eq!(r.ichk_sizes, vec![1]);
+    }
+
+    #[test]
+    fn mean_ichk_math() {
+        let rep = ReplayReport {
+            ops: 0,
+            barriers: 0,
+            checkpoints: 2,
+            ichk_sizes: vec![2, 4],
+            rollbacks: 0,
+            irec_sizes: vec![],
+            graph: CommGraph::new(2),
+        };
+        assert_eq!(rep.mean_ichk(), 3.0);
+    }
+
+    #[test]
+    fn fault_rolls_back_consumers_transitively() {
+        // P0 -> P1 -> P2 chain; fault at P0 after all communication:
+        // IREC = {P0, P1, P2}.
+        let scripts = vec![
+            vec![Op::Store(Addr(0x100))],
+            vec![Op::Compute(1), Op::Load(Addr(0x100)), Op::Store(Addr(0x200))],
+            vec![Op::Compute(2), Op::Compute(2), Op::Load(Addr(0x200))],
+        ];
+        // Round-robin: ops execute interleaved; the chain completes by
+        // global op count 9 (3 rounds of 3 cores).
+        let r = Replay::new(scripts, Granularity::Line)
+            .with_fault(9, CoreId(0))
+            .run();
+        assert_eq!(r.rollbacks, 1);
+        assert_eq!(r.irec_sizes, vec![3]);
+        // Registers cleared by the rollback.
+        assert_eq!(r.graph.live_edges(), 0);
+    }
+
+    #[test]
+    fn fault_on_pure_consumer_rolls_back_alone() {
+        let scripts = vec![
+            vec![Op::Store(Addr(0x100))],
+            vec![Op::Compute(1), Op::Load(Addr(0x100))],
+        ];
+        let r = Replay::new(scripts, Granularity::Line)
+            .with_fault(6, CoreId(1))
+            .run();
+        assert_eq!(r.irec_sizes, vec![1], "consumer has no consumers of its own");
+    }
+
+    #[test]
+    fn checkpointed_consumer_declines_rollback() {
+        // P1 consumes from P0, then checkpoints (clearing its registers).
+        // A later fault at P0 must not drag P1 in: P1's MyProducers is
+        // clear, so it declines (§3.3.5's Decline case).
+        let scripts = vec![
+            vec![Op::Store(Addr(0x100))],
+            vec![Op::Compute(1), Op::Load(Addr(0x100)), Op::CheckpointHint],
+        ];
+        let r = Replay::new(scripts, Granularity::Line)
+            .with_fault(10, CoreId(0))
+            .run();
+        assert_eq!(r.checkpoints, 1);
+        assert_eq!(r.rollbacks, 1);
+        assert_eq!(r.irec_sizes, vec![1]);
+    }
+}

@@ -1,0 +1,240 @@
+//! The compiler path: conservative static communication graphs.
+//!
+//! §8 of the paper: *"The compiler can generate such a graph statically"*.
+//! A static graph must over-approximate every communication the program can
+//! perform — extra edges cost larger interaction sets, missing edges would
+//! break the recovery line. This module derives such graphs from the same
+//! [`SharingPattern`] vocabulary the synthetic workloads use, so a static
+//! graph can be checked against the dynamic graph a run actually produced.
+
+use crate::graph::CommGraph;
+use rebound_coherence::CoreSet;
+use rebound_engine::CoreId;
+use rebound_workloads::SharingPattern;
+
+/// A conservative, undirected communication graph fixed at compile time.
+///
+/// Since the compiler cannot generally prove communication *direction*,
+/// every edge is recorded both ways; interaction sets are then connected
+/// components restricted by reachability.
+///
+/// # Example
+///
+/// ```
+/// use rebound_swdep::StaticGraph;
+/// use rebound_engine::CoreId;
+///
+/// // A 1-wide stencil over 8 cores: P3 only ever talks to P2 and P4, so
+/// // a checkpoint started anywhere still spans the whole ring.
+/// let g = StaticGraph::ring(8, 1);
+/// assert_eq!(g.ichk(CoreId(3)).len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StaticGraph {
+    graph: CommGraph,
+}
+
+impl StaticGraph {
+    /// An edgeless graph (fully independent threads).
+    pub fn independent(n: usize) -> StaticGraph {
+        StaticGraph { graph: CommGraph::new(n) }
+    }
+
+    /// Every pair may communicate.
+    pub fn complete(n: usize) -> StaticGraph {
+        let mut g = StaticGraph::independent(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(CoreId(i), CoreId(j));
+            }
+        }
+        g
+    }
+
+    /// A ring where each core exchanges with neighbours up to `span` away
+    /// (stencil codes; wraps around).
+    pub fn ring(n: usize, span: usize) -> StaticGraph {
+        let mut g = StaticGraph::independent(n);
+        for i in 0..n {
+            for d in 1..=span.min(n.saturating_sub(1)) {
+                g.add_edge(CoreId(i), CoreId((i + d) % n));
+            }
+        }
+        g
+    }
+
+    /// A linear pipeline: stage `i` exchanges with stage `i+1`.
+    pub fn chain(n: usize) -> StaticGraph {
+        let mut g = StaticGraph::independent(n);
+        for i in 1..n {
+            g.add_edge(CoreId(i - 1), CoreId(i));
+        }
+        g
+    }
+
+    /// A star around `hub` (request dispatcher, task-queue master).
+    pub fn star(n: usize, hub: CoreId) -> StaticGraph {
+        let mut g = StaticGraph::independent(n);
+        for i in 0..n {
+            if CoreId(i) != hub {
+                g.add_edge(hub, CoreId(i));
+            }
+        }
+        g
+    }
+
+    /// Complete subgraphs over consecutive clusters of `cluster` cores
+    /// (the §8 cluster-directory organization's natural static graph).
+    pub fn clustered(n: usize, cluster: usize) -> StaticGraph {
+        assert!(cluster > 0, "cluster size must be positive");
+        let mut g = StaticGraph::independent(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if i / cluster == j / cluster {
+                    g.add_edge(CoreId(i), CoreId(j));
+                }
+            }
+        }
+        g
+    }
+
+    /// The conservative static graph for a workload sharing pattern.
+    ///
+    /// Patterns whose partner choice is data-dependent (all-to-all,
+    /// migratory objects, clusters with nonzero escape probability, server
+    /// accept queues) collapse to the complete graph — the compiler cannot
+    /// bound the partner set. `global_sync` marks programs that use global
+    /// barriers (whose count/flag accesses chain every core, Fig 4.2(b))
+    /// or dynamically assigned locks (whose lines migrate between
+    /// arbitrary holders); either completes the graph.
+    pub fn from_pattern(pattern: &SharingPattern, n: usize, global_sync: bool) -> StaticGraph {
+        if global_sync {
+            return StaticGraph::complete(n);
+        }
+        match *pattern {
+            SharingPattern::Private => StaticGraph::independent(n),
+            SharingPattern::Neighbor { span } => StaticGraph::ring(n, span),
+            SharingPattern::Pipeline => StaticGraph::chain(n),
+            SharingPattern::Clustered { cluster, escape } => {
+                if escape > 0.0 {
+                    StaticGraph::complete(n)
+                } else {
+                    StaticGraph::clustered(n, cluster)
+                }
+            }
+            SharingPattern::AllToAll
+            | SharingPattern::Migratory { .. }
+            | SharingPattern::Server => StaticGraph::complete(n),
+        }
+    }
+
+    fn add_edge(&mut self, a: CoreId, b: CoreId) {
+        self.graph.record(a, b);
+        self.graph.record(b, a);
+    }
+
+    /// Number of cores.
+    pub fn ncores(&self) -> usize {
+        self.graph.ncores()
+    }
+
+    /// Undirected edge count.
+    pub fn edge_count(&self) -> usize {
+        self.graph.live_edges() / 2
+    }
+
+    /// The static interaction set of `initiator` — its connected
+    /// component. With a static graph there is no producer/consumer
+    /// asymmetry, so checkpoint and recovery sets coincide.
+    pub fn ichk(&self, initiator: CoreId) -> CoreSet {
+        self.graph.ichk(initiator)
+    }
+
+    /// Whether this static graph covers every live edge of a dynamically
+    /// recorded graph — the soundness obligation on the compiler.
+    pub fn covers(&self, dynamic: &CommGraph) -> bool {
+        dynamic.is_subgraph_of(&self.graph)
+    }
+
+    /// Borrow of the underlying graph.
+    pub fn as_graph(&self) -> &CommGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_has_singleton_sets() {
+        let g = StaticGraph::independent(8);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.ichk(CoreId(5)).len(), 1);
+    }
+
+    #[test]
+    fn complete_spans_everything() {
+        let g = StaticGraph::complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.ichk(CoreId(0)).len(), 6);
+    }
+
+    #[test]
+    fn ring_components_span_the_ring() {
+        let g = StaticGraph::ring(8, 2);
+        assert_eq!(g.ichk(CoreId(0)).len(), 8);
+        // span-2 ring has 2n undirected edges.
+        assert_eq!(g.edge_count(), 16);
+    }
+
+    #[test]
+    fn chain_connects_but_star_centre_matters_not() {
+        assert_eq!(StaticGraph::chain(5).ichk(CoreId(4)).len(), 5);
+        let star = StaticGraph::star(5, CoreId(2));
+        assert_eq!(star.edge_count(), 4);
+        assert_eq!(star.ichk(CoreId(0)).len(), 5);
+    }
+
+    #[test]
+    fn clusters_partition() {
+        let g = StaticGraph::clustered(8, 4);
+        let c0 = g.ichk(CoreId(1));
+        assert_eq!(c0.len(), 4);
+        assert!(c0.contains(CoreId(3)));
+        assert!(!c0.contains(CoreId(4)));
+    }
+
+    #[test]
+    fn pattern_mapping_is_conservative_for_data_dependent_choices() {
+        let n = 8;
+        for p in [
+            SharingPattern::AllToAll,
+            SharingPattern::Migratory { objects: 64 },
+            SharingPattern::Server,
+            SharingPattern::Clustered { cluster: 4, escape: 0.01 },
+        ] {
+            let g = StaticGraph::from_pattern(&p, n, false);
+            assert_eq!(g.ichk(CoreId(0)).len(), n, "{p:?} must be complete");
+        }
+        let private = StaticGraph::from_pattern(&SharingPattern::Private, n, false);
+        assert_eq!(private.ichk(CoreId(0)).len(), 1);
+    }
+
+    #[test]
+    fn barriers_complete_any_pattern() {
+        let g = StaticGraph::from_pattern(&SharingPattern::Private, 8, true);
+        assert_eq!(g.ichk(CoreId(0)).len(), 8);
+    }
+
+    #[test]
+    fn covers_dynamic_subset() {
+        let stat = StaticGraph::ring(6, 1);
+        let mut dynamic = CommGraph::new(6);
+        dynamic.record(CoreId(0), CoreId(1));
+        dynamic.record(CoreId(5), CoreId(0));
+        assert!(stat.covers(&dynamic));
+        dynamic.record(CoreId(0), CoreId(3)); // a chord the ring lacks
+        assert!(!stat.covers(&dynamic));
+    }
+}

@@ -1,0 +1,210 @@
+//! The runtime instrumentation path: observe loads and stores, maintain a
+//! software last-writer table, and populate a [`CommGraph`].
+//!
+//! This is the software analogue of §3.3.1's hardware flow. The LW-ID
+//! field of each directory entry becomes a hash map keyed by tracking
+//! region; the Fig 3.2(a) rules carry over directly:
+//!
+//! * a store (WR) records a dependence from the previous last writer, then
+//!   takes over last-writer ownership (a later silent read by the new
+//!   writer is possible, so write-after-write is a dependence — §3.3.1);
+//! * a load (RD) records a dependence from the last writer.
+//!
+//! Unlike the hardware, software tracking has no staleness: the table is
+//! updated synchronously by the instrumentation, so there is no WSIG and
+//! no NO_WR message. What software loses is granularity (page-level
+//! instrumentation merges neighbours) and the RDX edges the directory
+//! creates for exclusive read grants — both covered by the containment
+//! properties in `tests/`.
+
+use crate::graph::CommGraph;
+use crate::granularity::{Granularity, Region};
+use rebound_engine::{Addr, CoreId};
+use std::collections::HashMap;
+
+/// A software dependence tracker over `n` cores at a fixed granularity.
+///
+/// # Example
+///
+/// ```
+/// use rebound_swdep::{Granularity, SwTracker};
+/// use rebound_engine::{Addr, CoreId};
+///
+/// let mut t = SwTracker::new(2, Granularity::Page);
+/// t.store(CoreId(0), Addr(0x1000));
+/// t.load(CoreId(1), Addr(0x1ff8)); // same page => dependence
+/// assert!(t.graph().producers_of(CoreId(1)).contains(CoreId(0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SwTracker {
+    granularity: Granularity,
+    last_writer: HashMap<Region, CoreId>,
+    graph: CommGraph,
+    /// Loads/stores observed (instrumentation events).
+    observed: u64,
+}
+
+impl SwTracker {
+    /// A tracker over `n` cores at granularity `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 64 (see [`CommGraph::new`]).
+    pub fn new(n: usize, g: Granularity) -> SwTracker {
+        SwTracker {
+            granularity: g,
+            last_writer: HashMap::new(),
+            graph: CommGraph::new(n),
+            observed: 0,
+        }
+    }
+
+    /// The tracking granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// The communication graph recorded so far.
+    pub fn graph(&self) -> &CommGraph {
+        &self.graph
+    }
+
+    /// Instrumentation events observed (one per load or store).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Distinct regions with a known last writer.
+    pub fn tracked_regions(&self) -> usize {
+        self.last_writer.len()
+    }
+
+    /// Observes a store by `core` to `addr` (the WR row of Fig 3.2(a)):
+    /// records a dependence from the previous last writer, then takes
+    /// ownership.
+    pub fn store(&mut self, core: CoreId, addr: Addr) {
+        self.observed += 1;
+        let region = self.granularity.region_of(addr);
+        if let Some(&prev) = self.last_writer.get(&region) {
+            self.graph.record(prev, core);
+        }
+        self.last_writer.insert(region, core);
+    }
+
+    /// Observes a load by `core` from `addr` (the RD row of Fig 3.2(a)):
+    /// records a dependence from the last writer, leaving ownership
+    /// unchanged.
+    pub fn load(&mut self, core: CoreId, addr: Addr) {
+        self.observed += 1;
+        let region = self.granularity.region_of(addr);
+        if let Some(&prev) = self.last_writer.get(&region) {
+            self.graph.record(prev, core);
+        }
+    }
+
+    /// Marks a completed checkpoint (or rollback) of `core`: clears its
+    /// graph registers. The last-writer table is deliberately *not*
+    /// scrubbed — the hardware keeps LW-ID stale for the same cost reason
+    /// (§3.3.1), and here new dependences from pre-checkpoint writes are
+    /// conservative, not wrong: the writer may still roll back within the
+    /// detection latency.
+    pub fn checkpoint(&mut self, core: CoreId) {
+        self.graph.clear_core(core);
+    }
+
+    /// The checkpoint interaction set of `initiator` under the current
+    /// graph (see [`CommGraph::ichk`]).
+    pub fn ichk(&self, initiator: CoreId) -> rebound_coherence::CoreSet {
+        self.graph.ichk(initiator)
+    }
+
+    /// The recovery interaction set of `initiator` under the current graph
+    /// (see [`CommGraph::irec`]).
+    pub fn irec(&self, initiator: CoreId) -> rebound_coherence::CoreSet {
+        self.graph.irec(initiator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_load_records_rd_dependence() {
+        let mut t = SwTracker::new(4, Granularity::Line);
+        t.store(CoreId(0), Addr(0x40));
+        t.load(CoreId(3), Addr(0x5f)); // same 32B line
+        assert!(t.graph().producers_of(CoreId(3)).contains(CoreId(0)));
+        assert!(t.graph().consumers_of(CoreId(0)).contains(CoreId(3)));
+    }
+
+    #[test]
+    fn store_then_store_records_waw_dependence() {
+        // §3.3.1: the second writer may later read silently, so WAW is a
+        // dependence and ownership moves.
+        let mut t = SwTracker::new(4, Granularity::Line);
+        t.store(CoreId(0), Addr(0x40));
+        t.store(CoreId(1), Addr(0x40));
+        assert!(t.graph().producers_of(CoreId(1)).contains(CoreId(0)));
+        // P2 now depends on the *new* owner P1, not on P0.
+        t.load(CoreId(2), Addr(0x40));
+        assert!(t.graph().producers_of(CoreId(2)).contains(CoreId(1)));
+        assert!(!t.graph().producers_of(CoreId(2)).contains(CoreId(0)));
+    }
+
+    #[test]
+    fn load_before_any_store_records_nothing() {
+        let mut t = SwTracker::new(2, Granularity::Line);
+        t.load(CoreId(1), Addr(0x80));
+        assert_eq!(t.graph().live_edges(), 0);
+    }
+
+    #[test]
+    fn own_writes_create_no_edges() {
+        let mut t = SwTracker::new(2, Granularity::Line);
+        t.store(CoreId(0), Addr(0x40));
+        t.load(CoreId(0), Addr(0x40));
+        t.store(CoreId(0), Addr(0x40));
+        assert_eq!(t.graph().live_edges(), 0);
+    }
+
+    #[test]
+    fn different_lines_do_not_alias_at_line_granularity() {
+        let mut t = SwTracker::new(2, Granularity::Line);
+        t.store(CoreId(0), Addr(0x40));
+        t.load(CoreId(1), Addr(0x60)); // next line
+        assert_eq!(t.graph().live_edges(), 0);
+    }
+
+    #[test]
+    fn page_granularity_merges_lines() {
+        // False sharing: distinct lines, same page.
+        let mut t = SwTracker::new(2, Granularity::Page);
+        t.store(CoreId(0), Addr(0x40));
+        t.load(CoreId(1), Addr(0x60));
+        assert_eq!(t.graph().live_edges(), 1);
+    }
+
+    #[test]
+    fn checkpoint_clears_registers_but_keeps_ownership() {
+        let mut t = SwTracker::new(2, Granularity::Line);
+        t.store(CoreId(0), Addr(0x40));
+        t.load(CoreId(1), Addr(0x40));
+        t.checkpoint(CoreId(1));
+        assert!(t.graph().producers_of(CoreId(1)).is_empty());
+        // Ownership survives: a post-checkpoint read re-records the edge
+        // (conservative — P0 may still roll back within L).
+        t.load(CoreId(1), Addr(0x40));
+        assert!(t.graph().producers_of(CoreId(1)).contains(CoreId(0)));
+    }
+
+    #[test]
+    fn observed_counts_every_event() {
+        let mut t = SwTracker::new(2, Granularity::Line);
+        t.store(CoreId(0), Addr(0));
+        t.load(CoreId(1), Addr(0));
+        t.load(CoreId(1), Addr(0));
+        assert_eq!(t.observed(), 3);
+        assert_eq!(t.tracked_regions(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Containment properties of software dependence tracking.
+//!
+//! Three orderings must hold (lib-level "fidelity contract"):
+//!
+//! 1. **Hardware ⊇ software (line granularity).** For the same known true
+//!    dependences, the hardware Dep registers must include everything the
+//!    software tracker records — the directory adds RDX and aliasing edges
+//!    but never misses a real store→access pair.
+//! 2. **Coarse ⊇ fine (interaction sets).** Page-granularity interaction
+//!    sets contain line-granularity ones: merging regions only ever chains
+//!    *more* cores together.
+//! 3. **Static ⊇ dynamic.** A pattern-derived compiler graph covers every
+//!    edge a pattern-respecting execution records.
+
+use proptest::prelude::*;
+use rebound_core::{Machine, MachineConfig, Scheme};
+use rebound_engine::{Addr, CoreId};
+use rebound_swdep::{Granularity, Replay, StaticGraph, SwTracker};
+use rebound_workloads::{Op, SharingPattern};
+
+/// Byte address of core `i`'s producer slot (line-aligned, distinct lines,
+/// several slots per page so page granularity has something to merge).
+fn slot(i: usize) -> Addr {
+    Addr(0x1_0000 + (i as u64) * 32)
+}
+
+/// Per-core scripts with a produce phase, a long compute separator, and a
+/// consume phase reading `consumers_of[i]`'s chosen producer slots. The
+/// separator guarantees the machine executes all stores before any load
+/// (single-issue cores at identical rates), making the true-dependence set
+/// interleaving-independent.
+fn phased_scripts(n: usize, reads: &[Vec<usize>]) -> Vec<Vec<Op>> {
+    (0..n)
+        .map(|i| {
+            let mut ops = vec![Op::Store(slot(i)), Op::Compute(50_000)];
+            for &p in &reads[i] {
+                ops.push(Op::Load(slot(p)));
+            }
+            ops
+        })
+        .collect()
+}
+
+fn no_ckpt_config(n: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::small(n);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = u64::MAX / 2; // never fires
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 1: every software-recorded edge appears in the hardware
+    /// Dep registers of the same phased program.
+    #[test]
+    fn hardware_contains_software_line_edges(
+        reads in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 0..4), 6..=6)
+    ) {
+        let n = 6;
+        let scripts = phased_scripts(n, &reads);
+
+        // Software side.
+        let replay = Replay::new(scripts.clone(), Granularity::Line).run();
+
+        // Hardware side.
+        let cfg = no_ckpt_config(n);
+        let programs = scripts
+            .iter()
+            .map(|s| rebound_core::CoreProgram::script(s.iter().copied()))
+            .collect();
+        let mut m = Machine::with_programs(&cfg, programs);
+        m.run_to_completion();
+
+        for c in 0..n {
+            let sw_prod = replay.graph.producers_of(CoreId(c));
+            let hw_prod = m.my_producers(CoreId(c));
+            prop_assert!(
+                sw_prod.is_subset(hw_prod),
+                "P{c}: software producers {sw_prod:?} not within hardware {hw_prod:?}"
+            );
+            let sw_cons = replay.graph.consumers_of(CoreId(c));
+            let hw_cons = m.my_consumers(CoreId(c));
+            prop_assert!(
+                sw_cons.is_subset(hw_cons),
+                "P{c}: software consumers {sw_cons:?} not within hardware {hw_cons:?}"
+            );
+        }
+    }
+
+    /// Property 2: for any access sequence without checkpoints, each
+    /// core's line-granularity ICHK is contained in its page-granularity
+    /// ICHK.
+    #[test]
+    fn coarse_ichk_contains_fine_ichk(
+        accesses in proptest::collection::vec(
+            (0usize..8, 0u64..64, proptest::bool::ANY), 1..200)
+    ) {
+        let n = 8;
+        let mut fine = SwTracker::new(n, Granularity::Line);
+        let mut coarse = SwTracker::new(n, Granularity::Page);
+        for &(core, line, is_store) in &accesses {
+            // 64 lines spread over two pages.
+            let addr = Addr(0x2000 + line * 32);
+            if is_store {
+                fine.store(CoreId(core), addr);
+                coarse.store(CoreId(core), addr);
+            } else {
+                fine.load(CoreId(core), addr);
+                coarse.load(CoreId(core), addr);
+            }
+        }
+        for c in 0..n {
+            let f = fine.ichk(CoreId(c));
+            let g = coarse.ichk(CoreId(c));
+            prop_assert!(f.is_subset(g), "P{c}: line ICHK {f:?} ⊄ page ICHK {g:?}");
+            let fr = fine.irec(CoreId(c));
+            let gr = coarse.irec(CoreId(c));
+            prop_assert!(fr.is_subset(gr), "P{c}: line IREC {fr:?} ⊄ page IREC {gr:?}");
+        }
+    }
+
+    /// Property 3: a ring static graph covers any ring-respecting dynamic
+    /// execution (each core reads only from cores within `span`).
+    #[test]
+    fn static_ring_covers_ring_dynamics(
+        picks in proptest::collection::vec(1usize..=2, 8..=8)
+    ) {
+        let n = 8;
+        let span = 2;
+        let reads: Vec<Vec<usize>> =
+            (0..n).map(|i| vec![(i + picks[i]) % n]).collect();
+        let replay = Replay::new(phased_scripts(n, &reads), Granularity::Line).run();
+        let stat = StaticGraph::from_pattern(
+            &SharingPattern::Neighbor { span }, n, false);
+        prop_assert!(stat.covers(&replay.graph));
+    }
+}
+
+#[test]
+fn hardware_matches_software_exactly_on_pure_producer_consumer() {
+    // One producer, three consumers, no exclusive-read ambiguity: software
+    // and hardware should agree exactly on P0's consumer set.
+    let n = 4;
+    let reads = vec![vec![], vec![0], vec![0], vec![0]];
+    let scripts = phased_scripts(n, &reads);
+
+    let replay = Replay::new(scripts.clone(), Granularity::Line).run();
+    let cfg = no_ckpt_config(n);
+    let programs = scripts
+        .iter()
+        .map(|s| rebound_core::CoreProgram::script(s.iter().copied()))
+        .collect();
+    let mut m = Machine::with_programs(&cfg, programs);
+    m.run_to_completion();
+
+    let sw = replay.graph.consumers_of(CoreId(0));
+    let hw = m.my_consumers(CoreId(0));
+    assert_eq!(sw, hw, "software {sw:?} vs hardware {hw:?}");
+    assert_eq!(sw.len(), 3);
+}
+
+#[test]
+fn word_line_page_ichk_chain() {
+    // Two cores write adjacent words of one line; a third reads one word.
+    // Word granularity sees only the actual producer; line and page see
+    // the false-sharing edge too.
+    let mut word = SwTracker::new(3, Granularity::Word);
+    let mut line = SwTracker::new(3, Granularity::Line);
+    for t in [&mut word, &mut line] {
+        t.store(CoreId(0), Addr(0x100)); // word 0 of line 8
+        t.store(CoreId(1), Addr(0x108)); // word 1 of the same line
+        t.load(CoreId(2), Addr(0x100));
+    }
+    assert_eq!(word.ichk(CoreId(2)).len(), 2); // {P2, P0}
+    assert_eq!(line.ichk(CoreId(2)).len(), 3); // false sharing adds P1
+    assert!(word.ichk(CoreId(2)).is_subset(line.ichk(CoreId(2))));
+}
+
+#[test]
+fn static_graph_over_all_catalog_patterns_covers_replayed_profiles() {
+    // Every pattern's static graph must cover a small pattern-respecting
+    // dynamic run at line granularity (spot check on three shapes).
+    for (pattern, reads) in [
+        (SharingPattern::Pipeline, vec![vec![], vec![0], vec![1], vec![2]]),
+        (SharingPattern::Neighbor { span: 1 }, vec![vec![1], vec![2], vec![3], vec![0]]),
+        (SharingPattern::AllToAll, vec![vec![2], vec![3], vec![0, 1], vec![1]]),
+    ] {
+        let replay = Replay::new(phased_scripts(4, &reads), Granularity::Line).run();
+        let stat = StaticGraph::from_pattern(&pattern, 4, false);
+        assert!(stat.covers(&replay.graph), "{pattern:?} fails to cover");
+    }
+}

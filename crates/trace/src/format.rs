@@ -1,0 +1,377 @@
+//! The `RBTR` binary trace format.
+//!
+//! Layout (all multi-byte integers are LEB128 varints except the fixed
+//! 4-byte magic and 1-byte version):
+//!
+//! ```text
+//! "RBTR"  version:u8  ncores:varint
+//! repeat ncores times:
+//!     nops:varint
+//!     repeat nops times:  tag:u8  payload:varint*
+//! ```
+//!
+//! Per-op payloads: `Compute` carries its instruction count; `Load`/
+//! `Store` carry the byte address; lock ops carry the lock id; `Barrier`,
+//! `OutputIo`, `CheckpointHint` and `End` are tag-only. `End` is never
+//! stored (it is implicit at the end of each core's section) and is
+//! rejected on read.
+
+use rebound_engine::Addr;
+use rebound_workloads::Op;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// File magic: `RBTR`.
+pub const MAGIC: [u8; 4] = *b"RBTR";
+/// Current format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+const TAG_COMPUTE: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_LOCK_ACQ: u8 = 3;
+const TAG_LOCK_REL: u8 = 4;
+const TAG_BARRIER: u8 = 5;
+const TAG_OUTPUT_IO: u8 = 6;
+const TAG_CKPT_HINT: u8 = 7;
+
+/// Why a trace failed to parse.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The stream did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte is not one this library reads.
+    UnsupportedVersion(u8),
+    /// An unknown op tag.
+    BadTag(u8),
+    /// A varint ran past 64 bits.
+    VarintOverflow,
+    /// The underlying reader failed (including unexpected EOF).
+    Io(io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic(m) => write!(f, "bad trace magic {m:02x?}"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::BadTag(t) => write!(f, "unknown op tag {t}"),
+            TraceError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+/// A recorded multi-core operation trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    scripts: Vec<Vec<Op>>,
+}
+
+impl Trace {
+    /// Wraps per-core op sequences as a trace. Trailing `End` markers are
+    /// stripped (they are implicit); embedded `End`s are rejected by
+    /// [`Trace::write_to`].
+    pub fn from_scripts(mut scripts: Vec<Vec<Op>>) -> Trace {
+        for s in &mut scripts {
+            while s.last().is_some_and(Op::is_end) {
+                s.pop();
+            }
+        }
+        Trace { scripts }
+    }
+
+    /// Number of cores recorded.
+    pub fn ncores(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Total operations across all cores.
+    pub fn total_ops(&self) -> usize {
+        self.scripts.iter().map(Vec::len).sum()
+    }
+
+    /// Total dynamic instructions the trace retires when replayed.
+    pub fn total_instructions(&self) -> u64 {
+        self.scripts
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(Op::instructions)
+            .sum()
+    }
+
+    /// Borrow of core `i`'s operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.ncores()`.
+    pub fn core_ops(&self, i: usize) -> &[Op] {
+        &self.scripts[i]
+    }
+
+    /// Consumes the trace into per-core scripts ready for
+    /// `CoreProgram::script`.
+    pub fn into_scripts(self) -> Vec<Vec<Op>> {
+        self.scripts
+    }
+
+    /// Serializes the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the writer fails, and
+    /// [`TraceError::BadTag`] if a script contains an embedded
+    /// [`Op::End`] (traces end implicitly).
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&[FORMAT_VERSION])?;
+        write_varint(&mut w, self.scripts.len() as u64)?;
+        for script in &self.scripts {
+            write_varint(&mut w, script.len() as u64)?;
+            for op in script {
+                write_op(&mut w, *op)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] variant, including truncation surfaced as
+    /// [`TraceError::Io`] with `UnexpectedEof`.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version[0]));
+        }
+        let ncores = read_varint(&mut r)? as usize;
+        let mut scripts = Vec::with_capacity(ncores.min(64));
+        for _ in 0..ncores {
+            let nops = read_varint(&mut r)? as usize;
+            let mut ops = Vec::with_capacity(nops.min(1 << 20));
+            for _ in 0..nops {
+                ops.push(read_op(&mut r)?);
+            }
+            scripts.push(ops);
+        }
+        Ok(Trace { scripts })
+    }
+}
+
+fn write_op<W: Write>(w: &mut W, op: Op) -> Result<(), TraceError> {
+    match op {
+        Op::Compute(n) => {
+            w.write_all(&[TAG_COMPUTE])?;
+            write_varint(w, n)
+        }
+        Op::Load(a) => {
+            w.write_all(&[TAG_LOAD])?;
+            write_varint(w, a.0)
+        }
+        Op::Store(a) => {
+            w.write_all(&[TAG_STORE])?;
+            write_varint(w, a.0)
+        }
+        Op::LockAcquire(id) => {
+            w.write_all(&[TAG_LOCK_ACQ])?;
+            write_varint(w, u64::from(id))
+        }
+        Op::LockRelease(id) => {
+            w.write_all(&[TAG_LOCK_REL])?;
+            write_varint(w, u64::from(id))
+        }
+        Op::Barrier => Ok(w.write_all(&[TAG_BARRIER])?),
+        Op::OutputIo => Ok(w.write_all(&[TAG_OUTPUT_IO])?),
+        Op::CheckpointHint => Ok(w.write_all(&[TAG_CKPT_HINT])?),
+        // End is implicit; an embedded one means the recorder misbehaved.
+        Op::End => Err(TraceError::BadTag(u8::MAX)),
+    }
+}
+
+fn read_op<R: Read>(r: &mut R) -> Result<Op, TraceError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        TAG_COMPUTE => Op::Compute(read_varint(r)?),
+        TAG_LOAD => Op::Load(Addr(read_varint(r)?)),
+        TAG_STORE => Op::Store(Addr(read_varint(r)?)),
+        TAG_LOCK_ACQ => Op::LockAcquire(read_varint(r)? as u32),
+        TAG_LOCK_REL => Op::LockRelease(read_varint(r)? as u32),
+        TAG_BARRIER => Op::Barrier,
+        TAG_OUTPUT_IO => Op::OutputIo,
+        TAG_CKPT_HINT => Op::CheckpointHint,
+        t => return Err(TraceError::BadTag(t)),
+    })
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<(), TraceError> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(TraceError::VarintOverflow);
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).expect("write");
+        Trace::read_from(&buf[..]).expect("read")
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::from_scripts(vec![]);
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn all_op_kinds_roundtrip() {
+        let t = Trace::from_scripts(vec![vec![
+            Op::Compute(0),
+            Op::Compute(u64::MAX),
+            Op::Load(Addr(0)),
+            Op::Store(Addr(u64::MAX)),
+            Op::LockAcquire(u32::MAX),
+            Op::LockRelease(7),
+            Op::Barrier,
+            Op::OutputIo,
+            Op::CheckpointHint,
+        ]]);
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn trailing_end_is_stripped() {
+        let t = Trace::from_scripts(vec![vec![Op::Compute(1), Op::End, Op::End]]);
+        assert_eq!(t.core_ops(0), &[Op::Compute(1)]);
+        assert_eq!(t.total_ops(), 1);
+    }
+
+    #[test]
+    fn embedded_end_is_rejected_at_write() {
+        let t = Trace { scripts: vec![vec![Op::End, Op::Compute(1)]] };
+        let mut buf = Vec::new();
+        assert!(matches!(t.write_to(&mut buf), Err(TraceError::BadTag(_))));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let err = Trace::read_from(&b"NOPE\x01\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic(_)));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn future_version_refused() {
+        let mut buf = Vec::new();
+        Trace::from_scripts(vec![]).write_to(&mut buf).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            Trace::read_from(&buf[..]),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_io_error() {
+        let mut buf = Vec::new();
+        Trace::from_scripts(vec![vec![Op::Store(Addr(0xdeadbeef))]])
+            .write_to(&mut buf)
+            .unwrap();
+        for cut in 1..buf.len() {
+            let err = Trace::read_from(&buf[..cut]).unwrap_err();
+            assert!(matches!(err, TraceError::Io(_)), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        let mut buf = Vec::new();
+        Trace::from_scripts(vec![vec![Op::Barrier]]).write_to(&mut buf).unwrap();
+        *buf.last_mut().unwrap() = 0x42;
+        assert!(matches!(Trace::read_from(&buf[..]), Err(TraceError::BadTag(0x42))));
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 10 continuation bytes of 0xff encode > 64 bits.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(FORMAT_VERSION);
+        buf.extend_from_slice(&[0xff; 10]);
+        buf.push(0x7f);
+        assert!(matches!(
+            Trace::read_from(&buf[..]),
+            Err(TraceError::VarintOverflow)
+        ));
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let t = Trace::from_scripts(vec![
+            vec![Op::Compute(10), Op::Load(Addr(0))],
+            vec![Op::Store(Addr(32)), Op::Barrier],
+        ]);
+        assert_eq!(t.total_instructions(), 12);
+        assert_eq!(t.ncores(), 2);
+    }
+
+    #[test]
+    fn compact_encoding_of_small_values() {
+        // A compute-heavy script should cost ~2 bytes per op.
+        let t = Trace::from_scripts(vec![vec![Op::Compute(100); 1000]]);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert!(buf.len() < 1000 * 2 + 16, "encoding too fat: {}", buf.len());
+    }
+}

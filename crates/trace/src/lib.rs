@@ -1,0 +1,39 @@
+//! Operation-trace record and replay — the reproduction's analogue of the
+//! paper's Pin frontend (§5: *"we built an analysis tool using Pin; the
+//! output of Pin is connected to a detailed multi-processor architecture
+//! simulator"*).
+//!
+//! The synthetic workload generators normally feed the machine directly.
+//! This crate decouples the two the way the paper's toolchain does:
+//!
+//! * [`record`] drains the per-core operation streams of a workload into
+//!   an in-memory [`Trace`];
+//! * [`Trace::write_to`] / [`Trace::read_from`] serialize it as a compact
+//!   varint-encoded binary (the `RBTR` format) so traces can be stored,
+//!   diffed, and replayed byte-identically across machines and runs;
+//! * replaying is just [`Trace::into_scripts`] plus
+//!   `CoreProgram::script(...)` on the simulator side.
+//!
+//! Determinism guarantee: record → write → read → replay produces exactly
+//! the operation sequence the generator would have produced live, so a
+//! trace run and a generator run of the same seed are the *same* run.
+//!
+//! # Example
+//!
+//! ```
+//! use rebound_trace::{record, Trace};
+//! use rebound_workloads::profile_named;
+//!
+//! let profile = profile_named("FFT").unwrap();
+//! let trace = record(&profile, 4, 42, 5_000);
+//! let mut bytes = Vec::new();
+//! trace.write_to(&mut bytes).unwrap();
+//! let back = Trace::read_from(&bytes[..]).unwrap();
+//! assert_eq!(trace, back);
+//! ```
+
+pub mod format;
+pub mod recorder;
+
+pub use format::{Trace, TraceError, FORMAT_VERSION, MAGIC};
+pub use recorder::record;

@@ -1,0 +1,84 @@
+//! Recording workload-generator output into a [`Trace`].
+
+use crate::format::Trace;
+use rebound_engine::CoreId;
+use rebound_workloads::{AppProfile, OpStream};
+
+/// Drains the per-core operation streams of an `ncores`-thread run of
+/// `profile` (seeded with `seed`, `quota` instructions per core) into a
+/// trace.
+///
+/// The streams are the same ones `Machine::from_profile` would construct,
+/// so replaying the trace through `CoreProgram::script` reproduces the
+/// generator-driven run exactly.
+///
+/// # Panics
+///
+/// Panics if the profile fails validation (see `OpStream::new`) or if
+/// `ncores` is 0.
+///
+/// # Example
+///
+/// ```
+/// use rebound_trace::record;
+/// use rebound_workloads::profile_named;
+///
+/// let t = record(&profile_named("Radix").unwrap(), 2, 7, 1_000);
+/// assert_eq!(t.ncores(), 2);
+/// assert!(t.total_instructions() >= 2 * 1_000);
+/// ```
+pub fn record(profile: &AppProfile, ncores: usize, seed: u64, quota: u64) -> Trace {
+    assert!(ncores > 0, "need at least one core");
+    let scripts = (0..ncores)
+        .map(|c| {
+            let mut stream = OpStream::new(profile, CoreId(c), ncores, seed, quota);
+            let mut ops = Vec::new();
+            loop {
+                let op = stream.next_op();
+                if op.is_end() {
+                    break;
+                }
+                ops.push(op);
+            }
+            ops
+        })
+        .collect();
+    Trace::from_scripts(scripts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebound_workloads::{profile_named, Op};
+
+    #[test]
+    fn recording_is_deterministic_in_the_seed() {
+        let p = profile_named("Barnes").unwrap();
+        let a = record(&p, 4, 11, 2_000);
+        let b = record(&p, 4, 11, 2_000);
+        let c = record(&p, 4, 12, 2_000);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seed must change the trace");
+    }
+
+    #[test]
+    fn quota_bounds_each_core() {
+        let p = profile_named("FFT").unwrap();
+        let t = record(&p, 2, 3, 1_000);
+        for c in 0..2 {
+            let insts: u64 = t.core_ops(c).iter().map(Op::instructions).sum();
+            assert!(insts >= 1_000, "core {c} under quota: {insts}");
+            // Streams stop shortly after the quota (final barrier + slack).
+            assert!(insts < 3_000, "core {c} badly over quota: {insts}");
+        }
+    }
+
+    #[test]
+    fn no_end_ops_inside_recorded_scripts() {
+        let p = profile_named("Ocean").unwrap();
+        let t = record(&p, 3, 5, 1_500);
+        for c in 0..3 {
+            assert!(t.core_ops(c).iter().all(|op| !op.is_end()));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests on the RBTR wire format.
+
+use proptest::prelude::*;
+use rebound_engine::Addr;
+use rebound_trace::Trace;
+use rebound_workloads::Op;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..1_000_000).prop_map(Op::Compute),
+        any::<u64>().prop_map(|a| Op::Load(Addr(a))),
+        any::<u64>().prop_map(|a| Op::Store(Addr(a))),
+        any::<u32>().prop_map(Op::LockAcquire),
+        any::<u32>().prop_map(Op::LockRelease),
+        Just(Op::Barrier),
+        Just(Op::OutputIo),
+        Just(Op::CheckpointHint),
+    ]
+}
+
+proptest! {
+    /// write → read is the identity on arbitrary traces.
+    #[test]
+    fn roundtrip_identity(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 0..64), 0..8)
+    ) {
+        let t = Trace::from_scripts(scripts);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&buf[..]).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Any truncation of a valid encoding fails cleanly (never panics,
+    /// never yields a wrong-but-valid trace of the same shape).
+    #[test]
+    fn truncations_error_cleanly(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 1..16), 1..4),
+        frac in 0.0f64..1.0,
+    ) {
+        let t = Trace::from_scripts(scripts);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        if cut < buf.len() {
+            prop_assert!(Trace::read_from(&buf[..cut]).is_err());
+        }
+    }
+
+    /// Arbitrary garbage after the header never panics.
+    #[test]
+    fn fuzz_bytes_never_panic(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = b"RBTR\x01".to_vec();
+        buf.extend_from_slice(&junk);
+        let _ = Trace::read_from(&buf[..]);
+    }
+}

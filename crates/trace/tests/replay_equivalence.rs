@@ -1,0 +1,65 @@
+//! End-to-end fidelity: a machine fed a recorded-and-reserialized trace is
+//! cycle-identical to a machine running the live generator.
+
+use proptest::prelude::*;
+use rebound_core::{CoreProgram, Machine, MachineConfig, Scheme};
+use rebound_trace::{record, Trace};
+use rebound_workloads::profile_named;
+
+fn run_live(cfg: &MachineConfig, app: &str, quota: u64) -> rebound_core::RunReport {
+    let p = profile_named(app).expect("catalog app");
+    Machine::from_profile(cfg, &p, quota).run_to_completion()
+}
+
+fn run_traced(cfg: &MachineConfig, app: &str, quota: u64) -> rebound_core::RunReport {
+    let p = profile_named(app).expect("catalog app");
+    let trace = record(&p, cfg.cores, cfg.seed, quota);
+
+    // Through the wire format and back.
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).expect("serialize");
+    let trace = Trace::read_from(&bytes[..]).expect("deserialize");
+
+    let programs = trace
+        .into_scripts()
+        .into_iter()
+        .map(CoreProgram::script)
+        .collect();
+    Machine::with_programs(cfg, programs).run_to_completion()
+}
+
+#[test]
+fn traced_run_is_cycle_identical_to_live_run() {
+    for app in ["Barnes", "Ocean", "Apache"] {
+        let mut cfg = MachineConfig::small(6);
+        cfg.scheme = Scheme::REBOUND;
+        cfg.ckpt_interval_insts = 10_000;
+        let live = run_live(&cfg, app, 30_000);
+        let traced = run_traced(&cfg, app, 30_000);
+        assert_eq!(live.cycles, traced.cycles, "{app}: cycle mismatch");
+        assert_eq!(live.insts, traced.insts, "{app}: instruction mismatch");
+        assert_eq!(live.checkpoints, traced.checkpoints, "{app}: checkpoint mismatch");
+        assert_eq!(live.log_entries, traced.log_entries, "{app}: log mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Replay equivalence holds across seeds, core counts and schemes.
+    #[test]
+    fn replay_equivalence_is_seed_and_scheme_independent(
+        seed in 0u64..1000,
+        cores in 2usize..8,
+        global in proptest::bool::ANY,
+    ) {
+        let mut cfg = MachineConfig::small(cores);
+        cfg.seed = seed;
+        cfg.scheme = if global { Scheme::GLOBAL } else { Scheme::REBOUND };
+        cfg.ckpt_interval_insts = 8_000;
+        let live = run_live(&cfg, "FFT", 16_000);
+        let traced = run_traced(&cfg, "FFT", 16_000);
+        prop_assert_eq!(live.cycles, traced.cycles);
+        prop_assert_eq!(live.checkpoints, traced.checkpoints);
+    }
+}

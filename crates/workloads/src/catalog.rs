@@ -1,0 +1,484 @@
+//! The 18-application catalog of Fig 4.3(b).
+//!
+//! Each entry parameterises [`AppProfile`] to reflect the sharing behaviour
+//! the application is known for (and that the paper's per-app results
+//! reveal): Ocean synchronizes at a barrier every ~50k instructions and
+//! exchanges stencil boundaries; Raytrace and Radiosity hammer dynamic
+//! task-queue locks; Blackscholes is embarrassingly parallel; Apache serves
+//! mostly-independent requests; and so on. The `comm_frac`/pattern/lock
+//! values were calibrated so that the measured interaction-set sizes track
+//! Figs 6.1/6.2 qualitatively (see `EXPERIMENTS.md` for measured values).
+
+use crate::profile::{AppProfile, SharingPattern, Suite};
+
+/// All SPLASH-2 profiles, in the paper's column order
+/// (Bar Cho Fft Fmm Rdx LuC LuN Vol WSp WNq Rad Oce Ray).
+pub fn splash2() -> Vec<AppProfile> {
+    vec![
+        barnes(),
+        cholesky(),
+        fft(),
+        fmm(),
+        radix(),
+        lu_c(),
+        lu_nc(),
+        volrend(),
+        water_sp(),
+        water_nsq(),
+        radiosity(),
+        ocean(),
+        raytrace(),
+    ]
+}
+
+/// The PARSEC profiles plus Apache (Bla Flu Fer Str Apa).
+pub fn parsec_and_apache() -> Vec<AppProfile> {
+    vec![
+        blackscholes(),
+        fluidanimate(),
+        ferret(),
+        streamcluster(),
+        apache(),
+    ]
+}
+
+/// Every profile, in the paper's Table 6.1 column order.
+pub fn all_profiles() -> Vec<AppProfile> {
+    let mut v = splash2();
+    v.extend(parsec_and_apache());
+    v
+}
+
+/// The barrier-intensive subset used for the Fig 6.4 study.
+pub fn barrier_intensive() -> Vec<AppProfile> {
+    all_profiles()
+        .into_iter()
+        .filter(AppProfile::is_barrier_intensive)
+        .collect()
+}
+
+/// Looks up a profile by its (case-insensitive) name.
+pub fn profile_named(name: &str) -> Option<AppProfile> {
+    all_profiles()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+fn barnes() -> AppProfile {
+    // Octree N-body: good spatial locality within groups of bodies, some
+    // tree-lock traffic. Paper ICHK ~60-70%, FP row 1.3%, log 3.0 MB.
+    AppProfile {
+        shared_frac: 0.25,
+        comm_frac: 0.0005,
+        pattern: SharingPattern::Clustered {
+            cluster: 42,
+            escape: 0.004,
+        },
+        slice_lines: 384,
+        lock_period: Some(250_000),
+        num_locks: 64,
+        barrier_period: Some(400_000),
+        barrier_imbalance: 60_000,
+        private_write_lines: 28,
+        slice_write_lines: 14,
+        ..AppProfile::base("Barnes", Suite::Splash2)
+    }
+}
+
+fn cholesky() -> AppProfile {
+    // Sparse factorization driven by a task queue: migratory supernodes.
+    // Paper log 8.4 MB; ICHK fairly high.
+    AppProfile {
+        shared_frac: 0.30,
+        comm_frac: 0.0005,
+        pattern: SharingPattern::Clustered {
+            cluster: 45,
+            escape: 0.004,
+        },
+        slice_lines: 768,
+        global_lines: 512,
+        lock_period: Some(300_000),
+        num_locks: 16,
+        private_write_lines: 78,
+        slice_write_lines: 40,
+        ..AppProfile::base("Cholesky", Suite::Splash2)
+    }
+}
+
+fn fft() -> AppProfile {
+    // Blocked transpose: all-to-all exchange between phases separated by
+    // barriers; large write footprint (paper log 15.9 MB).
+    AppProfile {
+        mem_ratio: 0.35,
+        write_frac: 0.45,
+        shared_frac: 0.45,
+        comm_frac: 0.00015,
+        pattern: SharingPattern::AllToAll,
+        slice_lines: 1536,
+        private_lines: 1024,
+        barrier_period: Some(250_000),
+        barrier_imbalance: 80_000,
+        private_write_lines: 90,
+        slice_write_lines: 133,
+        ..AppProfile::base("FFT", Suite::Splash2)
+    }
+}
+
+fn fmm() -> AppProfile {
+    // Adaptive fast multipole: clustered interaction lists, few barriers.
+    AppProfile {
+        shared_frac: 0.25,
+        comm_frac: 0.0004,
+        pattern: SharingPattern::Clustered {
+            cluster: 38,
+            escape: 0.004,
+        },
+        slice_lines: 512,
+        barrier_period: Some(500_000),
+        barrier_imbalance: 100_000,
+        lock_period: Some(500_000),
+        private_write_lines: 47,
+        slice_write_lines: 23,
+        ..AppProfile::base("FMM", Suite::Splash2)
+    }
+}
+
+fn radix() -> AppProfile {
+    // Radix sort: permutation phase scatters keys all-to-all; frequent
+    // barriers between digit passes. High FP rate in the paper (6.4%).
+    AppProfile {
+        mem_ratio: 0.40,
+        write_frac: 0.50,
+        shared_frac: 0.50,
+        comm_frac: 0.0001,
+        pattern: SharingPattern::AllToAll,
+        slice_lines: 1024,
+        barrier_period: Some(150_000),
+        barrier_imbalance: 50_000,
+        private_write_lines: 26,
+        slice_write_lines: 50,
+        ..AppProfile::base("Radix", Suite::Splash2)
+    }
+}
+
+fn lu_c() -> AppProfile {
+    // Contiguous blocked LU: neighbour panels, a barrier per step.
+    AppProfile {
+        write_frac: 0.40,
+        shared_frac: 0.35,
+        comm_frac: 0.00025,
+        pattern: SharingPattern::Neighbor { span: 2 },
+        slice_lines: 1024,
+        barrier_period: Some(180_000),
+        barrier_imbalance: 60_000,
+        private_write_lines: 83,
+        slice_write_lines: 82,
+        ..AppProfile::base("LU-C", Suite::Splash2)
+    }
+}
+
+fn lu_nc() -> AppProfile {
+    // Non-contiguous LU: same structure, worse locality (wider exchange).
+    AppProfile {
+        write_frac: 0.40,
+        shared_frac: 0.40,
+        comm_frac: 0.00017,
+        pattern: SharingPattern::Neighbor { span: 4 },
+        slice_lines: 1024,
+        barrier_period: Some(160_000),
+        barrier_imbalance: 55_000,
+        private_write_lines: 88,
+        slice_write_lines: 87,
+        ..AppProfile::base("LU-NC", Suite::Splash2)
+    }
+}
+
+fn volrend() -> AppProfile {
+    // Ray casting with task stealing: migratory tiles, moderate locks.
+    AppProfile {
+        shared_frac: 0.20,
+        comm_frac: 0.0005,
+        pattern: SharingPattern::Clustered {
+            cluster: 35,
+            escape: 0.004,
+        },
+        slice_lines: 256,
+        lock_period: Some(250_000),
+        num_locks: 32,
+        private_write_lines: 38,
+        slice_write_lines: 19,
+        ..AppProfile::base("Volrend", Suite::Splash2)
+    }
+}
+
+fn water_sp() -> AppProfile {
+    // Spatial water: cell-local interactions, tiny shared footprint
+    // (paper log only 0.7 MB) and small interaction sets.
+    AppProfile {
+        shared_frac: 0.10,
+        comm_frac: 0.0018,
+        pattern: SharingPattern::Clustered {
+            cluster: 18,
+            escape: 0.005,
+        },
+        slice_lines: 96,
+        private_lines: 1024,
+        barrier_period: Some(600_000),
+        barrier_imbalance: 120_000,
+        private_write_lines: 7,
+        slice_write_lines: 3,
+        ..AppProfile::base("Water-Sp", Suite::Splash2)
+    }
+}
+
+fn water_nsq() -> AppProfile {
+    // O(n^2) water: all-pairs forces accumulated under per-molecule locks.
+    AppProfile {
+        shared_frac: 0.20,
+        comm_frac: 0.0006,
+        pattern: SharingPattern::Clustered {
+            cluster: 35,
+            escape: 0.003,
+        },
+        slice_lines: 512,
+        lock_period: Some(350_000),
+        num_locks: 64,
+        barrier_period: Some(500_000),
+        barrier_imbalance: 100_000,
+        private_write_lines: 70,
+        slice_write_lines: 35,
+        ..AppProfile::base("Water-Nsq", Suite::Splash2)
+    }
+}
+
+fn radiosity() -> AppProfile {
+    // Hierarchical radiosity: heavy dynamic task queues — lock-chained
+    // interaction sets near 100% in the paper.
+    AppProfile {
+        shared_frac: 0.30,
+        comm_frac: 0.0004,
+        pattern: SharingPattern::Migratory { objects: 48 },
+        slice_lines: 256,
+        global_lines: 512,
+        lock_period: Some(30_000),
+        num_locks: 8,
+        private_write_lines: 21,
+        slice_write_lines: 10,
+        ..AppProfile::base("Radiosity", Suite::Splash2)
+    }
+}
+
+fn ocean() -> AppProfile {
+    // Red-black stencil solver: "a barrier every 50k instructions" (§6.1)
+    // chains every processor each interval; largest log in the paper
+    // (29 MB) from sweeping a big grid.
+    AppProfile {
+        mem_ratio: 0.40,
+        write_frac: 0.45,
+        shared_frac: 0.55,
+        comm_frac: 0.0001,
+        pattern: SharingPattern::Neighbor { span: 1 },
+        slice_lines: 2048,
+        private_lines: 512,
+        barrier_period: Some(50_000),
+        barrier_imbalance: 18_000,
+        private_write_lines: 135,
+        slice_write_lines: 271,
+        ..AppProfile::base("Ocean", Suite::Splash2)
+    }
+}
+
+fn raytrace() -> AppProfile {
+    // Ray tracing with a central work queue: "a large number of dynamic
+    // locks" (§6.1) — interaction sets near 100%.
+    AppProfile {
+        shared_frac: 0.15,
+        comm_frac: 0.0002,
+        pattern: SharingPattern::Migratory { objects: 24 },
+        slice_lines: 192,
+        global_lines: 128,
+        lock_period: Some(8_000),
+        num_locks: 4,
+        cs_len: 20,
+        private_write_lines: 23,
+        slice_write_lines: 11,
+        ..AppProfile::base("Raytrace", Suite::Splash2)
+    }
+}
+
+fn blackscholes() -> AppProfile {
+    // Option pricing: embarrassingly parallel; only incidental sharing
+    // (allocator metadata). Paper ICHK ~20% of 24 procs.
+    AppProfile {
+        shared_frac: 0.04,
+        comm_frac: 0.004,
+        pattern: SharingPattern::Clustered {
+            cluster: 12,
+            escape: 0.02,
+        },
+        slice_lines: 128,
+        private_lines: 1536,
+        private_write_lines: 38,
+        slice_write_lines: 4,
+        ..AppProfile::base("Blackscholes", Suite::Parsec)
+    }
+}
+
+fn fluidanimate() -> AppProfile {
+    // Grid-of-cells fluid simulation: per-cell locks with neighbours,
+    // a barrier per frame phase.
+    AppProfile {
+        shared_frac: 0.25,
+        comm_frac: 0.0004,
+        pattern: SharingPattern::Neighbor { span: 2 },
+        slice_lines: 512,
+        lock_period: Some(300_000),
+        num_locks: 64,
+        barrier_period: Some(400_000),
+        barrier_imbalance: 90_000,
+        private_write_lines: 40,
+        slice_write_lines: 38,
+        ..AppProfile::base("Fluidanimate", Suite::Parsec)
+    }
+}
+
+fn ferret() -> AppProfile {
+    // Similarity-search pipeline: stage i consumes stage i-1's queue.
+    AppProfile {
+        shared_frac: 0.20,
+        comm_frac: 0.0003,
+        pattern: SharingPattern::Pipeline,
+        slice_lines: 384,
+        lock_period: Some(400_000),
+        num_locks: 8,
+        private_write_lines: 33,
+        slice_write_lines: 33,
+        ..AppProfile::base("Ferret", Suite::Parsec)
+    }
+}
+
+fn streamcluster() -> AppProfile {
+    // Online clustering: barrier-separated phases over shared points.
+    AppProfile {
+        shared_frac: 0.30,
+        comm_frac: 0.00005,
+        pattern: SharingPattern::Clustered {
+            cluster: 30,
+            escape: 0.01,
+        },
+        slice_lines: 512,
+        barrier_period: Some(90_000),
+        barrier_imbalance: 30_000,
+        private_write_lines: 20,
+        slice_write_lines: 9,
+        ..AppProfile::base("Streamcluster", Suite::Parsec)
+    }
+}
+
+fn apache() -> AppProfile {
+    // Apache under `ab`: requests are independent; the shared accept path
+    // and scoreboard are touched rarely. Paper ICHK ~20% of 24 procs.
+    AppProfile {
+        write_frac: 0.15,
+        shared_frac: 0.06,
+        comm_frac: 0.0015,
+        pattern: SharingPattern::Server,
+        slice_lines: 128,
+        private_lines: 1024,
+        global_lines: 128,
+        lock_period: Some(400_000),
+        num_locks: 16,
+        cs_len: 15,
+        private_write_lines: 80,
+        slice_write_lines: 8,
+        ..AppProfile::base("Apache", Suite::Server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_18_applications() {
+        let all = all_profiles();
+        assert_eq!(all.len(), 18);
+        assert_eq!(splash2().len(), 13);
+        assert_eq!(parsec_and_apache().len(), 5);
+    }
+
+    #[test]
+    fn every_profile_validates() {
+        for p in all_profiles() {
+            assert_eq!(p.validate(), Ok(()), "{} failed validation", p.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all_profiles().iter().map(|p| p.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn table_6_1_column_order() {
+        let names: Vec<_> = all_profiles().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Barnes",
+                "Cholesky",
+                "FFT",
+                "FMM",
+                "Radix",
+                "LU-C",
+                "LU-NC",
+                "Volrend",
+                "Water-Sp",
+                "Water-Nsq",
+                "Radiosity",
+                "Ocean",
+                "Raytrace",
+                "Blackscholes",
+                "Fluidanimate",
+                "Ferret",
+                "Streamcluster",
+                "Apache",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(profile_named("ocean").is_some());
+        assert!(profile_named("OCEAN").is_some());
+        assert!(profile_named("nonesuch").is_none());
+    }
+
+    #[test]
+    fn ocean_matches_papers_barrier_rate() {
+        let o = profile_named("Ocean").unwrap();
+        assert_eq!(o.barrier_period, Some(50_000));
+        assert!(o.is_barrier_intensive());
+    }
+
+    #[test]
+    fn barrier_intensive_set_is_nonempty_and_correct() {
+        let set = barrier_intensive();
+        assert!(!set.is_empty());
+        assert!(set.iter().any(|p| p.name == "Ocean"));
+        assert!(set.iter().all(|p| p.is_barrier_intensive()));
+        // Blackscholes must not be in it.
+        assert!(!set.iter().any(|p| p.name == "Blackscholes"));
+    }
+
+    #[test]
+    fn suites_are_assigned() {
+        assert!(splash2().iter().all(|p| p.suite == Suite::Splash2));
+        let pa = parsec_and_apache();
+        assert_eq!(pa.iter().filter(|p| p.suite == Suite::Parsec).count(), 4);
+        assert_eq!(pa.iter().filter(|p| p.suite == Suite::Server).count(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! The simulated address-space layout shared by workloads and machine.
+//!
+//! Every address the generators emit falls into one of three disjoint
+//! regions, distinguished by high bits so they can never alias:
+//!
+//! * **private** — per-core heap/stack data nobody else touches;
+//! * **shared** — application shared data, divided into per-core *slices*
+//!   (data a given core produces) plus a global pool (task queues, root
+//!   objects);
+//! * **sync** — lock words and the barrier's `count`/`flag` words, each on
+//!   its own cache line to avoid false sharing.
+
+use rebound_engine::{Addr, CoreId};
+
+const REGION_SHIFT: u32 = 40;
+const PRIVATE: u64 = 1 << REGION_SHIFT;
+const SHARED: u64 = 2 << REGION_SHIFT;
+const SYNC: u64 = 3 << REGION_SHIFT;
+const CORE_SHIFT: u32 = 26; // 64 MiB per core slice
+const LINE: u64 = 32;
+
+/// Address construction helpers for the three regions.
+///
+/// # Example
+///
+/// ```
+/// use rebound_workloads::AddressLayout;
+/// use rebound_engine::CoreId;
+///
+/// let l = AddressLayout::default();
+/// let a = l.private_line(CoreId(3), 7);
+/// let b = l.private_line(CoreId(4), 7);
+/// assert_ne!(a, b, "private regions never collide across cores");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AddressLayout;
+
+impl AddressLayout {
+    /// The `idx`-th private line of `core`.
+    #[inline]
+    pub fn private_line(&self, core: CoreId, idx: u64) -> Addr {
+        Addr(PRIVATE | ((core.index() as u64) << CORE_SHIFT) | (idx * LINE))
+    }
+
+    /// The `idx`-th line of the shared slice *produced by* `core`.
+    #[inline]
+    pub fn shared_slice_line(&self, core: CoreId, idx: u64) -> Addr {
+        Addr(SHARED | ((core.index() as u64) << CORE_SHIFT) | (idx * LINE))
+    }
+
+    /// The `idx`-th line of the global shared pool (task queues, tree
+    /// roots, server accept state).
+    #[inline]
+    pub fn shared_global_line(&self, idx: u64) -> Addr {
+        Addr(SHARED | (63u64 << CORE_SHIFT) | (1 << 25) | (idx * LINE))
+    }
+
+    /// The lock word for lock `id` (one line per lock).
+    #[inline]
+    pub fn lock_line(&self, id: u32) -> Addr {
+        Addr(SYNC | ((id as u64) * LINE))
+    }
+
+    /// The barrier's arrival-count word (Fig 4.2(a)).
+    #[inline]
+    pub fn barrier_count_line(&self) -> Addr {
+        Addr(SYNC | (1 << 20))
+    }
+
+    /// The barrier's release-flag word (Fig 4.2(a)).
+    #[inline]
+    pub fn barrier_flag_line(&self) -> Addr {
+        Addr(SYNC | (1 << 20) | LINE)
+    }
+
+    /// The `BarCK_sent` word of the barrier optimization (Fig 4.2(d)).
+    #[inline]
+    pub fn barck_sent_line(&self) -> Addr {
+        Addr(SYNC | (1 << 20) | (2 * LINE))
+    }
+
+    /// Whether `addr` lies in the sync region (used by tests and by the
+    /// machine to classify accesses).
+    #[inline]
+    pub fn is_sync(&self, addr: Addr) -> bool {
+        addr.0 >> REGION_SHIFT == 3
+    }
+
+    /// Whether `addr` lies in the shared-data region.
+    #[inline]
+    pub fn is_shared_data(&self, addr: Addr) -> bool {
+        addr.0 >> REGION_SHIFT == 2
+    }
+
+    /// Whether `addr` lies in a private region.
+    #[inline]
+    pub fn is_private(&self, addr: Addr) -> bool {
+        addr.0 >> REGION_SHIFT == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebound_engine::{LineAddr, LineGeometry};
+
+    #[test]
+    fn regions_are_disjoint() {
+        let l = AddressLayout;
+        let p = l.private_line(CoreId(0), 0);
+        let s = l.shared_slice_line(CoreId(0), 0);
+        let y = l.lock_line(0);
+        assert!(l.is_private(p) && !l.is_shared_data(p) && !l.is_sync(p));
+        assert!(l.is_shared_data(s) && !l.is_private(s) && !l.is_sync(s));
+        assert!(l.is_sync(y) && !l.is_private(y) && !l.is_shared_data(y));
+    }
+
+    #[test]
+    fn core_slices_do_not_overlap() {
+        let l = AddressLayout;
+        // Even a huge index stays inside the owning core's slice.
+        let max_idx = (1u64 << CORE_SHIFT) / LINE - 1;
+        let a = l.shared_slice_line(CoreId(0), max_idx);
+        let b = l.shared_slice_line(CoreId(1), 0);
+        assert!(a.0 < b.0);
+    }
+
+    #[test]
+    fn global_pool_clears_core_slices() {
+        let l = AddressLayout;
+        let g = l.shared_global_line(0);
+        for c in 0..63 {
+            let max_idx = (1u64 << 25) / LINE - 1;
+            assert!(l.shared_slice_line(CoreId(c), max_idx).0 < g.0);
+        }
+    }
+
+    #[test]
+    fn sync_words_are_line_separated() {
+        let l = AddressLayout;
+        let g = LineGeometry::default();
+        let lines: Vec<LineAddr> = vec![
+            l.lock_line(0).line(g),
+            l.lock_line(1).line(g),
+            l.barrier_count_line().line(g),
+            l.barrier_flag_line().line(g),
+            l.barck_sent_line().line(g),
+        ];
+        let mut uniq = lines.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), lines.len(), "no false sharing among sync words");
+    }
+
+    #[test]
+    fn consecutive_indices_are_distinct_lines() {
+        let l = AddressLayout;
+        let g = LineGeometry::default();
+        assert_ne!(
+            l.private_line(CoreId(2), 0).line(g),
+            l.private_line(CoreId(2), 1).line(g)
+        );
+    }
+}

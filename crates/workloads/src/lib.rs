@@ -1,0 +1,32 @@
+//! Synthetic parallel workloads for the Rebound reproduction.
+//!
+//! The paper evaluates on SPLASH-2, PARSEC and Apache binaries traced with
+//! Pin. Those binaries (and Pin) are unavailable here, so this crate
+//! provides *synthetic application models*: per-core instruction-stream
+//! generators whose sharing structure — communication locality, lock rate,
+//! barrier period, shared/private footprint, read/write mix — is
+//! parameterised per application ([`AppProfile`]) to match what each
+//! program is known to do. Rebound's results are driven precisely by that
+//! sharing structure (the interaction sets of Figs 6.1/6.2, the dirty-line
+//! footprint, the barrier behaviour of Fig 6.4), so the substitution
+//! preserves the quantities the experiments measure; absolute IPC is not
+//! preserved and is not needed.
+//!
+//! The important design decision is that synchronization is **not**
+//! abstracted: [`Op::LockAcquire`]/[`Op::Barrier`] are lowered by the
+//! machine to real loads, stores and read-modify-writes on shared lines, so
+//! the dependence chains that make "global barriers induce global
+//! checkpoints" (§4.2.1) arise through the coherence protocol itself,
+//! exactly as in the paper.
+
+pub mod catalog;
+pub mod layout;
+pub mod op;
+pub mod profile;
+pub mod stream;
+
+pub use catalog::{all_profiles, barrier_intensive, parsec_and_apache, profile_named, splash2};
+pub use layout::AddressLayout;
+pub use op::Op;
+pub use profile::{AppProfile, SharingPattern, Suite};
+pub use stream::OpStream;

@@ -1,0 +1,81 @@
+//! The operations a workload stream emits.
+
+use rebound_engine::Addr;
+
+/// One operation of a core's dynamic instruction stream.
+///
+/// Memory addresses are produced by the generator; data values are assigned
+/// deterministically by the machine at execution time (value = hash of core
+/// and store count), which is what makes rollback verifiable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `n` non-memory instructions, one cycle each on the paper's
+    /// single-issue core.
+    Compute(u64),
+    /// A load from `Addr` (one instruction).
+    Load(Addr),
+    /// A store to `Addr` (one instruction).
+    Store(Addr),
+    /// Acquire lock number `id`. Lowered by the machine to a
+    /// read-modify-write spin on the lock's line.
+    LockAcquire(u32),
+    /// Release lock number `id`. Lowered to a store to the lock's line.
+    LockRelease(u32),
+    /// Arrive at the global barrier (all cores emit matching sequences).
+    /// Lowered to the count-update critical section plus a spin on the flag
+    /// line, per Fig 4.2(a).
+    Barrier,
+    /// An output I/O operation; in a checkpointed machine it must be
+    /// preceded by a checkpoint (§6.4).
+    OutputIo,
+    /// Ask the machine to initiate a checkpoint right now (as the periodic
+    /// interval timer would). Generators never emit this; scripted programs
+    /// use it to exercise the protocols deterministically in tests.
+    CheckpointHint,
+    /// The stream has exhausted its instruction quota.
+    End,
+}
+
+impl Op {
+    /// How many instructions this op retires.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute(n) => *n,
+            Op::Load(_) | Op::Store(_) => 1,
+            // The sync ops' instruction cost comes from their lowered
+            // memory accesses; the op itself is free.
+            Op::LockAcquire(_)
+            | Op::LockRelease(_)
+            | Op::Barrier
+            | Op::OutputIo
+            | Op::CheckpointHint
+            | Op::End => 0,
+        }
+    }
+
+    /// Whether this op ends the stream.
+    pub fn is_end(&self) -> bool {
+        matches!(self, Op::End)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(Op::Compute(10).instructions(), 10);
+        assert_eq!(Op::Load(Addr(0)).instructions(), 1);
+        assert_eq!(Op::Store(Addr(0)).instructions(), 1);
+        assert_eq!(Op::Barrier.instructions(), 0);
+        assert_eq!(Op::LockAcquire(0).instructions(), 0);
+        assert_eq!(Op::End.instructions(), 0);
+    }
+
+    #[test]
+    fn end_predicate() {
+        assert!(Op::End.is_end());
+        assert!(!Op::Compute(1).is_end());
+    }
+}

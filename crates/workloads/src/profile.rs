@@ -1,0 +1,300 @@
+//! Application profiles: the tunable sharing structure of a workload.
+
+use std::fmt;
+
+/// Which benchmark suite a profile models (Fig 4.3(b)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPLASH-2 scientific kernels/apps (evaluated at up to 64 threads).
+    Splash2,
+    /// PARSEC applications (evaluated at up to 24 threads).
+    Parsec,
+    /// The Apache web server driven by `ab` (24 threads).
+    Server,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::Splash2 => "SPLASH-2",
+            Suite::Parsec => "PARSEC",
+            Suite::Server => "Server",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a core chooses the *partner* whose produced data it consumes.
+///
+/// The pattern (together with the communication rate) determines the shape
+/// of the dynamic dependence graph, and therefore the interaction-set sizes
+/// of Figs 6.1/6.2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SharingPattern {
+    /// No data sharing beyond synchronization (embarrassingly parallel,
+    /// e.g. Blackscholes).
+    Private,
+    /// Stencil-style boundary exchange with cores up to `span` away
+    /// (e.g. Ocean, LU).
+    Neighbor {
+        /// Maximum neighbour distance.
+        span: usize,
+    },
+    /// Software pipeline: stage `i` consumes what stage `i-1` produced
+    /// (e.g. Ferret).
+    Pipeline,
+    /// Communication mostly stays within clusters of `cluster` cores,
+    /// escaping with probability `escape` (e.g. Barnes locality).
+    Clustered {
+        /// Cluster size in cores.
+        cluster: usize,
+        /// Probability a communication leaves the cluster.
+        escape: f64,
+    },
+    /// Uniform random partner (e.g. Radix permutation, FFT transpose).
+    AllToAll,
+    /// Migratory objects in the global pool, read-modify-written by
+    /// whoever grabs them (task queues: Raytrace, Radiosity, Cholesky).
+    Migratory {
+        /// Number of distinct migratory objects.
+        objects: u64,
+    },
+    /// Server: requests touch private state; a small global set (accept
+    /// queue, stats) is read-modify-written occasionally (Apache).
+    Server,
+}
+
+/// The complete parameterisation of one synthetic application.
+///
+/// All rates are per dynamic instruction (so they scale with run length),
+/// and footprints are in cache lines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppProfile {
+    /// Application name, matching the paper's Fig 4.3(b) list.
+    pub name: &'static str,
+    /// Which suite the application belongs to.
+    pub suite: Suite,
+    /// Fraction of instructions that are memory accesses (loads+stores).
+    pub mem_ratio: f64,
+    /// Fraction of memory accesses that are stores.
+    pub write_frac: f64,
+    /// Fraction of memory accesses that touch shared data (vs private).
+    pub shared_frac: f64,
+    /// Of shared accesses, the fraction that *consume* a partner's slice
+    /// (the rest produce into the core's own slice). This is the main knob
+    /// controlling interaction-set growth.
+    pub comm_frac: f64,
+    /// Partner-selection pattern.
+    pub pattern: SharingPattern,
+    /// Per-core private working set, in lines (read footprint).
+    pub private_lines: u64,
+    /// Per-core shared-slice working set, in lines (read footprint).
+    pub slice_lines: u64,
+    /// Global shared pool size, in lines.
+    pub global_lines: u64,
+    /// Lines of the private region a core actually *writes* per phase, at
+    /// a 64-thread machine (scaled up as thread count shrinks, mirroring
+    /// fixed problem sizes). This is what sizes the dirty footprint a
+    /// checkpoint must write back — calibrated per application from the
+    /// paper's Table 6.1 log column.
+    pub private_write_lines: u64,
+    /// Written lines of the core's shared slice (64-thread basis); partner
+    /// consumption reads from this region, since consumers read what
+    /// producers recently wrote.
+    pub slice_write_lines: u64,
+    /// Instructions between barrier episodes (None = no barriers).
+    /// Ocean's "barrier every 50k instructions" (§6.1) sets the scale.
+    pub barrier_period: Option<u64>,
+    /// Mean extra (imbalance) instructions a core computes after each
+    /// barrier, drawn uniformly in [0, 2x]. Real phase-parallel codes are
+    /// imbalanced; this is the window the barrier optimization hides
+    /// checkpoint writebacks behind (§4.2.1).
+    pub barrier_imbalance: u64,
+    /// Instructions between lock-protected critical sections.
+    pub lock_period: Option<u64>,
+    /// Number of distinct locks.
+    pub num_locks: u32,
+    /// Instructions inside a critical section.
+    pub cs_len: u64,
+    /// Mean compute-burst length between memory activity.
+    pub compute_burst: u64,
+}
+
+impl AppProfile {
+    /// A neutral baseline profile; catalog entries override fields from it.
+    pub fn base(name: &'static str, suite: Suite) -> AppProfile {
+        AppProfile {
+            name,
+            suite,
+            mem_ratio: 0.30,
+            write_frac: 0.30,
+            shared_frac: 0.20,
+            comm_frac: 0.10,
+            pattern: SharingPattern::Clustered {
+                cluster: 4,
+                escape: 0.05,
+            },
+            private_lines: 2048,
+            slice_lines: 512,
+            global_lines: 256,
+            private_write_lines: 64,
+            slice_write_lines: 32,
+            barrier_period: None,
+            barrier_imbalance: 0,
+            lock_period: None,
+            num_locks: 16,
+            cs_len: 30,
+            compute_burst: 20,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        fn frac(v: f64, what: &str) -> Result<(), String> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{what} must be in [0,1], got {v}"))
+            }
+        }
+        frac(self.mem_ratio, "mem_ratio")?;
+        frac(self.write_frac, "write_frac")?;
+        frac(self.shared_frac, "shared_frac")?;
+        frac(self.comm_frac, "comm_frac")?;
+        if self.private_lines == 0 {
+            return Err("private_lines must be positive".into());
+        }
+        if self.slice_lines == 0 {
+            return Err("slice_lines must be positive".into());
+        }
+        if self.global_lines == 0 {
+            return Err("global_lines must be positive".into());
+        }
+        if self.private_write_lines == 0 || self.slice_write_lines == 0 {
+            return Err("write footprints must be positive".into());
+        }
+        if self.compute_burst == 0 {
+            return Err("compute_burst must be positive".into());
+        }
+        if let Some(p) = self.barrier_period {
+            if p == 0 {
+                return Err("barrier_period must be positive".into());
+            }
+        }
+        if let Some(p) = self.lock_period {
+            if p == 0 {
+                return Err("lock_period must be positive".into());
+            }
+            if self.num_locks == 0 {
+                return Err("locking requires at least one lock".into());
+            }
+        }
+        match self.pattern {
+            SharingPattern::Neighbor { span: 0 } => Err("neighbor span must be positive".into()),
+            SharingPattern::Clustered { cluster, escape } => {
+                if cluster == 0 {
+                    Err("cluster size must be positive".into())
+                } else {
+                    frac(escape, "escape")
+                }
+            }
+            SharingPattern::Migratory { objects: 0 } => {
+                Err("migratory objects must be positive".into())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether this profile synchronizes with barriers often enough to be
+    /// in the "barrier-intensive" set of Fig 6.4 (threshold: at least one
+    /// barrier per 200k instructions).
+    pub fn is_barrier_intensive(&self) -> bool {
+        matches!(self.barrier_period, Some(p) if p <= 200_000)
+    }
+}
+
+impl fmt::Display for AppProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.suite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_profile_is_valid() {
+        assert_eq!(AppProfile::base("x", Suite::Splash2).validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_fractions_rejected() {
+        let mut p = AppProfile::base("x", Suite::Parsec);
+        p.mem_ratio = 1.5;
+        assert!(p.validate().is_err());
+        p.mem_ratio = 0.3;
+        p.comm_frac = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_footprints_rejected() {
+        let mut p = AppProfile::base("x", Suite::Parsec);
+        p.private_lines = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_barrier_period_rejected() {
+        let mut p = AppProfile::base("x", Suite::Splash2);
+        p.barrier_period = Some(0);
+        assert!(p.validate().is_err());
+        p.barrier_period = Some(50_000);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn locking_requires_locks() {
+        let mut p = AppProfile::base("x", Suite::Splash2);
+        p.lock_period = Some(1000);
+        p.num_locks = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn pattern_constraints() {
+        let mut p = AppProfile::base("x", Suite::Splash2);
+        p.pattern = SharingPattern::Neighbor { span: 0 };
+        assert!(p.validate().is_err());
+        p.pattern = SharingPattern::Clustered {
+            cluster: 0,
+            escape: 0.1,
+        };
+        assert!(p.validate().is_err());
+        p.pattern = SharingPattern::Migratory { objects: 0 };
+        assert!(p.validate().is_err());
+        p.pattern = SharingPattern::AllToAll;
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn barrier_intensity_threshold() {
+        let mut p = AppProfile::base("x", Suite::Splash2);
+        assert!(!p.is_barrier_intensive());
+        p.barrier_period = Some(50_000);
+        assert!(p.is_barrier_intensive());
+        p.barrier_period = Some(10_000_000);
+        assert!(!p.is_barrier_intensive());
+    }
+
+    #[test]
+    fn display_includes_suite() {
+        let p = AppProfile::base("ocean", Suite::Splash2);
+        assert_eq!(p.to_string(), "ocean (SPLASH-2)");
+    }
+}

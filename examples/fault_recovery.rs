@@ -1,0 +1,99 @@
+//! Fault injection and recovery: a transient fault strikes one core, its
+//! Interaction Set for Recovery rolls back to a consistent recovery line,
+//! and deterministic re-execution converges to the fault-free result.
+//!
+//! ```sh
+//! cargo run --release --example fault_recovery
+//! ```
+
+use rebound::core::{CoreProgram, Machine, MachineConfig, Scheme};
+use rebound::engine::{Addr, CoreId, Cycle};
+use rebound::workloads::Op;
+
+fn line(i: u64) -> Addr {
+    Addr(0x40_0000 + i * 32)
+}
+
+/// A three-stage pipeline: P0 produces, P1 transforms, P2 consumes —
+/// exactly the dependence chain whose consumers must roll back together
+/// when the producer faults (Fig 2.1(c)).
+fn programs() -> Vec<CoreProgram> {
+    let p0 = CoreProgram::script([
+        Op::Store(line(0)),
+        Op::Compute(2_000),
+        Op::Store(line(1)),
+        Op::Compute(120_000),
+    ]);
+    let p1 = CoreProgram::script([
+        Op::Compute(8_000),
+        Op::Load(line(0)), // consumes P0's data
+        Op::Store(line(10)),
+        Op::Compute(120_000),
+    ]);
+    let p2 = CoreProgram::script([
+        Op::Compute(20_000),
+        Op::Load(line(10)), // consumes P1's data
+        Op::Store(line(20)),
+        Op::Compute(120_000),
+    ]);
+    // P3 is independent: it must NOT be disturbed by the rollback.
+    let p3 = CoreProgram::script([Op::Store(line(30)), Op::Compute(120_000)]);
+    vec![p0, p1, p2, p3]
+}
+
+fn main() {
+    let mut cfg = MachineConfig::paper(4);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 1_000_000; // no periodic checkpoints here
+    cfg.detect_latency = 2_000;
+
+    println!("== Rebound fault recovery demo ==");
+    println!("P0 -> P1 -> P2 dependence chain, P3 independent.\n");
+
+    // Reference run without faults.
+    let mut clean = Machine::with_programs(&cfg, programs());
+    clean.run_to_completion();
+
+    // Faulty run: transient fault detected at the producer P0 at t=60k.
+    let mut faulty = Machine::with_programs(&cfg, programs());
+    faulty.schedule_fault_detection(CoreId(0), Cycle(60_000));
+    let report = faulty.run_to_completion();
+
+    println!(
+        "fault detected at P0 (t=60k, detection latency L={})",
+        cfg.detect_latency
+    );
+    println!("rollbacks            : {}", report.rollbacks);
+    println!(
+        "interaction set size : {:.0} processors rolled back",
+        report.metrics.irec_sizes.mean()
+    );
+    println!(
+        "recovery latency     : {:.0} cycles ({:.3} ms at 1 GHz)",
+        report.metrics.recovery_cycles.mean(),
+        report.metrics.recovery_cycles.mean() / 1.0e6
+    );
+
+    // Verify convergence: every line's architecturally visible value must
+    // match the clean run.
+    let mut diverged = 0;
+    for i in [0, 1, 10, 20, 30] {
+        let l = line(i).line(Default::default());
+        let (a, b) = (
+            clean.effective_line_value(l),
+            faulty.effective_line_value(l),
+        );
+        if a != b {
+            diverged += 1;
+        }
+        println!(
+            "line {:2}: clean={:#018x} recovered={:#018x} {}",
+            i,
+            a,
+            b,
+            if a == b { "ok" } else { "MISMATCH" }
+        );
+    }
+    assert_eq!(diverged, 0, "recovery must converge to the clean state");
+    println!("\nrecovered state matches the fault-free run — no domino effect.");
+}

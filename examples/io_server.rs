@@ -1,0 +1,55 @@
+//! Output-I/O-intensive serving (§6.4): output must be preceded by a
+//! checkpoint, so a frequently-flushing server thread forces constant
+//! checkpoints. Under Global checkpointing the whole machine pays; under
+//! Rebound only the server's (small) interaction set does.
+//!
+//! ```sh
+//! cargo run --release --example io_server
+//! ```
+
+use rebound::core::{IoPressure, Machine, MachineConfig, Scheme};
+use rebound::engine::CoreId;
+use rebound::workloads::profile_named;
+
+fn run(scheme: Scheme, io: bool) -> rebound::RunReport {
+    let mut cfg = MachineConfig::paper(32);
+    cfg.scheme = scheme;
+    cfg.ckpt_interval_insts = 100_000;
+    cfg.detect_latency = 5_000;
+    if io {
+        // Core 0 "writes a response" every half checkpoint-interval.
+        cfg.io = Some(IoPressure {
+            core: CoreId(0),
+            period_cycles: 150_000,
+        });
+    }
+    let profile = profile_named("Apache").expect("catalog app");
+    Machine::from_profile(&cfg, &profile, 300_000).run_to_completion()
+}
+
+fn main() {
+    println!("== I/O-driven checkpointing (Apache model, 32 cores) ==\n");
+    println!(
+        "{:<14} {:>6} {:>14} {:>22}",
+        "scheme", "I/O", "ckpt episodes", "mean ckpt gap (cyc)"
+    );
+    for (scheme, io) in [
+        (Scheme::GLOBAL, false),
+        (Scheme::GLOBAL, true),
+        (Scheme::REBOUND, false),
+        (Scheme::REBOUND, true),
+    ] {
+        let r = run(scheme, io);
+        println!(
+            "{:<14} {:>6} {:>14} {:>22.0}",
+            scheme.label(),
+            if io { "yes" } else { "no" },
+            r.checkpoints,
+            r.metrics.ckpt_intervals.mean()
+        );
+    }
+    println!();
+    println!("With I/O pressure, Global's machine-wide checkpoint gap collapses to");
+    println!("the I/O period, while Rebound's stays near the nominal interval: the");
+    println!("I/O thread checkpoints alone (its interaction set is tiny).");
+}

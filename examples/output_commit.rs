@@ -1,0 +1,82 @@
+//! The output-commit problem (ReViveI/O, the paper's reference [33]): a
+//! server must hold responses until the covering checkpoint can no longer
+//! be rolled back. This example drives the output-commit buffer from a
+//! real machine's checkpoint timeline and shows how the detection latency
+//! L sets the response-latency floor.
+//!
+//! ```sh
+//! cargo run --release --example output_commit
+//! ```
+
+use rebound::core::{Machine, MachineConfig, OutputCommitBuffer, Scheme};
+use rebound::engine::{CoreId, Cycle};
+use rebound::workloads::profile_named;
+
+fn main() {
+    let ncores = 8;
+    let profile = profile_named("Apache").expect("catalog app");
+
+    println!("== output_commit: {} on {ncores} cores ==", profile.name);
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>12}",
+        "interval", "L (cycles)", "mean commit", "max commit", "committed"
+    );
+
+    // Commit latency ≈ interval/2 + L: both knobs matter, and the interval
+    // dominates until L approaches it.
+    for (interval, detect_latency) in [
+        (50_000u64, 5_000u64),
+        (25_000, 5_000),
+        (10_000, 5_000),
+        (10_000, 1_000),
+        (10_000, 50_000),
+    ] {
+        let mut cfg = MachineConfig::paper(ncores);
+        cfg.scheme = Scheme::REBOUND;
+        cfg.ckpt_interval_insts = interval;
+        cfg.detect_latency = detect_latency;
+        let mut m = Machine::from_profile(&cfg, &profile, 100_000);
+        let report = m.run_to_completion();
+
+        // Reconstruct a response timeline: each core emits one response
+        // per checkpoint interval, sealed when that core's next checkpoint
+        // completes. (A full integration would hook the machine's
+        // OutputIo events; the arithmetic is identical.)
+        let mut buf = OutputCommitBuffer::new(ncores, detect_latency);
+        let ckpts_per_core = (report.checkpoints as usize / ncores).max(1) as u64;
+        let interval_cycles = report.cycles / ckpts_per_core.max(1);
+        for c in 0..ncores {
+            let mut now = 0u64;
+            for iv in 0..ckpts_per_core {
+                buf.push(CoreId(c), Cycle(now + interval_cycles / 2), iv);
+                now += interval_cycles;
+                buf.checkpoint_complete(CoreId(c), iv, Cycle(now));
+            }
+        }
+        // Device polls continuously (fine-grained) until everything drains.
+        let horizon = report.cycles + 2 * detect_latency + interval_cycles + 1;
+        let step = (detect_latency / 8).max(interval_cycles / 64).max(1);
+        let mut t = 0u64;
+        while buf.pending() > 0 && t <= horizon {
+            t += step;
+            buf.release(Cycle(t));
+        }
+
+        println!(
+            "{:>12} {:>12} {:>14.0} {:>14} {:>12}",
+            interval,
+            detect_latency,
+            buf.mean_commit_latency(),
+            buf.max_commit_latency(),
+            buf.committed(),
+        );
+    }
+
+    println!();
+    println!(
+        "Commit latency ≈ interval/2 + L: shrinking the checkpoint interval\n\
+         (which Rebound makes cheap for low-ICHK codes like Apache) is what\n\
+         keeps I/O-bound response times low — the §6.4 argument from the\n\
+         output side."
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a Rebound manycore, run a workload, inspect results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rebound::core::{Machine, MachineConfig, Scheme};
+use rebound::workloads::profile_named;
+
+fn main() {
+    // A 16-core machine with the paper's cache/interconnect parameters
+    // (Fig 4.3(a)), checkpointing every 100k instructions under Rebound
+    // (coordinated local checkpointing with delayed writebacks).
+    let mut cfg = MachineConfig::paper(16);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 100_000;
+    cfg.detect_latency = 5_000;
+
+    // Run the synthetic Barnes model: clustered N-body sharing with
+    // occasional tree locks.
+    let profile = profile_named("Barnes").expect("catalog app");
+    let mut machine = Machine::from_profile(&cfg, &profile, 300_000);
+    let report = machine.run_to_completion();
+
+    println!(
+        "== Rebound quickstart: {} on {} cores ==",
+        profile.name, report.cores
+    );
+    println!("cycles               : {}", report.cycles);
+    println!("instructions         : {}", report.insts);
+    println!(
+        "CPI                  : {:.2}",
+        report.cycles as f64 / (report.insts as f64 / report.cores as f64)
+    );
+    println!("checkpoint episodes  : {}", report.checkpoints);
+    println!(
+        "mean interaction set : {:.1} of {} cores ({:.0}%)",
+        report.metrics.ichk_sizes.mean(),
+        report.cores,
+        100.0 * report.ichk_fraction()
+    );
+    println!(
+        "undo log             : {} entries, max {} bytes per interval",
+        report.log_entries, report.log_max_interval_bytes
+    );
+    println!(
+        "extra coherence msgs : {:.1}% (LW-ID / Dep maintenance)",
+        report.msgs.dep_overhead_percent()
+    );
+    let b = report.metrics.breakdown;
+    println!(
+        "ckpt stalls          : wb={} imbalance={} sync={} ipc={}",
+        b.wb_delay, b.wb_imbalance, b.sync_delay, b.ipc_delay
+    );
+
+    // Compare against the Global baseline on the same workload and seed.
+    let mut gcfg = cfg.clone();
+    gcfg.scheme = Scheme::GLOBAL;
+    let g = Machine::from_profile(&gcfg, &profile, 300_000).run_to_completion();
+    let mut ncfg = cfg.clone();
+    ncfg.scheme = Scheme::None;
+    let base = Machine::from_profile(&ncfg, &profile, 300_000).run_to_completion();
+    let pct = |r: &rebound::RunReport| {
+        100.0 * (r.cycles as f64 - base.cycles as f64) / base.cycles as f64
+    };
+    println!();
+    println!("checkpointing overhead vs no checkpointing:");
+    println!("  Global  : {:+.1}%", pct(&g));
+    println!("  Rebound : {:+.1}%", pct(&report));
+}

@@ -1,0 +1,61 @@
+//! Record → serialize → replay: the Pin-frontend workflow (§5 of the
+//! paper) on the reproduction's own trace format.
+//!
+//! Records a workload to an `RBTR` trace file, reads it back, replays it
+//! through the machine, and verifies the replay is cycle-identical to the
+//! live generator run.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use rebound::core::{CoreProgram, Machine, MachineConfig, Scheme};
+use rebound::trace::{record, Trace};
+use rebound::workloads::profile_named;
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let ncores = 8;
+    let quota = 60_000;
+    let profile = profile_named("FFT").expect("catalog app");
+
+    let mut cfg = MachineConfig::paper(ncores);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 20_000;
+
+    // Live run straight off the generators.
+    let live = Machine::from_profile(&cfg, &profile, quota).run_to_completion();
+
+    // Record the same streams and round-trip them through a file.
+    let trace = record(&profile, ncores, cfg.seed, quota);
+    let path = std::env::temp_dir().join("rebound_fft.rbtr");
+    trace.write_to(BufWriter::new(File::create(&path)?))?;
+    let size = std::fs::metadata(&path)?.len();
+    let trace = Trace::read_from(BufReader::new(File::open(&path)?))?;
+
+    println!("== trace_replay: {} on {ncores} cores ==", profile.name);
+    println!("trace file           : {}", path.display());
+    println!("trace size           : {size} bytes");
+    println!("operations           : {}", trace.total_ops());
+    println!("instructions         : {}", trace.total_instructions());
+    println!(
+        "bytes/operation      : {:.2}",
+        size as f64 / trace.total_ops() as f64
+    );
+
+    // Replay the deserialized trace.
+    let programs = trace.into_scripts().into_iter().map(CoreProgram::script).collect();
+    let replay = Machine::with_programs(&cfg, programs).run_to_completion();
+
+    println!();
+    println!("{:<22} {:>12} {:>12}", "", "live", "replay");
+    println!("{:<22} {:>12} {:>12}", "cycles", live.cycles, replay.cycles);
+    println!("{:<22} {:>12} {:>12}", "checkpoints", live.checkpoints, replay.checkpoints);
+    println!("{:<22} {:>12} {:>12}", "log entries", live.log_entries, replay.log_entries);
+    assert_eq!(live.cycles, replay.cycles, "replay must be cycle-identical");
+    println!("\nreplay is cycle-identical to the live run.");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

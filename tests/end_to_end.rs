@@ -1,0 +1,173 @@
+//! Cross-crate integration tests through the `rebound` facade: full
+//! machine runs combining workloads, checkpointing schemes, the power
+//! model and fault recovery.
+
+use rebound::core::{Machine, MachineConfig, Scheme};
+use rebound::engine::{CoreId, Cycle};
+use rebound::power::{run_energy, ActivityCounts, EnergyParams};
+use rebound::{all_profiles, profile_named};
+
+fn small_cfg(n: usize, scheme: Scheme) -> MachineConfig {
+    let mut c = MachineConfig::small(n);
+    c.scheme = scheme;
+    c.ckpt_interval_insts = 10_000;
+    c.detect_latency = 1_000;
+    c
+}
+
+#[test]
+fn every_catalog_app_runs_under_every_scheme() {
+    let schemes = [
+        Scheme::None,
+        Scheme::GLOBAL,
+        Scheme::GLOBAL_DWB,
+        Scheme::REBOUND_NODWB,
+        Scheme::REBOUND,
+        Scheme::REBOUND_BARR,
+        Scheme::REBOUND_NODWB_BARR,
+    ];
+    for p in all_profiles() {
+        for s in schemes {
+            let cfg = small_cfg(6, s);
+            let mut m = Machine::from_profile(&cfg, &p, 25_000);
+            let r = m.run_to_completion();
+            assert!(m.is_finished(), "{} under {}", p.name, s.label());
+            assert!(r.insts >= 6 * 25_000, "{} under {}", p.name, s.label());
+            if s.checkpoints() {
+                assert!(r.checkpoints > 0, "{} under {}", p.name, s.label());
+            } else {
+                assert_eq!(r.checkpoints, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn rebound_interaction_sets_are_never_larger_than_global() {
+    for name in ["Blackscholes", "Water-Sp", "Barnes"] {
+        let p = profile_named(name).unwrap();
+        let g = {
+            let mut m = Machine::from_profile(&small_cfg(8, Scheme::GLOBAL), &p, 30_000);
+            m.run_to_completion()
+        };
+        let r = {
+            let mut m = Machine::from_profile(&small_cfg(8, Scheme::REBOUND), &p, 30_000);
+            m.run_to_completion()
+        };
+        assert!(
+            (g.ichk_fraction() - 1.0).abs() < 1e-9,
+            "Global is always 100%"
+        );
+        assert!(
+            r.ichk_fraction() <= 1.0 + 1e-9,
+            "{name}: Rebound ICHK bounded"
+        );
+        assert!(
+            r.ichk_fraction() < g.ichk_fraction() + 1e-9,
+            "{name}: Rebound must not exceed Global"
+        );
+    }
+}
+
+#[test]
+fn checkpointing_costs_messages_and_log_traffic() {
+    let p = profile_named("FMM").unwrap();
+    let base = {
+        let mut m = Machine::from_profile(&small_cfg(6, Scheme::None), &p, 25_000);
+        m.run_to_completion()
+    };
+    let reb = {
+        let mut m = Machine::from_profile(&small_cfg(6, Scheme::REBOUND), &p, 25_000);
+        m.run_to_completion()
+    };
+    assert_eq!(base.log_entries, 0);
+    assert!(reb.log_entries > 0);
+    assert!(reb.msgs.protocol.get() > 0, "checkpoint protocol ran");
+    assert!(reb.msgs.dep.get() > 0, "LW-ID queries happened");
+    assert_eq!(base.msgs.dep.get(), 0, "no dep traffic without Rebound");
+}
+
+#[test]
+fn fault_recovery_on_a_real_workload_converges() {
+    let p = profile_named("Cholesky").unwrap();
+    let clean = {
+        let mut m = Machine::from_profile(&small_cfg(4, Scheme::REBOUND), &p, 20_000);
+        m.run_to_completion();
+        m
+    };
+    let mut faulty = Machine::from_profile(&small_cfg(4, Scheme::REBOUND), &p, 20_000);
+    faulty.schedule_fault_detection(CoreId(1), Cycle(30_000));
+    let r = faulty.run_to_completion();
+    assert!(r.rollbacks >= 1);
+    // Deterministic convergence: compare a swath of the shared space.
+    for l in 0..2_000u64 {
+        let line = rebound::engine::LineAddr((2u64 << 35) | l);
+        assert_eq!(
+            clean.effective_line_value(line),
+            faulty.effective_line_value(line),
+            "line {l} diverged after recovery"
+        );
+    }
+}
+
+#[test]
+fn power_model_orders_schemes_sanely() {
+    let p = profile_named("Radix").unwrap();
+    let to_counts = |r: &rebound::RunReport| ActivityCounts {
+        instructions: r.insts,
+        l1_accesses: r.metrics.l1_accesses.get(),
+        l2_accesses: r.metrics.l2_accesses.get(),
+        mem_lines: r.metrics.mem_lines.get(),
+        net_msgs: r.msgs.total(),
+        dep_ops: r.metrics.wsig_ops.get(),
+        lwid_updates: r.metrics.lwid_updates.get(),
+        log_entries: r.metrics.log_entries.get(),
+        cycles: r.cycles,
+        has_dep_hardware: r.scheme.tracks_dependences(),
+    };
+    let params = EnergyParams::default();
+    let base = {
+        let mut m = Machine::from_profile(&small_cfg(6, Scheme::None), &p, 25_000);
+        m.run_to_completion()
+    };
+    let reb = {
+        let mut m = Machine::from_profile(&small_cfg(6, Scheme::REBOUND), &p, 25_000);
+        m.run_to_completion()
+    };
+    let e_base = run_energy(&params, &to_counts(&base));
+    let e_reb = run_energy(&params, &to_counts(&reb));
+    assert!(
+        e_reb.energy.total() > e_base.energy.total(),
+        "checkpointing must cost energy"
+    );
+    assert!(e_reb.energy.dep_hardware > 0.0);
+    assert_eq!(e_base.energy.dep_hardware, 0.0);
+}
+
+#[test]
+fn io_pressure_shrinks_global_checkpoint_interval_not_rebounds() {
+    use rebound::core::IoPressure;
+    let p = profile_named("Blackscholes").unwrap();
+    let run = |scheme: Scheme, io: bool| {
+        let mut cfg = small_cfg(8, scheme);
+        if io {
+            cfg.io = Some(IoPressure {
+                core: CoreId(0),
+                period_cycles: 15_000,
+            });
+        }
+        let mut m = Machine::from_profile(&cfg, &p, 40_000);
+        m.run_to_completion().metrics.ckpt_intervals.mean()
+    };
+    let g = run(Scheme::GLOBAL, false);
+    let g_io = run(Scheme::GLOBAL, true);
+    let r = run(Scheme::REBOUND, false);
+    let r_io = run(Scheme::REBOUND, true);
+    assert!(g_io < g, "I/O must shorten Global's interval");
+    let g_drop = g / g_io;
+    let r_drop = r / r_io.max(1.0);
+    assert!(
+        g_drop > r_drop,
+        "Global must be hurt more than Rebound (g {g_drop:.2}x vs r {r_drop:.2}x)"
+    );
+}

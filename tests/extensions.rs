@@ -1,0 +1,128 @@
+//! Cross-crate integration through the facade: the extension subsystems
+//! composed end-to-end the way a downstream user would wire them.
+
+use rebound::core::{CoreProgram, Machine, MachineConfig, OutputCommitBuffer, Scheme};
+use rebound::engine::{CoreId, Cycle};
+use rebound::nvm::{NvmConfig, NvmLog};
+use rebound::swdep::{CommGraph, Granularity, Replay};
+use rebound::trace::{record, Trace};
+use rebound::workloads::profile_named;
+
+/// Trace → wire format → machine → NVM pricing: the full extension
+/// pipeline on one workload.
+#[test]
+fn trace_machine_nvm_pipeline() {
+    let ncores = 6;
+    let profile = profile_named("Water-Sp").expect("catalog app");
+
+    // Record and round-trip the trace.
+    let trace = record(&profile, ncores, 7, 20_000);
+    let mut wire = Vec::new();
+    trace.write_to(&mut wire).expect("serialize");
+    let trace = Trace::read_from(&wire[..]).expect("deserialize");
+
+    // Run the machine on the replayed trace.
+    let mut cfg = MachineConfig::small(ncores);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 6_000;
+    cfg.seed = 7;
+    let programs = trace.into_scripts().into_iter().map(CoreProgram::script).collect();
+    let report = Machine::with_programs(&cfg, programs).run_to_completion();
+    assert!(report.checkpoints > 0);
+    assert!(report.log_entries > 0);
+
+    // Price the measured log volume on PCM and sanity-check the
+    // availability budget at this scale.
+    let mut log = NvmLog::new(NvmConfig::pcm());
+    log.append_lines(report.log_entries);
+    let rec = log.estimate_recovery(report.log_entries, true);
+    assert!(rec.total_cycles() > 0);
+    assert!(rec.total_ms() < 860.0, "availability budget blown at toy scale");
+}
+
+/// Software tracking agrees with hardware tracking through the facade
+/// types: hardware Dep registers rebuilt as a CommGraph contain the
+/// software line-granularity graph of the same scripts.
+///
+/// The containment contract requires both trackers to observe the same
+/// access order, so the scripts are phased — every producer store
+/// finishes (separated by a long compute burst) before any consumer
+/// load — making the dependence set interleaving-independent.
+#[test]
+fn software_graph_is_contained_in_hardware_graph() {
+    use rebound::workloads::Op;
+    use rebound::engine::Addr;
+
+    let ncores = 4;
+    let slot = |i: usize| Addr(0x1_0000 + (i as u64) * 32);
+    let scripts: Vec<Vec<Op>> = (0..ncores)
+        .map(|i| {
+            vec![
+                Op::Store(slot(i)),
+                Op::Compute(50_000),
+                Op::Load(slot((i + 1) % ncores)),
+                Op::Load(slot((i + 2) % ncores)),
+            ]
+        })
+        .collect();
+
+    let sw = Replay::new(scripts.clone(), Granularity::Line).run();
+
+    let mut cfg = MachineConfig::small(ncores);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = u64::MAX / 2;
+    cfg.seed = 3;
+    let programs = scripts.into_iter().map(CoreProgram::script).collect();
+    let mut hw = Machine::with_programs(&cfg, programs);
+    hw.run_to_completion();
+
+    let mut hw_graph = CommGraph::new(ncores);
+    for p in 0..ncores {
+        for c in hw.my_consumers(CoreId(p)).iter() {
+            hw_graph.record(CoreId(p), c);
+        }
+    }
+    assert!(
+        sw.graph.is_subgraph_of(&hw_graph),
+        "software edges must be a subset of hardware edges"
+    );
+}
+
+/// Output commit driven by a real machine's checkpoint cadence: every
+/// response eventually commits and none commits before its seal + L.
+#[test]
+fn output_commit_with_machine_checkpoint_timeline() {
+    let ncores = 4;
+    let l = 1_000u64;
+    let mut cfg = MachineConfig::small(ncores);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 5_000;
+    cfg.detect_latency = l;
+    let profile = profile_named("Apache").expect("catalog app");
+    let mut m = Machine::from_profile(&cfg, &profile, 20_000);
+    let report = m.run_to_completion();
+
+    let per_core = (report.checkpoints / ncores as u64).max(1);
+    let interval_cycles = report.cycles / per_core;
+    let mut buf = OutputCommitBuffer::new(ncores, l);
+    for c in 0..ncores {
+        let mut now = 0u64;
+        for iv in 0..per_core {
+            buf.push(CoreId(c), Cycle(now + 1), iv);
+            now += interval_cycles;
+            buf.checkpoint_complete(CoreId(c), iv, Cycle(now));
+        }
+    }
+    let horizon = report.cycles + l + 1;
+    let mut committed = 0;
+    let mut t = 0;
+    while t <= horizon {
+        t += 250;
+        for out in buf.release(Cycle(t)) {
+            committed += 1;
+            assert!(out.commit_latency() >= l, "committed before safe: {out}");
+        }
+    }
+    assert_eq!(committed as u64, per_core * ncores as u64);
+    assert_eq!(buf.pending(), 0);
+}
