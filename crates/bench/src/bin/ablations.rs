@@ -130,9 +130,12 @@ fn log_filter_sweep(scale: ExpScale) {
     // configuration where dirty lines thrash — the regime the
     // optimization was designed for.
     let mut t = Table::new(["app / L2", "entries (filter on)", "entries (off)", "saved"]);
-    for (app, small_l2) in
-        [("Ocean", false), ("Ocean", true), ("Radix", true), ("Apache", true)]
-    {
+    for (app, small_l2) in [
+        ("Ocean", false),
+        ("Ocean", true),
+        ("Radix", true),
+        ("Apache", true),
+    ] {
         let p = profile_named(app).expect("catalog app");
         let run = |filter: bool| {
             let mut cfg = config_for(Scheme::REBOUND, CORES, scale);

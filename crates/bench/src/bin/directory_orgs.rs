@@ -42,38 +42,43 @@ fn main() {
     }
     println!();
 
-    let mut t = Table::new(["app", "full-map invals", "coarse-4", "coarse-8", "dir2B", "dir4B"]);
+    let mut t = Table::new([
+        "app",
+        "full-map invals",
+        "coarse-4",
+        "coarse-8",
+        "dir2B",
+        "dir4B",
+    ]);
     let (mut sums, mut napps) = ([0.0f64; 5], 0.0f64);
     for profile in all_profiles() {
         let trace = record(&profile, CORES, 1, quota);
         let mut lines: HashMap<u64, LineState> = HashMap::new();
         let mut invals = [0u64; 5];
 
-        let mut access = |lines: &mut HashMap<u64, LineState>,
-                          core: CoreId,
-                          addr: Addr,
-                          is_store: bool| {
-            let la = addr.0 >> 5;
-            let st = lines.entry(la).or_insert_with(|| LineState {
-                vecs: orgs.iter().map(|&o| SharerVector::new(o, CORES)).collect(),
-            });
-            // A store by the sole holder is a silent M/E write: the
-            // directory is not consulted under any organization. Only a
-            // write that must invalidate others pays representation
-            // overshoot. (Ground truth is identical in every vector; read
-            // it from the full-map one.)
-            let silent = is_store
-                && st.vecs[0].exact() == rebound_coherence::CoreSet::singleton(core);
-            for (i, v) in st.vecs.iter_mut().enumerate() {
-                if is_store && !silent {
-                    let mut targets = v.targets();
-                    targets.remove(core);
-                    invals[i] += targets.len() as u64;
-                    v.clear();
+        let mut access =
+            |lines: &mut HashMap<u64, LineState>, core: CoreId, addr: Addr, is_store: bool| {
+                let la = addr.0 >> 5;
+                let st = lines.entry(la).or_insert_with(|| LineState {
+                    vecs: orgs.iter().map(|&o| SharerVector::new(o, CORES)).collect(),
+                });
+                // A store by the sole holder is a silent M/E write: the
+                // directory is not consulted under any organization. Only a
+                // write that must invalidate others pays representation
+                // overshoot. (Ground truth is identical in every vector; read
+                // it from the full-map one.)
+                let silent =
+                    is_store && st.vecs[0].exact() == rebound_coherence::CoreSet::singleton(core);
+                for (i, v) in st.vecs.iter_mut().enumerate() {
+                    if is_store && !silent {
+                        let mut targets = v.targets();
+                        targets.remove(core);
+                        invals[i] += targets.len() as u64;
+                        v.clear();
+                    }
+                    v.add(core);
                 }
-                v.add(core);
-            }
-        };
+            };
 
         // Round-robin replay with the standard sync lowering; ordering
         // detail does not matter for aggregate invalidation counts.

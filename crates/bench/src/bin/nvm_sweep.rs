@@ -58,7 +58,10 @@ fn technology_table(lines: u64) {
         ("STT-MRAM", NvmConfig::stt_mram(), true),
         ("PCM", NvmConfig::pcm(), true),
     ] {
-        let mut log = NvmLog::new(NvmConfig { blocks: 1 << 20, ..cfg });
+        let mut log = NvmLog::new(NvmConfig {
+            blocks: 1 << 20,
+            ..cfg
+        });
         let append = log.append_lines(lines);
         let rec = log.estimate_recovery(lines, nvm_mem);
         t.row([
@@ -79,7 +82,10 @@ fn sizing_table(paper_lines_per_sec: f64) {
         ("16 GiB", 1 << 22),
         ("64 GiB", 1 << 24),
     ] {
-        let cfg = NvmConfig { blocks, ..NvmConfig::pcm() };
+        let cfg = NvmConfig {
+            blocks,
+            ..NvmConfig::pcm()
+        };
         let life = Lifetime::estimate(
             &cfg,
             paper_lines_per_sec / cfg.lines_per_block as f64,
@@ -88,10 +94,18 @@ fn sizing_table(paper_lines_per_sec: f64) {
         t.row([
             label.to_string(),
             life.to_string(),
-            if life.meets_service_life(5.0) { "yes" } else { "no" }.to_string(),
+            if life.meets_service_life(5.0) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
-    println!("## PCM log-area sizing (paper-scale write rate)\n\n{}", t.render());
+    println!(
+        "## PCM log-area sizing (paper-scale write rate)\n\n{}",
+        t.render()
+    );
 }
 
 fn psi_table() {
@@ -116,5 +130,8 @@ fn psi_table() {
             format!("{:.4}", 1.0 + 1.0 / psi as f64),
         ]);
     }
-    println!("## Start-Gap rotation period (hot-block stress)\n\n{}", t.render());
+    println!(
+        "## Start-Gap rotation period (hot-block stress)\n\n{}",
+        t.render()
+    );
 }

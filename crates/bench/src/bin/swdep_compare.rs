@@ -71,7 +71,12 @@ fn main() {
             format!("{:.1}", mean(&|c| line.graph.ichk(c).len())),
             format!("{:.1}", mean(&|c| page.graph.ichk(c).len())),
             format!("{:.1}", mean(&|c| stat.ichk(c).len())),
-            if stat.covers(&line.graph) { "yes" } else { "NO" }.to_string(),
+            if stat.covers(&line.graph) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     println!("## mean transitive ICHK by tracking mode\n\n{}", t.render());

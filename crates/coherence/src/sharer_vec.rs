@@ -105,7 +105,13 @@ impl SharerVector {
             DirOrg::LimitedPointer { pointers } => assert!(pointers > 0, "need >= 1 pointer"),
             DirOrg::FullMap => {}
         }
-        SharerVector { org, ncores: n, exact: CoreSet::new(), pointers: Vec::new(), broadcast: false }
+        SharerVector {
+            org,
+            ncores: n,
+            exact: CoreSet::new(),
+            pointers: Vec::new(),
+            broadcast: false,
+        }
     }
 
     /// The organization in use.
@@ -245,7 +251,10 @@ mod tests {
         assert_eq!(DirOrg::FullMap.bits_per_entry(64), 64);
         assert_eq!(DirOrg::CoarseVector { cluster: 4 }.bits_per_entry(64), 16);
         // 4 pointers * 6 bits + broadcast bit.
-        assert_eq!(DirOrg::LimitedPointer { pointers: 4 }.bits_per_entry(64), 25);
+        assert_eq!(
+            DirOrg::LimitedPointer { pointers: 4 }.bits_per_entry(64),
+            25
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub struct CommittedOutput {
 impl CommittedOutput {
     /// Cycles the output waited in the buffer.
     pub fn commit_latency(&self) -> u64 {
-        self.committed_at.0.saturating_sub(self.output.produced_at.0)
+        self.committed_at
+            .0
+            .saturating_sub(self.output.produced_at.0)
     }
 }
 
@@ -145,7 +147,12 @@ impl OutputCommitBuffer {
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        st.pending.push_back(PendingOutput { core, seq, produced_at: now, interval });
+        st.pending.push_back(PendingOutput {
+            core,
+            seq,
+            produced_at: now,
+            interval,
+        });
         seq
     }
 
@@ -173,7 +180,10 @@ impl OutputCommitBuffer {
                 match safe {
                     Some(safe_at) if now.0 >= safe_at => {
                         let o = st.pending.pop_front().expect("front exists");
-                        let c = CommittedOutput { output: o, committed_at: now };
+                        let c = CommittedOutput {
+                            output: o,
+                            committed_at: now,
+                        };
                         self.committed += 1;
                         self.latency_sum += c.commit_latency();
                         self.latency_max = self.latency_max.max(c.commit_latency());
@@ -243,7 +253,10 @@ mod tests {
     fn output_waits_for_seal_plus_latency() {
         let mut buf = OutputCommitBuffer::new(1, 100);
         buf.push(CoreId(0), Cycle(10), 0);
-        assert!(buf.release(Cycle(1_000_000)).is_empty(), "unsealed: held forever");
+        assert!(
+            buf.release(Cycle(1_000_000)).is_empty(),
+            "unsealed: held forever"
+        );
         buf.checkpoint_complete(CoreId(0), 0, Cycle(50));
         assert!(buf.release(Cycle(149)).is_empty());
         let out = buf.release(Cycle(150));

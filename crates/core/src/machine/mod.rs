@@ -429,8 +429,8 @@ impl Machine {
         cfg.validate().expect("invalid machine configuration");
         assert_eq!(programs.len(), cfg.cores, "one program per core");
         let geom = cfg.l2.geometry();
-        let mut log = UndoLog::new(cfg.log_banks, cfg.log_entry_bytes)
-            .with_filter(cfg.log_first_wb_filter);
+        let mut log =
+            UndoLog::new(cfg.log_banks, cfg.log_entry_bytes).with_filter(cfg.log_first_wb_filter);
         let cores: Vec<CoreCtx> = programs
             .into_iter()
             .enumerate()
@@ -630,6 +630,14 @@ impl Machine {
     pub(crate) fn block_ckpt(&mut self, core: CoreId, kind: OverheadKind) {
         let now = self.now;
         let c = &mut self.cores[core.index()];
+        // A finished core can still be conscripted into a checkpoint
+        // episode (its dirty data must drain), but it has no execution to
+        // park or resume: flipping it to Blocked would let unblock_ckpt
+        // resurrect it to Ready and re-execute Op::End, double-counting
+        // done_cores.
+        if c.run == RunState::Done {
+            return;
+        }
         if let Some((since, k)) = c.block_since.take() {
             c.stall.add(k, now.saturating_since(since));
         }
@@ -903,7 +911,6 @@ impl Machine {
         self.expand_dep_bits(CoreSet::singleton(self.dep_bit_of(core)))
     }
 }
-
 
 impl Machine {
     /// Histogram of pending event kinds (diagnostics).

@@ -13,6 +13,10 @@ impl Machine {
     pub(crate) fn resume_core(&mut self, core: CoreId, extra: u64) {
         let now = self.now;
         let c = &mut self.cores[core.index()];
+        debug_assert!(
+            c.run != RunState::Done,
+            "resume_core would resurrect finished core {core:?}"
+        );
         c.run = RunState::Ready;
         c.busy_until = now + extra;
         if !c.exec_gate {

@@ -237,6 +237,9 @@ fn load_latency_histogram_is_populated_and_shifted_by_contention() {
     );
     // Latencies span the hierarchy: medians within the memory-access
     // class, and some loads reach main memory.
-    assert!(base.quantile_upper_bound(0.5) <= 512, "median within memory class");
+    assert!(
+        base.quantile_upper_bound(0.5) <= 512,
+        "median within memory class"
+    );
     assert!(base.max() >= 200, "some loads reach memory");
 }

@@ -52,7 +52,10 @@ fn check_invariants(r: &RunReport, scheme: Scheme, app: &str) {
             "{ctx}: episodes larger than processor completions"
         );
         // ICHK sizes are within the machine.
-        assert!(r.metrics.ichk_sizes.max() <= CORES as f64, "{ctx}: ICHK > machine");
+        assert!(
+            r.metrics.ichk_sizes.max() <= CORES as f64,
+            "{ctx}: ICHK > machine"
+        );
     } else {
         assert_eq!(r.checkpoints, 0, "{ctx}: phantom checkpoints");
     }
@@ -88,13 +91,21 @@ fn fault_storm_matrix_recovers_everywhere() {
     // Five faults spread across cores and time, several timed to land
     // inside checkpoint episodes (a fault during checkpointing aborts the
     // episode, §3.3.4).
-    let faults: Vec<(usize, u64)> =
-        vec![(0, 9_000), (5, 9_100), (11, 22_000), (11, 22_500), (3, 60_000)];
+    let faults: Vec<(usize, u64)> = vec![
+        (0, 9_000),
+        (5, 9_100),
+        (11, 22_000),
+        (11, 22_500),
+        (3, 60_000),
+    ];
     for scheme in [Scheme::GLOBAL, Scheme::REBOUND, Scheme::REBOUND_NODWB] {
         for app in ["Barnes", "Ocean", "Apache"] {
             let r = run(scheme, app, &faults);
             check_invariants(&r, scheme, app);
-            assert!(r.rollbacks > 0, "{scheme:?}/{app}: faults produced no rollback");
+            assert!(
+                r.rollbacks > 0,
+                "{scheme:?}/{app}: faults produced no rollback"
+            );
             // Bounded work loss (Appendix A): rollbacks cannot exceed the
             // fault count times the machine (every detection rolls back
             // at most one interaction set per core).
@@ -114,7 +125,10 @@ fn rebound_under_io_pressure_and_faults() {
     cfg.scheme = Scheme::REBOUND;
     cfg.ckpt_interval_insts = 5_000;
     cfg.detect_latency = 800;
-    cfg.io = Some(rebound_core::IoPressure { core: CoreId(2), period_cycles: 2_500 });
+    cfg.io = Some(rebound_core::IoPressure {
+        core: CoreId(2),
+        period_cycles: 2_500,
+    });
     let profile = profile_named("Blackscholes").expect("catalog app");
     let mut m = Machine::from_profile(&cfg, &profile, 30_000);
     m.schedule_fault_detection(CoreId(9), Cycle(20_000));

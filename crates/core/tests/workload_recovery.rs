@@ -148,9 +148,14 @@ fn simultaneous_fault_detection_on_all_cores_recovers() {
     let faults: Vec<(usize, u64)> = (0..6).map(|c| (c, 40_000)).collect();
     let faulty = run_machine(&cfg, "FFT", 24_000, &faults);
 
-    let lines: BTreeSet<_> =
-        data_lines(&clean).union(&data_lines(&faulty)).copied().collect();
-    assert_eq!(final_data_state(&clean, &lines), final_data_state(&faulty, &lines));
+    let lines: BTreeSet<_> = data_lines(&clean)
+        .union(&data_lines(&faulty))
+        .copied()
+        .collect();
+    assert_eq!(
+        final_data_state(&clean, &lines),
+        final_data_state(&faulty, &lines)
+    );
     assert!(faulty.report().rollbacks >= 1);
 }
 
@@ -166,7 +171,12 @@ fn back_to_back_faults_within_detection_latency_recover() {
     let clean = run_machine(&cfg, "Blackscholes", 24_000, &[]);
     let faulty = run_machine(&cfg, "Blackscholes", 24_000, &[(1, 30_000), (1, 31_000)]);
 
-    let lines: BTreeSet<_> =
-        data_lines(&clean).union(&data_lines(&faulty)).copied().collect();
-    assert_eq!(final_data_state(&clean, &lines), final_data_state(&faulty, &lines));
+    let lines: BTreeSet<_> = data_lines(&clean)
+        .union(&data_lines(&faulty))
+        .copied()
+        .collect();
+    assert_eq!(
+        final_data_state(&clean, &lines),
+        final_data_state(&faulty, &lines)
+    );
 }

@@ -173,4 +173,3 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycle(5), 'd')));
     }
 }
-

@@ -482,7 +482,10 @@ mod tests {
         let p = CoreId(0);
         log.append_stub(p, 0);
         assert!(log.append(p, 1, LineAddr(9), 0xAA));
-        assert!(log.append(p, 1, LineAddr(9), 0xBB), "filter off: duplicate logged");
+        assert!(
+            log.append(p, 1, LineAddr(9), 0xBB),
+            "filter off: duplicate logged"
+        );
         assert_eq!(log.filtered.get(), 0);
         assert_eq!(log.entries.get(), 2);
     }

@@ -157,14 +157,18 @@ impl NvmDevice {
                 self.wear[copied_frame] += self.cfg.lines_per_block;
             }
         }
-        ServiceTime { cycles: self.cfg.write_cycles }
+        ServiceTime {
+            cycles: self.cfg.write_cycles,
+        }
     }
 
     /// Reads one line at logical block `_block` (reads do not wear PCM,
     /// so only the counter moves).
     pub fn read_line(&mut self, _block: usize) -> ServiceTime {
         self.line_reads += 1;
-        ServiceTime { cycles: self.cfg.read_cycles }
+        ServiceTime {
+            cycles: self.cfg.read_cycles,
+        }
     }
 
     /// Streaming burst of `lines` writes laid out sequentially from
@@ -172,26 +176,22 @@ impl NvmDevice {
     /// charged per underlying block).
     pub fn write_burst(&mut self, start_line: u64, lines: u64) -> ServiceTime {
         for i in 0..lines {
-            let block =
-                ((start_line + i) / self.cfg.lines_per_block) as usize % self.cfg.blocks;
+            let block = ((start_line + i) / self.cfg.lines_per_block) as usize % self.cfg.blocks;
             self.write_line(block);
         }
         ServiceTime {
-            cycles: (lines as f64 * self.cfg.streaming_write_cycles_per_line()).ceil()
-                as u64,
+            cycles: (lines as f64 * self.cfg.streaming_write_cycles_per_line()).ceil() as u64,
         }
     }
 
     /// Streaming burst of `lines` reads (bank-parallel timing).
     pub fn read_burst(&mut self, start_line: u64, lines: u64) -> ServiceTime {
         for i in 0..lines {
-            let block =
-                ((start_line + i) / self.cfg.lines_per_block) as usize % self.cfg.blocks;
+            let block = ((start_line + i) / self.cfg.lines_per_block) as usize % self.cfg.blocks;
             self.read_line(block);
         }
         ServiceTime {
-            cycles: (lines as f64 * self.cfg.streaming_read_cycles_per_line()).ceil()
-                as u64,
+            cycles: (lines as f64 * self.cfg.streaming_read_cycles_per_line()).ceil() as u64,
         }
     }
 
@@ -256,14 +256,21 @@ mod tests {
     fn presets_are_ordered_sanely() {
         let pcm = NvmConfig::pcm();
         let dram = NvmConfig::dram_like();
-        assert!(pcm.write_cycles > pcm.read_cycles, "PCM writes slower than reads");
+        assert!(
+            pcm.write_cycles > pcm.read_cycles,
+            "PCM writes slower than reads"
+        );
         assert!(pcm.write_cycles > dram.write_cycles);
         assert_eq!(dram.read_cycles, dram.write_cycles);
     }
 
     #[test]
     fn streaming_rates_divide_by_banks() {
-        let cfg = NvmConfig { banks: 4, write_cycles: 400, ..NvmConfig::pcm() };
+        let cfg = NvmConfig {
+            banks: 4,
+            write_cycles: 400,
+            ..NvmConfig::pcm()
+        };
         assert_eq!(cfg.streaming_write_cycles_per_line(), 100.0);
     }
 
@@ -307,14 +314,23 @@ mod tests {
         };
         let unleveled = mk(None);
         let leveled = mk(Some(16));
-        assert!(leveled.max_wear() < unleveled.max_wear() / 4,
-            "leveled {} vs unleveled {}", leveled.max_wear(), unleveled.max_wear());
+        assert!(
+            leveled.max_wear() < unleveled.max_wear() / 4,
+            "leveled {} vs unleveled {}",
+            leveled.max_wear(),
+            unleveled.max_wear()
+        );
         assert!(leveled.leveling_efficiency() > unleveled.leveling_efficiency());
     }
 
     #[test]
     fn headroom_shrinks_with_wear() {
-        let cfg = NvmConfig { endurance: 100, blocks: 2, leveling_psi: None, ..NvmConfig::pcm() };
+        let cfg = NvmConfig {
+            endurance: 100,
+            blocks: 2,
+            leveling_psi: None,
+            ..NvmConfig::pcm()
+        };
         let mut dev = NvmDevice::new(cfg);
         assert_eq!(dev.headroom(), 1.0);
         for _ in 0..50 {

@@ -26,21 +26,18 @@ impl Lifetime {
     ///
     /// Panics if `writes_per_sec` is not positive or `efficiency` is
     /// outside `(0, 1]`.
-    pub fn estimate(
-        cfg: &NvmConfig,
-        writes_per_sec: f64,
-        efficiency: f64,
-    ) -> Lifetime {
+    pub fn estimate(cfg: &NvmConfig, writes_per_sec: f64, efficiency: f64) -> Lifetime {
         assert!(writes_per_sec > 0.0, "write rate must be positive");
         assert!(
             efficiency > 0.0 && efficiency <= 1.0,
             "efficiency must be in (0, 1], got {efficiency}"
         );
         if cfg.endurance == u64::MAX {
-            return Lifetime { seconds: f64::INFINITY };
+            return Lifetime {
+                seconds: f64::INFINITY,
+            };
         }
-        let seconds = cfg.endurance as f64 * cfg.blocks as f64 * efficiency
-            / writes_per_sec;
+        let seconds = cfg.endurance as f64 * cfg.blocks as f64 * efficiency / writes_per_sec;
         Lifetime { seconds }
     }
 
@@ -89,7 +86,11 @@ mod tests {
 
     #[test]
     fn poor_leveling_costs_proportionally() {
-        let cfg = NvmConfig { endurance: 1_000_000, blocks: 1000, ..NvmConfig::pcm() };
+        let cfg = NvmConfig {
+            endurance: 1_000_000,
+            blocks: 1000,
+            ..NvmConfig::pcm()
+        };
         let good = Lifetime::estimate(&cfg, 1000.0, 1.0);
         let bad = Lifetime::estimate(&cfg, 1000.0, 0.1);
         assert!((good.seconds / bad.seconds - 10.0).abs() < 1e-6);
@@ -105,9 +106,13 @@ mod tests {
 
     #[test]
     fn display_picks_units() {
-        let day = Lifetime { seconds: 2.0 * 86_400.0 };
+        let day = Lifetime {
+            seconds: 2.0 * 86_400.0,
+        };
         assert_eq!(day.to_string(), "2.0 days");
-        let years = Lifetime { seconds: 10.0 * 365.25 * 86_400.0 };
+        let years = Lifetime {
+            seconds: 10.0 * 365.25 * 86_400.0,
+        };
         assert_eq!(years.to_string(), "10.0 years");
     }
 

@@ -55,15 +55,18 @@ pub struct NvmLog {
 impl NvmLog {
     /// A fresh log on a fresh device.
     pub fn new(cfg: NvmConfig) -> NvmLog {
-        NvmLog { device: NvmDevice::new(cfg), cursor: 0, appended_lines: 0 }
+        NvmLog {
+            device: NvmDevice::new(cfg),
+            cursor: 0,
+            appended_lines: 0,
+        }
     }
 
     /// Appends `lines` log entries (streaming write), advancing the ring
     /// cursor.
     pub fn append_lines(&mut self, lines: u64) -> ServiceTime {
         let t = self.device.write_burst(self.cursor, lines);
-        let capacity =
-            self.device.config().blocks as u64 * self.device.config().lines_per_block;
+        let capacity = self.device.config().blocks as u64 * self.device.config().lines_per_block;
         self.cursor = (self.cursor + lines) % capacity;
         self.appended_lines += lines;
         t
@@ -166,7 +169,10 @@ mod tests {
 
     #[test]
     fn recovery_ms_at_one_ghz() {
-        let r = RecoveryEstimate { scan_cycles: 1_500_000, restore_cycles: 500_000 };
+        let r = RecoveryEstimate {
+            scan_cycles: 1_500_000,
+            restore_cycles: 500_000,
+        };
         assert!((r.total_ms() - 2.0).abs() < 1e-9);
     }
 }

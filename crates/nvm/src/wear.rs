@@ -44,7 +44,14 @@ impl StartGap {
     pub fn new(n: usize, psi: u64) -> StartGap {
         assert!(n > 0, "need at least one block");
         assert!(psi > 0, "gap must move at a positive period");
-        StartGap { n, start: 0, gap: n, psi, writes_since_move: 0, gap_moves: 0 }
+        StartGap {
+            n,
+            start: 0,
+            gap: n,
+            psi,
+            writes_since_move: 0,
+            gap_moves: 0,
+        }
     }
 
     /// Physical frame of logical block `la` (frames run `0..=n`).
@@ -53,7 +60,11 @@ impl StartGap {
     ///
     /// Panics if `la >= n`.
     pub fn map(&self, la: usize) -> usize {
-        assert!(la < self.n, "logical block {la} out of range (n={})", self.n);
+        assert!(
+            la < self.n,
+            "logical block {la} out of range (n={})",
+            self.n
+        );
         let mut pa = (la + self.start) % self.n;
         if pa >= self.gap {
             pa += 1;

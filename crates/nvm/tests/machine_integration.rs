@@ -78,14 +78,20 @@ fn endurance_outlives_service_life_under_checkpoint_traffic() {
     let mut probe = NvmLog::new(small);
     probe.append_lines(capacity * 4);
     let efficiency = probe.device().leveling_efficiency();
-    assert!(efficiency > 0.5, "ring appends should spread wear, got {efficiency}");
+    assert!(
+        efficiency > 0.5,
+        "ring appends should spread wear, got {efficiency}"
+    );
 
     let paper_lines_per_sec = (lines as f64 * 27.0) / 6.5e-3;
     // ~1.5 GB/s of sustained log traffic (the paper's own Table 6.1 implies
     // ~1.1 GB/s: 7.2 MB per 6.5 ms interval). A 1 GiB PCM log area lasts
     // only ~2 years at that rate — the provisioning rule this test pins
     // down is that a 4 GiB log area is needed for a 5-year service life.
-    let big = NvmConfig { blocks: 1_048_576, ..NvmConfig::pcm() }; // 4 GiB log area
+    let big = NvmConfig {
+        blocks: 1_048_576,
+        ..NvmConfig::pcm()
+    }; // 4 GiB log area
     let blocks_per_sec = paper_lines_per_sec / big.lines_per_block as f64;
     let life = rebound_nvm::Lifetime::estimate(&big, blocks_per_sec, efficiency);
     assert!(
@@ -93,7 +99,10 @@ fn endurance_outlives_service_life_under_checkpoint_traffic() {
         "PCM log would wear out in {life} (rate {paper_lines_per_sec:.0} lines/s)"
     );
     // And the undersized area must indeed fail, or the rule is vacuous.
-    let small_area = NvmConfig { blocks: 131_072, ..NvmConfig::pcm() }; // 0.5 GiB
+    let small_area = NvmConfig {
+        blocks: 131_072,
+        ..NvmConfig::pcm()
+    }; // 0.5 GiB
     let short = rebound_nvm::Lifetime::estimate(
         &small_area,
         paper_lines_per_sec / small_area.lines_per_block as f64,

@@ -111,17 +111,21 @@ impl CommGraph {
     /// its own `MyConsumers` confirms the edge (otherwise it Declines, as
     /// when it recently checkpointed — §3.3.4).
     pub fn ichk(&self, initiator: CoreId) -> CoreSet {
-        self.closure(initiator, |g, member| g.producers[member.index()], |g, cand, member| {
-            g.consumers[cand.index()].contains(member)
-        })
+        self.closure(
+            initiator,
+            |g, member| g.producers[member.index()],
+            |g, cand, member| g.consumers[cand.index()].contains(member),
+        )
     }
 
     /// The Interaction Set for Recovery seeded at `initiator`: transitive
     /// closure over `MyConsumers`, with the dual Decline rule (§3.3.5).
     pub fn irec(&self, initiator: CoreId) -> CoreSet {
-        self.closure(initiator, |g, member| g.consumers[member.index()], |g, cand, member| {
-            g.producers[cand.index()].contains(member)
-        })
+        self.closure(
+            initiator,
+            |g, member| g.consumers[member.index()],
+            |g, cand, member| g.producers[cand.index()].contains(member),
+        )
     }
 
     fn closure(
@@ -165,7 +169,12 @@ impl CommGraph {
 
 impl fmt::Display for CommGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "CommGraph({} cores, {} live edges)", self.ncores(), self.live_edges())?;
+        writeln!(
+            f,
+            "CommGraph({} cores, {} live edges)",
+            self.ncores(),
+            self.live_edges()
+        )?;
         for p in 0..self.ncores() {
             if !self.consumers[p].is_empty() {
                 write!(f, "  P{p} ->")?;
@@ -247,7 +256,10 @@ mod tests {
         // would Decline (§3.3.4's "recently checkpointed" case).
         let mut g = chain(2);
         g.clear_core(CoreId(0));
-        assert!(g.producers_of(CoreId(1)).contains(CoreId(0)), "stale bit remains");
+        assert!(
+            g.producers_of(CoreId(1)).contains(CoreId(0)),
+            "stale bit remains"
+        );
         assert_eq!(g.ichk(CoreId(1)).len(), 1, "stale producer declined");
     }
 

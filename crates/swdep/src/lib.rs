@@ -56,14 +56,14 @@
 //! assert_eq!(t.graph().ichk(CoreId(1)).len(), 2); // {P0, P1}
 //! ```
 
-pub mod graph;
 pub mod granularity;
+pub mod graph;
 pub mod replay;
 pub mod static_graph;
 pub mod tracker;
 
-pub use graph::CommGraph;
 pub use granularity::{Granularity, Region};
+pub use graph::CommGraph;
 pub use replay::{Replay, ReplayReport};
 pub use static_graph::StaticGraph;
 pub use tracker::SwTracker;

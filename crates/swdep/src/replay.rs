@@ -8,8 +8,8 @@
 //! would miss the barrier-induced chains of Fig 4.2(b); this replayer
 //! performs the identical lowering while interleaving cores round-robin.
 
-use crate::graph::CommGraph;
 use crate::granularity::Granularity;
+use crate::graph::CommGraph;
 use crate::tracker::SwTracker;
 use rebound_engine::{Addr, CoreId};
 use rebound_workloads::Op;
@@ -241,9 +241,7 @@ impl Replay {
         let waiting: Vec<usize> = (0..self.scripts.len())
             .filter(|&c| self.state[c] == CoreState::AtBarrier)
             .collect();
-        if waiting.is_empty()
-            || self.state.contains(&CoreState::Running)
-        {
+        if waiting.is_empty() || self.state.contains(&CoreState::Running) {
             return;
         }
         // Last arrival in round-robin order is the highest-index waiter.
@@ -318,7 +316,12 @@ mod tests {
     fn locks_create_migratory_dependences() {
         let scripts = vec![
             vec![Op::LockAcquire(3), Op::LockRelease(3)],
-            vec![Op::Compute(2), Op::LockAcquire(3), Op::LockRelease(3), Op::CheckpointHint],
+            vec![
+                Op::Compute(2),
+                Op::LockAcquire(3),
+                Op::LockRelease(3),
+                Op::CheckpointHint,
+            ],
         ];
         let r = Replay::new(scripts, Granularity::Line).run();
         assert_eq!(r.ichk_sizes, vec![2]);
@@ -367,7 +370,11 @@ mod tests {
         // IREC = {P0, P1, P2}.
         let scripts = vec![
             vec![Op::Store(Addr(0x100))],
-            vec![Op::Compute(1), Op::Load(Addr(0x100)), Op::Store(Addr(0x200))],
+            vec![
+                Op::Compute(1),
+                Op::Load(Addr(0x100)),
+                Op::Store(Addr(0x200)),
+            ],
             vec![Op::Compute(2), Op::Compute(2), Op::Load(Addr(0x200))],
         ];
         // Round-robin: ops execute interleaved; the chain completes by
@@ -390,7 +397,11 @@ mod tests {
         let r = Replay::new(scripts, Granularity::Line)
             .with_fault(6, CoreId(1))
             .run();
-        assert_eq!(r.irec_sizes, vec![1], "consumer has no consumers of its own");
+        assert_eq!(
+            r.irec_sizes,
+            vec![1],
+            "consumer has no consumers of its own"
+        );
     }
 
     #[test]

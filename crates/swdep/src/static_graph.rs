@@ -37,7 +37,9 @@ pub struct StaticGraph {
 impl StaticGraph {
     /// An edgeless graph (fully independent threads).
     pub fn independent(n: usize) -> StaticGraph {
-        StaticGraph { graph: CommGraph::new(n) }
+        StaticGraph {
+            graph: CommGraph::new(n),
+        }
     }
 
     /// Every pair may communicate.
@@ -212,7 +214,10 @@ mod tests {
             SharingPattern::AllToAll,
             SharingPattern::Migratory { objects: 64 },
             SharingPattern::Server,
-            SharingPattern::Clustered { cluster: 4, escape: 0.01 },
+            SharingPattern::Clustered {
+                cluster: 4,
+                escape: 0.01,
+            },
         ] {
             let g = StaticGraph::from_pattern(&p, n, false);
             assert_eq!(g.ichk(CoreId(0)).len(), n, "{p:?} must be complete");

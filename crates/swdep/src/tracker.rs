@@ -17,8 +17,8 @@
 //! creates for exclusive read grants — both covered by the containment
 //! properties in `tests/`.
 
-use crate::graph::CommGraph;
 use crate::granularity::{Granularity, Region};
+use crate::graph::CommGraph;
 use rebound_engine::{Addr, CoreId};
 use std::collections::HashMap;
 

@@ -183,9 +183,18 @@ fn static_graph_over_all_catalog_patterns_covers_replayed_profiles() {
     // Every pattern's static graph must cover a small pattern-respecting
     // dynamic run at line granularity (spot check on three shapes).
     for (pattern, reads) in [
-        (SharingPattern::Pipeline, vec![vec![], vec![0], vec![1], vec![2]]),
-        (SharingPattern::Neighbor { span: 1 }, vec![vec![1], vec![2], vec![3], vec![0]]),
-        (SharingPattern::AllToAll, vec![vec![2], vec![3], vec![0, 1], vec![1]]),
+        (
+            SharingPattern::Pipeline,
+            vec![vec![], vec![0], vec![1], vec![2]],
+        ),
+        (
+            SharingPattern::Neighbor { span: 1 },
+            vec![vec![1], vec![2], vec![3], vec![0]],
+        ),
+        (
+            SharingPattern::AllToAll,
+            vec![vec![2], vec![3], vec![0, 1], vec![1]],
+        ),
     ] {
         let replay = Replay::new(phased_scripts(4, &reads), Granularity::Line).run();
         let stat = StaticGraph::from_pattern(&pattern, 4, false);

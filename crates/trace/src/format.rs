@@ -299,7 +299,9 @@ mod tests {
 
     #[test]
     fn embedded_end_is_rejected_at_write() {
-        let t = Trace { scripts: vec![vec![Op::End, Op::Compute(1)]] };
+        let t = Trace {
+            scripts: vec![vec![Op::End, Op::Compute(1)]],
+        };
         let mut buf = Vec::new();
         assert!(matches!(t.write_to(&mut buf), Err(TraceError::BadTag(_))));
     }
@@ -337,9 +339,14 @@ mod tests {
     #[test]
     fn unknown_tag_detected() {
         let mut buf = Vec::new();
-        Trace::from_scripts(vec![vec![Op::Barrier]]).write_to(&mut buf).unwrap();
+        Trace::from_scripts(vec![vec![Op::Barrier]])
+            .write_to(&mut buf)
+            .unwrap();
         *buf.last_mut().unwrap() = 0x42;
-        assert!(matches!(Trace::read_from(&buf[..]), Err(TraceError::BadTag(0x42))));
+        assert!(matches!(
+            Trace::read_from(&buf[..]),
+            Err(TraceError::BadTag(0x42))
+        ));
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn traced_run_is_cycle_identical_to_live_run() {
         let traced = run_traced(&cfg, app, 30_000);
         assert_eq!(live.cycles, traced.cycles, "{app}: cycle mismatch");
         assert_eq!(live.insts, traced.insts, "{app}: instruction mismatch");
-        assert_eq!(live.checkpoints, traced.checkpoints, "{app}: checkpoint mismatch");
+        assert_eq!(
+            live.checkpoints, traced.checkpoints,
+            "{app}: checkpoint mismatch"
+        );
         assert_eq!(live.log_entries, traced.log_entries, "{app}: log mismatch");
     }
 }

@@ -43,17 +43,17 @@ fn main() {
     ] {
         // A 4 GiB log area (see DESIGN.md: the provisioning rule a 5-year
         // service life needs at paper-scale write rates).
-        let cfg = NvmConfig { blocks: 1_048_576, ..dev_cfg };
+        let cfg = NvmConfig {
+            blocks: 1_048_576,
+            ..dev_cfg
+        };
         let mut log = NvmLog::new(cfg);
         let append = log.append_lines(lines);
         let rec = log.estimate_recovery(lines, mem_is_nvm);
         // Steady-state ring appends level wear perfectly (efficiency 1);
         // this short run only touches a prefix of the device.
-        let life = rebound::nvm::Lifetime::estimate(
-            &cfg,
-            lines_per_sec / cfg.lines_per_block as f64,
-            1.0,
-        );
+        let life =
+            rebound::nvm::Lifetime::estimate(&cfg, lines_per_sec / cfg.lines_per_block as f64, 1.0);
         println!(
             "{:<14} {:>14} {:>14.3} {:>16}",
             name,

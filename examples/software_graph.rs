@@ -31,8 +31,9 @@ fn main() {
             .into_scripts()
             .into_iter()
             .map(|mut s| {
-                if let Some(i) =
-                    s.iter().rposition(|o| matches!(o, rebound::workloads::Op::Barrier))
+                if let Some(i) = s
+                    .iter()
+                    .rposition(|o| matches!(o, rebound::workloads::Op::Barrier))
                 {
                     s.truncate(i);
                 }
@@ -95,7 +96,11 @@ fn main() {
         );
         println!(
             "static graph covers dynamic: {}",
-            if stat.covers(&line.graph) { "yes (sound)" } else { "NO — unsound!" }
+            if stat.covers(&line.graph) {
+                "yes (sound)"
+            } else {
+                "NO — unsound!"
+            }
         );
         println!();
     }

@@ -46,14 +46,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // Replay the deserialized trace.
-    let programs = trace.into_scripts().into_iter().map(CoreProgram::script).collect();
+    let programs = trace
+        .into_scripts()
+        .into_iter()
+        .map(CoreProgram::script)
+        .collect();
     let replay = Machine::with_programs(&cfg, programs).run_to_completion();
 
     println!();
     println!("{:<22} {:>12} {:>12}", "", "live", "replay");
     println!("{:<22} {:>12} {:>12}", "cycles", live.cycles, replay.cycles);
-    println!("{:<22} {:>12} {:>12}", "checkpoints", live.checkpoints, replay.checkpoints);
-    println!("{:<22} {:>12} {:>12}", "log entries", live.log_entries, replay.log_entries);
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "checkpoints", live.checkpoints, replay.checkpoints
+    );
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "log entries", live.log_entries, replay.log_entries
+    );
     assert_eq!(live.cycles, replay.cycles, "replay must be cycle-identical");
     println!("\nreplay is cycle-identical to the live run.");
     std::fs::remove_file(&path).ok();

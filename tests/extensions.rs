@@ -26,7 +26,11 @@ fn trace_machine_nvm_pipeline() {
     cfg.scheme = Scheme::REBOUND;
     cfg.ckpt_interval_insts = 6_000;
     cfg.seed = 7;
-    let programs = trace.into_scripts().into_iter().map(CoreProgram::script).collect();
+    let programs = trace
+        .into_scripts()
+        .into_iter()
+        .map(CoreProgram::script)
+        .collect();
     let report = Machine::with_programs(&cfg, programs).run_to_completion();
     assert!(report.checkpoints > 0);
     assert!(report.log_entries > 0);
@@ -37,7 +41,10 @@ fn trace_machine_nvm_pipeline() {
     log.append_lines(report.log_entries);
     let rec = log.estimate_recovery(report.log_entries, true);
     assert!(rec.total_cycles() > 0);
-    assert!(rec.total_ms() < 860.0, "availability budget blown at toy scale");
+    assert!(
+        rec.total_ms() < 860.0,
+        "availability budget blown at toy scale"
+    );
 }
 
 /// Software tracking agrees with hardware tracking through the facade
@@ -50,8 +57,8 @@ fn trace_machine_nvm_pipeline() {
 /// load — making the dependence set interleaving-independent.
 #[test]
 fn software_graph_is_contained_in_hardware_graph() {
-    use rebound::workloads::Op;
     use rebound::engine::Addr;
+    use rebound::workloads::Op;
 
     let ncores = 4;
     let slot = |i: usize| Addr(0x1_0000 + (i as u64) * 32);

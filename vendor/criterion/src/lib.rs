@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate implements the benchmarking surface the workspace's
+//! benches use: [`Criterion::benchmark_group`], group `sample_size` /
+//! `throughput` / `bench_function` / `finish`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both positional
+//! and `name = ...; config = ...; targets = ...` forms).
+//!
+//! Instead of criterion's full statistical pipeline it takes `sample_size`
+//! timed samples after a short warm-up and prints min/median/mean per
+//! benchmark — enough to compare hot paths between commits. Honour
+//! `CRITERION_SAMPLE_MS` to change the per-sample time budget.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time per measurement sample.
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    Duration::from_millis(ms)
+}
+
+/// How a batched routine's setup cost is amortised. The stand-in times
+/// the routine alone regardless of variant, so these are interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for a group's reported throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Bench outside any group (prints under the bare id).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // Warm-up: one untimed sample.
+        let mut bencher = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                per_iter: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.per_iter);
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let prefix = if self.name.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", self.name)
+        };
+        let mut line = format!(
+            "{prefix}{id}: min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(n) => {
+                    line += &format!("  {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0));
+                }
+                Throughput::Elements(n) => {
+                    line += &format!("  {:.0} elem/s", per_sec(n));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures; handed to the benchmark body.
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly within the sample budget and records the
+    /// mean per-iteration time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let budget = sample_budget();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.per_iter = start.elapsed() / iters.max(1) as u32;
+    }
+
+    /// Like [`Bencher::iter`] but with untimed per-iteration setup.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let budget = sample_budget();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.per_iter = total / iters.max(1) as u32;
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,34 @@
+//! Boolean strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// The strategy type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Generates `true` and `false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// `true` with the given probability.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted(p)
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted(f64);
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.0
+    }
+}

@@ -1,0 +1,99 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `element`. `size` is any `usize` strategy — in practice a range like
+/// `0..200` or `6..=6`.
+pub fn vec<S, R>(element: S, size: R) -> VecStrategy<S, R>
+where
+    S: Strategy,
+    R: Strategy<Value = usize>,
+{
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for VecStrategy<S, R>
+where
+    S: Strategy,
+    R: Strategy<Value = usize>,
+{
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.new_value(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` built from up to `size` draws of `element` (duplicates
+/// collapse, exactly like real proptest's `btree_set`).
+pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: Strategy<Value = usize>,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S, R> Strategy for BTreeSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Ord,
+    R: Strategy<Value = usize>,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.new_value(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A `BTreeMap` built from up to `size` draws of `(key, value)`.
+pub fn btree_map<K, V, R>(key: K, value: V, size: R) -> BTreeMapStrategy<K, V, R>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    R: Strategy<Value = usize>,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V, R> {
+    key: K,
+    value: V,
+    size: R,
+}
+
+impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    R: Strategy<Value = usize>,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = self.size.new_value(rng);
+        (0..n)
+            .map(|_| (self.key.new_value(rng), self.value.new_value(rng)))
+            .collect()
+    }
+}

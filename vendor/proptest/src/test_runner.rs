@@ -1,0 +1,117 @@
+//! Test execution: configuration, errors, and the case loop.
+
+use std::fmt;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// How many cases to run, honouring `PROPTEST_CASES` when the suite did
+/// not pin a count. The default (64) keeps the full workspace run fast;
+/// raise it for soak runs: `PROPTEST_CASES=1024 cargo test`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Unused by this stand-in (no shrinking); kept for source
+    /// compatibility with configs that set it.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The input was rejected (e.g. by a filter); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs a strategy's cases against a property closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_u64);
+        TestRunner { config, seed }
+    }
+
+    /// Runs `cases` generated inputs through `test`. Returns a report of
+    /// the first failure (no shrinking), or `Ok` if every case passed.
+    pub fn run<S>(
+        &mut self,
+        strategy: &S,
+        test: impl Fn(S::Value) -> TestCaseResult,
+    ) -> Result<(), String>
+    where
+        S: Strategy,
+        S::Value: fmt::Debug + Clone,
+    {
+        for case in 0..self.config.cases {
+            // Each case gets its own stream so a failure reproduces from
+            // (seed, case) alone, independent of draw counts elsewhere.
+            let mut rng = TestRng::new(self.seed ^ ((case as u64) << 32));
+            let input = strategy.new_value(&mut rng);
+            match test(input.clone()) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => {
+                    return Err(format!(
+                        "proptest case {case}/{} failed: {reason}\n\
+                         failing input: {input:#?}\n\
+                         reproduce with PROPTEST_SEED={}",
+                        self.config.cases, self.seed,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
