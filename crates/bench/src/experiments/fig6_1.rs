@@ -4,20 +4,26 @@
 use rebound_core::Scheme;
 use rebound_workloads::parsec_and_apache;
 
-use crate::{run_cell, ExpScale, Table};
+use crate::{run_cells, CellSpec, ExpScale, Table};
 
 use super::PARSEC_CORES;
 
-/// Runs the experiment and returns the figure's data as a table.
+/// Runs the experiment and returns the figure's data as a table. All
+/// (app × scheme) cells execute in parallel on the campaign harness.
 pub fn run(scale: ExpScale) -> Table {
+    let apps = parsec_and_apache();
+    let cells: Vec<CellSpec> = apps
+        .iter()
+        .flat_map(|p| [Scheme::GLOBAL, Scheme::REBOUND].map(|s| (p.clone(), s, PARSEC_CORES)))
+        .collect();
+    let reports = run_cells(&cells, scale);
+
     let mut t = Table::new(["App", "Global ICHK %", "Rebound ICHK %"]);
     let mut sum = 0.0;
     let mut n = 0.0;
-    for p in parsec_and_apache() {
-        let g = run_cell(&p, Scheme::GLOBAL, PARSEC_CORES, scale);
-        let r = run_cell(&p, Scheme::REBOUND, PARSEC_CORES, scale);
-        let gp = 100.0 * g.ichk_fraction();
-        let rp = 100.0 * r.ichk_fraction();
+    for (p, pair) in apps.iter().zip(reports.chunks(2)) {
+        let gp = 100.0 * pair[0].ichk_fraction();
+        let rp = 100.0 * pair[1].ichk_fraction();
         sum += rp;
         n += 1.0;
         t.row([p.name.to_string(), format!("{gp:.0}"), format!("{rp:.1}")]);

@@ -5,17 +5,23 @@
 use rebound_core::Scheme;
 use rebound_workloads::splash2;
 
-use crate::{run_cell, ExpScale, Table};
+use crate::{run_cells, CellSpec, ExpScale, Table};
 
-/// Runs the experiment and returns the figure's data as a table.
+/// Runs the experiment and returns the figure's data as a table. All
+/// (app × core-count) cells execute in parallel on the campaign harness.
 pub fn run(scale: ExpScale) -> Table {
+    let apps = splash2();
+    let cells: Vec<CellSpec> = apps
+        .iter()
+        .flat_map(|p| [32, 64].map(|cores| (p.clone(), Scheme::REBOUND, cores)))
+        .collect();
+    let reports = run_cells(&cells, scale);
+
     let mut t = Table::new(["App", "ICHK % (32p)", "ICHK % (64p)"]);
     let (mut s32, mut s64, mut n) = (0.0, 0.0, 0.0);
-    for p in splash2() {
-        let r32 = run_cell(&p, Scheme::REBOUND, 32, scale);
-        let r64 = run_cell(&p, Scheme::REBOUND, 64, scale);
-        let p32 = 100.0 * r32.ichk_fraction();
-        let p64 = 100.0 * r64.ichk_fraction();
+    for (p, pair) in apps.iter().zip(reports.chunks(2)) {
+        let p32 = 100.0 * pair[0].ichk_fraction();
+        let p64 = 100.0 * pair[1].ichk_fraction();
         s32 += p32;
         s64 += p64;
         n += 1.0;

@@ -9,7 +9,7 @@
 use rebound_core::{RunReport, Scheme};
 use rebound_workloads::{parsec_and_apache, splash2, AppProfile};
 
-use crate::{run_cell, ExpScale, Table};
+use crate::{run_cells, CellSpec, ExpScale, Table};
 
 use super::{PARSEC_CORES, SPLASH_CORES};
 
@@ -20,20 +20,39 @@ const SCHEMES: [Scheme; 4] = [
     Scheme::REBOUND,
 ];
 
+/// Overheads of the four schemes relative to the baseline, given the five
+/// reports of one app's row (baseline first, then [`SCHEMES`] order).
+fn overheads_of(row: &[RunReport]) -> Vec<f64> {
+    let base = row[0].cycles as f64;
+    row[1..]
+        .iter()
+        .map(|r| 100.0 * (r.cycles as f64 - base) / base)
+        .collect()
+}
+
+/// The five cells of one app's row: the checkpoint-free baseline
+/// followed by [`SCHEMES`].
+fn row_cells(p: &AppProfile, cores: usize) -> Vec<CellSpec> {
+    std::iter::once((p.clone(), Scheme::None, cores))
+        .chain(SCHEMES.iter().map(|&s| (p.clone(), s, cores)))
+        .collect()
+}
+
 /// Overheads of the four schemes for one app, plus the baseline report.
 pub fn app_overheads(p: &AppProfile, cores: usize, scale: ExpScale) -> (Vec<f64>, RunReport) {
-    let base = run_cell(p, Scheme::None, cores, scale);
-    let ovh = SCHEMES
-        .iter()
-        .map(|&s| {
-            let r = run_cell(p, s, cores, scale);
-            100.0 * (r.cycles as f64 - base.cycles as f64) / base.cycles as f64
-        })
-        .collect();
-    (ovh, base)
+    let row = run_cells(&row_cells(p, cores), scale);
+    (
+        overheads_of(&row),
+        row.into_iter().next().expect("baseline"),
+    )
 }
 
 fn suite_table(apps: Vec<AppProfile>, cores: usize, scale: ExpScale) -> Table {
+    // One row of cells per app: the checkpoint-free baseline plus all
+    // four schemes, all executed in parallel on the campaign harness.
+    let cells: Vec<CellSpec> = apps.iter().flat_map(|p| row_cells(p, cores)).collect();
+    let reports = run_cells(&cells, scale);
+
     let mut t = Table::new([
         "App",
         "Global %",
@@ -43,8 +62,8 @@ fn suite_table(apps: Vec<AppProfile>, cores: usize, scale: ExpScale) -> Table {
     ]);
     let mut sums = [0.0f64; 4];
     let mut n = 0.0;
-    for p in &apps {
-        let (ovh, _) = app_overheads(p, cores, scale);
+    for (p, row) in apps.iter().zip(reports.chunks(1 + SCHEMES.len())) {
+        let ovh = overheads_of(row);
         for (s, v) in sums.iter_mut().zip(&ovh) {
             *s += v;
         }

@@ -97,6 +97,19 @@ pub fn run_cell(profile: &AppProfile, scheme: Scheme, cores: usize, scale: ExpSc
     Machine::from_profile(&cfg, profile, scale.quota).run_to_completion()
 }
 
+/// One (profile, scheme, cores) cell of an experiment matrix.
+pub type CellSpec = (AppProfile, Scheme, usize);
+
+/// Runs a whole matrix of cells on the campaign harness's worker pool,
+/// returning reports in cell order. Worker count comes from
+/// `REBOUND_JOBS` (default: all cores); results are independent of it,
+/// since every cell is reproducible from its own `(config, seed)`.
+pub fn run_cells(cells: &[CellSpec], scale: ExpScale) -> Vec<RunReport> {
+    rebound_harness::parallel_map(cells, rebound_harness::default_jobs(), |(p, s, c)| {
+        run_cell(p, *s, *c, scale)
+    })
+}
+
 /// A run plus its checkpoint-free baseline, for overhead computation.
 #[derive(Clone, Debug)]
 pub struct OverheadCell {

@@ -52,6 +52,19 @@ impl Scheme {
         barrier_opt: true,
     };
 
+    /// Every named configuration of the Fig 4.3(a) matrix. Full-matrix
+    /// sweeps (campaigns, cross-scheme property tests) derive from this
+    /// single list so a new scheme automatically joins every sweep.
+    pub const ALL: [Scheme; 7] = [
+        Scheme::None,
+        Scheme::GLOBAL,
+        Scheme::GLOBAL_DWB,
+        Scheme::REBOUND,
+        Scheme::REBOUND_NODWB,
+        Scheme::REBOUND_BARR,
+        Scheme::REBOUND_NODWB_BARR,
+    ];
+
     /// Whether this scheme checkpoints at all.
     pub fn checkpoints(self) -> bool {
         self != Scheme::None

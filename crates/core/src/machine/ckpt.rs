@@ -555,12 +555,34 @@ impl Machine {
         self.cores[idx].drain.gen += 1;
         self.finalize_member_checkpoint(core);
         // A deferred BarCK can now proceed.
-        if self.cores[idx].barck_pending && self.barrier.barck_active {
+        self.maybe_join_pending_barck(core);
+    }
+
+    /// Joins a deferred barrier checkpoint once the core is genuinely
+    /// idle. Must be called at **every** transition that can return a
+    /// core to `Idle` (drain completion, `CkComplete`, `CkRelease`,
+    /// episode aborts): a local-episode *member* is still `Member` when
+    /// its drain finishes — it goes `Idle` only on the initiator's later
+    /// `CkComplete` — so consuming `barck_pending` at only one of these
+    /// points drops the join, the BarCK episode never collects all
+    /// BarCkDones, and the gated barrier release deadlocks the machine
+    /// (seen as every core parked on the barrier flag with an empty
+    /// queue).
+    pub(crate) fn maybe_join_pending_barck(&mut self, core: CoreId) {
+        let idx = core.index();
+        if !self.cores[idx].barck_pending {
+            return;
+        }
+        if !self.barrier.barck_active {
+            // The episode this join was deferred for is gone (completed or
+            // aborted); a future episode re-broadcasts BarCk to everyone.
             self.cores[idx].barck_pending = false;
-            if self.cores[idx].role == CkptRole::Idle {
-                let initiator = self.barrier.barck_initiator.expect("active barck");
-                self.barck_join(core, initiator);
-            }
+            return;
+        }
+        if self.cores[idx].role == CkptRole::Idle && !self.cores[idx].drain.active {
+            self.cores[idx].barck_pending = false;
+            let initiator = self.barrier.barck_initiator.expect("active barck");
+            self.barck_join(core, initiator);
         }
     }
 
@@ -658,8 +680,16 @@ impl Machine {
         self.barrier.barck_initiator = Some(core);
         self.barrier.barck_done = CoreSet::new();
         self.barrier.release_gated = false;
-        // The BarCK_sent flag is a real shared-memory write.
+        // The BarCK_sent flag is a real shared-memory write — but a
+        // *scheme-induced* one, not part of the application's store
+        // stream. Preserve the store-sequence counter across it so every
+        // subsequent application store carries the same (core, seq) value
+        // as under any other scheme; otherwise Rebound_Barr runs commit a
+        // shifted value sequence and cross-scheme/oracle state comparisons
+        // diverge on bit-exact data.
+        let seq_before = self.cores[core.index()].store_seq;
         let _ = self.access(core, layout.barck_sent_line(), true, true);
+        self.cores[core.index()].store_seq = seq_before;
         let n = self.cores.len();
         for i in 0..n {
             let m = CoreId(i);
@@ -798,6 +828,7 @@ impl Machine {
                 *slot = (*slot).max(epoch);
                 if c.role == (CkptRole::Accepted { initiator, epoch }) {
                     c.role = CkptRole::Idle;
+                    self.maybe_join_pending_barck(to);
                 } else {
                     self.dropped_msgs += 1;
                 }
@@ -818,6 +849,7 @@ impl Machine {
                     self.cores[idx].role = CkptRole::Idle;
                     self.cores[idx].exec_gate = false;
                     self.unblock_ckpt(to);
+                    self.maybe_join_pending_barck(to);
                 } else {
                     self.dropped_msgs += 1;
                 }
@@ -1123,6 +1155,7 @@ impl Machine {
                 self.cores[idx].role = CkptRole::Idle;
                 self.cores[idx].exec_gate = false;
                 self.unblock_ckpt(to);
+                self.maybe_join_pending_barck(to);
             } else {
                 self.send(
                     to,

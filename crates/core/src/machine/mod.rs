@@ -570,6 +570,44 @@ impl Machine {
         self.cores[core.index()].insts
     }
 
+    /// Number of cores whose program has finished.
+    ///
+    /// On a cleanly terminated machine this equals [`Machine::ncores`];
+    /// anything less after [`Machine::run_to_completion`] means a core was
+    /// lost (e.g. resurrected or double-counted by checkpoint plumbing).
+    pub fn done_cores(&self) -> usize {
+        self.done_cores
+    }
+
+    /// The store-sequence counter of `core`: how many stores it has
+    /// retired. Store values are a pure function of `(core, store_seq)`,
+    /// so two runs that agree on every core's final counter executed the
+    /// same stores — the recovery oracle compares these across a faulty
+    /// and a golden run.
+    pub fn core_store_seq(&self, core: CoreId) -> u64 {
+        self.cores[core.index()].store_seq
+    }
+
+    /// Every line currently holding *dirty* (not yet written back) data in
+    /// some core's L2, sorted and deduplicated. Together with
+    /// [`Machine::memory`] this is the complete architecturally visible
+    /// data state; the recovery oracle unions it with the memory image so
+    /// lines that never reached memory in one run still get compared.
+    pub fn dirty_lines(&self) -> Vec<LineAddr> {
+        let mut v: Vec<LineAddr> = self
+            .cores
+            .iter()
+            .flat_map(|c| {
+                c.l2.iter()
+                    .filter(|(_, l)| l.state.is_dirty())
+                    .map(|(a, _)| a)
+            })
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
     /// The `MyProducers` of `core`'s current interval (test introspection).
     pub fn my_producers(&self, core: CoreId) -> CoreSet {
         self.cores[core.index()].dep.active().my_producers
@@ -936,6 +974,45 @@ impl Machine {
 }
 
 impl Machine {
+    /// Debug dump of the machine-level synchronization and episode state
+    /// (diagnostics; pairs with [`Machine::debug_roles`]).
+    pub fn debug_sync_state(&self) -> String {
+        let b = &self.barrier;
+        let mut s = format!(
+            "barrier: arrived={} gen={} waiters={} last={:?} barck_active={} \
+             barck_init={:?} barck_done={} release_gated={}\n",
+            b.arrived,
+            b.generation,
+            b.waiters.len(),
+            b.last_arrival,
+            b.barck_active,
+            b.barck_initiator,
+            b.barck_done,
+            b.release_gated,
+        );
+        s.push_str(&format!(
+            "global: active={} coordinator={:?} wb_done={} draining={}\n",
+            self.global.active, self.global.coordinator, self.global.wb_done, self.global.draining,
+        ));
+        let flags: Vec<String> = self
+            .cores
+            .iter()
+            .filter(|c| c.barck_arrived || c.barck_pending || c.barck_wb_done || c.barck_notified)
+            .map(|c| {
+                format!(
+                    "P{}(arr={} pend={} wb={} ntf={})",
+                    c.id.index(),
+                    c.barck_arrived,
+                    c.barck_pending,
+                    c.barck_wb_done,
+                    c.barck_notified
+                )
+            })
+            .collect();
+        s.push_str(&format!("barck core flags: {}\n", flags.join(" ")));
+        s
+    }
+
     /// Debug dump of each core's protocol state (diagnostics).
     pub fn debug_roles(&self) -> String {
         let mut s = String::new();

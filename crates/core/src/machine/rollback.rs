@@ -163,6 +163,7 @@ impl Machine {
             match role {
                 CkptRole::Accepted { .. } => {
                     self.cores[i].role = CkptRole::Idle;
+                    self.maybe_join_pending_barck(id);
                 }
                 _ => self.fast_complete_member(id),
             }
@@ -253,6 +254,7 @@ impl Machine {
         // Unconditional: the core may have gone Ready while gated (e.g. a
         // lock grant during the writeback stall) and needs rescheduling.
         self.unblock_ckpt(core);
+        self.maybe_join_pending_barck(core);
     }
 
     /// Resets one rolling-back core to its target record.

@@ -167,3 +167,35 @@ fn cluster_machine_recovers_to_fault_free_state() {
         );
     }
 }
+
+#[test]
+fn done_core_conscripted_into_cluster_checkpoint_terminates_cleanly() {
+    // Regression test for the seed's Done-core double-count bug: a core
+    // that has already finished (`Done`) but still holds dirty data can be
+    // conscripted into a cluster-mate's checkpoint episode. `block_ckpt`
+    // used to flip it to Blocked, and the episode's `unblock_ckpt` then
+    // resurrected it to Ready — re-executing `Op::End` and counting
+    // `done_cores` twice, so clean runs terminated with unfinished cores
+    // (and faulty ones panicked with "queue drained with live state").
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| match i {
+            // P1 stores (dirty line in its L2) and finishes immediately.
+            1 => CoreProgram::script([Op::Store(line(1)), Op::Store(line(2))]),
+            // P0 initiates a checkpoint well after P1 is Done; the cluster
+            // granularity conscripts all of {P0..P3}, including Done P1.
+            0 => CoreProgram::script([Op::Compute(8_000), Op::CheckpointHint, Op::Compute(20_000)]),
+            _ => CoreProgram::script([Op::Compute(28_000)]),
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cfg(8, 4), programs);
+    let r = m.run_to_completion();
+
+    // The episode completed and the machine terminated with every core
+    // counted done exactly once.
+    assert_eq!(r.checkpoints, 1);
+    assert!(m.is_finished(), "machine wedged after the episode");
+    assert_eq!(m.done_cores(), 8, "done_cores double-counted or lost");
+    // P1's dirty data drained through the episode: its instructions are
+    // exactly its two stores, not a re-executed program.
+    assert_eq!(m.core_insts(CoreId(1)), 2);
+}

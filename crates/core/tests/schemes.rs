@@ -243,3 +243,30 @@ fn load_latency_histogram_is_populated_and_shifted_by_contention() {
     );
     assert!(base.max() >= 200, "some loads reach memory");
 }
+
+/// Regression test for a barrier-optimization deadlock: a core that
+/// received BarCk while *member of a local checkpoint episode* deferred
+/// the join (`barck_pending`), but the deferral was consumed when its
+/// drain finished — while its role was still `Member`, which only
+/// becomes `Idle` on the initiator's later `CkComplete`. The join was
+/// dropped, the BarCK episode never collected every BarCkDone, and the
+/// gated barrier release parked all cores on the flag forever. The
+/// Radix profile at paper geometry and a short interval reproduces the
+/// overlap (frequent barriers + all-to-all traffic keeps local episodes
+/// and BarCK episodes colliding); the machine must terminate.
+#[test]
+fn barrier_opt_survives_overlap_with_local_episodes() {
+    let mut c = MachineConfig::paper(64);
+    c.scheme = Scheme::REBOUND_BARR;
+    c.ckpt_interval_insts = 20_000;
+    c.detect_latency = 1_000;
+    let profile = profile_named("Radix").unwrap();
+    let mut m = Machine::from_profile(&c, &profile, 60_000);
+    let mut steps = 0u64;
+    while m.step() {
+        steps += 1;
+        assert!(steps < 200_000_000, "livelocked");
+    }
+    assert!(m.is_finished(), "machine wedged");
+    assert_eq!(m.done_cores(), 64);
+}

@@ -1,0 +1,141 @@
+//! `rebound-campaign` — run an experiment campaign in parallel and emit
+//! the aggregate results table.
+//!
+//! ```text
+//! rebound-campaign [--spec acceptance|smoke|matrix] [--jobs N]
+//!                  [--filter SUBSTR] [--out FILE.csv] [--json FILE.json]
+//!                  [--no-oracle] [--list]
+//! ```
+//!
+//! * `--spec` — which built-in campaign to run (default `acceptance`:
+//!   36 configurations, every faulty one checked by the differential
+//!   recovery oracle).
+//! * `--jobs N` — worker threads (default: `REBOUND_JOBS` or all cores).
+//!   The aggregate CSV/JSON is byte-identical for any `N`.
+//! * `--filter SUBSTR` — keep only jobs whose label
+//!   (`Scheme/App/c<cores>/s<seed>/<plan>`) contains the substring.
+//! * `--out FILE` — write the CSV there (default: stdout).
+//! * `--json FILE` — additionally write the JSON rendering.
+//! * `--no-oracle` — skip golden replays (faster; faulty runs unchecked).
+//! * `--list` — print the expanded job labels and exit without running.
+//!
+//! Exit status is nonzero if any oracle verdict is a failure.
+
+use std::process::ExitCode;
+
+use rebound_harness::{default_jobs, run_jobs, CampaignSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rebound-campaign [--spec acceptance|smoke|matrix] [--jobs N] \
+         [--filter SUBSTR] [--out FILE.csv] [--json FILE.json] [--no-oracle] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut spec_name = "acceptance".to_string();
+    let mut jobs = default_jobs();
+    let mut filter: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut oracle = true;
+    let mut list = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--spec" => spec_name = value(&mut i),
+            "--jobs" | "-j" => {
+                jobs = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            "--filter" => filter = Some(value(&mut i)),
+            "--out" | "-o" => out = Some(value(&mut i)),
+            "--json" => json = Some(value(&mut i)),
+            "--no-oracle" => oracle = false,
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let mut spec = match spec_name.as_str() {
+        "acceptance" => CampaignSpec::acceptance(),
+        "smoke" => CampaignSpec::smoke(),
+        "matrix" => CampaignSpec::full_matrix(),
+        other => {
+            eprintln!("unknown spec: {other} (expected acceptance, smoke or matrix)");
+            usage();
+        }
+    };
+    spec.oracle = oracle;
+
+    let mut expanded = spec.expand();
+    if let Some(f) = &filter {
+        expanded.retain(|j| j.label().contains(f.as_str()));
+        if expanded.is_empty() {
+            eprintln!("--filter {f:?} matched no jobs");
+            return ExitCode::from(2);
+        }
+    }
+
+    if list {
+        for j in &expanded {
+            println!("{:>4}  {}", j.id, j.label());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "rebound-campaign: {} jobs ({} spec{}) on {} workers",
+        expanded.len(),
+        spec_name,
+        filter
+            .as_ref()
+            .map(|f| format!(", filter {f:?}"))
+            .unwrap_or_default(),
+        jobs
+    );
+    let result = run_jobs(expanded, jobs);
+
+    let csv = result.to_csv();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &csv) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{csv}"),
+    }
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, result.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    eprintln!("{}", result.summary());
+    for f in result.failures() {
+        eprintln!("ORACLE FAILURE {}: {:?}", f.job.label(), f.verdict);
+    }
+    if result.failures().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,373 @@
+//! Job execution and the differential recovery oracle.
+//!
+//! The oracle turns §3's correctness argument into an executable check:
+//! for a faulty run it replays the same `(config, seed)` fault-free to
+//! produce a *golden* run, lets the faulty run roll back through Rebound
+//! recovery and re-execute to completion, then asserts the post-recovery
+//! machine is indistinguishable from the golden one on every
+//! architectural quantity that is timing-independent:
+//!
+//! * the machine terminated cleanly with every core `Done`;
+//! * at least one rollback actually happened (else the fault plan was
+//!   vacuous and the comparison proves nothing);
+//! * for lock-free profiles, total committed instructions and total
+//!   committed stores match the golden run (timing-invariant without
+//!   locks — barrier lowering retires the same totals regardless of
+//!   arrival order, while a contended lock grant retires an extra
+//!   test-and-set per queue pass); and
+//! * for single-writer-data profiles
+//!   ([`AppProfile::deterministic_data`]), additionally the final value
+//!   of **every data line** — the union of both runs' memory images and
+//!   dirty cache lines, sync lines excluded — equals the golden value.
+//!
+//! Lock-protected profiles have timing-dependent interleavings by
+//! design; for those the oracle checks clean termination and that
+//! recovery happened, skips the golden replay entirely, and records the
+//! skip in the checks column.
+//!
+//! [`AppProfile::deterministic_data`]: rebound_workloads::AppProfile::deterministic_data
+
+use std::collections::BTreeSet;
+
+use rebound_core::{Machine, RunReport};
+use rebound_engine::{CoreId, Cycle, LineAddr};
+use rebound_workloads::{profile_named, AddressLayout};
+
+use crate::spec::Job;
+
+/// Hard ceiling on events per run; hitting it means the machine
+/// livelocked, which the oracle reports as a failure instead of hanging
+/// the campaign.
+const STEP_BUDGET: u64 = 200_000_000;
+
+/// What the oracle concluded about one faulty job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// Every applicable invariant held.
+    Pass,
+    /// The run was fault-free or the oracle was disabled; nothing checked.
+    NotApplicable,
+    /// The fault plan never triggered a rollback (e.g. detection scheduled
+    /// after completion), so recovery was not exercised.
+    Vacuous,
+    /// An invariant was violated; the payload says which and how.
+    Fail(String),
+}
+
+impl OracleVerdict {
+    /// Short machine-readable tag for result tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OracleVerdict::Pass => "pass",
+            OracleVerdict::NotApplicable => "-",
+            OracleVerdict::Vacuous => "vacuous",
+            OracleVerdict::Fail(_) => "FAIL",
+        }
+    }
+
+    /// Whether this verdict should fail a campaign.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, OracleVerdict::Fail(_))
+    }
+}
+
+/// The outcome of one executed job: its run report plus, for faulty
+/// oracle-enabled jobs, the recovery verdict and the golden report it was
+/// judged against.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job that ran.
+    pub job: Job,
+    /// Report of the (possibly faulty) run.
+    pub report: RunReport,
+    /// Oracle verdict.
+    pub verdict: OracleVerdict,
+    /// The fault-free twin's report, when the oracle ran.
+    pub golden: Option<RunReport>,
+    /// Which comparisons the oracle performed (for the notes column).
+    pub checks: String,
+}
+
+/// Builds and runs a job's machine, faults included, under a step budget.
+/// Returns the machine and whether it finished within budget.
+fn execute(job: &Job, with_faults: bool) -> (Machine, bool) {
+    let profile = profile_named(&job.app).expect("expand() validated the app name");
+    let cfg = job.config();
+    let mut m = Machine::from_profile(&cfg, &profile, job.scale.quota);
+    if with_faults {
+        for f in job.plan.faults() {
+            m.schedule_fault_detection(CoreId(f.core % cfg.cores), Cycle(f.at_cycle));
+        }
+    }
+    let mut steps = 0u64;
+    while m.step() {
+        steps += 1;
+        if steps >= STEP_BUDGET {
+            return (m, false);
+        }
+    }
+    (m, true)
+}
+
+/// Every data line either machine knows about: the union of both memory
+/// images and both dirty-cache sets, with sync lines (locks, barrier
+/// words — arrival-order-dependent by design) excluded.
+fn data_lines(a: &Machine, b: &Machine) -> BTreeSet<LineAddr> {
+    let layout = AddressLayout;
+    let mut lines: BTreeSet<LineAddr> = BTreeSet::new();
+    for m in [a, b] {
+        lines.extend(m.memory().resident());
+        lines.extend(m.dirty_lines());
+    }
+    lines.retain(|l| !layout.is_sync_line(*l));
+    lines
+}
+
+fn total_insts(m: &Machine) -> u64 {
+    (0..m.ncores()).map(|c| m.core_insts(CoreId(c))).sum()
+}
+
+fn total_stores(m: &Machine) -> u64 {
+    (0..m.ncores()).map(|c| m.core_store_seq(CoreId(c))).sum()
+}
+
+/// Runs one job and, for faulty oracle-enabled jobs, the differential
+/// recovery oracle against a fault-free golden twin.
+pub fn run_job(job: &Job) -> JobOutcome {
+    let (faulty, finished) = execute(job, true);
+    let report = faulty.report();
+
+    if !finished {
+        return JobOutcome {
+            job: job.clone(),
+            report,
+            verdict: OracleVerdict::Fail(format!(
+                "livelock: {STEP_BUDGET} events without terminating"
+            )),
+            golden: None,
+            checks: "budget".to_string(),
+        };
+    }
+
+    if job.plan.is_clean() || !job.oracle {
+        return JobOutcome {
+            job: job.clone(),
+            report,
+            verdict: OracleVerdict::NotApplicable,
+            golden: None,
+            checks: String::new(),
+        };
+    }
+
+    let (verdict, golden, checks) = judge(job, &faulty, &report);
+    JobOutcome {
+        job: job.clone(),
+        report,
+        verdict,
+        golden,
+        checks,
+    }
+}
+
+/// The oracle proper: compares a finished faulty machine against its
+/// fault-free golden twin.
+fn judge(
+    job: &Job,
+    faulty: &Machine,
+    report: &RunReport,
+) -> (OracleVerdict, Option<RunReport>, String) {
+    let mut checks: Vec<&'static str> = vec!["termination"];
+
+    if faulty.done_cores() != faulty.ncores() {
+        return (
+            OracleVerdict::Fail(format!(
+                "terminated with {} of {} cores done",
+                faulty.done_cores(),
+                faulty.ncores()
+            )),
+            None,
+            checks.join("+"),
+        );
+    }
+
+    if report.rollbacks == 0 {
+        return (OracleVerdict::Vacuous, None, checks.join("+"));
+    }
+    checks.push("rollback");
+
+    // Which comparisons apply: committed-work totals are timing-invariant
+    // whenever the profile is lock-free (contended lock grants retire an
+    // extra test-and-set per queue pass); the full data-state comparison
+    // additionally needs single-writer data. If neither applies, skip the
+    // golden replay entirely — it would only repeat the livelock check.
+    let profile = profile_named(&job.app).expect("validated");
+    let check_totals = profile.lock_period.is_none();
+    let check_memory = profile.deterministic_data();
+    if !check_totals && !check_memory {
+        checks.push("state-skipped(nondeterministic-data)");
+        return (OracleVerdict::Pass, None, checks.join("+"));
+    }
+
+    let (golden, golden_finished) = execute(job, false);
+    if !golden_finished {
+        return (
+            OracleVerdict::Fail("golden run livelocked".to_string()),
+            None,
+            checks.join("+"),
+        );
+    }
+    let golden_report = golden.report();
+
+    if check_totals {
+        checks.push("insts");
+        if total_insts(faulty) != total_insts(&golden) {
+            return (
+                OracleVerdict::Fail(format!(
+                    "committed instructions diverged: faulty {} vs golden {}",
+                    total_insts(faulty),
+                    total_insts(&golden)
+                )),
+                Some(golden_report),
+                checks.join("+"),
+            );
+        }
+
+        checks.push("stores");
+        if total_stores(faulty) != total_stores(&golden) {
+            return (
+                OracleVerdict::Fail(format!(
+                    "committed stores diverged: faulty {} vs golden {}",
+                    total_stores(faulty),
+                    total_stores(&golden)
+                )),
+                Some(golden_report),
+                checks.join("+"),
+            );
+        }
+    }
+
+    if check_memory {
+        checks.push("memory");
+        let lines = data_lines(faulty, &golden);
+        let mut mismatches = Vec::new();
+        for &l in &lines {
+            let f = faulty.effective_line_value(l);
+            let g = golden.effective_line_value(l);
+            if f != g {
+                mismatches.push((l, f, g));
+                if mismatches.len() >= 4 {
+                    break;
+                }
+            }
+        }
+        if !mismatches.is_empty() {
+            let detail: Vec<String> = mismatches
+                .iter()
+                .map(|(l, f, g)| format!("{l}: faulty {f:#x} vs golden {g:#x}"))
+                .collect();
+            return (
+                OracleVerdict::Fail(format!(
+                    "post-recovery data diverged on {} of {} lines: {}",
+                    detail.len(),
+                    lines.len(),
+                    detail.join("; ")
+                )),
+                Some(golden_report),
+                checks.join("+"),
+            );
+        }
+    } else {
+        checks.push("memory-skipped(multi-writer-data)");
+    }
+
+    (OracleVerdict::Pass, Some(golden_report), checks.join("+"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, FaultPlan, RunScale};
+    use rebound_core::Scheme;
+
+    fn job(scheme: Scheme, app: &str, plan: FaultPlan) -> Job {
+        Job {
+            id: 0,
+            scheme,
+            app: app.to_string(),
+            cores: 4,
+            seed: 7,
+            plan,
+            scale: RunScale::smoke(),
+            oracle: true,
+        }
+    }
+
+    #[test]
+    fn clean_job_is_not_judged() {
+        let out = run_job(&job(Scheme::REBOUND, "Blackscholes", FaultPlan::clean()));
+        assert_eq!(out.verdict, OracleVerdict::NotApplicable);
+        assert!(out.golden.is_none());
+        assert!(out.report.insts > 0);
+    }
+
+    #[test]
+    fn faulty_rebound_run_passes_the_oracle() {
+        let out = run_job(&job(
+            Scheme::REBOUND,
+            "Blackscholes",
+            FaultPlan::single(1, 20_000),
+        ));
+        assert_eq!(out.verdict, OracleVerdict::Pass, "checks: {}", out.checks);
+        assert!(out.report.rollbacks >= 1);
+        let golden = out.golden.expect("golden twin ran");
+        assert_eq!(golden.rollbacks, 0);
+        assert!(out.checks.contains("memory"));
+    }
+
+    #[test]
+    fn fault_after_completion_is_vacuous() {
+        let out = run_job(&job(
+            Scheme::REBOUND,
+            "Blackscholes",
+            FaultPlan::single(0, u64::MAX / 2),
+        ));
+        assert_eq!(out.verdict, OracleVerdict::Vacuous);
+        assert_eq!(out.report.rollbacks, 0);
+    }
+
+    #[test]
+    fn nondeterministic_profiles_skip_the_state_comparison() {
+        // Raytrace hammers dynamic locks: final data values are
+        // arrival-order-dependent, so only termination is checked.
+        let out = run_job(&job(
+            Scheme::REBOUND,
+            "Raytrace",
+            FaultPlan::single(2, 20_000),
+        ));
+        assert!(
+            !out.verdict.is_failure(),
+            "verdict {:?} ({})",
+            out.verdict,
+            out.checks
+        );
+        if out.verdict == OracleVerdict::Pass {
+            assert!(out.checks.contains("state-skipped"));
+        }
+    }
+
+    #[test]
+    fn every_faulty_scheme_of_the_acceptance_campaign_passes() {
+        for j in CampaignSpec::acceptance().expand() {
+            if j.plan.is_clean() {
+                continue;
+            }
+            let out = run_job(&j);
+            assert!(
+                matches!(out.verdict, OracleVerdict::Pass),
+                "{}: {:?}",
+                j.label(),
+                out.verdict
+            );
+        }
+    }
+}

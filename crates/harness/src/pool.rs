@@ -1,0 +1,148 @@
+//! A minimal order-preserving worker pool on `std::thread`.
+//!
+//! The build environment has no crates.io access, so there is no rayon
+//! here: workers share an atomic cursor into the item slice and each
+//! claims the next unprocessed index. Results are returned in *input
+//! order* regardless of which worker computed them or when — which is
+//! what lets the campaign runner promise byte-identical aggregate output
+//! for any `--jobs` value.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning
+/// the results in input order.
+///
+/// Items are claimed dynamically (an atomic cursor, not static chunking),
+/// so a few slow items do not idle the rest of the pool. `jobs` is
+/// clamped to `1..=items.len()`; `jobs <= 1` runs inline on the calling
+/// thread. If `f` panics on any item, the panic is resurfaced on the
+/// calling thread after the pool drains.
+///
+/// # Example
+///
+/// ```
+/// let squares = rebound_harness::parallel_map(&[1u64, 2, 3, 4], 2, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if jobs <= 1 || n == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = jobs.min(n);
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+
+    let run_worker = || {
+        let mut produced: Vec<(usize, R)> = Vec::new();
+        // Keep claiming even after a panic elsewhere: workers are
+        // independent, and the panic is re-raised once all joins finish.
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            produced.push((i, f(&items[i])));
+        }
+        produced
+    };
+
+    let mut panic_payload = None;
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| s.spawn(|| catch_unwind(AssertUnwindSafe(run_worker))))
+            .collect();
+        for h in handles {
+            match h.join().expect("worker thread itself never panics") {
+                Ok(produced) => {
+                    for (i, r) in produced {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// The default worker count: `REBOUND_JOBS` if set, else the machine's
+/// available parallelism, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("REBOUND_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 8, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn order_is_preserved_for_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 64, 1000] {
+            assert_eq!(
+                parallel_map(&items, jobs, |x| x * 3 + 1),
+                expect,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let items: Vec<u64> = (0..100).collect();
+        parallel_map(&items, 7, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "item 13 exploded")]
+    fn worker_panics_propagate() {
+        let items: Vec<u64> = (0..64).collect();
+        parallel_map(&items, 4, |x| {
+            if *x == 13 {
+                panic!("item 13 exploded");
+            }
+            *x
+        });
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Typed aggregation of campaign results, with CSV and JSON emitters.
+//!
+//! Every emitted field is a deterministic function of the job and its
+//! run (no wall-clock times, no thread ids), and rows are ordered by job
+//! id — so the same campaign produces **byte-identical** output for any
+//! worker count. Timing goes to the human summary only.
+
+use std::fmt::Write as _;
+
+use crate::oracle::JobOutcome;
+
+/// Aggregated results of one campaign execution.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Outcomes sorted by job id.
+    pub outcomes: Vec<JobOutcome>,
+    /// Worker threads used (reporting only; never affects the rows).
+    pub jobs_used: usize,
+    /// Wall-clock milliseconds (reporting only).
+    pub wall_ms: u128,
+}
+
+/// The CSV column set, in order.
+const COLUMNS: &[&str] = &[
+    "id",
+    "scheme",
+    "app",
+    "cores",
+    "seed",
+    "plan",
+    "cycles",
+    "insts",
+    "checkpoints",
+    "rollbacks",
+    "msgs",
+    "log_entries",
+    "log_peak_bytes",
+    "ichk_pct",
+    "oracle",
+    "oracle_checks",
+    "detail",
+];
+
+impl CampaignResult {
+    fn row_fields(o: &JobOutcome) -> Vec<String> {
+        let detail = match &o.verdict {
+            crate::oracle::OracleVerdict::Fail(d) => d.clone(),
+            _ => String::new(),
+        };
+        vec![
+            o.job.id.to_string(),
+            o.job.scheme.label().to_string(),
+            o.job.app.clone(),
+            o.job.cores.to_string(),
+            o.job.seed.to_string(),
+            o.job.plan.label(),
+            o.report.cycles.to_string(),
+            o.report.insts.to_string(),
+            o.report.checkpoints.to_string(),
+            o.report.rollbacks.to_string(),
+            o.report.msgs.total().to_string(),
+            o.report.log_entries.to_string(),
+            o.report.log_max_interval_bytes.to_string(),
+            format!("{:.3}", 100.0 * o.report.ichk_fraction()),
+            o.verdict.tag().to_string(),
+            o.checks.clone(),
+            detail,
+        ]
+    }
+
+    /// Renders the aggregate CSV (header + one row per job, id order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&COLUMNS.join(","));
+        out.push('\n');
+        for o in &self.outcomes {
+            let fields: Vec<String> = Self::row_fields(o).iter().map(|f| csv_field(f)).collect();
+            out.push_str(&fields.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the results as a JSON array of objects (same fields as the
+    /// CSV, with numeric fields as JSON numbers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let fields = Self::row_fields(o);
+            let mut obj = String::from("  {");
+            for (j, (name, value)) in COLUMNS.iter().zip(&fields).enumerate() {
+                if j > 0 {
+                    obj.push_str(", ");
+                }
+                let numeric = matches!(
+                    *name,
+                    "id" | "cores"
+                        | "seed"
+                        | "cycles"
+                        | "insts"
+                        | "checkpoints"
+                        | "rollbacks"
+                        | "msgs"
+                        | "log_entries"
+                        | "log_peak_bytes"
+                        | "ichk_pct"
+                );
+                if numeric {
+                    let _ = write!(obj, "\"{name}\": {value}");
+                } else {
+                    let _ = write!(obj, "\"{name}\": {}", json_string(value));
+                }
+            }
+            obj.push('}');
+            if i + 1 < self.outcomes.len() {
+                obj.push(',');
+            }
+            out.push_str(&obj);
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Outcomes whose oracle verdict is a failure.
+    pub fn failures(&self) -> Vec<&JobOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict.is_failure())
+            .collect()
+    }
+
+    /// Human summary (the only place wall time appears).
+    pub fn summary(&self) -> String {
+        let faulty = self
+            .outcomes
+            .iter()
+            .filter(|o| !o.job.plan.is_clean())
+            .count();
+        let passed = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, crate::oracle::OracleVerdict::Pass))
+            .count();
+        let vacuous = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, crate::oracle::OracleVerdict::Vacuous))
+            .count();
+        format!(
+            "{} jobs ({} faulty: {} oracle-passed, {} vacuous, {} FAILED) on {} workers in {:.1}s",
+            self.outcomes.len(),
+            faulty,
+            passed,
+            vacuous,
+            self.failures().len(),
+            self.jobs_used,
+            self.wall_ms as f64 / 1_000.0
+        )
+    }
+}
+
+/// Quotes a CSV field if it contains a comma, quote or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("x"), "\"x\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,343 @@
+//! Campaign specifications: the cartesian experiment matrix and its
+//! expansion into runnable jobs.
+
+use rebound_core::{MachineConfig, Scheme};
+use rebound_workloads::profile_named;
+
+/// One injected transient fault: *detected* at `core` at cycle `at_cycle`
+/// (§3.2 — the caller chooses the detection instant directly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Faulty core (taken modulo the job's core count at run time).
+    pub core: usize,
+    /// Detection cycle.
+    pub at_cycle: u64,
+}
+
+/// A named set of faults injected into one run. The empty plan is the
+/// fault-free run every campaign also measures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn clean() -> FaultPlan {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// A single fault detected at `core` at `at_cycle`.
+    pub fn single(core: usize, at_cycle: u64) -> FaultPlan {
+        FaultPlan {
+            faults: vec![FaultSpec { core, at_cycle }],
+        }
+    }
+
+    /// An arbitrary multi-fault plan.
+    pub fn multi(faults: Vec<FaultSpec>) -> FaultPlan {
+        FaultPlan { faults }
+    }
+
+    /// The injected faults.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Whether this is the fault-free plan.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Compact label used in job labels and result tables:
+    /// `clean`, or `f<core>@<cycle>` terms joined by `+`.
+    pub fn label(&self) -> String {
+        if self.faults.is_empty() {
+            return "clean".to_string();
+        }
+        self.faults
+            .iter()
+            .map(|f| format!("f{}@{}", f.core, f.at_cycle))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// Run-size parameters shared by every job of a campaign. Jobs use the
+/// scaled-down [`MachineConfig::small`] geometry, so these numbers are in
+/// the same regime as the workspace's integration tests, not the paper's
+/// 4M-instruction intervals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunScale {
+    /// Checkpoint interval, instructions.
+    pub interval: u64,
+    /// Instruction quota per core.
+    pub quota: u64,
+    /// Fault-detection latency bound L, cycles.
+    pub detect_latency: u64,
+}
+
+impl RunScale {
+    /// The default campaign scale (matches the recovery test suite).
+    pub fn campaign() -> RunScale {
+        RunScale {
+            interval: 8_000,
+            quota: 24_000,
+            detect_latency: 500,
+        }
+    }
+
+    /// A smaller scale for CI smoke campaigns.
+    pub fn smoke() -> RunScale {
+        RunScale {
+            interval: 6_000,
+            quota: 12_000,
+            detect_latency: 500,
+        }
+    }
+
+    /// The tiniest useful scale (full-matrix determinism sweeps).
+    pub fn tiny() -> RunScale {
+        RunScale {
+            interval: 2_000,
+            quota: 8_000,
+            detect_latency: 500,
+        }
+    }
+}
+
+/// A campaign: the cartesian product of schemes × applications × core
+/// counts × seeds × fault plans, plus the run scale and whether the
+/// differential recovery oracle validates the faulty runs.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Checkpointing schemes under test.
+    pub schemes: Vec<Scheme>,
+    /// Application profile names (must exist in the workload catalog).
+    pub apps: Vec<String>,
+    /// Machine sizes.
+    pub core_counts: Vec<usize>,
+    /// RNG seeds.
+    pub seeds: Vec<u64>,
+    /// Fault plans; include [`FaultPlan::clean`] to also measure
+    /// fault-free behaviour.
+    pub plans: Vec<FaultPlan>,
+    /// Run-size parameters.
+    pub scale: RunScale,
+    /// Run the differential recovery oracle on every faulty job.
+    pub oracle: bool,
+}
+
+impl CampaignSpec {
+    /// The default campaign: 3 schemes × 3 single-writer applications ×
+    /// 2 seeds × {clean, one fault} at 4 cores — 36 configurations, all
+    /// faulty ones oracle-checked. This is the matrix the
+    /// `rebound-campaign` binary runs when no spec is named.
+    pub fn acceptance() -> CampaignSpec {
+        CampaignSpec {
+            schemes: vec![Scheme::REBOUND, Scheme::REBOUND_NODWB, Scheme::GLOBAL],
+            apps: vec![
+                "Blackscholes".to_string(),
+                "FFT".to_string(),
+                "Ocean".to_string(),
+            ],
+            core_counts: vec![4],
+            seeds: vec![1, 2],
+            plans: vec![FaultPlan::clean(), FaultPlan::single(1, 30_000)],
+            scale: RunScale::campaign(),
+            oracle: true,
+        }
+    }
+
+    /// A tiny 2-seed campaign for CI: 2 schemes × 2 applications ×
+    /// 2 seeds × {clean, one fault} — 16 configurations.
+    pub fn smoke() -> CampaignSpec {
+        CampaignSpec {
+            schemes: vec![Scheme::REBOUND, Scheme::GLOBAL],
+            apps: vec!["Blackscholes".to_string(), "FFT".to_string()],
+            core_counts: vec![4],
+            seeds: vec![1, 2],
+            plans: vec![FaultPlan::clean(), FaultPlan::single(1, 20_000)],
+            scale: RunScale::smoke(),
+            oracle: true,
+        }
+    }
+
+    /// The fault-free full matrix: every `Scheme` const × every catalog
+    /// profile at one seed. Used by the `--ignored` determinism test and
+    /// `rebound-campaign --spec matrix`.
+    pub fn full_matrix() -> CampaignSpec {
+        CampaignSpec {
+            schemes: Scheme::ALL.to_vec(),
+            apps: rebound_workloads::all_profiles()
+                .iter()
+                .map(|p| p.name.to_string())
+                .collect(),
+            core_counts: vec![4],
+            seeds: vec![42],
+            plans: vec![FaultPlan::clean()],
+            scale: RunScale::tiny(),
+            oracle: true,
+        }
+    }
+
+    /// Expands the cartesian product into jobs with dense ids, in a fixed
+    /// deterministic order (scheme-major, then app, cores, seed, plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an application name is not in the workload catalog or
+    /// any axis is empty.
+    pub fn expand(&self) -> Vec<Job> {
+        assert!(
+            !self.schemes.is_empty()
+                && !self.apps.is_empty()
+                && !self.core_counts.is_empty()
+                && !self.seeds.is_empty()
+                && !self.plans.is_empty(),
+            "every campaign axis needs at least one entry"
+        );
+        for app in &self.apps {
+            assert!(
+                profile_named(app).is_some(),
+                "unknown application profile {app:?}"
+            );
+        }
+        let mut jobs = Vec::new();
+        for &scheme in &self.schemes {
+            for app in &self.apps {
+                for &cores in &self.core_counts {
+                    for &seed in &self.seeds {
+                        for plan in &self.plans {
+                            jobs.push(Job {
+                                id: jobs.len(),
+                                scheme,
+                                app: app.clone(),
+                                cores,
+                                seed,
+                                plan: plan.clone(),
+                                scale: self.scale,
+                                oracle: self.oracle,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One fully specified run of the campaign matrix.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Dense id in expansion order; results are aggregated by it.
+    pub id: usize,
+    /// Checkpointing scheme.
+    pub scheme: Scheme,
+    /// Application profile name.
+    pub app: String,
+    /// Core count.
+    pub cores: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Injected faults (possibly clean).
+    pub plan: FaultPlan,
+    /// Run-size parameters.
+    pub scale: RunScale,
+    /// Whether the recovery oracle validates this job (faulty jobs only).
+    pub oracle: bool,
+}
+
+impl Job {
+    /// Human-readable label, also the target of `--filter` substring
+    /// matching: `Scheme/App/c<cores>/s<seed>/<plan>`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/c{}/s{}/{}",
+            self.scheme.label(),
+            self.app,
+            self.cores,
+            self.seed,
+            self.plan.label()
+        )
+    }
+
+    /// The machine configuration this job runs.
+    pub fn config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::small(self.cores);
+        cfg.scheme = self.scheme;
+        cfg.ckpt_interval_insts = self.scale.interval;
+        cfg.detect_latency = self.scale.detect_latency;
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_campaign_is_at_least_24_configs() {
+        let jobs = CampaignSpec::acceptance().expand();
+        assert!(jobs.len() >= 24, "only {} jobs", jobs.len());
+        // Dense ids in order.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+        }
+        // Every faulty Rebound config is oracle-eligible.
+        assert!(jobs
+            .iter()
+            .any(|j| !j.plan.is_clean() && j.scheme.tracks_dependences() && j.oracle));
+    }
+
+    #[test]
+    fn full_matrix_covers_all_schemes_and_apps() {
+        let jobs = CampaignSpec::full_matrix().expand();
+        assert_eq!(
+            jobs.len(),
+            Scheme::ALL.len() * rebound_workloads::all_profiles().len()
+        );
+    }
+
+    #[test]
+    fn plan_labels() {
+        assert_eq!(FaultPlan::clean().label(), "clean");
+        assert_eq!(FaultPlan::single(1, 30_000).label(), "f1@30000");
+        assert_eq!(
+            FaultPlan::multi(vec![
+                FaultSpec {
+                    core: 0,
+                    at_cycle: 10
+                },
+                FaultSpec {
+                    core: 2,
+                    at_cycle: 20
+                },
+            ])
+            .label(),
+            "f0@10+f2@20"
+        );
+    }
+
+    #[test]
+    fn job_label_and_config() {
+        let jobs = CampaignSpec::acceptance().expand();
+        let j = &jobs[0];
+        assert!(j.label().contains('/'));
+        let cfg = j.config();
+        assert_eq!(cfg.cores, j.cores);
+        assert_eq!(cfg.scheme, j.scheme);
+        assert_eq!(cfg.seed, j.seed);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application profile")]
+    fn unknown_app_rejected() {
+        let mut spec = CampaignSpec::smoke();
+        spec.apps = vec!["Nonesuch".to_string()];
+        spec.expand();
+    }
+}

@@ -59,6 +59,13 @@ impl MainMemory {
         self.lines.len()
     }
 
+    /// Iterates the addresses of all resident (nonzero) lines without
+    /// copying the map — enough for oracles that only need the touched
+    /// line set.
+    pub fn resident(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.keys().copied()
+    }
+
     /// Snapshot of the full (nonzero) memory state, for oracle comparison in
     /// rollback tests.
     pub fn snapshot(&self) -> HashMap<LineAddr, u64> {

@@ -86,6 +86,15 @@ impl AddressLayout {
         addr.0 >> REGION_SHIFT == 3
     }
 
+    /// Whether `line` (a 32-byte-line address, i.e. byte address `>> 5`)
+    /// lies in the sync region. Lock and barrier words are arrival-order-
+    /// dependent by design, so recovery oracles exclude them from data
+    /// comparisons.
+    #[inline]
+    pub fn is_sync_line(&self, line: rebound_engine::LineAddr) -> bool {
+        line.raw() >> (REGION_SHIFT - 5) == 3
+    }
+
     /// Whether `addr` lies in the shared-data region.
     #[inline]
     pub fn is_shared_data(&self, addr: Addr) -> bool {

@@ -23,6 +23,8 @@ pub mod catalog;
 pub mod layout;
 pub mod op;
 pub mod profile;
+#[cfg(feature = "strategies")]
+pub mod strategies;
 pub mod stream;
 
 pub use catalog::{all_profiles, barrier_intensive, parsec_and_apache, profile_named, splash2};

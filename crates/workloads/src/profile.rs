@@ -184,6 +184,21 @@ impl AppProfile {
             if p == 0 {
                 return Err("barrier_period must be positive".into());
             }
+            // Liveness precondition of the synthetic SPMD model: barrier
+            // episodes are keyed to instruction-count thresholds (every
+            // multiple of the period), and the post-barrier imbalance
+            // draw adds up to 2x the mean. If that draw can overshoot a
+            // whole period, one core may cross its quota (emitting its
+            // final barrier) while a slower-drawing core still owes a
+            // regular barrier — mismatched barrier counts deadlock the
+            // run. Every catalog profile satisfies this by a wide margin.
+            if self.barrier_imbalance >= p.div_ceil(2) {
+                return Err(format!(
+                    "barrier imbalance {} can overshoot the barrier period {} \
+                     (needs 2*imbalance < period)",
+                    self.barrier_imbalance, p
+                ));
+            }
         }
         if let Some(p) = self.lock_period {
             if p == 0 {
@@ -214,6 +229,22 @@ impl AppProfile {
     /// barrier per 200k instructions).
     pub fn is_barrier_intensive(&self) -> bool {
         matches!(self.barrier_period, Some(p) if p <= 200_000)
+    }
+
+    /// Whether the application's *data* lines have a single writer, making
+    /// final data values independent of timing: no lock-protected shared
+    /// data and no multi-writer global-pool traffic (migratory objects,
+    /// server scoreboards). Sharing then happens only by reading a
+    /// partner's slice. Runs of such profiles end in a final data state
+    /// (and committed-store counts) that any scheme — or a faulty run
+    /// after recovery — must reproduce exactly, which is what makes them
+    /// usable as differential-oracle subjects.
+    pub fn deterministic_data(&self) -> bool {
+        self.lock_period.is_none()
+            && !matches!(
+                self.pattern,
+                SharingPattern::Migratory { .. } | SharingPattern::Server
+            )
     }
 }
 
@@ -256,6 +287,31 @@ mod tests {
         assert!(p.validate().is_err());
         p.barrier_period = Some(50_000);
         assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn overshooting_barrier_imbalance_rejected() {
+        let mut p = AppProfile::base("x", Suite::Splash2);
+        p.barrier_period = Some(10_000);
+        p.barrier_imbalance = 5_000; // draw can reach 10_000 >= period
+        assert!(p.validate().is_err());
+        p.barrier_imbalance = 4_999;
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn deterministic_data_classification() {
+        let mut p = AppProfile::base("x", Suite::Splash2);
+        p.lock_period = None;
+        p.pattern = SharingPattern::AllToAll;
+        assert!(p.deterministic_data());
+        p.lock_period = Some(1_000);
+        assert!(!p.deterministic_data());
+        p.lock_period = None;
+        p.pattern = SharingPattern::Migratory { objects: 8 };
+        assert!(!p.deterministic_data());
+        p.pattern = SharingPattern::Server;
+        assert!(!p.deterministic_data());
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Proptest strategies for workload types.
+//!
+//! [`arb_profile`] samples the whole knob space of [`AppProfile`] —
+//! every sharing pattern, optional barriers and locks — so property
+//! tests sweep applications the hand-written catalog never names.
+//! [`arb_deterministic_profile`] restricts to profiles whose committed
+//! work is timing-independent ([`AppProfile::deterministic_data`] and
+//! lock-free), the precondition for cross-scheme and recovery-oracle
+//! equality properties. [`arb_stream`] builds a ready-to-pull
+//! [`OpStream`] from a profile.
+//!
+//! Every generated profile satisfies [`AppProfile::validate`] by
+//! construction.
+
+use proptest::prelude::*;
+
+use crate::op::Op;
+use crate::profile::{AppProfile, SharingPattern, Suite};
+use crate::stream::OpStream;
+use rebound_engine::CoreId;
+
+/// Strategy over every [`SharingPattern`] variant, parameters included.
+pub fn arb_pattern() -> impl Strategy<Value = SharingPattern> {
+    prop_oneof![
+        Just(SharingPattern::Private),
+        (1usize..5).prop_map(|span| SharingPattern::Neighbor { span }),
+        Just(SharingPattern::Pipeline),
+        (2usize..48, 0.0f64..0.05)
+            .prop_map(|(cluster, escape)| SharingPattern::Clustered { cluster, escape }),
+        Just(SharingPattern::AllToAll),
+        (4u64..64).prop_map(|objects| SharingPattern::Migratory { objects }),
+        Just(SharingPattern::Server),
+    ]
+}
+
+/// Strategy over single-writer-data patterns only (no migratory pool, no
+/// server scoreboard).
+pub fn arb_single_writer_pattern() -> impl Strategy<Value = SharingPattern> {
+    prop_oneof![
+        Just(SharingPattern::Private),
+        (1usize..5).prop_map(|span| SharingPattern::Neighbor { span }),
+        Just(SharingPattern::Pipeline),
+        (2usize..48, 0.0f64..0.05)
+            .prop_map(|(cluster, escape)| SharingPattern::Clustered { cluster, escape }),
+        Just(SharingPattern::AllToAll),
+    ]
+}
+
+/// Optional barrier schedule: `(period, imbalance)` with the imbalance
+/// drawn as a fraction of the period small enough to satisfy the
+/// `2*imbalance < period` liveness precondition of
+/// [`AppProfile::validate`].
+fn arb_barrier() -> impl Strategy<Value = Option<(u64, u64)>> {
+    prop_oneof![
+        Just(None),
+        (3_000u64..50_000, 0.0f64..0.49)
+            .prop_map(|(period, frac)| Some((period, (period as f64 * frac) as u64))),
+    ]
+}
+
+/// The rate/footprint core of a profile: (mem_ratio, write_frac,
+/// shared_frac, comm_frac, footprint seed).
+type RateTuple = (f64, f64, f64, f64, u64);
+
+fn arb_rates() -> impl Strategy<Value = RateTuple> {
+    (
+        0.05f64..0.5,
+        0.1f64..0.6,
+        0.0f64..0.6,
+        0.0f64..0.01,
+        1u64..2_048,
+    )
+}
+
+fn apply_rates(mut p: AppProfile, rates: RateTuple) -> AppProfile {
+    let (mem_ratio, write_frac, shared_frac, comm_frac, fp) = rates;
+    p.mem_ratio = mem_ratio;
+    p.write_frac = write_frac;
+    p.shared_frac = shared_frac;
+    p.comm_frac = comm_frac;
+    // Footprints derived from one seed: positive, internally ordered.
+    p.private_lines = 64 + fp;
+    p.slice_lines = 32 + fp / 2;
+    p.global_lines = 16 + fp / 4;
+    p.private_write_lines = 1 + fp / 16;
+    p.slice_write_lines = 1 + fp / 32;
+    p.compute_burst = 5 + fp % 40;
+    p
+}
+
+/// Strategy over arbitrary valid profiles: any pattern, optional
+/// barriers, optional locks.
+pub fn arb_profile() -> impl Strategy<Value = AppProfile> {
+    (
+        arb_rates(),
+        arb_pattern(),
+        arb_barrier(),
+        // Locks: None or (period, count, critical-section length).
+        prop_oneof![
+            Just(None),
+            (2_000u64..40_000, 1u32..32, 5u64..60).prop_map(Some),
+        ],
+    )
+        .prop_map(|(rates, pattern, barrier, locks)| {
+            let mut p = apply_rates(AppProfile::base("Synthetic", Suite::Splash2), rates);
+            p.pattern = pattern;
+            if let Some((period, imbalance)) = barrier {
+                p.barrier_period = Some(period);
+                p.barrier_imbalance = imbalance;
+            } else {
+                p.barrier_period = None;
+                p.barrier_imbalance = 0;
+            }
+            if let Some((period, locks, cs_len)) = locks {
+                p.lock_period = Some(period);
+                p.num_locks = locks;
+                p.cs_len = cs_len;
+            } else {
+                p.lock_period = None;
+            }
+            debug_assert_eq!(p.validate(), Ok(()));
+            p
+        })
+}
+
+/// Strategy over *deterministic-work* profiles: lock-free with
+/// single-writer data, so committed instructions, committed stores and
+/// final data values are independent of timing — and therefore of the
+/// checkpointing scheme.
+pub fn arb_deterministic_profile() -> impl Strategy<Value = AppProfile> {
+    (arb_rates(), arb_single_writer_pattern(), arb_barrier()).prop_map(
+        |(rates, pattern, barrier)| {
+            let mut p = apply_rates(AppProfile::base("Synthetic", Suite::Splash2), rates);
+            p.pattern = pattern;
+            if let Some((period, imbalance)) = barrier {
+                p.barrier_period = Some(period);
+                p.barrier_imbalance = imbalance;
+            } else {
+                p.barrier_period = None;
+                p.barrier_imbalance = 0;
+            }
+            p.lock_period = None;
+            debug_assert!(p.deterministic_data());
+            p
+        },
+    )
+}
+
+/// Strategy producing an [`OpStream`] for core 0 of an `ncores`-thread
+/// run of a random deterministic profile, plus the profile it came from.
+pub fn arb_stream(ncores: usize, quota: u64) -> impl Strategy<Value = (AppProfile, OpStream)> {
+    (arb_deterministic_profile(), 0u64..1_000).prop_map(move |(p, seed)| {
+        let s = OpStream::new(&p, CoreId(0), ncores, seed, quota);
+        (p, s)
+    })
+}
+
+/// Drains a stream to its `End`, returning the ops (test helper).
+pub fn drain(stream: &mut OpStream) -> Vec<Op> {
+    let mut ops = Vec::new();
+    loop {
+        let op = stream.next_op();
+        let end = op.is_end();
+        ops.push(op);
+        if end {
+            return ops;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every generated profile is valid.
+        #[test]
+        fn generated_profiles_validate(p in arb_profile()) {
+            prop_assert_eq!(p.validate(), Ok(()));
+        }
+
+        /// Deterministic profiles really are single-writer and lock-free.
+        #[test]
+        fn deterministic_profiles_are_deterministic(p in arb_deterministic_profile()) {
+            prop_assert_eq!(p.validate(), Ok(()));
+            prop_assert!(p.deterministic_data());
+            prop_assert!(p.lock_period.is_none());
+        }
+
+        /// Streams from generated profiles terminate at their quota and
+        /// retire at least the quota's instructions.
+        #[test]
+        fn generated_streams_terminate((p, mut s) in arb_stream(4, 5_000)) {
+            let ops = drain(&mut s);
+            prop_assert!(ops.len() > 1, "profile {:?} produced no work", p.name);
+            let insts: u64 = ops.iter().map(Op::instructions).sum();
+            prop_assert!(insts >= 5_000);
+            // One End, at the end.
+            prop_assert_eq!(ops.iter().filter(|o| o.is_end()).count(), 1);
+        }
+
+        /// A cloned stream replays the identical op suffix (the machine's
+        /// checkpoint-snapshot contract).
+        #[test]
+        fn stream_clones_replay_identically((_p, mut s) in arb_stream(4, 3_000)) {
+            let mut t = s.clone();
+            for _ in 0..200 {
+                let a = s.next_op();
+                let b = t.next_op();
+                prop_assert_eq!(a, b);
+                if a.is_end() {
+                    break;
+                }
+            }
+        }
+    }
+}

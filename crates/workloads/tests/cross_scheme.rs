@@ -1,0 +1,85 @@
+//! Cross-scheme work-equivalence property: checkpointing must never
+//! change *what* an application computes, only *when*.
+//!
+//! For random deterministic-work profiles (lock-free, single-writer
+//! data — see `strategies::arb_deterministic_profile`), every `Scheme`
+//! const of the Fig 4.3(a) matrix must complete the same seed with
+//! identical total committed instructions and committed stores, and the
+//! same per-core instruction totals as the checkpoint-free baseline.
+//!
+//! (Lock-protected profiles are excluded by construction: a contended
+//! acquire retires an extra test-and-set per queue pass, so committed
+//! counts legitimately vary with timing there.)
+
+use proptest::prelude::*;
+use rebound_core::{Machine, MachineConfig, Scheme};
+use rebound_engine::CoreId;
+use rebound_workloads::strategies::arb_deterministic_profile;
+use rebound_workloads::AppProfile;
+
+/// Runs to completion, converting machine panics (liveness bugs) into a
+/// `Result` so the property runner can print the generated profile.
+fn run(profile: &AppProfile, scheme: Scheme, seed: u64) -> Result<Machine, String> {
+    let profile = profile.clone();
+    std::panic::catch_unwind(move || {
+        let mut cfg = MachineConfig::small(4);
+        cfg.scheme = scheme;
+        cfg.ckpt_interval_insts = 5_000;
+        cfg.seed = seed;
+        let mut m = Machine::from_profile(&cfg, &profile, 15_000);
+        let mut steps = 0u64;
+        while m.step() {
+            steps += 1;
+            assert!(steps < 60_000_000, "{} livelocked", scheme.label());
+        }
+        m
+    })
+    .map_err(|e| {
+        let msg = e
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "opaque panic".to_string());
+        format!("{} panicked: {msg}", scheme.label())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_schemes_commit_identical_work(
+        profile in arb_deterministic_profile(),
+        seed in 0u64..1_000,
+    ) {
+        let baseline = run(&profile, Scheme::None, seed);
+        prop_assert!(baseline.is_ok(), "{}", baseline.as_ref().err().unwrap());
+        let baseline = baseline.unwrap();
+        let base_insts: Vec<u64> =
+            (0..4).map(|c| baseline.core_insts(CoreId(c))).collect();
+        let base_stores: u64 = (0..4).map(|c| baseline.core_store_seq(CoreId(c))).sum();
+
+        for scheme in Scheme::ALL {
+            let m = run(&profile, scheme, seed);
+            prop_assert!(m.is_ok(), "{}", m.as_ref().err().unwrap());
+            let m = m.unwrap();
+            prop_assert_eq!(m.done_cores(), 4, "{} left cores unfinished", scheme.label());
+            // Barrier lowering (including the final quota barrier every
+            // stream emits) charges the episode's instructions to arrival
+            // order, which checkpoint stalls can permute — so the per-core
+            // split may shift by a spin-read, but the *total* is
+            // timing-invariant.
+            let insts: u64 = (0..4).map(|c| m.core_insts(CoreId(c))).sum();
+            prop_assert_eq!(
+                insts,
+                base_insts.iter().sum::<u64>(),
+                "{} changed total committed instructions", scheme.label()
+            );
+            let stores: u64 = (0..4).map(|c| m.core_store_seq(CoreId(c))).sum();
+            prop_assert_eq!(
+                stores, base_stores,
+                "{} changed total committed stores", scheme.label()
+            );
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`swdep`] | §8: software dependence tracking for non-coherent manycores |
 //! | [`nvm`] | §8: the undo log on non-volatile memory (PCM timing, wear, lifetime) |
 //! | [`trace`] | Pin-frontend analogue: RBTR op-trace record/replay |
+//! | [`harness`] | parallel experiment campaigns with a differential recovery oracle |
 //!
 //! # Quick start
 //!
@@ -44,6 +45,7 @@
 pub use rebound_coherence as coherence;
 pub use rebound_core as core;
 pub use rebound_engine as engine;
+pub use rebound_harness as harness;
 pub use rebound_mem as mem;
 pub use rebound_nvm as nvm;
 pub use rebound_power as power;
@@ -52,4 +54,5 @@ pub use rebound_trace as trace;
 pub use rebound_workloads as workloads;
 
 pub use rebound_core::{Machine, MachineConfig, RunReport, Scheme};
+pub use rebound_harness::{run_campaign, CampaignResult, CampaignSpec, FaultPlan};
 pub use rebound_workloads::{all_profiles, profile_named, AppProfile};

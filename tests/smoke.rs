@@ -2,8 +2,15 @@
 //! thousand instructions, and the whole simulation is deterministic — two
 //! machines built from the same `(config, seed)` produce identical
 //! checkpoint counts, instruction counts, and message traffic.
+//!
+//! The quick per-scheme check below runs on every `cargo test`; the same
+//! property over the **full Fig 4.3(a) matrix** — all 7 `Scheme` consts ×
+//! all 18 catalog profiles, executed through the campaign harness — is
+//! `#[ignore]`-gated (`cargo test -- --ignored`) because it runs a couple
+//! hundred machines.
 
 use rebound::core::{Machine, MachineConfig, RunReport, Scheme};
+use rebound::harness::{default_jobs, run_campaign, CampaignSpec};
 use rebound::workloads::profile_named;
 
 const SCHEMES: &[(&str, Scheme)] = &[
@@ -42,6 +49,47 @@ fn every_scheme_runs_and_is_deterministic() {
         );
         if scheme.checkpoints() {
             assert!(a.checkpoints > 0, "{label}: interval never fired");
+        }
+    }
+}
+
+/// The determinism property promoted to the whole configuration matrix:
+/// every `Scheme` const × every catalog profile runs through the campaign
+/// harness twice at different worker counts, and the aggregate results —
+/// every cycle count, message total and checkpoint count in the CSV —
+/// must be byte-identical. Run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "runs 7 schemes x 18 profiles twice; minutes, not seconds"]
+fn full_matrix_determinism_across_worker_counts() {
+    let spec = CampaignSpec::full_matrix();
+    let jobs = spec.expand();
+    assert_eq!(
+        jobs.len(),
+        Scheme::ALL.len() * rebound::all_profiles().len(),
+        "matrix must cover every scheme x app"
+    );
+
+    // jobs=1 takes parallel_map's inline path; the other count always
+    // spawns real workers — two genuinely different schedules even on a
+    // 2-core runner.
+    let parallel = run_campaign(&spec, default_jobs().max(2));
+    let serial = run_campaign(&spec, 1);
+    assert_eq!(
+        parallel.to_csv(),
+        serial.to_csv(),
+        "worker count changed the aggregate results"
+    );
+    assert!(parallel.failures().is_empty(), "{}", parallel.summary());
+
+    // Every cell actually ran its workload.
+    for o in &parallel.outcomes {
+        assert!(o.report.insts > 0, "{} retired nothing", o.job.label());
+        if o.job.scheme.checkpoints() {
+            assert!(
+                o.report.checkpoints > 0,
+                "{} never checkpointed",
+                o.job.label()
+            );
         }
     }
 }
