@@ -1,0 +1,78 @@
+//! The recovery hot path: fault detection → interaction-set rollback →
+//! resume (§3.3.5). `fault_detect_restore_*` isolates the detection
+//! handler itself — episode aborts, cache/Dep resets, the banked log
+//! scan and memory restore; `recover_and_complete_*` adds the resumed
+//! re-execution through clean termination, the end-to-end latency a
+//! campaign job pays per injected fault.
+//!
+//! Baseline: `BENCH_rollback.json` at the repo root, regenerated from
+//! the repo root with `CRITERION_JSON=$PWD/BENCH_rollback.json cargo
+//! bench -p rebound-bench --bench rollback`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rebound_core::{Machine, MachineConfig, Scheme};
+use rebound_engine::{CoreId, Cycle};
+use rebound_workloads::profile_named;
+
+/// A machine advanced to the middle of its run, checkpoints completed,
+/// dirty state and log entries accumulated — the state a fault lands in.
+fn prepped(cores: usize, quota: u64, until: u64) -> Machine {
+    let mut cfg = MachineConfig::small(cores);
+    cfg.scheme = Scheme::REBOUND;
+    cfg.ckpt_interval_insts = 8_000;
+    cfg.detect_latency = 500;
+    let p = profile_named("FFT").expect("catalog app");
+    let mut m = Machine::from_profile(&cfg, &p, quota);
+    m.run_until(Cycle(until));
+    m
+}
+
+/// Steps until one more rollback has been fully processed.
+fn detect_and_restore(mut m: Machine) -> u64 {
+    let before = m.metrics.rollbacks;
+    let at = m.now();
+    m.schedule_fault_detection(CoreId(1), at);
+    while m.metrics.rollbacks == before && m.step() {}
+    m.metrics.rollbacks
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rollback");
+
+    g.bench_function("fault_detect_restore_4c", |b| {
+        b.iter_batched(
+            || prepped(4, 60_000, 30_000),
+            |m| black_box(detect_and_restore(m)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("fault_detect_restore_16c", |b| {
+        b.iter_batched(
+            || prepped(16, 40_000, 25_000),
+            |m| black_box(detect_and_restore(m)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("recover_and_complete_4c", |b| {
+        b.iter_batched(
+            || prepped(4, 60_000, 30_000),
+            |mut m| {
+                let at = m.now();
+                m.schedule_fault_detection(CoreId(1), at);
+                let r = m.run_to_completion();
+                assert!(r.rollbacks >= 1);
+                black_box(r.cycles)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_rollback);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Phase-aware fault injection (§3.2, §3.3.5).
+//!
+//! The paper's correctness claim is that Rebound recovers from a
+//! transient fault *whenever* it strikes — including in the middle of a
+//! checkpoint episode ("a fault detected in a processor while
+//! checkpointing aborts the whole checkpoint", §3.3.5) and while another
+//! processor is itself rolling back. Cycle-timed injection alone cannot
+//! aim at those windows: their absolute cycle depends on the seed and
+//! drifts with every timing change. A [`FaultTrigger`] instead describes
+//! *when* a fault should be detected in terms the machine can evaluate
+//! against its own observable state ([`Machine::core_phase`],
+//! [`Machine::drain_depth`], [`Machine::rollback_window`]), and
+//! [`Machine::arm_fault`] defers the injection until the trigger first
+//! matches.
+//!
+//! Triggers are evaluated after every processed event, so a phase
+//! trigger fires at the first event boundary where its condition holds —
+//! deterministically, because the event order itself is deterministic.
+//! Every detection that actually happens (armed or cycle-scheduled) is
+//! recorded in [`Machine::fired_faults`] so harnesses can report the
+//! exact cycle each trigger resolved to.
+
+use rebound_engine::{CoreId, Cycle};
+
+use crate::machine::Machine;
+
+/// A checkpoint-protocol window a fault can be aimed at. Phases are
+/// victim-relative except [`FaultPhase::BarrierEpisode`] and
+/// [`FaultPhase::RollbackOfOther`], which observe machine-wide state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPhase {
+    /// The victim is an initiator still collecting its interaction set
+    /// (CK?s outstanding, writebacks not yet started — §3.3.4).
+    CkptInitiate,
+    /// The victim is draining delayed writebacks in the background
+    /// (§4.1); its latest checkpoint is not yet safe.
+    CkptDrain,
+    /// The victim has joined another core's episode (Accepted or
+    /// writing back as a member, local / Global / barrier flavours).
+    MemberJoin,
+    /// A barrier-optimization checkpoint episode is active anywhere in
+    /// the machine (§4.2.1); the victim may be in any role.
+    BarrierEpisode,
+    /// Some *other* core's rollback/restore window is open — the fault
+    /// lands while recovery of a different fault is still in flight.
+    RollbackOfOther,
+}
+
+impl FaultPhase {
+    /// Every phase, in a fixed order (campaign matrices iterate this).
+    pub const ALL: [FaultPhase; 5] = [
+        FaultPhase::CkptInitiate,
+        FaultPhase::CkptDrain,
+        FaultPhase::MemberJoin,
+        FaultPhase::BarrierEpisode,
+        FaultPhase::RollbackOfOther,
+    ];
+
+    /// Compact label used in plan names and result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultPhase::CkptInitiate => "init",
+            FaultPhase::CkptDrain => "drain",
+            FaultPhase::MemberJoin => "join",
+            FaultPhase::BarrierEpisode => "barr",
+            FaultPhase::RollbackOfOther => "rbk",
+        }
+    }
+}
+
+/// When an armed fault becomes *detected* at its victim core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultTrigger {
+    /// At a fixed cycle (the pre-existing model; timing-fragile but
+    /// exactly reproducible).
+    AtCycle(u64),
+    /// The first time the observed machine state enters `phase`.
+    OnPhase(FaultPhase),
+    /// Right after the victim completes its `n`-th checkpoint (boot
+    /// excluded), i.e. while its youngest safe line is brand new.
+    AfterNthCheckpoint(u64),
+    /// A burst: `count` detections at the victim, the first at cycle
+    /// `start`, subsequent ones `gap` cycles apart — later ones land
+    /// inside the recovery/re-execution of earlier ones.
+    Storm { count: u32, start: u64, gap: u64 },
+}
+
+impl FaultTrigger {
+    /// Compact label used in plan names and result tables:
+    /// `@<cycle>`, `@<phase>`, `@ck<n>`, or `@storm<count>x<gap>+<start>`.
+    pub fn label(&self) -> String {
+        match self {
+            FaultTrigger::AtCycle(t) => format!("@{t}"),
+            FaultTrigger::OnPhase(p) => format!("@{}", p.label()),
+            FaultTrigger::AfterNthCheckpoint(n) => format!("@ck{n}"),
+            FaultTrigger::Storm { count, start, gap } => {
+                format!("@storm{count}x{gap}+{start}")
+            }
+        }
+    }
+
+    /// Whether a *condition* trigger currently holds for `victim`.
+    /// Time-based triggers ([`FaultTrigger::AtCycle`],
+    /// [`FaultTrigger::Storm`]) are scheduled directly on the event
+    /// queue and never polled.
+    pub(crate) fn matches(&self, m: &Machine, victim: CoreId) -> bool {
+        match *self {
+            FaultTrigger::AtCycle(_) | FaultTrigger::Storm { .. } => false,
+            FaultTrigger::OnPhase(phase) => match phase {
+                FaultPhase::CkptInitiate => m.core_phase(victim) == CorePhase::Collecting,
+                FaultPhase::CkptDrain => m.drain_depth(victim).is_some(),
+                FaultPhase::MemberJoin => matches!(
+                    m.core_phase(victim),
+                    CorePhase::Accepted
+                        | CorePhase::Member
+                        | CorePhase::GlobalMember
+                        | CorePhase::BarrierMember
+                ),
+                FaultPhase::BarrierEpisode => m.barrier_episode_active(),
+                FaultPhase::RollbackOfOther => m
+                    .rollback_window()
+                    .map(|(cores, _)| !cores.contains(victim))
+                    .unwrap_or(false),
+            },
+            FaultTrigger::AfterNthCheckpoint(n) => m.checkpoints_of(victim) >= n,
+        }
+    }
+}
+
+/// The externally observable checkpoint-episode phase of one core — a
+/// projection of the machine's internal protocol role for fault
+/// triggers, harness diagnostics and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CorePhase {
+    /// Not involved in any checkpoint episode.
+    Idle,
+    /// Initiator collecting its interaction set (replies outstanding).
+    Collecting,
+    /// Initiator whose episode's writebacks have started.
+    InitiatorWb,
+    /// Accepted an initiator's CK?; waiting for StartWB.
+    Accepted,
+    /// Member of another initiator's local episode.
+    Member,
+    /// Member of a Global-scheme episode.
+    GlobalMember,
+    /// Member of a barrier-optimization episode.
+    BarrierMember,
+}
+
+/// A fault armed on the machine but not yet detected: the trigger is
+/// re-evaluated after every event until it fires.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingFault {
+    pub victim: CoreId,
+    pub trigger: FaultTrigger,
+}
+
+/// One fault detection that actually happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FiredFault {
+    /// The core the fault was detected at.
+    pub core: CoreId,
+    /// The cycle detection happened (== rollback start).
+    pub at: Cycle,
+}

@@ -44,6 +44,7 @@
 
 pub mod config;
 pub mod depregs;
+pub mod fault;
 pub mod iocommit;
 pub mod machine;
 pub mod metrics;
@@ -52,6 +53,7 @@ pub mod wsig;
 
 pub use config::{IoPressure, MachineConfig, Scheme};
 pub use depregs::{DepRegFile, DepSet, DepSetState};
+pub use fault::{CorePhase, FaultPhase, FaultTrigger, FiredFault};
 pub use iocommit::{CommittedOutput, OutputCommitBuffer, PendingOutput};
 pub use machine::{Machine, RunReport};
 pub use metrics::{MachineMetrics, OverheadKind, StallBreakdown};

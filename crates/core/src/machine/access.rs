@@ -51,7 +51,19 @@ impl Machine {
             self.cores[idx].dep.active_mut().wsig.insert(line);
             self.metrics.wsig_ops.incr();
         }
-        let value = self.store_value(core);
+        // Sync words (lock lines, barrier count/flag, BarCK_sent) are
+        // lowered to real coherence stores, but they are machinery, not
+        // application data: consuming a (core, store_seq) value for them
+        // would couple every later data store's value to arrival order —
+        // e.g. *which* core writes the barrier release flag is timing-
+        // dependent, so one scheme (or a recovered faulty run) would
+        // commit a shifted value sequence on that core and bit-exact
+        // cross-run data comparisons would diverge on data lines.
+        let value = if rebound_workloads::AddressLayout.is_sync(addr) {
+            self.peek_store_value(core)
+        } else {
+            self.store_value(core)
+        };
         self.metrics.l2_accesses.incr();
 
         let l2_state = self.cores[idx].l2.peek(line).map(|l| (l.state, l.delayed));

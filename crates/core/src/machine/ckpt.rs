@@ -297,11 +297,15 @@ impl Machine {
         let snapshot = self.cores[idx].program.clone();
         let insts = self.cores[idx].insts;
         let store_seq = self.cores[idx].store_seq;
+        let barrier_passes = self.cores[idx].barrier_passes;
+        let at_barrier = self.cores[idx].at_barrier;
         self.cores[idx].records.push(CkptRecord {
             stub_seq: new_interval,
             program: snapshot,
             insts,
             store_seq,
+            barrier_passes,
+            at_barrier,
             complete_at: None,
         });
         self.cores[idx].interval_start_insts = insts;
@@ -680,16 +684,10 @@ impl Machine {
         self.barrier.barck_initiator = Some(core);
         self.barrier.barck_done = CoreSet::new();
         self.barrier.release_gated = false;
-        // The BarCK_sent flag is a real shared-memory write — but a
-        // *scheme-induced* one, not part of the application's store
-        // stream. Preserve the store-sequence counter across it so every
-        // subsequent application store carries the same (core, seq) value
-        // as under any other scheme; otherwise Rebound_Barr runs commit a
-        // shifted value sequence and cross-scheme/oracle state comparisons
-        // diverge on bit-exact data.
-        let seq_before = self.cores[core.index()].store_seq;
+        // The BarCK_sent flag is a real shared-memory write, but it lives
+        // in the sync region, so the access path leaves the application's
+        // store-sequence counter untouched (as for all sync machinery).
         let _ = self.access(core, layout.barck_sent_line(), true, true);
-        self.cores[core.index()].store_seq = seq_before;
         let n = self.cores.len();
         for i in 0..n {
             let m = CoreId(i);

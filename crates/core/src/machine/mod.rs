@@ -21,6 +21,7 @@ use rebound_workloads::{AppProfile, Op, OpStream};
 
 use crate::config::{MachineConfig, Scheme};
 use crate::depregs::DepRegFile;
+use crate::fault::{CorePhase, FaultTrigger, FiredFault, PendingFault};
 use crate::metrics::{MachineMetrics, OverheadKind, StallBreakdown};
 use crate::program::CoreProgram;
 
@@ -212,6 +213,19 @@ pub(crate) struct CkptRecord {
     /// Store-sequence counter at the checkpoint point (so re-execution
     /// reproduces the same store values).
     pub store_seq: u64,
+    /// Barrier releases the core had consumed at the checkpoint point.
+    /// Restored on rollback so a re-executed arrival at an already-
+    /// released barrier is recognized and sails through (§3.3.5: the
+    /// recovery line may straddle a barrier when only some members'
+    /// checkpoints are safe).
+    pub barrier_passes: u64,
+    /// Whether the core was parked at the barrier when this snapshot was
+    /// taken (a waiting core can be conscripted into an episode). The
+    /// snapshot's program counter is then already *past* the arrival, so
+    /// rollback must either re-register the core as a waiter (episode
+    /// still pending) or consume the release (it fired since) — dropping
+    /// the arrival would strand every other core at the barrier.
+    pub at_barrier: bool,
     /// Completion time (stub written), once known.
     pub complete_at: Option<Cycle>,
 }
@@ -276,6 +290,9 @@ pub(crate) struct CoreCtx {
     pub force_ckpt: bool,
     /// Set while the core has arrived at the barrier but not yet passed.
     pub at_barrier: bool,
+    /// Barrier releases this core has consumed (monotonic except across
+    /// rollback, which restores the checkpoint's count).
+    pub barrier_passes: u64,
     /// Barrier-opt bookkeeping: Update section done / writebacks done.
     pub barck_arrived: bool,
     pub barck_wb_done: bool,
@@ -395,6 +412,14 @@ pub struct Machine {
     /// Runtime master switch for dependence tracking (§8: "selectively
     /// enable and disable Rebound for a certain period of time").
     pub(crate) tracking_enabled: bool,
+    /// Armed phase/condition faults, polled after every event.
+    pub(crate) pending_faults: Vec<PendingFault>,
+    /// Every fault detection that actually happened, in detection order.
+    pub(crate) fired_faults: Vec<FiredFault>,
+    /// Cores being restored by the most recent rollback, and when their
+    /// restoration completes — the observable recovery window.
+    pub(crate) rollback_cores: CoreSet,
+    pub(crate) rollback_until: Cycle,
 }
 
 impl Machine {
@@ -445,6 +470,8 @@ impl Machine {
                         program: program.clone(),
                         insts: 0,
                         store_seq: 0,
+                        barrier_passes: 0,
+                        at_barrier: false,
                         complete_at: Some(Cycle::ZERO),
                     }],
                     program,
@@ -468,6 +495,7 @@ impl Machine {
                     retry_gen: 0,
                     force_ckpt: false,
                     at_barrier: false,
+                    barrier_passes: 0,
                     barck_arrived: false,
                     barck_wb_done: false,
                     barck_notified: false,
@@ -502,6 +530,10 @@ impl Machine {
             done_cores: 0,
             dropped_msgs: 0,
             tracking_enabled: true,
+            pending_faults: Vec::new(),
+            fired_faults: Vec::new(),
+            rollback_cores: CoreSet::new(),
+            rollback_until: Cycle::ZERO,
         };
         let interval = m.cfg.ckpt_interval_insts.max(1);
         for c in 0..m.cores.len() {
@@ -637,6 +669,92 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Phase-aware fault injection (observation + deferred scheduling)
+    // ------------------------------------------------------------------
+
+    /// Arms a fault on `victim`: time-based triggers go straight onto the
+    /// event queue; condition triggers ([`FaultTrigger::OnPhase`],
+    /// [`FaultTrigger::AfterNthCheckpoint`]) are re-evaluated after every
+    /// event and detection is injected at the first matching boundary. A
+    /// trigger whose condition never arises simply never fires.
+    pub fn arm_fault(&mut self, victim: CoreId, trigger: FaultTrigger) {
+        assert!(victim.index() < self.cores.len(), "core out of range");
+        match trigger {
+            FaultTrigger::AtCycle(t) => self.schedule_fault_detection(victim, Cycle(t)),
+            FaultTrigger::Storm { count, start, gap } => {
+                for i in 0..count as u64 {
+                    let at = start.saturating_add(i.saturating_mul(gap.max(1)));
+                    self.schedule_fault_detection(victim, Cycle(at));
+                }
+            }
+            FaultTrigger::OnPhase(_) | FaultTrigger::AfterNthCheckpoint(_) => {
+                self.pending_faults.push(PendingFault { victim, trigger });
+            }
+        }
+    }
+
+    /// Evaluates armed condition faults against the current machine
+    /// state; each fires at most once, as a detection at the current
+    /// cycle. Called after every processed event.
+    pub(crate) fn poll_pending_faults(&mut self) {
+        let mut i = 0;
+        while i < self.pending_faults.len() {
+            let PendingFault { victim, trigger } = self.pending_faults[i];
+            if trigger.matches(self, victim) {
+                self.pending_faults.swap_remove(i);
+                let now = self.now;
+                self.schedule_fault_detection(victim, now);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Armed condition faults that have not fired (diagnostics; a
+    /// finished run with leftovers means those windows never opened).
+    pub fn unfired_fault_count(&self) -> usize {
+        self.pending_faults.len()
+    }
+
+    /// Every fault detection that actually happened, in detection order —
+    /// the resolved cycle of each armed or scheduled fault.
+    pub fn fired_faults(&self) -> &[FiredFault] {
+        &self.fired_faults
+    }
+
+    /// The externally observable checkpoint-episode phase of `core`.
+    pub fn core_phase(&self, core: CoreId) -> CorePhase {
+        match &self.cores[core.index()].role {
+            CkptRole::Idle => CorePhase::Idle,
+            CkptRole::Initiating(st) if !st.started => CorePhase::Collecting,
+            CkptRole::Initiating(_) => CorePhase::InitiatorWb,
+            CkptRole::Accepted { .. } => CorePhase::Accepted,
+            CkptRole::Member { .. } => CorePhase::Member,
+            CkptRole::GlobalMember { .. } => CorePhase::GlobalMember,
+            CkptRole::BarMember { .. } => CorePhase::BarrierMember,
+        }
+    }
+
+    /// Lines still queued in `core`'s background delayed-writeback drain
+    /// (§4.1), or `None` when no drain is in progress.
+    pub fn drain_depth(&self, core: CoreId) -> Option<usize> {
+        let d = &self.cores[core.index()].drain;
+        d.active.then_some(d.queue.len())
+    }
+
+    /// Whether a barrier-optimization checkpoint episode is active
+    /// anywhere in the machine (§4.2.1).
+    pub fn barrier_episode_active(&self) -> bool {
+        self.barrier.barck_active
+    }
+
+    /// The open recovery window, if any: the cores the most recent
+    /// rollback is restoring and the cycle their restoration completes.
+    pub fn rollback_window(&self) -> Option<(CoreSet, Cycle)> {
+        (self.now < self.rollback_until).then_some((self.rollback_cores, self.rollback_until))
+    }
+
+    // ------------------------------------------------------------------
     // Event plumbing
     // ------------------------------------------------------------------
 
@@ -767,6 +885,9 @@ impl Machine {
             Event::FaultDetect { core } => self.handle_fault_detect(core),
             Event::IoTick => self.handle_io_tick(),
         }
+        if !self.pending_faults.is_empty() {
+            self.poll_pending_faults();
+        }
         true
     }
 
@@ -888,7 +1009,19 @@ impl Machine {
     pub(crate) fn store_value(&mut self, core: CoreId) -> u64 {
         let c = &mut self.cores[core.index()];
         c.store_seq += 1;
-        let mut z = ((core.index() as u64) << 48) ^ c.store_seq;
+        let seq = c.store_seq;
+        Self::mix_store_value(core, seq)
+    }
+
+    /// The value a store by `core` would carry *without* advancing the
+    /// sequence counter — used for sync-machinery writes, which must not
+    /// perturb the application's (core, store_seq) value stream.
+    pub(crate) fn peek_store_value(&self, core: CoreId) -> u64 {
+        Self::mix_store_value(core, self.cores[core.index()].store_seq)
+    }
+
+    fn mix_store_value(core: CoreId, seq: u64) -> u64 {
+        let mut z = ((core.index() as u64) << 48) ^ seq;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z | 1 // never zero, so MainMemory keeps it resident
     }
@@ -1094,6 +1227,9 @@ impl Machine {
                 }
             }
         };
+        if !self.pending_faults.is_empty() {
+            self.poll_pending_faults();
+        }
         Some(desc)
     }
 }

@@ -21,6 +21,8 @@ impl Machine {
     pub(crate) fn handle_fault_detect(&mut self, core: CoreId) {
         let now = self.now;
         let l = self.cfg.detect_latency;
+        self.fired_faults
+            .push(crate::fault::FiredFault { core, at: now });
 
         // 1. Pick each processor's rollback target: the latest checkpoint
         //    that fully completed at least L cycles ago (§4.2), falling
@@ -105,15 +107,40 @@ impl Machine {
         self.metrics.irec_sizes.push(order.len() as f64);
         self.metrics.recovery_cycles.push(recovery as f64);
 
-        // 7. Resume every member once restoration completes.
+        // 7. Resume every member once restoration completes. The window
+        //    until then is observable (FaultPhase::RollbackOfOther aims
+        //    a second fault inside it).
         let resume_at = now + recovery;
+        self.rollback_cores = order.iter().copied().collect();
+        self.rollback_until = resume_at;
         for &m in &order {
             let c = &mut self.cores[m.index()];
+            // A member restored *at the barrier* stays parked; the
+            // release wakes it like any other waiter.
+            if matches!(c.run, RunState::Blocked(Block::BarrierFlag { .. })) {
+                c.busy_until = resume_at;
+                continue;
+            }
             c.run = RunState::Ready;
             c.busy_until = resume_at;
             self.schedule_step(m, resume_at);
         }
         self.fixup_locks_after(&irec);
+
+        // Restoration may have re-registered the episode's *gated last
+        // arrival* as a plain waiter (its at-barrier snapshot predates
+        // the gating): every core is then parked with nobody left to
+        // arrive, and the only release trigger — a fresh arrival
+        // completing the count — can never fire. Synthesize the release
+        // the dead episode withheld.
+        if self.barrier.last_arrival.is_none()
+            && !self.barrier.release_gated
+            && self.barrier.arrived == self.cores.len()
+            && self.barrier.waiters.len() == self.cores.len()
+        {
+            self.barrier.last_arrival = self.barrier.waiters.pop();
+            self.release_barrier(0);
+        }
     }
 
     /// Aborts checkpoint episodes that include any rolling-back processor.
@@ -311,6 +338,7 @@ impl Machine {
             c.program = rec.program.clone();
             c.insts = rec.insts;
             c.store_seq = rec.store_seq;
+            c.barrier_passes = rec.barrier_passes;
             c.interval_start_insts = rec.insts;
             c.next_ckpt_due = rec.insts + self.cfg.ckpt_interval_insts;
             c.last_ckpt_cycle = self.now;
@@ -319,6 +347,26 @@ impl Machine {
                 self.done_cores -= 1;
             }
             c.run = RunState::Blocked(Block::Rollback);
+        }
+
+        // The snapshot was taken while the core was parked at the
+        // barrier: its restored program counter is already past the
+        // arrival, so the arrival itself must be reconstructed. If that
+        // barrier episode is still the pending one, re-register the core
+        // as a waiter (the release will wake it); if the episode
+        // released since the snapshot, consume the release and let the
+        // core resume past the barrier.
+        if rec.at_barrier {
+            if rec.barrier_passes == self.barrier.generation {
+                let gen = self.barrier.generation;
+                let c = &mut self.cores[idx];
+                c.at_barrier = true;
+                c.run = RunState::Blocked(Block::BarrierFlag { gen });
+                self.barrier.arrived += 1;
+                self.barrier.waiters.push(core);
+            } else {
+                self.cores[idx].barrier_passes += 1;
+            }
         }
     }
 

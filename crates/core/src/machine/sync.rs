@@ -9,7 +9,10 @@ use super::{Block, Machine, RunState};
 
 impl Machine {
     /// Resumes a core `extra` cycles from now, respecting the execution
-    /// gate (a NoDWB checkpoint in progress keeps it parked).
+    /// gate (a NoDWB checkpoint in progress keeps it parked). An
+    /// existing *future* busy horizon is kept — a rollback-restored
+    /// barrier waiter released before its restoration completes must
+    /// still serialize the recovery latency before executing.
     pub(crate) fn resume_core(&mut self, core: CoreId, extra: u64) {
         let now = self.now;
         let c = &mut self.cores[core.index()];
@@ -18,7 +21,7 @@ impl Machine {
             "resume_core would resurrect finished core {core:?}"
         );
         c.run = RunState::Ready;
-        c.busy_until = now + extra;
+        c.busy_until = c.busy_until.max(now + extra);
         if !c.exec_gate {
             let at = c.busy_until;
             self.schedule_step(core, at);
@@ -73,6 +76,25 @@ impl Machine {
     /// the all-processor dependence chain of Fig 4.2(b).
     pub(crate) fn barrier_arrive(&mut self, core: CoreId) {
         let layout = AddressLayout;
+
+        // A re-executed arrival at an already-released barrier (§3.3.5):
+        // the recovery line may straddle a barrier — the faulty core's
+        // youngest checkpoint was not yet safe, so it rolled back to
+        // before an arrival whose release other members (with safe
+        // same-episode checkpoints) never undid. The release flag is
+        // already set in memory, so the re-executed sense-reversing code
+        // sails straight through; re-opening the episode would park the
+        // core for arrivals that can never come.
+        if self.cores[core.index()].barrier_passes < self.barrier.generation {
+            let update_lat = self.access(core, layout.barrier_count_line(), true, true);
+            let read_lat = self.access(core, layout.barrier_flag_line(), false, true);
+            let c = &mut self.cores[core.index()];
+            c.insts += 2;
+            c.barrier_passes += 1;
+            self.resume_core(core, (update_lat + read_lat).max(1));
+            return;
+        }
+
         let update_lat = self.access(core, layout.barrier_count_line(), true, true);
         {
             let c = &mut self.cores[core.index()];
@@ -138,12 +160,19 @@ impl Machine {
         self.barrier.release_gated = false;
         let waiters = std::mem::take(&mut self.barrier.waiters);
         for w in waiters {
+            // The release re-read is the spinning load finally observing
+            // the flag — the same spin instruction counted at arrival,
+            // so it retires nothing new. (Counting it would also make a
+            // core's instruction total depend on whether it arrived
+            // last, breaking faulty-vs-golden instruction equality when
+            // a rollback reshuffles arrival order.)
             let read_lat = self.access(w, layout.barrier_flag_line(), false, true);
-            self.cores[w.index()].insts += 1;
             self.cores[w.index()].at_barrier = false;
+            self.cores[w.index()].barrier_passes += 1;
             self.resume_core(w, flag_lat + read_lat.max(1));
         }
         self.cores[last.index()].at_barrier = false;
+        self.cores[last.index()].barrier_passes += 1;
         self.resume_core(last, extra + flag_lat.max(1));
     }
 

@@ -2,22 +2,28 @@
 //! the aggregate results table.
 //!
 //! ```text
-//! rebound-campaign [--spec acceptance|smoke|matrix] [--jobs N]
+//! rebound-campaign [--spec acceptance|smoke|matrix|adversarial] [--jobs N]
 //!                  [--filter SUBSTR] [--out FILE.csv] [--json FILE.json]
 //!                  [--no-oracle] [--list]
 //! ```
 //!
 //! * `--spec` — which built-in campaign to run (default `acceptance`:
 //!   36 configurations, every faulty one checked by the differential
-//!   recovery oracle).
+//!   recovery oracle; `adversarial` is the phase-aware recovery matrix:
+//!   every trigger kind × every scheme).
 //! * `--jobs N` — worker threads (default: `REBOUND_JOBS` or all cores).
 //!   The aggregate CSV/JSON is byte-identical for any `N`.
 //! * `--filter SUBSTR` — keep only jobs whose label
-//!   (`Scheme/App/c<cores>/s<seed>/<plan>`) contains the substring.
+//!   (`Scheme/App/c<cores>/s<seed>/<plan>`) or fault-plan detail
+//!   contains the substring. `<plan>` is the plan's family name when it
+//!   has one (`mid-drain`, `storm3`, …), else its derived trigger
+//!   string (`f1@30000`, `f1@drain`, …) — so `--filter mid-drain`,
+//!   `--filter Rebound/FFT` and `--filter f1@` all work.
 //! * `--out FILE` — write the CSV there (default: stdout).
 //! * `--json FILE` — additionally write the JSON rendering.
 //! * `--no-oracle` — skip golden replays (faster; faulty runs unchecked).
-//! * `--list` — print the expanded job labels and exit without running.
+//! * `--list` — print the expanded job labels (with each named plan's
+//!   trigger detail) and exit without running.
 //!
 //! Exit status is nonzero if any oracle verdict is a failure.
 
@@ -27,7 +33,7 @@ use rebound_harness::{default_jobs, run_jobs, CampaignSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rebound-campaign [--spec acceptance|smoke|matrix] [--jobs N] \
+        "usage: rebound-campaign [--spec acceptance|smoke|matrix|adversarial] [--jobs N] \
          [--filter SUBSTR] [--out FILE.csv] [--json FILE.json] [--no-oracle] [--list]"
     );
     std::process::exit(2);
@@ -75,8 +81,9 @@ fn main() -> ExitCode {
         "acceptance" => CampaignSpec::acceptance(),
         "smoke" => CampaignSpec::smoke(),
         "matrix" => CampaignSpec::full_matrix(),
+        "adversarial" => CampaignSpec::adversarial(),
         other => {
-            eprintln!("unknown spec: {other} (expected acceptance, smoke or matrix)");
+            eprintln!("unknown spec: {other} (expected acceptance, smoke, matrix or adversarial)");
             usage();
         }
     };
@@ -84,7 +91,10 @@ fn main() -> ExitCode {
 
     let mut expanded = spec.expand();
     if let Some(f) = &filter {
-        expanded.retain(|j| j.label().contains(f.as_str()));
+        // Match on the label (whose <plan> part is the plan's family
+        // name when it has one) *and* on the derived trigger detail, so
+        // named and unnamed plans are both addressable.
+        expanded.retain(|j| j.label().contains(f.as_str()) || j.plan.detail().contains(f.as_str()));
         if expanded.is_empty() {
             eprintln!("--filter {f:?} matched no jobs");
             return ExitCode::from(2);
@@ -92,8 +102,16 @@ fn main() -> ExitCode {
     }
 
     if list {
+        println!("# id  Scheme/App/c<cores>/s<seed>/<plan>  [plan detail]");
+        println!("# <plan> is the fault plan's family name if named, else its trigger");
+        println!("# string; --filter matches both forms.");
         for j in &expanded {
-            println!("{:>4}  {}", j.id, j.label());
+            let detail = j.plan.detail();
+            if detail == j.plan.label() {
+                println!("{:>4}  {}", j.id, j.label());
+            } else {
+                println!("{:>4}  {}  [{}]", j.id, j.label(), detail);
+            }
         }
         return ExitCode::SUCCESS;
     }

@@ -41,11 +41,13 @@ pub mod oracle;
 pub mod pool;
 pub mod results;
 pub mod spec;
+#[cfg(feature = "strategies")]
+pub mod strategies;
 
 pub use oracle::{run_job, JobOutcome, OracleVerdict};
 pub use pool::{default_jobs, parallel_map};
 pub use results::CampaignResult;
-pub use spec::{CampaignSpec, FaultPlan, FaultSpec, Job, RunScale};
+pub use spec::{CampaignSpec, FaultPhase, FaultPlan, FaultSpec, FaultTrigger, Job, RunScale};
 
 use std::time::Instant;
 

@@ -28,16 +28,21 @@
 //! [`AppProfile::deterministic_data`]: rebound_workloads::AppProfile::deterministic_data
 
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use rebound_core::{Machine, RunReport};
-use rebound_engine::{CoreId, Cycle, LineAddr};
+use rebound_core::{CoreProgram, Machine, RunReport};
+use rebound_engine::{CoreId, LineAddr};
 use rebound_workloads::{profile_named, AddressLayout};
 
 use crate::spec::Job;
 
 /// Hard ceiling on events per run; hitting it means the machine
 /// livelocked, which the oracle reports as a failure instead of hanging
-/// the campaign.
+/// the campaign. (The cycle watchdog in [`RunScale::watchdog_cycles`]
+/// usually trips first — retries space events hundreds of cycles apart —
+/// but an event storm at a frozen clock only this bound catches.)
+///
+/// [`RunScale::watchdog_cycles`]: crate::spec::RunScale::watchdog_cycles
 const STEP_BUDGET: u64 = 200_000_000;
 
 /// What the oracle concluded about one faulty job.
@@ -86,27 +91,119 @@ pub struct JobOutcome {
     pub golden: Option<RunReport>,
     /// Which comparisons the oracle performed (for the notes column).
     pub checks: String,
+    /// The faults that actually fired, as `f<core>@<cycle>` terms in
+    /// detection order (`-` if none did) — the resolved cycle of every
+    /// phase/condition trigger.
+    pub fired: String,
 }
 
-/// Builds and runs a job's machine, faults included, under a step budget.
-/// Returns the machine and whether it finished within budget.
-fn execute(job: &Job, with_faults: bool) -> (Machine, bool) {
+/// How one bounded execution ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ExecEnd {
+    /// The machine terminated cleanly.
+    Finished,
+    /// Event budget exhausted (livelock at a frozen or crawling clock).
+    StepBudget,
+    /// Cycle watchdog exceeded (simulated time ran away).
+    Watchdog,
+    /// The machine panicked — typically the "event queue drained with
+    /// live state" deadlock check; the payload is the panic message.
+    Panicked(String),
+}
+
+/// Builds and runs a job's machine, faults included, under the step
+/// budget and the scale's cycle watchdog, returning the machine, how
+/// the run ended, and the fired-fault record. A deadlock panic inside
+/// the machine is caught and reported as [`ExecEnd::Panicked`] so one
+/// bad scenario fails its own job instead of tearing down the campaign;
+/// the machine state is lost in that case — the caller gets a fresh
+/// zero-work surrogate alongside the diagnosis — but the detections
+/// that led up to the panic are preserved (they are exactly what the
+/// reproduce-from-CSV-row workflow needs for failing scenarios).
+fn execute(job: &Job, with_faults: bool) -> (Machine, ExecEnd, String) {
     let profile = profile_named(&job.app).expect("expand() validated the app name");
     let cfg = job.config();
-    let mut m = Machine::from_profile(&cfg, &profile, job.scale.quota);
-    if with_faults {
-        for f in job.plan.faults() {
-            m.schedule_fault_detection(CoreId(f.core % cfg.cores), Cycle(f.at_cycle));
+    // Mirrors the machine's fired-fault log so a panic cannot take the
+    // detection record down with the machine. The guard copies it out
+    // during unwind, so even a detection recorded by the very step that
+    // panics is preserved.
+    let fired_log = std::cell::RefCell::new(Vec::new());
+    struct FiredMirror<'a> {
+        m: Option<Machine>,
+        log: &'a std::cell::RefCell<Vec<rebound_core::FiredFault>>,
+    }
+    impl Drop for FiredMirror<'_> {
+        fn drop(&mut self) {
+            // Some(_) only when dropped by unwinding; the normal path
+            // takes the machine out first.
+            if let Some(m) = &self.m {
+                *self.log.borrow_mut() = m.fired_faults().to_vec();
+            }
         }
     }
-    let mut steps = 0u64;
-    while m.step() {
-        steps += 1;
-        if steps >= STEP_BUDGET {
-            return (m, false);
+    let run = || {
+        let mut guard = FiredMirror {
+            m: Some(Machine::from_profile(&cfg, &profile, job.scale.quota)),
+            log: &fired_log,
+        };
+        let end = {
+            let m = guard.m.as_mut().expect("machine present");
+            if with_faults {
+                for f in job.plan.faults() {
+                    m.arm_fault(CoreId(f.core % cfg.cores), f.trigger);
+                }
+            }
+            let mut steps = 0u64;
+            loop {
+                if !m.step() {
+                    break ExecEnd::Finished;
+                }
+                steps += 1;
+                if steps >= STEP_BUDGET {
+                    break ExecEnd::StepBudget;
+                }
+                if m.now().raw() > job.scale.watchdog_cycles {
+                    break ExecEnd::Watchdog;
+                }
+            }
+        };
+        (guard.m.take().expect("machine present"), end)
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok((m, end)) => {
+            let fired = fired_string(m.fired_faults());
+            (m, end, fired)
+        }
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            // A surrogate machine so the outcome still carries a
+            // (zeroed) report with the right scheme and core count.
+            let empty = Machine::with_programs(
+                &cfg,
+                (0..cfg.cores).map(|_| CoreProgram::script([])).collect(),
+            );
+            let fired = fired_string(&fired_log.borrow());
+            (empty, ExecEnd::Panicked(msg), fired)
         }
     }
-    (m, true)
+}
+
+/// Formats a fired-fault record for the results table.
+fn fired_string(fired: &[rebound_core::FiredFault]) -> String {
+    if fired.is_empty() {
+        return "-".to_string();
+    }
+    fired
+        .iter()
+        .map(|f| format!("f{}@{}", f.core.index(), f.at.raw()))
+        .collect::<Vec<_>>()
+        .join("+")
 }
 
 /// Every data line either machine knows about: the union of both memory
@@ -134,19 +231,42 @@ fn total_stores(m: &Machine) -> u64 {
 /// Runs one job and, for faulty oracle-enabled jobs, the differential
 /// recovery oracle against a fault-free golden twin.
 pub fn run_job(job: &Job) -> JobOutcome {
-    let (faulty, finished) = execute(job, true);
+    let (faulty, end, fired) = execute(job, true);
     let report = faulty.report();
 
-    if !finished {
-        return JobOutcome {
-            job: job.clone(),
-            report,
-            verdict: OracleVerdict::Fail(format!(
-                "livelock: {STEP_BUDGET} events without terminating"
-            )),
-            golden: None,
-            checks: "budget".to_string(),
-        };
+    let stuck = |verdict: OracleVerdict, checks: &str| JobOutcome {
+        job: job.clone(),
+        report: report.clone(),
+        verdict,
+        golden: None,
+        checks: checks.to_string(),
+        fired: fired.clone(),
+    };
+    match end {
+        ExecEnd::Finished => {}
+        ExecEnd::StepBudget => {
+            return stuck(
+                OracleVerdict::Fail(format!(
+                    "livelock: {STEP_BUDGET} events without terminating"
+                )),
+                "budget",
+            );
+        }
+        ExecEnd::Watchdog => {
+            return stuck(
+                OracleVerdict::Fail(format!(
+                    "watchdog: still running past {} cycles",
+                    job.scale.watchdog_cycles
+                )),
+                "watchdog",
+            );
+        }
+        ExecEnd::Panicked(msg) => {
+            return stuck(
+                OracleVerdict::Fail(format!("machine panicked: {msg}")),
+                "panic",
+            );
+        }
     }
 
     if job.plan.is_clean() || !job.oracle {
@@ -156,6 +276,7 @@ pub fn run_job(job: &Job) -> JobOutcome {
             verdict: OracleVerdict::NotApplicable,
             golden: None,
             checks: String::new(),
+            fired,
         };
     }
 
@@ -166,6 +287,7 @@ pub fn run_job(job: &Job) -> JobOutcome {
         verdict,
         golden,
         checks,
+        fired,
     }
 }
 
@@ -208,10 +330,10 @@ fn judge(
         return (OracleVerdict::Pass, None, checks.join("+"));
     }
 
-    let (golden, golden_finished) = execute(job, false);
-    if !golden_finished {
+    let (golden, golden_end, _) = execute(job, false);
+    if golden_end != ExecEnd::Finished {
         return (
-            OracleVerdict::Fail("golden run livelocked".to_string()),
+            OracleVerdict::Fail(format!("golden run stuck: {golden_end:?}")),
             None,
             checks.join("+"),
         );
@@ -322,6 +444,63 @@ mod tests {
         let golden = out.golden.expect("golden twin ran");
         assert_eq!(golden.rollbacks, 0);
         assert!(out.checks.contains("memory"));
+    }
+
+    #[test]
+    fn phase_plan_passes_and_records_the_fired_cycle() {
+        use crate::spec::FaultPhase;
+        let out = run_job(&job(
+            Scheme::REBOUND,
+            "Blackscholes",
+            FaultPlan::on_phase(1, FaultPhase::CkptDrain).named("mid-drain"),
+        ));
+        assert_eq!(out.verdict, OracleVerdict::Pass, "checks: {}", out.checks);
+        assert!(out.report.rollbacks >= 1);
+        assert!(
+            out.fired.starts_with("f1@"),
+            "fired column must carry the resolved cycle, got {:?}",
+            out.fired
+        );
+        assert_eq!(out.job.plan.label(), "mid-drain");
+    }
+
+    #[test]
+    fn never_firing_phase_plan_is_vacuous_with_empty_fired() {
+        use crate::spec::FaultPhase;
+        // Scheme::None has no checkpoint machinery: no drain window can
+        // ever open, so the armed fault stays unfired.
+        let out = run_job(&job(
+            Scheme::None,
+            "Blackscholes",
+            FaultPlan::on_phase(0, FaultPhase::CkptDrain),
+        ));
+        assert_eq!(out.verdict, OracleVerdict::Vacuous);
+        assert_eq!(out.fired, "-");
+    }
+
+    #[test]
+    fn storm_plan_passes_with_every_detection_recorded() {
+        let out = run_job(&job(
+            Scheme::REBOUND,
+            "Blackscholes",
+            FaultPlan::storm(1, 2, 15_000, 6_000),
+        ));
+        assert_eq!(out.verdict, OracleVerdict::Pass, "checks: {}", out.checks);
+        assert_eq!(out.report.rollbacks, 2);
+        assert_eq!(out.fired, "f1@15000+f1@21000");
+    }
+
+    #[test]
+    fn watchdog_trips_on_an_impossible_cycle_bound() {
+        // A watchdog tighter than any real run forces the failure path:
+        // the job must fail loudly with the watchdog diagnosis instead
+        // of hanging or passing.
+        let mut j = job(Scheme::REBOUND, "Blackscholes", FaultPlan::single(1, 5_000));
+        j.scale.watchdog_cycles = 1_000;
+        let out = run_job(&j);
+        assert!(out.verdict.is_failure());
+        assert!(matches!(&out.verdict, OracleVerdict::Fail(m) if m.contains("watchdog")));
+        assert_eq!(out.checks, "watchdog");
     }
 
     #[test]

@@ -28,6 +28,7 @@ const COLUMNS: &[&str] = &[
     "cores",
     "seed",
     "plan",
+    "fired",
     "cycles",
     "insts",
     "checkpoints",
@@ -54,6 +55,7 @@ impl CampaignResult {
             o.job.cores.to_string(),
             o.job.seed.to_string(),
             o.job.plan.label(),
+            o.fired.clone(),
             o.report.cycles.to_string(),
             o.report.insts.to_string(),
             o.report.checkpoints.to_string(),

@@ -4,39 +4,112 @@
 use rebound_core::{MachineConfig, Scheme};
 use rebound_workloads::profile_named;
 
-/// One injected transient fault: *detected* at `core` at cycle `at_cycle`
-/// (§3.2 — the caller chooses the detection instant directly).
+pub use rebound_core::fault::{FaultPhase, FaultTrigger};
+
+/// One injected transient fault: *detected* at `core` when `trigger`
+/// resolves (§3.2 — cycle-timed, or phase-aware against the machine's
+/// observable checkpoint/rollback state).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultSpec {
     /// Faulty core (taken modulo the job's core count at run time).
     pub core: usize,
-    /// Detection cycle.
-    pub at_cycle: u64,
+    /// When the fault becomes detected.
+    pub trigger: FaultTrigger,
 }
 
-/// A named set of faults injected into one run. The empty plan is the
+impl FaultSpec {
+    /// A fault detected at `core` at a fixed cycle.
+    pub fn at(core: usize, at_cycle: u64) -> FaultSpec {
+        FaultSpec {
+            core,
+            trigger: FaultTrigger::AtCycle(at_cycle),
+        }
+    }
+
+    /// A fault detected when `core` first enters `phase`.
+    pub fn on_phase(core: usize, phase: FaultPhase) -> FaultSpec {
+        FaultSpec {
+            core,
+            trigger: FaultTrigger::OnPhase(phase),
+        }
+    }
+
+    /// Compact `f<core>@<trigger>` term used in plan labels.
+    fn term(&self) -> String {
+        format!("f{}{}", self.core, self.trigger.label())
+    }
+}
+
+/// A set of faults injected into one run, optionally carrying a *plan
+/// family name* (adversarial campaigns name their scenarios; `--filter`
+/// and result tables match on the name). The empty plan is the
 /// fault-free run every campaign also measures.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
+    name: Option<String>,
     faults: Vec<FaultSpec>,
 }
 
 impl FaultPlan {
     /// The fault-free plan.
     pub fn clean() -> FaultPlan {
-        FaultPlan { faults: Vec::new() }
+        FaultPlan {
+            name: None,
+            faults: Vec::new(),
+        }
     }
 
     /// A single fault detected at `core` at `at_cycle`.
     pub fn single(core: usize, at_cycle: u64) -> FaultPlan {
         FaultPlan {
-            faults: vec![FaultSpec { core, at_cycle }],
+            name: None,
+            faults: vec![FaultSpec::at(core, at_cycle)],
+        }
+    }
+
+    /// A single fault detected when `core` first enters `phase`.
+    pub fn on_phase(core: usize, phase: FaultPhase) -> FaultPlan {
+        FaultPlan {
+            name: None,
+            faults: vec![FaultSpec::on_phase(core, phase)],
+        }
+    }
+
+    /// A single fault detected right after `core`'s `n`-th checkpoint.
+    pub fn after_ckpt(core: usize, n: u64) -> FaultPlan {
+        FaultPlan {
+            name: None,
+            faults: vec![FaultSpec {
+                core,
+                trigger: FaultTrigger::AfterNthCheckpoint(n),
+            }],
+        }
+    }
+
+    /// A fault storm at `core`: `count` detections starting at `start`,
+    /// `gap` cycles apart.
+    pub fn storm(core: usize, count: u32, start: u64, gap: u64) -> FaultPlan {
+        FaultPlan {
+            name: None,
+            faults: vec![FaultSpec {
+                core,
+                trigger: FaultTrigger::Storm { count, start, gap },
+            }],
         }
     }
 
     /// An arbitrary multi-fault plan.
     pub fn multi(faults: Vec<FaultSpec>) -> FaultPlan {
-        FaultPlan { faults }
+        FaultPlan { name: None, faults }
+    }
+
+    /// Names the plan (its family label in job labels, `--filter`
+    /// matching and result tables).
+    pub fn named(self, name: impl Into<String>) -> FaultPlan {
+        FaultPlan {
+            name: Some(name.into()),
+            ..self
+        }
     }
 
     /// The injected faults.
@@ -49,15 +122,26 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
-    /// Compact label used in job labels and result tables:
-    /// `clean`, or `f<core>@<cycle>` terms joined by `+`.
+    /// Label used in job labels and result tables: the family name if
+    /// the plan has one, else [`FaultPlan::detail`].
     pub fn label(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => self.detail(),
+        }
+    }
+
+    /// The derived trigger description, independent of any family name:
+    /// `clean`, or `f<core>@<trigger>` terms joined by `+` — where
+    /// `<trigger>` is a cycle, a phase (`init`/`drain`/`join`/`barr`/
+    /// `rbk`), `ck<n>`, or `storm<count>x<gap>+<start>`.
+    pub fn detail(&self) -> String {
         if self.faults.is_empty() {
             return "clean".to_string();
         }
         self.faults
             .iter()
-            .map(|f| format!("f{}@{}", f.core, f.at_cycle))
+            .map(FaultSpec::term)
             .collect::<Vec<_>>()
             .join("+")
     }
@@ -75,6 +159,10 @@ pub struct RunScale {
     pub quota: u64,
     /// Fault-detection latency bound L, cycles.
     pub detect_latency: u64,
+    /// Watchdog: a run still alive past this cycle count is declared
+    /// stuck and fails its job loudly instead of hanging the campaign.
+    /// Hundreds of times any healthy run at the same scale.
+    pub watchdog_cycles: u64,
 }
 
 impl RunScale {
@@ -84,6 +172,7 @@ impl RunScale {
             interval: 8_000,
             quota: 24_000,
             detect_latency: 500,
+            watchdog_cycles: 50_000_000,
         }
     }
 
@@ -93,6 +182,7 @@ impl RunScale {
             interval: 6_000,
             quota: 12_000,
             detect_latency: 500,
+            watchdog_cycles: 20_000_000,
         }
     }
 
@@ -102,6 +192,20 @@ impl RunScale {
             interval: 2_000,
             quota: 8_000,
             detect_latency: 500,
+            watchdog_cycles: 10_000_000,
+        }
+    }
+
+    /// The adversarial scale: long enough runs (and a 40k-instruction
+    /// interval against Ocean's 50k-instruction barriers) that every
+    /// checkpoint-protocol window — collection, drain, membership,
+    /// BarCK episodes — actually opens.
+    pub fn adversarial() -> RunScale {
+        RunScale {
+            interval: 40_000,
+            quota: 120_000,
+            detect_latency: 500,
+            watchdog_cycles: 100_000_000,
         }
     }
 }
@@ -159,6 +263,42 @@ impl CampaignSpec {
             seeds: vec![1, 2],
             plans: vec![FaultPlan::clean(), FaultPlan::single(1, 20_000)],
             scale: RunScale::smoke(),
+            oracle: true,
+        }
+    }
+
+    /// The adversarial recovery matrix: **every** trigger kind ×
+    /// **every** `Scheme` const, aimed at the hardest windows §3.3.5
+    /// names — an initiator mid-collection, a member mid-drain, a core
+    /// that just joined someone else's episode, a live BarCK episode,
+    /// a second fault during another core's rollback, a fault right
+    /// after a fresh checkpoint, and a three-fault storm. Ocean's
+    /// barrier cadence (50k insts) against the 40k-instruction interval
+    /// keeps the barrier-episode window reachable; FFT covers the
+    /// barrier-free side. Every faulty job is oracle-checked.
+    pub fn adversarial() -> CampaignSpec {
+        let plans = vec![
+            FaultPlan::clean(),
+            FaultPlan::single(1, 60_000).named("at-cycle"),
+            FaultPlan::on_phase(1, FaultPhase::CkptInitiate).named("mid-initiate"),
+            FaultPlan::on_phase(1, FaultPhase::CkptDrain).named("mid-drain"),
+            FaultPlan::on_phase(2, FaultPhase::MemberJoin).named("mid-join"),
+            FaultPlan::on_phase(3, FaultPhase::BarrierEpisode).named("barrier-episode"),
+            FaultPlan::after_ckpt(1, 2).named("post-ckpt2"),
+            FaultPlan::multi(vec![
+                FaultSpec::at(0, 60_000),
+                FaultSpec::on_phase(2, FaultPhase::RollbackOfOther),
+            ])
+            .named("rollback-cross"),
+            FaultPlan::storm(1, 3, 50_000, 25_000).named("storm3"),
+        ];
+        CampaignSpec {
+            schemes: Scheme::ALL.to_vec(),
+            apps: vec!["Ocean".to_string(), "FFT".to_string()],
+            core_counts: vec![8],
+            seeds: vec![1, 2],
+            plans,
+            scale: RunScale::adversarial(),
             oracle: true,
         }
     }
@@ -306,18 +446,51 @@ mod tests {
         assert_eq!(FaultPlan::clean().label(), "clean");
         assert_eq!(FaultPlan::single(1, 30_000).label(), "f1@30000");
         assert_eq!(
-            FaultPlan::multi(vec![
-                FaultSpec {
-                    core: 0,
-                    at_cycle: 10
-                },
-                FaultSpec {
-                    core: 2,
-                    at_cycle: 20
-                },
-            ])
-            .label(),
+            FaultPlan::multi(vec![FaultSpec::at(0, 10), FaultSpec::at(2, 20)]).label(),
             "f0@10+f2@20"
+        );
+        assert_eq!(
+            FaultPlan::on_phase(1, FaultPhase::CkptDrain).label(),
+            "f1@drain"
+        );
+        assert_eq!(FaultPlan::after_ckpt(0, 2).label(), "f0@ck2");
+        assert_eq!(FaultPlan::storm(3, 2, 100, 50).label(), "f3@storm2x50+100");
+        // A named plan labels as its family name; the trigger detail
+        // stays available separately.
+        let p = FaultPlan::on_phase(1, FaultPhase::MemberJoin).named("mid-join");
+        assert_eq!(p.label(), "mid-join");
+        assert_eq!(p.detail(), "f1@join");
+    }
+
+    #[test]
+    fn adversarial_covers_every_trigger_kind_and_scheme() {
+        let spec = CampaignSpec::adversarial();
+        assert_eq!(spec.schemes, Scheme::ALL.to_vec());
+        let triggers: Vec<FaultTrigger> = spec
+            .plans
+            .iter()
+            .flat_map(|p| p.faults().iter().map(|f| f.trigger))
+            .collect();
+        assert!(triggers
+            .iter()
+            .any(|t| matches!(t, FaultTrigger::AtCycle(_))));
+        assert!(triggers
+            .iter()
+            .any(|t| matches!(t, FaultTrigger::AfterNthCheckpoint(_))));
+        assert!(triggers
+            .iter()
+            .any(|t| matches!(t, FaultTrigger::Storm { .. })));
+        for phase in FaultPhase::ALL {
+            assert!(
+                triggers.contains(&FaultTrigger::OnPhase(phase)),
+                "phase {phase:?} missing from the adversarial matrix"
+            );
+        }
+        let jobs = spec.expand();
+        assert_eq!(
+            jobs.len(),
+            Scheme::ALL.len() * 2 * 2 * spec.plans.len(),
+            "schemes x apps x seeds x plans"
         );
     }
 

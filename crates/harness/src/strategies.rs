@@ -1,0 +1,76 @@
+//! Proptest strategies for fault plans.
+//!
+//! [`arb_fault_trigger`] samples every [`FaultTrigger`] variant —
+//! cycle-timed, all five [`FaultPhase`]s, checkpoint-count, storms — and
+//! [`arb_fault_plan`] composes one-to-three of them into a (possibly
+//! multi-fault, cross-core) [`FaultPlan`], so property tests sweep
+//! adversarial scenarios the hand-written campaign families never name.
+//! Cycle parameters are drawn inside the window a
+//! [`RunScale::campaign`]-sized run actually executes, keeping most
+//! generated plans non-vacuous.
+//!
+//! [`RunScale::campaign`]: crate::spec::RunScale::campaign
+
+use proptest::prelude::*;
+
+use crate::spec::{FaultPhase, FaultPlan, FaultSpec, FaultTrigger};
+
+/// Strategy over every [`FaultPhase`].
+pub fn arb_fault_phase() -> impl Strategy<Value = FaultPhase> {
+    (0usize..FaultPhase::ALL.len()).prop_map(|i| FaultPhase::ALL[i])
+}
+
+/// Strategy over every [`FaultTrigger`] variant. `max_cycle` bounds the
+/// cycle-timed variants (detections beyond the run are merely vacuous,
+/// so a loose bound is fine).
+pub fn arb_fault_trigger(max_cycle: u64) -> impl Strategy<Value = FaultTrigger> {
+    // Floor of 4 keeps every sub-range (1..hi, 1..hi/2) non-empty even
+    // for degenerate max_cycle values.
+    let hi = max_cycle.max(4);
+    prop_oneof![
+        (1..hi).prop_map(FaultTrigger::AtCycle),
+        arb_fault_phase().prop_map(FaultTrigger::OnPhase),
+        (1u64..4).prop_map(FaultTrigger::AfterNthCheckpoint),
+        (2u32..4, 1..hi / 2, 200u64..8_000).prop_map(|(count, start, gap)| FaultTrigger::Storm {
+            count,
+            start,
+            gap
+        }),
+    ]
+}
+
+/// Strategy over whole fault plans: one to three faults, each with an
+/// arbitrary trigger, aimed at cores `0..ncores`.
+pub fn arb_fault_plan(ncores: usize, max_cycle: u64) -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec(
+        (0..ncores.max(1), arb_fault_trigger(max_cycle))
+            .prop_map(|(core, trigger)| FaultSpec { core, trigger }),
+        1..=3,
+    )
+    .prop_map(FaultPlan::multi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Generated plans are well-formed: never clean, cores in range,
+        /// and the label round-trips through the detail format.
+        #[test]
+        fn generated_plans_are_well_formed(plan in arb_fault_plan(4, 100_000)) {
+            prop_assert!(!plan.is_clean());
+            prop_assert!(plan.faults().len() <= 3);
+            for f in plan.faults() {
+                prop_assert!(f.core < 4);
+                if let FaultTrigger::Storm { count, gap, .. } = f.trigger {
+                    prop_assert!(count >= 2 && gap >= 200);
+                }
+            }
+            prop_assert!(plan.label().starts_with('f'));
+            prop_assert_eq!(plan.label(), plan.detail());
+        }
+    }
+}

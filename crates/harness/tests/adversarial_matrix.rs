@@ -1,0 +1,39 @@
+//! `#[ignore]`-gated adversarial-matrix smoke: all trigger kinds × all
+//! `Scheme` consts at one seed, every faulty job oracle-checked with the
+//! cycle watchdog armed. CI runs this in the `campaign-smoke` job
+//! (`cargo test -p rebound-harness --release -- --ignored`); locally:
+//! `cargo test -p rebound-harness -- --ignored adversarial_matrix`.
+
+use rebound_harness::{default_jobs, run_campaign, CampaignSpec, OracleVerdict};
+
+#[test]
+#[ignore = "runs half the adversarial matrix (126 oracle-checked jobs); minutes"]
+fn adversarial_matrix_smoke_recovers_everywhere() {
+    let mut spec = CampaignSpec::adversarial();
+    spec.seeds.truncate(1); // small seed count; the CLI runs the full matrix
+    let result = run_campaign(&spec, default_jobs());
+    assert!(
+        result.failures().is_empty(),
+        "adversarial failures: {}\n{}",
+        result.summary(),
+        result
+            .failures()
+            .iter()
+            .map(|f| format!("{}: {:?}", f.job.label(), f.verdict))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Every named plan family must pass *non-vacuously* on at least one
+    // scheme — a trigger whose window never opens anywhere would make
+    // the matrix silently weaker.
+    for plan in spec.plans.iter().filter(|p| !p.is_clean()) {
+        let name = plan.label();
+        assert!(
+            result.outcomes.iter().any(|o| o.job.plan.label() == name
+                && matches!(o.verdict, OracleVerdict::Pass)
+                && o.fired != "-"),
+            "plan family {name:?} never fired-and-passed on any scheme"
+        );
+    }
+}

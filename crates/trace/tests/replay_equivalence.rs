@@ -1,17 +1,25 @@
 //! End-to-end fidelity: a machine fed a recorded-and-reserialized trace is
-//! cycle-identical to a machine running the live generator.
+//! cycle-identical to a machine running the live generator — fault-free
+//! *and* under fault injection (rollback re-executes from checkpoint
+//! snapshots, which must behave identically for scripted and generated
+//! programs).
 
 use proptest::prelude::*;
+use rebound_core::fault::FaultTrigger;
 use rebound_core::{CoreProgram, Machine, MachineConfig, Scheme};
+use rebound_engine::CoreId;
 use rebound_trace::{record, Trace};
 use rebound_workloads::profile_named;
 
-fn run_live(cfg: &MachineConfig, app: &str, quota: u64) -> rebound_core::RunReport {
+/// `(victim, trigger)` faults armed identically on both machines.
+type Faults<'a> = &'a [(usize, FaultTrigger)];
+
+fn live_machine(cfg: &MachineConfig, app: &str, quota: u64) -> Machine {
     let p = profile_named(app).expect("catalog app");
-    Machine::from_profile(cfg, &p, quota).run_to_completion()
+    Machine::from_profile(cfg, &p, quota)
 }
 
-fn run_traced(cfg: &MachineConfig, app: &str, quota: u64) -> rebound_core::RunReport {
+fn traced_machine(cfg: &MachineConfig, app: &str, quota: u64) -> Machine {
     let p = profile_named(app).expect("catalog app");
     let trace = record(&p, cfg.cores, cfg.seed, quota);
 
@@ -25,7 +33,28 @@ fn run_traced(cfg: &MachineConfig, app: &str, quota: u64) -> rebound_core::RunRe
         .into_iter()
         .map(CoreProgram::script)
         .collect();
-    Machine::with_programs(cfg, programs).run_to_completion()
+    Machine::with_programs(cfg, programs)
+}
+
+fn run(mut m: Machine, faults: Faults) -> (rebound_core::RunReport, Vec<(usize, u64)>) {
+    for &(core, trigger) in faults {
+        m.arm_fault(CoreId(core), trigger);
+    }
+    let report = m.run_to_completion();
+    let fired = m
+        .fired_faults()
+        .iter()
+        .map(|f| (f.core.index(), f.at.raw()))
+        .collect();
+    (report, fired)
+}
+
+fn run_live(cfg: &MachineConfig, app: &str, quota: u64) -> rebound_core::RunReport {
+    run(live_machine(cfg, app, quota), &[]).0
+}
+
+fn run_traced(cfg: &MachineConfig, app: &str, quota: u64) -> rebound_core::RunReport {
+    run(traced_machine(cfg, app, quota), &[]).0
 }
 
 #[test]
@@ -36,6 +65,55 @@ fn traced_run_is_cycle_identical_to_live_run() {
         cfg.ckpt_interval_insts = 10_000;
         let live = run_live(&cfg, app, 30_000);
         let traced = run_traced(&cfg, app, 30_000);
+        assert_eq!(live.cycles, traced.cycles, "{app}: cycle mismatch");
+        assert_eq!(live.insts, traced.insts, "{app}: instruction mismatch");
+        assert_eq!(
+            live.checkpoints, traced.checkpoints,
+            "{app}: checkpoint mismatch"
+        );
+        assert_eq!(live.log_entries, traced.log_entries, "{app}: log mismatch");
+    }
+}
+
+/// Replay equivalence under fault injection: a faulty trace-fed run is
+/// cycle-identical to the faulty generator-fed run — same rollbacks,
+/// same resolved fault cycles, same committed work. This is what makes
+/// a recorded trace a faithful reproducer for any adversarial scenario
+/// a campaign CSV row names.
+#[test]
+fn faulty_traced_run_is_identical_to_faulty_live_run() {
+    use rebound_core::fault::FaultPhase;
+    let scenarios: &[(&str, &[(usize, FaultTrigger)])] = &[
+        ("Barnes", &[(1, FaultTrigger::AtCycle(20_000))]),
+        (
+            "Ocean",
+            &[(2, FaultTrigger::OnPhase(FaultPhase::CkptDrain))],
+        ),
+        (
+            "FFT",
+            &[
+                (0, FaultTrigger::AtCycle(15_000)),
+                (
+                    2,
+                    FaultTrigger::Storm {
+                        count: 2,
+                        start: 22_000,
+                        gap: 5_000,
+                    },
+                ),
+            ],
+        ),
+    ];
+    for &(app, faults) in scenarios {
+        let mut cfg = MachineConfig::small(6);
+        cfg.scheme = Scheme::REBOUND;
+        cfg.ckpt_interval_insts = 10_000;
+        cfg.detect_latency = 500;
+        let (live, live_fired) = run(live_machine(&cfg, app, 30_000), faults);
+        let (traced, traced_fired) = run(traced_machine(&cfg, app, 30_000), faults);
+        assert!(live.rollbacks >= 1, "{app}: fault plan was vacuous");
+        assert_eq!(live.rollbacks, traced.rollbacks, "{app}: rollback mismatch");
+        assert_eq!(live_fired, traced_fired, "{app}: fault cycles diverged");
         assert_eq!(live.cycles, traced.cycles, "{app}: cycle mismatch");
         assert_eq!(live.insts, traced.insts, "{app}: instruction mismatch");
         assert_eq!(
@@ -64,5 +142,25 @@ proptest! {
         let traced = run_traced(&cfg, "FFT", 16_000);
         prop_assert_eq!(live.cycles, traced.cycles);
         prop_assert_eq!(live.checkpoints, traced.checkpoints);
+    }
+
+    /// Faulty replay equivalence is seed- and victim-independent.
+    #[test]
+    fn faulty_replay_equivalence_across_seeds(
+        seed in 0u64..500,
+        victim in 0usize..4,
+        at in 5_000u64..40_000,
+    ) {
+        let mut cfg = MachineConfig::small(4);
+        cfg.seed = seed;
+        cfg.scheme = Scheme::REBOUND;
+        cfg.ckpt_interval_insts = 8_000;
+        cfg.detect_latency = 500;
+        let faults = [(victim, FaultTrigger::AtCycle(at))];
+        let (live, live_fired) = run(live_machine(&cfg, "FFT", 16_000), &faults);
+        let (traced, traced_fired) = run(traced_machine(&cfg, "FFT", 16_000), &faults);
+        prop_assert_eq!(live.cycles, traced.cycles);
+        prop_assert_eq!(live.rollbacks, traced.rollbacks);
+        prop_assert_eq!(live_fired, traced_fired);
     }
 }

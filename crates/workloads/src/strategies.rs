@@ -155,6 +155,14 @@ pub fn arb_stream(ncores: usize, quota: u64) -> impl Strategy<Value = (AppProfil
     })
 }
 
+/// Strategy over the *names* of every catalog application — for tests
+/// that sweep real workloads (e.g. the harness's fault-plan properties)
+/// rather than synthetic profiles.
+pub fn arb_catalog_app() -> impl Strategy<Value = String> {
+    let n = crate::all_profiles().len();
+    (0..n).prop_map(|i| crate::all_profiles()[i].name.to_string())
+}
+
 /// Drains a stream to its `End`, returning the ops (test helper).
 pub fn drain(stream: &mut OpStream) -> Vec<Op> {
     let mut ops = Vec::new();

@@ -54,5 +54,7 @@ pub use rebound_trace as trace;
 pub use rebound_workloads as workloads;
 
 pub use rebound_core::{Machine, MachineConfig, RunReport, Scheme};
-pub use rebound_harness::{run_campaign, CampaignResult, CampaignSpec, FaultPlan};
+pub use rebound_harness::{
+    run_campaign, CampaignResult, CampaignSpec, FaultPhase, FaultPlan, FaultSpec, FaultTrigger,
+};
 pub use rebound_workloads::{all_profiles, profile_named, AppProfile};

@@ -11,7 +11,11 @@
 //! Instead of criterion's full statistical pipeline it takes `sample_size`
 //! timed samples after a short warm-up and prints min/median/mean per
 //! benchmark — enough to compare hot paths between commits. Honour
-//! `CRITERION_SAMPLE_MS` to change the per-sample time budget.
+//! `CRITERION_SAMPLE_MS` to change the per-sample time budget, and
+//! `CRITERION_JSON=<path>` to additionally append one JSON object per
+//! benchmark (`{"bench","min_ns","median_ns","mean_ns","samples"}`,
+//! JSON-lines) — how the repo's committed `BENCH_*.json` baselines are
+//! produced.
 
 use std::time::{Duration, Instant};
 
@@ -144,6 +148,21 @@ impl BenchmarkGroup<'_> {
             }
         }
         println!("{line}");
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            use std::io::Write as _;
+            let obj = format!(
+                "{{\"bench\":\"{prefix}{id}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"samples\":{}}}\n",
+                min.as_nanos(),
+                median.as_nanos(),
+                mean.as_nanos(),
+                samples.len()
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(obj.as_bytes()));
+        }
         self
     }
 
