@@ -3,15 +3,14 @@
 //! logging) and the substrate structures they ride on.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::collections::HashMap;
 use std::hint::black_box;
 
 use rebound_coherence::{CoreSet, Directory};
 use rebound_core::{DepRegFile, Wsig};
-use rebound_engine::{CoreId, Cycle, DetRng, EventQueue, LineAddr};
+use rebound_engine::{CoreId, Cycle, DetRng, EventQueue, LineAddr, LineId};
 use rebound_mem::{
-    CacheConfig, L2Line, MemAccessClass, MemoryController, MemoryTiming, MesiState, SetAssoc,
-    UndoLog,
+    CacheConfig, L2Line, MemAccessClass, MemoryController, MemoryTiming, MesiState,
+    RollbackTargets, SetAssoc, UndoLog,
 };
 
 fn bench_wsig(c: &mut Criterion) {
@@ -110,7 +109,7 @@ fn bench_log(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            black_box(log.append(CoreId(0), 0, LineAddr(i % 512), i))
+            black_box(log.append(CoreId(0), 0, LineAddr(i % 512), LineId((i % 512) as u32), i))
         });
     });
     g.bench_function("rollback_1k_entries", |b| {
@@ -119,12 +118,18 @@ fn bench_log(c: &mut Criterion) {
                 let mut log = UndoLog::new(4, 44);
                 log.append_stub(CoreId(0), 0);
                 for i in 0..1_000u64 {
-                    log.append(CoreId(0), 1 + i, LineAddr(i % 256), i);
+                    log.append(
+                        CoreId(0),
+                        1 + i,
+                        LineAddr(i % 256),
+                        LineId((i % 256) as u32),
+                        i,
+                    );
                 }
                 log
             },
             |mut log| {
-                let targets: HashMap<CoreId, u64> = [(CoreId(0), 0u64)].into_iter().collect();
+                let targets = RollbackTargets::from_pairs(&[(0, 0)]);
                 black_box(log.rollback(&targets).restores.len())
             },
             BatchSize::SmallInput,
@@ -181,7 +186,7 @@ fn bench_directory(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let e = dir.entry_mut(LineAddr(i % 8192));
+            let e = dir.entry_mut(LineId((i % 8192) as u32));
             e.lw_id = Some(CoreId((i % 64) as usize));
             black_box(e.lw_id)
         });

@@ -1,0 +1,95 @@
+//! End-to-end simulation throughput: whole `Machine` runs from boot to
+//! clean termination, the number a campaign or figure sweep actually
+//! pays per job. Cells span the scheme flavours that exercise the three
+//! hot data-plane paths (Global: no dependence tracking; Rebound: LW-ID
+//! plus WSIG and Dep registers; Rebound_Barr: barrier episodes on top)
+//! crossed with Ocean/FFT and 16/64/256 cores — the 256-core cells are
+//! the paper-scale regime the dense `LineId` data plane exists for.
+//!
+//! Reported as time per full run; each cell also sets
+//! `Throughput::Elements(committed instructions)` so the harness prints
+//! committed-insts/sec, and a `# events` line per cell gives the
+//! events/sec denominator.
+//!
+//! Baseline: `BENCH_sim.json` at the repo root, regenerated from the
+//! repo root with `CRITERION_JSON=$PWD/BENCH_sim.json cargo bench -p
+//! rebound-bench --bench sim_throughput`. Knobs: `SIM_BENCH_CORES`
+//! (comma-separated core counts, default `16,64,256`) and
+//! `SIM_BENCH_QUICK=1` (CI smoke: `16,64` cores only).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use rebound_core::{Machine, MachineConfig, Scheme};
+use rebound_workloads::profile_named;
+
+/// Instruction quota per core; small enough that a 256-core cell stays
+/// in the hundreds of milliseconds, large enough that several checkpoint
+/// intervals (interval 8k) complete per core.
+const QUOTA: u64 = 6_000;
+
+fn config(scheme: Scheme, cores: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::small(cores);
+    cfg.scheme = scheme;
+    cfg.ckpt_interval_insts = 8_000;
+    cfg.seed = 7;
+    cfg
+}
+
+fn build(scheme: Scheme, app: &str, cores: usize) -> Machine {
+    let profile = profile_named(app).expect("catalog app");
+    Machine::from_profile(&config(scheme, cores), &profile, QUOTA)
+}
+
+/// Runs the machine to completion, returning (committed insts, events).
+fn run(mut m: Machine) -> (u64, u64) {
+    let mut events = 0u64;
+    while m.step() {
+        events += 1;
+    }
+    (m.report().insts, events)
+}
+
+fn core_counts() -> Vec<usize> {
+    // Quick mode skips only the heavy 256-core cells, so every measured
+    // cell still has a committed baseline for `bench_guard` to check.
+    let spec = if std::env::var("SIM_BENCH_QUICK").is_ok() {
+        "16,64".to_string()
+    } else {
+        std::env::var("SIM_BENCH_CORES").unwrap_or_else(|_| "16,64,256".to_string())
+    };
+    spec.split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let schemes = [Scheme::GLOBAL, Scheme::REBOUND, Scheme::REBOUND_BARR];
+    let apps = ["Ocean", "FFT"];
+    let mut g = c.benchmark_group("sim");
+    for &cores in &core_counts() {
+        for scheme in schemes {
+            for app in apps {
+                // One untimed run pins the cell's deterministic work so
+                // the throughput line is in committed-insts/sec.
+                let (insts, events) = run(build(scheme, app, cores));
+                println!(
+                    "# sim/{}/{app}/{cores}c: {insts} insts, {events} events",
+                    scheme.label()
+                );
+                g.throughput(Throughput::Elements(insts));
+                g.bench_function(format!("{}/{app}/{cores}c", scheme.label()), |b| {
+                    b.iter_batched(
+                        || build(scheme, app, cores),
+                        |m| black_box(run(m)),
+                        BatchSize::SmallInput,
+                    );
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! `bench_guard` — compare a freshly produced `CRITERION_JSON` file
+//! against a committed baseline and fail on regression.
+//!
+//! ```text
+//! bench_guard <baseline.json> <fresh.json> [--pct N]
+//! ```
+//!
+//! Both files are the vendored criterion's JSON-lines format (one
+//! `{"bench","min_ns","median_ns","mean_ns","samples"}` object per
+//! line). Every bench present in the *fresh* file is looked up in the
+//! baseline; the guard exits nonzero if any median regressed by more
+//! than `N` percent (default 30, or `BENCH_GUARD_PCT`). Benches present
+//! only in one file are reported but never fail the guard — CI quick
+//! runs measure a subset of the committed cells, and baselines are
+//! hardware-specific, so the threshold is a tripwire for gross
+//! regressions, not a statistical test.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `"key":<u64>` from one JSON-lines record.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"bench":"<name>"`.
+fn field_name(line: &str) -> Option<String> {
+    let pat = "\"bench\":\"";
+    let start = line.find(pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parses a JSON-lines bench file into name → median_ns. Later records
+/// win (a regenerated file may append).
+fn parse(path: &str) -> BTreeMap<String, u64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_guard: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if let (Some(name), Some(median)) = (field_name(line), field_u64(line, "median_ns")) {
+            out.insert(name, median);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut pct: f64 = std::env::var("BENCH_GUARD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pct" => {
+                i += 1;
+                pct = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bench_guard: --pct needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other => files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        eprintln!("usage: bench_guard <baseline.json> <fresh.json> [--pct N]");
+        return ExitCode::from(2);
+    }
+    let baseline = parse(&files[0]);
+    let fresh = parse(&files[1]);
+    if fresh.is_empty() {
+        eprintln!("bench_guard: {} holds no bench records", files[1]);
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for (name, &med) in &fresh {
+        match baseline.get(name) {
+            Some(&base) => {
+                let delta = (med as f64 - base as f64) / base as f64 * 100.0;
+                let verdict = if delta > pct {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!("{verdict:>9}  {name}: baseline {base} ns, fresh {med} ns ({delta:+.1}%)");
+            }
+            None => println!("  no-base  {name}: fresh {med} ns (not in baseline)"),
+        }
+    }
+    for name in baseline.keys() {
+        if !fresh.contains_key(name) {
+            println!(" unchecked  {name}: present only in baseline");
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_guard: median regression beyond {pct}% against {}",
+            files[0]
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -5,12 +5,16 @@ use std::ops::{BitAnd, BitOr, BitOrAssign};
 
 use rebound_engine::CoreId;
 
-/// A set of processors, stored as a 64-bit mask.
+/// Words backing a [`CoreSet`]; 4 × 64 bits = 256 processors.
+const WORDS: usize = 4;
+
+/// A set of processors, stored as a fixed 256-bit mask.
 ///
 /// The paper's `MyProducers` and `MyConsumers` Dep registers "have as many
-/// bits as processors in the chip" (§3.3.1); the evaluated machine tops out
-/// at 64 cores, so a single word suffices — exactly the hardware structure
-/// being modelled.
+/// bits as processors in the chip" (§3.3.1). The paper evaluates up to 64
+/// cores; the scale campaigns and throughput benches push the same machine
+/// model to 256, so the mask is four words — still a plain `Copy` register
+/// image, exactly the hardware structure being modelled.
 ///
 /// # Example
 ///
@@ -20,21 +24,21 @@ use rebound_engine::CoreId;
 ///
 /// let mut s = CoreSet::new();
 /// s.insert(CoreId(3));
-/// s.insert(CoreId(5));
+/// s.insert(CoreId(200));
 /// assert!(s.contains(CoreId(3)));
 /// assert_eq!(s.len(), 2);
-/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![CoreId(3), CoreId(5)]);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![CoreId(3), CoreId(200)]);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub struct CoreSet(u64);
+pub struct CoreSet([u64; WORDS]);
 
 impl CoreSet {
     /// The maximum number of processors a `CoreSet` can represent.
-    pub const MAX_CORES: usize = 64;
+    pub const MAX_CORES: usize = WORDS * 64;
 
     /// Creates an empty set.
     pub fn new() -> CoreSet {
-        CoreSet(0)
+        CoreSet([0; WORDS])
     }
 
     /// Creates a set holding exactly one processor.
@@ -48,27 +52,33 @@ impl CoreSet {
     ///
     /// # Panics
     ///
-    /// Panics if `n > 64`.
+    /// Panics if `n > 256`.
     pub fn all(n: usize) -> CoreSet {
         assert!(n <= Self::MAX_CORES, "at most {} cores", Self::MAX_CORES);
-        if n == 64 {
-            CoreSet(u64::MAX)
-        } else {
-            CoreSet((1u64 << n) - 1)
+        let mut words = [0u64; WORDS];
+        for (w, word) in words.iter_mut().enumerate() {
+            let lo = w * 64;
+            if n >= lo + 64 {
+                *word = u64::MAX;
+            } else if n > lo {
+                *word = (1u64 << (n - lo)) - 1;
+            }
         }
+        CoreSet(words)
     }
 
     /// Adds a processor. Returns whether it was newly inserted.
     ///
     /// # Panics
     ///
-    /// Panics if the core index is 64 or greater.
+    /// Panics if the core index is 256 or greater.
     #[inline]
     pub fn insert(&mut self, core: CoreId) -> bool {
         assert!(core.index() < Self::MAX_CORES);
-        let bit = 1u64 << core.index();
-        let new = self.0 & bit == 0;
-        self.0 |= bit;
+        let bit = 1u64 << (core.index() % 64);
+        let word = &mut self.0[core.index() / 64];
+        let new = *word & bit == 0;
+        *word |= bit;
         new
     }
 
@@ -78,97 +88,128 @@ impl CoreSet {
         if core.index() >= Self::MAX_CORES {
             return false;
         }
-        let bit = 1u64 << core.index();
-        let had = self.0 & bit != 0;
-        self.0 &= !bit;
+        let bit = 1u64 << (core.index() % 64);
+        let word = &mut self.0[core.index() / 64];
+        let had = *word & bit != 0;
+        *word &= !bit;
         had
     }
 
     /// Whether the processor is in the set.
     #[inline]
     pub fn contains(self, core: CoreId) -> bool {
-        core.index() < Self::MAX_CORES && self.0 & (1u64 << core.index()) != 0
+        core.index() < Self::MAX_CORES
+            && self.0[core.index() / 64] & (1u64 << (core.index() % 64)) != 0
     }
 
     /// Number of processors in the set.
     #[inline]
     pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0 == [0; WORDS]
     }
 
     /// Empties the set (what "clearing MyProducers/MyConsumers" does at a
     /// checkpoint, §3.3.1).
     #[inline]
     pub fn clear(&mut self) {
-        self.0 = 0;
+        self.0 = [0; WORDS];
     }
 
     /// Set union, used e.g. to OR the `MyConsumers` of every rolled-back
     /// interval (§4.2, second event).
     #[inline]
     pub fn union(self, other: CoreSet) -> CoreSet {
-        CoreSet(self.0 | other.0)
+        let mut out = self.0;
+        for (a, b) in out.iter_mut().zip(other.0) {
+            *a |= b;
+        }
+        CoreSet(out)
     }
 
     /// Set intersection.
     #[inline]
     pub fn intersection(self, other: CoreSet) -> CoreSet {
-        CoreSet(self.0 & other.0)
+        let mut out = self.0;
+        for (a, b) in out.iter_mut().zip(other.0) {
+            *a &= b;
+        }
+        CoreSet(out)
     }
 
     /// Elements of `self` not in `other`.
     #[inline]
     pub fn difference(self, other: CoreSet) -> CoreSet {
-        CoreSet(self.0 & !other.0)
+        let mut out = self.0;
+        for (a, b) in out.iter_mut().zip(other.0) {
+            *a &= !b;
+        }
+        CoreSet(out)
     }
 
     /// Whether every element of `self` is in `other`.
     #[inline]
     pub fn is_subset(self, other: CoreSet) -> bool {
-        self.0 & !other.0 == 0
+        self.0.iter().zip(other.0).all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over members in increasing core-id order.
     pub fn iter(self) -> Iter {
-        Iter(self.0)
+        Iter {
+            words: self.0,
+            word: 0,
+        }
     }
 
-    /// The raw bitmask.
+    /// The low 64 bits of the mask (cores 0..64). Kept as the compact
+    /// wire/debug form for machines within the paper's evaluated sizes;
+    /// sets naming cores ≥ 64 need [`CoreSet::iter`].
     pub fn bits(self) -> u64 {
-        self.0
+        self.0[0]
     }
 
-    /// Constructs from a raw bitmask.
+    /// Constructs from a raw 64-bit mask over cores 0..64.
     pub fn from_bits(bits: u64) -> CoreSet {
-        CoreSet(bits)
+        let mut words = [0u64; WORDS];
+        words[0] = bits;
+        CoreSet(words)
     }
 }
 
 /// Iterator over the members of a [`CoreSet`].
 #[derive(Clone, Debug)]
-pub struct Iter(u64);
+pub struct Iter {
+    words: [u64; WORDS],
+    word: usize,
+}
 
 impl Iterator for Iter {
     type Item = CoreId;
 
     fn next(&mut self) -> Option<CoreId> {
-        if self.0 == 0 {
-            None
-        } else {
-            let i = self.0.trailing_zeros() as usize;
-            self.0 &= self.0 - 1;
-            Some(CoreId(i))
+        while self.word < WORDS {
+            let w = &mut self.words[self.word];
+            if *w == 0 {
+                self.word += 1;
+                continue;
+            }
+            let i = w.trailing_zeros() as usize;
+            *w &= *w - 1;
+            return Some(CoreId(self.word * 64 + i));
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n: usize = self.words[self.word.min(WORDS - 1)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -210,7 +251,7 @@ impl BitOr for CoreSet {
 
 impl BitOrAssign for CoreSet {
     fn bitor_assign(&mut self, rhs: CoreSet) {
-        self.0 |= rhs.0;
+        *self = self.union(rhs);
     }
 }
 
@@ -257,12 +298,16 @@ mod tests {
         assert!(!s.contains(CoreId(5)));
         assert_eq!(CoreSet::all(64).len(), 64);
         assert_eq!(CoreSet::all(0).len(), 0);
+        // Word-boundary sizes of the widened mask.
+        assert_eq!(CoreSet::all(65).len(), 65);
+        assert_eq!(CoreSet::all(256).len(), 256);
+        assert!(CoreSet::all(256).contains(CoreId(255)));
     }
 
     #[test]
     #[should_panic(expected = "at most")]
     fn all_rejects_too_many() {
-        CoreSet::all(65);
+        CoreSet::all(257);
     }
 
     #[test]
@@ -279,11 +324,36 @@ mod tests {
     }
 
     #[test]
+    fn algebra_crosses_word_boundaries() {
+        let a: CoreSet = [CoreId(3), CoreId(70), CoreId(130), CoreId(255)]
+            .into_iter()
+            .collect();
+        let b: CoreSet = [CoreId(70), CoreId(255)].into_iter().collect();
+        assert!(b.is_subset(a));
+        assert_eq!(a.intersection(b), b);
+        assert_eq!(
+            a.difference(b).iter().collect::<Vec<_>>(),
+            vec![CoreId(3), CoreId(130)]
+        );
+        assert_eq!(a.union(b).len(), 4);
+    }
+
+    #[test]
     fn iter_is_sorted_and_exact() {
         let s: CoreSet = [CoreId(9), CoreId(1), CoreId(33)].into_iter().collect();
         let v: Vec<_> = s.iter().collect();
         assert_eq!(v, vec![CoreId(1), CoreId(9), CoreId(33)]);
         assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries_in_order() {
+        let s: CoreSet = [CoreId(200), CoreId(63), CoreId(64), CoreId(128)]
+            .into_iter()
+            .collect();
+        let v: Vec<_> = s.iter().map(|c| c.index()).collect();
+        assert_eq!(v, vec![63, 64, 128, 200]);
+        assert_eq!(s.iter().len(), 4);
     }
 
     #[test]

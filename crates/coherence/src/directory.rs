@@ -1,8 +1,6 @@
 //! The full-map directory, extended with Rebound's LW-ID field.
 
-use std::collections::HashMap;
-
-use rebound_engine::{CoreId, LineAddr};
+use rebound_engine::{CoreId, LineId};
 
 use crate::coreset::CoreSet;
 
@@ -45,27 +43,35 @@ impl DirEntry {
 }
 
 /// The machine's directory: one logical full-map entry per line that has
-/// ever been cached.
+/// ever been cached, stored as a dense `Vec<DirEntry>` indexed by the
+/// interned [`LineId`] with an existence bitmap — the hot
+/// lookup/update path does zero hashing.
 ///
 /// Physically the directory is distributed across tiles (the home node of a
 /// line is `LineAddr::home_of`); since home placement only affects message
-/// latency, the state itself is kept in one map.
+/// latency, the state itself is kept in one dense array. The array grows on
+/// demand as new line ids are touched; ids are dense (the interner hands
+/// them out in first-touch order), so growth is linear in the touched
+/// working set, not in the address space.
 ///
 /// # Example
 ///
 /// ```
 /// use rebound_coherence::Directory;
-/// use rebound_engine::{CoreId, LineAddr};
+/// use rebound_engine::{CoreId, LineId};
 ///
 /// let mut dir = Directory::new();
-/// let e = dir.entry_mut(LineAddr(4));
+/// let e = dir.entry_mut(LineId(4));
 /// e.owner = Some(CoreId(1));
 /// e.lw_id = Some(CoreId(1));
-/// assert_eq!(dir.entry(LineAddr(4)).lw_id, Some(CoreId(1)));
+/// assert_eq!(dir.entry(LineId(4)).lw_id, Some(CoreId(1)));
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Directory {
-    entries: HashMap<LineAddr, DirEntry>,
+    entries: Vec<DirEntry>,
+    /// Existence bitmap: bit `i` set iff line id `i` has directory state.
+    present: Vec<u64>,
+    touched: usize,
 }
 
 impl Directory {
@@ -74,31 +80,57 @@ impl Directory {
         Directory::default()
     }
 
+    #[inline]
+    fn is_present(&self, id: LineId) -> bool {
+        self.present
+            .get(id.index() / 64)
+            .is_some_and(|w| w & (1u64 << (id.index() % 64)) != 0)
+    }
+
     /// Read-only view of a line's entry (default state if never touched).
-    pub fn entry(&self, addr: LineAddr) -> DirEntry {
-        self.entries.get(&addr).copied().unwrap_or_default()
+    #[inline]
+    pub fn entry(&self, id: LineId) -> DirEntry {
+        if self.is_present(id) {
+            self.entries[id.index()]
+        } else {
+            DirEntry::default()
+        }
     }
 
     /// Mutable entry, created on first touch.
-    pub fn entry_mut(&mut self, addr: LineAddr) -> &mut DirEntry {
-        self.entries.entry(addr).or_default()
+    #[inline]
+    pub fn entry_mut(&mut self, id: LineId) -> &mut DirEntry {
+        let i = id.index();
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, DirEntry::default());
+            self.present.resize(i / 64 + 1, 0);
+        }
+        let word = &mut self.present[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.touched += 1;
+        }
+        &mut self.entries[i]
     }
 
     /// Number of lines with directory state.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.touched
     }
 
     /// Whether the directory is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.touched == 0
     }
 
-    /// Clears the Dirty bit of `addr` if `core` owns it — what happens as a
+    /// Clears the Dirty bit of `id` if `core` owns it — what happens as a
     /// checkpoint writes a dirty line back while keeping LW-ID intact
     /// (§3.3.1: "the directory clears the Dirty bit but not the LW-ID").
-    pub fn clean_owned_line(&mut self, addr: LineAddr, core: CoreId) {
-        if let Some(e) = self.entries.get_mut(&addr) {
+    #[inline]
+    pub fn clean_owned_line(&mut self, id: LineId, core: CoreId) {
+        if self.is_present(id) {
+            let e = &mut self.entries[id.index()];
             if e.owner == Some(core) {
                 e.dirty = false;
             }
@@ -110,7 +142,7 @@ impl Directory {
     /// touched.
     pub fn purge_core(&mut self, core: CoreId) -> usize {
         let mut touched = 0;
-        for e in self.entries.values_mut() {
+        for e in self.present_entries_mut() {
             let mut hit = false;
             if e.sharers.remove(core) {
                 hit = true;
@@ -133,7 +165,7 @@ impl Directory {
     /// processor" (§3.3.5).
     pub fn clear_lwid_of(&mut self, core: CoreId) -> usize {
         let mut touched = 0;
-        for e in self.entries.values_mut() {
+        for e in self.present_entries_mut() {
             if e.lw_id == Some(core) {
                 e.lw_id = None;
                 touched += 1;
@@ -142,9 +174,23 @@ impl Directory {
         touched
     }
 
-    /// Iterates over all (line, entry) pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &DirEntry)> + '_ {
-        self.entries.iter().map(|(&a, e)| (a, e))
+    /// Iterates over all (line id, entry) pairs with directory state, in
+    /// increasing id (= first-touch) order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineId, &DirEntry)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.present[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(|(i, e)| (LineId(i as u32), e))
+    }
+
+    fn present_entries_mut(&mut self) -> impl Iterator<Item = &mut DirEntry> + '_ {
+        let present = &self.present;
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter(move |&(i, _)| present[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(|(_, e)| e)
     }
 }
 
@@ -155,7 +201,7 @@ mod tests {
     #[test]
     fn untouched_entry_is_default() {
         let dir = Directory::new();
-        let e = dir.entry(LineAddr(1));
+        let e = dir.entry(LineId(1));
         assert!(e.is_uncached());
         assert_eq!(e.lw_id, None);
         assert!(!e.dirty);
@@ -165,9 +211,9 @@ mod tests {
     #[test]
     fn entry_mut_creates_state() {
         let mut dir = Directory::new();
-        dir.entry_mut(LineAddr(2)).sharers.insert(CoreId(3));
+        dir.entry_mut(LineId(2)).sharers.insert(CoreId(3));
         assert_eq!(dir.len(), 1);
-        assert!(dir.entry(LineAddr(2)).sharers.contains(CoreId(3)));
+        assert!(dir.entry(LineId(2)).sharers.contains(CoreId(3)));
     }
 
     #[test]
@@ -185,15 +231,15 @@ mod tests {
     fn clean_owned_line_only_for_owner() {
         let mut dir = Directory::new();
         {
-            let e = dir.entry_mut(LineAddr(5));
+            let e = dir.entry_mut(LineId(5));
             e.owner = Some(CoreId(0));
             e.dirty = true;
             e.lw_id = Some(CoreId(0));
         }
-        dir.clean_owned_line(LineAddr(5), CoreId(1));
-        assert!(dir.entry(LineAddr(5)).dirty, "non-owner cannot clean");
-        dir.clean_owned_line(LineAddr(5), CoreId(0));
-        let e = dir.entry(LineAddr(5));
+        dir.clean_owned_line(LineId(5), CoreId(1));
+        assert!(dir.entry(LineId(5)).dirty, "non-owner cannot clean");
+        dir.clean_owned_line(LineId(5), CoreId(0));
+        let e = dir.entry(LineId(5));
         assert!(!e.dirty);
         assert_eq!(e.lw_id, Some(CoreId(0)), "LW-ID must survive cleaning");
     }
@@ -202,30 +248,30 @@ mod tests {
     fn purge_core_removes_presence_everywhere() {
         let mut dir = Directory::new();
         {
-            let e = dir.entry_mut(LineAddr(1));
+            let e = dir.entry_mut(LineId(1));
             e.owner = Some(CoreId(4));
             e.dirty = true;
         }
-        dir.entry_mut(LineAddr(2)).sharers.insert(CoreId(4));
-        dir.entry_mut(LineAddr(3)).sharers.insert(CoreId(5));
+        dir.entry_mut(LineId(2)).sharers.insert(CoreId(4));
+        dir.entry_mut(LineId(3)).sharers.insert(CoreId(5));
         assert_eq!(dir.purge_core(CoreId(4)), 2);
-        assert!(dir.entry(LineAddr(1)).is_uncached());
-        assert!(!dir.entry(LineAddr(1)).dirty);
-        assert!(dir.entry(LineAddr(2)).sharers.is_empty());
-        assert!(dir.entry(LineAddr(3)).sharers.contains(CoreId(5)));
+        assert!(dir.entry(LineId(1)).is_uncached());
+        assert!(!dir.entry(LineId(1)).dirty);
+        assert!(dir.entry(LineId(2)).sharers.is_empty());
+        assert!(dir.entry(LineId(3)).sharers.contains(CoreId(5)));
     }
 
     #[test]
     fn purge_core_preserves_lwid() {
         let mut dir = Directory::new();
         {
-            let e = dir.entry_mut(LineAddr(1));
+            let e = dir.entry_mut(LineId(1));
             e.owner = Some(CoreId(4));
             e.lw_id = Some(CoreId(4));
         }
         dir.purge_core(CoreId(4));
         assert_eq!(
-            dir.entry(LineAddr(1)).lw_id,
+            dir.entry(LineId(1)).lw_id,
             Some(CoreId(4)),
             "displacement/purge never clears LW-ID (§3.3.1)"
         );
@@ -234,19 +280,30 @@ mod tests {
     #[test]
     fn clear_lwid_of_targets_one_core() {
         let mut dir = Directory::new();
-        dir.entry_mut(LineAddr(1)).lw_id = Some(CoreId(1));
-        dir.entry_mut(LineAddr(2)).lw_id = Some(CoreId(1));
-        dir.entry_mut(LineAddr(3)).lw_id = Some(CoreId(2));
+        dir.entry_mut(LineId(1)).lw_id = Some(CoreId(1));
+        dir.entry_mut(LineId(2)).lw_id = Some(CoreId(1));
+        dir.entry_mut(LineId(3)).lw_id = Some(CoreId(2));
         assert_eq!(dir.clear_lwid_of(CoreId(1)), 2);
-        assert_eq!(dir.entry(LineAddr(1)).lw_id, None);
-        assert_eq!(dir.entry(LineAddr(3)).lw_id, Some(CoreId(2)));
+        assert_eq!(dir.entry(LineId(1)).lw_id, None);
+        assert_eq!(dir.entry(LineId(3)).lw_id, Some(CoreId(2)));
     }
 
     #[test]
     fn iter_sees_all_entries() {
         let mut dir = Directory::new();
-        dir.entry_mut(LineAddr(1));
-        dir.entry_mut(LineAddr(2));
+        dir.entry_mut(LineId(1));
+        dir.entry_mut(LineId(2));
         assert_eq!(dir.iter().count(), 2);
+    }
+
+    #[test]
+    fn sparse_high_ids_do_not_phantom_lower_entries() {
+        let mut dir = Directory::new();
+        dir.entry_mut(LineId(130)).dirty = true;
+        assert_eq!(dir.len(), 1);
+        // Ids 0..130 were allocated by the resize but never touched.
+        assert!(dir.entry(LineId(64)).is_uncached());
+        assert_eq!(dir.iter().count(), 1);
+        assert_eq!(dir.iter().next().unwrap().0, LineId(130));
     }
 }

@@ -138,7 +138,8 @@ pub struct IoPressure {
 /// down for fast tests.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
-    /// Number of cores/tiles (up to 64).
+    /// Number of cores/tiles (the paper evaluates up to 64; the model
+    /// scales to 256, the `--spec scale` campaign regime).
     pub cores: usize,
     /// L1 geometry (paper: 16 KB, 4-way, 32 B lines, write-through).
     pub l1: CacheConfig,
@@ -252,8 +253,12 @@ impl MachineConfig {
     ///
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.cores == 0 || self.cores > 64 {
-            return Err(format!("cores must be 1..=64, got {}", self.cores));
+        if self.cores == 0 || self.cores > rebound_coherence::CoreSet::MAX_CORES {
+            return Err(format!(
+                "cores must be 1..={}, got {}",
+                rebound_coherence::CoreSet::MAX_CORES,
+                self.cores
+            ));
         }
         if self.l1.line_bytes != self.l2.line_bytes {
             return Err("L1 and L2 must share a line size".into());
@@ -334,8 +339,10 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = MachineConfig::small(8);
-        c.cores = 65;
+        c.cores = 257;
         assert!(c.validate().is_err());
+        c.cores = 256; // the scale-campaign regime is in range
+        assert_eq!(c.validate(), Ok(()));
 
         let mut c = MachineConfig::small(8);
         c.l1 = CacheConfig::new(2 * 1024, 4, 64);

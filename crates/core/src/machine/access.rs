@@ -2,7 +2,7 @@
 //! Rebound's dependence recording (Fig 3.2) woven through.
 
 use rebound_coherence::MsgKind;
-use rebound_engine::{Addr, CoreId, LineAddr};
+use rebound_engine::{Addr, CoreId, LineAddr, LineId};
 use rebound_mem::{L1Line, L2Line, MemAccessClass, MesiState};
 
 use crate::metrics::OverheadKind;
@@ -29,7 +29,8 @@ impl Machine {
                 self.l1_fill(core, line);
                 return self.cfg.l2_hit_cycles;
             }
-            let (lat, state, value) = self.read_transaction(core, line, demand);
+            let id = self.lines.intern(line);
+            let (lat, state, value) = self.read_transaction(core, line, id, demand);
             self.l2_insert(
                 core,
                 line,
@@ -85,7 +86,8 @@ impl Machine {
             }
             Some((MesiState::Shared, _)) => {
                 // Upgrade: invalidate the other sharers via the directory.
-                let lat = self.write_transaction(core, line, demand, true);
+                let id = self.lines.intern(line);
+                let lat = self.write_transaction(core, line, id, demand, true);
                 let c = &mut self.cores[idx];
                 let l = c.l2.get_mut(line).expect("upgrading resident line");
                 l.state = MesiState::Modified;
@@ -94,7 +96,8 @@ impl Machine {
             }
             _ => {
                 // Write miss.
-                let lat = self.write_transaction(core, line, demand, false);
+                let id = self.lines.intern(line);
+                let lat = self.write_transaction(core, line, id, demand, false);
                 self.l2_insert(
                     core,
                     line,
@@ -131,7 +134,8 @@ impl Machine {
     /// would result in losing the ability to record dependences", §3.3.1).
     fn handle_l2_eviction(&mut self, core: CoreId, line: LineAddr, data: L2Line) {
         self.cores[core.index()].l1.invalidate(line);
-        let e = self.dir.entry_mut(line);
+        let id = self.lines.intern(line);
+        let e = self.dir.entry_mut(id);
         if e.owner == Some(core) {
             e.owner = None;
             e.dirty = false;
@@ -166,8 +170,9 @@ impl Machine {
     ) -> u64 {
         let logging = self.cfg.scheme.checkpoints();
         let resp = self.mem_ctl.access(self.now, line, class, logging);
-        let old = self.memory.write(line, value);
-        if logging && self.log.append(core, interval, line, old) {
+        let id = self.lines.intern(line);
+        let old = self.memory.write(id, value);
+        if logging && self.log.append(core, interval, line, id, old) {
             self.metrics.log_entries.incr();
         }
         self.msgs.record(MsgKind::Writeback);
@@ -191,7 +196,8 @@ impl Machine {
         l.state = MesiState::Exclusive;
         let interval = self.cores[idx].drain.interval;
         let _ = self.memory_writeback(core, line, value, interval, MemAccessClass::Checkpoint);
-        self.dir.clean_owned_line(line, core);
+        let id = self.lines.intern(line);
+        self.dir.clean_owned_line(id, core);
         // The write waits only until the old value is safely in the L2's
         // writeback buffer (the controller transfer proceeds behind it);
         // charge that fixed pipeline cost as checkpoint overhead.
@@ -204,18 +210,20 @@ impl Machine {
     // Directory transactions
     // ------------------------------------------------------------------
 
-    /// Read (GetS) transaction. Returns (latency, granted MESI state,
-    /// line value).
+    /// Read (GetS) transaction. `id` is `line`'s interned key (the caller
+    /// already holds it, so the directory/memory lookups are pure array
+    /// indexing). Returns (latency, granted MESI state, line value).
     fn read_transaction(
         &mut self,
         requester: CoreId,
         line: LineAddr,
+        id: LineId,
         demand: bool,
     ) -> (u64, MesiState, u64) {
         self.msgs.record(MsgKind::GetS);
         let home = self.home_of(line);
         let mut lat = self.net.to_directory(requester, home);
-        let entry = self.dir.entry(line);
+        let entry = self.dir.entry(id);
 
         if let Some(owner) = entry.owner.filter(|&o| o != requester) {
             let owner_line = self.cores[owner.index()].l2.peek(line).copied();
@@ -252,7 +260,7 @@ impl Machine {
                     l.delayed = false;
                 }
                 self.record_dependence(owner, requester, line, false);
-                let e = self.dir.entry_mut(line);
+                let e = self.dir.entry_mut(id);
                 e.owner = None;
                 e.dirty = false;
                 e.sharers.insert(owner);
@@ -261,12 +269,12 @@ impl Machine {
             }
             // Stale owner (should not normally happen: evictions update the
             // directory); fall through to a memory fetch.
-            let e = self.dir.entry_mut(line);
+            let e = self.dir.entry_mut(id);
             e.owner = None;
             e.dirty = false;
         }
 
-        let entry = self.dir.entry(line);
+        let entry = self.dir.entry(id);
         let value;
         let mut granted = MesiState::Shared;
         if let Some(sharer) = entry.sharers.iter().find(|&s| s != requester) {
@@ -275,7 +283,7 @@ impl Machine {
             lat += self.net.one_way(home, sharer)
                 + self.net.one_way(sharer, requester)
                 + self.cfg.l2_hit_cycles;
-            value = self.memory.read(line); // clean copies match memory
+            value = self.memory.read(id); // clean copies match memory
         } else {
             // Fetch from memory.
             self.msgs.record(MsgKind::Data);
@@ -289,7 +297,7 @@ impl Machine {
                     .stall
                     .add(OverheadKind::Ipc, resp.interference);
             }
-            value = self.memory.read(line);
+            value = self.memory.read(id);
             if entry.sharers.is_empty() {
                 granted = MesiState::Exclusive;
             }
@@ -298,12 +306,12 @@ impl Machine {
         // Lazy dependence recording against a (possibly stale) LW-ID.
         if self.tracks_line(line) {
             if let Some(w) = entry.lw_id.filter(|&w| w != requester) {
-                self.lw_query(w, requester, line);
+                self.lw_query(w, requester, line, id);
             }
         }
 
         let tracked = self.tracks_line(line);
-        let e = self.dir.entry_mut(line);
+        let e = self.dir.entry_mut(id);
         if granted == MesiState::Exclusive {
             e.owner = Some(requester);
             e.dirty = false;
@@ -331,13 +339,14 @@ impl Machine {
         &mut self,
         writer: CoreId,
         line: LineAddr,
+        id: LineId,
         demand: bool,
         upgrade: bool,
     ) -> u64 {
         self.msgs.record(MsgKind::GetX);
         let home = self.home_of(line);
         let mut lat = self.net.to_directory(writer, home);
-        let entry = self.dir.entry(line);
+        let entry = self.dir.entry(id);
 
         // Invalidate all other sharers (in parallel; one round trip).
         let inval_targets: Vec<CoreId> = entry.sharers.iter().filter(|&s| s != writer).collect();
@@ -378,13 +387,13 @@ impl Machine {
                 self.cores[owner.index()].l2.invalidate(line);
                 fetched = true;
             } else {
-                self.dir.entry_mut(line).owner = None;
+                self.dir.entry_mut(id).owner = None;
             }
         } else if self.tracks_line(line) {
             // No owner to ride on: dependence recording needs an explicit
             // "are you the last writer?" query (the Table 6.1 extra traffic).
             if let Some(w) = entry.lw_id.filter(|&w| w != writer) {
-                self.lw_query(w, writer, line);
+                self.lw_query(w, writer, line, id);
             }
         }
 
@@ -404,7 +413,7 @@ impl Machine {
         }
 
         let tracked = self.tracks_line(line);
-        let e = self.dir.entry_mut(line);
+        let e = self.dir.entry_mut(id);
         e.sharers.clear();
         e.owner = Some(writer);
         e.dirty = true;
@@ -420,7 +429,7 @@ impl Machine {
     /// dependence, a miss sends NO_WR and clears the stale LW-ID. The
     /// requester's MyProducers was already (optimistically) updated and is
     /// allowed to stay a superset.
-    fn lw_query(&mut self, last_writer: CoreId, requester: CoreId, line: LineAddr) {
+    fn lw_query(&mut self, last_writer: CoreId, requester: CoreId, line: LineAddr, id: LineId) {
         self.msgs.record(MsgKind::LwQuery);
         self.metrics.wsig_ops.incr();
         let hit = {
@@ -456,7 +465,7 @@ impl Machine {
             }
             None => {
                 self.msgs.record(MsgKind::NoWr);
-                self.dir.entry_mut(line).lw_id = None;
+                self.dir.entry_mut(id).lw_id = None;
             }
         }
         // MyProducers is updated before the reply can arrive (§3.3.2).

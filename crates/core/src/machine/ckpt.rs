@@ -400,7 +400,8 @@ impl Machine {
                     old_interval,
                     MemAccessClass::Checkpoint,
                 );
-                self.dir.clean_owned_line(line, core);
+                let id = self.lines.intern(line);
+                self.dir.clean_owned_line(id, core);
                 done_at = done_at.max(self.now + lat);
             }
             self.queue.push(
@@ -533,7 +534,8 @@ impl Machine {
             (l.value, iv)
         };
         self.memory_writeback(core, line, value, interval, MemAccessClass::Checkpoint);
-        self.dir.clean_owned_line(line, core);
+        let id = self.lines.intern(line);
+        self.dir.clean_owned_line(id, core);
 
         // Rate control: delayed writebacks yield to demand traffic; if the
         // controller is backed up, slow down (§4.1), unless a Nack demanded

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use rebound_coherence::{CoreSet, Directory, Interconnect, MsgStats};
 use rebound_engine::{CoreId, Cycle, DetRng, EventQueue, LineAddr, LineGeometry};
 use rebound_mem::{L1Line, L2Line, MainMemory, MemoryController, SetAssoc, UndoLog};
-use rebound_workloads::{AppProfile, Op, OpStream};
+use rebound_workloads::{AppProfile, LineTable, Op, OpStream};
 
 use crate::config::{MachineConfig, Scheme};
 use crate::depregs::DepRegFile;
@@ -395,6 +395,9 @@ pub struct Machine {
     pub(crate) now: Cycle,
     pub(crate) queue: EventQueue<Event>,
     pub(crate) cores: Vec<CoreCtx>,
+    /// The `Addr ↔ LineId` interner: every hot structure below is a flat
+    /// array indexed by the dense id this table hands out.
+    pub(crate) lines: LineTable,
     pub(crate) dir: Directory,
     pub(crate) memory: MainMemory,
     pub(crate) mem_ctl: MemoryController,
@@ -441,16 +444,26 @@ impl Machine {
                 ))
             })
             .collect();
-        Machine::with_programs(cfg, programs)
+        // A profile-sized interner: every address this profile's
+        // generators can emit interns into the dense (hash-free) region.
+        let lines = LineTable::for_profile(cfg.cores, profile);
+        Machine::build(cfg, programs, lines)
     }
 
     /// Builds a machine with explicit per-core programs (used by tests and
-    /// examples for deterministic scenarios).
+    /// examples for deterministic scenarios). Script addresses need no
+    /// profile bounds: they intern through a profile-agnostic table whose
+    /// overflow map keeps arbitrary raw addresses correct.
     ///
     /// # Panics
     ///
     /// Panics if `programs.len() != cfg.cores` or the config is invalid.
     pub fn with_programs(cfg: &MachineConfig, programs: Vec<CoreProgram>) -> Machine {
+        let lines = LineTable::universal(cfg.cores);
+        Machine::build(cfg, programs, lines)
+    }
+
+    fn build(cfg: &MachineConfig, programs: Vec<CoreProgram>, lines: LineTable) -> Machine {
         cfg.validate().expect("invalid machine configuration");
         assert_eq!(programs.len(), cfg.cores, "one program per core");
         let geom = cfg.l2.geometry();
@@ -514,8 +527,12 @@ impl Machine {
             cfg: cfg.clone(),
             geom,
             now: Cycle::ZERO,
-            queue: EventQueue::new(),
+            // Steady state holds a few events per core (its Step plus
+            // in-flight protocol messages); checkpoint broadcasts burst to
+            // a few multiples of that.
+            queue: EventQueue::with_capacity(8 * cfg.cores + 64),
             cores,
+            lines,
             dir: Directory::new(),
             memory: MainMemory::new(),
             mem_ctl: MemoryController::new(cfg.mem_channels, cfg.mem_timing),
@@ -558,9 +575,58 @@ impl Machine {
         self.cores.len()
     }
 
-    /// The memory image (for functional verification in tests).
+    /// The memory image (for functional verification in tests). Keyed by
+    /// dense [`rebound_engine::LineId`]; use [`Machine::line_table`] or the
+    /// address-level helpers below to translate.
     pub fn memory(&self) -> &MainMemory {
         &self.memory
+    }
+
+    /// The `Addr ↔ LineId` interner.
+    pub fn line_table(&self) -> &LineTable {
+        &self.lines
+    }
+
+    /// The committed (memory-image) value of a line by wire address; zero
+    /// if the line was never touched.
+    pub fn committed_line_value(&self, line: LineAddr) -> u64 {
+        self.lines
+            .lookup(line)
+            .map(|id| self.memory.read(id))
+            .unwrap_or(0)
+    }
+
+    /// Sorted snapshot of the memory image by wire address (tests and
+    /// debugging; the recovery oracle uses the borrowed visitors instead).
+    pub fn memory_snapshot(&self) -> std::collections::BTreeMap<LineAddr, u64> {
+        let mut map = std::collections::BTreeMap::new();
+        self.for_each_resident_line(|addr, v| {
+            map.insert(addr, v);
+        });
+        map
+    }
+
+    /// Visits every memory-resident (nonzero) line as `(wire address,
+    /// committed value)`, in dense-id (= first-touch) order, without
+    /// copying the image.
+    pub fn for_each_resident_line(&self, mut f: impl FnMut(LineAddr, u64)) {
+        for (id, v) in self.memory.iter_resident() {
+            f(self.lines.addr_of(id), v);
+        }
+    }
+
+    /// Visits every line currently holding *dirty* (not yet written back)
+    /// data in some core's L2, by wire address. A line dirty in several
+    /// runs' caches may be visited more than once; callers that need a
+    /// set use [`Machine::dirty_lines`].
+    pub fn for_each_dirty_line(&self, mut f: impl FnMut(LineAddr)) {
+        for c in &self.cores {
+            for (a, l) in c.l2.iter() {
+                if l.state.is_dirty() {
+                    f(a);
+                }
+            }
+        }
     }
 
     /// The directory (for inspection in tests).
@@ -594,7 +660,7 @@ impl Machine {
                 }
             }
         }
-        self.memory.read(line)
+        self.committed_line_value(line)
     }
 
     /// Instructions retired by `core`.
@@ -626,15 +692,8 @@ impl Machine {
     /// data state; the recovery oracle unions it with the memory image so
     /// lines that never reached memory in one run still get compared.
     pub fn dirty_lines(&self) -> Vec<LineAddr> {
-        let mut v: Vec<LineAddr> = self
-            .cores
-            .iter()
-            .flat_map(|c| {
-                c.l2.iter()
-                    .filter(|(_, l)| l.state.is_dirty())
-                    .map(|(a, _)| a)
-            })
-            .collect();
+        let mut v = Vec::new();
+        self.for_each_dirty_line(|a| v.push(a));
         v.sort();
         v.dedup();
         v
@@ -1101,7 +1160,10 @@ impl Machine {
             *h.entry(k).or_insert(0) += 1;
         }
         let mut v: Vec<_> = h.into_iter().collect();
-        v.sort_by_key(|e| std::cmp::Reverse(e.1));
+        // Most frequent first, ties broken by name: two runs of the same
+        // failing scenario must print byte-identical diagnoses, so the
+        // order can never depend on HashMap iteration.
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }
 }
@@ -1274,7 +1336,11 @@ mod tests {
         let l2 = &m.cores[0].l2;
         let entry = l2.peek(line).expect("line cached");
         assert!(entry.state.is_dirty());
-        assert_eq!(m.memory().read(line), 0, "write-back: memory still stale");
+        assert_eq!(
+            m.committed_line_value(line),
+            0,
+            "write-back: memory still stale"
+        );
     }
 
     #[test]

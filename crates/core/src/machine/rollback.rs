@@ -5,9 +5,8 @@
 //! included). Appendix A's no-domino argument is what makes this line
 //! consistent; the property tests exercise it.
 
-use std::collections::HashMap;
-
 use rebound_engine::CoreId;
+use rebound_mem::RollbackTargets;
 
 use crate::config::Scheme;
 
@@ -80,18 +79,18 @@ impl Machine {
 
         // 4. Per-member rollback: caches, directory presence, Dep
         //    registers, sync-state fixups, architectural state.
-        let mut targets: HashMap<CoreId, u64> = HashMap::new();
+        let mut targets = RollbackTargets::new(self.cores.len());
         for &m in &order {
             let t = target_of(self, m);
             let stub = self.cores[m.index()].records[t].stub_seq;
-            targets.insert(m, stub);
+            targets.set(m, stub);
             self.rollback_core_state(m, t);
         }
 
         // 5. Undo the log and restore memory (reverse order per bank).
         let outcome = self.log.rollback(&targets);
         for r in &outcome.restores {
-            self.memory.write(r.addr, r.old);
+            self.memory.write(r.id, r.old);
         }
 
         // 6. Recovery latency: invalidation + banked log scan + restores +
@@ -428,7 +427,7 @@ mod tests {
         // The store re-executed after rollback; its dirty line sits in L2
         // again. Memory must hold the boot value (0) for the line because
         // no writeback ever committed.
-        assert_eq!(m.memory().read(a.line(Default::default())), 0);
+        assert_eq!(m.committed_line_value(a.line(Default::default())), 0);
         // The program completed (re-execution after recovery).
         assert!(m.is_finished());
         assert!(r.metrics.irec_sizes.mean() >= 1.0);

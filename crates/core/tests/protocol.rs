@@ -218,7 +218,11 @@ fn checkpoint_writes_back_dirty_lines_keeping_clean_copies() {
     let mut m = Machine::with_programs(&cfg(1), vec![p0]);
     m.run_to_completion();
     let la = a.line(Default::default());
-    assert_ne!(m.memory().read(la), 0, "dirty line must reach memory");
+    assert_ne!(
+        m.committed_line_value(la),
+        0,
+        "dirty line must reach memory"
+    );
     // The L2 keeps a clean copy.
     assert!(m.undo_log().entries.get() >= 1, "the old value was logged");
 }
@@ -277,7 +281,7 @@ fn rollback_restores_memory_exactly() {
             m.schedule_fault_detection(CoreId(0), Cycle(15_000));
         }
         m.run_to_completion();
-        m.memory().snapshot()
+        m.memory_snapshot()
     };
     let clean = run(false);
     let faulty = run(true);
@@ -436,7 +440,7 @@ fn output_io_forces_a_checkpoint_first() {
     let r = m.run_to_completion();
     assert_eq!(r.checkpoints, 1, "output must be preceded by a checkpoint");
     // The store's data reached safe memory before the I/O.
-    assert_ne!(m.memory().read(line(1).line(Default::default())), 0);
+    assert_ne!(m.committed_line_value(line(1).line(Default::default())), 0);
 }
 
 #[test]
@@ -473,7 +477,7 @@ fn delayed_writebacks_eventually_drain() {
     m.run_to_completion();
     for i in 0..50 {
         assert_ne!(
-            m.memory().read(line(100 + i).line(Default::default())),
+            m.committed_line_value(line(100 + i).line(Default::default())),
             0,
             "line {i} must drain to memory"
         );
@@ -598,7 +602,7 @@ fn full_machine_determinism_with_checkpoints_and_fault() {
             r.insts,
             r.checkpoints,
             r.rollbacks,
-            m.memory().snapshot(),
+            m.memory_snapshot(),
         )
     };
     assert_eq!(run(), run());

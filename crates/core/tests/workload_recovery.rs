@@ -34,8 +34,7 @@ fn region_of(line: LineAddr) -> u64 {
 }
 
 fn data_lines(m: &Machine) -> BTreeSet<LineAddr> {
-    m.memory()
-        .snapshot()
+    m.memory_snapshot()
         .keys()
         .copied()
         .filter(|l| region_of(*l) != 3)

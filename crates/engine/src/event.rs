@@ -64,6 +64,23 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the backing heap reallocates. The machine pre-sizes its
+    /// queue to the steady-state event population (a few events per
+    /// core), so the first checkpoint storm does not pay a reallocation
+    /// cascade.
+    pub fn with_capacity(capacity: usize) -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `payload` for delivery at time `at`.
     pub fn push(&mut self, at: Cycle, payload: T) {
         let seq = self.seq;

@@ -115,6 +115,34 @@ impl fmt::Display for LineAddr {
     }
 }
 
+/// Dense index of an interned cache line — the canonical hot-path key of
+/// the data plane.
+///
+/// A [`LineAddr`] is the *wire/trace* format: sparse 64-bit line numbers
+/// carved out of the simulated physical address space. The hot structures
+/// (main memory, directory, undo-log filter) are instead flat `Vec`s
+/// indexed by `LineId`, a small dense `u32` handed out by the workload
+/// layer's `LineTable` interner (first-touch order, deterministic for a
+/// deterministic run). Interning is injective, so a `LineId` identifies
+/// exactly one line; the table maps back to the `LineAddr` whenever the
+/// wire format is needed (bank/home interleaving, display, traces).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineId(pub u32);
+
+impl LineId {
+    /// Index into dense per-line arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
 /// Cache-line geometry shared by every cache level and the directory.
 ///
 /// The paper's configuration (Fig 4.3(a)) uses 32-byte lines, which is the

@@ -36,6 +36,6 @@ pub mod stats;
 
 pub use clock::Cycle;
 pub use event::EventQueue;
-pub use ids::{Addr, CoreId, LineAddr, LineGeometry, NodeId};
+pub use ids::{Addr, CoreId, LineAddr, LineGeometry, LineId, NodeId};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RunningStats};

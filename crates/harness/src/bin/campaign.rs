@@ -2,7 +2,7 @@
 //! the aggregate results table.
 //!
 //! ```text
-//! rebound-campaign [--spec acceptance|smoke|matrix|adversarial] [--jobs N]
+//! rebound-campaign [--spec acceptance|smoke|matrix|adversarial|scale] [--jobs N]
 //!                  [--filter SUBSTR] [--out FILE.csv] [--json FILE.json]
 //!                  [--no-oracle] [--list]
 //! ```
@@ -10,7 +10,8 @@
 //! * `--spec` — which built-in campaign to run (default `acceptance`:
 //!   36 configurations, every faulty one checked by the differential
 //!   recovery oracle; `adversarial` is the phase-aware recovery matrix:
-//!   every trigger kind × every scheme).
+//!   every trigger kind × every scheme; `scale` is the 256-core
+//!   paper-scale matrix across all schemes, oracle included).
 //! * `--jobs N` — worker threads (default: `REBOUND_JOBS` or all cores).
 //!   The aggregate CSV/JSON is byte-identical for any `N`.
 //! * `--filter SUBSTR` — keep only jobs whose label
@@ -33,7 +34,7 @@ use rebound_harness::{default_jobs, run_jobs, CampaignSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rebound-campaign [--spec acceptance|smoke|matrix|adversarial] [--jobs N] \
+        "usage: rebound-campaign [--spec acceptance|smoke|matrix|adversarial|scale] [--jobs N] \
          [--filter SUBSTR] [--out FILE.csv] [--json FILE.json] [--no-oracle] [--list]"
     );
     std::process::exit(2);
@@ -82,8 +83,11 @@ fn main() -> ExitCode {
         "smoke" => CampaignSpec::smoke(),
         "matrix" => CampaignSpec::full_matrix(),
         "adversarial" => CampaignSpec::adversarial(),
+        "scale" => CampaignSpec::scale(),
         other => {
-            eprintln!("unknown spec: {other} (expected acceptance, smoke, matrix or adversarial)");
+            eprintln!(
+                "unknown spec: {other} (expected acceptance, smoke, matrix, adversarial or scale)"
+            );
             usage();
         }
     };

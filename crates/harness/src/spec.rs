@@ -208,6 +208,18 @@ impl RunScale {
             watchdog_cycles: 100_000_000,
         }
     }
+
+    /// The 256-core paper-scale regime: a modest per-core quota (the
+    /// machine-wide instruction total is already 2M+) and a watchdog with
+    /// headroom for 256-way barrier and checkpoint convoys.
+    pub fn scale() -> RunScale {
+        RunScale {
+            interval: 8_000,
+            quota: 8_000,
+            detect_latency: 500,
+            watchdog_cycles: 200_000_000,
+        }
+    }
 }
 
 /// A campaign: the cartesian product of schemes × applications × core
@@ -299,6 +311,24 @@ impl CampaignSpec {
             seeds: vec![1, 2],
             plans,
             scale: RunScale::adversarial(),
+            oracle: true,
+        }
+    }
+
+    /// The paper-scale campaign: **256-core** jobs across every `Scheme`
+    /// const — the large-CMP regime the dense `LineId` data plane makes
+    /// practical — with the differential recovery oracle validating that
+    /// fault recovery still holds at a core count four times the paper's
+    /// largest evaluated machine. Ocean brings the barrier cadence, FFT
+    /// the barrier-free all-to-all side.
+    pub fn scale() -> CampaignSpec {
+        CampaignSpec {
+            schemes: Scheme::ALL.to_vec(),
+            apps: vec!["Ocean".to_string(), "FFT".to_string()],
+            core_counts: vec![256],
+            seeds: vec![1],
+            plans: vec![FaultPlan::clean(), FaultPlan::single(1, 60_000)],
+            scale: RunScale::scale(),
             oracle: true,
         }
     }

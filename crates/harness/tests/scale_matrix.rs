@@ -1,0 +1,40 @@
+//! `#[ignore]`-gated paper-scale smoke: the 256-core `--spec scale`
+//! campaign — every `Scheme` const at the core count the dense `LineId`
+//! data plane exists for, every faulty job checked by the differential
+//! recovery oracle with the cycle watchdog armed. CI runs this in the
+//! `campaign-smoke` job's ignored tier; locally:
+//! `cargo test -p rebound-harness --release -- --ignored scale_matrix`.
+
+use rebound_harness::{default_jobs, run_campaign, CampaignSpec, OracleVerdict};
+
+#[test]
+#[ignore = "runs the 256-core scale matrix (28 jobs, oracle-checked); ~1 min in release"]
+fn scale_matrix_recovers_at_256_cores() {
+    let spec = CampaignSpec::scale();
+    assert_eq!(spec.core_counts, vec![256]);
+    let result = run_campaign(&spec, default_jobs());
+    assert!(
+        result.failures().is_empty(),
+        "scale failures: {}\n{}",
+        result.summary(),
+        result
+            .failures()
+            .iter()
+            .map(|f| format!("{}: {:?}", f.job.label(), f.verdict))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The faulty half must exercise recovery for real: every faulty job
+    // passes its oracle non-vacuously (the fault fired and rolled back).
+    for o in &result.outcomes {
+        if !o.job.plan.is_clean() {
+            assert!(
+                matches!(o.verdict, OracleVerdict::Pass) && o.fired != "-",
+                "{}: expected a non-vacuous oracle pass, got {:?} (fired {})",
+                o.job.label(),
+                o.verdict,
+                o.fired
+            );
+        }
+    }
+}

@@ -27,5 +27,5 @@ pub mod memory;
 
 pub use cache::{CacheConfig, EvictedLine, L1Line, L2Line, MesiState, SetAssoc};
 pub use controller::{MemAccessClass, MemoryController, MemoryTiming};
-pub use log::{LogEntry, LogRecord, RestoredLine, UndoLog};
+pub use log::{LogEntry, LogRecord, RestoredLine, RollbackTargets, UndoLog};
 pub use memory::MainMemory;

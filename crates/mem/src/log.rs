@@ -12,10 +12,101 @@
 //! based on address"; stubs are "inserted in all of the banks"), and applies
 //! ReVive's optimization of logging only the first writeback of a line per
 //! checkpoint interval.
+//!
+//! Hot-path storage is dense: the first-writeback filter cache is a flat
+//! `Vec` indexed by the interned [`LineId`], and per-processor interval
+//! byte accounting is a flat `Vec` indexed by core — the writeback path
+//! does zero hashing. Records carry both the [`LineAddr`] wire format
+//! (bank interleaving, display, traces) and the `LineId` storage key.
 
-use std::collections::HashMap;
+use rebound_engine::{CoreId, Counter, LineAddr, LineId};
 
-use rebound_engine::{CoreId, Counter, LineAddr};
+/// Per-processor rollback targets, stored densely by core index.
+///
+/// Replaces the `HashMap<CoreId, u64>` the rollback path used to carry:
+/// recovery touches every targeted core anyway, so a flat
+/// `Vec<Option<u64>>` makes membership tests and iteration branch-and-load
+/// only.
+///
+/// # Example
+///
+/// ```
+/// use rebound_mem::RollbackTargets;
+/// use rebound_engine::CoreId;
+///
+/// let mut t = RollbackTargets::new(4);
+/// t.set(CoreId(2), 5);
+/// assert_eq!(t.get(CoreId(2)), Some(5));
+/// assert_eq!(t.count(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RollbackTargets {
+    by_core: Vec<Option<u64>>,
+    count: usize,
+}
+
+impl RollbackTargets {
+    /// Creates an empty target set for an `ncores`-processor machine.
+    pub fn new(ncores: usize) -> RollbackTargets {
+        RollbackTargets {
+            by_core: vec![None; ncores],
+            count: 0,
+        }
+    }
+
+    /// Builds a target set from `(core index, stub seq)` pairs (tests,
+    /// tools). The vector is sized to the largest core named.
+    pub fn from_pairs(pairs: &[(usize, u64)]) -> RollbackTargets {
+        let n = pairs.iter().map(|&(c, _)| c + 1).max().unwrap_or(0);
+        let mut t = RollbackTargets::new(n);
+        for &(c, s) in pairs {
+            t.set(CoreId(c), s);
+        }
+        t
+    }
+
+    /// Targets `core` at stub sequence `seq`.
+    pub fn set(&mut self, core: CoreId, seq: u64) {
+        if core.index() >= self.by_core.len() {
+            self.by_core.resize(core.index() + 1, None);
+        }
+        if self.by_core[core.index()].replace(seq).is_none() {
+            self.count += 1;
+        }
+    }
+
+    /// The stub sequence `core` rolls back to, if targeted.
+    #[inline]
+    pub fn get(&self, core: CoreId) -> Option<u64> {
+        self.by_core.get(core.index()).copied().flatten()
+    }
+
+    /// Whether `core` is targeted.
+    #[inline]
+    pub fn contains(&self, core: CoreId) -> bool {
+        self.get(core).is_some()
+    }
+
+    /// Number of targeted processors.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no processor is targeted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates `(core, stub seq)` pairs in core order.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreId, u64)> + '_ {
+        self.by_core
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (CoreId(i), s)))
+    }
+}
 
 /// One undo record: the old value of `addr` before processor `pid`
 /// overwrote it in its checkpoint interval `interval`.
@@ -25,8 +116,10 @@ pub struct LogEntry {
     pub pid: CoreId,
     /// The processor's checkpoint-interval sequence number at logging time.
     pub interval: u64,
-    /// Line address.
+    /// Line address (wire format; selects the bank).
     pub addr: LineAddr,
+    /// Interned line id (dense storage key; what rollback restores by).
+    pub id: LineId,
     /// The line's value in memory before the writeback.
     pub old: u64,
 }
@@ -50,7 +143,9 @@ pub enum LogRecord {
 /// A memory restore produced by rollback; apply in the order returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RestoredLine {
-    /// Line to restore.
+    /// Interned id of the line to restore.
+    pub id: LineId,
+    /// Its wire address (display, traces).
     pub addr: LineAddr,
     /// Value to write back into memory.
     pub old: u64,
@@ -70,24 +165,24 @@ pub struct RollbackOutcome {
 /// # Example
 ///
 /// ```
-/// use rebound_mem::UndoLog;
-/// use rebound_engine::{CoreId, LineAddr};
+/// use rebound_mem::{RollbackTargets, UndoLog};
+/// use rebound_engine::{CoreId, LineAddr, LineId};
 ///
 /// let mut log = UndoLog::new(2, 44);
 /// let p = CoreId(0);
 /// log.append_stub(p, 0);
-/// assert!(log.append(p, 1, LineAddr(9), 0xAA)); // first writeback: logged
-/// assert!(!log.append(p, 1, LineAddr(9), 0xBB)); // same interval: filtered
-/// let out = log.rollback(&[(p, 0)].into_iter().collect());
+/// assert!(log.append(p, 1, LineAddr(9), LineId(9), 0xAA)); // first writeback: logged
+/// assert!(!log.append(p, 1, LineAddr(9), LineId(9), 0xBB)); // same interval: filtered
+/// let out = log.rollback(&RollbackTargets::from_pairs(&[(0, 0)]));
 /// assert_eq!(out.restores.len(), 1);
 /// assert_eq!(out.restores[0].old, 0xAA);
 /// ```
 #[derive(Clone, Debug)]
 pub struct UndoLog {
     banks: Vec<Vec<LogRecord>>,
-    /// The (pid, interval) of the most recent entry for each line, for the
-    /// first-writeback-per-interval filter.
-    last_logged: HashMap<LineAddr, (CoreId, u64)>,
+    /// The (pid, interval) of the most recent entry for each line id, for
+    /// the first-writeback-per-interval filter. Dense by line id.
+    last_logged: Vec<Option<(CoreId, u64)>>,
     entry_bytes: u64,
     /// Entries appended (after filtering).
     pub entries: Counter,
@@ -95,8 +190,8 @@ pub struct UndoLog {
     pub filtered: Counter,
     /// Stubs appended (one per bank per checkpoint).
     pub stubs: Counter,
-    /// Bytes held per pid since that pid's last stub.
-    open_interval_bytes: HashMap<CoreId, u64>,
+    /// Bytes held per pid since that pid's last stub. Dense by core.
+    open_interval_bytes: Vec<u64>,
     /// Largest per-interval byte footprint observed for any pid.
     max_interval_bytes: u64,
     /// Whether the ReVive first-writeback-per-interval filter is active
@@ -116,12 +211,12 @@ impl UndoLog {
         assert!(banks > 0, "need at least one log bank");
         UndoLog {
             banks: vec![Vec::new(); banks],
-            last_logged: HashMap::new(),
+            last_logged: Vec::new(),
             entry_bytes,
             entries: Counter::new(),
             filtered: Counter::new(),
             stubs: Counter::new(),
-            open_interval_bytes: HashMap::new(),
+            open_interval_bytes: Vec::new(),
             max_interval_bytes: 0,
             filter_enabled: true,
         }
@@ -150,25 +245,45 @@ impl UndoLog {
     /// Appends an undo entry unless the first-writeback filter suppresses
     /// it. Returns whether the entry was stored.
     ///
+    /// `addr` is the wire address (it selects the bank, matching the
+    /// hardware's address-interleaved banking); `id` is the same line's
+    /// interned key (it indexes the dense filter cache and is what the
+    /// restores are applied by).
+    ///
     /// The filter suppresses a record only when the *most recent* record for
     /// the line came from the same `(pid, interval)`; an interleaved
     /// writeback by another processor re-arms logging so rollback stays
     /// correct.
-    pub fn append(&mut self, pid: CoreId, interval: u64, addr: LineAddr, old: u64) -> bool {
-        if self.filter_enabled && self.last_logged.get(&addr) == Some(&(pid, interval)) {
+    pub fn append(
+        &mut self,
+        pid: CoreId,
+        interval: u64,
+        addr: LineAddr,
+        id: LineId,
+        old: u64,
+    ) -> bool {
+        if id.index() >= self.last_logged.len() {
+            self.last_logged.resize(id.index() + 1, None);
+        }
+        let slot = &mut self.last_logged[id.index()];
+        if self.filter_enabled && *slot == Some((pid, interval)) {
             self.filtered.incr();
             return false;
         }
-        self.last_logged.insert(addr, (pid, interval));
+        *slot = Some((pid, interval));
         let bank = self.bank_of(addr);
         self.banks[bank].push(LogRecord::Entry(LogEntry {
             pid,
             interval,
             addr,
+            id,
             old,
         }));
         self.entries.incr();
-        let b = self.open_interval_bytes.entry(pid).or_insert(0);
+        if pid.index() >= self.open_interval_bytes.len() {
+            self.open_interval_bytes.resize(pid.index() + 1, 0);
+        }
+        let b = &mut self.open_interval_bytes[pid.index()];
         *b += self.entry_bytes;
         self.max_interval_bytes = self.max_interval_bytes.max(*b);
         true
@@ -180,7 +295,10 @@ impl UndoLog {
             bank.push(LogRecord::Stub { pid, seq });
             self.stubs.incr();
         }
-        self.open_interval_bytes.insert(pid, 0);
+        if pid.index() >= self.open_interval_bytes.len() {
+            self.open_interval_bytes.resize(pid.index() + 1, 0);
+        }
+        self.open_interval_bytes[pid.index()] = 0;
     }
 
     /// Rolls back every processor in `targets` to its given stub sequence
@@ -190,12 +308,12 @@ impl UndoLog {
     ///
     /// Entries of processors not in `targets` are left untouched, exactly as
     /// in the paper ("retrieving the entries of only these processors").
-    pub fn rollback(&mut self, targets: &HashMap<CoreId, u64>) -> RollbackOutcome {
+    pub fn rollback(&mut self, targets: &RollbackTargets) -> RollbackOutcome {
         let mut out = RollbackOutcome::default();
         for bank in &mut self.banks {
             // Walk newest-to-oldest; collect restores until each target pid's
             // stub is seen, and mark undone records for removal.
-            let mut active: HashMap<CoreId, u64> = targets.clone();
+            let mut active = targets.clone();
             let mut remove = vec![false; bank.len()];
             for (i, rec) in bank.iter().enumerate().rev() {
                 if active.is_empty() {
@@ -204,8 +322,9 @@ impl UndoLog {
                 out.scanned += 1;
                 match *rec {
                     LogRecord::Entry(e) => {
-                        if active.contains_key(&e.pid) {
+                        if active.contains(e.pid) {
                             out.restores.push(RestoredLine {
+                                id: e.id,
                                 addr: e.addr,
                                 old: e.old,
                             });
@@ -213,9 +332,10 @@ impl UndoLog {
                         }
                     }
                     LogRecord::Stub { pid, seq } => {
-                        if let Some(&target) = active.get(&pid) {
+                        if let Some(target) = active.get(pid) {
                             if seq == target {
-                                active.remove(&pid);
+                                active.by_core[pid.index()] = None;
+                                active.count -= 1;
                             } else {
                                 // A dead stub from an undone newer interval.
                                 remove[i] = true;
@@ -232,11 +352,17 @@ impl UndoLog {
             });
         }
         // The filter cache may now point at removed records; dropping the
-        // affected keys merely re-arms logging, which is always safe.
-        self.last_logged
-            .retain(|_, (pid, _)| !targets.contains_key(pid));
-        for pid in targets.keys() {
-            self.open_interval_bytes.insert(*pid, 0);
+        // affected slots merely re-arms logging, which is always safe.
+        for slot in &mut self.last_logged {
+            if slot.is_some_and(|(pid, _)| targets.contains(pid)) {
+                *slot = None;
+            }
+        }
+        for (pid, _) in targets.iter() {
+            if pid.index() >= self.open_interval_bytes.len() {
+                self.open_interval_bytes.resize(pid.index() + 1, 0);
+            }
+            self.open_interval_bytes[pid.index()] = 0;
         }
         out
     }
@@ -265,11 +391,11 @@ impl UndoLog {
     /// Truncates records older than each processor's given stub. Models log
     /// space reclamation once a checkpoint is older than the fault-detection
     /// latency; primarily used to bound memory in long runs.
-    pub fn truncate_before(&mut self, safe: &HashMap<CoreId, u64>) {
+    pub fn truncate_before(&mut self, safe: &RollbackTargets) {
         for bank in &mut self.banks {
             // Find the oldest index that must be kept: scan newest-to-oldest
             // until every pid's safe stub has been seen.
-            let mut pending: HashMap<CoreId, u64> = safe.clone();
+            let mut pending = safe.clone();
             let mut cut = 0;
             for (i, rec) in bank.iter().enumerate().rev() {
                 if pending.is_empty() {
@@ -277,8 +403,9 @@ impl UndoLog {
                     break;
                 }
                 if let LogRecord::Stub { pid, seq } = *rec {
-                    if pending.get(&pid) == Some(&seq) {
-                        pending.remove(&pid);
+                    if pending.get(pid) == Some(seq) {
+                        pending.by_core[pid.index()] = None;
+                        pending.count -= 1;
                     }
                 }
             }
@@ -299,17 +426,24 @@ impl UndoLog {
 mod tests {
     use super::*;
 
-    fn targets(list: &[(usize, u64)]) -> HashMap<CoreId, u64> {
-        list.iter().map(|&(p, s)| (CoreId(p), s)).collect()
+    fn targets(list: &[(usize, u64)]) -> RollbackTargets {
+        RollbackTargets::from_pairs(list)
+    }
+
+    /// Test shorthand: in these unit tests the interned id of line `n` is
+    /// simply `n` (the interner's dense property is exercised by the
+    /// workloads crate's LineTable tests).
+    fn append(log: &mut UndoLog, pid: CoreId, interval: u64, line: u64, old: u64) -> bool {
+        log.append(pid, interval, LineAddr(line), LineId(line as u32), old)
     }
 
     #[test]
     fn filter_suppresses_second_writeback_same_interval() {
         let mut log = UndoLog::new(1, 44);
         let p = CoreId(0);
-        assert!(log.append(p, 1, LineAddr(5), 10));
-        assert!(!log.append(p, 1, LineAddr(5), 20));
-        assert!(log.append(p, 2, LineAddr(5), 30)); // new interval: logged
+        assert!(append(&mut log, p, 1, 5, 10));
+        assert!(!append(&mut log, p, 1, 5, 20));
+        assert!(append(&mut log, p, 2, 5, 30)); // new interval: logged
         assert_eq!(log.entries.get(), 2);
         assert_eq!(log.filtered.get(), 1);
     }
@@ -317,10 +451,10 @@ mod tests {
     #[test]
     fn interleaved_writer_rearms_filter() {
         let mut log = UndoLog::new(1, 44);
-        assert!(log.append(CoreId(0), 1, LineAddr(5), 10));
-        assert!(log.append(CoreId(1), 1, LineAddr(5), 20));
+        assert!(append(&mut log, CoreId(0), 1, 5, 10));
+        assert!(append(&mut log, CoreId(1), 1, 5, 20));
         // P0 again, same interval — must log because P1 got in between.
-        assert!(log.append(CoreId(0), 1, LineAddr(5), 30));
+        assert!(append(&mut log, CoreId(0), 1, 5, 30));
     }
 
     #[test]
@@ -328,18 +462,20 @@ mod tests {
         let mut log = UndoLog::new(1, 44);
         let p = CoreId(0);
         log.append_stub(p, 0);
-        log.append(p, 1, LineAddr(1), 100);
-        log.append(p, 1, LineAddr(2), 200);
+        append(&mut log, p, 1, 1, 100);
+        append(&mut log, p, 1, 2, 200);
         let out = log.rollback(&targets(&[(0, 0)]));
         // Newest first: line 2 then line 1.
         assert_eq!(
             out.restores,
             vec![
                 RestoredLine {
+                    id: LineId(2),
                     addr: LineAddr(2),
                     old: 200
                 },
                 RestoredLine {
+                    id: LineId(1),
                     addr: LineAddr(1),
                     old: 100
                 },
@@ -352,9 +488,9 @@ mod tests {
         let mut log = UndoLog::new(1, 44);
         let p = CoreId(0);
         log.append_stub(p, 0);
-        log.append(p, 1, LineAddr(1), 1);
+        append(&mut log, p, 1, 1, 1);
         log.append_stub(p, 1);
-        log.append(p, 2, LineAddr(1), 2);
+        append(&mut log, p, 2, 1, 2);
         let out = log.rollback(&targets(&[(0, 1)]));
         assert_eq!(out.restores.len(), 1);
         assert_eq!(out.restores[0].old, 2, "only the post-stub entry undone");
@@ -365,15 +501,15 @@ mod tests {
         let mut log = UndoLog::new(1, 44);
         log.append_stub(CoreId(0), 0);
         log.append_stub(CoreId(1), 0);
-        log.append(CoreId(0), 1, LineAddr(1), 10);
-        log.append(CoreId(1), 1, LineAddr(2), 20);
+        append(&mut log, CoreId(0), 1, 1, 10);
+        append(&mut log, CoreId(1), 1, 2, 20);
         let out = log.rollback(&targets(&[(0, 0)]));
         assert_eq!(out.restores.len(), 1);
-        assert_eq!(out.restores[0].addr, LineAddr(1));
+        assert_eq!(out.restores[0].id, LineId(1));
         // P1's entry must survive for its own future rollback.
         let out2 = log.rollback(&targets(&[(1, 0)]));
         assert_eq!(out2.restores.len(), 1);
-        assert_eq!(out2.restores[0].addr, LineAddr(2));
+        assert_eq!(out2.restores[0].id, LineId(2));
     }
 
     #[test]
@@ -381,15 +517,16 @@ mod tests {
         let mut log = UndoLog::new(1, 44);
         let p = CoreId(0);
         log.append_stub(p, 0);
-        log.append(p, 1, LineAddr(7), 111);
+        append(&mut log, p, 1, 7, 111);
         let first = log.rollback(&targets(&[(0, 0)]));
         assert_eq!(first.restores.len(), 1);
         // Re-execution logs a different old value, then rolls back again.
-        log.append(p, 1, LineAddr(7), 222);
+        append(&mut log, p, 1, 7, 222);
         let second = log.rollback(&targets(&[(0, 0)]));
         assert_eq!(
             second.restores,
             vec![RestoredLine {
+                id: LineId(7),
                 addr: LineAddr(7),
                 old: 222
             }]
@@ -401,9 +538,9 @@ mod tests {
         let mut log = UndoLog::new(1, 44);
         let p = CoreId(0);
         log.append_stub(p, 0);
-        log.append(p, 1, LineAddr(1), 1);
+        append(&mut log, p, 1, 1, 1);
         log.append_stub(p, 1);
-        log.append(p, 2, LineAddr(1), 2);
+        append(&mut log, p, 2, 1, 2);
         // Deep rollback to checkpoint 0 undoes both intervals and kills stub 1.
         let out = log.rollback(&targets(&[(0, 0)]));
         assert_eq!(out.restores.len(), 2);
@@ -417,7 +554,7 @@ mod tests {
         log.append_stub(CoreId(0), 0);
         assert_eq!(log.stubs.get(), 4);
         for i in 0..8 {
-            log.append(CoreId(0), 1, LineAddr(i), i);
+            append(&mut log, CoreId(0), 1, i, i);
         }
         for b in 0..4 {
             // Each bank: 1 stub + 2 entries.
@@ -433,11 +570,11 @@ mod tests {
         let mut log = UndoLog::new(1, 100);
         let p = CoreId(0);
         log.append_stub(p, 0);
-        log.append(p, 1, LineAddr(1), 0);
-        log.append(p, 1, LineAddr(2), 0);
+        append(&mut log, p, 1, 1, 0);
+        append(&mut log, p, 1, 2, 0);
         assert_eq!(log.max_interval_bytes(), 200);
         log.append_stub(p, 1);
-        log.append(p, 2, LineAddr(3), 0);
+        append(&mut log, p, 2, 3, 0);
         // New interval is smaller; max is sticky.
         assert_eq!(log.max_interval_bytes(), 200);
         assert_eq!(log.bytes(), 300);
@@ -448,9 +585,9 @@ mod tests {
         let mut log = UndoLog::new(1, 44);
         let p = CoreId(0);
         log.append_stub(p, 0);
-        log.append(p, 1, LineAddr(1), 1);
+        append(&mut log, p, 1, 1, 1);
         log.append_stub(p, 1);
-        log.append(p, 2, LineAddr(2), 2);
+        append(&mut log, p, 2, 2, 2);
         log.append_stub(p, 2);
         log.truncate_before(&targets(&[(0, 1)]));
         // Everything strictly older than stub 1 is gone.
@@ -458,7 +595,7 @@ mod tests {
         // Rollback to checkpoint 1 still works.
         let out = log.rollback(&targets(&[(0, 1)]));
         assert_eq!(out.restores.len(), 1);
-        assert_eq!(out.restores[0].addr, LineAddr(2));
+        assert_eq!(out.restores[0].id, LineId(2));
     }
 
     #[test]
@@ -481,9 +618,9 @@ mod tests {
         let mut log = UndoLog::new(2, 44).with_filter(false);
         let p = CoreId(0);
         log.append_stub(p, 0);
-        assert!(log.append(p, 1, LineAddr(9), 0xAA));
+        assert!(append(&mut log, p, 1, 9, 0xAA));
         assert!(
-            log.append(p, 1, LineAddr(9), 0xBB),
+            append(&mut log, p, 1, 9, 0xBB),
             "filter off: duplicate logged"
         );
         assert_eq!(log.filtered.get(), 0);
@@ -498,12 +635,29 @@ mod tests {
         let run = |filter: bool| {
             let mut log = UndoLog::new(2, 44).with_filter(filter);
             log.append_stub(p, 0);
-            log.append(p, 1, LineAddr(9), 0xAA);
-            log.append(p, 1, LineAddr(9), 0xBB);
+            append(&mut log, p, 1, 9, 0xAA);
+            append(&mut log, p, 1, 9, 0xBB);
             let out = log.rollback(&targets(&[(0, 0)]));
-            out.restores.last().map(|r| (r.addr, r.old))
+            out.restores.last().map(|r| (r.id, r.old))
         };
         assert_eq!(run(true), run(false));
-        assert_eq!(run(false), Some((LineAddr(9), 0xAA)));
+        assert_eq!(run(false), Some((LineId(9), 0xAA)));
+    }
+
+    #[test]
+    fn rollback_targets_dense_ops() {
+        let mut t = RollbackTargets::new(2);
+        assert!(t.is_empty());
+        t.set(CoreId(1), 3);
+        t.set(CoreId(5), 7); // grows past the initial size
+        t.set(CoreId(1), 4); // re-target replaces, not double-counts
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.get(CoreId(1)), Some(4));
+        assert!(t.contains(CoreId(5)));
+        assert!(!t.contains(CoreId(0)));
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            vec![(CoreId(1), 4), (CoreId(5), 7)]
+        );
     }
 }

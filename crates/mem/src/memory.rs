@@ -1,8 +1,6 @@
 //! The line-granularity main-memory backing store.
 
-use std::collections::HashMap;
-
-use rebound_engine::LineAddr;
+use rebound_engine::LineId;
 
 /// Off-chip main memory.
 ///
@@ -12,22 +10,28 @@ use rebound_engine::LineAddr;
 /// 32-byte payload; values are what make rollback verifiable: the undo log
 /// records old values read from here, and rollback must restore them exactly.
 ///
-/// Untouched lines read as zero, as if the machine booted with zeroed DRAM.
+/// Storage is a flat `Vec<u64>` indexed by the interned [`LineId`] — the
+/// load/store/writeback hot path does zero hashing. Ids are dense
+/// (first-touch order from the interner), so the array tracks the touched
+/// working set, not the 64-bit address space. Untouched lines read as
+/// zero, as if the machine booted with zeroed DRAM.
 ///
 /// # Example
 ///
 /// ```
 /// use rebound_mem::MainMemory;
-/// use rebound_engine::LineAddr;
+/// use rebound_engine::LineId;
 ///
 /// let mut m = MainMemory::new();
-/// assert_eq!(m.read(LineAddr(7)), 0);
-/// m.write(LineAddr(7), 42);
-/// assert_eq!(m.read(LineAddr(7)), 42);
+/// assert_eq!(m.read(LineId(7)), 0);
+/// m.write(LineId(7), 42);
+/// assert_eq!(m.read(LineId(7)), 42);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MainMemory {
-    lines: HashMap<LineAddr, u64>,
+    lines: Vec<u64>,
+    /// Number of nonzero entries (resident lines).
+    resident: usize,
 }
 
 impl MainMemory {
@@ -38,43 +42,50 @@ impl MainMemory {
 
     /// Reads the value of a line (zero if never written).
     #[inline]
-    pub fn read(&self, addr: LineAddr) -> u64 {
-        self.lines.get(&addr).copied().unwrap_or(0)
+    pub fn read(&self, id: LineId) -> u64 {
+        self.lines.get(id.index()).copied().unwrap_or(0)
     }
 
     /// Writes a line, returning the old value. This is exactly the
     /// read-old-then-write sequence the Rebound memory controller performs
     /// when logging a writeback (§3.3.3).
     #[inline]
-    pub fn write(&mut self, addr: LineAddr, value: u64) -> u64 {
-        if value == 0 {
-            self.lines.remove(&addr).unwrap_or(0)
-        } else {
-            self.lines.insert(addr, value).unwrap_or(0)
+    pub fn write(&mut self, id: LineId, value: u64) -> u64 {
+        let i = id.index();
+        if i >= self.lines.len() {
+            if value == 0 {
+                return 0;
+            }
+            self.lines.resize(i + 1, 0);
         }
+        let old = std::mem::replace(&mut self.lines[i], value);
+        match (old, value) {
+            (0, v) if v != 0 => self.resident += 1,
+            (o, 0) if o != 0 => self.resident -= 1,
+            _ => {}
+        }
+        old
     }
 
     /// Number of lines with nonzero content (for tests and footprint stats).
     pub fn resident_lines(&self) -> usize {
-        self.lines.len()
+        self.resident
     }
 
-    /// Iterates the addresses of all resident (nonzero) lines without
-    /// copying the map — enough for oracles that only need the touched
-    /// line set.
-    pub fn resident(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.lines.keys().copied()
+    /// Iterates the `(id, value)` pairs of all resident (nonzero) lines in
+    /// increasing id order, without copying anything — the borrowed view
+    /// recovery oracles compare against a golden twin.
+    pub fn iter_resident(&self) -> impl Iterator<Item = (LineId, u64)> + '_ {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(i, &v)| (LineId(i as u32), v))
     }
 
-    /// Snapshot of the full (nonzero) memory state, for oracle comparison in
-    /// rollback tests.
-    pub fn snapshot(&self) -> HashMap<LineAddr, u64> {
-        self.lines.clone()
-    }
-
-    /// Whether the current state equals `snapshot` exactly.
-    pub fn matches_snapshot(&self, snapshot: &HashMap<LineAddr, u64>) -> bool {
-        self.lines == *snapshot
+    /// Iterates the ids of all resident (nonzero) lines.
+    pub fn resident(&self) -> impl Iterator<Item = LineId> + '_ {
+        self.iter_resident().map(|(id, _)| id)
     }
 }
 
@@ -85,37 +96,45 @@ mod tests {
     #[test]
     fn unwritten_lines_read_zero() {
         let m = MainMemory::new();
-        assert_eq!(m.read(LineAddr(123)), 0);
+        assert_eq!(m.read(LineId(123)), 0);
         assert_eq!(m.resident_lines(), 0);
     }
 
     #[test]
     fn write_returns_old_value() {
         let mut m = MainMemory::new();
-        assert_eq!(m.write(LineAddr(1), 10), 0);
-        assert_eq!(m.write(LineAddr(1), 20), 10);
-        assert_eq!(m.read(LineAddr(1)), 20);
+        assert_eq!(m.write(LineId(1), 10), 0);
+        assert_eq!(m.write(LineId(1), 20), 10);
+        assert_eq!(m.read(LineId(1)), 20);
     }
 
     #[test]
     fn writing_zero_is_equivalent_to_erasing() {
         let mut m = MainMemory::new();
-        m.write(LineAddr(5), 9);
-        assert_eq!(m.write(LineAddr(5), 0), 9);
-        assert_eq!(m.read(LineAddr(5)), 0);
+        m.write(LineId(5), 9);
+        assert_eq!(m.write(LineId(5), 0), 9);
+        assert_eq!(m.read(LineId(5)), 0);
         assert_eq!(m.resident_lines(), 0);
     }
 
     #[test]
-    fn snapshot_round_trip() {
+    fn resident_iteration_is_dense_and_ordered() {
         let mut m = MainMemory::new();
-        m.write(LineAddr(1), 11);
-        m.write(LineAddr(2), 22);
-        let snap = m.snapshot();
-        assert!(m.matches_snapshot(&snap));
-        m.write(LineAddr(2), 33);
-        assert!(!m.matches_snapshot(&snap));
-        m.write(LineAddr(2), 22);
-        assert!(m.matches_snapshot(&snap));
+        m.write(LineId(4), 44);
+        m.write(LineId(1), 11);
+        m.write(LineId(2), 22);
+        m.write(LineId(2), 0); // erased again
+        let got: Vec<_> = m.iter_resident().collect();
+        assert_eq!(got, vec![(LineId(1), 11), (LineId(4), 44)]);
+        assert_eq!(m.resident().collect::<Vec<_>>(), vec![LineId(1), LineId(4)]);
+        assert_eq!(m.resident_lines(), 2);
+    }
+
+    #[test]
+    fn writing_zero_to_unseen_line_allocates_nothing() {
+        let mut m = MainMemory::new();
+        assert_eq!(m.write(LineId(1000), 0), 0);
+        assert_eq!(m.resident_lines(), 0);
+        assert_eq!(m.iter_resident().count(), 0);
     }
 }

@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 
 use proptest::prelude::*;
-use rebound_engine::{CoreId, LineAddr};
-use rebound_mem::UndoLog;
+use rebound_engine::{CoreId, LineAddr, LineId};
+use rebound_mem::{RollbackTargets, UndoLog};
 
 /// One scripted action against the log.
 #[derive(Clone, Debug)]
@@ -68,7 +68,7 @@ proptest! {
                     let la = LineAddr(line);
                     let old = mem_real.get(&la).copied().unwrap_or(0);
                     prop_assert_eq!(&mem_real, &mem_ref);
-                    log.append(CoreId(pid), interval[pid], la, old);
+                    log.append(CoreId(pid), interval[pid], la, LineId(la.raw() as u32), old);
                     reference.push(RefRec::Entry { pid, addr: la, old });
                     mem_real.insert(la, next_val);
                     mem_ref.insert(la, next_val);
@@ -82,8 +82,7 @@ proptest! {
                 }
                 Act::Roll { pid } => {
                     // Real log.
-                    let targets: HashMap<CoreId, u64> =
-                        [(CoreId(pid), stub_seq[pid])].into_iter().collect();
+                    let targets = RollbackTargets::from_pairs(&[(pid, stub_seq[pid])]);
                     let out = log.rollback(&targets);
                     for r in &out.restores {
                         if r.old == 0 {
@@ -142,7 +141,7 @@ proptest! {
                 Act::Write { line, .. } => {
                     let la = LineAddr(line);
                     let old = mem.get(&la).copied().unwrap_or(0);
-                    log.append(CoreId(0), stub, la, old);
+                    log.append(CoreId(0), stub, la, LineId(la.raw() as u32), old);
                     mem.insert(la, next_val);
                     next_val += 1;
                 }
@@ -152,8 +151,7 @@ proptest! {
                     snapshot = mem.clone();
                 }
                 Act::Roll { .. } => {
-                    let targets: HashMap<CoreId, u64> =
-                        [(CoreId(0), stub)].into_iter().collect();
+                    let targets = RollbackTargets::from_pairs(&[(0, stub)]);
                     let out = log.rollback(&targets);
                     for r in &out.restores {
                         if r.old == 0 {
@@ -183,10 +181,10 @@ proptest! {
         for (v, &l) in (1u64..).zip(lines.iter().chain(lines.iter())) {
             let la = LineAddr(l);
             let old = mem.get(&la).copied().unwrap_or(0);
-            log.append(CoreId(0), 0, la, old);
+            log.append(CoreId(0), 0, la, LineId(la.raw() as u32), old);
             mem.insert(la, v);
         }
-        let targets: HashMap<CoreId, u64> = [(CoreId(0), 0)].into_iter().collect();
+        let targets = RollbackTargets::from_pairs(&[(0, 0)]);
         let out = log.rollback(&targets);
         for r in &out.restores {
             if r.old == 0 {

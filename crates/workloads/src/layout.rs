@@ -12,12 +12,21 @@
 
 use rebound_engine::{Addr, CoreId};
 
-const REGION_SHIFT: u32 = 40;
+// Byte-granularity encoding constants, shared with the `LineTable`
+// interner (which decodes them at line granularity): changing any of
+// these reshapes the dense slot arithmetic automatically.
+pub(crate) const REGION_SHIFT: u32 = 40;
 const PRIVATE: u64 = 1 << REGION_SHIFT;
 const SHARED: u64 = 2 << REGION_SHIFT;
 const SYNC: u64 = 3 << REGION_SHIFT;
-const CORE_SHIFT: u32 = 26; // 64 MiB per core slice
-const LINE: u64 = 32;
+pub(crate) const CORE_SHIFT: u32 = 26; // 64 MiB per core slice
+/// Core-field value marking the shared-global pool (with [`GLOBAL_BIT`]).
+pub(crate) const GLOBAL_CORE: u64 = 63;
+/// Byte bit distinguishing the global pool from core 63's slice.
+pub(crate) const GLOBAL_BIT: u64 = 1 << 25;
+/// Byte offset of the first barrier word inside the sync region.
+pub(crate) const BARRIER_BASE: u64 = 1 << 20;
+pub(crate) const LINE: u64 = 32;
 
 /// Address construction helpers for the three regions.
 ///
@@ -52,7 +61,7 @@ impl AddressLayout {
     /// roots, server accept state).
     #[inline]
     pub fn shared_global_line(&self, idx: u64) -> Addr {
-        Addr(SHARED | (63u64 << CORE_SHIFT) | (1 << 25) | (idx * LINE))
+        Addr(SHARED | (GLOBAL_CORE << CORE_SHIFT) | GLOBAL_BIT | (idx * LINE))
     }
 
     /// The lock word for lock `id` (one line per lock).
@@ -64,19 +73,19 @@ impl AddressLayout {
     /// The barrier's arrival-count word (Fig 4.2(a)).
     #[inline]
     pub fn barrier_count_line(&self) -> Addr {
-        Addr(SYNC | (1 << 20))
+        Addr(SYNC | BARRIER_BASE)
     }
 
     /// The barrier's release-flag word (Fig 4.2(a)).
     #[inline]
     pub fn barrier_flag_line(&self) -> Addr {
-        Addr(SYNC | (1 << 20) | LINE)
+        Addr(SYNC | BARRIER_BASE | LINE)
     }
 
     /// The `BarCK_sent` word of the barrier optimization (Fig 4.2(d)).
     #[inline]
     pub fn barck_sent_line(&self) -> Addr {
-        Addr(SYNC | (1 << 20) | (2 * LINE))
+        Addr(SYNC | BARRIER_BASE | (2 * LINE))
     }
 
     /// Whether `addr` lies in the sync region (used by tests and by the

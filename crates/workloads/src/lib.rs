@@ -21,6 +21,7 @@
 
 pub mod catalog;
 pub mod layout;
+pub mod linetable;
 pub mod op;
 pub mod profile;
 #[cfg(feature = "strategies")]
@@ -29,6 +30,7 @@ pub mod stream;
 
 pub use catalog::{all_profiles, barrier_intensive, parsec_and_apache, profile_named, splash2};
 pub use layout::AddressLayout;
+pub use linetable::LineTable;
 pub use op::Op;
 pub use profile::{AppProfile, SharingPattern, Suite};
 pub use stream::OpStream;

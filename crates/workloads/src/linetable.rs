@@ -1,0 +1,368 @@
+//! The line interner: dense [`LineId`]s for the statically enumerable
+//! address space.
+//!
+//! Every address the workload layer can construct comes out of one of
+//! [`AddressLayout`]'s constructors, whose index spaces are bounded by
+//! the machine's core count and the application profile's footprints
+//! (`private_lines`, `slice_lines`, the global pool, lock ids, the three
+//! barrier words). That makes the touched line universe *statically
+//! enumerable*: the [`LineTable`] decodes a [`LineAddr`] back into
+//! `(region, core, index)` with shift/mask arithmetic, looks the slot up
+//! in one flat array, and hands out a dense [`LineId`] in first-touch
+//! order — no hashing on the simulator's load/store/coherence hot path.
+//!
+//! Interning is **injective** (two distinct line addresses never share an
+//! id — one slot per region coordinate plus a collision-checked overflow
+//! map) and **total**: addresses outside the enumerable regions (e.g.
+//! hand-written test scripts poking raw addresses) fall back to a
+//! `HashMap`, trading the dense lookup for unchanged correctness.
+//! `addr_of` maps every id back to its line address, so the wire/trace
+//! format is always recoverable.
+//!
+//! Determinism: for a deterministic run, lines are first touched in a
+//! deterministic order, so the `Addr ↔ LineId` bijection — and everything
+//! keyed by it — is reproducible from the seed.
+
+use std::collections::HashMap;
+
+use rebound_engine::{LineAddr, LineId};
+
+use crate::profile::{AppProfile, SharingPattern};
+
+use crate::layout;
+use crate::stream::{LOCK_DATA_LINES, OBJ_LINES};
+
+/// `log2` of the layout's line size: the byte→line granularity shift the
+/// decoding constants below are rescaled by.
+const LINE_BITS: u32 = layout::LINE.trailing_zeros();
+/// Region tag shift at *line* granularity.
+const REGION_SHIFT: u32 = layout::REGION_SHIFT - LINE_BITS;
+/// Core field shift at line granularity.
+const CORE_SHIFT: u32 = layout::CORE_SHIFT - LINE_BITS;
+const CORE_MASK: u64 = (1 << (REGION_SHIFT - CORE_SHIFT)) - 1;
+const OFF_MASK: u64 = (1 << CORE_SHIFT) - 1;
+/// Global-pool marker: core field [`layout::GLOBAL_CORE`] plus the
+/// global bit, at line granularity.
+const GLOBAL_CORE: u64 = layout::GLOBAL_CORE;
+const GLOBAL_BIT: u64 = layout::GLOBAL_BIT >> LINE_BITS;
+/// First barrier word at line granularity.
+const BARRIER_BASE: u64 = layout::BARRIER_BASE >> LINE_BITS;
+
+/// The interner: `Addr ↔ LineId`, injective, deterministic.
+///
+/// # Example
+///
+/// ```
+/// use rebound_workloads::{AddressLayout, LineTable};
+/// use rebound_engine::{CoreId, LineGeometry};
+///
+/// let layout = AddressLayout;
+/// let geom = LineGeometry::default();
+/// let mut t = LineTable::universal(8);
+/// let a = layout.private_line(CoreId(3), 7).line(geom);
+/// let id = t.intern(a);
+/// assert_eq!(t.intern(a), id, "stable");
+/// assert_eq!(t.addr_of(id), a, "round-trips");
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineTable {
+    ncores: u64,
+    private_span: u64,
+    slice_span: u64,
+    global_span: u64,
+    lock_span: u64,
+    /// Dense region slots; `0` = unassigned, else `LineId + 1`.
+    slots: Vec<u32>,
+    /// Reverse map: id → line address (dense and overflow ids alike).
+    addrs: Vec<LineAddr>,
+    /// Out-of-region stragglers (hand-written scripts, raw test addresses).
+    overflow: HashMap<u64, u32>,
+}
+
+impl LineTable {
+    /// A table sized from explicit per-region spans (in lines).
+    pub fn with_spans(
+        ncores: usize,
+        private_span: u64,
+        slice_span: u64,
+        global_span: u64,
+        lock_span: u64,
+    ) -> LineTable {
+        let ncores = ncores as u64;
+        let dense = ncores * (private_span + slice_span) + global_span + lock_span + 3;
+        LineTable {
+            ncores,
+            private_span,
+            slice_span,
+            global_span,
+            lock_span,
+            slots: vec![0; dense as usize],
+            addrs: Vec::new(),
+            overflow: HashMap::new(),
+        }
+    }
+
+    /// A table covering exactly the index spaces `profile`'s generators
+    /// draw from on an `ncores` machine: every address an [`OpStream`]
+    /// emits — including lock words, lock-protected global data and
+    /// migratory objects — interns into the dense region, never the
+    /// overflow map.
+    ///
+    /// [`OpStream`]: crate::stream::OpStream
+    pub fn for_profile(ncores: usize, profile: &AppProfile) -> LineTable {
+        let objects = match profile.pattern {
+            SharingPattern::Migratory { objects } => objects,
+            _ => 0,
+        };
+        let global_span = profile
+            .global_lines
+            .max(objects * OBJ_LINES)
+            .max(profile.num_locks as u64 * LOCK_DATA_LINES);
+        LineTable::with_spans(
+            ncores,
+            profile.private_lines,
+            profile.slice_lines,
+            global_span,
+            profile.num_locks as u64,
+        )
+    }
+
+    /// A profile-agnostic table with generous default spans, for machines
+    /// built from explicit scripts. Script addresses outside the spans
+    /// still intern correctly via the overflow map.
+    pub fn universal(ncores: usize) -> LineTable {
+        LineTable::with_spans(ncores, 4_096, 2_048, 8_192, 1_024)
+    }
+
+    /// The dense slot of `line`, if it falls inside the enumerable regions.
+    #[inline]
+    fn slot_of(&self, line: LineAddr) -> Option<u64> {
+        let raw = line.raw();
+        let region = raw >> REGION_SHIFT;
+        let core = (raw >> CORE_SHIFT) & CORE_MASK;
+        let off = raw & OFF_MASK;
+        match region {
+            1 => (core < self.ncores && off < self.private_span)
+                .then(|| core * self.private_span + off),
+            2 => {
+                let base = self.ncores * self.private_span;
+                if core == GLOBAL_CORE && off & GLOBAL_BIT != 0 {
+                    let g = off & !GLOBAL_BIT;
+                    (g < self.global_span).then(|| base + self.ncores * self.slice_span + g)
+                } else {
+                    (core < self.ncores && off < self.slice_span)
+                        .then(|| base + core * self.slice_span + off)
+                }
+            }
+            3 => {
+                let base = self.ncores * (self.private_span + self.slice_span) + self.global_span;
+                let sync_off = raw & ((1 << REGION_SHIFT) - 1);
+                if sync_off < self.lock_span {
+                    Some(base + sync_off)
+                } else if (BARRIER_BASE..BARRIER_BASE + 3).contains(&sync_off) {
+                    Some(base + self.lock_span + (sync_off - BARRIER_BASE))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Interns `line`, returning its dense id (stable across calls).
+    #[inline]
+    pub fn intern(&mut self, line: LineAddr) -> LineId {
+        match self.slot_of(line) {
+            Some(slot) => {
+                let v = self.slots[slot as usize];
+                if v != 0 {
+                    return LineId(v - 1);
+                }
+                let id = self.addrs.len() as u32;
+                self.addrs.push(line);
+                self.slots[slot as usize] = id + 1;
+                LineId(id)
+            }
+            None => {
+                if let Some(&id) = self.overflow.get(&line.raw()) {
+                    return LineId(id);
+                }
+                let id = self.addrs.len() as u32;
+                self.addrs.push(line);
+                self.overflow.insert(line.raw(), id);
+                LineId(id)
+            }
+        }
+    }
+
+    /// The id of `line` if it has been interned, without interning it.
+    #[inline]
+    pub fn lookup(&self, line: LineAddr) -> Option<LineId> {
+        match self.slot_of(line) {
+            Some(slot) => {
+                let v = self.slots[slot as usize];
+                (v != 0).then(|| LineId(v - 1))
+            }
+            None => self.overflow.get(&line.raw()).map(|&id| LineId(id)),
+        }
+    }
+
+    /// The line address behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not handed out by this table.
+    #[inline]
+    pub fn addr_of(&self, id: LineId) -> LineAddr {
+        self.addrs[id.index()]
+    }
+
+    /// Number of lines interned so far.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether no line has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Capacity of the dense (hash-free) region in lines.
+    pub fn dense_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// How many interned lines fell outside the enumerable regions (0 for
+    /// profile-generated workloads; nonzero only for raw script addresses).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::AddressLayout;
+    use crate::stream::OpStream;
+    use crate::Op;
+    use rebound_engine::{CoreId, LineGeometry};
+
+    fn geom() -> LineGeometry {
+        LineGeometry::default()
+    }
+
+    #[test]
+    fn interning_is_stable_and_injective_over_constructors() {
+        let layout = AddressLayout;
+        let mut t = LineTable::with_spans(4, 64, 32, 48, 8);
+        let mut all = Vec::new();
+        for c in 0..4 {
+            for i in 0..64 {
+                all.push(layout.private_line(CoreId(c), i).line(geom()));
+            }
+            for i in 0..32 {
+                all.push(layout.shared_slice_line(CoreId(c), i).line(geom()));
+            }
+        }
+        for i in 0..48 {
+            all.push(layout.shared_global_line(i).line(geom()));
+        }
+        for l in 0..8 {
+            all.push(layout.lock_line(l).line(geom()));
+        }
+        all.push(layout.barrier_count_line().line(geom()));
+        all.push(layout.barrier_flag_line().line(geom()));
+        all.push(layout.barck_sent_line().line(geom()));
+
+        let ids: Vec<LineId> = all.iter().map(|&l| t.intern(l)).collect();
+        // Injective: distinct lines, distinct ids.
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "id collision");
+        // Stable + round-trip, all dense.
+        for (&l, &id) in all.iter().zip(&ids) {
+            assert_eq!(t.intern(l), id);
+            assert_eq!(t.lookup(l), Some(id));
+            assert_eq!(t.addr_of(id), l);
+        }
+        assert_eq!(t.overflow_len(), 0, "constructors must intern densely");
+    }
+
+    #[test]
+    fn ids_are_first_touch_dense() {
+        let layout = AddressLayout;
+        let mut t = LineTable::universal(2);
+        let a = t.intern(layout.shared_slice_line(CoreId(1), 9).line(geom()));
+        let b = t.intern(layout.private_line(CoreId(0), 0).line(geom()));
+        assert_eq!(a, LineId(0));
+        assert_eq!(b, LineId(1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn out_of_region_addresses_fall_back_to_overflow() {
+        let mut t = LineTable::universal(2);
+        let raw = LineAddr(0x80); // region 0: no layout constructor makes this
+        let id = t.intern(raw);
+        assert_eq!(t.intern(raw), id);
+        assert_eq!(t.lookup(raw), Some(id));
+        assert_eq!(t.addr_of(id), raw);
+        assert_eq!(t.overflow_len(), 1);
+        // And it never collides with a dense id.
+        let dense = t.intern(AddressLayout.lock_line(0).line(geom()));
+        assert_ne!(dense, id);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let t = LineTable::universal(1);
+        assert_eq!(t.lookup(LineAddr(42)), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn profile_streams_intern_densely() {
+        // Every address any catalog stream generates must land in the
+        // dense region of its profile's table — the hot path never hashes.
+        for p in crate::catalog::all_profiles() {
+            let name = p.name;
+            let mut t = LineTable::for_profile(8, &p);
+            for c in 0..8 {
+                let mut s = OpStream::new(&p, CoreId(c), 8, 3, 6_000);
+                loop {
+                    match s.next_op() {
+                        Op::Load(a) | Op::Store(a) => {
+                            t.intern(a.line(geom()));
+                        }
+                        Op::LockAcquire(id) | Op::LockRelease(id) => {
+                            t.intern(AddressLayout.lock_line(id).line(geom()));
+                        }
+                        Op::Barrier => {
+                            t.intern(AddressLayout.barrier_count_line().line(geom()));
+                            t.intern(AddressLayout.barrier_flag_line().line(geom()));
+                        }
+                        Op::End => break,
+                        _ => {}
+                    }
+                }
+            }
+            assert_eq!(t.overflow_len(), 0, "{name}: generator escaped the table");
+        }
+    }
+
+    #[test]
+    fn high_core_counts_do_not_alias_the_global_pool() {
+        // Core 63's slice and the global pool share the core field; the
+        // global marker bit must keep them apart even on a 256-core table.
+        let layout = AddressLayout;
+        let mut t = LineTable::with_spans(256, 16, 16, 64, 4);
+        let slice = t.intern(layout.shared_slice_line(CoreId(63), 5).line(geom()));
+        let global = t.intern(layout.shared_global_line(5).line(geom()));
+        let far = t.intern(layout.shared_slice_line(CoreId(255), 5).line(geom()));
+        assert_ne!(slice, global);
+        assert_ne!(slice, far);
+        assert_ne!(global, far);
+        assert_eq!(t.overflow_len(), 0);
+    }
+}

@@ -9,9 +9,9 @@ use crate::op::Op;
 use crate::profile::{AppProfile, SharingPattern};
 
 /// Lines per migratory object (header + payload).
-const OBJ_LINES: u64 = 4;
+pub(crate) const OBJ_LINES: u64 = 4;
 /// Lines of lock-protected data per lock.
-const LOCK_DATA_LINES: u64 = 8;
+pub(crate) const LOCK_DATA_LINES: u64 = 8;
 
 /// A deterministic, rewindable generator of one core's dynamic instruction
 /// stream.

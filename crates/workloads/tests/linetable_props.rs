@@ -1,0 +1,117 @@
+//! Property tests of the [`LineTable`] interner: over arbitrary
+//! profiles (`arb_profile` bounds) and core counts, interning every
+//! address an [`AddressLayout`] constructor can produce is **injective**
+//! (distinct lines never share an id) and **round-trips** (`addr_of`
+//! inverts `intern`), with every constructor-produced line landing in
+//! the dense, hash-free region of the table.
+//!
+//! [`LineTable`]: rebound_workloads::LineTable
+//! [`AddressLayout`]: rebound_workloads::AddressLayout
+
+use proptest::prelude::*;
+use rebound_engine::{CoreId, LineAddr, LineGeometry};
+use rebound_workloads::strategies::arb_profile;
+use rebound_workloads::{AddressLayout, AppProfile, LineTable, SharingPattern};
+
+/// Every line address the layout constructors can produce within
+/// `profile`'s bounds on an `ncores` machine, as `LineTable::for_profile`
+/// enumerates them. Index axes are subsampled by `stride` so a case stays
+/// fast while still probing the span edges (0, the stride lattice, and
+/// span-1).
+fn constructor_lines(profile: &AppProfile, ncores: usize, stride: u64) -> Vec<LineAddr> {
+    let layout = AddressLayout;
+    let geom = LineGeometry::default();
+    let mut lines = Vec::new();
+    let axis = |span: u64| {
+        let mut idx: Vec<u64> = (0..span).step_by(stride.max(1) as usize).collect();
+        if span > 0 && !idx.contains(&(span - 1)) {
+            idx.push(span - 1);
+        }
+        idx
+    };
+    let objects = match profile.pattern {
+        SharingPattern::Migratory { objects } => objects,
+        _ => 0,
+    };
+    let global_span = profile
+        .global_lines
+        .max(objects * 4)
+        .max(profile.num_locks as u64 * 8);
+    for c in 0..ncores {
+        for i in axis(profile.private_lines) {
+            lines.push(layout.private_line(CoreId(c), i).line(geom));
+        }
+        for i in axis(profile.slice_lines) {
+            lines.push(layout.shared_slice_line(CoreId(c), i).line(geom));
+        }
+    }
+    for i in axis(global_span) {
+        lines.push(layout.shared_global_line(i).line(geom));
+    }
+    for l in 0..profile.num_locks {
+        lines.push(layout.lock_line(l).line(geom));
+    }
+    lines.push(layout.barrier_count_line().line(geom));
+    lines.push(layout.barrier_flag_line().line(geom));
+    lines.push(layout.barck_sent_line().line(geom));
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interning is injective and round-trips over every constructor,
+    /// every profile, and core counts up to the 256-core scale regime.
+    #[test]
+    fn interning_is_injective_and_round_trips(
+        profile in arb_profile(),
+        ncores in prop_oneof![1usize..=8, Just(64usize), Just(256usize)],
+        stride in 1u64..64,
+    ) {
+        let mut table = LineTable::for_profile(ncores, &profile);
+        let lines = constructor_lines(&profile, ncores, stride);
+        // Distinct inputs (constructors can only collide if regions
+        // alias, which the layout test suite already rejects).
+        let mut distinct = lines.clone();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), lines.len(), "layout constructors aliased");
+
+        let ids: Vec<_> = lines.iter().map(|&l| table.intern(l)).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), lines.len(), "interning collided two lines");
+
+        for (&line, &id) in lines.iter().zip(&ids) {
+            prop_assert_eq!(table.addr_of(id), line, "round-trip failed");
+            prop_assert_eq!(table.intern(line), id, "re-interning moved an id");
+            prop_assert_eq!(table.lookup(line), Some(id));
+        }
+        prop_assert_eq!(
+            table.overflow_len(), 0,
+            "a constructor-produced line escaped the dense region"
+        );
+        prop_assert_eq!(table.len(), lines.len());
+    }
+
+    /// Ids are handed out densely in first-touch order regardless of the
+    /// order lines arrive in.
+    #[test]
+    fn ids_are_dense_in_first_touch_order(
+        profile in arb_profile(),
+        seed in 0u64..1_000,
+    ) {
+        let mut table = LineTable::for_profile(4, &profile);
+        let mut lines = constructor_lines(&profile, 4, 13);
+        // Deterministic shuffle from the seed.
+        let n = lines.len();
+        for i in 0..n {
+            let j = (seed as usize * 31 + i * 17) % n;
+            lines.swap(i, j);
+        }
+        for (k, &l) in lines.iter().enumerate() {
+            prop_assert_eq!(table.intern(l).index(), k, "ids must be dense");
+        }
+    }
+}
