@@ -2,9 +2,11 @@
 //! clean termination, the number a campaign or figure sweep actually
 //! pays per job. Cells span the scheme flavours that exercise the three
 //! hot data-plane paths (Global: no dependence tracking; Rebound: LW-ID
-//! plus WSIG and Dep registers; Rebound_Barr: barrier episodes on top)
-//! crossed with Ocean/FFT and 16/64/256 cores — the 256-core cells are
-//! the paper-scale regime the dense `LineId` data plane exists for.
+//! plus WSIG and Dep registers; Rebound_Barr: barrier episodes on top;
+//! Rebound_Cluster4: cluster-truncated collection over the same
+//! tracking plane) crossed with Ocean/FFT and 16/64/256 cores — the
+//! 256-core cells are the paper-scale regime the dense `LineId` data
+//! plane exists for.
 //!
 //! Reported as time per full run; each cell also sets
 //! `Throughput::Elements(committed instructions)` so the harness prints
@@ -64,7 +66,12 @@ fn core_counts() -> Vec<usize> {
 }
 
 fn bench_sim_throughput(c: &mut Criterion) {
-    let schemes = [Scheme::GLOBAL, Scheme::REBOUND, Scheme::REBOUND_BARR];
+    let schemes = [
+        Scheme::GLOBAL,
+        Scheme::REBOUND,
+        Scheme::REBOUND_BARR,
+        Scheme::REBOUND_CLUSTER,
+    ];
     let apps = ["Ocean", "FFT"];
     let mut g = c.benchmark_group("sim");
     for &cores in &core_counts() {

@@ -24,6 +24,25 @@ pub enum Scheme {
         /// The barrier checkpoint optimization (§4.2.1).
         barrier_opt: bool,
     },
+    /// Clustered coordinated checkpointing (`Rebound_Cluster{k}`): cores
+    /// are statically partitioned into `k`-core clusters that checkpoint
+    /// as one unit, and the interaction set is **truncated at the
+    /// cluster boundary** — the midpoint of the paper's design space
+    /// between `Global` (k = machine size) and `Rebound` (the
+    /// generalization of k = 1, whose unit is the dynamic interaction
+    /// set). Dependences are still tracked: recovery chases the consumer
+    /// closure *across* cluster boundaries — bounding each pulled
+    /// consumer's target by its producer's target snapshot time, since
+    /// truncated episodes no longer guarantee a consumer's checkpoint is
+    /// covered by its producers' — trading longer rollback cascades for
+    /// collection traffic that never leaves the cluster.
+    Cluster {
+        /// Delayed writebacks (§4.1).
+        dwb: bool,
+        /// Cores per cluster (the last cluster may be smaller when `k`
+        /// does not divide the machine size).
+        k: u8,
+    },
 }
 
 impl Scheme {
@@ -51,11 +70,17 @@ impl Scheme {
         dwb: false,
         barrier_opt: true,
     };
+    /// Clustered checkpointing at 4-core granularity (`Rebound_Cluster4`)
+    /// — the design-space midpoint between `Global` and `Rebound`.
+    pub const REBOUND_CLUSTER: Scheme = Scheme::Cluster { dwb: true, k: 4 };
 
-    /// Every named configuration of the Fig 4.3(a) matrix. Full-matrix
-    /// sweeps (campaigns, cross-scheme property tests) derive from this
-    /// single list so a new scheme automatically joins every sweep.
-    pub const ALL: [Scheme; 7] = [
+    /// Every named configuration of the Fig 4.3(a) matrix plus the
+    /// clustered extension. Full-matrix sweeps (campaigns, cross-scheme
+    /// property tests) derive from this single list so a new scheme
+    /// automatically joins every sweep. New entries go at the **end**:
+    /// campaign job ids are scheme-major, so appending keeps every
+    /// existing row (and its golden snapshots) stable.
+    pub const ALL: [Scheme; 8] = [
         Scheme::None,
         Scheme::GLOBAL,
         Scheme::GLOBAL_DWB,
@@ -63,6 +88,7 @@ impl Scheme {
         Scheme::REBOUND_NODWB,
         Scheme::REBOUND_BARR,
         Scheme::REBOUND_NODWB_BARR,
+        Scheme::REBOUND_CLUSTER,
     ];
 
     /// Whether this scheme checkpoints at all.
@@ -70,18 +96,31 @@ impl Scheme {
         self != Scheme::None
     }
 
-    /// Whether this scheme tracks inter-thread dependences (only Rebound
-    /// needs the LW-ID / Dep-register machinery).
+    /// Whether this scheme tracks inter-thread dependences (Rebound and
+    /// the clustered extension need the LW-ID / Dep-register machinery —
+    /// the cluster truncates checkpoint sets, but recovery still chases
+    /// recorded consumers across cluster boundaries).
     pub fn tracks_dependences(self) -> bool {
-        matches!(self, Scheme::Rebound { .. })
+        matches!(self, Scheme::Rebound { .. } | Scheme::Cluster { .. })
     }
 
     /// Whether delayed writebacks are enabled.
     pub fn dwb(self) -> bool {
         matches!(
             self,
-            Scheme::Global { dwb: true } | Scheme::Rebound { dwb: true, .. }
+            Scheme::Global { dwb: true }
+                | Scheme::Rebound { dwb: true, .. }
+                | Scheme::Cluster { dwb: true, .. }
         )
+    }
+
+    /// The static cluster size of `Rebound_Cluster{k}` (1 otherwise:
+    /// every other scheme's checkpoint unit is a single core).
+    pub fn cluster_k(self) -> usize {
+        match self {
+            Scheme::Cluster { k, .. } => (k as usize).max(1),
+            _ => 1,
+        }
     }
 
     /// Whether the barrier optimization is enabled.
@@ -117,6 +156,25 @@ impl Scheme {
                 dwb: false,
                 barrier_opt: true,
             } => "Rebound_NoDWB_Barr",
+            // One distinct label per supported size ({1,2,4,8,16},
+            // enforced by `MachineConfig::validate`) so campaign rows
+            // and `--filter` can always name the exact configuration.
+            Scheme::Cluster { dwb: true, k } => match k {
+                1 => "Rebound_Cluster1",
+                2 => "Rebound_Cluster2",
+                4 => "Rebound_Cluster4",
+                8 => "Rebound_Cluster8",
+                16 => "Rebound_Cluster16",
+                _ => "Rebound_ClusterK",
+            },
+            Scheme::Cluster { dwb: false, k } => match k {
+                1 => "Rebound_Cluster1_NoDWB",
+                2 => "Rebound_Cluster2_NoDWB",
+                4 => "Rebound_Cluster4_NoDWB",
+                8 => "Rebound_Cluster8_NoDWB",
+                16 => "Rebound_Cluster16_NoDWB",
+                _ => "Rebound_ClusterK_NoDWB",
+            },
         }
     }
 }
@@ -278,6 +336,25 @@ impl MachineConfig {
         if self.dep_cluster == 0 {
             return Err("dep_cluster must be at least 1".into());
         }
+        if let Scheme::Cluster { k, .. } = self.scheme {
+            if !matches!(k, 1 | 2 | 4 | 8 | 16) {
+                // Each supported size has a distinct `label()`; an
+                // unlisted k would collapse into a shared fallback
+                // string and make campaign CSV rows indistinguishable.
+                return Err(format!(
+                    "Rebound_Cluster supports k in {{1, 2, 4, 8, 16}}, got {k}"
+                ));
+            }
+            if !(k as usize).is_multiple_of(self.dep_cluster) {
+                // Dep-granularity mates must checkpoint together (§8);
+                // that holds only when every dep cluster nests inside
+                // one scheme cluster, i.e. dep_cluster divides k.
+                return Err(format!(
+                    "Rebound_Cluster k={k} must be a multiple of dep_cluster={}",
+                    self.dep_cluster
+                ));
+            }
+        }
         if self.wsig_bits == 0 || self.wsig_hashes == 0 {
             return Err("WSIG needs bits and hashes".into());
         }
@@ -319,6 +396,20 @@ mod tests {
         assert!(Scheme::GLOBAL_DWB.dwb());
         assert!(Scheme::REBOUND_BARR.barrier_opt());
         assert!(!Scheme::GLOBAL.barrier_opt());
+        assert!(Scheme::REBOUND_CLUSTER.checkpoints());
+        assert!(Scheme::REBOUND_CLUSTER.tracks_dependences());
+        assert!(Scheme::REBOUND_CLUSTER.dwb());
+        assert!(!Scheme::REBOUND_CLUSTER.barrier_opt());
+        assert_eq!(Scheme::REBOUND_CLUSTER.cluster_k(), 4);
+        assert_eq!(Scheme::REBOUND.cluster_k(), 1);
+    }
+
+    #[test]
+    fn all_has_eight_schemes_with_cluster_last() {
+        assert_eq!(Scheme::ALL.len(), 8);
+        // Appended last: campaign job ids are scheme-major, so existing
+        // rows (and golden snapshots) stay stable.
+        assert_eq!(Scheme::ALL[7], Scheme::REBOUND_CLUSTER);
     }
 
     #[test]
@@ -330,6 +421,11 @@ mod tests {
         assert_eq!(Scheme::REBOUND_BARR.label(), "Rebound_Barr");
         assert_eq!(Scheme::REBOUND_NODWB_BARR.label(), "Rebound_NoDWB_Barr");
         assert_eq!(Scheme::None.label(), "NoCkpt");
+        assert_eq!(Scheme::REBOUND_CLUSTER.label(), "Rebound_Cluster4");
+        assert_eq!(
+            Scheme::Cluster { dwb: false, k: 8 }.label(),
+            "Rebound_Cluster8_NoDWB"
+        );
     }
 
     #[test]
@@ -351,6 +447,20 @@ mod tests {
         let mut c = MachineConfig::small(8);
         c.dep_sets = 1;
         assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::small(8);
+        c.scheme = Scheme::Cluster { dwb: true, k: 0 };
+        assert!(c.validate().is_err());
+        c.scheme = Scheme::Cluster { dwb: true, k: 3 }; // no distinct label
+        assert!(c.validate().is_err());
+        c.scheme = Scheme::Cluster { dwb: true, k: 4 };
+        assert_eq!(c.validate(), Ok(()));
+        // Dep-granularity clusters must nest inside scheme clusters,
+        // or dep mates would stop checkpointing together (§8).
+        c.dep_cluster = 8;
+        assert!(c.validate().is_err());
+        c.dep_cluster = 2;
+        assert_eq!(c.validate(), Ok(()));
 
         let mut c = MachineConfig::small(8);
         c.io = Some(IoPressure {

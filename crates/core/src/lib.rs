@@ -49,6 +49,7 @@ pub mod iocommit;
 pub mod machine;
 pub mod metrics;
 pub mod program;
+pub mod proto;
 pub mod wsig;
 
 pub use config::{IoPressure, MachineConfig, Scheme};
@@ -58,4 +59,8 @@ pub use iocommit::{CommittedOutput, OutputCommitBuffer, PendingOutput};
 pub use machine::{Machine, RunReport};
 pub use metrics::{MachineMetrics, OverheadKind, StallBreakdown};
 pub use program::CoreProgram;
+pub use proto::{
+    BarCkOverlay, CoordinationProtocol, DistributedTwoPhase, EpisodeState, GlobalCoordinator,
+    InitState, ProtoAction, ProtoError, ProtoMsg, Transition,
+};
 pub use wsig::Wsig;

@@ -1,19 +1,23 @@
-//! Checkpointing: the distributed interaction-set protocol (§3.3.4), the
-//! writeback phases with and without delayed writebacks (§4.1), multiple
-//! checkpoints (§4.2), the barrier optimization (§4.2.1), and the Global
-//! baselines.
+//! The checkpoint-coordination **executor**: applies the typed
+//! [`ProtoAction`]s the protocol kernel ([`crate::proto`]) decides, and
+//! owns the data-plane primitives those actions name — writeback phases
+//! with and without delayed writebacks (§4.1), the background drain, the
+//! snapshot/stub bookkeeping, and the broadcast loops of episode
+//! completion. All *decisions* (which message means what in which state)
+//! live in the kernel; everything here either moves data or schedules
+//! events.
 
 use rebound_coherence::{CoreSet, MsgKind};
 use rebound_engine::{CoreId, LineAddr};
 use rebound_mem::{MemAccessClass, MesiState};
 use rebound_workloads::AddressLayout;
 
-use crate::config::Scheme;
 use crate::metrics::OverheadKind;
+use crate::proto::{self, ProtoAction, ProtoError, ProtoStat, Transition, TriggerAction};
 
 use super::{
-    CkptRecord, CkptRole, Event, InitState, Machine, ProtoMsg, RunState, WbKind,
-    CKPT_LOCAL_SETUP_COST, DEP_RETRY_PERIOD, PROTO_HANDLE_COST, REG_LOG_COST,
+    CkptRecord, EpisodeState, Event, InitState, Machine, ProtoMsg, RunState, WbKind,
+    CKPT_LOCAL_SETUP_COST, DEP_RETRY_PERIOD, REG_LOG_COST,
 };
 
 impl Machine {
@@ -31,42 +35,117 @@ impl Machine {
     }
 
     // ==================================================================
+    // The executor: kernel transitions applied in order
+    // ==================================================================
+
+    /// Routes one delivered protocol message through the kernel and
+    /// applies the resulting transition. A typed [`ProtoError`] is
+    /// recorded (and the message dropped) instead of panicking.
+    pub(crate) fn handle_proto(&mut self, to: CoreId, msg: ProtoMsg) {
+        match proto::transition(self, to, &msg) {
+            Ok(t) => self.apply_transition(t),
+            Err(e) => {
+                self.dropped_msgs += 1;
+                self.note_proto_error(e);
+            }
+        }
+    }
+
+    /// Applies a kernel transition: every action, strictly in order.
+    pub(crate) fn apply_transition(&mut self, t: Transition) {
+        for a in t.actions {
+            self.apply_action(a);
+        }
+    }
+
+    /// Applies one typed action. The executor has no protocol knowledge:
+    /// each arm is a data-plane primitive or a single field update the
+    /// kernel asked for.
+    fn apply_action(&mut self, a: ProtoAction) {
+        match a {
+            ProtoAction::SetState { core, state } => self.cores[core.index()].role = state,
+            ProtoAction::Send {
+                from,
+                to,
+                kind,
+                msg,
+            } => self.send(from, to, kind, msg),
+            ProtoAction::Interrupt { core, cost } => self.interrupt_cost(core, cost),
+            ProtoAction::Drop => self.dropped_msgs += 1,
+            ProtoAction::Count(ProtoStat::Decline) => self.metrics.declines += 1,
+            ProtoAction::Count(ProtoStat::Nack) => self.metrics.nacks += 1,
+            ProtoAction::FastDrain { core } => self.cores[core.index()].drain.fast = true,
+            ProtoAction::NoteReleasedEpoch {
+                core,
+                initiator,
+                epoch,
+            } => {
+                let slot = &mut self.cores[core.index()].released_epochs[initiator.index()];
+                *slot = (*slot).max(epoch);
+            }
+            ProtoAction::BeginMemberWb { core, kind } => self.begin_member_wb(core, kind),
+            ProtoAction::StartWritebacks { core } => self.start_writebacks(core),
+            ProtoAction::AbortInitiation { core } => self.abort_initiation(core),
+            ProtoAction::CompleteLocalEpisode {
+                initiator,
+                ichk,
+                epoch,
+            } => self.complete_local_episode(initiator, ichk, epoch),
+            ProtoAction::ResumeExecution { core, join_barck } => {
+                self.cores[core.index()].exec_gate = false;
+                self.unblock_ckpt(core);
+                if join_barck {
+                    self.maybe_join_pending_barck(core);
+                }
+            }
+            ProtoAction::MaybeJoinBarCk { core } => self.maybe_join_pending_barck(core),
+            ProtoAction::Unblock { core } => self.unblock_ckpt(core),
+            ProtoAction::GlobalAbsorbWbDone { from } => {
+                self.global.wb_done.insert(from);
+            }
+            ProtoAction::GlobalComplete => self.global_complete(),
+            ProtoAction::BarCkAbsorbDone { from } => {
+                self.barrier.barck_done.insert(from);
+            }
+            ProtoAction::BarCkEpisodeComplete => self.barck_episode_complete(),
+            ProtoAction::DeferBarCk { core } => self.cores[core.index()].barck_pending = true,
+            ProtoAction::ClearBarCkJoinFlags { core } => {
+                let c = &mut self.cores[core.index()];
+                c.barck_wb_done = false;
+                c.barck_notified = false;
+            }
+            ProtoAction::ClearBarCkMemberFlags { core } => {
+                let c = &mut self.cores[core.index()];
+                c.barck_arrived = false;
+                c.barck_wb_done = false;
+                c.barck_notified = false;
+            }
+            ProtoAction::ReleaseBarrier => self.release_barrier(0),
+            ProtoAction::FinalizeMemberCkpt { core } => self.finalize_member_checkpoint(core),
+        }
+    }
+
+    // ==================================================================
     // Triggering
     // ==================================================================
 
-    /// Checks the interval timer / forced flags; returns true if a
-    /// checkpoint was initiated (the core's step is consumed).
+    /// Checks the interval timer / forced flags through the scheme's
+    /// coordination protocol; returns true if a checkpoint was initiated
+    /// (the core's step is consumed).
     pub(crate) fn maybe_trigger_checkpoint(&mut self, core: CoreId) -> bool {
-        let idx = core.index();
-        match self.cfg.scheme {
-            Scheme::None => false,
-            Scheme::Global { .. } => {
-                let c = &self.cores[idx];
-                let due = c.force_ckpt || c.insts >= c.next_ckpt_due;
-                if !due || self.global.active || c.role != CkptRole::Idle || c.drain.active {
-                    return false;
-                }
-                self.cores[idx].force_ckpt = false;
-                self.start_global_checkpoint(core);
+        let Some(p) = proto::protocol_for(self.cfg.scheme) else {
+            return false;
+        };
+        match p.trigger(self, core) {
+            None => false,
+            Some(TriggerAction::InitiateLocal { for_io }) => {
+                self.cores[core.index()].force_ckpt = false;
+                self.initiate_checkpoint(core, for_io);
                 true
             }
-            Scheme::Rebound { .. } => {
-                let c = &self.cores[idx];
-                if c.role != CkptRole::Idle
-                    || c.drain.active
-                    || c.barck_pending
-                    || self.barrier.barck_active
-                    || self.now < c.backoff_until
-                {
-                    return false;
-                }
-                let due = c.force_ckpt || c.insts >= c.next_ckpt_due;
-                if !due {
-                    return false;
-                }
-                let for_io = c.force_ckpt;
-                self.cores[idx].force_ckpt = false;
-                self.initiate_checkpoint(core, for_io);
+            Some(TriggerAction::StartGlobal) => {
+                self.cores[core.index()].force_ckpt = false;
+                self.start_global_checkpoint(core);
                 true
             }
         }
@@ -76,21 +155,26 @@ impl Machine {
     // Rebound: interaction-set collection (§3.3.4)
     // ==================================================================
 
-    /// Begins collecting the Interaction Set for Checkpointing: CK? goes to
-    /// every processor in MyProducers, transitively.
+    /// Begins collecting the Interaction Set for Checkpointing: CK? goes
+    /// to every processor the kernel's target rule names (producers
+    /// transitively under `Rebound`; the static cluster under
+    /// `Rebound_Cluster`).
     pub(crate) fn initiate_checkpoint(&mut self, core: CoreId, for_io: bool) {
         let idx = core.index();
-        debug_assert_eq!(self.cores[idx].role, CkptRole::Idle);
+        if self.cores[idx].role != EpisodeState::Idle {
+            let state = self.cores[idx].role.name();
+            let epoch = self.cores[idx].role.epoch();
+            self.note_proto_error(ProtoError::BadPrimitive {
+                primitive: "initiate_checkpoint",
+                core,
+                state,
+                epoch,
+            });
+            return;
+        }
         self.cores[idx].ckpt_epoch += 1;
         let epoch = self.cores[idx].ckpt_epoch;
-        let producers = self.cores[idx].dep.active().my_producers;
-        // Producer bits name cores (or, at cluster granularity, clusters —
-        // expanded here); the initiator's cluster-mates always join (§8:
-        // global checkpointing inside a cluster).
-        let mut targets = self
-            .expand_dep_bits(producers)
-            .union(self.cluster_mates(core));
-        targets.remove(core);
+        let targets = proto::initiation_targets(self, core);
         let mut expected = vec![0u8; self.cores.len()];
         for p in targets.iter() {
             expected[p.index()] += 1;
@@ -104,7 +188,7 @@ impl Machine {
             for_io,
         };
         let empty = !st.awaiting();
-        self.cores[idx].role = CkptRole::Initiating(st);
+        self.cores[idx].role = EpisodeState::Initiating(st);
         self.block_ckpt(core, OverheadKind::Sync);
         if empty {
             self.start_writebacks(core);
@@ -128,11 +212,22 @@ impl Machine {
     /// off for a random time, retry (§3.3.4 deadlock avoidance).
     fn abort_initiation(&mut self, core: CoreId) {
         let idx = core.index();
-        let CkptRole::Initiating(st) = std::mem::replace(&mut self.cores[idx].role, CkptRole::Idle)
-        else {
-            return;
+        let st = match std::mem::replace(&mut self.cores[idx].role, EpisodeState::Idle) {
+            EpisodeState::Initiating(st) if !st.started => st,
+            other => {
+                // Not an open collection: nothing to abort. Restore the
+                // state and record the violated precondition.
+                let (state, epoch) = (other.name(), other.epoch());
+                self.cores[idx].role = other;
+                self.note_proto_error(ProtoError::BadPrimitive {
+                    primitive: "abort_initiation",
+                    core,
+                    state,
+                    epoch,
+                });
+                return;
+            }
         };
-        debug_assert!(!st.started, "cannot abort after writebacks started");
         for m in st.ichk.iter().filter(|&m| m != core) {
             self.send(
                 core,
@@ -165,7 +260,7 @@ impl Machine {
     /// Backoff expired: try initiating again if still appropriate.
     pub(crate) fn retry_initiation(&mut self, core: CoreId) {
         let idx = core.index();
-        if self.cores[idx].role != CkptRole::Idle
+        if self.cores[idx].role != EpisodeState::Idle
             || self.cores[idx].drain.active
             || self.barrier.barck_active
         {
@@ -191,7 +286,17 @@ impl Machine {
     fn start_writebacks(&mut self, core: CoreId) {
         let idx = core.index();
         let (ichk, epoch) = {
-            let CkptRole::Initiating(st) = &mut self.cores[idx].role else {
+            let EpisodeState::Initiating(st) = &mut self.cores[idx].role else {
+                let (state, epoch) = {
+                    let r = &self.cores[idx].role;
+                    (r.name(), r.epoch())
+                };
+                self.note_proto_error(ProtoError::BadPrimitive {
+                    primitive: "start_writebacks",
+                    core,
+                    state,
+                    epoch,
+                });
                 return;
             };
             st.started = true;
@@ -232,12 +337,39 @@ impl Machine {
         }
     }
 
+    /// Initiator: every member's WbDone arrived — count the episode,
+    /// notify the members, resume locally. (The executor half of the
+    /// kernel's [`ProtoAction::CompleteLocalEpisode`].)
+    fn complete_local_episode(&mut self, initiator: CoreId, ichk: CoreSet, epoch: u64) {
+        self.metrics.checkpoint_episodes += 1;
+        for m in ichk.iter() {
+            if m == initiator {
+                // The initiator completes locally.
+                self.cores[initiator.index()].role = EpisodeState::Idle;
+                self.cores[initiator.index()].exec_gate = false;
+                self.unblock_ckpt(initiator);
+                self.maybe_join_pending_barck(initiator);
+            } else {
+                self.send(
+                    initiator,
+                    m,
+                    MsgKind::CkResume,
+                    ProtoMsg::CkComplete { initiator, epoch },
+                );
+            }
+        }
+    }
+
     /// Static interaction-set closure over the recorded producer edges
     /// (bloom-based registers, or the exact oracle copies when `oracle`),
     /// with the consumer-validation mirroring the Decline rule. Used only
     /// for the false-positive metrics; the live set is built by the
-    /// distributed protocol.
+    /// distributed protocol. Under `Rebound_Cluster` the checkpoint unit
+    /// is the static cluster itself, closure-free by construction.
     fn static_ichk(&self, initiator: CoreId, oracle: bool) -> CoreSet {
+        if matches!(self.cfg.scheme, crate::config::Scheme::Cluster { .. }) {
+            return self.scheme_cluster_mates(initiator);
+        }
         let mut set = self.cluster_mates(initiator);
         let mut work: Vec<CoreId> = set.iter().collect();
         while let Some(x) = work.pop() {
@@ -306,6 +438,7 @@ impl Machine {
             store_seq,
             barrier_passes,
             at_barrier,
+            taken_at: self.now,
             complete_at: None,
         });
         self.cores[idx].interval_start_insts = insts;
@@ -315,14 +448,14 @@ impl Machine {
         // An initiator keeps its Initiating role (it is its own member).
         match kind {
             WbKind::Local { initiator, epoch } if initiator != core => {
-                self.cores[idx].role = CkptRole::Member { initiator, epoch };
+                self.cores[idx].role = EpisodeState::Member { initiator, epoch };
             }
             WbKind::Local { .. } => {}
             WbKind::Global { coordinator } => {
-                self.cores[idx].role = CkptRole::GlobalMember { coordinator };
+                self.cores[idx].role = EpisodeState::GlobalMember { coordinator };
             }
             WbKind::Barrier { initiator } => {
-                self.cores[idx].role = CkptRole::BarMember { initiator };
+                self.cores[idx].role = EpisodeState::BarMember { initiator };
             }
         }
 
@@ -444,7 +577,7 @@ impl Machine {
         self.cores[idx].last_ckpt_cycle = self.now;
 
         match self.cores[idx].role.clone() {
-            CkptRole::Member { initiator, epoch } => {
+            EpisodeState::Member { initiator, epoch } => {
                 if self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
                     self.retag_block(core, OverheadKind::WbImbalance);
                 }
@@ -455,7 +588,7 @@ impl Machine {
                     ProtoMsg::CkWbDone { from: core, epoch },
                 );
             }
-            CkptRole::Initiating(st) => {
+            EpisodeState::Initiating(st) => {
                 if self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
                     self.retag_block(core, OverheadKind::WbImbalance);
                 }
@@ -467,7 +600,7 @@ impl Machine {
                     ProtoMsg::CkWbDone { from: core, epoch },
                 );
             }
-            CkptRole::GlobalMember { coordinator } => {
+            EpisodeState::GlobalMember { coordinator } => {
                 if self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
                     self.retag_block(core, OverheadKind::WbImbalance);
                 }
@@ -478,8 +611,8 @@ impl Machine {
                     ProtoMsg::GlobalWbDone { from: core },
                 );
             }
-            CkptRole::BarMember { initiator } => {
-                self.cores[idx].role = CkptRole::Idle;
+            EpisodeState::BarMember { initiator } => {
+                self.cores[idx].role = EpisodeState::Idle;
                 self.cores[idx].barck_wb_done = true;
                 self.send(
                     core,
@@ -493,7 +626,7 @@ impl Machine {
                 let _ = self.cores[idx].barck_notified;
                 self.cores[idx].barck_notified = true;
             }
-            CkptRole::Idle | CkptRole::Accepted { .. } => {}
+            EpisodeState::Idle | EpisodeState::Accepted { .. } => {}
         }
     }
 
@@ -557,6 +690,11 @@ impl Machine {
     /// All delayed lines drained: complete the member checkpoint.
     fn drain_complete(&mut self, core: CoreId) {
         let idx = core.index();
+        if !self.cores[idx].drain.active {
+            let interval = self.cores[idx].drain.interval;
+            self.note_proto_error(ProtoError::DrainNotActive { core, interval });
+            return;
+        }
         self.cores[idx].drain.active = false;
         self.cores[idx].drain.gen += 1;
         self.finalize_member_checkpoint(core);
@@ -585,9 +723,15 @@ impl Machine {
             self.cores[idx].barck_pending = false;
             return;
         }
-        if self.cores[idx].role == CkptRole::Idle && !self.cores[idx].drain.active {
+        if self.cores[idx].role == EpisodeState::Idle && !self.cores[idx].drain.active {
             self.cores[idx].barck_pending = false;
-            let initiator = self.barrier.barck_initiator.expect("active barck");
+            let Some(initiator) = self.barrier.barck_initiator else {
+                self.note_proto_error(ProtoError::MissingCoordinator {
+                    transition: "maybe_join_pending_barck",
+                    core,
+                });
+                return;
+            };
             self.barck_join(core, initiator);
         }
     }
@@ -599,7 +743,15 @@ impl Machine {
     /// Starts a Global checkpoint episode: interrupt every processor; all
     /// of them write back and synchronize (Fig 4.1(a)/(b) at machine scale).
     pub(crate) fn start_global_checkpoint(&mut self, coordinator: CoreId) {
-        debug_assert!(!self.global.active);
+        if self.global.active {
+            self.note_proto_error(ProtoError::BadPrimitive {
+                primitive: "start_global_checkpoint",
+                core: coordinator,
+                state: "GlobalActive",
+                epoch: None,
+            });
+            return;
+        }
         self.global.active = true;
         self.global.coordinator = Some(coordinator);
         self.global.wb_done = CoreSet::new();
@@ -611,7 +763,8 @@ impl Machine {
         for i in 0..n {
             let m = CoreId(i);
             if m == coordinator {
-                self.begin_global_member(m);
+                self.interrupt_cost(m, super::PROTO_HANDLE_COST);
+                self.begin_member_wb(m, WbKind::Global { coordinator });
             } else {
                 self.send(
                     coordinator,
@@ -623,44 +776,30 @@ impl Machine {
         }
     }
 
-    fn begin_global_member(&mut self, core: CoreId) {
-        let coordinator = self.global.coordinator.expect("active global episode");
-        self.interrupt_cost(core, PROTO_HANDLE_COST);
-        self.begin_member_wb(core, WbKind::Global { coordinator });
-    }
-
-    fn global_wb_done(&mut self, from: CoreId) {
-        if !self.global.active {
-            self.dropped_msgs += 1;
+    /// Every member reported GlobalWbDone: count the episode and
+    /// broadcast the resume. (The executor half of the kernel's
+    /// [`ProtoAction::GlobalComplete`].)
+    fn global_complete(&mut self) {
+        let Some(coordinator) = self.global.coordinator else {
+            self.note_proto_error(ProtoError::MissingCoordinator {
+                transition: "global_complete",
+                core: CoreId(0),
+            });
             return;
-        }
-        self.global.wb_done.insert(from);
-        if self.global.wb_done.len() == self.cores.len() {
-            let coordinator = self.global.coordinator.expect("coordinator");
-            self.metrics.checkpoint_episodes += 1;
-            self.global.active = false;
-            self.global.coordinator = None;
-            let n = self.cores.len();
-            for i in 0..n {
-                let m = CoreId(i);
-                if m == coordinator {
-                    self.global_resume(m);
-                } else {
-                    self.send(coordinator, m, MsgKind::CkResume, ProtoMsg::GlobalResume);
-                }
+        };
+        self.metrics.checkpoint_episodes += 1;
+        self.global.active = false;
+        self.global.coordinator = None;
+        let n = self.cores.len();
+        for i in 0..n {
+            let m = CoreId(i);
+            if m == coordinator {
+                let t = proto::global_resume_transition(self, m);
+                self.apply_transition(t);
+            } else {
+                self.send(coordinator, m, MsgKind::CkResume, ProtoMsg::GlobalResume);
             }
         }
-    }
-
-    fn global_resume(&mut self, core: CoreId) {
-        let idx = core.index();
-        if !matches!(self.cores[idx].role, CkptRole::GlobalMember { .. }) {
-            self.dropped_msgs += 1;
-            return;
-        }
-        self.cores[idx].role = CkptRole::Idle;
-        self.cores[idx].exec_gate = false;
-        self.unblock_ckpt(core);
     }
 
     // ==================================================================
@@ -672,14 +811,14 @@ impl Machine {
     pub(crate) fn barck_interested(&self, core: CoreId) -> bool {
         let c = &self.cores[core.index()];
         self.cfg.scheme.tracks_dependences()
-            && c.role == CkptRole::Idle
+            && c.role == EpisodeState::Idle
             && !c.drain.active
             && c.insts.saturating_sub(c.interval_start_insts)
                 >= self.cfg.ckpt_interval_insts * 9 / 10
     }
 
     /// Elects this processor BarCK initiator: set `BarCK_sent`, broadcast
-    /// BarCK (Fig 4.2(d)).
+    /// BarCk (Fig 4.2(d)).
     pub(crate) fn barck_initiate(&mut self, core: CoreId) {
         let layout = AddressLayout;
         self.barrier.barck_active = true;
@@ -701,18 +840,11 @@ impl Machine {
         }
     }
 
-    /// A processor joins the barrier checkpoint: snapshot + Delayed bits +
-    /// background drain, hidden behind its path to (and wait at) the
-    /// barrier.
+    /// A processor joins the barrier checkpoint (or defers the join if
+    /// busy), per the kernel's join rule.
     pub(crate) fn barck_join(&mut self, core: CoreId, initiator: CoreId) {
-        let idx = core.index();
-        if self.cores[idx].role != CkptRole::Idle || self.cores[idx].drain.active {
-            self.cores[idx].barck_pending = true;
-            return;
-        }
-        self.cores[idx].barck_wb_done = false;
-        self.cores[idx].barck_notified = false;
-        self.begin_member_wb(core, WbKind::Barrier { initiator });
+        let t = proto::barck_join_transition(self, core, initiator);
+        self.apply_transition(t);
     }
 
     /// Sends BarCkDone once both conditions hold (Update done + WBs done).
@@ -723,7 +855,13 @@ impl Machine {
         }
         let c = &self.cores[idx];
         if c.barck_arrived && c.barck_wb_done && !c.barck_notified {
-            let initiator = self.barrier.barck_initiator.expect("active barck");
+            let Some(initiator) = self.barrier.barck_initiator else {
+                self.note_proto_error(ProtoError::MissingCoordinator {
+                    transition: "maybe_send_barck_done",
+                    core,
+                });
+                return;
+            };
             self.cores[idx].barck_notified = true;
             self.send(
                 core,
@@ -739,40 +877,30 @@ impl Machine {
         self.barrier.barck_done.len() == self.cores.len()
     }
 
-    fn barck_done_msg(&mut self, from: CoreId) {
-        if !self.barrier.barck_active {
-            self.dropped_msgs += 1;
+    /// Every processor reported BarCkDone: count the episode and
+    /// broadcast BarCkComplete. (The executor half of the kernel's
+    /// [`ProtoAction::BarCkEpisodeComplete`].)
+    fn barck_episode_complete(&mut self) {
+        let Some(initiator) = self.barrier.barck_initiator else {
+            self.note_proto_error(ProtoError::MissingCoordinator {
+                transition: "barck_episode_complete",
+                core: CoreId(0),
+            });
             return;
-        }
-        self.barrier.barck_done.insert(from);
-        if self.barck_all_done() {
-            let initiator = self.barrier.barck_initiator.expect("initiator");
-            self.metrics.checkpoint_episodes += 1;
-            // With the optimization, processors leave the barrier with an
-            // interaction set of just {self, flag-setter} — reflected in
-            // the stats as per-processor sets of size ~2.
-            self.metrics.ichk_sizes.push(2.0);
-            self.metrics.ichk_bloom_sizes.push(2.0);
-            self.metrics.ichk_oracle_sizes.push(2.0);
-            self.barrier.barck_active = false;
-            self.barrier.barck_initiator = None;
-            let n = self.cores.len();
-            for i in 0..n {
-                let m = CoreId(i);
-                self.send(initiator, m, MsgKind::BarCk, ProtoMsg::BarCkComplete);
-            }
-        }
-    }
-
-    fn barck_complete(&mut self, core: CoreId) {
-        let idx = core.index();
-        self.cores[idx].barck_arrived = false;
-        self.cores[idx].barck_wb_done = false;
-        self.cores[idx].barck_notified = false;
-        // The withheld flag write happens now (§4.2.1: "At this point, the
-        // last arriving processor will write the flag").
-        if self.barrier.release_gated && self.barrier.last_arrival == Some(core) {
-            self.release_barrier(0);
+        };
+        self.metrics.checkpoint_episodes += 1;
+        // With the optimization, processors leave the barrier with an
+        // interaction set of just {self, flag-setter} — reflected in
+        // the stats as per-processor sets of size ~2.
+        self.metrics.ichk_sizes.push(2.0);
+        self.metrics.ichk_bloom_sizes.push(2.0);
+        self.metrics.ichk_oracle_sizes.push(2.0);
+        self.barrier.barck_active = false;
+        self.barrier.barck_initiator = None;
+        let n = self.cores.len();
+        for i in 0..n {
+            let m = CoreId(i);
+            self.send(initiator, m, MsgKind::BarCk, ProtoMsg::BarCkComplete);
         }
     }
 
@@ -792,396 +920,6 @@ impl Machine {
                     self.schedule_step(io.core, at);
                 }
                 self.queue.push(self.now + io.period_cycles, Event::IoTick);
-            }
-        }
-    }
-
-    // ==================================================================
-    // Protocol message dispatch
-    // ==================================================================
-
-    pub(crate) fn handle_proto(&mut self, to: CoreId, msg: ProtoMsg) {
-        match msg {
-            ProtoMsg::CkReq {
-                initiator,
-                epoch,
-                from,
-            } => self.on_ck_req(to, initiator, epoch, from),
-            ProtoMsg::CkAck { .. } => {
-                // Handshake of the forwarding chain; cost only.
-                self.interrupt_cost(to, PROTO_HANDLE_COST / 2);
-            }
-            ProtoMsg::CkAccept {
-                from,
-                via,
-                epoch,
-                producers,
-                forwarded,
-            } => self.on_ck_accept(to, from, via, epoch, producers, forwarded),
-            ProtoMsg::CkDecline { from, epoch } => self.on_ck_decline(to, from, epoch),
-            ProtoMsg::CkBusy { from: _, epoch } | ProtoMsg::CkNack { from: _, epoch } => {
-                self.on_ck_busy(to, epoch)
-            }
-            ProtoMsg::CkRelease { initiator, epoch } => {
-                let c = &mut self.cores[to.index()];
-                let slot = &mut c.released_epochs[initiator.index()];
-                *slot = (*slot).max(epoch);
-                if c.role == (CkptRole::Accepted { initiator, epoch }) {
-                    c.role = CkptRole::Idle;
-                    self.maybe_join_pending_barck(to);
-                } else {
-                    self.dropped_msgs += 1;
-                }
-            }
-            ProtoMsg::CkStartWb { initiator, epoch } => {
-                let role = self.cores[to.index()].role.clone();
-                if role == (CkptRole::Accepted { initiator, epoch }) {
-                    self.interrupt_cost(to, PROTO_HANDLE_COST);
-                    self.begin_member_wb(to, WbKind::Local { initiator, epoch });
-                } else {
-                    self.dropped_msgs += 1;
-                }
-            }
-            ProtoMsg::CkWbDone { from, epoch } => self.on_ck_wb_done(to, from, epoch),
-            ProtoMsg::CkComplete { initiator, epoch } => {
-                let idx = to.index();
-                if self.cores[idx].role == (CkptRole::Member { initiator, epoch }) {
-                    self.cores[idx].role = CkptRole::Idle;
-                    self.cores[idx].exec_gate = false;
-                    self.unblock_ckpt(to);
-                    self.maybe_join_pending_barck(to);
-                } else {
-                    self.dropped_msgs += 1;
-                }
-            }
-            ProtoMsg::GlobalStart { .. } => {
-                if self.global.active {
-                    self.begin_global_member(to);
-                } else {
-                    self.dropped_msgs += 1;
-                }
-            }
-            ProtoMsg::GlobalWbDone { from } => self.global_wb_done(from),
-            ProtoMsg::GlobalResume => self.global_resume(to),
-            ProtoMsg::BarCk { initiator } => {
-                if self.barrier.barck_active {
-                    self.interrupt_cost(to, PROTO_HANDLE_COST);
-                    self.barck_join(to, initiator);
-                } else {
-                    self.dropped_msgs += 1;
-                }
-            }
-            ProtoMsg::BarCkDone { from } => self.barck_done_msg(from),
-            ProtoMsg::BarCkComplete => self.barck_complete(to),
-            ProtoMsg::WbFlushDone => self.on_wb_flush_done(to),
-            ProtoMsg::SetupDone => {
-                // Delayed-writeback setup finished; resume the application
-                // (unless the checkpoint precedes an output I/O, in which
-                // case the initiator stays parked until completion).
-                let keep_parked = matches!(
-                    &self.cores[to.index()].role,
-                    CkptRole::Initiating(st) if st.for_io
-                );
-                if !keep_parked
-                    && self.cores[to.index()].run == RunState::Blocked(super::Block::Ckpt)
-                {
-                    self.unblock_ckpt(to);
-                }
-            }
-        }
-    }
-
-    /// CK? arriving at a prospective producer (§3.3.4 receiver rules).
-    fn on_ck_req(&mut self, to: CoreId, initiator: CoreId, epoch: u64, from: CoreId) {
-        let idx = to.index();
-        if to == initiator {
-            self.dropped_msgs += 1;
-            return;
-        }
-        self.interrupt_cost(to, PROTO_HANDLE_COST);
-        match self.cores[idx].role.clone() {
-            CkptRole::Initiating(st) => {
-                if !st.started && initiator < to {
-                    // Static priority: the lower-id initiator wins; back
-                    // down and reconsider the request as a normal core.
-                    self.abort_initiation(to);
-                    self.on_ck_req_idle(to, initiator, epoch, from);
-                } else {
-                    self.send(
-                        to,
-                        initiator,
-                        MsgKind::CkBusy,
-                        ProtoMsg::CkBusy { from: to, epoch },
-                    );
-                }
-            }
-            CkptRole::Accepted {
-                initiator: cur,
-                epoch: cur_epoch,
-            } => {
-                if cur == initiator && cur_epoch == epoch {
-                    // Second CK? with the same initiator: Ack and Accept,
-                    // but do not forward again (§3.3.4).
-                    self.send(to, from, MsgKind::CkAck, ProtoMsg::CkAck { from: to });
-                    self.send(
-                        to,
-                        initiator,
-                        MsgKind::CkAccept,
-                        ProtoMsg::CkAccept {
-                            from: to,
-                            via: from,
-                            epoch,
-                            producers: CoreSet::new(),
-                            forwarded: false,
-                        },
-                    );
-                } else {
-                    self.send(
-                        to,
-                        initiator,
-                        MsgKind::CkBusy,
-                        ProtoMsg::CkBusy { from: to, epoch },
-                    );
-                }
-            }
-            CkptRole::Member { .. }
-            | CkptRole::GlobalMember { .. }
-            | CkptRole::BarMember { .. } => {
-                self.send(
-                    to,
-                    initiator,
-                    MsgKind::CkBusy,
-                    ProtoMsg::CkBusy { from: to, epoch },
-                );
-            }
-            CkptRole::Idle => self.on_ck_req_idle(to, initiator, epoch, from),
-        }
-    }
-
-    fn on_ck_req_idle(&mut self, to: CoreId, initiator: CoreId, epoch: u64, from: CoreId) {
-        let idx = to.index();
-        if self.cores[idx].released_epochs[initiator.index()] >= epoch {
-            // Straggler CK? of an episode we were already released from.
-            self.metrics.declines += 1;
-            self.send(
-                to,
-                initiator,
-                MsgKind::CkDecline,
-                ProtoMsg::CkDecline { from: to, epoch },
-            );
-            return;
-        }
-        if self.cores[idx].drain.active {
-            // Still draining a delayed checkpoint: Nack and speed up (§4.1).
-            self.cores[idx].drain.fast = true;
-            self.send(
-                to,
-                initiator,
-                MsgKind::CkNack,
-                ProtoMsg::CkNack { from: to, epoch },
-            );
-            self.metrics.nacks += 1;
-            return;
-        }
-        let same_cluster = self.dep_bit_of(to) == self.dep_bit_of(from);
-        let is_consumer = self.cores[idx]
-            .dep
-            .active()
-            .my_consumers
-            .contains(self.dep_bit_of(from));
-        if !is_consumer && !same_cluster {
-            // Stale MyProducers at the consumer, or we checkpointed since:
-            // Decline (§3.3.4 stop rule (iii)). Cluster-mates of a
-            // checkpointing core are never declined: inside a cluster,
-            // checkpointing is global (§8 extension).
-            self.metrics.declines += 1;
-            self.send(
-                to,
-                initiator,
-                MsgKind::CkDecline,
-                ProtoMsg::CkDecline { from: to, epoch },
-            );
-            return;
-        }
-        self.cores[idx].role = CkptRole::Accepted { initiator, epoch };
-        self.send(to, from, MsgKind::CkAck, ProtoMsg::CkAck { from: to });
-        let producers = self.cores[idx].dep.active().my_producers;
-        // The Accept carries the raw producer set plus `via`; the
-        // initiator reconstructs this node's forward fan-out exactly.
-        self.send(
-            to,
-            initiator,
-            MsgKind::CkAccept,
-            ProtoMsg::CkAccept {
-                from: to,
-                via: from,
-                epoch,
-                producers,
-                forwarded: true,
-            },
-        );
-        let targets = self
-            .expand_dep_bits(producers)
-            .union(self.cluster_mates(to));
-        for q in targets.iter() {
-            if q != initiator && q != to && q != from {
-                self.send(
-                    to,
-                    q,
-                    MsgKind::CkRequest,
-                    ProtoMsg::CkReq {
-                        initiator,
-                        epoch,
-                        from: to,
-                    },
-                );
-            }
-        }
-    }
-
-    fn on_ck_accept(
-        &mut self,
-        to: CoreId,
-        from: CoreId,
-        via: CoreId,
-        epoch: u64,
-        producers: CoreSet,
-        forwarded: bool,
-    ) {
-        let idx = to.index();
-        let stale = match &self.cores[idx].role {
-            CkptRole::Initiating(st) => st.epoch != epoch || st.started,
-            _ => true,
-        };
-        if stale {
-            // Late accept from a dead episode: release the sender so it
-            // does not wait for a StartWB that will never come.
-            self.send(
-                to,
-                from,
-                MsgKind::CkRelease,
-                ProtoMsg::CkRelease {
-                    initiator: to,
-                    epoch,
-                },
-            );
-            self.dropped_msgs += 1;
-            return;
-        }
-        // Replicate the accepter's forward fan-out so the outstanding-reply
-        // counts stay exact even when a core is asked more than once.
-        let fwd_targets = if forwarded {
-            let mut t = self
-                .expand_dep_bits(producers)
-                .union(self.cluster_mates(from));
-            t.remove(to);
-            t.remove(from);
-            t.remove(via);
-            t
-        } else {
-            CoreSet::new()
-        };
-        let mut ready = false;
-        if let CkptRole::Initiating(st) = &mut self.cores[idx].role {
-            if st.expected[from.index()] > 0 {
-                st.expected[from.index()] -= 1;
-            }
-            st.ichk.insert(from);
-            for q in fwd_targets.iter() {
-                st.expected[q.index()] += 1;
-            }
-            ready = !st.awaiting();
-        }
-        if ready {
-            self.start_writebacks(to);
-        }
-    }
-
-    fn on_ck_decline(&mut self, to: CoreId, from: CoreId, epoch: u64) {
-        let idx = to.index();
-        let mut ready = false;
-        match &mut self.cores[idx].role {
-            CkptRole::Initiating(st) if st.epoch == epoch && !st.started => {
-                if st.expected[from.index()] > 0 {
-                    st.expected[from.index()] -= 1;
-                }
-                // A decline never un-joins: the core may have accepted a
-                // different CK? of this same episode already.
-                ready = !st.awaiting();
-            }
-            _ => {
-                self.dropped_msgs += 1;
-            }
-        }
-        if ready {
-            self.start_writebacks(to);
-        }
-    }
-
-    fn on_ck_busy(&mut self, to: CoreId, epoch: u64) {
-        let idx = to.index();
-        match &self.cores[idx].role {
-            CkptRole::Initiating(st) if st.epoch == epoch && !st.started => {
-                self.abort_initiation(to);
-            }
-            _ => {
-                self.dropped_msgs += 1;
-            }
-        }
-    }
-
-    fn on_ck_wb_done(&mut self, to: CoreId, from: CoreId, epoch: u64) {
-        let idx = to.index();
-        let mut complete: Option<(CoreSet, u64)> = None;
-        if let CkptRole::Initiating(st) = &mut self.cores[idx].role {
-            if st.epoch == epoch && st.started {
-                st.wb_done.insert(from);
-                if st.wb_done == st.ichk {
-                    complete = Some((st.ichk, st.epoch));
-                }
-            } else {
-                self.dropped_msgs += 1;
-            }
-        } else {
-            self.dropped_msgs += 1;
-        }
-        let Some((ichk, epoch)) = complete else {
-            return;
-        };
-        self.metrics.checkpoint_episodes += 1;
-        for m in ichk.iter() {
-            if m == to {
-                // The initiator completes locally.
-                self.cores[idx].role = CkptRole::Idle;
-                self.cores[idx].exec_gate = false;
-                self.unblock_ckpt(to);
-                self.maybe_join_pending_barck(to);
-            } else {
-                self.send(
-                    to,
-                    m,
-                    MsgKind::CkResume,
-                    ProtoMsg::CkComplete {
-                        initiator: to,
-                        epoch,
-                    },
-                );
-            }
-        }
-    }
-
-    /// A stalled (NoDWB) writeback burst completed.
-    fn on_wb_flush_done(&mut self, to: CoreId) {
-        let role = self.cores[to.index()].role.clone();
-        match role {
-            CkptRole::Member { .. } | CkptRole::GlobalMember { .. } => {
-                self.finalize_member_checkpoint(to);
-            }
-            CkptRole::Initiating(ref st) if st.started => {
-                self.finalize_member_checkpoint(to);
-            }
-            _ => {
-                self.dropped_msgs += 1;
             }
         }
     }

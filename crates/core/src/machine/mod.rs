@@ -24,6 +24,7 @@ use crate::depregs::DepRegFile;
 use crate::fault::{CorePhase, FaultTrigger, FiredFault, PendingFault};
 use crate::metrics::{MachineMetrics, OverheadKind, StallBreakdown};
 use crate::program::CoreProgram;
+pub(crate) use crate::proto::{EpisodeState, InitState, ProtoError, ProtoMsg, WbKind};
 
 /// Fixed cost of handling a cross-processor protocol interrupt, in cycles.
 pub(crate) const PROTO_HANDLE_COST: u64 = 50;
@@ -62,76 +63,6 @@ pub(crate) enum Event {
     IoTick,
 }
 
-/// Checkpoint/rollback protocol messages (§3.3.4–§3.3.5, §4.1–§4.2.1).
-///
-/// Local-checkpoint messages carry the initiator's `epoch` so replies from
-/// an aborted (released and retried) episode are recognized as stale and
-/// dropped instead of corrupting the new episode.
-#[derive(Clone, Debug, PartialEq)]
-pub(crate) enum ProtoMsg {
-    /// CK? — join initiator's checkpoint; `from` is the consumer that asked.
-    CkReq {
-        initiator: CoreId,
-        epoch: u64,
-        from: CoreId,
-    },
-    /// Ack of a CK? back to the consumer that forwarded it.
-    CkAck { from: CoreId },
-    /// Accept to the initiator, carrying the accepter's MyProducers, the
-    /// consumer whose CK? it answered (`via`), and whether it forwarded
-    /// CK? onward — enough for the initiator to reconstruct exactly how
-    /// many replies remain outstanding even when a core is asked twice.
-    CkAccept {
-        from: CoreId,
-        via: CoreId,
-        epoch: u64,
-        producers: CoreSet,
-        forwarded: bool,
-    },
-    /// Decline to the initiator (stale info or recent checkpoint).
-    CkDecline { from: CoreId, epoch: u64 },
-    /// Busy to the initiator (already in another checkpoint).
-    CkBusy { from: CoreId, epoch: u64 },
-    /// Nack: target is draining delayed writebacks (§4.1).
-    CkNack { from: CoreId, epoch: u64 },
-    /// Initiator releases an already-accepted participant after a Busy.
-    CkRelease { initiator: CoreId, epoch: u64 },
-    /// Start writing back dirty lines.
-    CkStartWb { initiator: CoreId, epoch: u64 },
-    /// Participant's writebacks (stalled or delayed) have drained.
-    CkWbDone { from: CoreId, epoch: u64 },
-    /// Episode complete: resume / recycle.
-    CkComplete { initiator: CoreId, epoch: u64 },
-    /// Global-scheme checkpoint interrupt.
-    GlobalStart { coordinator: CoreId },
-    /// Global-scheme per-core writeback completion.
-    GlobalWbDone { from: CoreId },
-    /// Global-scheme resume broadcast.
-    GlobalResume,
-    /// Barrier-optimization proactive checkpoint signal (§4.2.1).
-    BarCk { initiator: CoreId },
-    /// Participant finished both its barrier Update and its writebacks.
-    BarCkDone { from: CoreId },
-    /// Barrier checkpoint complete; the last arrival may set the flag.
-    BarCkComplete,
-    /// Self-addressed: a stalled (NoDWB) writeback burst finished.
-    WbFlushDone,
-    /// Self-addressed: delayed-writeback setup (bit flash + Dep rotation)
-    /// finished; resume the application.
-    SetupDone,
-}
-
-/// Which checkpoint flavour a writeback phase belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum WbKind {
-    /// A Rebound interaction-set checkpoint.
-    Local { initiator: CoreId, epoch: u64 },
-    /// A Global-scheme checkpoint.
-    Global { coordinator: CoreId },
-    /// A barrier-optimization checkpoint (§4.2.1).
-    Barrier { initiator: CoreId },
-}
-
 /// Why a core is not currently executing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Block {
@@ -155,50 +86,6 @@ pub(crate) enum RunState {
     Blocked(Block),
     /// Program finished.
     Done,
-}
-
-/// Checkpoint-protocol role of one core.
-#[derive(Clone, Debug, PartialEq)]
-pub(crate) enum CkptRole {
-    /// Not involved in any checkpoint.
-    Idle,
-    /// Collecting its interaction set (§3.3.4).
-    Initiating(InitState),
-    /// Accepted an initiator's CK?; waiting for StartWB.
-    Accepted { initiator: CoreId, epoch: u64 },
-    /// Writing back (stalled, NoDWB) or draining (DWB) for an episode.
-    Member { initiator: CoreId, epoch: u64 },
-    /// Participating in a Global checkpoint.
-    GlobalMember { coordinator: CoreId },
-    /// Participating in a barrier-optimization checkpoint.
-    BarMember { initiator: CoreId },
-}
-
-/// Initiator-side collection state.
-#[derive(Clone, Debug, PartialEq)]
-pub(crate) struct InitState {
-    /// This episode's epoch (stale-reply filtering).
-    pub epoch: u64,
-    /// Members so far (includes the initiator).
-    pub ichk: CoreSet,
-    /// Outstanding replies expected per core. A core may legitimately be
-    /// asked more than once in one episode (e.g. by the initiator's
-    /// producer expansion and by a cluster-mate's forward), and each CK?
-    /// produces exactly one reply.
-    pub expected: Vec<u8>,
-    /// Phase 2: members whose WbDone has arrived.
-    pub wb_done: CoreSet,
-    /// Whether collection finished and writebacks were started.
-    pub started: bool,
-    /// Forced by output I/O (stall the core until complete).
-    pub for_io: bool,
-}
-
-impl InitState {
-    /// Whether any reply is still outstanding.
-    pub fn awaiting(&self) -> bool {
-        self.expected.iter().any(|&c| c > 0)
-    }
 }
 
 /// One checkpoint record of a core (its "register state" plus metadata).
@@ -226,6 +113,12 @@ pub(crate) struct CkptRecord {
     /// still pending) or consume the release (it fired since) — dropping
     /// the arrival would strand every other core at the barrier.
     pub at_barrier: bool,
+    /// The cycle the architectural snapshot was taken. Everything the
+    /// core produced *after* this instant dies if the record becomes a
+    /// rollback target — which is why `Rebound_Cluster`'s cross-cluster
+    /// recovery bounds a consumer's target by its producer's target
+    /// snapshot time (see `machine/rollback.rs`).
+    pub taken_at: Cycle,
     /// Completion time (stub written), once known.
     pub complete_at: Option<Cycle>,
 }
@@ -274,7 +167,7 @@ pub(crate) struct CoreCtx {
     pub store_seq: u64,
     /// Checkpoint records, oldest first (`records[0]` is boot).
     pub records: Vec<CkptRecord>,
-    pub role: CkptRole,
+    pub role: EpisodeState,
     pub drain: DrainState,
     /// When true the core may not execute app code (NoDWB ckpt stall).
     pub exec_gate: bool,
@@ -415,6 +308,9 @@ pub struct Machine {
     /// Runtime master switch for dependence tracking (§8: "selectively
     /// enable and disable Rebound for a certain period of time").
     pub(crate) tracking_enabled: bool,
+    /// Protocol violations observed so far (typed diagnostics; see
+    /// [`Machine::proto_errors`]).
+    pub(crate) proto_errors: Vec<ProtoError>,
     /// Armed phase/condition faults, polled after every event.
     pub(crate) pending_faults: Vec<PendingFault>,
     /// Every fault detection that actually happened, in detection order.
@@ -485,6 +381,7 @@ impl Machine {
                         store_seq: 0,
                         barrier_passes: 0,
                         at_barrier: false,
+                        taken_at: Cycle::ZERO,
                         complete_at: Some(Cycle::ZERO),
                     }],
                     program,
@@ -499,7 +396,7 @@ impl Machine {
                     l2: SetAssoc::new(cfg.l2),
                     dep: DepRegFile::new(cfg.dep_sets.max(2), cfg.wsig_bits, cfg.wsig_hashes),
                     store_seq: 0,
-                    role: CkptRole::Idle,
+                    role: EpisodeState::Idle,
                     drain: DrainState::default(),
                     exec_gate: false,
                     stall: StallBreakdown::default(),
@@ -547,6 +444,7 @@ impl Machine {
             done_cores: 0,
             dropped_msgs: 0,
             tracking_enabled: true,
+            proto_errors: Vec::new(),
             pending_faults: Vec::new(),
             fired_faults: Vec::new(),
             rollback_cores: CoreSet::new(),
@@ -784,13 +682,13 @@ impl Machine {
     /// The externally observable checkpoint-episode phase of `core`.
     pub fn core_phase(&self, core: CoreId) -> CorePhase {
         match &self.cores[core.index()].role {
-            CkptRole::Idle => CorePhase::Idle,
-            CkptRole::Initiating(st) if !st.started => CorePhase::Collecting,
-            CkptRole::Initiating(_) => CorePhase::InitiatorWb,
-            CkptRole::Accepted { .. } => CorePhase::Accepted,
-            CkptRole::Member { .. } => CorePhase::Member,
-            CkptRole::GlobalMember { .. } => CorePhase::GlobalMember,
-            CkptRole::BarMember { .. } => CorePhase::BarrierMember,
+            EpisodeState::Idle => CorePhase::Idle,
+            EpisodeState::Initiating(st) if !st.started => CorePhase::Collecting,
+            EpisodeState::Initiating(_) => CorePhase::InitiatorWb,
+            EpisodeState::Accepted { .. } => CorePhase::Accepted,
+            EpisodeState::Member { .. } => CorePhase::Member,
+            EpisodeState::GlobalMember { .. } => CorePhase::GlobalMember,
+            EpisodeState::BarMember { .. } => CorePhase::BarrierMember,
         }
     }
 
@@ -811,6 +709,72 @@ impl Machine {
     /// rollback is restoring and the cycle their restoration completes.
     pub fn rollback_window(&self) -> Option<(CoreSet, Cycle)> {
         (self.now < self.rollback_until).then_some((self.rollback_cores, self.rollback_until))
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol-kernel plumbing and diagnostics
+    // ------------------------------------------------------------------
+
+    /// Records a protocol violation. The machine keeps running — the
+    /// offending message/primitive is treated as dropped — but the typed
+    /// diagnosis is preserved so a later oracle failure or deadlock can
+    /// name the core, episode epoch and transition that went wrong.
+    pub(crate) fn note_proto_error(&mut self, e: ProtoError) {
+        // Bounded: a pathological livelock must not turn the diagnostic
+        // buffer into the machine's largest allocation.
+        if self.proto_errors.len() < 64 {
+            self.proto_errors.push(e);
+        }
+    }
+
+    /// Every protocol violation observed so far, in detection order.
+    /// Empty on a healthy run: benign protocol races (stale epochs,
+    /// dead-episode stragglers) are counted as dropped messages, not
+    /// errors.
+    pub fn proto_errors(&self) -> &[ProtoError] {
+        &self.proto_errors
+    }
+
+    /// One-line rendering of [`Machine::proto_errors`] for failure
+    /// reports (empty string when there are none).
+    pub fn proto_error_summary(&self) -> String {
+        self.proto_errors
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// The pure kernel transition `msg` would take at `to` right now —
+    /// an observation, nothing is applied. Exposed for diagnostics and
+    /// the state-machine exhaustiveness tests.
+    pub fn proto_transition(
+        &self,
+        to: CoreId,
+        msg: &ProtoMsg,
+    ) -> Result<crate::proto::Transition, ProtoError> {
+        crate::proto::transition(self, to, msg)
+    }
+
+    /// The episode state of `core`.
+    pub fn episode_state(&self, core: CoreId) -> &EpisodeState {
+        &self.cores[core.index()].role
+    }
+
+    /// Forces `core` into an arbitrary episode state, bypassing the
+    /// protocol. Test scaffolding for the exhaustiveness properties;
+    /// real transitions only ever happen through the kernel.
+    #[doc(hidden)]
+    pub fn force_episode_state(&mut self, core: CoreId, state: EpisodeState) {
+        self.cores[core.index()].role = state;
+    }
+
+    /// Delivers `msg` to `to` through the kernel immediately (no
+    /// network latency). Test scaffolding for the exhaustiveness
+    /// properties.
+    #[doc(hidden)]
+    pub fn inject_proto_msg(&mut self, to: CoreId, msg: ProtoMsg) {
+        self.handle_proto(to, msg);
     }
 
     // ------------------------------------------------------------------
@@ -901,7 +865,7 @@ impl Machine {
             && self
                 .cores
                 .iter()
-                .all(|c| c.role == CkptRole::Idle && !c.drain.active)
+                .all(|c| c.role == EpisodeState::Idle && !c.drain.active)
     }
 
     /// Processes one event. Returns `false` when nothing is left to do.
@@ -910,15 +874,22 @@ impl Machine {
             return false;
         }
         let Some((t, ev)) = self.queue.pop() else {
-            // Queue empty but not finished — a liveness bug; surface loudly.
+            // Queue empty but not finished — a liveness bug; surface
+            // loudly, with any recorded protocol violations attached so
+            // the deadlock is attributable from a campaign CSV row.
             panic!(
-                "event queue drained with live state: {} done of {}, roles {:?}",
+                "event queue drained with live state: {} done of {}, roles {:?}{}",
                 self.done_cores,
                 self.cores.len(),
                 self.cores
                     .iter()
                     .map(|c| c.role.clone())
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>(),
+                if self.proto_errors.is_empty() {
+                    String::new()
+                } else {
+                    format!("; proto errors: {}", self.proto_error_summary())
+                }
             );
         };
         debug_assert!(t >= self.now, "time went backwards");
@@ -1140,6 +1111,31 @@ impl Machine {
     pub(crate) fn cluster_mates(&self, core: CoreId) -> CoreSet {
         self.expand_dep_bits(CoreSet::singleton(self.dep_bit_of(core)))
     }
+
+    /// Every core in `core`'s *scheme-level* checkpoint cluster
+    /// (including itself): the static k-core partition under
+    /// `Rebound_Cluster{k}`, just `{core}` for every other scheme.
+    pub(crate) fn scheme_cluster_mates(&self, core: CoreId) -> CoreSet {
+        let k = self.cfg.scheme.cluster_k();
+        if k == 1 {
+            return CoreSet::singleton(core);
+        }
+        let base = (core.index() / k) * k;
+        let mut s = CoreSet::new();
+        for i in base..(base + k).min(self.cores.len()) {
+            s.insert(CoreId(i));
+        }
+        s
+    }
+
+    /// The full checkpoint unit of `core`: its dep-granularity cluster
+    /// (§8 clustered-directory extension) united with its scheme-level
+    /// cluster. Whenever any core of the unit checkpoints or rolls
+    /// back, the whole unit does.
+    pub(crate) fn ckpt_unit(&self, core: CoreId) -> CoreSet {
+        self.cluster_mates(core)
+            .union(self.scheme_cluster_mates(core))
+    }
 }
 
 impl Machine {
@@ -1217,8 +1213,8 @@ impl Machine {
                 c.id.index(),
                 c.run,
                 match &c.role {
-                    CkptRole::Idle => "Idle".to_string(),
-                    CkptRole::Initiating(st) => format!(
+                    EpisodeState::Idle => "Idle".to_string(),
+                    EpisodeState::Initiating(st) => format!(
                         "Init(e{} ichk={} awaiting={} wbd={} started={})",
                         st.epoch,
                         st.ichk,

@@ -5,13 +5,13 @@
 //! included). Appendix A's no-domino argument is what makes this line
 //! consistent; the property tests exercise it.
 
-use rebound_engine::CoreId;
+use rebound_engine::{CoreId, Cycle};
 use rebound_mem::RollbackTargets;
 
 use crate::config::Scheme;
 
 use super::{
-    Block, CkptRole, Machine, RunState, CACHE_INVAL_COST, LOG_RESTORE_COST, LOG_SCAN_COST,
+    Block, EpisodeState, Machine, RunState, CACHE_INVAL_COST, LOG_RESTORE_COST, LOG_SCAN_COST,
 };
 
 impl Machine {
@@ -25,14 +25,22 @@ impl Machine {
 
         // 1. Pick each processor's rollback target: the latest checkpoint
         //    that fully completed at least L cycles ago (§4.2), falling
-        //    back to the boot checkpoint.
-        let target_of = |m: &Machine, x: CoreId| -> usize {
+        //    back to the boot checkpoint. Under `Rebound_Cluster` the
+        //    target is additionally bounded by a snapshot-time ceiling
+        //    (see step 2): truncated interaction sets mean a consumer's
+        //    checkpoint can postdate its consumption of data the
+        //    producer is about to undo, and such a checkpoint must not
+        //    anchor the recovery line.
+        let cluster_scheme = matches!(self.cfg.scheme, Scheme::Cluster { .. });
+        let target_of = |m: &Machine, x: CoreId, bound: Cycle| -> usize {
             let recs = &m.cores[x.index()].records;
             recs.iter()
                 .rposition(|r| {
-                    r.complete_at
+                    let safe = r
+                        .complete_at
                         .map(|t| t.saturating_add(l) <= now)
-                        .unwrap_or(false)
+                        .unwrap_or(false);
+                    safe && (!cluster_scheme || r.taken_at <= bound)
                 })
                 .unwrap_or(0)
         };
@@ -40,7 +48,20 @@ impl Machine {
         // 2. Build the Interaction Set for Recovery: transitive closure of
         //    MyConsumers over every interval being undone. Under the
         //    Global scheme every processor rolls back.
+        //
+        //    `Rebound_Cluster` refinement: plain Rebound's checkpoint
+        //    episodes include producers transitively, so a consumer's
+        //    latest safe checkpoint never embeds data its producer can
+        //    still undo — the paper's no-domino argument. Cluster
+        //    truncation removes that coverage, so when producer `x`
+        //    (target snapshot at time S) pulls a consumer in, the
+        //    consumer's own target is bounded to snapshots taken at or
+        //    before S: any consumption of x's undone data happened
+        //    strictly after S, so a ≤ S snapshot predates it. Bounds
+        //    tighten monotonically to a fixpoint — the cross-cluster
+        //    cascade this scheme trades for its cheap collection.
         let mut irec = vec![false; self.cores.len()];
+        let mut bound = vec![Cycle::MAX; self.cores.len()];
         let mut order: Vec<CoreId> = Vec::new();
         if matches!(self.cfg.scheme, Scheme::Global { .. }) || !self.cfg.scheme.checkpoints() {
             for (i, flag) in irec.iter_mut().enumerate() {
@@ -52,18 +73,38 @@ impl Machine {
             irec[core.index()] = true;
             order.push(core);
             while let Some(x) = work.pop() {
-                let t = target_of(self, x);
+                let t = target_of(self, x, bound[x.index()]);
+                let snap = self.cores[x.index()].records[t].taken_at;
                 let from_interval = self.cores[x.index()].records[t].stub_seq;
                 let consumer_bits = self.cores[x.index()].dep.consumers_since(from_interval);
-                // Expand dep bits to cores and pull in cluster-mates (the
-                // §8 extension rolls whole clusters back together).
-                let consumers = self
-                    .expand_dep_bits(consumer_bits)
-                    .union(self.cluster_mates(x));
-                for cns in consumers.iter() {
+                // Expand dep bits to cores and pull in the checkpoint
+                // unit (the §8 extension and Rebound_Cluster both roll
+                // whole clusters back together).
+                let consumer_cores = self.expand_dep_bits(consumer_bits);
+                let members = consumer_cores.union(self.ckpt_unit(x));
+                for cns in members.iter() {
+                    // True consumers inherit the producer's target
+                    // snapshot time as their ceiling; unit-mates (rolling
+                    // in sympathy, their episodes shared with `x`) keep
+                    // x's own ceiling.
+                    let b = if consumer_cores.contains(cns) {
+                        snap
+                    } else {
+                        bound[x.index()]
+                    };
                     if !irec[cns.index()] {
                         irec[cns.index()] = true;
                         order.push(cns);
+                        if cluster_scheme {
+                            bound[cns.index()] = b;
+                        }
+                        work.push(cns);
+                    } else if cluster_scheme && b < bound[cns.index()] {
+                        // Already a member, but a tighter ceiling may
+                        // deepen its target: re-process. Ceilings only
+                        // ever shrink over a finite snapshot set, so
+                        // the fixpoint terminates.
+                        bound[cns.index()] = b;
                         work.push(cns);
                     }
                 }
@@ -81,7 +122,7 @@ impl Machine {
         //    registers, sync-state fixups, architectural state.
         let mut targets = RollbackTargets::new(self.cores.len());
         for &m in &order {
-            let t = target_of(self, m);
+            let t = target_of(self, m, bound[m.index()]);
             let stub = self.cores[m.index()].records[t].stub_seq;
             targets.set(m, stub);
             self.rollback_core_state(m, t);
@@ -151,8 +192,9 @@ impl Machine {
                 continue;
             }
             match &c.role {
-                CkptRole::Initiating(st) => dead_initiators.push((c.id, st.epoch)),
-                CkptRole::Accepted { initiator, epoch } | CkptRole::Member { initiator, epoch } => {
+                EpisodeState::Initiating(st) => dead_initiators.push((c.id, st.epoch)),
+                EpisodeState::Accepted { initiator, epoch }
+                | EpisodeState::Member { initiator, epoch } => {
                     dead_initiators.push((*initiator, *epoch))
                 }
                 _ => {}
@@ -168,18 +210,19 @@ impl Machine {
             let id = CoreId(i);
             let role = self.cores[i].role.clone();
             let in_dead_local = match &role {
-                CkptRole::Initiating(st) => dead_initiators.contains(&(id, st.epoch)),
-                CkptRole::Accepted { initiator, epoch } | CkptRole::Member { initiator, epoch } => {
+                EpisodeState::Initiating(st) => dead_initiators.contains(&(id, st.epoch)),
+                EpisodeState::Accepted { initiator, epoch }
+                | EpisodeState::Member { initiator, epoch } => {
                     dead_initiators.contains(&(*initiator, *epoch))
                 }
-                CkptRole::GlobalMember { .. } => {
+                EpisodeState::GlobalMember { .. } => {
                     // Global episodes only abort if some member rolls back,
                     // which under the Global scheme means everyone; a
                     // Rebound machine never has GlobalMembers.
                     false
                 }
-                CkptRole::BarMember { .. } => self.barrier.barck_active,
-                CkptRole::Idle => false,
+                EpisodeState::BarMember { .. } => self.barrier.barck_active,
+                EpisodeState::Idle => false,
             };
             if !in_dead_local {
                 continue;
@@ -187,8 +230,8 @@ impl Machine {
             // Survivor of an aborted episode: its own checkpointed data is
             // sound — complete the local checkpoint immediately.
             match role {
-                CkptRole::Accepted { .. } => {
-                    self.cores[i].role = CkptRole::Idle;
+                EpisodeState::Accepted { .. } => {
+                    self.cores[i].role = EpisodeState::Idle;
                     self.maybe_join_pending_barck(id);
                 }
                 _ => self.fast_complete_member(id),
@@ -203,7 +246,7 @@ impl Machine {
                 .cores
                 .iter()
                 .enumerate()
-                .any(|(i, c)| irec[i] && matches!(c.role, CkptRole::GlobalMember { .. }))
+                .any(|(i, c)| irec[i] && matches!(c.role, EpisodeState::GlobalMember { .. }))
                 || self
                     .global
                     .coordinator
@@ -220,7 +263,7 @@ impl Machine {
         if self.barrier.barck_active {
             let any = self.cores.iter().enumerate().any(|(i, c)| {
                 irec[i]
-                    && (matches!(c.role, CkptRole::BarMember { .. })
+                    && (matches!(c.role, EpisodeState::BarMember { .. })
                         || c.barck_pending
                         || c.barck_arrived)
             });
@@ -274,7 +317,7 @@ impl Machine {
             self.cores[idx].dep.complete(stub_seq - 1, self.now);
             self.metrics.processor_checkpoints += 1;
         }
-        self.cores[idx].role = CkptRole::Idle;
+        self.cores[idx].role = EpisodeState::Idle;
         self.cores[idx].pending_wb = None;
         self.cores[idx].exec_gate = false;
         // Unconditional: the core may have gone Ready while gated (e.g. a
@@ -293,7 +336,7 @@ impl Machine {
             c.drain.active = false;
             c.drain.queue.clear();
             c.drain.gen += 1;
-            c.role = CkptRole::Idle;
+            c.role = EpisodeState::Idle;
             c.exec_gate = false;
             c.block_since = None;
             c.pending_wb = None;
@@ -431,5 +474,82 @@ mod tests {
         // The program completed (re-execution after recovery).
         assert!(m.is_finished());
         assert!(r.metrics.irec_sizes.mean() >= 1.0);
+    }
+
+    /// `Rebound_Cluster` recovery-line consistency: a cross-cluster
+    /// consumer whose checkpoint *postdates* its consumption of data the
+    /// producer is about to undo must roll back past that checkpoint.
+    /// Plain Rebound never faces this (episodes include producers, so a
+    /// consumer checkpoint is always covered); the cluster truncation
+    /// reintroduces it, and the snapshot-time bound in
+    /// `handle_fault_detect` is what keeps the line consistent.
+    #[test]
+    fn cluster_consumer_rolls_past_checkpoint_taken_after_consumption() {
+        let x = Addr(0x80_0000);
+        let programs: Vec<CoreProgram> = (0..8)
+            .map(|i| match i {
+                // Producer (cluster A): stores X, never checkpoints.
+                0 => CoreProgram::script([Op::Store(x), Op::Compute(60_000)]),
+                // Consumer (cluster B): reads X, then its cluster
+                // checkpoints — a snapshot that embeds the consumption.
+                5 => CoreProgram::script([
+                    Op::Compute(3_000),
+                    Op::Load(x),
+                    Op::CheckpointHint,
+                    Op::Compute(60_000),
+                ]),
+                _ => CoreProgram::script([Op::Compute(60_000)]),
+            })
+            .collect();
+        let mut cfg = MachineConfig::small(8);
+        cfg.scheme = Scheme::REBOUND_CLUSTER;
+        cfg.ckpt_interval_insts = 1_000_000; // only the hinted episode
+        cfg.detect_latency = 200; // cluster B's checkpoint is safe early
+        let mut m = Machine::with_programs(&cfg, programs);
+        m.schedule_fault_detection(CoreId(0), Cycle(20_000));
+        m.run_until(Cycle(20_001));
+
+        // Cluster B checkpointed once (records = boot + episode) before
+        // the fault; by detection time that checkpoint is "safe" in the
+        // §4.2 sense — but it embeds P5's read of P0's undone store, so
+        // the bounded closure must have discarded it: every cluster-B
+        // core is back at boot with zero retired work.
+        for c in 4..8 {
+            assert_eq!(
+                m.cores[c].records.len(),
+                1,
+                "P{c} must roll past its post-consumption checkpoint"
+            );
+            assert_eq!(m.cores[c].insts, 0, "P{c} restarts from boot");
+        }
+        assert!(
+            (m.metrics.irec_sizes.mean() - 8.0).abs() < 1e-9,
+            "both clusters roll back"
+        );
+
+        // Recovery still converges on the fault-free state.
+        let r = m.run_to_completion();
+        assert!(r.rollbacks >= 1);
+        let mut clean = Machine::with_programs(
+            &cfg,
+            (0..8)
+                .map(|i| match i {
+                    0 => CoreProgram::script([Op::Store(x), Op::Compute(60_000)]),
+                    5 => CoreProgram::script([
+                        Op::Compute(3_000),
+                        Op::Load(x),
+                        Op::CheckpointHint,
+                        Op::Compute(60_000),
+                    ]),
+                    _ => CoreProgram::script([Op::Compute(60_000)]),
+                })
+                .collect(),
+        );
+        clean.run_to_completion();
+        let line = x.line(Default::default());
+        assert_eq!(
+            m.effective_line_value(line),
+            clean.effective_line_value(line)
+        );
     }
 }

@@ -15,11 +15,14 @@ impl Machine {
     /// still serialize the recovery latency before executing.
     pub(crate) fn resume_core(&mut self, core: CoreId, extra: u64) {
         let now = self.now;
+        if self.cores[core.index()].run == RunState::Done {
+            // Resurrecting a finished core would double-count done_cores
+            // and re-execute its End; record the violation (it names the
+            // offending wake-up) and keep the core finished.
+            self.note_proto_error(crate::proto::ProtoError::ResumedDoneCore { core });
+            return;
+        }
         let c = &mut self.cores[core.index()];
-        debug_assert!(
-            c.run != RunState::Done,
-            "resume_core would resurrect finished core {core:?}"
-        );
         c.run = RunState::Ready;
         c.busy_until = c.busy_until.max(now + extra);
         if !c.exec_gate {
@@ -148,10 +151,11 @@ impl Machine {
     /// waiter re-reads it (consuming the write), then all continue.
     pub(crate) fn release_barrier(&mut self, extra: u64) {
         let layout = AddressLayout;
-        let last = self
-            .barrier
-            .last_arrival
-            .expect("release without a last arrival");
+        let Some(last) = self.barrier.last_arrival else {
+            let generation = self.barrier.generation;
+            self.note_proto_error(crate::proto::ProtoError::ReleaseWithoutArrival { generation });
+            return;
+        };
         let flag_lat = self.access(last, layout.barrier_flag_line(), true, true);
         self.cores[last.index()].insts += 1;
         self.barrier.generation += 1;
@@ -196,9 +200,9 @@ impl Machine {
                     self.start_global_checkpoint(core);
                 }
             }
-            crate::config::Scheme::Rebound { .. } => {
+            crate::config::Scheme::Rebound { .. } | crate::config::Scheme::Cluster { .. } => {
                 let c = &self.cores[core.index()];
-                if c.role != super::CkptRole::Idle || c.drain.active {
+                if c.role != super::EpisodeState::Idle || c.drain.active {
                     self.cores[core.index()].resume_op = Some(Op::OutputIo);
                     self.resume_core(core, 500);
                 } else {

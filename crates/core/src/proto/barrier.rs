@@ -1,0 +1,99 @@
+//! The barrier checkpoint optimization overlay (§4.2.1): a proactive
+//! episode elected inside the barrier Update section, its writebacks
+//! hidden behind barrier imbalance, and the release flag gated until
+//! every processor reports BarCkDone.
+
+use rebound_engine::CoreId;
+
+use crate::machine::{Machine, PROTO_HANDLE_COST};
+
+use super::{
+    CoordinationProtocol, EpisodeState, ProtoAction, ProtoError, ProtoMsg, Transition,
+    TriggerAction, WbKind,
+};
+
+/// The barrier-optimization coordination overlay. It never triggers at
+/// interval boundaries — episodes are elected inside the barrier Update
+/// section — so [`CoordinationProtocol::trigger`] is always `None`.
+pub struct BarCkOverlay;
+
+impl CoordinationProtocol for BarCkOverlay {
+    fn name(&self) -> &'static str {
+        "barck-overlay"
+    }
+
+    fn trigger(&self, _m: &Machine, _core: CoreId) -> Option<TriggerAction> {
+        None
+    }
+
+    fn on_msg(&self, m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Transition, ProtoError> {
+        match *msg {
+            ProtoMsg::BarCk { initiator } => {
+                if !m.barrier.barck_active {
+                    return Ok(Transition::dropped());
+                }
+                let mut t = Transition::new();
+                t.push(ProtoAction::Interrupt {
+                    core: to,
+                    cost: PROTO_HANDLE_COST,
+                });
+                t.actions.extend(join(m, to, initiator).actions);
+                Ok(t)
+            }
+            ProtoMsg::BarCkDone { from } => {
+                if !m.barrier.barck_active {
+                    return Ok(Transition::dropped());
+                }
+                let mut done = m.barrier.barck_done;
+                done.insert(from);
+                let mut t = Transition::new();
+                t.push(ProtoAction::BarCkAbsorbDone { from });
+                if done.len() == m.cores.len() {
+                    if m.barrier.barck_initiator.is_none() {
+                        return Err(ProtoError::MissingCoordinator {
+                            transition: "BarCkDone",
+                            core: to,
+                        });
+                    }
+                    t.push(ProtoAction::BarCkEpisodeComplete);
+                }
+                Ok(t)
+            }
+            ProtoMsg::BarCkComplete => {
+                let mut t = Transition::new();
+                t.push(ProtoAction::ClearBarCkMemberFlags { core: to });
+                // The withheld flag write happens now (§4.2.1: "At this
+                // point, the last arriving processor will write the flag").
+                if m.barrier.release_gated && m.barrier.last_arrival == Some(to) {
+                    t.push(ProtoAction::ReleaseBarrier);
+                }
+                Ok(t)
+            }
+            ref other => Err(ProtoError::UnroutedMessage {
+                core: to,
+                msg: other.name(),
+            }),
+        }
+    }
+}
+
+/// The join decision (shared by the BarCk message path and the
+/// machine-internal election/deferred-join paths): a busy core defers,
+/// an idle one resets its flags and begins the barrier-flavour member
+/// writeback.
+pub(crate) fn join(m: &Machine, core: CoreId, initiator: CoreId) -> Transition {
+    if m.cores[core.index()].role != EpisodeState::Idle || m.cores[core.index()].drain.active {
+        return Transition {
+            actions: vec![ProtoAction::DeferBarCk { core }],
+        };
+    }
+    Transition {
+        actions: vec![
+            ProtoAction::ClearBarCkJoinFlags { core },
+            ProtoAction::BeginMemberWb {
+                core,
+                kind: WbKind::Barrier { initiator },
+            },
+        ],
+    }
+}

@@ -1,0 +1,465 @@
+//! The distributed two-phase interaction-set protocol (§3.3.4): CK?
+//! collection with Busy/Decline/Nack and release-and-backoff deadlock
+//! avoidance, then the coordinated writeback phase.
+//!
+//! Under `Rebound` the collection set is the transitive producer
+//! closure, discovered dynamically through CK? forwarding. Under
+//! `Rebound_Cluster{k}` the interaction set is **truncated at the
+//! static k-core cluster boundary**: the initiator asks exactly its
+//! cluster-mates, accepters never forward, and the cluster checkpoints
+//! as one unit — the midpoint between `Global` (k = machine) and the
+//! per-interaction-set `Rebound` (whose unit is the dynamic closure).
+//! Cross-cluster dependences are left to recovery: the rollback closure
+//! chases consumers across cluster boundaries **and bounds each pulled
+//! consumer's rollback target by its producer's target snapshot time**
+//! (`machine/rollback.rs`) — without producer-covering episodes, a
+//! consumer checkpoint taken after consuming soon-to-be-undone data
+//! must itself be rolled past, or the recovery line would straddle the
+//! dependence. The cluster thus trades longer (cascading) recovery for
+//! collection traffic that never leaves the cluster.
+
+use rebound_coherence::{CoreSet, MsgKind};
+use rebound_engine::CoreId;
+
+use crate::config::Scheme;
+use crate::machine::{Machine, PROTO_HANDLE_COST};
+
+use super::{
+    ack_transition, CoordinationProtocol, EpisodeState, ProtoAction, ProtoError, ProtoMsg,
+    ProtoStat, Transition, TriggerAction, WbKind,
+};
+
+/// The Rebound / Rebound_Cluster coordination protocol.
+pub struct DistributedTwoPhase;
+
+impl CoordinationProtocol for DistributedTwoPhase {
+    fn name(&self) -> &'static str {
+        "distributed-two-phase"
+    }
+
+    /// §3.3.4 initiation gate: idle, not draining, no BarCK pending or
+    /// active, past any post-Busy backoff, and an interval (or forced
+    /// checkpoint) due.
+    fn trigger(&self, m: &Machine, core: CoreId) -> Option<TriggerAction> {
+        let c = &m.cores[core.index()];
+        if c.role != EpisodeState::Idle
+            || c.drain.active
+            || c.barck_pending
+            || m.barrier.barck_active
+            || m.now < c.backoff_until
+        {
+            return None;
+        }
+        let due = c.force_ckpt || c.insts >= c.next_ckpt_due;
+        due.then_some(TriggerAction::InitiateLocal {
+            for_io: c.force_ckpt,
+        })
+    }
+
+    fn on_msg(&self, m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Transition, ProtoError> {
+        match *msg {
+            ProtoMsg::CkReq {
+                initiator,
+                epoch,
+                from,
+            } => Ok(ck_req(m, to, initiator, epoch, from)),
+            // Handshake of the forwarding chain; cost only.
+            ProtoMsg::CkAck { .. } => Ok(ack_transition(to)),
+            ProtoMsg::CkAccept {
+                from,
+                via,
+                epoch,
+                producers,
+                forwarded,
+            } => Ok(ck_accept(m, to, from, via, epoch, producers, forwarded)),
+            ProtoMsg::CkDecline { from, epoch } => Ok(ck_decline(m, to, from, epoch)),
+            ProtoMsg::CkBusy { epoch, .. } | ProtoMsg::CkNack { epoch, .. } => {
+                Ok(ck_busy(m, to, epoch))
+            }
+            ProtoMsg::CkRelease { initiator, epoch } => Ok(ck_release(m, to, initiator, epoch)),
+            ProtoMsg::CkStartWb { initiator, epoch } => Ok(ck_start_wb(m, to, initiator, epoch)),
+            ProtoMsg::CkWbDone { from, epoch } => Ok(ck_wb_done(m, to, from, epoch)),
+            ProtoMsg::CkComplete { initiator, epoch } => Ok(ck_complete(m, to, initiator, epoch)),
+            ref other => Err(ProtoError::UnroutedMessage {
+                core: to,
+                msg: other.name(),
+            }),
+        }
+    }
+}
+
+/// The cores an initiator must ask to join its episode (everyone it
+/// will checkpoint with, except itself). `Rebound`: the dep-granularity
+/// producer expansion plus the initiator's §8 cluster-mates.
+/// `Rebound_Cluster`: exactly the static cluster — the set is truncated
+/// at the cluster boundary by construction.
+pub(crate) fn initiation_targets(m: &Machine, core: CoreId) -> CoreSet {
+    let mut targets = if matches!(m.cfg.scheme, Scheme::Cluster { .. }) {
+        m.scheme_cluster_mates(core)
+    } else {
+        let producers = m.cores[core.index()].dep.active().my_producers;
+        m.expand_dep_bits(producers).union(m.cluster_mates(core))
+    };
+    targets.remove(core);
+    targets
+}
+
+/// CK? arriving at a prospective producer (§3.3.4 receiver rules).
+fn ck_req(m: &Machine, to: CoreId, initiator: CoreId, epoch: u64, from: CoreId) -> Transition {
+    if to == initiator {
+        return Transition::dropped();
+    }
+    let mut t = Transition::new();
+    t.push(ProtoAction::Interrupt {
+        core: to,
+        cost: PROTO_HANDLE_COST,
+    });
+    match m.cores[to.index()].role.clone() {
+        EpisodeState::Initiating(st) => {
+            if !st.started && initiator < to {
+                // Static priority: the lower-id initiator wins; back
+                // down and reconsider the request as a normal core.
+                t.push(ProtoAction::AbortInitiation { core: to });
+                ck_req_idle(m, to, initiator, epoch, from, &mut t);
+            } else {
+                t.push(busy_reply(to, initiator, epoch));
+            }
+        }
+        EpisodeState::Accepted {
+            initiator: cur,
+            epoch: cur_epoch,
+        } => {
+            if cur == initiator && cur_epoch == epoch {
+                // Second CK? with the same initiator: Ack and Accept,
+                // but do not forward again (§3.3.4).
+                t.push(ack_reply(to, from));
+                t.push(ProtoAction::Send {
+                    from: to,
+                    to: initiator,
+                    kind: MsgKind::CkAccept,
+                    msg: ProtoMsg::CkAccept {
+                        from: to,
+                        via: from,
+                        epoch,
+                        producers: CoreSet::new(),
+                        forwarded: false,
+                    },
+                });
+            } else {
+                t.push(busy_reply(to, initiator, epoch));
+            }
+        }
+        EpisodeState::Member { .. }
+        | EpisodeState::GlobalMember { .. }
+        | EpisodeState::BarMember { .. } => {
+            t.push(busy_reply(to, initiator, epoch));
+        }
+        EpisodeState::Idle => ck_req_idle(m, to, initiator, epoch, from, &mut t),
+    }
+    t
+}
+
+/// The Idle-receiver rules of CK?: Decline stragglers and stale
+/// producers, Nack while draining, otherwise accept (and, under
+/// `Rebound`, forward to own producers — `Rebound_Cluster` truncates
+/// the forward at the cluster boundary, which the initiator's ask
+/// already covered).
+fn ck_req_idle(
+    m: &Machine,
+    to: CoreId,
+    initiator: CoreId,
+    epoch: u64,
+    from: CoreId,
+    t: &mut Transition,
+) {
+    let idx = to.index();
+    if m.cores[idx].released_epochs[initiator.index()] >= epoch {
+        // Straggler CK? of an episode we were already released from.
+        t.push(ProtoAction::Count(ProtoStat::Decline));
+        t.push(ProtoAction::Send {
+            from: to,
+            to: initiator,
+            kind: MsgKind::CkDecline,
+            msg: ProtoMsg::CkDecline { from: to, epoch },
+        });
+        return;
+    }
+    if m.cores[idx].drain.active {
+        // Still draining a delayed checkpoint: Nack and speed up (§4.1).
+        t.push(ProtoAction::FastDrain { core: to });
+        t.push(ProtoAction::Send {
+            from: to,
+            to: initiator,
+            kind: MsgKind::CkNack,
+            msg: ProtoMsg::CkNack { from: to, epoch },
+        });
+        t.push(ProtoAction::Count(ProtoStat::Nack));
+        return;
+    }
+    let same_unit =
+        m.dep_bit_of(to) == m.dep_bit_of(from) || m.scheme_cluster_mates(from).contains(to);
+    let is_consumer = m.cores[idx]
+        .dep
+        .active()
+        .my_consumers
+        .contains(m.dep_bit_of(from));
+    if !is_consumer && !same_unit {
+        // Stale MyProducers at the consumer, or we checkpointed since:
+        // Decline (§3.3.4 stop rule (iii)). Checkpoint-unit mates of a
+        // checkpointing core are never declined: inside a cluster,
+        // checkpointing is global (§8 extension / Rebound_Cluster).
+        t.push(ProtoAction::Count(ProtoStat::Decline));
+        t.push(ProtoAction::Send {
+            from: to,
+            to: initiator,
+            kind: MsgKind::CkDecline,
+            msg: ProtoMsg::CkDecline { from: to, epoch },
+        });
+        return;
+    }
+    t.push(ProtoAction::SetState {
+        core: to,
+        state: EpisodeState::Accepted { initiator, epoch },
+    });
+    t.push(ack_reply(to, from));
+    if matches!(m.cfg.scheme, Scheme::Cluster { .. }) {
+        // Cluster truncation: nothing to forward (the initiator asked
+        // the whole unit), so the Accept carries no producer set.
+        t.push(ProtoAction::Send {
+            from: to,
+            to: initiator,
+            kind: MsgKind::CkAccept,
+            msg: ProtoMsg::CkAccept {
+                from: to,
+                via: from,
+                epoch,
+                producers: CoreSet::new(),
+                forwarded: false,
+            },
+        });
+        return;
+    }
+    let producers = m.cores[idx].dep.active().my_producers;
+    // The Accept carries the raw producer set plus `via`; the
+    // initiator reconstructs this node's forward fan-out exactly.
+    t.push(ProtoAction::Send {
+        from: to,
+        to: initiator,
+        kind: MsgKind::CkAccept,
+        msg: ProtoMsg::CkAccept {
+            from: to,
+            via: from,
+            epoch,
+            producers,
+            forwarded: true,
+        },
+    });
+    let targets = m.expand_dep_bits(producers).union(m.cluster_mates(to));
+    for q in targets.iter() {
+        if q != initiator && q != to && q != from {
+            t.push(ProtoAction::Send {
+                from: to,
+                to: q,
+                kind: MsgKind::CkRequest,
+                msg: ProtoMsg::CkReq {
+                    initiator,
+                    epoch,
+                    from: to,
+                },
+            });
+        }
+    }
+}
+
+fn ck_accept(
+    m: &Machine,
+    to: CoreId,
+    from: CoreId,
+    via: CoreId,
+    epoch: u64,
+    producers: CoreSet,
+    forwarded: bool,
+) -> Transition {
+    let idx = to.index();
+    let mut t = Transition::new();
+    let st = match &m.cores[idx].role {
+        EpisodeState::Initiating(st) if st.epoch == epoch && !st.started => st.clone(),
+        _ => {
+            // Late accept from a dead episode: release the sender so it
+            // does not wait for a StartWB that will never come.
+            t.push(ProtoAction::Send {
+                from: to,
+                to: from,
+                kind: MsgKind::CkRelease,
+                msg: ProtoMsg::CkRelease {
+                    initiator: to,
+                    epoch,
+                },
+            });
+            t.push(ProtoAction::Drop);
+            return t;
+        }
+    };
+    // Replicate the accepter's forward fan-out so the outstanding-reply
+    // counts stay exact even when a core is asked more than once.
+    let fwd_targets = if forwarded {
+        let mut targets = m.expand_dep_bits(producers).union(m.cluster_mates(from));
+        targets.remove(to);
+        targets.remove(from);
+        targets.remove(via);
+        targets
+    } else {
+        CoreSet::new()
+    };
+    let mut st = st;
+    if st.expected[from.index()] > 0 {
+        st.expected[from.index()] -= 1;
+    }
+    st.ichk.insert(from);
+    for q in fwd_targets.iter() {
+        st.expected[q.index()] += 1;
+    }
+    let ready = !st.awaiting();
+    t.push(ProtoAction::SetState {
+        core: to,
+        state: EpisodeState::Initiating(st),
+    });
+    if ready {
+        t.push(ProtoAction::StartWritebacks { core: to });
+    }
+    t
+}
+
+fn ck_decline(m: &Machine, to: CoreId, from: CoreId, epoch: u64) -> Transition {
+    let idx = to.index();
+    match &m.cores[idx].role {
+        EpisodeState::Initiating(st) if st.epoch == epoch && !st.started => {
+            let mut st = st.clone();
+            if st.expected[from.index()] > 0 {
+                st.expected[from.index()] -= 1;
+            }
+            // A decline never un-joins: the core may have accepted a
+            // different CK? of this same episode already.
+            let ready = !st.awaiting();
+            let mut t = Transition::new();
+            t.push(ProtoAction::SetState {
+                core: to,
+                state: EpisodeState::Initiating(st),
+            });
+            if ready {
+                t.push(ProtoAction::StartWritebacks { core: to });
+            }
+            t
+        }
+        _ => Transition::dropped(),
+    }
+}
+
+fn ck_busy(m: &Machine, to: CoreId, epoch: u64) -> Transition {
+    match &m.cores[to.index()].role {
+        EpisodeState::Initiating(st) if st.epoch == epoch && !st.started => Transition {
+            actions: vec![ProtoAction::AbortInitiation { core: to }],
+        },
+        _ => Transition::dropped(),
+    }
+}
+
+fn ck_release(m: &Machine, to: CoreId, initiator: CoreId, epoch: u64) -> Transition {
+    let mut t = Transition::new();
+    t.push(ProtoAction::NoteReleasedEpoch {
+        core: to,
+        initiator,
+        epoch,
+    });
+    if m.cores[to.index()].role == (EpisodeState::Accepted { initiator, epoch }) {
+        t.push(ProtoAction::SetState {
+            core: to,
+            state: EpisodeState::Idle,
+        });
+        t.push(ProtoAction::MaybeJoinBarCk { core: to });
+    } else {
+        t.push(ProtoAction::Drop);
+    }
+    t
+}
+
+fn ck_start_wb(m: &Machine, to: CoreId, initiator: CoreId, epoch: u64) -> Transition {
+    if m.cores[to.index()].role == (EpisodeState::Accepted { initiator, epoch }) {
+        Transition {
+            actions: vec![
+                ProtoAction::Interrupt {
+                    core: to,
+                    cost: PROTO_HANDLE_COST,
+                },
+                ProtoAction::BeginMemberWb {
+                    core: to,
+                    kind: WbKind::Local { initiator, epoch },
+                },
+            ],
+        }
+    } else {
+        Transition::dropped()
+    }
+}
+
+fn ck_wb_done(m: &Machine, to: CoreId, from: CoreId, epoch: u64) -> Transition {
+    match &m.cores[to.index()].role {
+        EpisodeState::Initiating(st) if st.epoch == epoch && st.started => {
+            let mut st = st.clone();
+            st.wb_done.insert(from);
+            let complete = st.wb_done == st.ichk;
+            let (ichk, epoch) = (st.ichk, st.epoch);
+            let mut t = Transition::new();
+            t.push(ProtoAction::SetState {
+                core: to,
+                state: EpisodeState::Initiating(st),
+            });
+            if complete {
+                t.push(ProtoAction::CompleteLocalEpisode {
+                    initiator: to,
+                    ichk,
+                    epoch,
+                });
+            }
+            t
+        }
+        _ => Transition::dropped(),
+    }
+}
+
+fn ck_complete(m: &Machine, to: CoreId, initiator: CoreId, epoch: u64) -> Transition {
+    if m.cores[to.index()].role == (EpisodeState::Member { initiator, epoch }) {
+        Transition {
+            actions: vec![
+                ProtoAction::SetState {
+                    core: to,
+                    state: EpisodeState::Idle,
+                },
+                ProtoAction::ResumeExecution {
+                    core: to,
+                    join_barck: true,
+                },
+            ],
+        }
+    } else {
+        Transition::dropped()
+    }
+}
+
+fn busy_reply(to: CoreId, initiator: CoreId, epoch: u64) -> ProtoAction {
+    ProtoAction::Send {
+        from: to,
+        to: initiator,
+        kind: MsgKind::CkBusy,
+        msg: ProtoMsg::CkBusy { from: to, epoch },
+    }
+}
+
+fn ack_reply(to: CoreId, from: CoreId) -> ProtoAction {
+    ProtoAction::Send {
+        from: to,
+        to: from,
+        kind: MsgKind::CkAck,
+        msg: ProtoMsg::CkAck { from: to },
+    }
+}

@@ -1,0 +1,107 @@
+//! The Global / Global_DWB baseline coordinator: one interrupt fans out
+//! to every processor, all write back, one broadcast resumes them
+//! (Fig 4.1(a)/(b) at machine scale).
+
+use rebound_engine::CoreId;
+
+use crate::machine::{Machine, PROTO_HANDLE_COST};
+
+use super::{
+    CoordinationProtocol, EpisodeState, ProtoAction, ProtoError, ProtoMsg, Transition,
+    TriggerAction, WbKind,
+};
+
+/// The Global-scheme coordination protocol.
+pub struct GlobalCoordinator;
+
+impl CoordinationProtocol for GlobalCoordinator {
+    fn name(&self) -> &'static str {
+        "global-coordinator"
+    }
+
+    /// Interval gate: one machine-wide episode at a time, started by the
+    /// first idle core whose interval (or forced checkpoint) is due.
+    fn trigger(&self, m: &Machine, core: CoreId) -> Option<TriggerAction> {
+        let c = &m.cores[core.index()];
+        let due = c.force_ckpt || c.insts >= c.next_ckpt_due;
+        if !due || m.global.active || c.role != EpisodeState::Idle || c.drain.active {
+            return None;
+        }
+        Some(TriggerAction::StartGlobal)
+    }
+
+    fn on_msg(&self, m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Transition, ProtoError> {
+        match *msg {
+            ProtoMsg::GlobalStart { .. } => {
+                if !m.global.active {
+                    return Ok(Transition::dropped());
+                }
+                let Some(coordinator) = m.global.coordinator else {
+                    return Err(ProtoError::MissingCoordinator {
+                        transition: "GlobalStart",
+                        core: to,
+                    });
+                };
+                Ok(Transition {
+                    actions: vec![
+                        ProtoAction::Interrupt {
+                            core: to,
+                            cost: PROTO_HANDLE_COST,
+                        },
+                        ProtoAction::BeginMemberWb {
+                            core: to,
+                            kind: WbKind::Global { coordinator },
+                        },
+                    ],
+                })
+            }
+            ProtoMsg::GlobalWbDone { from } => {
+                if !m.global.active {
+                    return Ok(Transition::dropped());
+                }
+                let mut done = m.global.wb_done;
+                done.insert(from);
+                let mut t = Transition::new();
+                t.push(ProtoAction::GlobalAbsorbWbDone { from });
+                if done.len() == m.cores.len() {
+                    if m.global.coordinator.is_none() {
+                        return Err(ProtoError::MissingCoordinator {
+                            transition: "GlobalWbDone",
+                            core: to,
+                        });
+                    }
+                    t.push(ProtoAction::GlobalComplete);
+                }
+                Ok(t)
+            }
+            ProtoMsg::GlobalResume => Ok(resume(m, to)),
+            ref other => Err(ProtoError::UnroutedMessage {
+                core: to,
+                msg: other.name(),
+            }),
+        }
+    }
+}
+
+/// A member's resume decision — shared by the GlobalResume message path
+/// and the coordinator's local completion.
+pub(crate) fn resume(m: &Machine, core: CoreId) -> Transition {
+    if !matches!(
+        m.cores[core.index()].role,
+        EpisodeState::GlobalMember { .. }
+    ) {
+        return Transition::dropped();
+    }
+    Transition {
+        actions: vec![
+            ProtoAction::SetState {
+                core,
+                state: EpisodeState::Idle,
+            },
+            ProtoAction::ResumeExecution {
+                core,
+                join_barck: false,
+            },
+        ],
+    }
+}

@@ -1,0 +1,531 @@
+//! The checkpoint-coordination protocol kernel.
+//!
+//! Everything that *decides* how an episode advances lives here, split
+//! from the data plane that *executes* those decisions:
+//!
+//! * [`EpisodeState`] is one core's position in the coordination
+//!   protocol (its full protocol state also includes the orthogonal
+//!   background-drain flag and the deferred-BarCK flag, both owned by
+//!   the machine — a core can be `Member` of an episode while its
+//!   delayed writebacks drain, and a BarCK join can be pending in any
+//!   state).
+//! * [`ProtoMsg`] is the wire format between cores.
+//! * [`transition`] is the kernel entry point: a **total** function from
+//!   (machine observation, receiving core, message) to either a typed
+//!   [`Transition`] — an ordered list of [`ProtoAction`]s for the
+//!   executor — or a typed [`ProtoError`]. It never panics and never
+//!   mutates; [`crate::Machine`] applies the actions.
+//! * [`CoordinationProtocol`] is the pluggable protocol family:
+//!   [`DistributedTwoPhase`] (the Rebound interaction-set protocol,
+//!   §3.3.4, including the `Rebound_Cluster` truncation),
+//!   [`GlobalCoordinator`] (the Global baselines) and [`BarCkOverlay`]
+//!   (the barrier optimization, §4.2.1). A new scheme plugs in by
+//!   implementing the trait and claiming its messages.
+//!
+//! Benign protocol races — stale epochs, messages from released or
+//! aborted episodes, broadcasts crossing a completion — are *decisions*
+//! (the kernel returns a [`ProtoAction::Drop`]), not errors. A
+//! [`ProtoError`] means the machine reached a state the protocol has no
+//! rule for: it names the core, the episode epoch and the offending
+//! transition so an oracle failure is attributable from a campaign CSV
+//! row, where the old code would have tripped a `debug_assert` or
+//! panicked later with no cause attached.
+
+mod barrier;
+mod distributed;
+mod global;
+
+use std::fmt;
+
+use rebound_coherence::{CoreSet, MsgKind};
+use rebound_engine::CoreId;
+
+use crate::machine::{Machine, PROTO_HANDLE_COST};
+
+pub use barrier::BarCkOverlay;
+pub use distributed::DistributedTwoPhase;
+pub use global::GlobalCoordinator;
+
+pub(crate) use barrier::join as barck_join_transition;
+pub(crate) use distributed::initiation_targets;
+pub(crate) use global::resume as global_resume_transition;
+
+/// Checkpoint/rollback protocol messages (§3.3.4–§3.3.5, §4.1–§4.2.1).
+///
+/// Local-checkpoint messages carry the initiator's `epoch` so replies from
+/// an aborted (released and retried) episode are recognized as stale and
+/// dropped instead of corrupting the new episode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtoMsg {
+    /// CK? — join initiator's checkpoint; `from` is the consumer that asked.
+    CkReq {
+        initiator: CoreId,
+        epoch: u64,
+        from: CoreId,
+    },
+    /// Ack of a CK? back to the consumer that forwarded it.
+    CkAck { from: CoreId },
+    /// Accept to the initiator, carrying the accepter's MyProducers, the
+    /// consumer whose CK? it answered (`via`), and whether it forwarded
+    /// CK? onward — enough for the initiator to reconstruct exactly how
+    /// many replies remain outstanding even when a core is asked twice.
+    CkAccept {
+        from: CoreId,
+        via: CoreId,
+        epoch: u64,
+        producers: CoreSet,
+        forwarded: bool,
+    },
+    /// Decline to the initiator (stale info or recent checkpoint).
+    CkDecline { from: CoreId, epoch: u64 },
+    /// Busy to the initiator (already in another checkpoint).
+    CkBusy { from: CoreId, epoch: u64 },
+    /// Nack: target is draining delayed writebacks (§4.1).
+    CkNack { from: CoreId, epoch: u64 },
+    /// Initiator releases an already-accepted participant after a Busy.
+    CkRelease { initiator: CoreId, epoch: u64 },
+    /// Start writing back dirty lines.
+    CkStartWb { initiator: CoreId, epoch: u64 },
+    /// Participant's writebacks (stalled or delayed) have drained.
+    CkWbDone { from: CoreId, epoch: u64 },
+    /// Episode complete: resume / recycle.
+    CkComplete { initiator: CoreId, epoch: u64 },
+    /// Global-scheme checkpoint interrupt.
+    GlobalStart { coordinator: CoreId },
+    /// Global-scheme per-core writeback completion.
+    GlobalWbDone { from: CoreId },
+    /// Global-scheme resume broadcast.
+    GlobalResume,
+    /// Barrier-optimization proactive checkpoint signal (§4.2.1).
+    BarCk { initiator: CoreId },
+    /// Participant finished both its barrier Update and its writebacks.
+    BarCkDone { from: CoreId },
+    /// Barrier checkpoint complete; the last arrival may set the flag.
+    BarCkComplete,
+    /// Self-addressed: a stalled (NoDWB) writeback burst finished.
+    WbFlushDone,
+    /// Self-addressed: delayed-writeback setup (bit flash + Dep rotation)
+    /// finished; resume the application.
+    SetupDone,
+}
+
+impl ProtoMsg {
+    /// Short message name for diagnostics and error reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtoMsg::CkReq { .. } => "CkReq",
+            ProtoMsg::CkAck { .. } => "CkAck",
+            ProtoMsg::CkAccept { .. } => "CkAccept",
+            ProtoMsg::CkDecline { .. } => "CkDecline",
+            ProtoMsg::CkBusy { .. } => "CkBusy",
+            ProtoMsg::CkNack { .. } => "CkNack",
+            ProtoMsg::CkRelease { .. } => "CkRelease",
+            ProtoMsg::CkStartWb { .. } => "CkStartWb",
+            ProtoMsg::CkWbDone { .. } => "CkWbDone",
+            ProtoMsg::CkComplete { .. } => "CkComplete",
+            ProtoMsg::GlobalStart { .. } => "GlobalStart",
+            ProtoMsg::GlobalWbDone { .. } => "GlobalWbDone",
+            ProtoMsg::GlobalResume => "GlobalResume",
+            ProtoMsg::BarCk { .. } => "BarCk",
+            ProtoMsg::BarCkDone { .. } => "BarCkDone",
+            ProtoMsg::BarCkComplete => "BarCkComplete",
+            ProtoMsg::WbFlushDone => "WbFlushDone",
+            ProtoMsg::SetupDone => "SetupDone",
+        }
+    }
+}
+
+/// Which checkpoint flavour a writeback phase belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WbKind {
+    /// A Rebound interaction-set checkpoint.
+    Local { initiator: CoreId, epoch: u64 },
+    /// A Global-scheme checkpoint.
+    Global { coordinator: CoreId },
+    /// A barrier-optimization checkpoint (§4.2.1).
+    Barrier { initiator: CoreId },
+}
+
+/// Checkpoint-protocol position of one core.
+///
+/// Renamed from the pre-kernel `CkptRole`; the variants are the per-core
+/// states of the episode state machine. The background-drain flag
+/// ("Draining") and the deferred-join flag ("BarCkPending") are
+/// deliberately *not* variants: both genuinely compose with every state
+/// here (a `Member`'s delayed writebacks drain while it is a member; a
+/// BarCK join can be deferred from any busy state), so they live as
+/// orthogonal per-core flags and [`crate::fault::CorePhase`] projects
+/// the composite for observers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EpisodeState {
+    /// Not involved in any checkpoint.
+    Idle,
+    /// Collecting its interaction set (§3.3.4).
+    Initiating(InitState),
+    /// Accepted an initiator's CK?; waiting for StartWB.
+    Accepted { initiator: CoreId, epoch: u64 },
+    /// Writing back (stalled, NoDWB) or draining (DWB) for an episode.
+    Member { initiator: CoreId, epoch: u64 },
+    /// Participating in a Global checkpoint.
+    GlobalMember { coordinator: CoreId },
+    /// Participating in a barrier-optimization checkpoint.
+    BarMember { initiator: CoreId },
+}
+
+impl EpisodeState {
+    /// Short state name for diagnostics and error reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EpisodeState::Idle => "Idle",
+            EpisodeState::Initiating(_) => "Initiating",
+            EpisodeState::Accepted { .. } => "Accepted",
+            EpisodeState::Member { .. } => "Member",
+            EpisodeState::GlobalMember { .. } => "GlobalMember",
+            EpisodeState::BarMember { .. } => "BarMember",
+        }
+    }
+
+    /// The epoch of the episode this state belongs to, when it has one.
+    pub fn epoch(&self) -> Option<u64> {
+        match self {
+            EpisodeState::Initiating(st) => Some(st.epoch),
+            EpisodeState::Accepted { epoch, .. } | EpisodeState::Member { epoch, .. } => {
+                Some(*epoch)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Initiator-side collection state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitState {
+    /// This episode's epoch (stale-reply filtering).
+    pub epoch: u64,
+    /// Members so far (includes the initiator).
+    pub ichk: CoreSet,
+    /// Outstanding replies expected per core. A core may legitimately be
+    /// asked more than once in one episode (e.g. by the initiator's
+    /// producer expansion and by a cluster-mate's forward), and each CK?
+    /// produces exactly one reply.
+    pub expected: Vec<u8>,
+    /// Phase 2: members whose WbDone has arrived.
+    pub wb_done: CoreSet,
+    /// Whether collection finished and writebacks were started.
+    pub started: bool,
+    /// Forced by output I/O (stall the core until complete).
+    pub for_io: bool,
+}
+
+impl InitState {
+    /// Whether any reply is still outstanding.
+    pub fn awaiting(&self) -> bool {
+        self.expected.iter().any(|&c| c > 0)
+    }
+}
+
+/// Which protocol counter an action bumps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoStat {
+    /// A CK? was declined (stale producer info or released episode).
+    Decline,
+    /// A CK? was nacked by a draining target (§4.1).
+    Nack,
+}
+
+/// One executor step decided by the kernel. The machine applies actions
+/// strictly in order; every data-plane effect (cache flush, log append,
+/// event scheduling, RNG draw) happens inside the executor primitive the
+/// action names, never in the kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtoAction {
+    /// Replace `core`'s episode state.
+    SetState { core: CoreId, state: EpisodeState },
+    /// Send a protocol message over the interconnect.
+    Send {
+        from: CoreId,
+        to: CoreId,
+        kind: MsgKind,
+        msg: ProtoMsg,
+    },
+    /// Charge a protocol-interrupt handling cost to a running core.
+    Interrupt { core: CoreId, cost: u64 },
+    /// Count the incoming message as dropped (benign staleness).
+    Drop,
+    /// Bump a protocol metrics counter.
+    Count(ProtoStat),
+    /// Accelerate `core`'s in-progress background drain (post-Nack, §4.1).
+    FastDrain { core: CoreId },
+    /// Note the highest released epoch seen from `initiator` at `core`.
+    NoteReleasedEpoch {
+        core: CoreId,
+        initiator: CoreId,
+        epoch: u64,
+    },
+    /// Begin the member writeback phase of an episode at `core`.
+    BeginMemberWb { core: CoreId, kind: WbKind },
+    /// Initiator: collection finished — record metrics, order writebacks.
+    StartWritebacks { core: CoreId },
+    /// Initiator: abort collection — release members, back off, retry.
+    AbortInitiation { core: CoreId },
+    /// Initiator: every WbDone arrived — notify members, resume all.
+    CompleteLocalEpisode {
+        initiator: CoreId,
+        ichk: CoreSet,
+        epoch: u64,
+    },
+    /// Member: return to execution after its episode released/completed.
+    /// `join_barck` re-checks a deferred BarCK join (local episodes only;
+    /// the Global scheme has no barrier overlay).
+    ResumeExecution { core: CoreId, join_barck: bool },
+    /// Re-check a deferred BarCK join at `core` (post-release).
+    MaybeJoinBarCk { core: CoreId },
+    /// End a `Ckpt` block and reschedule `core` if runnable.
+    Unblock { core: CoreId },
+    /// Global scheme: record `from`'s writeback completion.
+    GlobalAbsorbWbDone { from: CoreId },
+    /// Global scheme: every member reported — broadcast the resume.
+    GlobalComplete,
+    /// BarCK: record `from`'s BarCkDone.
+    BarCkAbsorbDone { from: CoreId },
+    /// BarCK: every processor reported — broadcast BarCkComplete.
+    BarCkEpisodeComplete,
+    /// BarCK: defer the join until `core` leaves its current episode.
+    DeferBarCk { core: CoreId },
+    /// BarCK: reset `core`'s join flags ahead of its member writeback.
+    ClearBarCkJoinFlags { core: CoreId },
+    /// BarCK: clear `core`'s per-episode flags on BarCkComplete.
+    ClearBarCkMemberFlags { core: CoreId },
+    /// Release the gated barrier (the withheld flag write, §4.2.1).
+    ReleaseBarrier,
+    /// Complete `core`'s member checkpoint (stub, Dep set, notify).
+    FinalizeMemberCkpt { core: CoreId },
+}
+
+/// The kernel's verdict on one incoming message: an ordered action list
+/// for the executor.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Transition {
+    /// Actions, applied strictly in order.
+    pub actions: Vec<ProtoAction>,
+}
+
+impl Transition {
+    /// An empty transition (the message is absorbed with no effect).
+    pub fn new() -> Transition {
+        Transition::default()
+    }
+
+    /// The benign-staleness transition: count the message as dropped.
+    pub fn dropped() -> Transition {
+        Transition {
+            actions: vec![ProtoAction::Drop],
+        }
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, a: ProtoAction) {
+        self.actions.push(a);
+    }
+}
+
+/// A protocol violation: the machine observed a transition the protocol
+/// has no rule for. Surfaced through [`Machine::proto_errors`] (and the
+/// campaign CSV detail column on failing jobs) instead of a
+/// `debug_assert`/panic, so the offending core, episode epoch and
+/// transition are attributable after the fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A message reached a protocol family that has no rule for it.
+    UnroutedMessage { core: CoreId, msg: &'static str },
+    /// An episode-wide step needs a coordinator/initiator the
+    /// machine-level state no longer names.
+    MissingCoordinator {
+        /// Which transition needed it (message or primitive name).
+        transition: &'static str,
+        core: CoreId,
+    },
+    /// A resume targeted a core whose program already finished.
+    ResumedDoneCore { core: CoreId },
+    /// A drain completion fired with no active drain.
+    DrainNotActive { core: CoreId, interval: u64 },
+    /// A barrier release fired with no recorded last arrival.
+    ReleaseWithoutArrival { generation: u64 },
+    /// An executor primitive was invoked from a state that violates its
+    /// precondition (a kernel/executor mismatch).
+    BadPrimitive {
+        /// The primitive whose precondition was violated.
+        primitive: &'static str,
+        core: CoreId,
+        /// The episode state the core was actually in.
+        state: &'static str,
+        /// That state's episode epoch, when it has one.
+        epoch: Option<u64>,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::UnroutedMessage { core, msg } => {
+                write!(f, "P{}: no protocol rule for {msg}", core.index())
+            }
+            ProtoError::MissingCoordinator { transition, core } => write!(
+                f,
+                "P{}: {transition} with no coordinator/initiator recorded",
+                core.index()
+            ),
+            ProtoError::ResumedDoneCore { core } => {
+                write!(f, "P{}: resume of a finished core", core.index())
+            }
+            ProtoError::DrainNotActive { core, interval } => write!(
+                f,
+                "P{}: drain completion for interval {interval} with no active drain",
+                core.index()
+            ),
+            ProtoError::ReleaseWithoutArrival { generation } => write!(
+                f,
+                "barrier release in generation {generation} with no last arrival"
+            ),
+            ProtoError::BadPrimitive {
+                primitive,
+                core,
+                state,
+                epoch,
+            } => {
+                write!(f, "P{}: {primitive} while {state}", core.index())?;
+                if let Some(e) = epoch {
+                    write!(f, " (epoch {e})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// When an interval/forced boundary should start an episode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriggerAction {
+    /// Begin collecting a local interaction set (Rebound / Cluster).
+    InitiateLocal {
+        /// Forced by output I/O: the initiator stays parked to the end.
+        for_io: bool,
+    },
+    /// Start a Global checkpoint with `core` as coordinator.
+    StartGlobal,
+}
+
+/// A pluggable coordination-protocol family.
+///
+/// Implementations are stateless: all episode state lives in the machine
+/// ([`EpisodeState`] per core plus the machine-level barrier/global
+/// blocks), and both methods are **pure observations** — they read the
+/// machine and return decisions; only the executor mutates. The
+/// contract:
+///
+/// * [`CoordinationProtocol::on_msg`] must be total over every
+///   (state, message) pair it owns: any message in any state yields
+///   either a legal action list or a typed [`ProtoError`] — never a
+///   panic, never an unreachable arm.
+/// * Actions must be self-contained: the executor applies them in order
+///   with no protocol knowledge of its own.
+/// * Benign races (stale epochs, dead-episode stragglers) are decisions
+///   ([`ProtoAction::Drop`]), not errors.
+pub trait CoordinationProtocol: Sync {
+    /// Scheme-family name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Interval-boundary decision: should `core` start an episode now?
+    fn trigger(&self, m: &Machine, core: CoreId) -> Option<TriggerAction>;
+
+    /// The transition `msg` arriving at `to` takes, as typed actions.
+    fn on_msg(&self, m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Transition, ProtoError>;
+}
+
+/// The protocol family that *initiates* episodes under `scheme`
+/// (`None`: nobody initiates; message handling is scheme-independent —
+/// see [`transition`]).
+pub fn protocol_for(scheme: crate::config::Scheme) -> Option<&'static dyn CoordinationProtocol> {
+    use crate::config::Scheme;
+    match scheme {
+        Scheme::None => None,
+        Scheme::Global { .. } => Some(&GlobalCoordinator),
+        Scheme::Rebound { .. } | Scheme::Cluster { .. } => Some(&DistributedTwoPhase),
+    }
+}
+
+/// The kernel entry point: the total transition function for one
+/// incoming message. Routes by message family — the receiving machine's
+/// scheme never changes *which* rules apply, only which episodes can
+/// exist — and never mutates; the executor applies the result.
+pub fn transition(m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Transition, ProtoError> {
+    match msg {
+        ProtoMsg::CkReq { .. }
+        | ProtoMsg::CkAck { .. }
+        | ProtoMsg::CkAccept { .. }
+        | ProtoMsg::CkDecline { .. }
+        | ProtoMsg::CkBusy { .. }
+        | ProtoMsg::CkNack { .. }
+        | ProtoMsg::CkRelease { .. }
+        | ProtoMsg::CkStartWb { .. }
+        | ProtoMsg::CkWbDone { .. }
+        | ProtoMsg::CkComplete { .. } => DistributedTwoPhase.on_msg(m, to, msg),
+        ProtoMsg::GlobalStart { .. } | ProtoMsg::GlobalWbDone { .. } | ProtoMsg::GlobalResume => {
+            GlobalCoordinator.on_msg(m, to, msg)
+        }
+        ProtoMsg::BarCk { .. } | ProtoMsg::BarCkDone { .. } | ProtoMsg::BarCkComplete => {
+            BarCkOverlay.on_msg(m, to, msg)
+        }
+        ProtoMsg::WbFlushDone | ProtoMsg::SetupDone => writeback_transition(m, to, msg),
+    }
+}
+
+/// Transitions of the member-writeback machinery shared by every
+/// episode flavour (self-addressed completion signals).
+fn writeback_transition(m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Transition, ProtoError> {
+    let mut t = Transition::new();
+    match msg {
+        // A stalled (NoDWB) writeback burst completed.
+        ProtoMsg::WbFlushDone => match &m.cores[to.index()].role {
+            EpisodeState::Member { .. } | EpisodeState::GlobalMember { .. } => {
+                t.push(ProtoAction::FinalizeMemberCkpt { core: to });
+            }
+            EpisodeState::Initiating(st) if st.started => {
+                t.push(ProtoAction::FinalizeMemberCkpt { core: to });
+            }
+            _ => return Ok(Transition::dropped()),
+        },
+        // Delayed-writeback setup finished; resume the application
+        // (unless the checkpoint precedes an output I/O, in which case
+        // the initiator stays parked until completion).
+        ProtoMsg::SetupDone => {
+            let keep_parked = matches!(
+                &m.cores[to.index()].role,
+                EpisodeState::Initiating(st) if st.for_io
+            );
+            if !keep_parked
+                && m.cores[to.index()].run
+                    == crate::machine::RunState::Blocked(crate::machine::Block::Ckpt)
+            {
+                t.push(ProtoAction::Unblock { core: to });
+            }
+        }
+        other => {
+            return Err(ProtoError::UnroutedMessage {
+                core: to,
+                msg: other.name(),
+            })
+        }
+    }
+    Ok(t)
+}
+
+/// Shared helper: the half-cost Ack handshake transition.
+pub(crate) fn ack_transition(to: CoreId) -> Transition {
+    Transition {
+        actions: vec![ProtoAction::Interrupt {
+            core: to,
+            cost: PROTO_HANDLE_COST / 2,
+        }],
+    }
+}

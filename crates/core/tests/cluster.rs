@@ -199,3 +199,184 @@ fn done_core_conscripted_into_cluster_checkpoint_terminates_cleanly() {
     // exactly its two stores, not a re-executed program.
     assert_eq!(m.core_insts(CoreId(1)), 2);
 }
+
+// ======================================================================
+// Rebound_Cluster{k}: the scheme-level static cluster (interaction sets
+// truncated at cluster boundaries; the cluster checkpoints as one unit)
+// ======================================================================
+
+fn cluster_scheme_cfg(n: usize) -> MachineConfig {
+    let mut c = MachineConfig::small(n);
+    c.scheme = Scheme::REBOUND_CLUSTER; // k = 4, DWB
+    c.ckpt_interval_insts = 1_000_000;
+    c.detect_latency = 200;
+    c
+}
+
+#[test]
+fn cluster_scheme_checkpoints_the_static_cluster_as_a_unit() {
+    // P1 checkpoints with no data dependences: its static cluster
+    // {P0..P3} checkpoints with it, the other cluster is untouched.
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| {
+            if i == 1 {
+                CoreProgram::script([Op::Store(line(1)), Op::CheckpointHint, Op::Compute(20_000)])
+            } else {
+                CoreProgram::script([Op::Compute(20_000)])
+            }
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cluster_scheme_cfg(8), programs);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1);
+    assert!((r.metrics.ichk_sizes.mean() - 4.0).abs() < 1e-9);
+    for c in 0..4 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 1, "cluster mate {c}");
+    }
+    for c in 4..8 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 0, "other cluster {c}");
+    }
+}
+
+#[test]
+fn cluster_scheme_truncates_the_interaction_set_at_the_boundary() {
+    // P5 consumes data produced by P0. Under plain Rebound, P5's
+    // checkpoint would chase the producer edge and pull in P0 (see
+    // `cross_cluster_dependence_pulls_both_clusters` above for the
+    // dep-granularity analogue); under Rebound_Cluster the set is
+    // truncated at the boundary — only P5's own cluster checkpoints.
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| match i {
+            0 => CoreProgram::script([Op::Store(line(1)), Op::Compute(30_000)]),
+            5 => CoreProgram::script([
+                Op::Compute(3_000),
+                Op::Load(line(1)),
+                Op::CheckpointHint,
+                Op::Compute(20_000),
+            ]),
+            _ => CoreProgram::script([Op::Compute(30_000)]),
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cluster_scheme_cfg(8), programs);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1);
+    assert!(
+        (r.metrics.ichk_sizes.mean() - 4.0).abs() < 1e-9,
+        "interaction set must stop at the cluster boundary, got {}",
+        r.metrics.ichk_sizes.mean()
+    );
+    for c in 4..8 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 1, "initiator's cluster {c}");
+    }
+    for c in 0..4 {
+        assert_eq!(m.checkpoints_of(CoreId(c)), 0, "producer's cluster {c}");
+    }
+}
+
+#[test]
+fn cluster_scheme_rolls_back_cross_cluster_consumers() {
+    // Truncation never weakens recovery: P5 consumed P0's data, so a
+    // fault at P0 must roll back P0's cluster *and* — through the
+    // recorded consumer edge — P5's cluster.
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| match i {
+            0 => CoreProgram::script([Op::Store(line(1)), Op::Compute(60_000)]),
+            5 => CoreProgram::script([Op::Compute(3_000), Op::Load(line(1)), Op::Compute(60_000)]),
+            _ => CoreProgram::script([Op::Compute(60_000)]),
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cluster_scheme_cfg(8), programs);
+    m.schedule_fault_detection(CoreId(0), Cycle(20_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!(
+        (r.metrics.irec_sizes.mean() - 8.0).abs() < 1e-9,
+        "consumer closure must cross the cluster boundary, got {}",
+        r.metrics.irec_sizes.mean()
+    );
+}
+
+#[test]
+fn cluster_scheme_rollback_of_an_independent_cluster_stays_local() {
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| match i {
+            0 => CoreProgram::script([Op::Store(line(1)), Op::Compute(60_000)]),
+            _ => CoreProgram::script([Op::Compute(60_000)]),
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cluster_scheme_cfg(8), programs);
+    m.schedule_fault_detection(CoreId(0), Cycle(20_000));
+    let r = m.run_to_completion();
+    assert_eq!(r.rollbacks, 1);
+    assert!(
+        (r.metrics.irec_sizes.mean() - 4.0).abs() < 1e-9,
+        "only the faulty cluster rolls back, got {}",
+        r.metrics.irec_sizes.mean()
+    );
+}
+
+#[test]
+fn cluster_scheme_recovers_to_fault_free_state() {
+    let mk = || {
+        let programs: Vec<CoreProgram> = (0..8)
+            .map(|i| {
+                CoreProgram::script([
+                    Op::Store(line(10 + i)),
+                    Op::Compute(5_000),
+                    Op::CheckpointHint,
+                    Op::Store(line(20 + i)),
+                    Op::Compute(40_000),
+                ])
+            })
+            .collect();
+        Machine::with_programs(&cluster_scheme_cfg(8), programs)
+    };
+    let mut clean = mk();
+    clean.run_to_completion();
+    let mut faulty = mk();
+    faulty.schedule_fault_detection(CoreId(3), Cycle(25_000));
+    let r = faulty.run_to_completion();
+    assert!(r.rollbacks >= 1);
+    assert!(
+        faulty.proto_errors().is_empty(),
+        "{}",
+        faulty.proto_error_summary()
+    );
+    for i in 0..32 {
+        let l = line(i).line(Default::default());
+        assert_eq!(
+            clean.effective_line_value(l),
+            faulty.effective_line_value(l),
+            "line {i}"
+        );
+    }
+}
+
+#[test]
+fn cluster_scheme_collection_traffic_never_leaves_the_cluster() {
+    // Every CK?/Accept/StartWB/WbDone/Complete of a cluster episode stays
+    // inside the 4-core cluster: with one episode in an 8-core machine,
+    // the per-episode protocol message count is bounded by the
+    // cluster-local handshake (3 mates x the 5-message exchange), far
+    // below what a machine-wide episode would cost.
+    let programs: Vec<CoreProgram> = (0..8)
+        .map(|i| {
+            if i == 1 {
+                CoreProgram::script([Op::CheckpointHint, Op::Compute(20_000)])
+            } else {
+                CoreProgram::script([Op::Compute(20_000)])
+            }
+        })
+        .collect();
+    let mut m = Machine::with_programs(&cluster_scheme_cfg(8), programs);
+    let r = m.run_to_completion();
+    assert_eq!(r.checkpoints, 1);
+    // Exactly the cluster-local handshake: 3 remote mates × (CkReq +
+    // CkAck + CkAccept + CkStartWb + CkWbDone + CkComplete) = 18
+    // protocol messages; nothing addressed outside the cluster.
+    assert_eq!(
+        m.msg_stats().protocol.get(),
+        18,
+        "cluster episode traffic must be the 3-mate handshake only"
+    );
+}

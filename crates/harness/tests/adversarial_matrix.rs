@@ -7,10 +7,15 @@
 use rebound_harness::{default_jobs, run_campaign, CampaignSpec, OracleVerdict};
 
 #[test]
-#[ignore = "runs half the adversarial matrix (126 oracle-checked jobs); minutes"]
+#[ignore = "runs half the adversarial matrix (144 oracle-checked jobs); minutes"]
 fn adversarial_matrix_smoke_recovers_everywhere() {
     let mut spec = CampaignSpec::adversarial();
-    spec.seeds.truncate(1); // small seed count; the CLI runs the full matrix
+    // One seed keeps the smoke fast (the CLI runs the full matrix); it
+    // must be seed 2 — at seed 1 the mid-initiate window (an initiator
+    // with replies still outstanding at an event boundary) happens never
+    // to open on any scheme, so the family-coverage assertion below
+    // would fail vacuously.
+    spec.seeds = vec![2];
     let result = run_campaign(&spec, default_jobs());
     assert!(
         result.failures().is_empty(),

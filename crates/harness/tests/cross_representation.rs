@@ -15,11 +15,22 @@
 use rebound_core::Scheme;
 use rebound_harness::{run_jobs, CampaignSpec, FaultPlan, RunScale};
 
-/// The equivalence matrix: every scheme, a barrier-heavy app (Ocean) and
-/// a neighbour-sharing app (LU-C), two seeds, fault-free, tiny scale.
+/// The equivalence matrix: the 7 schemes the golden snapshot was
+/// captured with (pinned explicitly — the snapshot predates
+/// `Rebound_Cluster`, so it must not grow rows when `Scheme::ALL`
+/// does), a barrier-heavy app (Ocean) and a neighbour-sharing app
+/// (LU-C), two seeds, fault-free, tiny scale.
 fn spec() -> CampaignSpec {
     CampaignSpec {
-        schemes: Scheme::ALL.to_vec(),
+        schemes: vec![
+            Scheme::None,
+            Scheme::GLOBAL,
+            Scheme::GLOBAL_DWB,
+            Scheme::REBOUND,
+            Scheme::REBOUND_NODWB,
+            Scheme::REBOUND_BARR,
+            Scheme::REBOUND_NODWB_BARR,
+        ],
         apps: vec!["Ocean".to_string(), "LU-C".to_string()],
         core_counts: vec![4],
         seeds: vec![11, 12],

@@ -8,7 +8,7 @@
 use rebound_harness::{default_jobs, run_campaign, CampaignSpec, OracleVerdict};
 
 #[test]
-#[ignore = "runs the 256-core scale matrix (28 jobs, oracle-checked); ~1 min in release"]
+#[ignore = "runs the 256-core scale matrix (32 jobs, oracle-checked); ~1 min in release"]
 fn scale_matrix_recovers_at_256_cores() {
     let spec = CampaignSpec::scale();
     assert_eq!(spec.core_counts, vec![256]);

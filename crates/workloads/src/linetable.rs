@@ -2,7 +2,8 @@
 //! address space.
 //!
 //! Every address the workload layer can construct comes out of one of
-//! [`AddressLayout`]'s constructors, whose index spaces are bounded by
+//! [`AddressLayout`](crate::AddressLayout)'s constructors, whose index
+//! spaces are bounded by
 //! the machine's core count and the application profile's footprints
 //! (`private_lines`, `slice_lines`, the global pool, lock ids, the three
 //! barrier words). That makes the touched line universe *statically

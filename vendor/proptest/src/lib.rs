@@ -10,7 +10,7 @@
 //! - the [`Strategy`](strategy::Strategy) trait with `prop_map`,
 //! - range strategies (`0usize..32`, `1u64..=8`, `0.0f64..1.0`),
 //!   tuple strategies, [`Just`](strategy::Just),
-//!   [`any::<T>()`](arbitrary::any) and [`bool::ANY`](bool::ANY),
+//!   [`any::<T>()`](arbitrary::any) and [`ANY`](bool::ANY),
 //! - [`collection::vec`], [`collection::btree_set`] and
 //!   [`collection::btree_map`].
 //!
