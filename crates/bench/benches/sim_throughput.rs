@@ -4,9 +4,9 @@
 //! hot data-plane paths (Global: no dependence tracking; Rebound: LW-ID
 //! plus WSIG and Dep registers; Rebound_Barr: barrier episodes on top;
 //! Rebound_Cluster4: cluster-truncated collection over the same
-//! tracking plane) crossed with Ocean/FFT and 16/64/256 cores — the
-//! 256-core cells are the paper-scale regime the dense `LineId` data
-//! plane exists for.
+//! tracking plane) crossed with Ocean/FFT and 16/64/256/1024 cores —
+//! the 256- and 1024-core cells are the paper-scale regime the dense
+//! `LineId` data plane exists for.
 //!
 //! Reported as time per full run; each cell also sets
 //! `Throughput::Elements(committed instructions)` so the harness prints
@@ -16,8 +16,9 @@
 //! Baseline: `BENCH_sim.json` at the repo root, regenerated from the
 //! repo root with `CRITERION_JSON=$PWD/BENCH_sim.json cargo bench -p
 //! rebound-bench --bench sim_throughput`. Knobs: `SIM_BENCH_CORES`
-//! (comma-separated core counts, default `16,64,256`) and
-//! `SIM_BENCH_QUICK=1` (CI smoke: `16,64` cores only).
+//! (comma-separated core counts, default `16,64,256,1024`) and
+//! `SIM_BENCH_QUICK=1` (CI smoke: `16,64` cores for every scheme × app,
+//! plus a single 1024-core Rebound/Ocean cell as the scale tripwire).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
@@ -52,20 +53,10 @@ fn run(mut m: Machine) -> (u64, u64) {
     (m.report().insts, events)
 }
 
-fn core_counts() -> Vec<usize> {
-    // Quick mode skips only the heavy 256-core cells, so every measured
-    // cell still has a committed baseline for `bench_guard` to check.
-    let spec = if std::env::var("SIM_BENCH_QUICK").is_ok() {
-        "16,64".to_string()
-    } else {
-        std::env::var("SIM_BENCH_CORES").unwrap_or_else(|_| "16,64,256".to_string())
-    };
-    spec.split(',')
-        .filter_map(|s| s.trim().parse().ok())
-        .collect()
-}
-
-fn bench_sim_throughput(c: &mut Criterion) {
+/// The measured `(scheme, app, cores)` cells. Quick mode keeps every
+/// scheme × app at the light core counts plus a single 1024-core scale
+/// tripwire, so CI's `bench_guard` still watches the widest machine.
+fn cells() -> Vec<(Scheme, &'static str, usize)> {
     let schemes = [
         Scheme::GLOBAL,
         Scheme::REBOUND,
@@ -73,27 +64,52 @@ fn bench_sim_throughput(c: &mut Criterion) {
         Scheme::REBOUND_CLUSTER,
     ];
     let apps = ["Ocean", "FFT"];
-    let mut g = c.benchmark_group("sim");
-    for &cores in &core_counts() {
+    let quick = std::env::var("SIM_BENCH_QUICK").is_ok();
+    let spec = if quick {
+        "16,64".to_string()
+    } else {
+        std::env::var("SIM_BENCH_CORES").unwrap_or_else(|_| "16,64,256,1024".to_string())
+    };
+    let core_counts: Vec<usize> = spec
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let mut out = Vec::new();
+    for &cores in &core_counts {
         for scheme in schemes {
             for app in apps {
-                // One untimed run pins the cell's deterministic work so
-                // the throughput line is in committed-insts/sec.
-                let (insts, events) = run(build(scheme, app, cores));
-                println!(
-                    "# sim/{}/{app}/{cores}c: {insts} insts, {events} events",
-                    scheme.label()
-                );
-                g.throughput(Throughput::Elements(insts));
-                g.bench_function(format!("{}/{app}/{cores}c", scheme.label()), |b| {
-                    b.iter_batched(
-                        || build(scheme, app, cores),
-                        |m| black_box(run(m)),
-                        BatchSize::SmallInput,
-                    );
-                });
+                out.push((scheme, app, cores));
             }
         }
+    }
+    if quick {
+        out.push((Scheme::REBOUND, "Ocean", 1024));
+    }
+    out
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    for (scheme, app, cores) in cells() {
+        // The paper-scale cells run whole seconds per iteration; the
+        // minimum sample count keeps a full-matrix regeneration in
+        // minutes while the guard's 30% median tripwire stays valid.
+        g.sample_size(if cores >= 256 { 10 } else { 20 });
+        // One untimed run pins the cell's deterministic work so
+        // the throughput line is in committed-insts/sec.
+        let (insts, events) = run(build(scheme, app, cores));
+        println!(
+            "# sim/{}/{app}/{cores}c: {insts} insts, {events} events",
+            scheme.label()
+        );
+        g.throughput(Throughput::Elements(insts));
+        g.bench_function(format!("{}/{app}/{cores}c", scheme.label()), |b| {
+            b.iter_batched(
+                || build(scheme, app, cores),
+                |m| black_box(run(m)),
+                BatchSize::SmallInput,
+            );
+        });
     }
     g.finish();
 }

@@ -5,16 +5,16 @@ use std::ops::{BitAnd, BitOr, BitOrAssign};
 
 use rebound_engine::CoreId;
 
-/// Words backing a [`CoreSet`]; 4 × 64 bits = 256 processors.
-const WORDS: usize = 4;
+/// Words backing a [`CoreSet`]; 16 × 64 bits = 1024 processors.
+const WORDS: usize = 16;
 
-/// A set of processors, stored as a fixed 256-bit mask.
+/// A set of processors, stored as a fixed 1024-bit mask.
 ///
 /// The paper's `MyProducers` and `MyConsumers` Dep registers "have as many
 /// bits as processors in the chip" (§3.3.1). The paper evaluates up to 64
 /// cores; the scale campaigns and throughput benches push the same machine
-/// model to 256, so the mask is four words — still a plain `Copy` register
-/// image, exactly the hardware structure being modelled.
+/// model to 1024, so the mask is sixteen words — still a plain `Copy`
+/// register image, exactly the hardware structure being modelled.
 ///
 /// # Example
 ///
@@ -52,7 +52,7 @@ impl CoreSet {
     ///
     /// # Panics
     ///
-    /// Panics if `n > 256`.
+    /// Panics if `n > 1024`.
     pub fn all(n: usize) -> CoreSet {
         assert!(n <= Self::MAX_CORES, "at most {} cores", Self::MAX_CORES);
         let mut words = [0u64; WORDS];
@@ -71,7 +71,7 @@ impl CoreSet {
     ///
     /// # Panics
     ///
-    /// Panics if the core index is 256 or greater.
+    /// Panics if the core index is 1024 or greater.
     #[inline]
     pub fn insert(&mut self, core: CoreId) -> bool {
         assert!(core.index() < Self::MAX_CORES);
@@ -302,12 +302,15 @@ mod tests {
         assert_eq!(CoreSet::all(65).len(), 65);
         assert_eq!(CoreSet::all(256).len(), 256);
         assert!(CoreSet::all(256).contains(CoreId(255)));
+        assert_eq!(CoreSet::all(1024).len(), 1024);
+        assert!(CoreSet::all(1024).contains(CoreId(1023)));
+        assert!(CoreSet::all(257).contains(CoreId(256)));
     }
 
     #[test]
     #[should_panic(expected = "at most")]
     fn all_rejects_too_many() {
-        CoreSet::all(257);
+        CoreSet::all(1025);
     }
 
     #[test]

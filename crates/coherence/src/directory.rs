@@ -80,6 +80,16 @@ impl Directory {
         Directory::default()
     }
 
+    /// Creates an empty directory pre-sized for `lines` dense line ids, so
+    /// first-touch entry creation never reallocates mid-run.
+    pub fn with_capacity(lines: usize) -> Directory {
+        Directory {
+            entries: Vec::with_capacity(lines),
+            present: Vec::with_capacity(lines.div_ceil(64)),
+            touched: 0,
+        }
+    }
+
     #[inline]
     fn is_present(&self, id: LineId) -> bool {
         self.present

@@ -13,7 +13,7 @@ fn to_btree(s: CoreSet) -> BTreeSet<usize> {
 proptest! {
     #[test]
     fn insert_remove_matches_reference(
-        ops in proptest::collection::vec((any::<bool>(), 0usize..64), 0..200),
+        ops in proptest::collection::vec((any::<bool>(), 0usize..1024), 0..200),
     ) {
         let mut cs = CoreSet::new();
         let mut rf: BTreeSet<usize> = BTreeSet::new();
@@ -30,8 +30,8 @@ proptest! {
 
     #[test]
     fn algebra_matches_reference(
-        a in proptest::collection::btree_set(0usize..64, 0..64),
-        b in proptest::collection::btree_set(0usize..64, 0..64),
+        a in proptest::collection::btree_set(0usize..1024, 0..64),
+        b in proptest::collection::btree_set(0usize..1024, 0..64),
     ) {
         let ca: CoreSet = a.iter().map(|&i| CoreId(i)).collect();
         let cb: CoreSet = b.iter().map(|&i| CoreId(i)).collect();
@@ -52,12 +52,40 @@ proptest! {
 
     #[test]
     fn iteration_is_sorted_and_complete(
-        ids in proptest::collection::btree_set(0usize..64, 0..64),
+        ids in proptest::collection::btree_set(0usize..1024, 0..64),
     ) {
         let cs: CoreSet = ids.iter().map(|&i| CoreId(i)).collect();
         let got: Vec<usize> = cs.iter().map(|c| c.index()).collect();
         let want: Vec<usize> = ids.into_iter().collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// The widened 1024-bit mask at its word and legacy-capacity boundaries:
+    /// random subsets always including the edge indices 0, 255, 256 (first
+    /// index past the old 256-core limit) and 1023 (last representable).
+    #[test]
+    fn widened_boundaries_behave_like_interior(
+        extra in proptest::collection::btree_set(0usize..1024, 0..32),
+    ) {
+        let mut ids = extra;
+        for edge in [0usize, 255, 256, 1023] {
+            ids.insert(edge);
+        }
+        let cs: CoreSet = ids.iter().map(|&i| CoreId(i)).collect();
+        prop_assert_eq!(cs.len(), ids.len());
+        for edge in [0usize, 255, 256, 1023] {
+            prop_assert!(cs.contains(CoreId(edge)));
+        }
+        prop_assert!(cs.is_subset(CoreSet::all(1024)));
+        let roundtrip: BTreeSet<usize> = to_btree(cs);
+        prop_assert_eq!(&roundtrip, &ids);
+        // Removing the edges behaves exactly like the reference set.
+        let mut cs2 = cs;
+        let mut rf = ids;
+        for edge in [0usize, 255, 256, 1023] {
+            prop_assert_eq!(cs2.remove(CoreId(edge)), rf.remove(&edge));
+        }
+        prop_assert_eq!(to_btree(cs2), rf);
     }
 
     #[test]

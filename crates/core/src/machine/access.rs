@@ -349,18 +349,20 @@ impl Machine {
         let entry = self.dir.entry(id);
 
         // Invalidate all other sharers (in parallel; one round trip).
-        let inval_targets: Vec<CoreId> = entry.sharers.iter().filter(|&s| s != writer).collect();
-        if !inval_targets.is_empty() {
-            let mut worst = 0;
-            for s in &inval_targets {
-                self.msgs.record(MsgKind::Inval);
-                self.msgs.record(MsgKind::InvAck);
-                self.cores[s.index()].l1.invalidate(line);
-                self.cores[s.index()].l2.invalidate(line);
-                worst = worst.max(self.net.round_trip(home, *s));
+        // `entry` is a by-value copy, so the sharer walk can mutate the
+        // cores directly — no intermediate collection needed.
+        let mut worst = 0;
+        for s in entry.sharers.iter() {
+            if s == writer {
+                continue;
             }
-            lat += worst;
+            self.msgs.record(MsgKind::Inval);
+            self.msgs.record(MsgKind::InvAck);
+            self.cores[s.index()].l1.invalidate(line);
+            self.cores[s.index()].l2.invalidate(line);
+            worst = worst.max(self.net.round_trip(home, s));
         }
+        lat += worst;
 
         let old_owner = entry.owner.filter(|&o| o != writer);
         let mut fetched = upgrade;

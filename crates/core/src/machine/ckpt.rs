@@ -191,6 +191,14 @@ impl Machine {
         self.cores[idx].role = EpisodeState::Initiating(st);
         self.block_ckpt(core, OverheadKind::Sync);
         if empty {
+            // An empty target set completes collection synchronously, so
+            // the Collecting window opens and closes inside this one
+            // event — invisible to the per-event boundary poll. Give
+            // armed phase triggers the window explicitly before it
+            // closes; a no-op unless a matching fault is armed.
+            if !self.pending_faults.is_empty() {
+                self.poll_pending_faults();
+            }
             self.start_writebacks(core);
         } else {
             for p in targets.iter() {

@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 
 use rebound_coherence::{CoreSet, Directory, Interconnect, MsgStats};
 use rebound_engine::{CoreId, Cycle, DetRng, EventQueue, LineAddr, LineGeometry};
+
 use rebound_mem::{L1Line, L2Line, MainMemory, MemoryController, SetAssoc, UndoLog};
 use rebound_workloads::{AppProfile, LineTable, Op, OpStream};
 
@@ -311,6 +312,9 @@ pub struct Machine {
     /// Protocol violations observed so far (typed diagnostics; see
     /// [`Machine::proto_errors`]).
     pub(crate) proto_errors: Vec<ProtoError>,
+    /// Violations dropped once the diagnostic buffer filled; the count
+    /// keeps the truncation visible in failure reports.
+    pub(crate) proto_errors_dropped: u64,
     /// Armed phase/condition faults, polled after every event.
     pub(crate) pending_faults: Vec<PendingFault>,
     /// Every fault detection that actually happened, in detection order.
@@ -424,14 +428,11 @@ impl Machine {
             cfg: cfg.clone(),
             geom,
             now: Cycle::ZERO,
-            // Steady state holds a few events per core (its Step plus
-            // in-flight protocol messages); checkpoint broadcasts burst to
-            // a few multiples of that.
-            queue: EventQueue::with_capacity(8 * cfg.cores + 64),
+            queue: EventQueue::with_capacity(cfg.event_capacity()),
+            dir: Directory::with_capacity(lines.dense_slots()),
+            memory: MainMemory::with_capacity(lines.dense_slots()),
             cores,
             lines,
-            dir: Directory::new(),
-            memory: MainMemory::new(),
             mem_ctl: MemoryController::new(cfg.mem_channels, cfg.mem_timing),
             log,
             net: Interconnect::new(cfg.net),
@@ -445,6 +446,7 @@ impl Machine {
             dropped_msgs: 0,
             tracking_enabled: true,
             proto_errors: Vec::new(),
+            proto_errors_dropped: 0,
             pending_faults: Vec::new(),
             fired_faults: Vec::new(),
             rollback_cores: CoreSet::new(),
@@ -721,28 +723,45 @@ impl Machine {
     /// name the core, episode epoch and transition that went wrong.
     pub(crate) fn note_proto_error(&mut self, e: ProtoError) {
         // Bounded: a pathological livelock must not turn the diagnostic
-        // buffer into the machine's largest allocation.
+        // buffer into the machine's largest allocation. Overflow is
+        // counted, never silent — the summary reports how many typed
+        // diagnoses the bound discarded.
         if self.proto_errors.len() < 64 {
             self.proto_errors.push(e);
+        } else {
+            self.proto_errors_dropped += 1;
         }
     }
 
     /// Every protocol violation observed so far, in detection order.
     /// Empty on a healthy run: benign protocol races (stale epochs,
     /// dead-episode stragglers) are counted as dropped messages, not
-    /// errors.
+    /// errors. The buffer is bounded at 64 entries;
+    /// [`Machine::proto_errors_dropped`] counts any overflow.
     pub fn proto_errors(&self) -> &[ProtoError] {
         &self.proto_errors
     }
 
+    /// Violations discarded after the diagnostic buffer filled.
+    pub fn proto_errors_dropped(&self) -> u64 {
+        self.proto_errors_dropped
+    }
+
     /// One-line rendering of [`Machine::proto_errors`] for failure
-    /// reports (empty string when there are none).
+    /// reports (empty string when there are none), including how many
+    /// further violations the bounded buffer discarded.
     pub fn proto_error_summary(&self) -> String {
-        self.proto_errors
+        let mut s = self
+            .proto_errors
             .iter()
             .map(|e| e.to_string())
             .collect::<Vec<_>>()
-            .join("; ")
+            .join("; ");
+        if self.proto_errors_dropped > 0 {
+            use std::fmt::Write as _;
+            let _ = write!(s, " (+{} more dropped)", self.proto_errors_dropped);
+        }
+        s
     }
 
     /// The pure kernel transition `msg` would take at `to` right now —
@@ -1369,5 +1388,21 @@ mod tests {
     #[should_panic(expected = "one program per core")]
     fn program_count_must_match() {
         Machine::with_programs(&cfg(2), vec![CoreProgram::script([])]);
+    }
+
+    #[test]
+    fn proto_error_overflow_is_counted_not_silent() {
+        let programs = vec![CoreProgram::script([])];
+        let mut m = Machine::with_programs(&cfg(1), programs);
+        for _ in 0..70 {
+            m.note_proto_error(ProtoError::ResumedDoneCore { core: CoreId(0) });
+        }
+        assert_eq!(m.proto_errors().len(), 64, "buffer stays bounded");
+        assert_eq!(m.proto_errors_dropped(), 6);
+        assert!(
+            m.proto_error_summary().ends_with("(+6 more dropped)"),
+            "summary must surface the truncation: {}",
+            m.proto_error_summary()
+        );
     }
 }

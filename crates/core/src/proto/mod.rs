@@ -156,6 +156,11 @@ pub enum WbKind {
 /// BarCK join can be deferred from any busy state), so they live as
 /// orthogonal per-core flags and [`crate::fault::CorePhase`] projects
 /// the composite for observers.
+// `Initiating` carries two 1024-bit `CoreSet`s inline. The enum lives
+// in a flat per-core array (hundreds of KB at worst, off the
+// load/store path) and episode transitions are rare, so boxing would
+// trade a per-initiation allocation for nothing measurable.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum EpisodeState {
     /// Not involved in any checkpoint.

@@ -11,9 +11,7 @@
 //! optionally carries an exact shadow set alongside the bits; the protocol
 //! *decisions* always use the bloom bits, the shadow only feeds metrics.
 
-use std::collections::HashSet;
-
-use rebound_engine::LineAddr;
+use rebound_engine::{FxHashSet, LineAddr};
 
 /// A Bloom-filter write signature with an exact shadow set for
 /// false-positive accounting.
@@ -34,8 +32,23 @@ pub struct Wsig {
     bits: Vec<u64>,
     nbits: usize,
     hashes: usize,
-    exact: HashSet<LineAddr>,
+    exact: FxHashSet<LineAddr>,
     false_positive_hits: u64,
+}
+
+/// Two independent SplitMix64 finalizations of `addr`, feeding the
+/// Kirsch–Mitzenmacher double-hashing scheme `h_i = h1 + i*h2`.
+#[inline]
+fn hash_pair(addr: LineAddr) -> (u64, u64) {
+    let mut x = addr.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let h1 = x ^ (x >> 31);
+    let mut y = h1.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    y = (y ^ (y >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    y = (y ^ (y >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let h2 = (y ^ (y >> 31)) | 1;
+    (h1, h2)
 }
 
 impl Wsig {
@@ -51,32 +64,18 @@ impl Wsig {
             bits: vec![0; nbits.div_ceil(64)],
             nbits,
             hashes,
-            exact: HashSet::new(),
+            exact: FxHashSet::default(),
             false_positive_hits: 0,
         }
-    }
-
-    #[inline]
-    fn positions(&self, addr: LineAddr) -> impl Iterator<Item = usize> + '_ {
-        // Double hashing (Kirsch–Mitzenmacher): h_i = h1 + i*h2, with two
-        // full SplitMix64 finalizations so h1 and h2 are independent.
-        let mut x = addr.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let h1 = x ^ (x >> 31);
-        let mut y = h1.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        y = (y ^ (y >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        y = (y ^ (y >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let h2 = (y ^ (y >> 31)) | 1;
-        let n = self.nbits as u64;
-        (0..self.hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % n) as usize)
     }
 
     /// Records that the local processor wrote (or read-exclusively
     /// acquired) `addr` this interval.
     pub fn insert(&mut self, addr: LineAddr) {
-        let positions: Vec<usize> = self.positions(addr).collect();
-        for p in positions {
+        let (h1, h2) = hash_pair(addr);
+        let n = self.nbits as u64;
+        for i in 0..self.hashes as u64 {
+            let p = (h1.wrapping_add(i.wrapping_mul(h2)) % n) as usize;
             self.bits[p / 64] |= 1 << (p % 64);
         }
         self.exact.insert(addr);
@@ -85,9 +84,7 @@ impl Wsig {
     /// Bloom membership test — the answer the *hardware* gives. A `true`
     /// for a line not actually written is counted as a false-positive hit.
     pub fn contains(&mut self, addr: LineAddr) -> bool {
-        let hit = self
-            .positions(addr)
-            .all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0);
+        let hit = self.peek(addr);
         if hit && !self.exact.contains(&addr) {
             self.false_positive_hits += 1;
         }
@@ -95,9 +92,14 @@ impl Wsig {
     }
 
     /// Non-mutating bloom test (no false-positive accounting).
+    #[inline]
     pub fn peek(&self, addr: LineAddr) -> bool {
-        self.positions(addr)
-            .all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+        let (h1, h2) = hash_pair(addr);
+        let n = self.nbits as u64;
+        (0..self.hashes as u64).all(|i| {
+            let p = (h1.wrapping_add(i.wrapping_mul(h2)) % n) as usize;
+            self.bits[p / 64] & (1 << (p % 64)) != 0
+        })
     }
 
     /// Exact membership — the oracle used only for metrics.

@@ -5,6 +5,13 @@ use std::collections::BinaryHeap;
 
 use crate::clock::Cycle;
 
+/// Width of the near-future calendar ring, in cycles. Must be a power of
+/// two. Events within `RING` cycles of the queue's cursor go into O(1)
+/// per-cycle buckets; events further out wait in a spill heap. Nearly all
+/// simulator traffic (core steps, protocol hops, drain ticks) lands within
+/// a few hundred cycles, so the heap stays tiny.
+const RING: u64 = 4096;
+
 /// A time-ordered priority queue with FIFO tie-breaking.
 ///
 /// The whole simulated machine is driven by a single `EventQueue`: core
@@ -12,6 +19,18 @@ use crate::clock::Cycle;
 /// periodic checkpoint timers are all events. Events scheduled for the same
 /// cycle are delivered in insertion order, which makes every simulation run
 /// bit-for-bit deterministic.
+///
+/// # Implementation
+///
+/// Payloads live in a slab arena and are addressed by slot index, so they
+/// are written once on `push` and read once on `pop` — they never move
+/// while the queue reorders itself. Timing metadata is kept in a calendar:
+/// a ring of width-one-cycle buckets covering the next `RING` cycles
+/// (same-cycle events batch into one contiguous bucket and pop in FIFO
+/// order with no comparisons), plus a small binary heap for the rare event
+/// scheduled further out. Both structures order events by `(time, seq)`
+/// where `seq` is a global insertion counter, so the pop order is exactly
+/// that of a naive stable priority queue.
 ///
 /// # Example
 ///
@@ -27,94 +46,232 @@ use crate::clock::Cycle;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// Payload arena; `free` holds the indices of vacant slots.
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    /// Near-future calendar: bucket `b` holds the unique time `t` with
+    /// `t % RING == b` inside the window `[cursor, cursor + RING)`.
+    /// Entries are `(seq, slot)` in insertion (= seq) order; `head` is
+    /// the index of the next entry to pop.
+    buckets: Vec<Bucket>,
+    /// One bit per bucket: set iff the bucket has unpopped entries.
+    occupied: Vec<u64>,
+    /// Lower bound on the earliest pending time; the calendar window
+    /// starts here.
+    cursor: u64,
+    /// Pending events in the calendar ring.
+    near_len: usize,
+    /// Events at or beyond `cursor + RING`, ordered by `(time, seq)`.
+    far: BinaryHeap<Reverse<(u64, u64, u32)>>,
     seq: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Entry<T> {
-    time: Cycle,
-    seq: u64,
-    payload: T,
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    q: Vec<(u64, u32)>,
+    head: usize,
 }
 
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<T> {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-        }
+        EventQueue::with_capacity(0)
     }
 
     /// Creates an empty queue with room for `capacity` pending events
-    /// before the backing heap reallocates. The machine pre-sizes its
+    /// before the payload arena reallocates. The machine pre-sizes its
     /// queue to the steady-state event population (a few events per
     /// core), so the first checkpoint storm does not pay a reallocation
     /// cascade.
     pub fn with_capacity(capacity: usize) -> EventQueue<T> {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            buckets: (0..RING).map(|_| Bucket::default()).collect(),
+            occupied: vec![0u64; (RING as usize) / 64],
+            cursor: 0,
+            near_len: 0,
+            far: BinaryHeap::new(),
             seq: 0,
         }
     }
 
-    /// Number of events the queue can hold without reallocating.
+    /// Number of events the queue can hold without reallocating its
+    /// payload arena.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.slots.capacity()
+    }
+
+    fn alloc_slot(&mut self, payload: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(payload);
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Some(payload));
+                i
+            }
+        }
     }
 
     /// Schedules `payload` for delivery at time `at`.
     pub fn push(&mut self, at: Cycle, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry {
-            time: at,
-            seq,
-            payload,
-        }));
+        let slot = self.alloc_slot(payload);
+        let t = at.raw();
+        if t < self.cursor {
+            // Scheduling into the past (never done by the machine, but
+            // legal API): rewind the window by spilling the whole ring
+            // into the far heap, then restart the calendar at `t`.
+            self.spill_ring();
+            self.cursor = t;
+        }
+        if t < self.cursor.saturating_add(RING) {
+            let b = (t % RING) as usize;
+            if self.buckets[b].q.is_empty() {
+                self.occupied[b / 64] |= 1u64 << (b % 64);
+            }
+            self.buckets[b].q.push((seq, slot));
+            self.near_len += 1;
+        } else {
+            self.far.push(Reverse((t, seq, slot)));
+        }
+    }
+
+    /// Moves every calendar entry into the far heap (rare slow path, used
+    /// only when a push rewinds the window).
+    fn spill_ring(&mut self) {
+        if self.near_len == 0 {
+            return;
+        }
+        let start = self.cursor % RING;
+        for b in 0..RING as usize {
+            let bucket = &mut self.buckets[b];
+            if bucket.q.is_empty() {
+                continue;
+            }
+            let t = self.cursor + ((b as u64 + RING - start) % RING);
+            for &(seq, slot) in &bucket.q[bucket.head..] {
+                self.far.push(Reverse((t, seq, slot)));
+            }
+            bucket.q.clear();
+            bucket.head = 0;
+        }
+        self.occupied.iter_mut().for_each(|w| *w = 0);
+        self.near_len = 0;
+    }
+
+    /// Offset from `cursor` of the earliest nonempty calendar bucket.
+    fn next_near_offset(&self) -> Option<u64> {
+        if self.near_len == 0 {
+            return None;
+        }
+        let start = (self.cursor % RING) as usize;
+        let nwords = self.occupied.len();
+        let (w0, b0) = (start / 64, start % 64);
+        // Circular first-set-bit scan beginning at `start`: the window is
+        // exactly one ring wide, so the first occupied bucket in circular
+        // order is the earliest pending near time.
+        for k in 0..=nwords {
+            let w = (w0 + k) % nwords;
+            let mut word = self.occupied[w];
+            if k == 0 {
+                word &= !0u64 << b0;
+            } else if k == nwords {
+                word &= (1u64 << b0) - 1;
+            }
+            if word != 0 {
+                let b = w * 64 + word.trailing_zeros() as usize;
+                return Some((b as u64 + RING - start as u64) % RING);
+            }
+        }
+        unreachable!("near_len > 0 but no occupied bucket");
+    }
+
+    /// The `(time, seq, from_near)` key of the earliest pending event.
+    fn next_key(&self) -> Option<(u64, u64, bool)> {
+        let near = self.next_near_offset().map(|off| {
+            let t = self.cursor + off;
+            let b = &self.buckets[(t % RING) as usize];
+            (t, b.q[b.head].0)
+        });
+        let far = self.far.peek().map(|&Reverse((t, s, _))| (t, s));
+        match (near, far) {
+            (Some((nt, ns)), Some((ft, fs))) => {
+                if (nt, ns) <= (ft, fs) {
+                    Some((nt, ns, true))
+                } else {
+                    Some((ft, fs, false))
+                }
+            }
+            (Some((t, s)), None) => Some((t, s, true)),
+            (None, Some((t, s))) => Some((t, s, false)),
+            (None, None) => None,
+        }
+    }
+
+    fn take_slot(&mut self, slot: u32) -> T {
+        self.free.push(slot);
+        self.slots[slot as usize]
+            .take()
+            .expect("queue slot holds a payload")
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Cycle, T)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+        let (t, _, from_near) = self.next_key()?;
+        let slot = if from_near {
+            let b = (t % RING) as usize;
+            let bucket = &mut self.buckets[b];
+            let (_, slot) = bucket.q[bucket.head];
+            bucket.head += 1;
+            if bucket.head == bucket.q.len() {
+                bucket.q.clear();
+                bucket.head = 0;
+                self.occupied[b / 64] &= !(1u64 << (b % 64));
+            }
+            self.near_len -= 1;
+            slot
+        } else {
+            let Reverse((_, _, slot)) = self.far.pop().expect("far heap has the next event");
+            slot
+        };
+        // `t` is the new minimum pending time: slide the calendar window
+        // forward so pushes near `t` stay in O(1) buckets.
+        self.cursor = t;
+        Some((Cycle(t), self.take_slot(slot)))
     }
 
     /// The delivery time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.next_key().map(|(t, _, _)| Cycle(t))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.near_len + self.far.len()
     }
 
     /// Whether there are no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops every pending event.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+        for b in &mut self.buckets {
+            b.q.clear();
+            b.head = 0;
+        }
+        self.occupied.iter_mut().for_each(|w| *w = 0);
+        self.near_len = 0;
+        self.far.clear();
+        self.cursor = 0;
     }
 }
 
@@ -127,7 +284,7 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Iterates over pending payloads in arbitrary order (diagnostics).
     pub fn iter_payloads(&self) -> impl Iterator<Item = &T> {
-        self.heap.iter().map(|Reverse(e)| &e.payload)
+        self.slots.iter().filter_map(Option::as_ref)
     }
 }
 
@@ -188,5 +345,98 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycle(3), 'c')));
         assert_eq!(q.pop(), Some((Cycle(5), 'a')));
         assert_eq!(q.pop(), Some((Cycle(5), 'd')));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_ring_boundary() {
+        let mut q = EventQueue::new();
+        // Straddle the near/far boundary and a huge sentinel.
+        q.push(Cycle(RING * 3 + 17), 'f');
+        q.push(Cycle(2), 'a');
+        q.push(Cycle(RING - 1), 'n');
+        q.push(Cycle(u64::MAX), 'z');
+        assert_eq!(q.pop(), Some((Cycle(2), 'a')));
+        // After popping, the window slid to 2; RING*3+17 is still far.
+        q.push(Cycle(3), 'b');
+        assert_eq!(q.pop(), Some((Cycle(3), 'b')));
+        assert_eq!(q.pop(), Some((Cycle(RING - 1), 'n')));
+        assert_eq!(q.pop(), Some((Cycle(RING * 3 + 17), 'f')));
+        assert_eq!(q.pop(), Some((Cycle(u64::MAX), 'z')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_and_near_ties_stay_fifo() {
+        let mut q = EventQueue::new();
+        // Pushed while far (beyond the initial window)...
+        q.push(Cycle(RING + 5), 1);
+        // ...then the window slides past RING, so this same-time push
+        // lands in the ring. Insertion order must still win the tie.
+        q.push(Cycle(RING), 0);
+        assert_eq!(q.pop(), Some((Cycle(RING), 0)));
+        q.push(Cycle(RING + 5), 2);
+        assert_eq!(q.pop(), Some((Cycle(RING + 5), 1)));
+        assert_eq!(q.pop(), Some((Cycle(RING + 5), 2)));
+    }
+
+    #[test]
+    fn pushing_into_the_past_rewinds_the_window() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(100), 'a');
+        q.push(Cycle(200), 'b');
+        assert_eq!(q.pop(), Some((Cycle(100), 'a')));
+        // Queue cursor is now 100; schedule behind it.
+        q.push(Cycle(40), 'c');
+        q.push(Cycle(150), 'd');
+        assert_eq!(q.pop(), Some((Cycle(40), 'c')));
+        assert_eq!(q.pop(), Some((Cycle(150), 'd')));
+        assert_eq!(q.pop(), Some((Cycle(200), 'b')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn matches_reference_heap_on_random_schedule() {
+        // Differential check against a naive stable reference across a
+        // schedule that exercises window slides, far spills and ties.
+        use std::cmp::Reverse as Rev;
+        use std::collections::BinaryHeap;
+        let mut q = EventQueue::new();
+        let mut reference: BinaryHeap<Rev<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut now = 0u64;
+        for i in 0..20_000u32 {
+            let r = rng();
+            if r % 3 != 0 {
+                // Mostly near, sometimes same-cycle, sometimes far.
+                let dt = match r % 7 {
+                    0 => 0,
+                    1..=4 => r % 97,
+                    5 => r % (RING * 2),
+                    _ => RING * 8 + r % 1000,
+                };
+                q.push(Cycle(now + dt), i);
+                reference.push(Rev((now + dt, seq, i)));
+                seq += 1;
+            } else {
+                let got = q.pop();
+                let want = reference.pop().map(|Rev((t, _, p))| (Cycle(t), p));
+                assert_eq!(got, want, "at op {i}");
+                if let Some((t, _)) = got {
+                    now = t.raw();
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        while let Some(Rev((t, _, p))) = reference.pop() {
+            assert_eq!(q.pop(), Some((Cycle(t), p)));
+        }
+        assert_eq!(q.pop(), None);
     }
 }

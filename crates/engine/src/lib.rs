@@ -30,12 +30,14 @@
 
 pub mod clock;
 pub mod event;
+pub mod fxhash;
 pub mod ids;
 pub mod rng;
 pub mod stats;
 
 pub use clock::Cycle;
 pub use event::EventQueue;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, CoreId, LineAddr, LineGeometry, LineId, NodeId};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RunningStats};

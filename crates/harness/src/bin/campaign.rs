@@ -3,17 +3,21 @@
 //!
 //! ```text
 //! rebound-campaign [--spec acceptance|smoke|matrix|adversarial|scale] [--jobs N]
-//!                  [--filter SUBSTR] [--out FILE.csv] [--json FILE.json]
-//!                  [--no-oracle] [--list]
+//!                  [--sim-threads N] [--filter SUBSTR] [--out FILE.csv]
+//!                  [--json FILE.json] [--no-oracle] [--list]
 //! ```
 //!
 //! * `--spec` — which built-in campaign to run (default `acceptance`:
 //!   36 configurations, every faulty one checked by the differential
 //!   recovery oracle; `adversarial` is the phase-aware recovery matrix:
-//!   every trigger kind × every scheme; `scale` is the 256-core
-//!   paper-scale matrix across all schemes, oracle included).
+//!   every trigger kind × every scheme; `scale` is the paper-scale
+//!   matrix across all schemes — 256 and 1024 cores, oracle included).
 //! * `--jobs N` — worker threads (default: `REBOUND_JOBS` or all cores).
 //!   The aggregate CSV/JSON is byte-identical for any `N`.
+//! * `--sim-threads N` — simulation threads per job (default:
+//!   `REBOUND_SIM_THREADS` or 1). At 2+, an oracle-checked job runs its
+//!   golden replay concurrently with the faulty run. Like `--jobs`, the
+//!   output is byte-identical for any value.
 //! * `--filter SUBSTR` — keep only jobs whose label
 //!   (`Scheme/App/c<cores>/s<seed>/<plan>`) or fault-plan detail
 //!   contains the substring. `<plan>` is the plan's family name when it
@@ -30,12 +34,13 @@
 
 use std::process::ExitCode;
 
-use rebound_harness::{default_jobs, run_jobs, CampaignSpec};
+use rebound_harness::{default_jobs, default_sim_threads, run_jobs_with, CampaignSpec};
 
 fn usage() -> ! {
     eprintln!(
         "usage: rebound-campaign [--spec acceptance|smoke|matrix|adversarial|scale] [--jobs N] \
-         [--filter SUBSTR] [--out FILE.csv] [--json FILE.json] [--no-oracle] [--list]"
+         [--sim-threads N] [--filter SUBSTR] [--out FILE.csv] [--json FILE.json] [--no-oracle] \
+         [--list]"
     );
     std::process::exit(2);
 }
@@ -43,6 +48,7 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut spec_name = "acceptance".to_string();
     let mut jobs = default_jobs();
+    let mut sim_threads = default_sim_threads();
     let mut filter: Option<String> = None;
     let mut out: Option<String> = None;
     let mut json: Option<String> = None;
@@ -61,6 +67,12 @@ fn main() -> ExitCode {
             "--jobs" | "-j" => {
                 jobs = value(&mut i).parse().unwrap_or_else(|_| usage());
                 if jobs == 0 {
+                    usage();
+                }
+            }
+            "--sim-threads" => {
+                sim_threads = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if sim_threads == 0 {
                     usage();
                 }
             }
@@ -121,16 +133,18 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "rebound-campaign: {} jobs ({} spec{}) on {} workers",
+        "rebound-campaign: {} jobs ({} spec{}) on {} workers, {} sim thread{} per job",
         expanded.len(),
         spec_name,
         filter
             .as_ref()
             .map(|f| format!(", filter {f:?}"))
             .unwrap_or_default(),
-        jobs
+        jobs,
+        sim_threads,
+        if sim_threads == 1 { "" } else { "s" }
     );
-    let result = run_jobs(expanded, jobs);
+    let result = run_jobs_with(expanded, jobs, sim_threads);
 
     let csv = result.to_csv();
     match &out {

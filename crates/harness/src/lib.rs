@@ -44,8 +44,8 @@ pub mod spec;
 #[cfg(feature = "strategies")]
 pub mod strategies;
 
-pub use oracle::{run_job, JobOutcome, OracleVerdict};
-pub use pool::{default_jobs, parallel_map};
+pub use oracle::{run_job, run_job_with, JobOutcome, OracleVerdict};
+pub use pool::{default_jobs, default_sim_threads, parallel_map};
 pub use results::CampaignResult;
 pub use spec::{CampaignSpec, FaultPhase, FaultPlan, FaultSpec, FaultTrigger, Job, RunScale};
 
@@ -59,10 +59,18 @@ pub fn run_campaign(spec: &CampaignSpec, jobs: usize) -> CampaignResult {
 }
 
 /// Executes an explicit job list (e.g. a filtered expansion) on `jobs`
-/// workers.
+/// workers, one simulation thread per job.
 pub fn run_jobs(jobs_list: Vec<Job>, jobs: usize) -> CampaignResult {
+    run_jobs_with(jobs_list, jobs, 1)
+}
+
+/// Executes an explicit job list on `jobs` workers with up to
+/// `sim_threads` simulation threads per job (faulty run ∥ golden
+/// replay; see [`oracle::run_job_with`]). Output rows are byte-identical
+/// for any combination of `jobs` and `sim_threads`.
+pub fn run_jobs_with(jobs_list: Vec<Job>, jobs: usize, sim_threads: usize) -> CampaignResult {
     let t0 = Instant::now();
-    let outcomes = parallel_map(&jobs_list, jobs, run_job);
+    let outcomes = parallel_map(&jobs_list, jobs, |j| run_job_with(j, sim_threads));
     CampaignResult {
         outcomes,
         jobs_used: jobs.max(1),

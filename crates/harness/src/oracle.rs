@@ -252,10 +252,53 @@ fn total_stores(m: &Machine) -> u64 {
     (0..m.ncores()).map(|c| m.core_store_seq(CoreId(c))).sum()
 }
 
+/// Whether judging `job` will (barring early exits) need a golden
+/// replay: the job is faulty, the oracle is on, and the profile admits
+/// at least one golden-relative comparison. Mirrors the short-circuits
+/// in [`judge`] so speculative golden runs are never started for jobs
+/// that could not use them.
+fn golden_replay_possible(job: &Job) -> bool {
+    if job.plan.is_clean() || !job.oracle {
+        return false;
+    }
+    let profile = profile_named(&job.app).expect("expand() validated the app name");
+    profile.lock_period.is_none() || profile.deterministic_data()
+}
+
 /// Runs one job and, for faulty oracle-enabled jobs, the differential
 /// recovery oracle against a fault-free golden twin.
+///
+/// Equivalent to [`run_job_with`] at one simulation thread.
 pub fn run_job(job: &Job) -> JobOutcome {
-    let (faulty, end, fired) = execute(job, true);
+    run_job_with(job, 1)
+}
+
+/// Runs one job using up to `sim_threads` simulation threads.
+///
+/// Each machine run is a strictly sequential discrete-event simulation —
+/// `Machine::access` synchronously mutates the shared directory, memory
+/// image and other cores' caches with zero lookahead, so there is no
+/// sound intra-machine partitioning that preserves bit-identical event
+/// order. What *is* independent is the pair of runs inside an
+/// oracle-checked job: the faulty run and its fault-free golden twin
+/// share nothing but the immutable job description. With
+/// `sim_threads >= 2` the golden replay runs concurrently with the
+/// faulty run; the verdict logic is unchanged and each run is
+/// individually deterministic, so every reported field is byte-identical
+/// for any `sim_threads` value.
+pub fn run_job_with(job: &Job, sim_threads: usize) -> JobOutcome {
+    let overlap = sim_threads >= 2 && golden_replay_possible(job);
+    let ((faulty, end, fired), pre_golden) = if overlap {
+        std::thread::scope(|s| {
+            let g = s.spawn(|| execute(job, false));
+            let f = execute(job, true);
+            // `execute` converts machine panics into `ExecEnd::Panicked`,
+            // so the join only fails on harness bugs.
+            (f, Some(g.join().expect("golden replay thread panicked")))
+        })
+    } else {
+        (execute(job, true), None)
+    };
     let report = faulty.report();
 
     let stuck = |verdict: OracleVerdict, checks: &str| JobOutcome {
@@ -304,7 +347,7 @@ pub fn run_job(job: &Job) -> JobOutcome {
         };
     }
 
-    let (verdict, golden, checks) = judge(job, &faulty, &report);
+    let (verdict, golden, checks) = judge(job, &faulty, &report, pre_golden);
     JobOutcome {
         job: job.clone(),
         report,
@@ -316,11 +359,14 @@ pub fn run_job(job: &Job) -> JobOutcome {
 }
 
 /// The oracle proper: compares a finished faulty machine against its
-/// fault-free golden twin.
+/// fault-free golden twin. `pre_golden` is a golden replay already
+/// computed concurrently with the faulty run (if absent, the replay runs
+/// lazily here, only once the early exits are past).
 fn judge(
     job: &Job,
     faulty: &Machine,
     report: &RunReport,
+    pre_golden: Option<(Machine, ExecEnd, String)>,
 ) -> (OracleVerdict, Option<RunReport>, String) {
     let mut checks: Vec<&'static str> = vec!["termination"];
 
@@ -354,7 +400,7 @@ fn judge(
         return (OracleVerdict::Pass, None, checks.join("+"));
     }
 
-    let (golden, golden_end, _) = execute(job, false);
+    let (golden, golden_end, _) = pre_golden.unwrap_or_else(|| execute(job, false));
     if golden_end != ExecEnd::Finished {
         return (
             OracleVerdict::Fail(format!("golden run stuck: {golden_end:?}")),

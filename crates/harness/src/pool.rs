@@ -95,6 +95,20 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// The default per-job simulation thread count: `REBOUND_SIM_THREADS` if
+/// set, else 1. At 2 or more, oracle-checked jobs overlap the faulty run
+/// with its golden replay (see [`crate::oracle::run_job_with`]); the
+/// conservative default keeps total thread pressure equal to `--jobs`
+/// when a campaign already saturates the machine.
+pub fn default_sim_threads() -> usize {
+    if let Ok(v) = std::env::var("REBOUND_SIM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

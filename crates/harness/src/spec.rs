@@ -209,9 +209,10 @@ impl RunScale {
         }
     }
 
-    /// The 256-core paper-scale regime: a modest per-core quota (the
-    /// machine-wide instruction total is already 2M+) and a watchdog with
-    /// headroom for 256-way barrier and checkpoint convoys.
+    /// The paper-scale regime (256- and 1024-core jobs): a modest
+    /// per-core quota (the machine-wide instruction total is already 2M+
+    /// at 256 cores) and a watchdog with headroom for 1024-way barrier
+    /// and checkpoint convoys.
     pub fn scale() -> RunScale {
         RunScale {
             interval: 8_000,
@@ -315,17 +316,17 @@ impl CampaignSpec {
         }
     }
 
-    /// The paper-scale campaign: **256-core** jobs across every `Scheme`
-    /// const — the large-CMP regime the dense `LineId` data plane makes
-    /// practical — with the differential recovery oracle validating that
-    /// fault recovery still holds at a core count four times the paper's
-    /// largest evaluated machine. Ocean brings the barrier cadence, FFT
-    /// the barrier-free all-to-all side.
+    /// The paper-scale campaign: **256- and 1024-core** jobs across every
+    /// `Scheme` const — the large-CMP regime the dense `LineId` data
+    /// plane makes practical — with the differential recovery oracle
+    /// validating that fault recovery still holds at core counts 4× and
+    /// 16× the paper's largest evaluated machine. Ocean brings the
+    /// barrier cadence, FFT the barrier-free all-to-all side.
     pub fn scale() -> CampaignSpec {
         CampaignSpec {
             schemes: Scheme::ALL.to_vec(),
             apps: vec!["Ocean".to_string(), "FFT".to_string()],
-            core_counts: vec![256],
+            core_counts: vec![256, 1024],
             seeds: vec![1],
             plans: vec![FaultPlan::clean(), FaultPlan::single(1, 60_000)],
             scale: RunScale::scale(),

@@ -1,5 +1,5 @@
-//! `#[ignore]`-gated paper-scale smoke: the 256-core `--spec scale`
-//! campaign — every `Scheme` const at the core count the dense `LineId`
+//! `#[ignore]`-gated paper-scale smoke: the 256/1024-core `--spec scale`
+//! campaign — every `Scheme` const at the core counts the dense `LineId`
 //! data plane exists for, every faulty job checked by the differential
 //! recovery oracle with the cycle watchdog armed. CI runs this in the
 //! `campaign-smoke` job's ignored tier; locally:
@@ -8,10 +8,10 @@
 use rebound_harness::{default_jobs, run_campaign, CampaignSpec, OracleVerdict};
 
 #[test]
-#[ignore = "runs the 256-core scale matrix (32 jobs, oracle-checked); ~1 min in release"]
-fn scale_matrix_recovers_at_256_cores() {
+#[ignore = "runs the 256/1024-core scale matrix (64 jobs, oracle-checked); minutes in release"]
+fn scale_matrix_recovers_at_256_and_1024_cores() {
     let spec = CampaignSpec::scale();
-    assert_eq!(spec.core_counts, vec![256]);
+    assert_eq!(spec.core_counts, vec![256, 1024]);
     let result = run_campaign(&spec, default_jobs());
     assert!(
         result.failures().is_empty(),

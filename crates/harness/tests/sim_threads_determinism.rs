@@ -1,0 +1,79 @@
+//! Determinism across simulation threads at the 1024-core ceiling:
+//! `--sim-threads` only changes *where* the faulty run and its golden
+//! replay execute (sequentially or overlapped), never what either run
+//! computes — so every architectural quantity of the outcome must be
+//! identical for any thread count, at the widest machine the config
+//! admits.
+
+use rebound_core::Scheme;
+use rebound_harness::{run_job_with, FaultPlan, Job, OracleVerdict, RunScale};
+
+fn job_1024() -> Job {
+    Job {
+        id: 0,
+        scheme: Scheme::REBOUND,
+        app: "FFT".to_string(),
+        cores: 1024,
+        seed: 1,
+        // A small per-core quota keeps the 1024-core machine fast while
+        // the fault still lands mid-run and forces a real rollback.
+        plan: FaultPlan::single(1, 8_000),
+        scale: RunScale {
+            interval: 1_500,
+            quota: 400,
+            detect_latency: 500,
+            watchdog_cycles: 50_000_000,
+        },
+        oracle: true,
+    }
+}
+
+#[test]
+fn outcome_is_identical_across_sim_threads_at_1024_cores() {
+    let job = job_1024();
+    let base = run_job_with(&job, 1);
+    assert!(
+        !base.verdict.is_failure(),
+        "baseline failed: {:?} ({})",
+        base.verdict,
+        base.checks
+    );
+    assert!(
+        base.report.rollbacks >= 1 && base.fired != "-",
+        "the fault must actually fire at 1024 cores (fired {}, rollbacks {})",
+        base.fired,
+        base.report.rollbacks
+    );
+    assert!(
+        matches!(base.verdict, OracleVerdict::Pass),
+        "recovery must be oracle-checked, got {:?}",
+        base.verdict
+    );
+    let golden = base.golden.as_ref().expect("oracle ran a golden replay");
+
+    for sim_threads in [2, 4] {
+        let out = run_job_with(&job, sim_threads);
+        assert_eq!(out.report.cycles, base.report.cycles, "t={sim_threads}");
+        assert_eq!(out.report.insts, base.report.insts, "t={sim_threads}");
+        assert_eq!(
+            out.report.checkpoints, base.report.checkpoints,
+            "t={sim_threads}"
+        );
+        assert_eq!(
+            out.report.rollbacks, base.report.rollbacks,
+            "t={sim_threads}"
+        );
+        assert_eq!(
+            out.report.msgs.total(),
+            base.report.msgs.total(),
+            "t={sim_threads}"
+        );
+        assert_eq!(out.verdict, base.verdict, "t={sim_threads}");
+        assert_eq!(out.checks, base.checks, "t={sim_threads}");
+        assert_eq!(out.fired, base.fired, "t={sim_threads}");
+        let g = out.golden.as_ref().expect("golden replay ran");
+        assert_eq!(g.cycles, golden.cycles, "t={sim_threads}");
+        assert_eq!(g.insts, golden.insts, "t={sim_threads}");
+        assert_eq!(g.msgs.total(), golden.msgs.total(), "t={sim_threads}");
+    }
+}

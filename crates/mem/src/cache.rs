@@ -131,7 +131,7 @@ pub struct EvictedLine<T> {
     pub data: T,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 struct Slot<T> {
     tag: u64,
     lru: u64,
@@ -142,6 +142,12 @@ struct Slot<T> {
 ///
 /// `T` is the per-line metadata. Invalid lines simply do not occupy a slot;
 /// eviction returns the displaced line so the caller can write it back.
+///
+/// Storage is one flat slot array of `sets × ways` entries with a per-set
+/// occupancy count: set `s` occupies `slots[s*ways ..][..lens[s]]`, in
+/// insertion (occupancy) order, exactly as the earlier per-set `Vec`s were
+/// laid out — so lookup walks contiguous memory and building a cache does
+/// one allocation instead of one per set.
 ///
 /// # Example
 ///
@@ -156,25 +162,33 @@ struct Slot<T> {
 #[derive(Clone, Debug)]
 pub struct SetAssoc<T> {
     cfg: CacheConfig,
-    sets: Vec<Vec<Slot<T>>>,
+    slots: Vec<Slot<T>>,
+    /// Occupied ways per set (associativity is far below 256).
+    lens: Vec<u8>,
     set_mask: u64,
     set_bits: u32,
     tick: u64,
 }
 
-impl<T> SetAssoc<T> {
+impl<T: Default> SetAssoc<T> {
     /// Creates an empty cache with the given configuration.
     pub fn new(cfg: CacheConfig) -> SetAssoc<T> {
         let sets = cfg.sets();
+        assert!(cfg.ways <= u8::MAX as usize, "associativity fits in a u8");
+        let mut slots = Vec::new();
+        slots.resize_with(sets as usize * cfg.ways, Slot::default);
         SetAssoc {
             cfg,
-            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+            slots,
+            lens: vec![0; sets as usize],
             set_mask: sets - 1,
             set_bits: sets.trailing_zeros(),
             tick: 0,
         }
     }
+}
 
+impl<T> SetAssoc<T> {
     /// The cache configuration.
     pub fn config(&self) -> CacheConfig {
         self.cfg
@@ -192,36 +206,57 @@ impl<T> SetAssoc<T> {
         LineAddr((tag << self.set_bits) | set as u64)
     }
 
+    /// The occupied slice of a set.
+    #[inline]
+    fn set_slice(&self, set: usize) -> &[Slot<T>] {
+        let base = set * self.cfg.ways;
+        &self.slots[base..base + self.lens[set] as usize]
+    }
+
+    /// The occupied slice of a set, mutably.
+    #[inline]
+    fn set_slice_mut(&mut self, set: usize) -> &mut [Slot<T>] {
+        let base = set * self.cfg.ways;
+        &mut self.slots[base..base + self.lens[set] as usize]
+    }
+
     /// Looks up a line without touching LRU state.
+    #[inline]
     pub fn peek(&self, addr: LineAddr) -> Option<&T> {
         let (set, tag) = self.split(addr);
-        self.sets[set]
+        self.set_slice(set)
             .iter()
             .find(|s| s.tag == tag)
             .map(|s| &s.data)
     }
 
     /// Looks up a line, promoting it to most-recently-used.
+    #[inline]
     pub fn get(&mut self, addr: LineAddr) -> Option<&T> {
         self.get_mut(addr).map(|d| &*d)
     }
 
     /// Mutable lookup, promoting the line to most-recently-used.
+    #[inline]
     pub fn get_mut(&mut self, addr: LineAddr) -> Option<&mut T> {
         let (set, tag) = self.split(addr);
         self.tick += 1;
         let tick = self.tick;
-        self.sets[set].iter_mut().find(|s| s.tag == tag).map(|s| {
-            s.lru = tick;
-            &mut s.data
-        })
+        self.set_slice_mut(set)
+            .iter_mut()
+            .find(|s| s.tag == tag)
+            .map(|s| {
+                s.lru = tick;
+                &mut s.data
+            })
     }
 
     /// Mutable lookup without LRU promotion (for external/snoop accesses
     /// that should not perturb replacement).
+    #[inline]
     pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut T> {
         let (set, tag) = self.split(addr);
-        self.sets[set]
+        self.set_slice_mut(set)
             .iter_mut()
             .find(|s| s.tag == tag)
             .map(|s| &mut s.data)
@@ -234,18 +269,21 @@ impl<T> SetAssoc<T> {
         self.tick += 1;
         let tick = self.tick;
         let ways = self.cfg.ways;
-        let slots = &mut self.sets[set];
+        let base = set * ways;
+        let occ = self.lens[set] as usize;
+        let slots = &mut self.slots[base..base + occ];
         if let Some(s) = slots.iter_mut().find(|s| s.tag == tag) {
             s.lru = tick;
             s.data = data;
             return None;
         }
-        if slots.len() < ways {
-            slots.push(Slot {
+        if occ < ways {
+            self.slots[base + occ] = Slot {
                 tag,
                 lru: tick,
                 data,
-            });
+            };
+            self.lens[set] += 1;
             return None;
         }
         // Evict the least-recently-used way.
@@ -270,38 +308,28 @@ impl<T> SetAssoc<T> {
         })
     }
 
-    /// Removes a line, returning its metadata.
-    pub fn invalidate(&mut self, addr: LineAddr) -> Option<T> {
-        let (set, tag) = self.split(addr);
-        let slots = &mut self.sets[set];
-        let idx = slots.iter().position(|s| s.tag == tag)?;
-        Some(slots.swap_remove(idx).data)
-    }
-
-    /// Removes every line, invoking `f` on each (address, metadata) pair.
-    pub fn invalidate_all(&mut self, mut f: impl FnMut(LineAddr, T)) {
-        for set in 0..self.sets.len() {
-            for slot in std::mem::take(&mut self.sets[set]) {
-                f(self.join(set, slot.tag), slot.data);
-            }
-        }
-    }
-
     /// Iterates over all resident lines.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> + '_ {
-        self.sets.iter().enumerate().flat_map(move |(set, slots)| {
-            slots.iter().map(move |s| (self.join(set, s.tag), &s.data))
-        })
+        self.slots
+            .chunks_exact(self.cfg.ways)
+            .zip(self.lens.iter())
+            .enumerate()
+            .flat_map(move |(set, (chunk, &len))| {
+                chunk[..len as usize]
+                    .iter()
+                    .map(move |s| (self.join(set, s.tag), &s.data))
+            })
     }
 
     /// Mutably iterates over all resident lines.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> + '_ {
         let set_bits = self.set_bits;
-        self.sets
-            .iter_mut()
+        self.slots
+            .chunks_exact_mut(self.cfg.ways)
+            .zip(self.lens.iter())
             .enumerate()
-            .flat_map(move |(set, slots)| {
-                slots
+            .flat_map(move |(set, (chunk, &len))| {
+                chunk[..len as usize]
                     .iter_mut()
                     .map(move |s| (LineAddr((s.tag << set_bits) | set as u64), &mut s.data))
             })
@@ -309,12 +337,41 @@ impl<T> SetAssoc<T> {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Whether the cache holds no lines.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<T: Default> SetAssoc<T> {
+    /// Removes a line, returning its metadata.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<T> {
+        let (set, tag) = self.split(addr);
+        let base = set * self.cfg.ways;
+        let occ = self.lens[set] as usize;
+        let idx = self.slots[base..base + occ]
+            .iter()
+            .position(|s| s.tag == tag)?;
+        // Same semantics as `Vec::swap_remove`: the last occupant takes the
+        // vacated way, preserving the occupancy order of everything else.
+        self.slots.swap(base + idx, base + occ - 1);
+        self.lens[set] -= 1;
+        Some(std::mem::take(&mut self.slots[base + occ - 1]).data)
+    }
+
+    /// Removes every line, invoking `f` on each (address, metadata) pair.
+    pub fn invalidate_all(&mut self, mut f: impl FnMut(LineAddr, T)) {
+        for set in 0..self.lens.len() {
+            let base = set * self.cfg.ways;
+            let occ = std::mem::take(&mut self.lens[set]) as usize;
+            for i in 0..occ {
+                let slot = std::mem::take(&mut self.slots[base + i]);
+                f(self.join(set, slot.tag), slot.data);
+            }
+        }
     }
 }
 

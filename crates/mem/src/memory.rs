@@ -40,6 +40,15 @@ impl MainMemory {
         MainMemory::default()
     }
 
+    /// Creates a zeroed memory with room for `lines` dense line ids, so
+    /// first-touch growth never reallocates mid-run.
+    pub fn with_capacity(lines: usize) -> MainMemory {
+        MainMemory {
+            lines: Vec::with_capacity(lines),
+            resident: 0,
+        }
+    }
+
     /// Reads the value of a line (zero if never written).
     #[inline]
     pub fn read(&self, id: LineId) -> u64 {

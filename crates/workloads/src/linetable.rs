@@ -24,9 +24,7 @@
 //! deterministic order, so the `Addr ↔ LineId` bijection — and everything
 //! keyed by it — is reproducible from the seed.
 
-use std::collections::HashMap;
-
-use rebound_engine::{LineAddr, LineId};
+use rebound_engine::{FxHashMap, LineAddr, LineId};
 
 use crate::profile::{AppProfile, SharingPattern};
 
@@ -77,7 +75,7 @@ pub struct LineTable {
     /// Reverse map: id → line address (dense and overflow ids alike).
     addrs: Vec<LineAddr>,
     /// Out-of-region stragglers (hand-written scripts, raw test addresses).
-    overflow: HashMap<u64, u32>,
+    overflow: FxHashMap<u64, u32>,
 }
 
 impl LineTable {
@@ -99,7 +97,7 @@ impl LineTable {
             lock_span,
             slots: vec![0; dense as usize],
             addrs: Vec::new(),
-            overflow: HashMap::new(),
+            overflow: FxHashMap::default(),
         }
     }
 

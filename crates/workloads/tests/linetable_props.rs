@@ -61,11 +61,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Interning is injective and round-trips over every constructor,
-    /// every profile, and core counts up to the 256-core scale regime.
+    /// every profile, and core counts up to the 1024-core scale ceiling.
     #[test]
     fn interning_is_injective_and_round_trips(
         profile in arb_profile(),
-        ncores in prop_oneof![1usize..=8, Just(64usize), Just(256usize)],
+        ncores in prop_oneof![1usize..=8, Just(64usize), Just(256usize), Just(1024usize)],
         stride in 1u64..64,
     ) {
         let mut table = LineTable::for_profile(ncores, &profile);
