@@ -4,7 +4,9 @@
 //! hot data-plane paths (Global: no dependence tracking; Rebound: LW-ID
 //! plus WSIG and Dep registers; Rebound_Barr: barrier episodes on top;
 //! Rebound_Cluster4: cluster-truncated collection over the same
-//! tracking plane) crossed with Ocean/FFT and 16/64/256/1024 cores —
+//! tracking plane; Rebound_Epoch: in-band epoch probing and stamping
+//! with no collection messages) crossed with Ocean/FFT and
+//! 16/64/256/1024 cores —
 //! the 256- and 1024-core cells are the paper-scale regime the dense
 //! `LineId` data plane exists for.
 //!
@@ -62,6 +64,7 @@ fn cells() -> Vec<(Scheme, &'static str, usize)> {
         Scheme::REBOUND,
         Scheme::REBOUND_BARR,
         Scheme::REBOUND_CLUSTER,
+        Scheme::REBOUND_EPOCH,
     ];
     let apps = ["Ocean", "FFT"];
     let quick = std::env::var("SIM_BENCH_QUICK").is_ok();

@@ -43,6 +43,20 @@ pub enum Scheme {
         /// does not divide the machine size).
         k: u8,
     },
+    /// In-band epoch-propagation checkpointing (`Rebound_Epoch`): a
+    /// Chandy–Lamport-style alternative to out-of-band coordination.
+    /// Checkpoint epochs piggyback on the coherence fabric — every store
+    /// stamps its line with the writer's current epoch, and a core
+    /// snapshots locally the first time an access would observe a line
+    /// stamped with a newer epoch, *before* consuming the data. There is
+    /// no interaction-set collection, no CK? round trips and no
+    /// drain-for-collection stalls; recovery-line membership is derived
+    /// after the fact from per-checkpoint epoch tags (the epoch
+    /// generalization of the cluster scheme's `taken_at` bounding).
+    Epoch {
+        /// Delayed writebacks (§4.1).
+        dwb: bool,
+    },
 }
 
 impl Scheme {
@@ -73,6 +87,9 @@ impl Scheme {
     /// Clustered checkpointing at 4-core granularity (`Rebound_Cluster4`)
     /// — the design-space midpoint between `Global` and `Rebound`.
     pub const REBOUND_CLUSTER: Scheme = Scheme::Cluster { dwb: true, k: 4 };
+    /// In-band epoch propagation over the coherence fabric
+    /// (`Rebound_Epoch`) — coordination-free local checkpointing.
+    pub const REBOUND_EPOCH: Scheme = Scheme::Epoch { dwb: true };
 
     /// Every named configuration of the Fig 4.3(a) matrix plus the
     /// clustered extension. Full-matrix sweeps (campaigns, cross-scheme
@@ -80,7 +97,7 @@ impl Scheme {
     /// automatically joins every sweep. New entries go at the **end**:
     /// campaign job ids are scheme-major, so appending keeps every
     /// existing row (and its golden snapshots) stable.
-    pub const ALL: [Scheme; 8] = [
+    pub const ALL: [Scheme; 9] = [
         Scheme::None,
         Scheme::GLOBAL,
         Scheme::GLOBAL_DWB,
@@ -89,6 +106,7 @@ impl Scheme {
         Scheme::REBOUND_BARR,
         Scheme::REBOUND_NODWB_BARR,
         Scheme::REBOUND_CLUSTER,
+        Scheme::REBOUND_EPOCH,
     ];
 
     /// Whether this scheme checkpoints at all.
@@ -101,7 +119,10 @@ impl Scheme {
     /// the cluster truncates checkpoint sets, but recovery still chases
     /// recorded consumers across cluster boundaries).
     pub fn tracks_dependences(self) -> bool {
-        matches!(self, Scheme::Rebound { .. } | Scheme::Cluster { .. })
+        matches!(
+            self,
+            Scheme::Rebound { .. } | Scheme::Cluster { .. } | Scheme::Epoch { .. }
+        )
     }
 
     /// Whether delayed writebacks are enabled.
@@ -111,6 +132,7 @@ impl Scheme {
             Scheme::Global { dwb: true }
                 | Scheme::Rebound { dwb: true, .. }
                 | Scheme::Cluster { dwb: true, .. }
+                | Scheme::Epoch { dwb: true }
         )
     }
 
@@ -175,6 +197,8 @@ impl Scheme {
                 16 => "Rebound_Cluster16_NoDWB",
                 _ => "Rebound_ClusterK_NoDWB",
             },
+            Scheme::Epoch { dwb: true } => "Rebound_Epoch",
+            Scheme::Epoch { dwb: false } => "Rebound_Epoch_NoDWB",
         }
     }
 }
@@ -414,14 +438,21 @@ mod tests {
         assert!(!Scheme::REBOUND_CLUSTER.barrier_opt());
         assert_eq!(Scheme::REBOUND_CLUSTER.cluster_k(), 4);
         assert_eq!(Scheme::REBOUND.cluster_k(), 1);
+        assert!(Scheme::REBOUND_EPOCH.checkpoints());
+        assert!(Scheme::REBOUND_EPOCH.tracks_dependences());
+        assert!(Scheme::REBOUND_EPOCH.dwb());
+        assert!(!Scheme::Epoch { dwb: false }.dwb());
+        assert!(!Scheme::REBOUND_EPOCH.barrier_opt());
+        assert_eq!(Scheme::REBOUND_EPOCH.cluster_k(), 1);
     }
 
     #[test]
-    fn all_has_eight_schemes_with_cluster_last() {
-        assert_eq!(Scheme::ALL.len(), 8);
+    fn all_has_nine_schemes_appended_in_pr_order() {
+        assert_eq!(Scheme::ALL.len(), 9);
         // Appended last: campaign job ids are scheme-major, so existing
         // rows (and golden snapshots) stay stable.
         assert_eq!(Scheme::ALL[7], Scheme::REBOUND_CLUSTER);
+        assert_eq!(Scheme::ALL[8], Scheme::REBOUND_EPOCH);
     }
 
     #[test]
@@ -438,6 +469,8 @@ mod tests {
             Scheme::Cluster { dwb: false, k: 8 }.label(),
             "Rebound_Cluster8_NoDWB"
         );
+        assert_eq!(Scheme::REBOUND_EPOCH.label(), "Rebound_Epoch");
+        assert_eq!(Scheme::Epoch { dwb: false }.label(), "Rebound_Epoch_NoDWB");
     }
 
     #[test]

@@ -60,11 +60,21 @@ impl Machine {
         // dependent, so one scheme (or a recovered faulty run) would
         // commit a shifted value sequence on that core and bit-exact
         // cross-run data comparisons would diverge on data lines.
-        let value = if rebound_workloads::AddressLayout.is_sync(addr) {
+        let is_sync = rebound_workloads::AddressLayout.is_sync(addr);
+        let value = if is_sync {
             self.peek_store_value(core)
         } else {
             self.store_value(core)
         };
+        // Rebound_Epoch: every data store stamps its line with the
+        // writer's current epoch — the provenance of the line's *new*
+        // value (overwrite, not max). Sync machinery is excluded: it is
+        // never consumed through the probing access path.
+        if !is_sync && matches!(self.cfg.scheme, crate::config::Scheme::Epoch { .. }) {
+            let id = self.lines.intern(line);
+            let epoch = self.cores[idx].epoch;
+            self.stamp_line_epoch(id, epoch);
+        }
         self.metrics.l2_accesses.incr();
 
         let l2_state = self.cores[idx].l2.peek(line).map(|l| (l.state, l.delayed));

@@ -148,7 +148,79 @@ impl Machine {
                 self.start_global_checkpoint(core);
                 true
             }
+            Some(TriggerAction::EpochSnapshot { for_io }) => {
+                let c = &mut self.cores[core.index()];
+                c.force_ckpt = false;
+                // Interval boundary: open a new epoch, then snapshot. The
+                // record is tagged with the *post*-bump epoch, so its state
+                // provably holds influence only of data stamped strictly
+                // below the tag.
+                c.epoch += 1;
+                self.take_epoch_snapshot(core, for_io);
+                true
+            }
         }
+    }
+
+    // ==================================================================
+    // Rebound_Epoch: in-band epoch propagation
+    // ==================================================================
+
+    /// Pre-consumption epoch probe (`Rebound_Epoch` only): called by the
+    /// access pipeline before a load or store touches `addr`. If the
+    /// line carries a stamp newer than the core's epoch, the op is
+    /// stashed and a snapshot is taken (or awaited) *first* — a snapshot
+    /// taken after consuming the data would embed state the producer's
+    /// rollback later undoes. Returns true when the op was consumed by
+    /// the probe (it re-issues via `resume_op` after the snapshot).
+    pub(crate) fn epoch_probe(
+        &mut self,
+        core: CoreId,
+        addr: rebound_engine::Addr,
+        op: rebound_workloads::Op,
+    ) -> bool {
+        if !matches!(self.cfg.scheme, crate::config::Scheme::Epoch { .. }) {
+            return false;
+        }
+        let id = self.lines.intern(addr.line(self.geom));
+        let stamp = self.line_epoch(id);
+        let idx = core.index();
+        if stamp <= self.cores[idx].epoch {
+            return false;
+        }
+        match self.cores[idx].role {
+            EpisodeState::Idle => {
+                // Adopt the newer epoch and snapshot before consuming.
+                // The probe re-runs when the stashed op resumes and then
+                // passes (stamp ≤ epoch).
+                self.cores[idx].resume_op = Some(op);
+                self.cores[idx].epoch = stamp;
+                self.take_epoch_snapshot(core, false);
+                true
+            }
+            EpisodeState::EpochSnap { .. } => {
+                // The previous snapshot is still draining: park on it at
+                // full drain speed, re-probe when it finalizes. (Adopting
+                // the new epoch now would mis-tag the in-flight record.)
+                self.cores[idx].resume_op = Some(op);
+                self.block_ckpt(core, OverheadKind::WbDelay);
+                self.cores[idx].drain.fast = true;
+                true
+            }
+            // No other role is reachable under the epoch scheme.
+            _ => false,
+        }
+    }
+
+    /// Takes a local epoch snapshot at the core's *current* epoch (the
+    /// caller bumps or adopts first). Every epoch snapshot is its own
+    /// single-member episode — no interaction set to collect.
+    pub(crate) fn take_epoch_snapshot(&mut self, core: CoreId, for_io: bool) {
+        let epoch = self.cores[core.index()].epoch;
+        self.metrics.ichk_sizes.push(1.0);
+        self.metrics.ichk_bloom_sizes.push(1.0);
+        self.metrics.ichk_oracle_sizes.push(1.0);
+        self.begin_member_wb(core, WbKind::Epoch { epoch, for_io });
     }
 
     // ==================================================================
@@ -426,6 +498,12 @@ impl Machine {
             self.cores[idx].pending_wb = Some(kind);
             if self.cores[idx].run == RunState::Ready {
                 self.block_ckpt(core, OverheadKind::Sync);
+            } else if self.cores[idx].run == RunState::Blocked(super::Block::Ckpt) {
+                // Already parked (e.g. an initiator blocked since
+                // collection): re-tag so the rotation wait is attributed
+                // to Sync instead of silently extending the prior
+                // category.
+                self.retag_block(core, OverheadKind::Sync);
             }
             self.queue
                 .push(self.now + DEP_RETRY_PERIOD, Event::RetryRotate { core });
@@ -439,6 +517,8 @@ impl Machine {
         let store_seq = self.cores[idx].store_seq;
         let barrier_passes = self.cores[idx].barrier_passes;
         let at_barrier = self.cores[idx].at_barrier;
+        let epoch_tag = self.cores[idx].epoch;
+        let resume_op = self.cores[idx].resume_op;
         self.cores[idx].records.push(CkptRecord {
             stub_seq: new_interval,
             program: snapshot,
@@ -448,6 +528,8 @@ impl Machine {
             at_barrier,
             taken_at: self.now,
             complete_at: None,
+            epoch: epoch_tag,
+            resume_op,
         });
         self.cores[idx].interval_start_insts = insts;
         self.cores[idx].next_ckpt_due = insts + self.cfg.ckpt_interval_insts;
@@ -464,6 +546,9 @@ impl Machine {
             }
             WbKind::Barrier { initiator } => {
                 self.cores[idx].role = EpisodeState::BarMember { initiator };
+            }
+            WbKind::Epoch { epoch, for_io } => {
+                self.cores[idx].role = EpisodeState::EpochSnap { epoch, for_io };
             }
         }
 
@@ -633,6 +718,14 @@ impl Machine {
                 // arrived — the initiator counts each sender once.
                 let _ = self.cores[idx].barck_notified;
                 self.cores[idx].barck_notified = true;
+            }
+            EpisodeState::EpochSnap { .. } => {
+                // An epoch snapshot completes entirely locally: no
+                // initiator to notify, the single-member episode is done.
+                self.cores[idx].role = EpisodeState::Idle;
+                self.metrics.checkpoint_episodes += 1;
+                self.cores[idx].exec_gate = false;
+                self.unblock_ckpt(core);
             }
             EpisodeState::Idle | EpisodeState::Accepted { .. } => {}
         }
@@ -930,5 +1023,121 @@ impl Machine {
                 self.queue.push(self.now + io.period_cycles, Event::IoTick);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, Scheme};
+    use crate::metrics::OverheadKind;
+    use crate::program::CoreProgram;
+    use rebound_engine::{Addr, Cycle};
+    use rebound_workloads::Op;
+
+    /// Regression for the rotation-stall retry path: when `rotate()`
+    /// finds no free Dep set and the core is *already* parked under some
+    /// other tag, the wait must be re-tagged as Sync — flushing the
+    /// elapsed interval into its original category first — instead of
+    /// letting the whole wait accrue under the stale tag.
+    #[test]
+    fn rotation_stall_retags_an_existing_block() {
+        let mut cfg = MachineConfig::small(1);
+        cfg.scheme = Scheme::REBOUND;
+        let program = CoreProgram::script([Op::Compute(10), Op::End]);
+        let mut m = Machine::with_programs(&cfg, vec![program]);
+        let c0 = CoreId(0);
+        // Pin every Dep register set: draining sets never reclaim, so
+        // after enough forced rotations the next one must stall.
+        for _ in 0..64 {
+            if m.cores[0].dep.rotate(m.now, m.cfg.detect_latency).is_none() {
+                break;
+            }
+        }
+        assert!(
+            m.cores[0].dep.rotate(m.now, m.cfg.detect_latency).is_none(),
+            "dep sets were not exhausted"
+        );
+        m.now = Cycle(500);
+        m.block_ckpt(c0, OverheadKind::WbDelay);
+        m.now = Cycle(800);
+        m.begin_member_wb(
+            c0,
+            WbKind::Local {
+                initiator: c0,
+                epoch: 1,
+            },
+        );
+        assert!(
+            m.cores[0].pending_wb.is_some(),
+            "rotation must have stalled the writeback"
+        );
+        assert_eq!(
+            m.cores[0].stall.wb_delay, 300,
+            "elapsed interval flushed under its original tag"
+        );
+        assert_eq!(
+            m.cores[0].block_since,
+            Some((Cycle(800), OverheadKind::Sync)),
+            "open interval re-tagged as a rotation (Sync) stall"
+        );
+    }
+
+    /// Rebound_Epoch lifecycle: interval boundaries bump the local epoch
+    /// and snapshot, so successive records carry post-bump tags 1, 2, ...
+    #[test]
+    fn epoch_interval_snapshots_tag_records_in_order() {
+        let mut cfg = MachineConfig::small(1);
+        cfg.scheme = Scheme::REBOUND_EPOCH;
+        cfg.ckpt_interval_insts = 1_000;
+        let mut ops = vec![Op::Compute(500); 8];
+        ops.push(Op::End);
+        let mut m = Machine::with_programs(&cfg, vec![CoreProgram::script(ops)]);
+        m.run_to_completion();
+        let tags: Vec<u64> = m.cores[0].records.iter().map(|r| r.epoch).collect();
+        assert!(tags.len() >= 3, "expected interval snapshots, got {tags:?}");
+        assert_eq!(tags[0], 0, "boot record is epoch 0");
+        for w in tags.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "tags ascend by one: {tags:?}");
+        }
+        assert_eq!(m.core_epoch(CoreId(0)), *tags.last().unwrap());
+        assert!(m.proto_errors().is_empty(), "{}", m.proto_error_summary());
+    }
+
+    /// Rebound_Epoch observation: touching a line stamped with a newer
+    /// epoch makes the consumer adopt the stamp and snapshot *before*
+    /// consuming, with the probed op stashed in the record.
+    #[test]
+    fn epoch_observation_adopts_and_snapshots_before_consuming() {
+        let x = Addr(0x80_0000);
+        let mut cfg = MachineConfig::small(2);
+        cfg.scheme = Scheme::REBOUND_EPOCH;
+        cfg.ckpt_interval_insts = 1_000_000; // only explicit hints snapshot
+        let producer = CoreProgram::script([
+            Op::CheckpointHint,
+            Op::Store(x),
+            Op::Compute(30_000),
+            Op::End,
+        ]);
+        let consumer = CoreProgram::script([
+            Op::Compute(3_000),
+            Op::Load(x),
+            Op::Compute(30_000),
+            Op::End,
+        ]);
+        let mut m = Machine::with_programs(&cfg, vec![producer, consumer]);
+        m.run_to_completion();
+        assert_eq!(m.core_epoch(CoreId(0)), 1);
+        assert_eq!(m.core_epoch(CoreId(1)), 1, "consumer adopted the stamp");
+        let recs = &m.cores[1].records;
+        assert_eq!(recs.len(), 2, "boot + one observation snapshot");
+        assert_eq!(recs[1].epoch, 1);
+        assert_eq!(
+            recs[1].insts, 3_000,
+            "snapshot taken before the load retired"
+        );
+        assert_eq!(recs[1].resume_op, Some(Op::Load(x)));
+        assert!(m.is_finished());
+        assert!(m.proto_errors().is_empty(), "{}", m.proto_error_summary());
     }
 }

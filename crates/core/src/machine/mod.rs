@@ -15,7 +15,7 @@ mod sync;
 use std::collections::VecDeque;
 
 use rebound_coherence::{CoreSet, Directory, Interconnect, MsgStats};
-use rebound_engine::{CoreId, Cycle, DetRng, EventQueue, LineAddr, LineGeometry};
+use rebound_engine::{CoreId, Cycle, DetRng, EventQueue, LineAddr, LineGeometry, LineId};
 
 use rebound_mem::{L1Line, L2Line, MainMemory, MemoryController, SetAssoc, UndoLog};
 use rebound_workloads::{AppProfile, LineTable, Op, OpStream};
@@ -120,6 +120,18 @@ pub(crate) struct CkptRecord {
     /// recovery bounds a consumer's target by its producer's target
     /// snapshot time (see `machine/rollback.rs`).
     pub taken_at: Cycle,
+    /// The core's propagation epoch at the snapshot instant (post-bump:
+    /// the record was taken the moment the epoch *became* this value,
+    /// so its state contains influence only of data stamped with
+    /// strictly older epochs). `Rebound_Epoch` derives recovery-line
+    /// membership from this tag; other schemes leave it 0.
+    pub epoch: u64,
+    /// An interrupted op that was pending re-execution when the
+    /// snapshot was taken (`Rebound_Epoch` snapshots intercept the
+    /// triggering access *before* it consumes newer-epoch data, so the
+    /// access itself is stashed here). Restored on rollback — dropping
+    /// it would silently skip the op on re-execution.
+    pub resume_op: Option<Op>,
     /// Completion time (stub written), once known.
     pub complete_at: Option<Cycle>,
 }
@@ -195,6 +207,12 @@ pub(crate) struct CoreCtx {
     pub barck_pending: bool,
     /// Initiation-epoch counter (stale-message filtering).
     pub ckpt_epoch: u64,
+    /// In-band propagation epoch (`Rebound_Epoch`): a Lamport-style
+    /// counter bumped at every interval snapshot and fast-forwarded on
+    /// first observation of a newer stamp. Monotonic except across
+    /// rollback, which reverts it to the target record's tag. Always 0
+    /// under the other schemes.
+    pub epoch: u64,
     /// No new initiation before this time (post-Busy random backoff,
     /// §3.3.4).
     pub backoff_until: Cycle,
@@ -292,6 +310,14 @@ pub struct Machine {
     /// The `Addr ↔ LineId` interner: every hot structure below is a flat
     /// array indexed by the dense id this table hands out.
     pub(crate) lines: LineTable,
+    /// Per-line propagation-epoch stamps (`Rebound_Epoch`): the writer's
+    /// epoch at the line's most recent store, indexed by dense `LineId`.
+    /// Probed before an access consumes the line; a stamp newer than the
+    /// reader's epoch forces a pre-consumption snapshot. Stamps survive
+    /// writebacks and rollbacks — a stale-high stamp is sound (at worst
+    /// one extra snapshot), a stale-low one would not be. Empty under
+    /// the other schemes.
+    pub(crate) line_epochs: Vec<u64>,
     pub(crate) dir: Directory,
     pub(crate) memory: MainMemory,
     pub(crate) mem_ctl: MemoryController,
@@ -386,6 +412,8 @@ impl Machine {
                         barrier_passes: 0,
                         at_barrier: false,
                         taken_at: Cycle::ZERO,
+                        epoch: 0,
+                        resume_op: None,
                         complete_at: Some(Cycle::ZERO),
                     }],
                     program,
@@ -415,6 +443,7 @@ impl Machine {
                     barck_notified: false,
                     barck_pending: false,
                     ckpt_epoch: 0,
+                    epoch: 0,
                     backoff_until: Cycle::ZERO,
                     released_epochs: vec![0; cfg.cores],
                     pending_wb: None,
@@ -431,6 +460,11 @@ impl Machine {
             queue: EventQueue::with_capacity(cfg.event_capacity()),
             dir: Directory::with_capacity(lines.dense_slots()),
             memory: MainMemory::with_capacity(lines.dense_slots()),
+            line_epochs: if matches!(cfg.scheme, Scheme::Epoch { .. }) {
+                vec![0; lines.dense_slots()]
+            } else {
+                Vec::new()
+            },
             cores,
             lines,
             mem_ctl: MemoryController::new(cfg.mem_channels, cfg.mem_timing),
@@ -691,6 +725,10 @@ impl Machine {
             EpisodeState::Member { .. } => CorePhase::Member,
             EpisodeState::GlobalMember { .. } => CorePhase::GlobalMember,
             EpisodeState::BarMember { .. } => CorePhase::BarrierMember,
+            // An epoch snapshot has no coordination peers; for phase-
+            // aware fault triggers it is the scheme's member-writeback
+            // window (so `mid-join` plans reach Rebound_Epoch too).
+            EpisodeState::EpochSnap { .. } => CorePhase::Member,
         }
     }
 
@@ -1017,6 +1055,11 @@ impl Machine {
                 self.schedule_step(core, at);
             }
             Op::Load(addr) => {
+                // Rebound_Epoch: a line stamped with a newer epoch forces
+                // a snapshot *before* the data is consumed.
+                if self.epoch_probe(core, addr, op) {
+                    return;
+                }
                 let lat = self.access(core, addr, false, true);
                 self.metrics.load_latency.record(lat);
                 let c = &mut self.cores[idx];
@@ -1026,6 +1069,13 @@ impl Machine {
                 self.schedule_step(core, at);
             }
             Op::Store(addr) => {
+                // A store also observes the line it overwrites (the undo
+                // log keeps its old value as a before-image, and the
+                // dependence tracker records the transfer), so it probes
+                // like a load under Rebound_Epoch.
+                if self.epoch_probe(core, addr, op) {
+                    return;
+                }
                 // Stores retire through the store buffer: the coherence
                 // work happens now, the core only pays one cycle.
                 let _ = self.access(core, addr, true, true);
@@ -1078,6 +1128,32 @@ impl Machine {
     /// The home tile of a line (address-interleaved).
     pub(crate) fn home_of(&self, line: LineAddr) -> CoreId {
         CoreId(line.home_of(self.cores.len()).index())
+    }
+
+    /// The propagation-epoch stamp of a line (`Rebound_Epoch`): the
+    /// writer's epoch at its most recent store; 0 if never stamped.
+    pub(crate) fn line_epoch(&self, id: LineId) -> u64 {
+        self.line_epochs.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Stamps a line with its writer's current epoch at store time
+    /// (overwrite, not max: the stamp describes the provenance of the
+    /// line's *current* data). Grows on demand for overflow-interned
+    /// script addresses, mirroring `MainMemory::write`.
+    pub(crate) fn stamp_line_epoch(&mut self, id: LineId, epoch: u64) {
+        let i = id.index();
+        if i >= self.line_epochs.len() {
+            if epoch == 0 {
+                return;
+            }
+            self.line_epochs.resize(i + 1, 0);
+        }
+        self.line_epochs[i] = epoch;
+    }
+
+    /// The propagation epoch of `core` (test introspection).
+    pub fn core_epoch(&self, core: CoreId) -> u64 {
+        self.cores[core.index()].epoch
     }
 
     /// Enables or disables dependence tracking at runtime (§8). While

@@ -32,7 +32,8 @@ impl Machine {
         //    producer is about to undo, and such a checkpoint must not
         //    anchor the recovery line.
         let cluster_scheme = matches!(self.cfg.scheme, Scheme::Cluster { .. });
-        let target_of = |m: &Machine, x: CoreId, bound: Cycle| -> usize {
+        let epoch_scheme = matches!(self.cfg.scheme, Scheme::Epoch { .. });
+        let target_of = |m: &Machine, x: CoreId, bound: Cycle, ebound: u64| -> usize {
             let recs = &m.cores[x.index()].records;
             recs.iter()
                 .rposition(|r| {
@@ -41,6 +42,7 @@ impl Machine {
                         .map(|t| t.saturating_add(l) <= now)
                         .unwrap_or(false);
                     safe && (!cluster_scheme || r.taken_at <= bound)
+                        && (!epoch_scheme || r.epoch <= ebound)
                 })
                 .unwrap_or(0)
         };
@@ -60,8 +62,17 @@ impl Machine {
         //    strictly after S, so a ≤ S snapshot predates it. Bounds
         //    tighten monotonically to a fixpoint — the cross-cluster
         //    cascade this scheme trades for its cheap collection.
+        //    `Rebound_Epoch` refinement (same shape, different clock): a
+        //    record tagged `e` holds influence only of data stamped
+        //    strictly below `e` (the pre-consumption probe adopts and
+        //    snapshots *before* consuming), so when producer `x` rolls to
+        //    a record tagged `e_x`, the data it undoes carries stamps
+        //    ≥ `e_x` and a pulled consumer is safe at any record tagged
+        //    ≤ `e_x` (equality included). Epoch ceilings tighten to a
+        //    fixpoint exactly like the cluster scheme's cycle ceilings.
         let mut irec = vec![false; self.cores.len()];
         let mut bound = vec![Cycle::MAX; self.cores.len()];
+        let mut ebound = vec![u64::MAX; self.cores.len()];
         let mut order: Vec<CoreId> = Vec::new();
         if matches!(self.cfg.scheme, Scheme::Global { .. }) || !self.cfg.scheme.checkpoints() {
             for (i, flag) in irec.iter_mut().enumerate() {
@@ -73,8 +84,9 @@ impl Machine {
             irec[core.index()] = true;
             order.push(core);
             while let Some(x) = work.pop() {
-                let t = target_of(self, x, bound[x.index()]);
+                let t = target_of(self, x, bound[x.index()], ebound[x.index()]);
                 let snap = self.cores[x.index()].records[t].taken_at;
+                let etag = self.cores[x.index()].records[t].epoch;
                 let from_interval = self.cores[x.index()].records[t].stub_seq;
                 let consumer_bits = self.cores[x.index()].dep.consumers_since(from_interval);
                 // Expand dep bits to cores and pull in the checkpoint
@@ -87,10 +99,10 @@ impl Machine {
                     // snapshot time as their ceiling; unit-mates (rolling
                     // in sympathy, their episodes shared with `x`) keep
                     // x's own ceiling.
-                    let b = if consumer_cores.contains(cns) {
-                        snap
+                    let (b, eb) = if consumer_cores.contains(cns) {
+                        (snap, etag)
                     } else {
-                        bound[x.index()]
+                        (bound[x.index()], ebound[x.index()])
                     };
                     if !irec[cns.index()] {
                         irec[cns.index()] = true;
@@ -98,13 +110,23 @@ impl Machine {
                         if cluster_scheme {
                             bound[cns.index()] = b;
                         }
+                        if epoch_scheme {
+                            ebound[cns.index()] = eb;
+                        }
                         work.push(cns);
-                    } else if cluster_scheme && b < bound[cns.index()] {
+                    } else if (cluster_scheme && b < bound[cns.index()])
+                        || (epoch_scheme && eb < ebound[cns.index()])
+                    {
                         // Already a member, but a tighter ceiling may
                         // deepen its target: re-process. Ceilings only
                         // ever shrink over a finite snapshot set, so
                         // the fixpoint terminates.
-                        bound[cns.index()] = b;
+                        if cluster_scheme {
+                            bound[cns.index()] = bound[cns.index()].min(b);
+                        }
+                        if epoch_scheme {
+                            ebound[cns.index()] = ebound[cns.index()].min(eb);
+                        }
                         work.push(cns);
                     }
                 }
@@ -122,7 +144,7 @@ impl Machine {
         //    registers, sync-state fixups, architectural state.
         let mut targets = RollbackTargets::new(self.cores.len());
         for &m in &order {
-            let t = target_of(self, m, bound[m.index()]);
+            let t = target_of(self, m, bound[m.index()], ebound[m.index()]);
             let stub = self.cores[m.index()].records[t].stub_seq;
             targets.set(m, stub);
             self.rollback_core_state(m, t);
@@ -222,6 +244,10 @@ impl Machine {
                     false
                 }
                 EpisodeState::BarMember { .. } => self.barrier.barck_active,
+                // An epoch snapshot has no coordination peers: another
+                // core's rollback never aborts it (its local record is
+                // sound and completes on its own drain).
+                EpisodeState::EpochSnap { .. } => false,
                 EpisodeState::Idle => false,
             };
             if !in_dead_local {
@@ -331,6 +357,7 @@ impl Machine {
         let idx = core.index();
 
         // Cancel in-flight activity.
+        let now = self.now;
         {
             let c = &mut self.cores[idx];
             c.drain.active = false;
@@ -338,9 +365,14 @@ impl Machine {
             c.drain.gen += 1;
             c.role = EpisodeState::Idle;
             c.exec_gate = false;
-            c.block_since = None;
+            // Flush the elapsed blocked interval into its stall category
+            // before the slot is cleared: dropping it mid-stall loses the
+            // cycles from the breakdown (total would no longer equal the
+            // sum of per-kind cycles).
+            if let Some((since, k)) = c.block_since.take() {
+                c.stall.add(k, now.saturating_since(since));
+            }
             c.pending_wb = None;
-            c.resume_op = None;
             c.force_ckpt = false;
             c.barck_pending = false;
             c.barck_arrived = false;
@@ -381,6 +413,11 @@ impl Machine {
             c.insts = rec.insts;
             c.store_seq = rec.store_seq;
             c.barrier_passes = rec.barrier_passes;
+            // The record captures any op stashed for re-issue at snapshot
+            // time (it had been consumed from the program stream but not
+            // executed); dropping it would skip the op on re-execution.
+            c.resume_op = rec.resume_op;
+            c.epoch = rec.epoch;
             c.interval_start_insts = rec.insts;
             c.next_ckpt_due = rec.insts + self.cfg.ckpt_interval_insts;
             c.last_ckpt_cycle = self.now;
@@ -551,5 +588,104 @@ mod tests {
             m.effective_line_value(line),
             clean.effective_line_value(line)
         );
+    }
+
+    /// `Rebound_Epoch` recovery-line consistency — the epoch analogue of
+    /// the cluster test above. The consumer snapshots *on observation*
+    /// (tagged with the adopted epoch, before the data is consumed) and
+    /// again afterwards; when the producer rolls back to its record
+    /// tagged `e`, the consumer must discard every record tagged > `e`
+    /// and land on the pre-consumption snapshot.
+    #[test]
+    fn epoch_consumer_rolls_to_pre_consumption_snapshot() {
+        let x = Addr(0x80_0000);
+        let progs = |_: ()| -> Vec<CoreProgram> {
+            (0..8)
+                .map(|i| match i {
+                    // Producer: bump to epoch 1 (hinted snapshot), then
+                    // store X — stamped 1 — and compute on.
+                    0 => {
+                        CoreProgram::script([Op::CheckpointHint, Op::Store(x), Op::Compute(60_000)])
+                    }
+                    // Consumer: the load probes X (stamp 1 > epoch 0),
+                    // adopts epoch 1 and snapshots *before* consuming;
+                    // the hinted snapshot after it is tagged 2 and embeds
+                    // the consumption.
+                    5 => CoreProgram::script([
+                        Op::Compute(3_000),
+                        Op::Load(x),
+                        Op::CheckpointHint,
+                        Op::Compute(60_000),
+                    ]),
+                    _ => CoreProgram::script([Op::Compute(60_000)]),
+                })
+                .collect()
+        };
+        let mut cfg = MachineConfig::small(8);
+        cfg.scheme = Scheme::REBOUND_EPOCH;
+        cfg.ckpt_interval_insts = 1_000_000; // only hinted/forced snapshots
+        cfg.detect_latency = 200;
+        let mut m = Machine::with_programs(&cfg, progs(()));
+        m.schedule_fault_detection(CoreId(0), Cycle(20_000));
+        m.run_until(Cycle(20_001));
+
+        // The producer rolled to its epoch-1 record (boot + hinted).
+        assert_eq!(m.cores[0].records.len(), 2);
+        assert_eq!(m.cores[0].records.last().unwrap().epoch, 1);
+        // The consumer discarded the tag-2 record (it embeds the undone
+        // store) and sits on the observation snapshot: tagged 1, taken
+        // with the load still stashed for re-issue.
+        assert_eq!(
+            m.cores[5].records.len(),
+            2,
+            "P5 must roll past its post-consumption snapshot"
+        );
+        let rec = m.cores[5].records.last().unwrap();
+        assert_eq!(rec.epoch, 1);
+        assert_eq!(rec.resume_op, Some(Op::Load(x)));
+        assert_eq!(m.cores[5].insts, 3_000, "the load itself is un-retired");
+        assert_eq!(m.core_epoch(CoreId(5)), 1);
+
+        // Recovery still converges on the fault-free state.
+        let r = m.run_to_completion();
+        assert!(r.rollbacks >= 1);
+        let mut clean = Machine::with_programs(&cfg, progs(()));
+        clean.run_to_completion();
+        let line = x.line(Default::default());
+        assert_eq!(
+            m.effective_line_value(line),
+            clean.effective_line_value(line)
+        );
+    }
+
+    /// Satellite-bugfix regression: a core blocked mid-stall that is
+    /// re-blocked, re-tagged and finally swept up by a rollback must have
+    /// every elapsed interval attributed to exactly one category — the
+    /// rollback path used to clear `block_since` without flushing it,
+    /// silently dropping the open interval from the breakdown.
+    #[test]
+    fn multi_phase_stall_cycles_are_fully_attributed() {
+        use crate::metrics::OverheadKind;
+        let cfg = rebound_cfg(1);
+        let mut m =
+            Machine::with_programs(&cfg, vec![CoreProgram::script([Op::Compute(10), Op::End])]);
+        let c0 = CoreId(0);
+        m.now = Cycle(1_000);
+        m.block_ckpt(c0, OverheadKind::Sync);
+        m.now = Cycle(1_300);
+        m.retag_block(c0, OverheadKind::WbDelay); // flushes 300 → Sync
+        m.now = Cycle(1_450);
+        m.block_ckpt(c0, OverheadKind::Sync); // re-block mid-stall: 150 → WbDelay
+        m.now = Cycle(2_000);
+        m.rollback_core_state(c0, 0); // must flush the open 550 → Sync
+        let s = &m.cores[0].stall;
+        assert_eq!(s.sync_delay, 300 + 550);
+        assert_eq!(s.wb_delay, 150);
+        assert_eq!(
+            s.total(),
+            1_000,
+            "every blocked cycle lands in exactly one category"
+        );
+        assert!(m.cores[0].block_since.is_none());
     }
 }

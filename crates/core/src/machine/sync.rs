@@ -210,6 +210,20 @@ impl Machine {
                     self.initiate_checkpoint(core, true);
                 }
             }
+            crate::config::Scheme::Epoch { .. } => {
+                let c = &self.cores[core.index()];
+                if c.role != super::EpisodeState::Idle || c.drain.active {
+                    // The previous snapshot is still draining; retry once
+                    // it finalizes.
+                    self.cores[core.index()].resume_op = Some(Op::OutputIo);
+                    self.resume_core(core, 500);
+                } else {
+                    let idx = core.index();
+                    self.cores[idx].insts += 1;
+                    self.cores[idx].epoch += 1;
+                    self.take_epoch_snapshot(core, true);
+                }
+            }
         }
     }
 }

@@ -151,7 +151,10 @@ fn ck_req(m: &Machine, to: CoreId, initiator: CoreId, epoch: u64, from: CoreId) 
         }
         EpisodeState::Member { .. }
         | EpisodeState::GlobalMember { .. }
-        | EpisodeState::BarMember { .. } => {
+        | EpisodeState::BarMember { .. }
+        | EpisodeState::EpochSnap { .. } => {
+            // EpochSnap is unreachable here (the epoch scheme sends no
+            // CK?), but a Busy keeps the rule total.
             t.push(busy_reply(to, initiator, epoch));
         }
         EpisodeState::Idle => ck_req_idle(m, to, initiator, epoch, from, &mut t),

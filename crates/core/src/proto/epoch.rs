@@ -1,0 +1,64 @@
+//! In-band epoch-propagation checkpointing (`Rebound_Epoch`) — the
+//! Chandy–Lamport-style alternative to out-of-band coordination.
+//!
+//! Checkpoint epochs ride on the coherence fabric instead of dedicated
+//! protocol messages. Every store stamps its line with the writer's
+//! current epoch (`Machine::line_epochs`); when a core is about to
+//! perform an access that would observe a line stamped with a *newer*
+//! epoch, the machine first takes a local snapshot, adopts the newer
+//! epoch, and only then re-issues the access (the pre-consumption order
+//! is what makes the scheme sound: a snapshot taken *after* consuming
+//! the data would embed state the producer's rollback later undoes). At
+//! an interval boundary a core simply bumps its own epoch and snapshots
+//! — no interaction-set collection, no CK? round trips, no
+//! drain-for-collection stalls.
+//!
+//! The recovery line is derived after the fact from per-checkpoint
+//! epoch tags: a record tagged `e` provably contains no influence of
+//! data produced at epoch ≥ `e`, so rollback bounds each pulled
+//! consumer's target by its producer's target epoch and tightens to a
+//! fixpoint (`machine/rollback.rs` — the epoch generalization of the
+//! cluster scheme's `taken_at` cycle bounding).
+//!
+//! This protocol therefore owns **no wire messages**: `trigger` is its
+//! only kernel entry point, and the snapshot-on-observation path is
+//! driven by the machine's access pipeline (`Machine::epoch_probe`).
+
+use rebound_engine::CoreId;
+
+use crate::machine::Machine;
+
+use super::{CoordinationProtocol, EpisodeState, ProtoError, ProtoMsg, Transition, TriggerAction};
+
+/// The `Rebound_Epoch` coordination protocol.
+pub struct EpochPropagation;
+
+impl CoordinationProtocol for EpochPropagation {
+    fn name(&self) -> &'static str {
+        "epoch-propagation"
+    }
+
+    /// Interval-boundary gate: idle (one snapshot at a time) with no
+    /// drain still running from the previous snapshot, and an interval
+    /// (or forced checkpoint) due. There is no backoff — nothing to
+    /// collide with — and no barrier overlay under this scheme.
+    fn trigger(&self, m: &Machine, core: CoreId) -> Option<TriggerAction> {
+        let c = &m.cores[core.index()];
+        if c.role != EpisodeState::Idle || c.drain.active {
+            return None;
+        }
+        let due = c.force_ckpt || c.insts >= c.next_ckpt_due;
+        due.then_some(TriggerAction::EpochSnapshot {
+            for_io: c.force_ckpt,
+        })
+    }
+
+    /// Epochs piggyback on coherence metadata, so no `ProtoMsg` belongs
+    /// to this family; any message routed here is a protocol violation.
+    fn on_msg(&self, _m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Transition, ProtoError> {
+        Err(ProtoError::UnroutedMessage {
+            core: to,
+            msg: msg.name(),
+        })
+    }
+}

@@ -33,6 +33,7 @@
 
 mod barrier;
 mod distributed;
+mod epoch;
 mod global;
 
 use std::fmt;
@@ -44,6 +45,7 @@ use crate::machine::{Machine, PROTO_HANDLE_COST};
 
 pub use barrier::BarCkOverlay;
 pub use distributed::DistributedTwoPhase;
+pub use epoch::EpochPropagation;
 pub use global::GlobalCoordinator;
 
 pub(crate) use barrier::join as barck_join_transition;
@@ -144,6 +146,11 @@ pub enum WbKind {
     Global { coordinator: CoreId },
     /// A barrier-optimization checkpoint (§4.2.1).
     Barrier { initiator: CoreId },
+    /// An in-band epoch-propagation snapshot (`Rebound_Epoch`): taken
+    /// locally on an interval boundary or on first observation of a
+    /// newer epoch — no coordinator, no episode peers. `for_io` keeps
+    /// the core parked to the end (output-I/O forced snapshots).
+    Epoch { epoch: u64, for_io: bool },
 }
 
 /// Checkpoint-protocol position of one core.
@@ -175,6 +182,14 @@ pub enum EpisodeState {
     GlobalMember { coordinator: CoreId },
     /// Participating in a barrier-optimization checkpoint.
     BarMember { initiator: CoreId },
+    /// Taking an in-band epoch snapshot (`Rebound_Epoch`): the local
+    /// snapshot is committed and its writebacks are draining; the core
+    /// resumes as soon as setup finishes, and the state returns to
+    /// `Idle` when the drain's `WbFlushDone`/finalization lands. There
+    /// is no initiator: epoch snapshots have no coordination peers.
+    /// `for_io` marks a snapshot forced by output I/O, whose core stays
+    /// parked until the snapshot fully completes.
+    EpochSnap { epoch: u64, for_io: bool },
 }
 
 impl EpisodeState {
@@ -187,6 +202,7 @@ impl EpisodeState {
             EpisodeState::Member { .. } => "Member",
             EpisodeState::GlobalMember { .. } => "GlobalMember",
             EpisodeState::BarMember { .. } => "BarMember",
+            EpisodeState::EpochSnap { .. } => "EpochSnap",
         }
     }
 
@@ -194,9 +210,9 @@ impl EpisodeState {
     pub fn epoch(&self) -> Option<u64> {
         match self {
             EpisodeState::Initiating(st) => Some(st.epoch),
-            EpisodeState::Accepted { epoch, .. } | EpisodeState::Member { epoch, .. } => {
-                Some(*epoch)
-            }
+            EpisodeState::Accepted { epoch, .. }
+            | EpisodeState::Member { epoch, .. }
+            | EpisodeState::EpochSnap { epoch, .. } => Some(*epoch),
             _ => None,
         }
     }
@@ -418,6 +434,13 @@ pub enum TriggerAction {
     },
     /// Start a Global checkpoint with `core` as coordinator.
     StartGlobal,
+    /// Take a local in-band epoch snapshot (`Rebound_Epoch`): bump the
+    /// core's epoch and snapshot with no coordination round trips.
+    EpochSnapshot {
+        /// Forced by output I/O: the core stays parked until the
+        /// snapshot's writebacks have fully drained.
+        for_io: bool,
+    },
 }
 
 /// A pluggable coordination-protocol family.
@@ -456,6 +479,7 @@ pub fn protocol_for(scheme: crate::config::Scheme) -> Option<&'static dyn Coordi
         Scheme::None => None,
         Scheme::Global { .. } => Some(&GlobalCoordinator),
         Scheme::Rebound { .. } | Scheme::Cluster { .. } => Some(&DistributedTwoPhase),
+        Scheme::Epoch { .. } => Some(&EpochPropagation),
     }
 }
 
@@ -492,7 +516,9 @@ fn writeback_transition(m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Trans
     match msg {
         // A stalled (NoDWB) writeback burst completed.
         ProtoMsg::WbFlushDone => match &m.cores[to.index()].role {
-            EpisodeState::Member { .. } | EpisodeState::GlobalMember { .. } => {
+            EpisodeState::Member { .. }
+            | EpisodeState::GlobalMember { .. }
+            | EpisodeState::EpochSnap { .. } => {
                 t.push(ProtoAction::FinalizeMemberCkpt { core: to });
             }
             EpisodeState::Initiating(st) if st.started => {
@@ -504,10 +530,11 @@ fn writeback_transition(m: &Machine, to: CoreId, msg: &ProtoMsg) -> Result<Trans
         // (unless the checkpoint precedes an output I/O, in which case
         // the initiator stays parked until completion).
         ProtoMsg::SetupDone => {
-            let keep_parked = matches!(
-                &m.cores[to.index()].role,
-                EpisodeState::Initiating(st) if st.for_io
-            );
+            let keep_parked = match &m.cores[to.index()].role {
+                EpisodeState::Initiating(st) => st.for_io,
+                EpisodeState::EpochSnap { for_io, .. } => *for_io,
+                _ => false,
+            };
             if !keep_parked
                 && m.cores[to.index()].run
                     == crate::machine::RunState::Blocked(crate::machine::Block::Ckpt)

@@ -57,6 +57,8 @@ fn arb_state() -> impl Strategy<Value = EpisodeState> {
             .prop_map(|(initiator, epoch)| EpisodeState::Member { initiator, epoch }),
         arb_core().prop_map(|coordinator| EpisodeState::GlobalMember { coordinator }),
         arb_core().prop_map(|initiator| EpisodeState::BarMember { initiator }),
+        (arb_epoch(), any::<bool>())
+            .prop_map(|(epoch, for_io)| EpisodeState::EpochSnap { epoch, for_io }),
         (
             arb_epoch(),
             any::<u8>(),

@@ -36,6 +36,12 @@ const COLUMNS: &[&str] = &[
     "msgs",
     "log_entries",
     "log_peak_bytes",
+    "stall_sync",
+    "stall_wb",
+    "stall_imbalance",
+    "stall_ipc",
+    "stall_total",
+    "recovery_cycles",
     "ichk_pct",
     "oracle",
     "oracle_checks",
@@ -63,6 +69,17 @@ impl CampaignResult {
             o.report.msgs.total().to_string(),
             o.report.log_entries.to_string(),
             o.report.log_max_interval_bytes.to_string(),
+            o.report.metrics.breakdown.sync_delay.to_string(),
+            o.report.metrics.breakdown.wb_delay.to_string(),
+            o.report.metrics.breakdown.wb_imbalance.to_string(),
+            o.report.metrics.breakdown.ipc_delay.to_string(),
+            o.report.metrics.breakdown.total().to_string(),
+            {
+                // Total cycles spent in recovery (sum over rollbacks);
+                // mean×count reconstructs the sum a RunningStats holds.
+                let r = &o.report.metrics.recovery_cycles;
+                ((r.mean() * r.count() as f64).round() as u64).to_string()
+            },
             format!("{:.3}", 100.0 * o.report.ichk_fraction()),
             o.verdict.tag().to_string(),
             o.checks.clone(),
@@ -105,6 +122,12 @@ impl CampaignResult {
                         | "msgs"
                         | "log_entries"
                         | "log_peak_bytes"
+                        | "stall_sync"
+                        | "stall_wb"
+                        | "stall_imbalance"
+                        | "stall_ipc"
+                        | "stall_total"
+                        | "recovery_cycles"
                         | "ichk_pct"
                 );
                 if numeric {

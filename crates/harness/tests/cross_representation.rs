@@ -4,7 +4,10 @@
 //! asserts the campaign rows — cycles, instructions, checkpoint and
 //! rollback counts, message totals, log entries and peak bytes, ICHK
 //! sizes — are byte-identical to `tests/golden/cross_repr.csv`, a
-//! snapshot taken at the commit *before* the data-plane refactor.
+//! snapshot taken at the commit *before* the data-plane refactor
+//! (re-captured when the typed `stall_*`/`recovery_cycles` columns
+//! widened the CSV schema: every pre-existing column stayed
+//! byte-identical, rows only gained the new fields).
 //!
 //! Regenerate (only when an intentional behavioural change lands):
 //!

@@ -1,0 +1,60 @@
+//! Checkpoint-stall comparison: in-band epoch propagation
+//! (`Rebound_Epoch`) vs the §3.3.4 two-phase interaction-set protocol
+//! (`Rebound`), at 64 and 256 cores. Prints the typed stall breakdown
+//! (the campaign CSV's `stall_*` columns), completed checkpoints and
+//! protocol message traffic per cell — the table quoted in the README's
+//! Performance section.
+//!
+//! ```sh
+//! cargo run --release --example epoch_stalls
+//! ```
+//!
+//! Cells use the same knobs as the `sim_throughput` bench (interval
+//! 8 000 insts, seed 7, 6 000-inst quota per core) so the numbers line
+//! up with `BENCH_sim.json`.
+
+use rebound::core::{Machine, MachineConfig, RunReport, Scheme};
+use rebound::workloads::profile_named;
+
+const QUOTA: u64 = 6_000;
+
+fn run(scheme: Scheme, app: &str, cores: usize) -> RunReport {
+    let mut cfg = MachineConfig::small(cores);
+    cfg.scheme = scheme;
+    cfg.ckpt_interval_insts = 8_000;
+    cfg.seed = 7;
+    let profile = profile_named(app).expect("catalog app");
+    Machine::from_profile(&cfg, &profile, QUOTA).run_to_completion()
+}
+
+fn main() {
+    println!("== Checkpoint-stall cycles: Rebound (two-phase) vs Rebound_Epoch ==\n");
+    println!(
+        "{:<16} {:>5} {:>6} | {:>10} {:>10} {:>10} {:>10} | {:>6} {:>8}",
+        "scheme", "app", "cores", "sync", "wb", "imbalance", "total", "ckpts", "msgs"
+    );
+    for cores in [64usize, 256] {
+        for app in ["Ocean", "FFT"] {
+            for scheme in [Scheme::REBOUND, Scheme::REBOUND_EPOCH] {
+                let r = run(scheme, app, cores);
+                let b = &r.metrics.breakdown;
+                println!(
+                    "{:<16} {:>5} {:>6} | {:>10} {:>10} {:>10} {:>10} | {:>6} {:>8}",
+                    scheme.label(),
+                    app,
+                    cores,
+                    b.sync_delay,
+                    b.wb_delay,
+                    b.wb_imbalance,
+                    b.total(),
+                    r.checkpoints,
+                    r.msgs.total(),
+                );
+            }
+        }
+        println!();
+    }
+    println!("Epoch propagation sends no coordination messages: checkpoint");
+    println!("stalls shrink to local snapshot writebacks, at the cost of");
+    println!("more (uncoordinated) snapshots at epoch-observation points.");
+}
