@@ -73,7 +73,7 @@ fn main() {
     println!("```");
     println!("{}\n", result.summary());
     for f in result.failures() {
-        println!("ORACLE FAILURE {}: {:?}", f.job.label(), f.verdict);
+        println!("ORACLE FAILURE {}: {:?}", f.job.label(), f.run.verdict);
     }
     assert!(
         result.failures().is_empty(),

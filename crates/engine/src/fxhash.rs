@@ -89,6 +89,94 @@ impl Hasher for FxHasher {
 /// `BuildHasher` for [`FxHasher`]; zero-sized, no per-process seed.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// A streaming 128-bit content hasher for stable, cross-run identities
+/// (campaign-store content keys and the like).
+///
+/// Two independently-seeded [`FxHasher`] lanes absorb the same input; the
+/// pair of 64-bit finishes concatenates into a 32-hex-char digest. Every
+/// field is *framed* — a kind tag plus, for byte strings, a length
+/// prefix — so `("ab", "c")` and `("a", "bc")` can never collide by
+/// concatenation, and a string is never confused with an integer.
+///
+/// Like [`FxHasher`], this is deterministic across processes and
+/// platforms but **not** cryptographic: never use it where an adversary
+/// chooses the input. Content keys hash trusted experiment descriptions.
+///
+/// # Example
+///
+/// ```
+/// use rebound_engine::ContentHasher;
+///
+/// let mut h = ContentHasher::new();
+/// h.update_str("Rebound");
+/// h.update_u64(64);
+/// let hex = h.finish_hex();
+/// assert_eq!(hex.len(), 32);
+///
+/// let mut again = ContentHasher::new();
+/// again.update_str("Rebound");
+/// again.update_u64(64);
+/// assert_eq!(again.finish_hex(), hex);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ContentHasher {
+    a: FxHasher,
+    b: FxHasher,
+}
+
+/// Seed of the second lane; any constant different from lane A's zero
+/// state works, this one is the bit-reversed multiply seed.
+const LANE_B_SEED: u64 = SEED.reverse_bits();
+
+/// Frame tags, one per field kind.
+const TAG_STR: u8 = 1;
+const TAG_U64: u8 = 2;
+
+impl ContentHasher {
+    /// Creates a fresh hasher (empty input).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> ContentHasher {
+        ContentHasher {
+            a: FxHasher::default(),
+            b: FxHasher { hash: LANE_B_SEED },
+        }
+    }
+
+    #[inline]
+    fn both(&mut self, f: impl Fn(&mut FxHasher)) {
+        f(&mut self.a);
+        f(&mut self.b);
+    }
+
+    /// Absorbs a string field (framed: tag + length + bytes).
+    pub fn update_str(&mut self, s: &str) {
+        self.both(|h| {
+            h.write_u8(TAG_STR);
+            h.write_u64(s.len() as u64);
+            h.write(s.as_bytes());
+        });
+    }
+
+    /// Absorbs an integer field (framed: tag + value).
+    pub fn update_u64(&mut self, v: u64) {
+        self.both(|h| {
+            h.write_u8(TAG_U64);
+            h.write_u64(v);
+        });
+    }
+
+    /// The two lane digests.
+    pub fn finish128(&self) -> [u64; 2] {
+        [self.a.finish(), self.b.finish()]
+    }
+
+    /// The digest as 32 lowercase hex characters.
+    pub fn finish_hex(&self) -> String {
+        let [a, b] = self.finish128();
+        format!("{a:016x}{b:016x}")
+    }
+}
+
 /// A `HashMap` using [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
@@ -127,5 +215,57 @@ mod tests {
         let h1 = FxBuildHasher::default().hash_one([1u8, 2, 3]);
         let h2 = FxBuildHasher::default().hash_one([1u8, 2, 4]);
         assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn content_hasher_is_deterministic_and_hex_shaped() {
+        let digest = |fields: &[&str]| {
+            let mut h = ContentHasher::new();
+            for f in fields {
+                h.update_str(f);
+            }
+            h.finish_hex()
+        };
+        let a = digest(&["Rebound", "Ocean", "clean"]);
+        assert_eq!(a, digest(&["Rebound", "Ocean", "clean"]));
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, digest(&["Rebound", "Ocean", "f1@30000"]));
+    }
+
+    #[test]
+    fn content_hasher_frames_fields() {
+        // Concatenation ambiguity: ("ab","c") vs ("a","bc").
+        let mut h1 = ContentHasher::new();
+        h1.update_str("ab");
+        h1.update_str("c");
+        let mut h2 = ContentHasher::new();
+        h2.update_str("a");
+        h2.update_str("bc");
+        assert_ne!(h1.finish_hex(), h2.finish_hex());
+
+        // Kind ambiguity: the number 7 vs the string "7".
+        let mut h3 = ContentHasher::new();
+        h3.update_u64(7);
+        let mut h4 = ContentHasher::new();
+        h4.update_str("7");
+        assert_ne!(h3.finish_hex(), h4.finish_hex());
+
+        // Order sensitivity.
+        let mut h5 = ContentHasher::new();
+        h5.update_u64(1);
+        h5.update_u64(2);
+        let mut h6 = ContentHasher::new();
+        h6.update_u64(2);
+        h6.update_u64(1);
+        assert_ne!(h5.finish_hex(), h6.finish_hex());
+    }
+
+    #[test]
+    fn content_hasher_lanes_are_independent() {
+        let mut h = ContentHasher::new();
+        h.update_str("x");
+        let [a, b] = h.finish128();
+        assert_ne!(a, b, "identical lanes would halve the digest width");
     }
 }

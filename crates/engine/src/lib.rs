@@ -37,7 +37,7 @@ pub mod stats;
 
 pub use clock::Cycle;
 pub use event::EventQueue;
-pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use fxhash::{ContentHasher, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, CoreId, LineAddr, LineGeometry, LineId, NodeId};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RunningStats};

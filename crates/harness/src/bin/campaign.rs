@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! rebound-campaign [--spec acceptance|smoke|matrix|adversarial|scale] [--jobs N]
-//!                  [--sim-threads N] [--filter SUBSTR] [--out FILE.csv]
-//!                  [--json FILE.json] [--no-oracle] [--list]
+//!                  [--sim-threads N] [--filter SUBSTR] [--shard I/N]
+//!                  [--store DIR] [--out FILE.csv] [--json FILE.json]
+//!                  [--no-oracle] [--list]
 //! ```
 //!
 //! * `--spec` — which built-in campaign to run (default `acceptance`:
@@ -20,10 +21,17 @@
 //!   output is byte-identical for any value.
 //! * `--filter SUBSTR` — keep only jobs whose label
 //!   (`Scheme/App/c<cores>/s<seed>/<plan>`) or fault-plan detail
-//!   contains the substring. `<plan>` is the plan's family name when it
-//!   has one (`mid-drain`, `storm3`, …), else its derived trigger
-//!   string (`f1@30000`, `f1@drain`, …) — so `--filter mid-drain`,
-//!   `--filter Rebound/FFT` and `--filter f1@` all work.
+//!   contains the substring. A filter that matches **nothing** is a hard
+//!   error (exit 2): a typo'd filter in CI must not stay green forever.
+//! * `--shard I/N` — after filtering, keep only shard `I` of `N`
+//!   (round-robin by position). The union of all `N` shards' CSV rows
+//!   equals the unsharded CSV (merge the bodies sorted by id), so a
+//!   matrix splits across CI jobs or machines.
+//! * `--store DIR` — content-addressed result store: rows cached under a
+//!   key of each job's semantic identity + code version are loaded
+//!   instead of simulated; misses are simulated and persisted atomically.
+//!   The CSV is byte-identical to a storeless run; stderr reports
+//!   `store: H cached, M recomputed`.
 //! * `--out FILE` — write the CSV there (default: stdout).
 //! * `--json FILE` — additionally write the JSON rendering.
 //! * `--no-oracle` — skip golden replays (faster; faulty runs unchecked).
@@ -34,13 +42,15 @@
 
 use std::process::ExitCode;
 
-use rebound_harness::{default_jobs, default_sim_threads, run_jobs_with, CampaignSpec};
+use rebound_harness::{
+    default_jobs, default_sim_threads, run_jobs_stored, CampaignSpec, Shard, Store,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: rebound-campaign [--spec acceptance|smoke|matrix|adversarial|scale] [--jobs N] \
-         [--sim-threads N] [--filter SUBSTR] [--out FILE.csv] [--json FILE.json] [--no-oracle] \
-         [--list]"
+         [--sim-threads N] [--filter SUBSTR] [--shard I/N] [--store DIR] [--out FILE.csv] \
+         [--json FILE.json] [--no-oracle] [--list]"
     );
     std::process::exit(2);
 }
@@ -50,6 +60,8 @@ fn main() -> ExitCode {
     let mut jobs = default_jobs();
     let mut sim_threads = default_sim_threads();
     let mut filter: Option<String> = None;
+    let mut shard: Option<Shard> = None;
+    let mut store_dir: Option<String> = None;
     let mut out: Option<String> = None;
     let mut json: Option<String> = None;
     let mut oracle = true;
@@ -77,6 +89,14 @@ fn main() -> ExitCode {
                 }
             }
             "--filter" => filter = Some(value(&mut i)),
+            "--shard" => match Shard::parse(&value(&mut i)) {
+                Ok(s) => shard = Some(s),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
+            "--store" => store_dir = Some(value(&mut i)),
             "--out" | "-o" => out = Some(value(&mut i)),
             "--json" => json = Some(value(&mut i)),
             "--no-oracle" => oracle = false,
@@ -109,11 +129,23 @@ fn main() -> ExitCode {
     if let Some(f) = &filter {
         // Match on the label (whose <plan> part is the plan's family
         // name when it has one) *and* on the derived trigger detail, so
-        // named and unnamed plans are both addressable.
+        // named and unnamed plans are both addressable. Matching nothing
+        // is a hard error — a typo'd filter in CI must not stay green.
         expanded.retain(|j| j.label().contains(f.as_str()) || j.plan.detail().contains(f.as_str()));
         if expanded.is_empty() {
-            eprintln!("--filter {f:?} matched no jobs");
+            eprintln!("error: --filter {f:?} matched no jobs");
             return ExitCode::from(2);
+        }
+    }
+    if let Some(s) = shard {
+        expanded = s.apply(expanded);
+        // An empty shard is legitimate (more shards than jobs): its CSV
+        // is header-only and the union property still holds.
+        if expanded.is_empty() {
+            eprintln!(
+                "warning: shard {}/{} holds no jobs at this matrix size",
+                s.index, s.of
+            );
         }
     }
 
@@ -132,19 +164,43 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let store = match &store_dir {
+        Some(dir) => match Store::open(dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot open store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     eprintln!(
-        "rebound-campaign: {} jobs ({} spec{}) on {} workers, {} sim thread{} per job",
+        "rebound-campaign: {} jobs ({} spec{}{}) on {} workers, {} sim thread{} per job{}",
         expanded.len(),
         spec_name,
         filter
             .as_ref()
             .map(|f| format!(", filter {f:?}"))
             .unwrap_or_default(),
+        shard
+            .map(|s| format!(", shard {}/{}", s.index, s.of))
+            .unwrap_or_default(),
         jobs,
         sim_threads,
-        if sim_threads == 1 { "" } else { "s" }
+        if sim_threads == 1 { "" } else { "s" },
+        store
+            .as_ref()
+            .map(|s| format!(", store {}", s.root().display()))
+            .unwrap_or_default(),
     );
-    let result = run_jobs_with(expanded, jobs, sim_threads);
+    let result = run_jobs_stored(expanded, jobs, sim_threads, store.as_ref());
+    if let Some(stats) = &result.store {
+        eprintln!(
+            "store: {} cached, {} recomputed",
+            stats.hits, stats.recomputed
+        );
+    }
 
     let csv = result.to_csv();
     match &out {
@@ -167,7 +223,7 @@ fn main() -> ExitCode {
 
     eprintln!("{}", result.summary());
     for f in result.failures() {
-        eprintln!("ORACLE FAILURE {}: {:?}", f.job.label(), f.verdict);
+        eprintln!("ORACLE FAILURE {}: {:?}", f.job.label(), f.run.verdict);
     }
     if result.failures().is_empty() {
         ExitCode::SUCCESS

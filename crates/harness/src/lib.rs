@@ -22,7 +22,12 @@
 //! Everything emitted into the CSV/JSON tables is a deterministic
 //! function of the spec, so output is **byte-identical for any worker
 //! count** — `rebound-campaign --jobs 1` and `--jobs 8` produce the same
-//! file.
+//! file. That determinism is also what makes results *cacheable*: the
+//! content-addressed [`store`] persists each job's row under a hash of
+//! its semantic identity, so `--store DIR` campaigns recompute only
+//! cache misses ([`run_jobs_stored`]) and [`Shard`] splits a matrix
+//! across CI jobs with the union of shard CSVs equal to the unsharded
+//! one.
 //!
 //! # Example
 //!
@@ -41,13 +46,17 @@ pub mod oracle;
 pub mod pool;
 pub mod results;
 pub mod spec;
+pub mod store;
 #[cfg(feature = "strategies")]
 pub mod strategies;
 
 pub use oracle::{run_job, run_job_with, JobOutcome, OracleVerdict};
 pub use pool::{default_jobs, default_sim_threads, parallel_map};
-pub use results::CampaignResult;
-pub use spec::{CampaignSpec, FaultPhase, FaultPlan, FaultSpec, FaultTrigger, Job, RunScale};
+pub use results::{CampaignResult, CampaignRow, RunRow, StoreStats};
+pub use spec::{
+    CampaignSpec, FaultPhase, FaultPlan, FaultSpec, FaultTrigger, Job, RunScale, Shard,
+};
+pub use store::{Store, STORE_SCHEMA_VERSION};
 
 use std::time::Instant;
 
@@ -69,12 +78,64 @@ pub fn run_jobs(jobs_list: Vec<Job>, jobs: usize) -> CampaignResult {
 /// replay; see [`oracle::run_job_with`]). Output rows are byte-identical
 /// for any combination of `jobs` and `sim_threads`.
 pub fn run_jobs_with(jobs_list: Vec<Job>, jobs: usize, sim_threads: usize) -> CampaignResult {
+    run_jobs_stored(jobs_list, jobs, sim_threads, None)
+}
+
+/// Executes a job list against an optional content-addressed result
+/// [`Store`]: rows whose content key is present load from disk, misses
+/// simulate and persist atomically. Cached and recomputed rows flow
+/// through the same rendering path, so the aggregate CSV/JSON is
+/// byte-identical whether the store was cold, warm, or absent.
+///
+/// A store write failure is not fatal — the row was computed, the
+/// campaign stays correct; the failure is reported on stderr and the
+/// job simply stays uncached.
+pub fn run_jobs_stored(
+    jobs_list: Vec<Job>,
+    jobs: usize,
+    sim_threads: usize,
+    store: Option<&Store>,
+) -> CampaignResult {
     let t0 = Instant::now();
-    let outcomes = parallel_map(&jobs_list, jobs, |j| run_job_with(j, sim_threads));
+    let rows = parallel_map(&jobs_list, jobs, |j| {
+        if let Some(st) = store {
+            let key = st.key(j);
+            if let Some(run) = st.load(&key) {
+                return CampaignRow {
+                    job: j.clone(),
+                    run,
+                    cached: true,
+                };
+            }
+            let run = run_job_with(j, sim_threads).run_row();
+            if let Err(e) = st.save(&key, &run) {
+                eprintln!("warning: store write for {} failed: {e}", j.label());
+            }
+            CampaignRow {
+                job: j.clone(),
+                run,
+                cached: false,
+            }
+        } else {
+            CampaignRow {
+                job: j.clone(),
+                run: run_job_with(j, sim_threads).run_row(),
+                cached: false,
+            }
+        }
+    });
+    let stats = store.map(|_| {
+        let hits = rows.iter().filter(|r| r.cached).count();
+        StoreStats {
+            hits,
+            recomputed: rows.len() - hits,
+        }
+    });
     CampaignResult {
-        outcomes,
+        rows,
         jobs_used: jobs.max(1),
         wall_ms: t0.elapsed().as_millis(),
+        store: stats,
     }
 }
 
@@ -105,12 +166,15 @@ mod tests {
         let r = run_campaign(&spec, 4);
         let csv = r.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 1 + r.outcomes.len());
+        assert_eq!(lines.len(), 1 + r.rows.len());
         assert!(lines[0].starts_with("id,scheme,app,"));
         // Oracle disabled: every verdict is "-".
         assert!(r
-            .outcomes
+            .rows
             .iter()
-            .all(|o| o.verdict == OracleVerdict::NotApplicable));
+            .all(|row| row.run.verdict == OracleVerdict::NotApplicable));
+        // No store in play: no cache accounting, nothing marked cached.
+        assert!(r.store.is_none());
+        assert!(r.rows.iter().all(|row| !row.cached));
     }
 }

@@ -73,6 +73,20 @@ impl OracleVerdict {
     pub fn is_failure(&self) -> bool {
         matches!(self, OracleVerdict::Fail(_))
     }
+
+    /// Inverse of [`OracleVerdict::tag`] plus the detail column: rebuilds
+    /// the verdict from its stored representation (the store codec keeps
+    /// a failure's diagnosis in the detail field). `None` for an unknown
+    /// tag — a corrupt store entry reads as a cache miss, never a panic.
+    pub fn from_tag(tag: &str, detail: &str) -> Option<OracleVerdict> {
+        match tag {
+            "pass" => Some(OracleVerdict::Pass),
+            "-" => Some(OracleVerdict::NotApplicable),
+            "vacuous" => Some(OracleVerdict::Vacuous),
+            "FAIL" => Some(OracleVerdict::Fail(detail.to_string())),
+            _ => None,
+        }
+    }
 }
 
 /// The outcome of one executed job: its run report plus, for faulty

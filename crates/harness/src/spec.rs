@@ -399,6 +399,54 @@ impl CampaignSpec {
     }
 }
 
+/// A deterministic `i/n` slice of an expanded job list, so one matrix
+/// splits across CI jobs or machines. Slicing is round-robin by list
+/// position (`pos % n == i`): every shard gets a near-equal share of
+/// every scheme/app stripe, and the shards partition the list — the
+/// union of all `n` shard results equals the unsharded result, row for
+/// row (jobs keep their expansion ids, so a merge sorted by id
+/// reconstructs the unsharded CSV body exactly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0 <= index < of`.
+    pub index: usize,
+    /// Total number of shards.
+    pub of: usize,
+}
+
+impl Shard {
+    /// Parses the CLI syntax `i/n` (e.g. `0/3`), validating
+    /// `n >= 1 && i < n`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard {s:?}: expected i/n, e.g. 0/3"))?;
+        let index: usize = i
+            .parse()
+            .map_err(|_| format!("bad shard index {i:?} in {s:?}"))?;
+        let of: usize = n
+            .parse()
+            .map_err(|_| format!("bad shard count {n:?} in {s:?}"))?;
+        if of == 0 {
+            return Err(format!("bad shard {s:?}: count must be >= 1"));
+        }
+        if index >= of {
+            return Err(format!("bad shard {s:?}: index must be < count"));
+        }
+        Ok(Shard { index, of })
+    }
+
+    /// Keeps only this shard's slice of `jobs` (round-robin by
+    /// position), preserving order and job ids.
+    pub fn apply(&self, jobs: Vec<Job>) -> Vec<Job> {
+        jobs.into_iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % self.of == self.index)
+            .map(|(_, j)| j)
+            .collect()
+    }
+}
+
 /// One fully specified run of the campaign matrix.
 #[derive(Clone, Debug)]
 pub struct Job {
@@ -543,5 +591,43 @@ mod tests {
         let mut spec = CampaignSpec::smoke();
         spec.apps = vec!["Nonesuch".to_string()];
         spec.expand();
+    }
+
+    #[test]
+    fn shard_parse_accepts_i_slash_n_and_rejects_garbage() {
+        assert_eq!(Shard::parse("0/3"), Ok(Shard { index: 0, of: 3 }));
+        assert_eq!(Shard::parse("2/3"), Ok(Shard { index: 2, of: 3 }));
+        assert_eq!(Shard::parse("0/1"), Ok(Shard { index: 0, of: 1 }));
+        for bad in ["3/3", "4/3", "0/0", "1", "a/b", "1/", "/2", "-1/2"] {
+            assert!(Shard::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_expansion() {
+        // The union of all shards == the unsharded list (same ids, each
+        // exactly once), shards are disjoint and near-balanced — on the
+        // adversarial spec, whose job count is not a multiple of 3.
+        let jobs = CampaignSpec::adversarial().expand();
+        let all_ids: Vec<usize> = jobs.iter().map(|j| j.id).collect();
+        let n = 3;
+        let mut union: Vec<usize> = Vec::new();
+        let mut sizes = Vec::new();
+        for index in 0..n {
+            let shard = Shard { index, of: n };
+            let part = shard.apply(jobs.clone());
+            sizes.push(part.len());
+            union.extend(part.iter().map(|j| j.id));
+        }
+        union.sort_unstable();
+        assert_eq!(union, all_ids, "shards must partition the job list");
+        assert!(
+            sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1,
+            "round-robin shards must be balanced, got {sizes:?}"
+        );
+
+        // 1-way sharding is the identity.
+        let whole = Shard { index: 0, of: 1 }.apply(jobs.clone());
+        assert_eq!(whole.len(), jobs.len());
     }
 }

@@ -22,7 +22,7 @@ fn adversarial_matrix_smoke_recovers_everywhere() {
         result
             .failures()
             .iter()
-            .map(|f| format!("{}: {:?}", f.job.label(), f.verdict))
+            .map(|f| format!("{}: {:?}", f.job.label(), f.run.verdict))
             .collect::<Vec<_>>()
             .join("\n")
     );
@@ -33,9 +33,9 @@ fn adversarial_matrix_smoke_recovers_everywhere() {
     for plan in spec.plans.iter().filter(|p| !p.is_clean()) {
         let name = plan.label();
         assert!(
-            result.outcomes.iter().any(|o| o.job.plan.label() == name
-                && matches!(o.verdict, OracleVerdict::Pass)
-                && o.fired != "-"),
+            result.rows.iter().any(|o| o.job.plan.label() == name
+                && matches!(o.run.verdict, OracleVerdict::Pass)
+                && o.run.fired != "-"),
             "plan family {name:?} never fired-and-passed on any scheme"
         );
     }

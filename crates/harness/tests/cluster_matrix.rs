@@ -24,7 +24,7 @@ fn cluster_scheme_recovers_across_the_adversarial_matrix() {
         result
             .failures()
             .iter()
-            .map(|f| format!("{}: {:?}", f.job.label(), f.verdict))
+            .map(|f| format!("{}: {:?}", f.job.label(), f.run.verdict))
             .collect::<Vec<_>>()
             .join("\n")
     );
@@ -37,7 +37,7 @@ fn cluster_scheme_recovers_across_the_adversarial_matrix() {
     for plan in spec.plans.iter().filter(|p| !p.is_clean()) {
         let name = plan.label();
         let cells: Vec<_> = result
-            .outcomes
+            .rows
             .iter()
             .filter(|o| o.job.plan.label() == name)
             .collect();
@@ -45,7 +45,7 @@ fn cluster_scheme_recovers_across_the_adversarial_matrix() {
             assert!(
                 cells
                     .iter()
-                    .all(|o| matches!(o.verdict, OracleVerdict::Vacuous)),
+                    .all(|o| matches!(o.run.verdict, OracleVerdict::Vacuous)),
                 "barrier-episode should be structurally vacuous under Rebound_Cluster"
             );
             continue;
@@ -53,7 +53,7 @@ fn cluster_scheme_recovers_across_the_adversarial_matrix() {
         assert!(
             cells
                 .iter()
-                .any(|o| matches!(o.verdict, OracleVerdict::Pass) && o.fired != "-"),
+                .any(|o| matches!(o.run.verdict, OracleVerdict::Pass) && o.run.fired != "-"),
             "plan family {name:?} never fired-and-passed under Rebound_Cluster"
         );
         // And no cell may regress to anything worse than a vacuous
@@ -61,7 +61,7 @@ fn cluster_scheme_recovers_across_the_adversarial_matrix() {
         assert!(
             cells
                 .iter()
-                .all(|o| matches!(o.verdict, OracleVerdict::Pass | OracleVerdict::Vacuous)),
+                .all(|o| matches!(o.run.verdict, OracleVerdict::Pass | OracleVerdict::Vacuous)),
             "plan family {name:?} has a non-pass cell"
         );
     }

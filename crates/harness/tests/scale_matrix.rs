@@ -20,20 +20,20 @@ fn scale_matrix_recovers_at_256_and_1024_cores() {
         result
             .failures()
             .iter()
-            .map(|f| format!("{}: {:?}", f.job.label(), f.verdict))
+            .map(|f| format!("{}: {:?}", f.job.label(), f.run.verdict))
             .collect::<Vec<_>>()
             .join("\n")
     );
     // The faulty half must exercise recovery for real: every faulty job
     // passes its oracle non-vacuously (the fault fired and rolled back).
-    for o in &result.outcomes {
+    for o in &result.rows {
         if !o.job.plan.is_clean() {
             assert!(
-                matches!(o.verdict, OracleVerdict::Pass) && o.fired != "-",
+                matches!(o.run.verdict, OracleVerdict::Pass) && o.run.fired != "-",
                 "{}: expected a non-vacuous oracle pass, got {:?} (fired {})",
                 o.job.label(),
-                o.verdict,
-                o.fired
+                o.run.verdict,
+                o.run.fired
             );
         }
     }

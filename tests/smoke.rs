@@ -82,11 +82,11 @@ fn full_matrix_determinism_across_worker_counts() {
     assert!(parallel.failures().is_empty(), "{}", parallel.summary());
 
     // Every cell actually ran its workload.
-    for o in &parallel.outcomes {
-        assert!(o.report.insts > 0, "{} retired nothing", o.job.label());
+    for o in &parallel.rows {
+        assert!(o.run.insts > 0, "{} retired nothing", o.job.label());
         if o.job.scheme.checkpoints() {
             assert!(
-                o.report.checkpoints > 0,
+                o.run.checkpoints > 0,
                 "{} never checkpointed",
                 o.job.label()
             );
