@@ -1,0 +1,120 @@
+//! Sharer-representation microbenchmarks: the wide [`CoreSet`] bitmask
+//! against the compact adaptive [`SharerSet`] at the occupancies that
+//! matter — empty, the 1–2-sharer common case, the inline↔mask boundary
+//! (5→6 members), a mask-resident set, a spilled set, and fully dense.
+//!
+//! Members are the low `occ` core ids, so each occupancy lands in its
+//! natural encoding tier (0–5 inline, 8 mask, 64+ spill) and the
+//! insert/remove cell at the boundary pays the real promotion/demotion
+//! churn: the inline-vs-spill crossover is measured here, not guessed.
+//!
+//! ```sh
+//! CRITERION_JSON=$PWD/bench-coreset-fresh.json \
+//!   cargo bench -p rebound-bench --bench coreset
+//! cargo run --release -p rebound-bench --bin bench_guard -- \
+//!   BENCH_coreset.json bench-coreset-fresh.json
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rebound_coherence::{CoreSet, SharerArena, SharerSet};
+use rebound_engine::CoreId;
+
+/// (label, member count). Members are core ids `0..occ`.
+const OCCUPANCIES: [(&str, usize); 7] = [
+    ("0", 0),
+    ("1", 1),
+    ("2", 2),
+    ("5", 5),
+    ("8", 8),
+    ("64", 64),
+    ("dense", CoreSet::MAX_CORES),
+];
+
+fn base_coreset(occ: usize) -> CoreSet {
+    CoreSet::all(occ)
+}
+
+/// The churned core: outside the base set when it can be, a member when
+/// the machine is full — either way one insert+remove round-trip restores
+/// the base set, so the measured state never drifts.
+fn churn_core(occ: usize) -> CoreId {
+    CoreId(occ.min(CoreSet::MAX_CORES - 1))
+}
+
+fn bench_wide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coreset");
+    for (label, occ) in OCCUPANCIES {
+        let extra = churn_core(occ);
+        g.bench_function(format!("insert_remove_{label}"), |b| {
+            let mut s = base_coreset(occ);
+            b.iter(|| {
+                if occ < CoreSet::MAX_CORES {
+                    s.insert(extra);
+                    black_box(s.remove(extra))
+                } else {
+                    s.remove(extra);
+                    black_box(s.insert(extra))
+                }
+            });
+        });
+        g.bench_function(format!("iterate_{label}"), |b| {
+            let s = base_coreset(occ);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for c in s.iter() {
+                    acc += c.index();
+                }
+                black_box(acc)
+            });
+        });
+        g.bench_function(format!("union_{label}"), |b| {
+            let s = base_coreset(occ);
+            let other = CoreSet::singleton(CoreId(777));
+            b.iter(|| black_box(s.union(other)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharer_set");
+    for (label, occ) in OCCUPANCIES {
+        let extra = churn_core(occ);
+        g.bench_function(format!("insert_remove_{label}"), |b| {
+            let mut arena = SharerArena::new();
+            let mut s = SharerSet::from_coreset(base_coreset(occ), &mut arena);
+            b.iter(|| {
+                if occ < CoreSet::MAX_CORES {
+                    s.insert(extra, &mut arena);
+                    black_box(s.remove(extra, &mut arena))
+                } else {
+                    s.remove(extra, &mut arena);
+                    black_box(s.insert(extra, &mut arena))
+                }
+            });
+        });
+        g.bench_function(format!("iterate_{label}"), |b| {
+            let mut arena = SharerArena::new();
+            let s = SharerSet::from_coreset(base_coreset(occ), &mut arena);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for c in s.iter(&arena) {
+                    acc += c.index();
+                }
+                black_box(acc)
+            });
+        });
+        g.bench_function(format!("union_{label}"), |b| {
+            let mut arena = SharerArena::new();
+            let s = SharerSet::from_coreset(base_coreset(occ), &mut arena);
+            let other = CoreSet::singleton(CoreId(777));
+            b.iter(|| black_box(s.to_coreset(&arena).union(other)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wide, bench_compact);
+criterion_main!(benches);

@@ -186,9 +186,27 @@ fn bench_directory(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let e = dir.entry_mut(LineId((i % 8192) as u32));
-            e.lw_id = Some(CoreId((i % 64) as usize));
-            black_box(e.lw_id)
+            let mut e = dir.entry_mut(LineId((i % 8192) as u32));
+            e.set_lw_id(Some(CoreId((i % 64) as usize)));
+            black_box(e.lw_id())
+        });
+    });
+    g.bench_function("read_modify_sharers", |b| {
+        // The GetS tail: read the entry scalars, then add a sharer —
+        // exactly the pattern `read_transaction` runs per miss.
+        let mut dir = Directory::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let id = LineId((i % 8192) as u32);
+            let owner = dir.entry(id).owner();
+            let mut e = dir.entry_mut(id);
+            if i.is_multiple_of(17) {
+                e.clear_sharers();
+            } else {
+                e.insert_sharer(CoreId((i % 64) as usize));
+            }
+            black_box(owner)
         });
     });
     g.finish();

@@ -20,7 +20,8 @@
 //! rebound-bench --bench sim_throughput`. Knobs: `SIM_BENCH_CORES`
 //! (comma-separated core counts, default `16,64,256,1024`) and
 //! `SIM_BENCH_QUICK=1` (CI smoke: `16,64` cores for every scheme × app,
-//! plus a single 1024-core Rebound/Ocean cell as the scale tripwire).
+//! plus single 256- and 1024-core Rebound/Ocean cells as the scale
+//! tripwires).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
@@ -55,6 +56,17 @@ fn run(mut m: Machine) -> (u64, u64) {
     (m.report().insts, events)
 }
 
+/// The untimed pinning run, keeping the finished machine around so the
+/// cell can report its directory footprint alongside the work counts.
+fn probe(scheme: Scheme, app: &str, cores: usize) -> (u64, u64, Machine) {
+    let mut m = build(scheme, app, cores);
+    let mut events = 0u64;
+    while m.step() {
+        events += 1;
+    }
+    (m.report().insts, events, m)
+}
+
 /// The measured `(scheme, app, cores)` cells. Quick mode keeps every
 /// scheme × app at the light core counts plus a single 1024-core scale
 /// tripwire, so CI's `bench_guard` still watches the widest machine.
@@ -86,6 +98,9 @@ fn cells() -> Vec<(Scheme, &'static str, usize)> {
         }
     }
     if quick {
+        // Scale tripwires: one 256-core cell (the compact-sharer-set
+        // payoff regime) and one 1024-core cell (the widest machine).
+        out.push((Scheme::REBOUND, "Ocean", 256));
         out.push((Scheme::REBOUND, "Ocean", 1024));
     }
     out
@@ -100,10 +115,11 @@ fn bench_sim_throughput(c: &mut Criterion) {
         g.sample_size(if cores >= 256 { 10 } else { 20 });
         // One untimed run pins the cell's deterministic work so
         // the throughput line is in committed-insts/sec.
-        let (insts, events) = run(build(scheme, app, cores));
+        let (insts, events, m) = probe(scheme, app, cores);
         println!(
-            "# sim/{}/{app}/{cores}c: {insts} insts, {events} events",
-            scheme.label()
+            "# sim/{}/{app}/{cores}c: {insts} insts, {events} events, dir {}",
+            scheme.label(),
+            m.dir_footprint()
         );
         g.throughput(Throughput::Elements(insts));
         g.bench_function(format!("{}/{app}/{cores}c", scheme.label()), |b| {

@@ -158,6 +158,17 @@ impl CoreSet {
         self.0.iter().zip(other.0).all(|(a, b)| a & !b == 0)
     }
 
+    /// The highest-numbered member, if any.
+    #[inline]
+    pub fn max_member(self) -> Option<CoreId> {
+        for w in (0..WORDS).rev() {
+            if self.0[w] != 0 {
+                return Some(CoreId(w * 64 + 63 - self.0[w].leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
     /// Iterates over members in increasing core-id order.
     pub fn iter(self) -> Iter {
         Iter {
@@ -357,6 +368,17 @@ mod tests {
         let v: Vec<_> = s.iter().map(|c| c.index()).collect();
         assert_eq!(v, vec![63, 64, 128, 200]);
         assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn max_member_scans_high_words() {
+        assert_eq!(CoreSet::new().max_member(), None);
+        assert_eq!(CoreSet::singleton(CoreId(0)).max_member(), Some(CoreId(0)));
+        let s: CoreSet = [CoreId(3), CoreId(59), CoreId(60), CoreId(900)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.max_member(), Some(CoreId(900)));
+        assert_eq!(CoreSet::all(61).max_member(), Some(CoreId(60)));
     }
 
     #[test]

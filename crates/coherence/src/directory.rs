@@ -1,10 +1,26 @@
 //! The full-map directory, extended with Rebound's LW-ID field.
+//!
+//! The hot plane is deliberately tiny: one 16-byte packed entry per
+//! line — a tagged meta word holding `owner`/`dirty`/`lw_id` beside a
+//! compact adaptive [`SharerSet`] — with the rare dense sharer lists
+//! spilled to a side [`SharerArena`]. Callers never see the packing:
+//! [`Directory::entry`] hands out a borrowed read view ([`EntryRef`]) and
+//! [`Directory::entry_mut`] a borrowed write view ([`EntryMut`]), so no
+//! 128-byte mask is ever copied on the access path.
 
 use rebound_engine::{CoreId, LineId};
 
 use crate::coreset::CoreSet;
+use crate::sharer_set::{self, SharerArena, SharerSet};
 
-/// Directory state for one memory line.
+/// `owner`/`lw_id` are 16-bit fields in the meta word; this sentinel is
+/// "no processor" (core ids are bounded by [`CoreSet::MAX_CORES`] = 1024).
+const PID_NONE: u64 = 0xFFFF;
+const OWNER_SHIFT: u32 = 0;
+const LWID_SHIFT: u32 = 16;
+const DIRTY_BIT: u64 = 1 << 32;
+
+/// Directory state for one memory line, packed into 16 bytes.
 ///
 /// A standard full-map MESI directory entry (sharer list + owner + Dirty
 /// bit), augmented with the paper's **Last Writer ID**: "each entry in the
@@ -13,37 +29,230 @@ use crate::coreset::CoreSet;
 /// line is displaced from the writer's cache, nor when the writer
 /// checkpoints — it is allowed to go stale (§3.3.2) and is lazily corrected
 /// by `NO_WR` replies after a WSIG membership miss.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DirEntry {
-    /// Processors holding a (clean) copy of the line.
-    pub sharers: CoreSet,
-    /// Processor holding the line exclusively (E or M), if any.
-    pub owner: Option<CoreId>,
-    /// Whether memory's copy is stale (an owner holds it Modified).
-    pub dirty: bool,
-    /// The last processor to write (or read-exclusively acquire) the line in
-    /// *some* checkpoint interval; may be stale.
-    pub lw_id: Option<CoreId>,
+///
+/// Layout: `meta` packs `owner` (bits 0..16, [`PID_NONE`] = none), `lw_id`
+/// (bits 16..32, same sentinel) and the Dirty bit (bit 32); `sharers` is
+/// the compact adaptive set. Interpreting `sharers` requires the owning
+/// directory's arena, which is why this type is crate-private and access
+/// goes through [`EntryRef`]/[`EntryMut`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PackedEntry {
+    meta: u64,
+    sharers: SharerSet,
 }
 
-impl DirEntry {
+impl PackedEntry {
+    const EMPTY: PackedEntry = PackedEntry {
+        meta: (PID_NONE << OWNER_SHIFT) | (PID_NONE << LWID_SHIFT),
+        sharers: SharerSet::new(),
+    };
+
+    #[inline]
+    fn pid(self, shift: u32) -> Option<CoreId> {
+        let raw = (self.meta >> shift) & 0xFFFF;
+        (raw != PID_NONE).then_some(CoreId(raw as usize))
+    }
+
+    #[inline]
+    fn set_pid(&mut self, shift: u32, pid: Option<CoreId>) {
+        let raw = pid.map_or(PID_NONE, |c| {
+            debug_assert!(c.index() < PID_NONE as usize);
+            c.index() as u64
+        });
+        self.meta = (self.meta & !(0xFFFF << shift)) | (raw << shift);
+    }
+}
+
+impl Default for PackedEntry {
+    fn default() -> PackedEntry {
+        PackedEntry::EMPTY
+    }
+}
+
+/// Borrowed read-only view of one line's directory entry.
+///
+/// The packed word pair is copied (16 bytes); the arena stays borrowed so
+/// sharer reads resolve spilled sets in place.
+#[derive(Clone, Copy, Debug)]
+pub struct EntryRef<'a> {
+    packed: PackedEntry,
+    arena: &'a SharerArena,
+}
+
+impl<'a> EntryRef<'a> {
+    /// Processor holding the line exclusively (E or M), if any.
+    #[inline]
+    pub fn owner(self) -> Option<CoreId> {
+        self.packed.pid(OWNER_SHIFT)
+    }
+
+    /// Whether memory's copy is stale (an owner holds it Modified).
+    #[inline]
+    pub fn dirty(self) -> bool {
+        self.packed.meta & DIRTY_BIT != 0
+    }
+
+    /// The last processor to write (or read-exclusively acquire) the line
+    /// in *some* checkpoint interval; may be stale.
+    #[inline]
+    pub fn lw_id(self) -> Option<CoreId> {
+        self.packed.pid(LWID_SHIFT)
+    }
+
+    /// Iterates the sharers in increasing core-id order.
+    #[inline]
+    pub fn sharers(self) -> sharer_set::Iter {
+        self.packed.sharers.iter(self.arena)
+    }
+
+    /// Whether the sharer list is empty.
+    #[inline]
+    pub fn sharers_empty(self) -> bool {
+        self.packed.sharers.is_empty()
+    }
+
+    /// Number of sharers.
+    #[inline]
+    pub fn sharers_len(self) -> usize {
+        self.packed.sharers.len(self.arena)
+    }
+
+    /// Whether `core` is in the sharer list.
+    #[inline]
+    pub fn has_sharer(self, core: CoreId) -> bool {
+        self.packed.sharers.contains(core, self.arena)
+    }
+
+    /// The sharer list as a plain [`CoreSet`] value.
+    pub fn sharer_coreset(self) -> CoreSet {
+        self.packed.sharers.to_coreset(self.arena)
+    }
+
     /// All processors with any cached copy (owner plus sharers).
-    pub fn present(&self) -> CoreSet {
-        let mut s = self.sharers;
-        if let Some(o) = self.owner {
+    pub fn present(self) -> CoreSet {
+        let mut s = self.sharer_coreset();
+        if let Some(o) = self.owner() {
             s.insert(o);
         }
         s
     }
 
     /// Whether no processor caches the line.
-    pub fn is_uncached(&self) -> bool {
-        self.owner.is_none() && self.sharers.is_empty()
+    #[inline]
+    pub fn is_uncached(self) -> bool {
+        self.owner().is_none() && self.sharers_empty()
+    }
+}
+
+/// Borrowed mutable view of one line's directory entry: split borrows of
+/// the packed entry and the directory's spill arena, so sharer mutations
+/// can promote/demote encodings in place.
+pub struct EntryMut<'a> {
+    packed: &'a mut PackedEntry,
+    arena: &'a mut SharerArena,
+}
+
+impl<'a> EntryMut<'a> {
+    /// See [`EntryRef::owner`].
+    #[inline]
+    pub fn owner(&self) -> Option<CoreId> {
+        self.packed.pid(OWNER_SHIFT)
+    }
+
+    /// See [`EntryRef::dirty`].
+    #[inline]
+    pub fn dirty(&self) -> bool {
+        self.packed.meta & DIRTY_BIT != 0
+    }
+
+    /// See [`EntryRef::lw_id`].
+    #[inline]
+    pub fn lw_id(&self) -> Option<CoreId> {
+        self.packed.pid(LWID_SHIFT)
+    }
+
+    /// Sets (or clears) the exclusive owner.
+    #[inline]
+    pub fn set_owner(&mut self, owner: Option<CoreId>) {
+        self.packed.set_pid(OWNER_SHIFT, owner);
+    }
+
+    /// Sets the Dirty bit.
+    #[inline]
+    pub fn set_dirty(&mut self, dirty: bool) {
+        if dirty {
+            self.packed.meta |= DIRTY_BIT;
+        } else {
+            self.packed.meta &= !DIRTY_BIT;
+        }
+    }
+
+    /// Sets (or clears) the LW-ID field.
+    #[inline]
+    pub fn set_lw_id(&mut self, lw: Option<CoreId>) {
+        self.packed.set_pid(LWID_SHIFT, lw);
+    }
+
+    /// Adds a sharer. Returns whether it was newly inserted.
+    #[inline]
+    pub fn insert_sharer(&mut self, core: CoreId) -> bool {
+        self.packed.sharers.insert(core, self.arena)
+    }
+
+    /// Removes a sharer. Returns whether it was present.
+    #[inline]
+    pub fn remove_sharer(&mut self, core: CoreId) -> bool {
+        self.packed.sharers.remove(core, self.arena)
+    }
+
+    /// Empties the sharer list (returning any spill slot).
+    #[inline]
+    pub fn clear_sharers(&mut self) {
+        self.packed.sharers.clear(self.arena);
+    }
+
+    /// Whether the sharer list is empty.
+    #[inline]
+    pub fn sharers_empty(&self) -> bool {
+        self.packed.sharers.is_empty()
+    }
+
+    /// Whether `core` is in the sharer list.
+    #[inline]
+    pub fn has_sharer(&self, core: CoreId) -> bool {
+        self.packed.sharers.contains(core, self.arena)
+    }
+}
+
+/// Aggregate directory footprint (diagnostics; see
+/// [`Directory::footprint`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirFootprint {
+    /// Lines with directory state.
+    pub entries: usize,
+    /// Bytes resident in the entry array, presence bitmap and spill arena.
+    pub resident_bytes: usize,
+    /// Spilled sharer sets currently live.
+    pub spill_live: usize,
+    /// Spill slots ever allocated (high-water mark).
+    pub spill_capacity: usize,
+}
+
+impl std::fmt::Display for DirFootprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} entries, {} KiB resident, spill {}/{} slots live",
+            self.entries,
+            self.resident_bytes / 1024,
+            self.spill_live,
+            self.spill_capacity,
+        )
     }
 }
 
 /// The machine's directory: one logical full-map entry per line that has
-/// ever been cached, stored as a dense `Vec<DirEntry>` indexed by the
+/// ever been cached, stored as a dense `Vec<PackedEntry>` indexed by the
 /// interned [`LineId`] with an existence bitmap — the hot
 /// lookup/update path does zero hashing.
 ///
@@ -61,17 +270,19 @@ impl DirEntry {
 /// use rebound_engine::{CoreId, LineId};
 ///
 /// let mut dir = Directory::new();
-/// let e = dir.entry_mut(LineId(4));
-/// e.owner = Some(CoreId(1));
-/// e.lw_id = Some(CoreId(1));
-/// assert_eq!(dir.entry(LineId(4)).lw_id, Some(CoreId(1)));
+/// let mut e = dir.entry_mut(LineId(4));
+/// e.set_owner(Some(CoreId(1)));
+/// e.set_lw_id(Some(CoreId(1)));
+/// assert_eq!(dir.entry(LineId(4)).lw_id(), Some(CoreId(1)));
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Directory {
-    entries: Vec<DirEntry>,
+    entries: Vec<PackedEntry>,
     /// Existence bitmap: bit `i` set iff line id `i` has directory state.
     present: Vec<u64>,
     touched: usize,
+    /// Spill plane for the rare dense sharer sets.
+    arena: SharerArena,
 }
 
 impl Directory {
@@ -87,6 +298,7 @@ impl Directory {
             entries: Vec::with_capacity(lines),
             present: Vec::with_capacity(lines.div_ceil(64)),
             touched: 0,
+            arena: SharerArena::new(),
         }
     }
 
@@ -99,20 +311,24 @@ impl Directory {
 
     /// Read-only view of a line's entry (default state if never touched).
     #[inline]
-    pub fn entry(&self, id: LineId) -> DirEntry {
-        if self.is_present(id) {
+    pub fn entry(&self, id: LineId) -> EntryRef<'_> {
+        let packed = if self.is_present(id) {
             self.entries[id.index()]
         } else {
-            DirEntry::default()
+            PackedEntry::EMPTY
+        };
+        EntryRef {
+            packed,
+            arena: &self.arena,
         }
     }
 
-    /// Mutable entry, created on first touch.
+    /// Mutable entry view, created on first touch.
     #[inline]
-    pub fn entry_mut(&mut self, id: LineId) -> &mut DirEntry {
+    pub fn entry_mut(&mut self, id: LineId) -> EntryMut<'_> {
         let i = id.index();
         if i >= self.entries.len() {
-            self.entries.resize(i + 1, DirEntry::default());
+            self.entries.resize(i + 1, PackedEntry::EMPTY);
             self.present.resize(i / 64 + 1, 0);
         }
         let word = &mut self.present[i / 64];
@@ -121,7 +337,10 @@ impl Directory {
             *word |= bit;
             self.touched += 1;
         }
-        &mut self.entries[i]
+        EntryMut {
+            packed: &mut self.entries[i],
+            arena: &mut self.arena,
+        }
     }
 
     /// Number of lines with directory state.
@@ -141,8 +360,8 @@ impl Directory {
     pub fn clean_owned_line(&mut self, id: LineId, core: CoreId) {
         if self.is_present(id) {
             let e = &mut self.entries[id.index()];
-            if e.owner == Some(core) {
-                e.dirty = false;
+            if e.pid(OWNER_SHIFT) == Some(core) {
+                e.meta &= !DIRTY_BIT;
             }
         }
     }
@@ -152,14 +371,15 @@ impl Directory {
     /// touched.
     pub fn purge_core(&mut self, core: CoreId) -> usize {
         let mut touched = 0;
-        for e in self.present_entries_mut() {
-            let mut hit = false;
-            if e.sharers.remove(core) {
-                hit = true;
+        for i in 0..self.entries.len() {
+            if self.present[i / 64] & (1u64 << (i % 64)) == 0 {
+                continue;
             }
-            if e.owner == Some(core) {
-                e.owner = None;
-                e.dirty = false;
+            let e = &mut self.entries[i];
+            let mut hit = e.sharers.remove(core, &mut self.arena);
+            if e.pid(OWNER_SHIFT) == Some(core) {
+                e.set_pid(OWNER_SHIFT, None);
+                e.meta &= !DIRTY_BIT;
                 hit = true;
             }
             if hit {
@@ -175,32 +395,42 @@ impl Directory {
     /// processor" (§3.3.5).
     pub fn clear_lwid_of(&mut self, core: CoreId) -> usize {
         let mut touched = 0;
-        for e in self.present_entries_mut() {
-            if e.lw_id == Some(core) {
-                e.lw_id = None;
+        let lw_match = (core.index() as u64) << LWID_SHIFT;
+        for i in 0..self.entries.len() {
+            if self.present[i / 64] & (1u64 << (i % 64)) == 0 {
+                continue;
+            }
+            let e = &mut self.entries[i];
+            if e.meta & (0xFFFF << LWID_SHIFT) == lw_match {
+                e.set_pid(LWID_SHIFT, None);
                 touched += 1;
             }
         }
         touched
     }
 
-    /// Iterates over all (line id, entry) pairs with directory state, in
-    /// increasing id (= first-touch) order.
-    pub fn iter(&self) -> impl Iterator<Item = (LineId, &DirEntry)> + '_ {
+    /// Iterates over all (line id, entry view) pairs with directory state,
+    /// in increasing id (= first-touch) order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineId, EntryRef<'_>)> + '_ {
+        let arena = &self.arena;
         self.entries
             .iter()
             .enumerate()
             .filter(|&(i, _)| self.present[i / 64] & (1u64 << (i % 64)) != 0)
-            .map(|(i, e)| (LineId(i as u32), e))
+            .map(move |(i, e)| (LineId(i as u32), EntryRef { packed: *e, arena }))
     }
 
-    fn present_entries_mut(&mut self) -> impl Iterator<Item = &mut DirEntry> + '_ {
-        let present = &self.present;
-        self.entries
-            .iter_mut()
-            .enumerate()
-            .filter(move |&(i, _)| present[i / 64] & (1u64 << (i % 64)) != 0)
-            .map(|(_, e)| e)
+    /// Aggregate footprint of the directory's backing storage
+    /// (diagnostics; resident, not touched, bytes).
+    pub fn footprint(&self) -> DirFootprint {
+        DirFootprint {
+            entries: self.touched,
+            resident_bytes: self.entries.capacity() * std::mem::size_of::<PackedEntry>()
+                + self.present.capacity() * std::mem::size_of::<u64>()
+                + self.arena.resident_bytes(),
+            spill_live: self.arena.live(),
+            spill_capacity: self.arena.capacity(),
+        }
     }
 }
 
@@ -209,28 +439,37 @@ mod tests {
     use super::*;
 
     #[test]
+    fn packed_entry_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<PackedEntry>(), 16);
+    }
+
+    #[test]
     fn untouched_entry_is_default() {
         let dir = Directory::new();
         let e = dir.entry(LineId(1));
         assert!(e.is_uncached());
-        assert_eq!(e.lw_id, None);
-        assert!(!e.dirty);
+        assert_eq!(e.lw_id(), None);
+        assert!(!e.dirty());
         assert!(dir.is_empty());
     }
 
     #[test]
     fn entry_mut_creates_state() {
         let mut dir = Directory::new();
-        dir.entry_mut(LineId(2)).sharers.insert(CoreId(3));
+        dir.entry_mut(LineId(2)).insert_sharer(CoreId(3));
         assert_eq!(dir.len(), 1);
-        assert!(dir.entry(LineId(2)).sharers.contains(CoreId(3)));
+        assert!(dir.entry(LineId(2)).has_sharer(CoreId(3)));
     }
 
     #[test]
     fn present_includes_owner_and_sharers() {
-        let mut e = DirEntry::default();
-        e.sharers.insert(CoreId(1));
-        e.owner = Some(CoreId(2));
+        let mut dir = Directory::new();
+        {
+            let mut e = dir.entry_mut(LineId(0));
+            e.insert_sharer(CoreId(1));
+            e.set_owner(Some(CoreId(2)));
+        }
+        let e = dir.entry(LineId(0));
         let p = e.present();
         assert!(p.contains(CoreId(1)) && p.contains(CoreId(2)));
         assert_eq!(p.len(), 2);
@@ -241,61 +480,77 @@ mod tests {
     fn clean_owned_line_only_for_owner() {
         let mut dir = Directory::new();
         {
-            let e = dir.entry_mut(LineId(5));
-            e.owner = Some(CoreId(0));
-            e.dirty = true;
-            e.lw_id = Some(CoreId(0));
+            let mut e = dir.entry_mut(LineId(5));
+            e.set_owner(Some(CoreId(0)));
+            e.set_dirty(true);
+            e.set_lw_id(Some(CoreId(0)));
         }
         dir.clean_owned_line(LineId(5), CoreId(1));
-        assert!(dir.entry(LineId(5)).dirty, "non-owner cannot clean");
+        assert!(dir.entry(LineId(5)).dirty(), "non-owner cannot clean");
         dir.clean_owned_line(LineId(5), CoreId(0));
         let e = dir.entry(LineId(5));
-        assert!(!e.dirty);
-        assert_eq!(e.lw_id, Some(CoreId(0)), "LW-ID must survive cleaning");
+        assert!(!e.dirty());
+        assert_eq!(e.lw_id(), Some(CoreId(0)), "LW-ID must survive cleaning");
     }
 
     #[test]
     fn purge_core_removes_presence_everywhere() {
         let mut dir = Directory::new();
         {
-            let e = dir.entry_mut(LineId(1));
-            e.owner = Some(CoreId(4));
-            e.dirty = true;
+            let mut e = dir.entry_mut(LineId(1));
+            e.set_owner(Some(CoreId(4)));
+            e.set_dirty(true);
         }
-        dir.entry_mut(LineId(2)).sharers.insert(CoreId(4));
-        dir.entry_mut(LineId(3)).sharers.insert(CoreId(5));
+        dir.entry_mut(LineId(2)).insert_sharer(CoreId(4));
+        dir.entry_mut(LineId(3)).insert_sharer(CoreId(5));
         assert_eq!(dir.purge_core(CoreId(4)), 2);
         assert!(dir.entry(LineId(1)).is_uncached());
-        assert!(!dir.entry(LineId(1)).dirty);
-        assert!(dir.entry(LineId(2)).sharers.is_empty());
-        assert!(dir.entry(LineId(3)).sharers.contains(CoreId(5)));
+        assert!(!dir.entry(LineId(1)).dirty());
+        assert!(dir.entry(LineId(2)).sharers_empty());
+        assert!(dir.entry(LineId(3)).has_sharer(CoreId(5)));
     }
 
     #[test]
     fn purge_core_preserves_lwid() {
         let mut dir = Directory::new();
         {
-            let e = dir.entry_mut(LineId(1));
-            e.owner = Some(CoreId(4));
-            e.lw_id = Some(CoreId(4));
+            let mut e = dir.entry_mut(LineId(1));
+            e.set_owner(Some(CoreId(4)));
+            e.set_lw_id(Some(CoreId(4)));
         }
         dir.purge_core(CoreId(4));
         assert_eq!(
-            dir.entry(LineId(1)).lw_id,
+            dir.entry(LineId(1)).lw_id(),
             Some(CoreId(4)),
             "displacement/purge never clears LW-ID (§3.3.1)"
         );
     }
 
     #[test]
+    fn purge_core_demotes_wide_sharer_lists() {
+        let mut dir = Directory::new();
+        {
+            let mut e = dir.entry_mut(LineId(9));
+            for c in 0..5 {
+                e.insert_sharer(CoreId(c));
+            }
+            e.insert_sharer(CoreId(512));
+        }
+        assert_eq!(dir.footprint().spill_live, 1);
+        assert_eq!(dir.purge_core(CoreId(512)), 1);
+        assert_eq!(dir.footprint().spill_live, 0, "purge reclaims the slot");
+        assert_eq!(dir.entry(LineId(9)).sharers_len(), 5);
+    }
+
+    #[test]
     fn clear_lwid_of_targets_one_core() {
         let mut dir = Directory::new();
-        dir.entry_mut(LineId(1)).lw_id = Some(CoreId(1));
-        dir.entry_mut(LineId(2)).lw_id = Some(CoreId(1));
-        dir.entry_mut(LineId(3)).lw_id = Some(CoreId(2));
+        dir.entry_mut(LineId(1)).set_lw_id(Some(CoreId(1)));
+        dir.entry_mut(LineId(2)).set_lw_id(Some(CoreId(1)));
+        dir.entry_mut(LineId(3)).set_lw_id(Some(CoreId(2)));
         assert_eq!(dir.clear_lwid_of(CoreId(1)), 2);
-        assert_eq!(dir.entry(LineId(1)).lw_id, None);
-        assert_eq!(dir.entry(LineId(3)).lw_id, Some(CoreId(2)));
+        assert_eq!(dir.entry(LineId(1)).lw_id(), None);
+        assert_eq!(dir.entry(LineId(3)).lw_id(), Some(CoreId(2)));
     }
 
     #[test]
@@ -309,11 +564,42 @@ mod tests {
     #[test]
     fn sparse_high_ids_do_not_phantom_lower_entries() {
         let mut dir = Directory::new();
-        dir.entry_mut(LineId(130)).dirty = true;
+        dir.entry_mut(LineId(130)).set_dirty(true);
         assert_eq!(dir.len(), 1);
         // Ids 0..130 were allocated by the resize but never touched.
         assert!(dir.entry(LineId(64)).is_uncached());
         assert_eq!(dir.iter().count(), 1);
         assert_eq!(dir.iter().next().unwrap().0, LineId(130));
+    }
+
+    #[test]
+    fn owner_and_lwid_cover_the_full_core_range() {
+        let mut dir = Directory::new();
+        {
+            let mut e = dir.entry_mut(LineId(0));
+            e.set_owner(Some(CoreId(1023)));
+            e.set_lw_id(Some(CoreId(1023)));
+            e.set_dirty(true);
+        }
+        let e = dir.entry(LineId(0));
+        assert_eq!(e.owner(), Some(CoreId(1023)));
+        assert_eq!(e.lw_id(), Some(CoreId(1023)));
+        assert!(e.dirty());
+    }
+
+    #[test]
+    fn footprint_reports_resident_and_spill() {
+        let mut dir = Directory::with_capacity(64);
+        assert_eq!(dir.footprint().entries, 0);
+        let mut e = dir.entry_mut(LineId(0));
+        for c in 0..100 {
+            e.insert_sharer(CoreId(c));
+        }
+        let fp = dir.footprint();
+        assert_eq!(fp.entries, 1);
+        assert_eq!((fp.spill_live, fp.spill_capacity), (1, 1));
+        assert!(fp.resident_bytes >= 64 * 16 + 128);
+        let shown = fp.to_string();
+        assert!(shown.contains("spill 1/1"), "{shown}");
     }
 }

@@ -6,10 +6,16 @@
 //! Fig 3.2 are what populate the per-core `MyProducers`/`MyConsumers`
 //! registers. This crate provides the coherence-side data structures:
 //!
-//! * [`CoreSet`] — a 64-bit processor bitmask (sharer lists and Dep
-//!   registers are both "as many bits as processors in the chip").
+//! * [`CoreSet`] — a 1024-bit processor bitmask (sharer lists and Dep
+//!   registers are both "as many bits as processors in the chip"); the
+//!   wire/value format where sets are genuinely dense.
+//! * [`SharerSet`]/[`SharerArena`] — the directory's compact adaptive
+//!   sharer representation: inline pointers / single-word mask in one
+//!   tagged word, spilling to an arena of full masks only on overflow.
 //! * [`Directory`] — full-map directory entries extended with LW-ID and a
-//!   Dirty bit, plus bulk operations needed by rollback.
+//!   Dirty bit, packed to 16 bytes per line and accessed through borrowed
+//!   [`EntryRef`]/[`EntryMut`] views, plus bulk operations needed by
+//!   rollback.
 //! * [`MsgKind`]/[`MsgStats`] — the message taxonomy, separating baseline
 //!   protocol traffic from the extra dependence-maintenance messages so the
 //!   4.2% overhead row of Table 6.1 can be measured.
@@ -23,10 +29,12 @@ pub mod coreset;
 pub mod directory;
 pub mod msg;
 pub mod net;
+pub mod sharer_set;
 pub mod sharer_vec;
 
 pub use coreset::CoreSet;
-pub use directory::{DirEntry, Directory};
+pub use directory::{DirFootprint, Directory, EntryMut, EntryRef};
 pub use msg::{MsgClass, MsgKind, MsgStats};
 pub use net::{Interconnect, NetConfig};
+pub use sharer_set::{SharerArena, SharerRepr, SharerSet};
 pub use sharer_vec::{DirOrg, SharerVector};

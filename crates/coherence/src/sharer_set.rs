@@ -1,0 +1,676 @@
+//! Compact adaptive sharer sets: the directory's hot representation.
+//!
+//! PR 6 widened [`CoreSet`] to 1024 bits so the scale campaigns could run,
+//! which tripled the directory footprint and made the simulator
+//! host-cache-miss bound — while the overwhelmingly common case in our own
+//! traces is a line with ≤2 sharers. The paper motivates the adaptive shape
+//! (§8: at scale "the directory may have pointers to groups of
+//! processors"); [`SharerSet`] realises it *exactly* — no precision is
+//! traded, unlike the §8 [`crate::SharerVector`] organizations.
+//!
+//! A `SharerSet` is a single tagged 64-bit word; the top four bits hold the
+//! kind `K`:
+//!
+//! ```text
+//! 63  60 59                                                    0
+//! ┌────┬─────────────────────────────────────────────────────────┐
+//! │K=0…5│  K sorted 12-bit core ids at bit offsets 0,12,24,36,48 │ inline
+//! ├────┼─────────────────────────────────────────────────────────┤
+//! │K=6 │  presence mask, one bit per core, cores 0..60           │ mask
+//! ├────┼─────────────────────────────────────────────────────────┤
+//! │K=7 │  spill-arena slot index (low 32 bits)                   │ spill
+//! └────┴─────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Inline** (`K ≤ 5`): up to five exact pointers, kept sorted so
+//!   iteration order matches `CoreSet`'s ascending order bit-for-bit. The
+//!   empty set is the all-zero word, so `Default` is free.
+//! * **Mask** (`K = 6`): a sixth sharer whose members all fit below core 60
+//!   becomes a plain presence mask. (A 64-bit mask plus a tag cannot fit in
+//!   one word, so the mask covers cores 0..60 — machines ≤64 cores with a
+//!   dense line whose sharers include core 60..64 take the spill path; such
+//!   lines are rare and the spill is still exact.)
+//! * **Spill** (`K = 7`): everything else — more than five sharers naming a
+//!   core ≥ 60 — lives as a full `[u64; 16]` `CoreSet` in a side
+//!   [`SharerArena`], addressed by slot index. The slot is freed the moment
+//!   the set shrinks back into an inline or mask encoding, so a transient
+//!   all-cores burst does not permanently pin 128 bytes per line.
+//!
+//! The representation is **canonical**: a set of ≤5 members is always
+//! inline, a set of ≥6 members all below core 60 is always a mask, and only
+//! the remainder spills. Canonical form is what makes the encoding
+//! invisible — iteration order, membership and length are identical to
+//! `CoreSet` in every state, which the `sharer_set_props` proptest checks
+//! against a `BTreeSet` reference and the campaign CSV byte-identity
+//! checks confirm end to end.
+//!
+//! Ownership discipline: a spill-mode `SharerSet` is an index-sized handle
+//! into its arena, and the holder is the *unique owner* of that slot.
+//! `SharerSet` is `Copy` for the benefit of by-value reads (directory entry
+//! views), but duplicating a handle and mutating both copies is a logic
+//! error — the directory stores exactly one handle per line.
+
+use std::fmt;
+
+use rebound_engine::CoreId;
+
+use crate::coreset::{self, CoreSet};
+
+/// Kind field shift/values.
+const KIND_SHIFT: u32 = 60;
+const K_MASK_MODE: u64 = 6;
+const K_SPILL: u64 = 7;
+/// Inline pointer width. 12 bits per id (1024 cores need 10; the slack
+/// keeps the arithmetic byte-aligned and leaves headroom).
+const ID_BITS: u32 = 12;
+const ID_MASK: u64 = (1 << ID_BITS) - 1;
+/// Everything below the kind field.
+const PAYLOAD_MASK: u64 = (1 << KIND_SHIFT) - 1;
+
+/// An exact, adaptive set of sharer core ids. See the module docs for the
+/// encoding. All operations that may touch the spill plane take the owning
+/// [`SharerArena`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SharerSet(u64);
+
+/// Side storage for spilled [`SharerSet`]s: full 1024-bit masks addressed
+/// by slot index, with a free list so shrunken sets return their slot.
+#[derive(Clone, Debug, Default)]
+pub struct SharerArena {
+    slots: Vec<CoreSet>,
+    free: Vec<u32>,
+}
+
+/// Which encoding a [`SharerSet`] currently uses (diagnostics/tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharerRepr {
+    /// Up to five exact inline pointers (the count is the member count).
+    Inline(usize),
+    /// Presence mask over cores `0..60`.
+    Mask,
+    /// Full `CoreSet` in the arena.
+    Spill,
+}
+
+impl SharerSet {
+    /// Largest member count the inline encoding holds.
+    pub const INLINE_MAX: usize = 5;
+    /// Number of cores the single-word mask encoding covers.
+    pub const MASK_BITS: usize = KIND_SHIFT as usize;
+
+    /// Creates an empty set.
+    pub const fn new() -> SharerSet {
+        SharerSet(0)
+    }
+
+    #[inline]
+    fn kind(self) -> u64 {
+        self.0 >> KIND_SHIFT
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        debug_assert_eq!(self.kind(), K_SPILL);
+        self.0 as u32
+    }
+
+    /// The inline members (valid only when `kind() <= INLINE_MAX`).
+    #[inline]
+    fn inline_ids(self) -> ([u16; Self::INLINE_MAX], usize) {
+        let n = self.kind() as usize;
+        debug_assert!(n <= Self::INLINE_MAX);
+        let mut ids = [0u16; Self::INLINE_MAX];
+        for (i, id) in ids.iter_mut().enumerate().take(n) {
+            *id = ((self.0 >> (i as u32 * ID_BITS)) & ID_MASK) as u16;
+        }
+        (ids, n)
+    }
+
+    #[inline]
+    fn from_inline(ids: &[u16]) -> SharerSet {
+        debug_assert!(ids.len() <= Self::INLINE_MAX);
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        let mut word = (ids.len() as u64) << KIND_SHIFT;
+        for (i, &id) in ids.iter().enumerate() {
+            word |= u64::from(id) << (i as u32 * ID_BITS);
+        }
+        SharerSet(word)
+    }
+
+    /// Rebuilds the canonical encoding for an arbitrary member set,
+    /// allocating a spill slot when needed. `self` must not currently own
+    /// a slot.
+    fn encode(set: CoreSet, arena: &mut SharerArena) -> SharerSet {
+        let len = set.len();
+        if len <= Self::INLINE_MAX {
+            let mut ids = [0u16; Self::INLINE_MAX];
+            for (slot, c) in ids.iter_mut().zip(set.iter()) {
+                *slot = c.index() as u16;
+            }
+            return Self::from_inline(&ids[..len]);
+        }
+        match set.max_member() {
+            Some(m) if m.index() < Self::MASK_BITS => {
+                SharerSet((K_MASK_MODE << KIND_SHIFT) | set.bits())
+            }
+            _ => SharerSet((K_SPILL << KIND_SHIFT) | u64::from(arena.alloc(set))),
+        }
+    }
+
+    /// Builds a set with the members of `src` (canonical encoding).
+    pub fn from_coreset(src: CoreSet, arena: &mut SharerArena) -> SharerSet {
+        Self::encode(src, arena)
+    }
+
+    /// The current encoding (diagnostics/tests).
+    pub fn repr(self) -> SharerRepr {
+        match self.kind() {
+            K_MASK_MODE => SharerRepr::Mask,
+            K_SPILL => SharerRepr::Spill,
+            n => SharerRepr::Inline(n as usize),
+        }
+    }
+
+    /// Adds a core. Returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index is [`CoreSet::MAX_CORES`] or greater.
+    #[inline]
+    pub fn insert(&mut self, core: CoreId, arena: &mut SharerArena) -> bool {
+        let c = core.index();
+        assert!(c < CoreSet::MAX_CORES);
+        match self.kind() {
+            K_MASK_MODE => {
+                if c < Self::MASK_BITS {
+                    let bit = 1u64 << c;
+                    if self.0 & bit != 0 {
+                        return false;
+                    }
+                    self.0 |= bit;
+                } else {
+                    // A member ≥ 60 ends mask mode: spill the full set.
+                    let mut full = CoreSet::from_bits(self.0 & PAYLOAD_MASK);
+                    full.insert(core);
+                    *self = Self::encode(full, arena);
+                }
+                true
+            }
+            K_SPILL => arena.get_mut(self.slot()).insert(core),
+            _ => {
+                let (ids, n) = self.inline_ids();
+                let mut buf = [0u16; Self::INLINE_MAX + 1];
+                buf[..n].copy_from_slice(&ids[..n]);
+                if buf[..n].contains(&(c as u16)) {
+                    return false;
+                }
+                buf[n] = c as u16;
+                buf[..=n].sort_unstable();
+                if n < Self::INLINE_MAX {
+                    *self = Self::from_inline(&buf[..=n]);
+                } else {
+                    // Sixth member: leave the inline encoding.
+                    if usize::from(buf[Self::INLINE_MAX]) < Self::MASK_BITS {
+                        let mut mask = K_MASK_MODE << KIND_SHIFT;
+                        for &id in &buf {
+                            mask |= 1u64 << id;
+                        }
+                        self.0 = mask;
+                    } else {
+                        let full: CoreSet = buf.iter().map(|&id| CoreId(usize::from(id))).collect();
+                        self.0 = (K_SPILL << KIND_SHIFT) | u64::from(arena.alloc(full));
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes a core, demoting the encoding (and freeing a spill slot)
+    /// when the set shrinks back below a boundary. Returns whether it was
+    /// present.
+    #[inline]
+    pub fn remove(&mut self, core: CoreId, arena: &mut SharerArena) -> bool {
+        let c = core.index();
+        match self.kind() {
+            K_MASK_MODE => {
+                if c >= Self::MASK_BITS || self.0 & (1u64 << c) == 0 {
+                    return false;
+                }
+                self.0 &= !(1u64 << c);
+                let payload = self.0 & PAYLOAD_MASK;
+                if payload.count_ones() as usize <= Self::INLINE_MAX {
+                    *self = Self::encode(CoreSet::from_bits(payload), arena);
+                }
+                true
+            }
+            K_SPILL => {
+                let slot = self.slot();
+                let set = arena.get_mut(slot);
+                if !set.remove(core) {
+                    return false;
+                }
+                let still_wide = set
+                    .max_member()
+                    .is_some_and(|m| m.index() >= Self::MASK_BITS);
+                if set.len() > Self::INLINE_MAX && still_wide {
+                    return true; // stays spilled
+                }
+                let demoted = *set;
+                arena.release(slot);
+                *self = Self::encode(demoted, arena);
+                true
+            }
+            _ => {
+                let (mut ids, n) = self.inline_ids();
+                let Some(pos) = ids[..n].iter().position(|&id| usize::from(id) == c) else {
+                    return false;
+                };
+                ids.copy_within(pos + 1..n, pos);
+                *self = Self::from_inline(&ids[..n - 1]);
+                true
+            }
+        }
+    }
+
+    /// Whether the core is in the set.
+    #[inline]
+    pub fn contains(self, core: CoreId, arena: &SharerArena) -> bool {
+        let c = core.index();
+        match self.kind() {
+            K_MASK_MODE => c < Self::MASK_BITS && self.0 & (1u64 << c) != 0,
+            K_SPILL => arena.get(self.slot()).contains(core),
+            _ => {
+                let (ids, n) = self.inline_ids();
+                ids[..n].contains(&(c as u16))
+            }
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(self, arena: &SharerArena) -> usize {
+        match self.kind() {
+            K_MASK_MODE => (self.0 & PAYLOAD_MASK).count_ones() as usize,
+            K_SPILL => arena.get(self.slot()).len(),
+            n => n as usize,
+        }
+    }
+
+    /// Whether the set is empty. Needs no arena: canonical form keeps
+    /// every non-empty set out of the all-zero word (mask and spill modes
+    /// always hold ≥ 6 members).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Empties the set, returning any spill slot to the arena.
+    #[inline]
+    pub fn clear(&mut self, arena: &mut SharerArena) {
+        if self.kind() == K_SPILL {
+            arena.release(self.slot());
+        }
+        self.0 = 0;
+    }
+
+    /// Inserts every member of `src`.
+    pub fn extend_from(&mut self, src: CoreSet, arena: &mut SharerArena) {
+        if self.kind() == K_SPILL {
+            let slot = self.slot();
+            *arena.get_mut(slot) |= src;
+            return;
+        }
+        if src.is_empty() {
+            return;
+        }
+        let merged = self.to_coreset(arena).union(src);
+        // Not currently spilled, so there is no slot to release.
+        *self = Self::encode(merged, arena);
+    }
+
+    /// The members as a plain [`CoreSet`] value.
+    #[inline]
+    pub fn to_coreset(self, arena: &SharerArena) -> CoreSet {
+        match self.kind() {
+            K_MASK_MODE => CoreSet::from_bits(self.0 & PAYLOAD_MASK),
+            K_SPILL => *arena.get(self.slot()),
+            _ => {
+                let (ids, n) = self.inline_ids();
+                ids[..n].iter().map(|&id| CoreId(usize::from(id))).collect()
+            }
+        }
+    }
+
+    /// Iterates over members in increasing core-id order — the same order
+    /// as [`CoreSet::iter`], in every encoding. The iterator owns its data
+    /// (a spilled set is copied out once), so it does not borrow the
+    /// arena.
+    #[inline]
+    pub fn iter(self, arena: &SharerArena) -> Iter {
+        Iter(match self.kind() {
+            K_MASK_MODE => IterInner::Mask {
+                bits: self.0 & PAYLOAD_MASK,
+            },
+            K_SPILL => IterInner::Spill(arena.get(self.slot()).iter()),
+            _ => {
+                let (ids, n) = self.inline_ids();
+                IterInner::Inline {
+                    ids,
+                    n: n as u8,
+                    pos: 0,
+                }
+            }
+        })
+    }
+}
+
+/// Iterator over the members of a [`SharerSet`], ascending.
+#[derive(Clone, Debug)]
+pub struct Iter(IterInner);
+
+#[derive(Clone, Debug)]
+enum IterInner {
+    Inline {
+        ids: [u16; SharerSet::INLINE_MAX],
+        n: u8,
+        pos: u8,
+    },
+    Mask {
+        bits: u64,
+    },
+    Spill(coreset::Iter),
+}
+
+impl Iterator for Iter {
+    type Item = CoreId;
+
+    #[inline]
+    fn next(&mut self) -> Option<CoreId> {
+        match &mut self.0 {
+            IterInner::Inline { ids, n, pos } => {
+                if pos < n {
+                    let id = ids[usize::from(*pos)];
+                    *pos += 1;
+                    Some(CoreId(usize::from(id)))
+                } else {
+                    None
+                }
+            }
+            IterInner::Mask { bits } => {
+                if *bits == 0 {
+                    None
+                } else {
+                    let i = bits.trailing_zeros() as usize;
+                    *bits &= *bits - 1;
+                    Some(CoreId(i))
+                }
+            }
+            IterInner::Spill(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.0 {
+            IterInner::Inline { n, pos, .. } => usize::from(*n - *pos),
+            IterInner::Mask { bits } => bits.count_ones() as usize,
+            IterInner::Spill(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl SharerArena {
+    /// Creates an empty arena.
+    pub fn new() -> SharerArena {
+        SharerArena::default()
+    }
+
+    /// Spilled sets currently live (slots in use).
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Slots ever allocated (high-water mark; freed slots are reused
+    /// before the arena grows).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes resident in the arena's backing storage.
+    pub fn resident_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<CoreSet>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
+    fn alloc(&mut self, set: CoreSet) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = set;
+            slot
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("arena slot index fits u32");
+            self.slots.push(set);
+            slot
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.slots[slot as usize] = CoreSet::new();
+        self.free.push(slot);
+    }
+
+    #[inline]
+    fn get(&self, slot: u32) -> &CoreSet {
+        &self.slots[slot as usize]
+    }
+
+    #[inline]
+    fn get_mut(&mut self, slot: u32) -> &mut CoreSet {
+        &mut self.slots[slot as usize]
+    }
+}
+
+impl fmt::Display for SharerSet {
+    /// Needs no arena only because spilled sets print as `{spill:N}`;
+    /// use [`SharerSet::to_coreset`] for a member listing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.repr() {
+            SharerRepr::Spill => write!(f, "{{spill:{}}}", self.slot()),
+            _ => {
+                // Inline and mask payloads are self-contained.
+                let arena = SharerArena::new();
+                write!(f, "{}", self.to_coreset(&arena))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(set: SharerSet, arena: &SharerArena) -> Vec<usize> {
+        set.iter(arena).map(|c| c.index()).collect()
+    }
+
+    #[test]
+    fn empty_is_zero_word() {
+        let s = SharerSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.repr(), SharerRepr::Inline(0));
+        assert_eq!(SharerSet::default().0, 0);
+    }
+
+    #[test]
+    fn inline_inserts_stay_sorted() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        for c in [900, 3, 60, 59, 1023] {
+            assert!(s.insert(CoreId(c), &mut arena));
+            assert!(!s.insert(CoreId(c), &mut arena), "duplicate insert");
+        }
+        assert_eq!(s.repr(), SharerRepr::Inline(5));
+        assert_eq!(ids(s, &arena), vec![3, 59, 60, 900, 1023]);
+        assert_eq!(s.len(&arena), 5);
+        assert!(s.contains(CoreId(900), &arena));
+        assert!(!s.contains(CoreId(4), &arena));
+        assert_eq!(arena.live(), 0, "inline sets never touch the arena");
+    }
+
+    #[test]
+    fn sixth_low_member_promotes_to_mask() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        for c in 0..6 {
+            s.insert(CoreId(c * 9), &mut arena); // 0,9,...,45 — all < 60
+        }
+        assert_eq!(s.repr(), SharerRepr::Mask);
+        assert_eq!(s.len(&arena), 6);
+        assert_eq!(ids(s, &arena), vec![0, 9, 18, 27, 36, 45]);
+        assert_eq!(arena.live(), 0);
+        // Mask keeps absorbing low cores without spilling.
+        assert!(s.insert(CoreId(59), &mut arena));
+        assert_eq!(s.repr(), SharerRepr::Mask);
+    }
+
+    #[test]
+    fn sixth_high_member_spills() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        for c in [0, 1, 2, 3, 4, 60] {
+            s.insert(CoreId(c), &mut arena);
+        }
+        assert_eq!(s.repr(), SharerRepr::Spill);
+        assert_eq!(arena.live(), 1);
+        assert_eq!(ids(s, &arena), vec![0, 1, 2, 3, 4, 60]);
+    }
+
+    #[test]
+    fn mask_promotes_to_spill_on_high_member() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        for c in 0..8 {
+            s.insert(CoreId(c), &mut arena);
+        }
+        assert_eq!(s.repr(), SharerRepr::Mask);
+        assert!(s.insert(CoreId(777), &mut arena));
+        assert_eq!(s.repr(), SharerRepr::Spill);
+        assert_eq!(s.len(&arena), 9);
+        assert_eq!(ids(s, &arena), vec![0, 1, 2, 3, 4, 5, 6, 7, 777]);
+    }
+
+    #[test]
+    fn removal_demotes_mask_to_inline() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        for c in 0..6 {
+            s.insert(CoreId(c), &mut arena);
+        }
+        assert_eq!(s.repr(), SharerRepr::Mask);
+        assert!(s.remove(CoreId(2), &mut arena));
+        assert_eq!(s.repr(), SharerRepr::Inline(5));
+        assert_eq!(ids(s, &arena), vec![0, 1, 3, 4, 5]);
+        assert!(!s.remove(CoreId(2), &mut arena));
+    }
+
+    #[test]
+    fn removal_demotes_spill_to_mask_and_frees_the_slot() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        for c in [0, 1, 2, 3, 4, 5, 100] {
+            s.insert(CoreId(c), &mut arena);
+        }
+        assert_eq!((s.repr(), arena.live()), (SharerRepr::Spill, 1));
+        // Dropping the wide member leaves 6 members all < 60: mask.
+        assert!(s.remove(CoreId(100), &mut arena));
+        assert_eq!((s.repr(), arena.live()), (SharerRepr::Mask, 0));
+        assert_eq!(ids(s, &arena), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn removal_demotes_spill_straight_to_inline() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        for c in [7, 8, 9, 10, 11, 500] {
+            s.insert(CoreId(c), &mut arena);
+        }
+        assert_eq!(s.repr(), SharerRepr::Spill);
+        // 5 members remain (one of them ≥ 60): inline, slot freed.
+        assert!(s.remove(CoreId(9), &mut arena));
+        assert_eq!((s.repr(), arena.live()), (SharerRepr::Inline(5), 0));
+        assert_eq!(ids(s, &arena), vec![7, 8, 10, 11, 500]);
+    }
+
+    #[test]
+    fn clear_frees_the_spill_slot() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::from_coreset(CoreSet::all(200), &mut arena);
+        assert_eq!((s.repr(), arena.live()), (SharerRepr::Spill, 1));
+        s.clear(&mut arena);
+        assert!(s.is_empty());
+        assert_eq!(arena.live(), 0);
+        assert_eq!(arena.capacity(), 1, "slot stays allocated for reuse");
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut arena = SharerArena::new();
+        let mut a = SharerSet::from_coreset(CoreSet::all(100), &mut arena);
+        a.clear(&mut arena);
+        let b = SharerSet::from_coreset(CoreSet::all(101), &mut arena);
+        assert_eq!(arena.capacity(), 1, "the freed slot is reused");
+        assert_eq!(b.len(&arena), 101);
+    }
+
+    #[test]
+    fn from_coreset_picks_the_canonical_encoding() {
+        let mut arena = SharerArena::new();
+        let empty = SharerSet::from_coreset(CoreSet::new(), &mut arena);
+        assert!(empty.is_empty());
+        let small = SharerSet::from_coreset(CoreSet::all(4), &mut arena);
+        assert_eq!(small.repr(), SharerRepr::Inline(4));
+        let mask = SharerSet::from_coreset(CoreSet::all(32), &mut arena);
+        assert_eq!(mask.repr(), SharerRepr::Mask);
+        let wide = SharerSet::from_coreset(CoreSet::all(64), &mut arena);
+        assert_eq!(wide.repr(), SharerRepr::Spill);
+        assert_eq!(wide.to_coreset(&arena), CoreSet::all(64));
+    }
+
+    #[test]
+    fn extend_from_unions() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        s.insert(CoreId(2), &mut arena);
+        s.extend_from(CoreSet::all(3), &mut arena);
+        assert_eq!(ids(s, &arena), vec![0, 1, 2]);
+        s.extend_from(CoreSet::all(70), &mut arena);
+        assert_eq!(s.repr(), SharerRepr::Spill);
+        assert_eq!(s.len(&arena), 70);
+        s.extend_from(CoreSet::singleton(CoreId(1000)), &mut arena);
+        assert_eq!(s.len(&arena), 71);
+        assert_eq!(arena.live(), 1, "in-place spill union allocates nothing");
+    }
+
+    #[test]
+    fn to_coreset_round_trips_every_encoding() {
+        let mut arena = SharerArena::new();
+        for n in [0usize, 1, 5, 6, 59, 60, 61, 1024] {
+            let src = CoreSet::all(n);
+            let s = SharerSet::from_coreset(src, &mut arena);
+            assert_eq!(s.to_coreset(&arena), src, "n={n}");
+            assert_eq!(s.len(&arena), n);
+        }
+    }
+
+    #[test]
+    fn display_inline_and_mask() {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        s.insert(CoreId(2), &mut arena);
+        s.insert(CoreId(4), &mut arena);
+        assert_eq!(s.to_string(), "{P2,P4}");
+        assert_eq!(SharerSet::new().to_string(), "{}");
+    }
+}

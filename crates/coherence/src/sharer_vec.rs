@@ -20,6 +20,7 @@
 //! organization's extra traffic against its storage on real traces.
 
 use crate::coreset::CoreSet;
+use crate::sharer_set::{SharerArena, SharerSet};
 use rebound_engine::CoreId;
 use std::fmt;
 
@@ -80,12 +81,15 @@ impl fmt::Display for DirOrg {
 /// assert_eq!(v.targets().len(), 4);
 /// assert!(v.targets().contains(CoreId(6)));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct SharerVector {
     org: DirOrg,
     ncores: usize,
-    /// Exact sharers (ground truth for precision accounting).
-    exact: CoreSet,
+    /// Exact sharers (ground truth for precision accounting), held in the
+    /// compact adaptive representation with a private spill backing — the
+    /// common ≤2-sharer line costs one word, not a 128-byte mask.
+    exact: SharerSet,
+    spill: SharerArena,
     /// Limited-pointer state: the stored pointers, or broadcast.
     pointers: Vec<CoreId>,
     broadcast: bool,
@@ -96,10 +100,14 @@ impl SharerVector {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is 0 or exceeds 64, if a coarse cluster is 0, or if
-    /// a limited-pointer count is 0.
+    /// Panics if `n` is 0 or exceeds [`CoreSet::MAX_CORES`], if a coarse
+    /// cluster is 0, or if a limited-pointer count is 0.
     pub fn new(org: DirOrg, n: usize) -> SharerVector {
-        assert!(n > 0 && n <= 64, "1..=64 cores supported, got {n}");
+        assert!(
+            n > 0 && n <= CoreSet::MAX_CORES,
+            "1..={} cores supported, got {n}",
+            CoreSet::MAX_CORES
+        );
         match org {
             DirOrg::CoarseVector { cluster } => assert!(cluster > 0, "cluster must be > 0"),
             DirOrg::LimitedPointer { pointers } => assert!(pointers > 0, "need >= 1 pointer"),
@@ -108,7 +116,8 @@ impl SharerVector {
         SharerVector {
             org,
             ncores: n,
-            exact: CoreSet::new(),
+            exact: SharerSet::new(),
+            spill: SharerArena::new(),
             pointers: Vec::new(),
             broadcast: false,
         }
@@ -122,7 +131,7 @@ impl SharerVector {
     /// Records that `core` now caches the line.
     pub fn add(&mut self, core: CoreId) {
         assert!(core.index() < self.ncores, "core out of range");
-        self.exact.insert(core);
+        self.exact.insert(core, &mut self.spill);
         if let DirOrg::LimitedPointer { pointers } = self.org {
             if !self.broadcast && !self.pointers.contains(&core) {
                 if self.pointers.len() < pointers {
@@ -139,14 +148,14 @@ impl SharerVector {
     /// Resets the field, as an invalidating write or displacement of the
     /// last copy does.
     pub fn clear(&mut self) {
-        self.exact.clear();
+        self.exact.clear(&mut self.spill);
         self.pointers.clear();
         self.broadcast = false;
     }
 
     /// The exact sharer set (what a full map would store).
     pub fn exact(&self) -> CoreSet {
-        self.exact
+        self.exact.to_coreset(&self.spill)
     }
 
     /// The cores an invalidation (or a Rebound dependence-maintenance
@@ -154,10 +163,10 @@ impl SharerVector {
     /// superset of [`SharerVector::exact`].
     pub fn targets(&self) -> CoreSet {
         match self.org {
-            DirOrg::FullMap => self.exact,
+            DirOrg::FullMap => self.exact(),
             DirOrg::CoarseVector { cluster } => {
                 let mut t = CoreSet::new();
-                for s in self.exact.iter() {
+                for s in self.exact.iter(&self.spill) {
                     let base = (s.index() / cluster) * cluster;
                     for c in base..(base + cluster).min(self.ncores) {
                         t.insert(CoreId(c));
@@ -169,7 +178,7 @@ impl SharerVector {
                 if self.broadcast {
                     CoreSet::all(self.ncores)
                 } else {
-                    self.exact
+                    self.exact()
                 }
             }
         }
@@ -178,7 +187,7 @@ impl SharerVector {
     /// Invalidations wasted on non-sharers for one full invalidation of
     /// this entry.
     pub fn overshoot(&self) -> usize {
-        self.targets().len() - self.exact.len()
+        self.targets().len() - self.exact.len(&self.spill)
     }
 }
 
@@ -244,6 +253,30 @@ mod tests {
         v.clear();
         v.add(CoreId(3));
         assert_eq!(v.targets().len(), 1, "broadcast state must not be sticky");
+    }
+
+    #[test]
+    fn large_machines_are_priced() {
+        // PR 6 pushed the machine model to 1024 cores; the §8 organization
+        // pricing must follow (the old 64-core cap silently barred it).
+        let n = CoreSet::MAX_CORES;
+        let mut v = SharerVector::new(DirOrg::CoarseVector { cluster: 16 }, n);
+        v.add(CoreId(1000));
+        v.add(CoreId(3));
+        assert_eq!(v.exact().len(), 2);
+        assert_eq!(v.targets().len(), 32, "two 16-core clusters");
+        assert_eq!(v.overshoot(), 30);
+
+        let mut lp = SharerVector::new(DirOrg::LimitedPointer { pointers: 2 }, 256);
+        lp.add(CoreId(70));
+        lp.add(CoreId(200));
+        lp.add(CoreId(5));
+        assert_eq!(lp.targets().len(), 256, "overflow broadcasts to all 256");
+        assert_eq!(DirOrg::FullMap.bits_per_entry(1024), 1024);
+        assert_eq!(
+            DirOrg::LimitedPointer { pointers: 4 }.bits_per_entry(1024),
+            41
+        );
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Property tests: `SharerSet` (the directory's compact adaptive sharer
+//! representation) behaves exactly like a `BTreeSet<usize>` — same
+//! membership, same length, same ascending iteration order — across every
+//! encoding (inline / mask / spill) and every promotion/demotion boundary,
+//! at machine sizes from 1 to 1024 cores. The representation must also be
+//! *canonical*: a set only occupies a spill slot while it genuinely needs
+//! one, and shrinking hands the slot back.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rebound_coherence::{CoreSet, SharerArena, SharerRepr, SharerSet};
+use rebound_engine::CoreId;
+
+fn members(s: SharerSet, arena: &SharerArena) -> Vec<usize> {
+    s.iter(arena).map(|c| c.index()).collect()
+}
+
+/// The canonical-form invariant: ≤5 members are always inline, ≥6 members
+/// all below core 60 are always a mask, and only the remainder spills —
+/// and the arena holds a live slot exactly when something spilled.
+fn assert_canonical(s: SharerSet, arena: &SharerArena, rf: &BTreeSet<usize>) {
+    let expected = match (rf.len(), rf.iter().next_back()) {
+        (n, _) if n <= SharerSet::INLINE_MAX => SharerRepr::Inline(n),
+        (_, Some(&max)) if max < SharerSet::MASK_BITS => SharerRepr::Mask,
+        _ => SharerRepr::Spill,
+    };
+    assert_eq!(s.repr(), expected, "non-canonical encoding for {rf:?}");
+    let live = usize::from(expected == SharerRepr::Spill);
+    assert_eq!(arena.live(), live, "spill slot accounting for {rf:?}");
+}
+
+/// One reference-checked mutation step.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    /// Union a batch of members in (`extend_from` a `CoreSet`).
+    Union(Vec<usize>),
+    Clear,
+}
+
+fn op_strategy(cores: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..cores).prop_map(Op::Insert),
+        4 => (0..cores).prop_map(Op::Remove),
+        1 => proptest::collection::vec(0..cores, 0..12).prop_map(Op::Union),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    /// Random op sequences against the `BTreeSet` reference, with the
+    /// machine size drawn from the full supported range so the inline,
+    /// mask and spill planes (and both crossing directions) all run.
+    #[test]
+    fn matches_reference_at_any_machine_size(
+        (_cores, ops) in (1usize..=1024).prop_flat_map(|cores| {
+            (Just(cores), proptest::collection::vec(op_strategy(cores), 0..120))
+        }),
+    ) {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        let mut rf: BTreeSet<usize> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(id) => {
+                    prop_assert_eq!(s.insert(CoreId(id), &mut arena), rf.insert(id));
+                }
+                Op::Remove(id) => {
+                    prop_assert_eq!(s.remove(CoreId(id), &mut arena), rf.remove(&id));
+                }
+                Op::Union(batch) => {
+                    let src: CoreSet = batch.iter().map(|&i| CoreId(i)).collect();
+                    s.extend_from(src, &mut arena);
+                    rf.extend(batch);
+                }
+                Op::Clear => {
+                    s.clear(&mut arena);
+                    rf.clear();
+                }
+            }
+            prop_assert_eq!(s.len(&arena), rf.len());
+            prop_assert_eq!(s.is_empty(), rf.is_empty());
+            assert_canonical(s, &arena, &rf);
+        }
+        prop_assert_eq!(members(s, &arena), rf.iter().copied().collect::<Vec<_>>());
+        let as_coreset = s.to_coreset(&arena);
+        prop_assert_eq!(as_coreset.len(), rf.len());
+        for &id in &rf {
+            prop_assert!(s.contains(CoreId(id), &arena));
+            prop_assert!(as_coreset.contains(CoreId(id)));
+        }
+    }
+
+    /// Walk a set straight across the inline↔spill boundary and back:
+    /// grow to `peak` members (stride keeps some ≥ 60, forcing a spill),
+    /// then shrink to nothing. Every intermediate state must stay
+    /// canonical, and iteration must match the reference throughout.
+    #[test]
+    fn boundary_crossings_stay_canonical(
+        peak in 6usize..40,
+        stride in prop_oneof![Just(1usize), Just(7), Just(26), Just(61)],
+    ) {
+        let mut arena = SharerArena::new();
+        let mut s = SharerSet::new();
+        let mut rf: BTreeSet<usize> = BTreeSet::new();
+        let ids: Vec<usize> = (0..peak).map(|k| (k * stride) % 1024).collect();
+        for &id in &ids {
+            s.insert(CoreId(id), &mut arena);
+            rf.insert(id);
+            assert_canonical(s, &arena, &rf);
+            prop_assert_eq!(members(s, &arena), rf.iter().copied().collect::<Vec<_>>());
+        }
+        for &id in ids.iter().rev() {
+            s.remove(CoreId(id), &mut arena);
+            rf.remove(&id);
+            assert_canonical(s, &arena, &rf);
+            prop_assert_eq!(members(s, &arena), rf.iter().copied().collect::<Vec<_>>());
+        }
+        prop_assert!(s.is_empty());
+        prop_assert_eq!(arena.live(), 0);
+    }
+}
+
+/// Regression: a set that spills and then shrinks back must return its
+/// arena slot (and the slot must be reused, not leaked) — the property
+/// that keeps a transient all-cores burst from permanently costing 128
+/// bytes per line.
+#[test]
+fn shrink_reclaims_the_spill_slot() {
+    let mut arena = SharerArena::new();
+    let mut s = SharerSet::new();
+    for c in 0..200 {
+        s.insert(CoreId(c), &mut arena);
+    }
+    assert_eq!(s.repr(), SharerRepr::Spill);
+    assert_eq!((arena.live(), arena.capacity()), (1, 1));
+
+    // Shrink back under the inline bound: the slot must be freed.
+    for c in 4..200 {
+        s.remove(CoreId(c), &mut arena);
+    }
+    assert_eq!(s.repr(), SharerRepr::Inline(4));
+    assert_eq!(arena.live(), 0, "slot not reclaimed on shrink");
+    assert_eq!(
+        s.iter(&arena).map(|c| c.index()).collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+
+    // Spill again: the freed slot is reused, the arena does not grow.
+    for c in 0..100 {
+        s.insert(CoreId(c + 900), &mut arena);
+    }
+    assert_eq!(s.repr(), SharerRepr::Spill);
+    assert_eq!(
+        (arena.live(), arena.capacity()),
+        (1, 1),
+        "freed slot must be reused, not leaked"
+    );
+}

@@ -145,12 +145,12 @@ impl Machine {
     fn handle_l2_eviction(&mut self, core: CoreId, line: LineAddr, data: L2Line) {
         self.cores[core.index()].l1.invalidate(line);
         let id = self.lines.intern(line);
-        let e = self.dir.entry_mut(id);
-        if e.owner == Some(core) {
-            e.owner = None;
-            e.dirty = false;
+        let mut e = self.dir.entry_mut(id);
+        if e.owner() == Some(core) {
+            e.set_owner(None);
+            e.set_dirty(false);
         }
-        e.sharers.remove(core);
+        e.remove_sharer(core);
         if data.state.is_dirty() {
             let (interval, class) = if data.delayed {
                 (
@@ -233,9 +233,9 @@ impl Machine {
         self.msgs.record(MsgKind::GetS);
         let home = self.home_of(line);
         let mut lat = self.net.to_directory(requester, home);
-        let entry = self.dir.entry(id);
+        let dir_owner = self.dir.entry(id).owner();
 
-        if let Some(owner) = entry.owner.filter(|&o| o != requester) {
+        if let Some(owner) = dir_owner.filter(|&o| o != requester) {
             let owner_line = self.cores[owner.index()].l2.peek(line).copied();
             if let Some(ol) = owner_line.filter(|l| l.state.can_write_silently()) {
                 // Forward to the owner; it supplies the data (Fig 3.2 RD row).
@@ -270,24 +270,30 @@ impl Machine {
                     l.delayed = false;
                 }
                 self.record_dependence(owner, requester, line, false);
-                let e = self.dir.entry_mut(id);
-                e.owner = None;
-                e.dirty = false;
-                e.sharers.insert(owner);
-                e.sharers.insert(requester);
+                let mut e = self.dir.entry_mut(id);
+                e.set_owner(None);
+                e.set_dirty(false);
+                e.insert_sharer(owner);
+                e.insert_sharer(requester);
                 return (lat, MesiState::Shared, value);
             }
             // Stale owner (should not normally happen: evictions update the
             // directory); fall through to a memory fetch.
-            let e = self.dir.entry_mut(id);
-            e.owner = None;
-            e.dirty = false;
+            let mut e = self.dir.entry_mut(id);
+            e.set_owner(None);
+            e.set_dirty(false);
         }
 
+        // One 16-byte entry read covers the rest of the transaction: the
+        // scalars are extracted up front so the borrow ends before the
+        // memory/network mutations below.
         let entry = self.dir.entry(id);
+        let other_sharer = entry.sharers().find(|&s| s != requester);
+        let has_sharers = !entry.sharers_empty();
+        let lw_id = entry.lw_id();
         let value;
         let mut granted = MesiState::Shared;
-        if let Some(sharer) = entry.sharers.iter().find(|&s| s != requester) {
+        if let Some(sharer) = other_sharer {
             // Cache-to-cache transfer from a clean sharer.
             self.msgs.record(MsgKind::Data);
             lat += self.net.one_way(home, sharer)
@@ -308,27 +314,27 @@ impl Machine {
                     .add(OverheadKind::Ipc, resp.interference);
             }
             value = self.memory.read(id);
-            if entry.sharers.is_empty() {
+            if !has_sharers {
                 granted = MesiState::Exclusive;
             }
         }
 
         // Lazy dependence recording against a (possibly stale) LW-ID.
         if self.tracks_line(line) {
-            if let Some(w) = entry.lw_id.filter(|&w| w != requester) {
+            if let Some(w) = lw_id.filter(|&w| w != requester) {
                 self.lw_query(w, requester, line, id);
             }
         }
 
         let tracked = self.tracks_line(line);
-        let e = self.dir.entry_mut(id);
+        let mut e = self.dir.entry_mut(id);
         if granted == MesiState::Exclusive {
-            e.owner = Some(requester);
-            e.dirty = false;
+            e.set_owner(Some(requester));
+            e.set_dirty(false);
             // RDX: "a RDX transaction, like a WR one, saves the reader's
             // PID in LW-ID" (Fig 3.2) — the processor may write silently.
             if tracked {
-                e.lw_id = Some(requester);
+                e.set_lw_id(Some(requester));
                 self.metrics.lwid_updates.incr();
                 self.cores[requester.index()]
                     .dep
@@ -338,7 +344,7 @@ impl Machine {
                 self.metrics.wsig_ops.incr();
             }
         } else {
-            e.sharers.insert(requester);
+            e.insert_sharer(requester);
         }
         (lat, granted, value)
     }
@@ -357,12 +363,14 @@ impl Machine {
         let home = self.home_of(line);
         let mut lat = self.net.to_directory(writer, home);
         let entry = self.dir.entry(id);
+        let old_owner = entry.owner().filter(|&o| o != writer);
+        let lw_id = entry.lw_id();
 
-        // Invalidate all other sharers (in parallel; one round trip).
-        // `entry` is a by-value copy, so the sharer walk can mutate the
-        // cores directly — no intermediate collection needed.
+        // Invalidate all other sharers (in parallel; one round trip). The
+        // sharer iterator owns its data, so the walk can mutate the cores
+        // directly — no intermediate collection needed.
         let mut worst = 0;
-        for s in entry.sharers.iter() {
+        for s in entry.sharers() {
             if s == writer {
                 continue;
             }
@@ -374,7 +382,6 @@ impl Machine {
         }
         lat += worst;
 
-        let old_owner = entry.owner.filter(|&o| o != writer);
         let mut fetched = upgrade;
         if let Some(owner) = old_owner {
             let has = self.cores[owner.index()]
@@ -399,12 +406,12 @@ impl Machine {
                 self.cores[owner.index()].l2.invalidate(line);
                 fetched = true;
             } else {
-                self.dir.entry_mut(id).owner = None;
+                self.dir.entry_mut(id).set_owner(None);
             }
         } else if self.tracks_line(line) {
             // No owner to ride on: dependence recording needs an explicit
             // "are you the last writer?" query (the Table 6.1 extra traffic).
-            if let Some(w) = entry.lw_id.filter(|&w| w != writer) {
+            if let Some(w) = lw_id.filter(|&w| w != writer) {
                 self.lw_query(w, writer, line, id);
             }
         }
@@ -425,12 +432,12 @@ impl Machine {
         }
 
         let tracked = self.tracks_line(line);
-        let e = self.dir.entry_mut(id);
-        e.sharers.clear();
-        e.owner = Some(writer);
-        e.dirty = true;
+        let mut e = self.dir.entry_mut(id);
+        e.clear_sharers();
+        e.set_owner(Some(writer));
+        e.set_dirty(true);
         if tracked {
-            e.lw_id = Some(writer);
+            e.set_lw_id(Some(writer));
             self.metrics.lwid_updates.incr();
         }
         lat
@@ -477,7 +484,7 @@ impl Machine {
             }
             None => {
                 self.msgs.record(MsgKind::NoWr);
-                self.dir.entry_mut(id).lw_id = None;
+                self.dir.entry_mut(id).set_lw_id(None);
             }
         }
         // MyProducers is updated before the reply can arrive (§3.3.2).

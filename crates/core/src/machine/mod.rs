@@ -568,6 +568,14 @@ impl Machine {
         &self.dir
     }
 
+    /// Directory footprint diagnostics: resident bytes of the packed
+    /// entry plane and spill-arena occupancy. Pairs with
+    /// [`Machine::queue_histogram`] as a post-run diagnosis surface, and
+    /// backs the footprint numbers quoted in README/ROADMAP.
+    pub fn dir_footprint(&self) -> rebound_coherence::DirFootprint {
+        self.dir.footprint()
+    }
+
     /// The undo log (for inspection in tests).
     pub fn undo_log(&self) -> &UndoLog {
         &self.log
