@@ -35,6 +35,14 @@
 //! * `--out FILE` — write the CSV there (default: stdout).
 //! * `--json FILE` — additionally write the JSON rendering.
 //! * `--no-oracle` — skip golden replays (faster; faulty runs unchecked).
+//! * `--no-golden-cache` — replay every golden fresh instead of sharing
+//!   one memoized snapshot per base config (default on, or
+//!   `REBOUND_NO_GOLDEN_CACHE=1`). The CSV is byte-identical either way;
+//!   the flag exists as an escape hatch and for A/B timing. With the
+//!   cache on, stderr reports `goldens: N computed, M reused (K from
+//!   store)` plus per-base-config resident-snapshot footprints, and a
+//!   `--store` additionally persists snapshots as `.golden` objects that
+//!   warm goldens across campaigns and shards.
 //! * `--list` — print the expanded job labels (with each named plan's
 //!   trigger detail) and exit without running.
 //!
@@ -43,14 +51,15 @@
 use std::process::ExitCode;
 
 use rebound_harness::{
-    default_jobs, default_sim_threads, run_jobs_stored, CampaignSpec, Shard, Store,
+    default_golden_cache, default_jobs, default_sim_threads, run_jobs_opts, CampaignSpec, Shard,
+    Store,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: rebound-campaign [--spec acceptance|smoke|matrix|adversarial|scale] [--jobs N] \
          [--sim-threads N] [--filter SUBSTR] [--shard I/N] [--store DIR] [--out FILE.csv] \
-         [--json FILE.json] [--no-oracle] [--list]"
+         [--json FILE.json] [--no-oracle] [--no-golden-cache] [--list]"
     );
     std::process::exit(2);
 }
@@ -65,6 +74,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut json: Option<String> = None;
     let mut oracle = true;
+    let mut golden_cache = default_golden_cache();
     let mut list = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +110,7 @@ fn main() -> ExitCode {
             "--out" | "-o" => out = Some(value(&mut i)),
             "--json" => json = Some(value(&mut i)),
             "--no-oracle" => oracle = false,
+            "--no-golden-cache" => golden_cache = false,
             "--list" => list = true,
             "--help" | "-h" => usage(),
             other => {
@@ -194,12 +205,18 @@ fn main() -> ExitCode {
             .map(|s| format!(", store {}", s.root().display()))
             .unwrap_or_default(),
     );
-    let result = run_jobs_stored(expanded, jobs, sim_threads, store.as_ref());
+    let result = run_jobs_opts(expanded, jobs, sim_threads, store.as_ref(), golden_cache);
     if let Some(stats) = &result.store {
         eprintln!(
             "store: {} cached, {} recomputed",
             stats.hits, stats.recomputed
         );
+    }
+    if let Some(g) = &result.golden {
+        eprintln!("{}", g.line());
+    }
+    for fp in &result.golden_footprint {
+        eprintln!("{fp}");
     }
 
     let csv = result.to_csv();

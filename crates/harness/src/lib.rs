@@ -17,7 +17,12 @@
 //! committed instructions and stores, and (for single-writer-data
 //! profiles) the exact final value of every data line. This turns the
 //! paper's §3 correctness argument into an executable check over the
-//! whole Fig 4.3(a) matrix.
+//! whole Fig 4.3(a) matrix. Golden runs depend only on a job's *base
+//! identity* (scheme, app, cores, seed, scale), so each one is captured
+//! once into an immutable [`GoldenSnapshot`] and memoized campaign-wide
+//! by a [`GoldenCache`] — dozens of fault plans per base config share a
+//! single golden simulation, and with `--store DIR` the snapshots
+//! persist across campaigns and shards.
 //!
 //! Everything emitted into the CSV/JSON tables is a deterministic
 //! function of the spec, so output is **byte-identical for any worker
@@ -50,13 +55,16 @@ pub mod store;
 #[cfg(feature = "strategies")]
 pub mod strategies;
 
-pub use oracle::{run_job, run_job_with, JobOutcome, OracleVerdict};
-pub use pool::{default_jobs, default_sim_threads, parallel_map};
+pub use oracle::{
+    run_job, run_job_cached, run_job_with, GoldenCache, GoldenCtx, GoldenFootprint, GoldenSnapshot,
+    GoldenStats, JobOutcome, OracleVerdict,
+};
+pub use pool::{default_golden_cache, default_jobs, default_sim_threads, parallel_map};
 pub use results::{CampaignResult, CampaignRow, RunRow, StoreStats};
 pub use spec::{
     CampaignSpec, FaultPhase, FaultPlan, FaultSpec, FaultTrigger, Job, RunScale, Shard,
 };
-pub use store::{Store, STORE_SCHEMA_VERSION};
+pub use store::{golden_content_key, Store, STORE_SCHEMA_VERSION};
 
 use std::time::Instant;
 
@@ -96,8 +104,32 @@ pub fn run_jobs_stored(
     sim_threads: usize,
     store: Option<&Store>,
 ) -> CampaignResult {
+    run_jobs_opts(jobs_list, jobs, sim_threads, store, true)
+}
+
+/// [`run_jobs_stored`] with the golden-replay cache made explicit.
+///
+/// With `golden_cache` on (the default everywhere), one
+/// [`GoldenCache`] is shared by every worker: the first faulty job of a
+/// base config simulates (or, with a store, loads) its golden snapshot
+/// once and every other fault plan of that config reuses it — with a
+/// store attached, snapshots persist as `.golden` objects so later
+/// campaigns and sibling CI shards skip even the first simulation. The
+/// cache can only change *when* goldens are computed, never what any
+/// row contains, so output bytes are identical with it on or off
+/// (`--no-golden-cache` exists to prove exactly that, and as an escape
+/// hatch if a cached golden is ever suspected).
+pub fn run_jobs_opts(
+    jobs_list: Vec<Job>,
+    jobs: usize,
+    sim_threads: usize,
+    store: Option<&Store>,
+    golden_cache: bool,
+) -> CampaignResult {
     let t0 = Instant::now();
+    let cache = golden_cache.then(|| GoldenCache::for_jobs(&jobs_list));
     let rows = parallel_map(&jobs_list, jobs, |j| {
+        let ctx = cache.as_ref().map(|c| GoldenCtx { cache: c, store });
         if let Some(st) = store {
             let key = st.key(j);
             if let Some(run) = st.load(&key) {
@@ -107,7 +139,7 @@ pub fn run_jobs_stored(
                     cached: true,
                 };
             }
-            let run = run_job_with(j, sim_threads).run_row();
+            let run = run_job_cached(j, sim_threads, ctx).run_row();
             if let Err(e) = st.save(&key, &run) {
                 eprintln!("warning: store write for {} failed: {e}", j.label());
             }
@@ -119,7 +151,7 @@ pub fn run_jobs_stored(
         } else {
             CampaignRow {
                 job: j.clone(),
-                run: run_job_with(j, sim_threads).run_row(),
+                run: run_job_cached(j, sim_threads, ctx).run_row(),
                 cached: false,
             }
         }
@@ -136,6 +168,8 @@ pub fn run_jobs_stored(
         jobs_used: jobs.max(1),
         wall_ms: t0.elapsed().as_millis(),
         store: stats,
+        golden: cache.as_ref().map(|c| c.stats()),
+        golden_footprint: cache.as_ref().map(|c| c.footprint()).unwrap_or_default(),
     }
 }
 

@@ -25,15 +25,37 @@
 //! recovery happened, skips the golden replay entirely, and records the
 //! skip in the checks column.
 //!
+//! # Golden snapshots and the campaign-wide golden cache
+//!
+//! A golden run depends only on the job's *base identity* — scheme, app,
+//! core count, seed and run scale — never on the fault plan, so the
+//! adversarial matrix's dozens of fault plans per base config used to
+//! re-simulate the same golden machine dozens of times. Everything the
+//! judge reads from a golden run is captured once into an immutable
+//! [`GoldenSnapshot`] (clean-termination flag, committed-work totals,
+//! and the final effective data-line image as a dense `LineId`-indexed
+//! vector over the snapshot's own [`LineTable`]), and a
+//! [`GoldenCache`] memoizes snapshots under a 128-bit content key
+//! ([`crate::store::golden_content_key`]) shared by every worker of a
+//! campaign — the first job for a base config computes the golden, the
+//! rest reuse it. With a [`Store`], snapshots also persist as `.golden`
+//! objects, so goldens warm across campaigns and CI shards. Verdicts are
+//! byte-identical with the cache on or off: the snapshot comparison
+//! visits the same line sequence the live two-machine comparison did.
+//!
 //! [`AppProfile::deterministic_data`]: rebound_workloads::AppProfile::deterministic_data
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rebound_core::{CoreProgram, Machine, RunReport};
-use rebound_engine::{CoreId, LineAddr};
-use rebound_workloads::{profile_named, AddressLayout};
+use rebound_engine::{CoreId, LineAddr, LineId};
+use rebound_workloads::{profile_named, AddressLayout, LineTable};
 
 use crate::spec::Job;
+use crate::store::{code_salt, golden_content_key, Store};
 
 /// Hard ceiling on events per run; hitting it means the machine
 /// livelocked, which the oracle reports as a failure instead of hanging
@@ -90,8 +112,8 @@ impl OracleVerdict {
 }
 
 /// The outcome of one executed job: its run report plus, for faulty
-/// oracle-enabled jobs, the recovery verdict and the golden report it was
-/// judged against.
+/// oracle-enabled jobs, the recovery verdict and the golden snapshot it
+/// was judged against.
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
     /// The job that ran.
@@ -100,8 +122,10 @@ pub struct JobOutcome {
     pub report: RunReport,
     /// Oracle verdict.
     pub verdict: OracleVerdict,
-    /// The fault-free twin's report, when the oracle ran.
-    pub golden: Option<RunReport>,
+    /// The fault-free twin's snapshot, when the oracle replayed (or
+    /// reused) one. Shared — the same `Arc` may be held by every job of
+    /// the base config when a [`GoldenCache`] is in play.
+    pub golden: Option<Arc<GoldenSnapshot>>,
     /// Which comparisons the oracle performed (for the notes column).
     pub checks: String,
     /// The faults that actually fired, as `f<core>@<cycle>` terms in
@@ -219,38 +243,251 @@ fn fired_string(fired: &[rebound_core::FiredFault]) -> String {
         .join("+")
 }
 
+/// Everything the oracle's judge reads from a golden (fault-free) run,
+/// captured into an immutable value so the run itself never has to be
+/// repeated: the clean-termination flag (with the stuck diagnosis
+/// preserved verbatim when the golden did not finish), the committed
+/// instruction and store totals, and the final effective data-line
+/// image — dense `LineId`-indexed values over the snapshot's own
+/// [`LineTable`], sync lines excluded, in golden visitation order so the
+/// snapshot comparison reports mismatches exactly as the live
+/// two-machine comparison did.
+///
+/// A snapshot is a pure function of the job's *base identity* (scheme,
+/// app, cores, seed, run scale) — fault-plan detail never enters a
+/// fault-free replay — which is what makes it shareable across every
+/// fault plan of a base config and persistable under a content key.
+#[derive(Clone, Debug)]
+pub struct GoldenSnapshot {
+    /// `None` when the golden run terminated cleanly; otherwise the
+    /// rendered diagnosis (`format!("{end:?}")` of the execution end),
+    /// preserved so a cached stuck golden reproduces the exact verdict
+    /// string a live replay would have produced.
+    end: Option<String>,
+    /// Total committed instructions across cores.
+    pub insts: u64,
+    /// Total committed stores across cores.
+    pub stores: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Completed checkpoint episodes.
+    pub checkpoints: u64,
+    /// Completed rollback episodes (0 for any healthy golden run).
+    pub rollbacks: u64,
+    /// Total messages of all classes.
+    pub msgs_total: u64,
+    /// The snapshot's own interner: ids in golden visitation order.
+    table: LineTable,
+    /// Effective line value per dense id (`table` order).
+    values: Vec<u64>,
+}
+
+impl GoldenSnapshot {
+    /// Runs the job's fault-free golden twin and captures it.
+    pub fn capture(job: &Job) -> GoldenSnapshot {
+        let (m, end, _) = execute(job, false);
+        GoldenSnapshot::of_run(job, &m, &end)
+    }
+
+    /// Captures a finished (or stuck) golden machine. For a stuck golden
+    /// only the diagnosis is kept — the judge fails before reading
+    /// anything else, so partial totals would be dead weight in the
+    /// store objects.
+    fn of_run(job: &Job, m: &Machine, end: &ExecEnd) -> GoldenSnapshot {
+        let profile = profile_named(&job.app).expect("expand() validated the app name");
+        let mut table = LineTable::for_profile(job.cores, &profile);
+        let mut values: Vec<u64> = Vec::new();
+        if *end != ExecEnd::Finished {
+            return GoldenSnapshot {
+                end: Some(format!("{end:?}")),
+                insts: 0,
+                stores: 0,
+                cycles: 0,
+                checkpoints: 0,
+                rollbacks: 0,
+                msgs_total: 0,
+                table,
+                values,
+            };
+        }
+        let layout = AddressLayout;
+        {
+            let mut put = |addr: LineAddr| {
+                if layout.is_sync_line(addr) {
+                    return;
+                }
+                let id = table.intern(addr);
+                if id.index() == values.len() {
+                    values.push(m.effective_line_value(addr));
+                }
+                // id below len: the line was already captured (a line can
+                // be both memory-resident and dirty); the effective value
+                // is idempotent, so the first capture stands.
+            };
+            m.for_each_resident_line(|a, _| put(a));
+            m.for_each_dirty_line(&mut put);
+        }
+        let report = m.report();
+        GoldenSnapshot {
+            end: None,
+            insts: total_insts(m),
+            stores: total_stores(m),
+            cycles: report.cycles,
+            checkpoints: report.checkpoints,
+            rollbacks: report.rollbacks,
+            msgs_total: report.msgs.total(),
+            table,
+            values,
+        }
+    }
+
+    /// Rebuilds a snapshot from its serialized parts (the store codec).
+    /// Entries must arrive in capture order — each address interns to the
+    /// next dense id; a duplicate or sync-line address means the object
+    /// is corrupt and decodes to `None` (a store miss, never a panic).
+    pub fn from_parts(
+        app: &str,
+        cores: usize,
+        end: Option<String>,
+        scalars: [u64; 6],
+        entries: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Option<GoldenSnapshot> {
+        let profile = profile_named(app)?;
+        let layout = AddressLayout;
+        let mut table = LineTable::for_profile(cores, &profile);
+        let mut values = Vec::new();
+        for (raw, v) in entries {
+            let addr = LineAddr(raw);
+            if layout.is_sync_line(addr) {
+                return None;
+            }
+            let id = table.intern(addr);
+            if id.index() != values.len() {
+                return None;
+            }
+            values.push(v);
+        }
+        let [insts, stores, cycles, checkpoints, rollbacks, msgs_total] = scalars;
+        Some(GoldenSnapshot {
+            end,
+            insts,
+            stores,
+            cycles,
+            checkpoints,
+            rollbacks,
+            msgs_total,
+            table,
+            values,
+        })
+    }
+
+    /// Whether the golden run terminated cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.end.is_none()
+    }
+
+    /// The stuck diagnosis of a golden run that did not finish.
+    pub fn stuck_reason(&self) -> Option<&str> {
+        self.end.as_deref()
+    }
+
+    /// The effective value of `addr` in the golden image; zero for any
+    /// line the golden run never made nonzero — the same convention
+    /// [`Machine::effective_line_value`] uses for untouched lines, so
+    /// absent-vs-zero is indistinguishable here exactly as it is there.
+    pub fn line_value(&self, addr: LineAddr) -> u64 {
+        self.table
+            .lookup(addr)
+            .and_then(|id| self.values.get(id.index()).copied())
+            .unwrap_or(0)
+    }
+
+    /// Visits every captured line as `(wire address, effective value)` in
+    /// capture (= golden visitation) order.
+    pub fn for_each_line(&self, mut f: impl FnMut(LineAddr, u64)) {
+        for (i, &v) in self.values.iter().enumerate() {
+            f(self.table.addr_of(LineId(i as u32)), v);
+        }
+    }
+
+    /// Number of captured data lines.
+    pub fn line_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Approximate resident heap bytes of this snapshot: the dense value
+    /// vector plus the interner's reverse map and slot array. Surfaced by
+    /// the campaign's golden-cache footprint diagnostics.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<GoldenSnapshot>()
+            + self.values.capacity() * std::mem::size_of::<u64>()
+            + self.table.len() * std::mem::size_of::<LineAddr>()
+            + self.table.dense_slots() * std::mem::size_of::<u32>()
+    }
+
+    /// The scalar block in codec order (insts, stores, cycles,
+    /// checkpoints, rollbacks, msgs_total).
+    pub fn scalars(&self) -> [u64; 6] {
+        [
+            self.insts,
+            self.stores,
+            self.cycles,
+            self.checkpoints,
+            self.rollbacks,
+            self.msgs_total,
+        ]
+    }
+}
+
+impl PartialEq for GoldenSnapshot {
+    fn eq(&self, other: &GoldenSnapshot) -> bool {
+        self.end == other.end
+            && self.scalars() == other.scalars()
+            && self.values == other.values
+            && (0..self.values.len()).all(|i| {
+                self.table.addr_of(LineId(i as u32)) == other.table.addr_of(LineId(i as u32))
+            })
+    }
+}
+
 /// Compares the final data state of a recovered faulty machine against
-/// its golden twin, line by line over the union of both runs' resident
-/// memory lines and dirty cache lines (sync lines — locks, barrier words,
+/// its golden snapshot, line by line over the union of the faulty run's
+/// resident memory lines and dirty cache lines and the snapshot's
+/// captured image (sync lines — locks, barrier words,
 /// arrival-order-dependent by design — excluded).
 ///
-/// The comparison borrows both machines' images through visitors: on the
-/// pass path it allocates nothing — no memory snapshot clone, no line-set
-/// materialisation. A line can be visited up to four times (two machines
-/// × two visitors); the value comparison is idempotent, and mismatches
-/// are deduplicated into the small bounded report buffer only on the
-/// failure path.
-fn compare_data_lines(faulty: &Machine, golden: &Machine) -> Vec<(LineAddr, u64, u64)> {
+/// The comparison borrows the faulty machine's image through visitors:
+/// on the pass path it allocates nothing. The visit sequence — faulty
+/// resident, faulty dirty, then the snapshot's lines in golden
+/// visitation order — is exactly the sequence the pre-snapshot
+/// two-machine comparison walked, so the (bounded, deduplicated,
+/// finally sorted) mismatch report is byte-identical to what a live
+/// golden machine would have produced.
+fn compare_data_lines(faulty: &Machine, golden: &GoldenSnapshot) -> Vec<(LineAddr, u64, u64)> {
     const MAX_REPORTED: usize = 4;
     let layout = AddressLayout;
     let mut mismatches: Vec<(LineAddr, u64, u64)> = Vec::new();
-    let mut visit = |addr: LineAddr| {
-        if layout.is_sync_line(addr) {
-            return;
-        }
-        let f = faulty.effective_line_value(addr);
-        let g = golden.effective_line_value(addr);
-        if f != g
-            && mismatches.len() < MAX_REPORTED
-            && !mismatches.iter().any(|&(a, _, _)| a == addr)
-        {
-            mismatches.push((addr, f, g));
+    let record = |addr: LineAddr, f: u64, g: u64, mm: &mut Vec<(LineAddr, u64, u64)>| {
+        if f != g && mm.len() < MAX_REPORTED && !mm.iter().any(|&(a, _, _)| a == addr) {
+            mm.push((addr, f, g));
         }
     };
-    for m in [faulty, golden] {
-        m.for_each_resident_line(|addr, _| visit(addr));
-        m.for_each_dirty_line(&mut visit);
+    {
+        let mut visit = |addr: LineAddr| {
+            if layout.is_sync_line(addr) {
+                return;
+            }
+            let f = faulty.effective_line_value(addr);
+            record(addr, f, golden.line_value(addr), &mut mismatches);
+        };
+        faulty.for_each_resident_line(|addr, _| visit(addr));
+        faulty.for_each_dirty_line(&mut visit);
     }
+    // Lines the golden run touched but the faulty run may not have: the
+    // snapshot never holds sync lines, so no filter is needed here.
+    golden.for_each_line(|addr, g| {
+        record(addr, faulty.effective_line_value(addr), g, &mut mismatches);
+    });
     // Two runs intern lines in different first-touch orders; sort so a
     // failing job prints the same diagnosis no matter which run's
     // traversal found each mismatch first.
@@ -269,14 +506,284 @@ fn total_stores(m: &Machine) -> u64 {
 /// Whether judging `job` will (barring early exits) need a golden
 /// replay: the job is faulty, the oracle is on, and the profile admits
 /// at least one golden-relative comparison. Mirrors the short-circuits
-/// in [`judge`] so speculative golden runs are never started for jobs
-/// that could not use them.
+/// in [`judge`] so speculative golden runs are never started — and cache
+/// slots never reserved — for jobs that could not use them; the
+/// `golden_replay_gate_matches_the_judge` test holds the mirror to the
+/// judge's observable behaviour across the whole catalog.
 fn golden_replay_possible(job: &Job) -> bool {
     if job.plan.is_clean() || !job.oracle {
         return false;
     }
     let profile = profile_named(&job.app).expect("expand() validated the app name");
     profile.lock_period.is_none() || profile.deterministic_data()
+}
+
+/// How a [`GoldenCache`] satisfied one golden request (stats accounting).
+enum GoldenHow {
+    Reused,
+    FromStore,
+    Computed,
+}
+
+/// Cache accounting of golden replays across one campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GoldenStats {
+    /// Goldens simulated this campaign (one per base config at most).
+    pub computed: usize,
+    /// Requests served from a snapshot already resident in memory.
+    pub reused: usize,
+    /// Snapshots loaded from a persistent store (first touch per key).
+    pub from_store: usize,
+}
+
+impl GoldenStats {
+    /// The human summary fragment: `goldens: N computed, M reused
+    /// (K from store)` — M counts every avoided simulation, K of which
+    /// came off disk rather than out of memory.
+    pub fn line(&self) -> String {
+        format!(
+            "goldens: {} computed, {} reused ({} from store)",
+            self.computed,
+            self.reused + self.from_store,
+            self.from_store
+        )
+    }
+}
+
+/// Resident-snapshot footprint of one base config, in the spirit of the
+/// directory's `DirFootprint` diagnostics: how much memory the golden
+/// cache holds per base config, so a scale campaign's snapshot residency
+/// is visible instead of silent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GoldenFootprint {
+    /// The base config label (`Scheme/App/c<cores>/s<seed>`).
+    pub label: String,
+    /// Captured data lines in the snapshot.
+    pub lines: usize,
+    /// Approximate resident bytes ([`GoldenSnapshot::resident_bytes`]).
+    pub bytes: usize,
+}
+
+impl std::fmt::Display for GoldenFootprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "golden {}: {} lines, {} KiB resident",
+            self.label,
+            self.lines,
+            self.bytes / 1024
+        )
+    }
+}
+
+/// One golden slot: the base label for diagnostics plus the
+/// once-initialized snapshot. Workers share the `Arc<OnceLock>` so the
+/// first to need a golden computes it while same-key contemporaries
+/// block on the lock instead of duplicating the simulation.
+struct GoldenCell {
+    label: String,
+    slot: Arc<OnceLock<Arc<GoldenSnapshot>>>,
+}
+
+/// Campaign-wide memoization of golden snapshots, shared by reference
+/// across the worker pool.
+///
+/// Keys are [`crate::store::golden_content_key`] hashes of the base
+/// identity (scheme, app, cores, seed, every `RunScale` field — fault
+/// plans and presentation fields deliberately excluded). Snapshots for
+/// keys expected to be used once are computed pass-through without
+/// taking up residency — the scale matrix has one faulty job per base
+/// config, and pinning megabyte-scale 1024-core images for a single use
+/// would be pure bloat; the adversarial matrix's 8-plans-per-base is
+/// where residency pays.
+pub struct GoldenCache {
+    cells: Mutex<HashMap<String, GoldenCell>>,
+    /// Expected golden-eligible uses per key (`None`: unknown, always
+    /// publish). Built from the campaign's job list up front.
+    expected: Option<HashMap<String, usize>>,
+    computed: AtomicUsize,
+    reused: AtomicUsize,
+    from_store: AtomicUsize,
+}
+
+impl Default for GoldenCache {
+    fn default() -> GoldenCache {
+        GoldenCache::new()
+    }
+}
+
+impl GoldenCache {
+    /// A cache with no expected-use information: every resolved snapshot
+    /// stays resident.
+    pub fn new() -> GoldenCache {
+        GoldenCache {
+            cells: Mutex::new(HashMap::new()),
+            expected: None,
+            computed: AtomicUsize::new(0),
+            reused: AtomicUsize::new(0),
+            from_store: AtomicUsize::new(0),
+        }
+    }
+
+    /// A cache primed with the campaign's job list: golden-eligible jobs
+    /// are counted per base key, and single-use keys resolve
+    /// pass-through (no residency).
+    pub fn for_jobs(jobs: &[Job]) -> GoldenCache {
+        let mut expected: HashMap<String, usize> = HashMap::new();
+        let salt = code_salt();
+        for j in jobs {
+            if golden_replay_possible(j) {
+                *expected.entry(golden_content_key(j, &salt)).or_insert(0) += 1;
+            }
+        }
+        GoldenCache {
+            expected: Some(expected),
+            ..GoldenCache::new()
+        }
+    }
+
+    /// The golden content key of `job` under the production code salt.
+    pub fn key(&self, job: &Job) -> String {
+        golden_content_key(job, &code_salt())
+    }
+
+    fn single_use(&self, key: &str) -> bool {
+        self.expected
+            .as_ref()
+            .is_some_and(|m| m.get(key).copied().unwrap_or(0) <= 1)
+    }
+
+    fn cell(&self, key: &str, job: &Job) -> Arc<OnceLock<Arc<GoldenSnapshot>>> {
+        let mut cells = self.cells.lock().expect("golden cache poisoned");
+        cells
+            .entry(key.to_string())
+            .or_insert_with(|| GoldenCell {
+                label: job.base_label(),
+                slot: Arc::new(OnceLock::new()),
+            })
+            .slot
+            .clone()
+    }
+
+    fn count(&self, how: GoldenHow) {
+        match how {
+            GoldenHow::Reused => &self.reused,
+            GoldenHow::FromStore => &self.from_store,
+            GoldenHow::Computed => &self.computed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Memory-or-store probe: returns the snapshot if one is already
+    /// available without simulating, else `None`. Used by the overlap
+    /// scheduler — a hit means the golden thread need not be spawned.
+    pub fn try_get(
+        &self,
+        key: &str,
+        job: &Job,
+        store: Option<&Store>,
+    ) -> Option<Arc<GoldenSnapshot>> {
+        if self.single_use(key) {
+            // No residency: serve a store hit directly.
+            let g = store?.load_golden(key, job)?;
+            self.count(GoldenHow::FromStore);
+            return Some(Arc::new(g));
+        }
+        let slot = self.cell(key, job);
+        if let Some(g) = slot.get() {
+            self.count(GoldenHow::Reused);
+            return Some(g.clone());
+        }
+        let loaded = store?.load_golden(key, job)?;
+        // Publish the load; another worker may have resolved meanwhile,
+        // in which case its snapshot (same content) wins.
+        let mut loaded_here = false;
+        let g = slot.get_or_init(|| {
+            loaded_here = true;
+            Arc::new(loaded)
+        });
+        self.count(if loaded_here {
+            GoldenHow::FromStore
+        } else {
+            GoldenHow::Reused
+        });
+        Some(g.clone())
+    }
+
+    /// Obtains the golden snapshot for `job`'s base config: resident
+    /// snapshot, else store load, else a fresh golden simulation
+    /// (persisted back to the store when one is attached). Concurrent
+    /// same-key callers block on the in-flight computation instead of
+    /// duplicating it.
+    pub fn resolve(&self, key: &str, job: &Job, store: Option<&Store>) -> Arc<GoldenSnapshot> {
+        let capture = |how: &mut GoldenHow| {
+            if let Some(st) = store {
+                if let Some(g) = st.load_golden(key, job) {
+                    *how = GoldenHow::FromStore;
+                    return Arc::new(g);
+                }
+            }
+            *how = GoldenHow::Computed;
+            let g = GoldenSnapshot::capture(job);
+            if let Some(st) = store {
+                if let Err(e) = st.save_golden(key, &g) {
+                    eprintln!(
+                        "warning: golden store write for {} failed: {e}",
+                        job.base_label()
+                    );
+                }
+            }
+            Arc::new(g)
+        };
+        if self.single_use(key) {
+            let mut how = GoldenHow::Computed;
+            let g = capture(&mut how);
+            self.count(how);
+            return g;
+        }
+        let slot = self.cell(key, job);
+        let mut how = GoldenHow::Reused;
+        let g = slot.get_or_init(|| capture(&mut how)).clone();
+        self.count(how);
+        g
+    }
+
+    /// Cache accounting so far.
+    pub fn stats(&self) -> GoldenStats {
+        GoldenStats {
+            computed: self.computed.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            from_store: self.from_store.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resident-snapshot footprint per base config, sorted by label.
+    pub fn footprint(&self) -> Vec<GoldenFootprint> {
+        let cells = self.cells.lock().expect("golden cache poisoned");
+        let mut out: Vec<GoldenFootprint> = cells
+            .values()
+            .filter_map(|c| {
+                c.slot.get().map(|g| GoldenFootprint {
+                    label: c.label.clone(),
+                    lines: g.line_count(),
+                    bytes: g.resident_bytes(),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.label.cmp(&b.label));
+        out
+    }
+}
+
+/// The golden-replay context a campaign threads through its workers: the
+/// shared in-memory cache plus the optional persistent store snapshots
+/// warm from and spill to.
+#[derive(Clone, Copy)]
+pub struct GoldenCtx<'a> {
+    /// The campaign-wide cache.
+    pub cache: &'a GoldenCache,
+    /// Persistent snapshot storage (`--store DIR`).
+    pub store: Option<&'a Store>,
 }
 
 /// Runs one job and, for faulty oracle-enabled jobs, the differential
@@ -287,7 +794,14 @@ pub fn run_job(job: &Job) -> JobOutcome {
     run_job_with(job, 1)
 }
 
-/// Runs one job using up to `sim_threads` simulation threads.
+/// Runs one job using up to `sim_threads` simulation threads, with no
+/// golden cache (every golden needed is replayed fresh).
+pub fn run_job_with(job: &Job, sim_threads: usize) -> JobOutcome {
+    run_job_cached(job, sim_threads, None)
+}
+
+/// Runs one job using up to `sim_threads` simulation threads and an
+/// optional shared golden cache.
 ///
 /// Each machine run is a strictly sequential discrete-event simulation —
 /// `Machine::access` synchronously mutates the shared directory, memory
@@ -297,17 +811,33 @@ pub fn run_job(job: &Job) -> JobOutcome {
 /// oracle-checked job: the faulty run and its fault-free golden twin
 /// share nothing but the immutable job description. With
 /// `sim_threads >= 2` the golden replay runs concurrently with the
-/// faulty run; the verdict logic is unchanged and each run is
-/// individually deterministic, so every reported field is byte-identical
-/// for any `sim_threads` value.
-pub fn run_job_with(job: &Job, sim_threads: usize) -> JobOutcome {
-    let overlap = sim_threads >= 2 && golden_replay_possible(job);
+/// faulty run — unless the cache already holds the snapshot, in which
+/// case no thread is spawned and the faulty run proceeds alone; the
+/// verdict logic is unchanged and each run is individually
+/// deterministic, so every reported field is byte-identical for any
+/// `sim_threads` value and any cache state.
+pub fn run_job_cached(job: &Job, sim_threads: usize, golden: Option<GoldenCtx<'_>>) -> JobOutcome {
+    let possible = golden_replay_possible(job);
+    let key = golden.filter(|_| possible).map(|c| (c, c.cache.key(job)));
+    // Warm probe: with an overlap thread on offer, a snapshot already in
+    // memory (or on disk) frees it — fall through to a plain
+    // single-threaded faulty run instead of spawning an idle thread.
+    let probed: Option<Arc<GoldenSnapshot>> = if sim_threads >= 2 {
+        key.as_ref()
+            .and_then(|(c, k)| c.cache.try_get(k, job, c.store))
+    } else {
+        None
+    };
+    let overlap = sim_threads >= 2 && possible && probed.is_none();
     let ((faulty, end, fired), pre_golden) = if overlap {
         std::thread::scope(|s| {
-            let g = s.spawn(|| execute(job, false));
+            let g = s.spawn(|| match &key {
+                Some((c, k)) => c.cache.resolve(k, job, c.store),
+                None => Arc::new(GoldenSnapshot::capture(job)),
+            });
             let f = execute(job, true);
-            // `execute` converts machine panics into `ExecEnd::Panicked`,
-            // so the join only fails on harness bugs.
+            // Snapshot capture converts machine panics into a stuck
+            // snapshot, so the join only fails on harness bugs.
             (f, Some(g.join().expect("golden replay thread panicked")))
         })
     } else {
@@ -361,27 +891,38 @@ pub fn run_job_with(job: &Job, sim_threads: usize) -> JobOutcome {
         };
     }
 
-    let (verdict, golden, checks) = judge(job, &faulty, &report, pre_golden);
+    // The golden supplier the judge pulls from at most once: an already
+    // obtained snapshot (probe hit or overlap thread), else the cache,
+    // else a fresh uncached replay.
+    let mut ready = probed.or(pre_golden);
+    let mut supplier = || {
+        ready.take().unwrap_or_else(|| match &key {
+            Some((c, k)) => c.cache.resolve(k, job, c.store),
+            None => Arc::new(GoldenSnapshot::capture(job)),
+        })
+    };
+    let (verdict, golden_snap, checks) = judge(job, &faulty, &report, &mut supplier);
     JobOutcome {
         job: job.clone(),
         report,
         verdict,
-        golden,
+        golden: golden_snap,
         checks,
         fired,
     }
 }
 
 /// The oracle proper: compares a finished faulty machine against its
-/// fault-free golden twin. `pre_golden` is a golden replay already
-/// computed concurrently with the faulty run (if absent, the replay runs
-/// lazily here, only once the early exits are past).
+/// fault-free golden twin's snapshot. `golden` supplies the snapshot on
+/// demand — it is only invoked once the early exits are past, so jobs
+/// that terminate dirty, never rolled back, or admit no golden-relative
+/// comparison never pay for (or pin) a golden at all.
 fn judge(
     job: &Job,
     faulty: &Machine,
     report: &RunReport,
-    pre_golden: Option<(Machine, ExecEnd, String)>,
-) -> (OracleVerdict, Option<RunReport>, String) {
+    golden: &mut dyn FnMut() -> Arc<GoldenSnapshot>,
+) -> (OracleVerdict, Option<Arc<GoldenSnapshot>>, String) {
     let mut checks: Vec<&'static str> = vec!["termination"];
 
     if faulty.done_cores() != faulty.ncores() {
@@ -414,39 +955,41 @@ fn judge(
         return (OracleVerdict::Pass, None, checks.join("+"));
     }
 
-    let (golden, golden_end, _) = pre_golden.unwrap_or_else(|| execute(job, false));
-    if golden_end != ExecEnd::Finished {
+    let golden = golden();
+    if !golden.is_clean() {
         return (
-            OracleVerdict::Fail(format!("golden run stuck: {golden_end:?}")),
+            OracleVerdict::Fail(format!(
+                "golden run stuck: {}",
+                golden.stuck_reason().expect("stuck goldens carry a reason")
+            )),
             None,
             checks.join("+"),
         );
     }
-    let golden_report = golden.report();
 
     if check_totals {
         checks.push("insts");
-        if total_insts(faulty) != total_insts(&golden) {
+        if total_insts(faulty) != golden.insts {
             return (
                 OracleVerdict::Fail(format!(
                     "committed instructions diverged: faulty {} vs golden {}",
                     total_insts(faulty),
-                    total_insts(&golden)
+                    golden.insts
                 )),
-                Some(golden_report),
+                Some(golden),
                 checks.join("+"),
             );
         }
 
         checks.push("stores");
-        if total_stores(faulty) != total_stores(&golden) {
+        if total_stores(faulty) != golden.stores {
             return (
                 OracleVerdict::Fail(format!(
                     "committed stores diverged: faulty {} vs golden {}",
                     total_stores(faulty),
-                    total_stores(&golden)
+                    golden.stores
                 )),
-                Some(golden_report),
+                Some(golden),
                 checks.join("+"),
             );
         }
@@ -466,7 +1009,7 @@ fn judge(
                     detail.len(),
                     detail.join("; ")
                 )),
-                Some(golden_report),
+                Some(golden),
                 checks.join("+"),
             );
         }
@@ -474,7 +1017,7 @@ fn judge(
         checks.push("memory-skipped(multi-writer-data)");
     }
 
-    (OracleVerdict::Pass, Some(golden_report), checks.join("+"))
+    (OracleVerdict::Pass, Some(golden), checks.join("+"))
 }
 
 #[cfg(test)]
@@ -515,6 +1058,7 @@ mod tests {
         assert!(out.report.rollbacks >= 1);
         let golden = out.golden.expect("golden twin ran");
         assert_eq!(golden.rollbacks, 0);
+        assert!(golden.line_count() > 0, "snapshot captured a data image");
         assert!(out.checks.contains("memory"));
     }
 
@@ -620,5 +1164,234 @@ mod tests {
                 out.verdict
             );
         }
+    }
+
+    /// The pre-snapshot two-machine comparison, kept verbatim as the
+    /// reference the snapshot path must reproduce bit-for-bit.
+    fn reference_compare(faulty: &Machine, golden: &Machine) -> Vec<(LineAddr, u64, u64)> {
+        const MAX_REPORTED: usize = 4;
+        let layout = AddressLayout;
+        let mut mismatches: Vec<(LineAddr, u64, u64)> = Vec::new();
+        let mut visit = |addr: LineAddr| {
+            if layout.is_sync_line(addr) {
+                return;
+            }
+            let f = faulty.effective_line_value(addr);
+            let g = golden.effective_line_value(addr);
+            if f != g
+                && mismatches.len() < MAX_REPORTED
+                && !mismatches.iter().any(|&(a, _, _)| a == addr)
+            {
+                mismatches.push((addr, f, g));
+            }
+        };
+        for m in [faulty, golden] {
+            m.for_each_resident_line(|addr, _| visit(addr));
+            m.for_each_dirty_line(&mut visit);
+        }
+        mismatches.sort_by_key(|&(a, _, _)| a);
+        mismatches
+    }
+
+    /// Tentpole regression: judging against a [`GoldenSnapshot`] must be
+    /// indistinguishable from judging against the live golden machine —
+    /// on matching pairs (empty mismatch lists, equal totals) and on
+    /// deliberately divergent pairs (identical bounded mismatch reports,
+    /// which is what the verdict's diagnosis string is built from).
+    #[test]
+    fn snapshot_judging_matches_machine_judging() {
+        for j in CampaignSpec::acceptance().expand() {
+            if j.plan.is_clean() || !golden_replay_possible(&j) {
+                continue;
+            }
+            let (faulty, f_end, _) = execute(&j, true);
+            let (golden, g_end, _) = execute(&j, false);
+            assert_eq!(f_end, ExecEnd::Finished, "{}", j.label());
+            assert_eq!(g_end, ExecEnd::Finished, "{}", j.label());
+            let snap = GoldenSnapshot::of_run(&j, &golden, &g_end);
+            assert!(snap.is_clean());
+            assert_eq!(snap.insts, total_insts(&golden));
+            assert_eq!(snap.stores, total_stores(&golden));
+            assert_eq!(
+                compare_data_lines(&faulty, &snap),
+                reference_compare(&faulty, &golden),
+                "{}: snapshot comparison diverged from the two-machine one",
+                j.label()
+            );
+
+            // Divergent pair: judge this job's faulty machine against a
+            // *different seed's* golden — the data images differ, and the
+            // bounded mismatch report must still be identical between the
+            // snapshot path and the two-machine path.
+            let mut other = j.clone();
+            other.seed += 17;
+            let (other_golden, o_end, _) = execute(&other, false);
+            assert_eq!(o_end, ExecEnd::Finished);
+            let other_snap = GoldenSnapshot::of_run(&other, &other_golden, &o_end);
+            let via_snapshot = compare_data_lines(&faulty, &other_snap);
+            let via_machines = reference_compare(&faulty, &other_golden);
+            assert_eq!(
+                via_snapshot,
+                via_machines,
+                "{}: divergent-pair reports differ",
+                j.label()
+            );
+            assert!(
+                !via_snapshot.is_empty(),
+                "{}: cross-seed images should diverge somewhere",
+                j.label()
+            );
+        }
+    }
+
+    /// Satellite regression: `golden_replay_possible` is maintained by
+    /// hand as a mirror of `judge`'s short-circuits. Hold the mirror to
+    /// the judge's *observable* behaviour across the whole catalog and
+    /// both oracle flags: a job the gate rejects must never come back
+    /// with a golden snapshot or a golden-relative check, and a job the
+    /// gate admits that the judge actually carried to the comparison
+    /// stage (clean termination + a real rollback) must have used one.
+    #[test]
+    fn golden_replay_gate_matches_the_judge() {
+        for profile in rebound_workloads::all_profiles() {
+            for oracle in [true, false] {
+                for plan in [FaultPlan::clean(), FaultPlan::single(1, 9_000)] {
+                    let mut j = job(Scheme::REBOUND, profile.name, plan);
+                    j.scale = RunScale::tiny();
+                    j.oracle = oracle;
+                    let possible = golden_replay_possible(&j);
+                    let out = run_job(&j);
+                    if !possible {
+                        assert!(
+                            out.golden.is_none(),
+                            "{}: gate said no golden, judge used one ({})",
+                            j.label(),
+                            out.checks
+                        );
+                        assert!(
+                            !out.checks.contains("insts") && !out.checks.contains("memory"),
+                            "{}: golden-relative checks without the gate: {}",
+                            j.label(),
+                            out.checks
+                        );
+                    } else if out.verdict == OracleVerdict::Pass
+                        && out.report.rollbacks > 0
+                        && !out.checks.contains("state-skipped")
+                    {
+                        assert!(
+                            out.golden.is_some(),
+                            "{}: gate said golden possible, judged pass with rollback, \
+                             but no golden was used ({})",
+                            j.label(),
+                            out.checks
+                        );
+                    }
+                    // The speculative scheduler must agree with the lazy
+                    // path on whether a golden ends up attached.
+                    let overlapped = run_job_with(&j, 2);
+                    assert_eq!(
+                        overlapped.golden.is_some(),
+                        out.golden.is_some(),
+                        "{}: sim-threads changed golden usage",
+                        j.label()
+                    );
+                    assert_eq!(overlapped.verdict, out.verdict, "{}", j.label());
+                    assert_eq!(overlapped.checks, out.checks, "{}", j.label());
+                }
+            }
+        }
+    }
+
+    /// The cache must dedupe goldens across fault plans of one base
+    /// config, serve identical snapshots, and leave verdicts untouched.
+    #[test]
+    fn golden_cache_dedupes_across_fault_plans() {
+        let jobs: Vec<Job> = [
+            FaultPlan::single(1, 20_000),
+            FaultPlan::single(2, 15_000),
+            FaultPlan::storm(1, 2, 15_000, 6_000),
+        ]
+        .into_iter()
+        .map(|p| job(Scheme::REBOUND, "Blackscholes", p))
+        .collect();
+        let cache = GoldenCache::for_jobs(&jobs);
+        let mut snaps = Vec::new();
+        for j in &jobs {
+            let out = run_job_cached(
+                j,
+                1,
+                Some(GoldenCtx {
+                    cache: &cache,
+                    store: None,
+                }),
+            );
+            let uncached = run_job(j);
+            assert_eq!(out.verdict, uncached.verdict, "{}", j.label());
+            assert_eq!(out.checks, uncached.checks, "{}", j.label());
+            snaps.push(out.golden.expect("golden used"));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.computed, 1, "one golden for one base config");
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.from_store, 0);
+        assert!(Arc::ptr_eq(&snaps[0], &snaps[1]) && Arc::ptr_eq(&snaps[1], &snaps[2]));
+        let fp = cache.footprint();
+        assert_eq!(fp.len(), 1);
+        assert!(fp[0].bytes > 0 && fp[0].lines > 0);
+        assert!(fp[0].label.contains("Blackscholes"));
+    }
+
+    /// Single-use keys resolve pass-through: correct verdicts, no
+    /// residency (the scale matrix must not pin 1024-core images).
+    #[test]
+    fn single_use_goldens_take_no_residency() {
+        let jobs = vec![job(
+            Scheme::REBOUND,
+            "Blackscholes",
+            FaultPlan::single(1, 20_000),
+        )];
+        let cache = GoldenCache::for_jobs(&jobs);
+        let out = run_job_cached(
+            &jobs[0],
+            1,
+            Some(GoldenCtx {
+                cache: &cache,
+                store: None,
+            }),
+        );
+        assert_eq!(out.verdict, OracleVerdict::Pass, "{}", out.checks);
+        assert_eq!(cache.stats().computed, 1);
+        assert!(cache.footprint().is_empty(), "single-use snapshot pinned");
+    }
+
+    /// With the snapshot already cached, `sim_threads >= 2` must not
+    /// spawn a speculative golden thread — and the outcome must be
+    /// byte-identical to the single-threaded one.
+    #[test]
+    fn warm_cache_falls_through_to_single_threaded() {
+        let jobs: Vec<Job> = [FaultPlan::single(1, 20_000), FaultPlan::single(2, 15_000)]
+            .into_iter()
+            .map(|p| job(Scheme::REBOUND, "FFT", p))
+            .collect();
+        let cache = GoldenCache::for_jobs(&jobs);
+        let ctx = GoldenCtx {
+            cache: &cache,
+            store: None,
+        };
+        let warmup = run_job_cached(&jobs[0], 1, Some(ctx));
+        assert_eq!(warmup.verdict, OracleVerdict::Pass, "{}", warmup.checks);
+        let computed_before = cache.stats().computed;
+        let t1 = run_job_cached(&jobs[1], 1, Some(ctx));
+        let t2 = run_job_cached(&jobs[1], 2, Some(ctx));
+        assert_eq!(
+            cache.stats().computed,
+            computed_before,
+            "warm hit recomputed"
+        );
+        assert_eq!(t1.verdict, t2.verdict);
+        assert_eq!(t1.checks, t2.checks);
+        assert_eq!(t1.fired, t2.fired);
+        assert_eq!(t1.report.cycles, t2.report.cycles);
+        assert_eq!(t1.report.insts, t2.report.insts);
     }
 }

@@ -143,6 +143,19 @@ pub fn default_sim_threads() -> usize {
     1
 }
 
+/// The default golden-cache switch: on, unless `REBOUND_NO_GOLDEN_CACHE`
+/// is set to anything but `0` or the empty string. The CLI's
+/// `--no-golden-cache` flag overrides in the same direction only — there
+/// is no flag to force the cache on, because off is never the better
+/// default (the env knob exists for A/B harnesses and bisecting a
+/// suspected cached-golden discrepancy without editing scripts).
+pub fn default_golden_cache() -> bool {
+    !matches!(
+        std::env::var("REBOUND_NO_GOLDEN_CACHE").ok().as_deref(),
+        Some(v) if !v.is_empty() && v != "0"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,7 @@
 
 use std::fmt::Write as _;
 
-use crate::oracle::{JobOutcome, OracleVerdict};
+use crate::oracle::{GoldenFootprint, GoldenStats, JobOutcome, OracleVerdict};
 use crate::spec::Job;
 
 /// The run-derived fields of one result row, in CSV column order.
@@ -129,6 +129,11 @@ pub struct CampaignResult {
     pub wall_ms: u128,
     /// Cache accounting when a result store was in use.
     pub store: Option<StoreStats>,
+    /// Golden-replay cache accounting when the golden cache was in use.
+    pub golden: Option<GoldenStats>,
+    /// Per-base-config resident golden snapshots at campaign end
+    /// (diagnostics only; empty when the cache was off or held nothing).
+    pub golden_footprint: Vec<GoldenFootprint>,
 }
 
 /// The CSV column set, in order.
@@ -279,8 +284,12 @@ impl CampaignResult {
             Some(s) => format!("; store: {} cached, {} recomputed", s.hits, s.recomputed),
             None => String::new(),
         };
+        let golden = match &self.golden {
+            Some(g) => format!("; {}", g.line()),
+            None => String::new(),
+        };
         format!(
-            "{} jobs ({} faulty: {} oracle-passed, {} vacuous, {} FAILED) on {} workers in {:.1}s{}",
+            "{} jobs ({} faulty: {} oracle-passed, {} vacuous, {} FAILED) on {} workers in {:.1}s{}{}",
             self.rows.len(),
             faulty,
             passed,
@@ -288,7 +297,8 @@ impl CampaignResult {
             self.failures().len(),
             self.jobs_used,
             self.wall_ms as f64 / 1_000.0,
-            store
+            store,
+            golden
         )
     }
 }

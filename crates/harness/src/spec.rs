@@ -482,6 +482,20 @@ impl Job {
         )
     }
 
+    /// The job's *base identity* label — everything a fault-free golden
+    /// replay can depend on (`Scheme/App/c<cores>/s<seed>`, no plan term).
+    /// All fault plans of one base config share this label, exactly as
+    /// they share one golden snapshot.
+    pub fn base_label(&self) -> String {
+        format!(
+            "{}/{}/c{}/s{}",
+            self.scheme.label(),
+            self.app,
+            self.cores,
+            self.seed
+        )
+    }
+
     /// The machine configuration this job runs.
     pub fn config(&self) -> MachineConfig {
         let mut cfg = MachineConfig::small(self.cores);

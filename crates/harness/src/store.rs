@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rebound_engine::ContentHasher;
 
-use crate::oracle::OracleVerdict;
+use crate::oracle::{GoldenSnapshot, OracleVerdict};
 use crate::results::{csv_field, RunRow};
 use crate::spec::Job;
 
@@ -86,6 +86,30 @@ pub fn content_key(job: &Job, salt: &str) -> String {
     h.update_u64(job.scale.detect_latency);
     h.update_u64(job.scale.watchdog_cycles);
     h.update_u64(job.oracle as u64);
+    h.finish_hex()
+}
+
+/// Computes the **golden** content key of `job` under `salt`: the job's
+/// *base identity* only — scheme, app, cores, seed, every [`RunScale`]
+/// field — behind a domain tag so golden keys can never collide with
+/// row keys. Fault-plan detail and the oracle flag are deliberately
+/// excluded: a fault-free replay cannot depend on either, and that
+/// exclusion is exactly what lets every fault plan of a base config
+/// share one stored snapshot (regression-tested as such).
+///
+/// [`RunScale`]: crate::spec::RunScale
+pub fn golden_content_key(job: &Job, salt: &str) -> String {
+    let mut h = ContentHasher::new();
+    h.update_str("golden");
+    h.update_str(salt);
+    h.update_str(job.scheme.label());
+    h.update_str(&job.app);
+    h.update_u64(job.cores as u64);
+    h.update_u64(job.seed);
+    h.update_u64(job.scale.interval);
+    h.update_u64(job.scale.quota);
+    h.update_u64(job.scale.detect_latency);
+    h.update_u64(job.scale.watchdog_cycles);
     h.finish_hex()
 }
 
@@ -165,6 +189,127 @@ impl Store {
             Err(e) => Err(e),
         }
     }
+
+    /// The golden content key of `job` under the current code salt.
+    pub fn golden_key(&self, job: &Job) -> String {
+        golden_content_key(job, &code_salt())
+    }
+
+    fn golden_path(&self, key: &str) -> PathBuf {
+        self.root
+            .join(&key[..2])
+            .join(format!("{}.golden", &key[2..]))
+    }
+
+    /// Loads the golden snapshot stored under `key`, rebuilding its line
+    /// interner from `job`'s base identity. `None` means miss — absent,
+    /// unreadable, truncated, or corrupt; the recompute overwrites it.
+    pub fn load_golden(&self, key: &str, job: &Job) -> Option<GoldenSnapshot> {
+        let text = fs::read_to_string(self.golden_path(key)).ok()?;
+        let (header, body) = text.split_once('\n')?;
+        if header != format!("rebound-store golden v{STORE_SCHEMA_VERSION}") {
+            return None;
+        }
+        decode_golden(body, &job.app, job.cores)
+    }
+
+    /// Atomically persists a golden snapshot under `key`.
+    pub fn save_golden(&self, key: &str, snap: &GoldenSnapshot) -> io::Result<()> {
+        let path = self.golden_path(key);
+        fs::create_dir_all(path.parent().expect("object path has a parent"))?;
+        let tmp = self.root.join("tmp").join(format!(
+            "{key}.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let contents = format!(
+            "rebound-store golden v{STORE_SCHEMA_VERSION}\n{}",
+            encode_golden(snap)
+        );
+        fs::write(&tmp, contents)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Removes the golden object under `key`, reporting whether one
+    /// existed.
+    pub fn remove_golden(&self, key: &str) -> io::Result<bool> {
+        match fs::remove_file(self.golden_path(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Encodes a golden snapshot: one CSV-framed scalar record (termination
+/// state, committed-work totals, report scalars, line count), one
+/// `addr,value` line per captured data line in capture order, and an
+/// `end` sentinel whose absence betrays a truncated object. The stuck
+/// diagnosis is a `Debug` rendering and therefore never contains a raw
+/// newline; the CSV framing covers everything else it might carry.
+pub fn encode_golden(snap: &GoldenSnapshot) -> String {
+    let [insts, stores, cycles, checkpoints, rollbacks, msgs_total] = snap.scalars();
+    let head = [
+        if snap.is_clean() { "clean" } else { "stuck" }.to_string(),
+        snap.stuck_reason().unwrap_or("").to_string(),
+        insts.to_string(),
+        stores.to_string(),
+        cycles.to_string(),
+        checkpoints.to_string(),
+        rollbacks.to_string(),
+        msgs_total.to_string(),
+        snap.line_count().to_string(),
+    ];
+    let mut out = encode_record(&head);
+    out.push('\n');
+    snap.for_each_line(|addr, v| {
+        out.push_str(&format!("{},{}\n", addr.raw(), v));
+    });
+    out.push_str("end\n");
+    out
+}
+
+/// Number of fields in a golden object's scalar record.
+const GOLDEN_HEAD_FIELDS: usize = 9;
+
+/// Decodes a golden object body produced by [`encode_golden`]. `None`
+/// on any malformation: wrong field count, unparseable number, declared
+/// line count not matching the entries present, missing `end` sentinel
+/// (truncation), trailing garbage, or an entry set the interner for
+/// `(app, cores)` rejects (duplicate or sync-line address).
+pub fn decode_golden(body: &str, app: &str, cores: usize) -> Option<GoldenSnapshot> {
+    let mut lines = body.lines();
+    let head = decode_record(lines.next()?)?;
+    if head.len() != GOLDEN_HEAD_FIELDS {
+        return None;
+    }
+    let end = match head[0].as_str() {
+        "clean" if head[1].is_empty() => None,
+        "stuck" => Some(head[1].clone()),
+        _ => return None,
+    };
+    let num = |s: &str| s.parse::<u64>().ok();
+    let scalars = [
+        num(&head[2])?,
+        num(&head[3])?,
+        num(&head[4])?,
+        num(&head[5])?,
+        num(&head[6])?,
+        num(&head[7])?,
+    ];
+    let n = num(&head[8])? as usize;
+    // Pre-reserving from an attacker-controlled count would let a
+    // corrupt header allocate unboundedly; collect entry by entry and
+    // let the count check below do the policing.
+    let mut entries = Vec::new();
+    for _ in 0..n {
+        let (a, v) = lines.next()?.split_once(',')?;
+        entries.push((num(a)?, num(v)?));
+    }
+    if lines.next() != Some("end") || lines.next().is_some() {
+        return None;
+    }
+    GoldenSnapshot::from_parts(app, cores, end, scalars, entries)
 }
 
 /// Encodes `row` as one CSV-framed record (same quoting rules as the
@@ -420,6 +565,82 @@ mod tests {
         renamed.id += 100;
         renamed.plan = renamed.plan.clone().named("renamed-family");
         assert_eq!(k(&renamed), base_key);
+    }
+
+    #[test]
+    fn golden_key_ignores_plan_oracle_and_presentation() {
+        let base = jobs_for_keys().remove(0);
+        let k = |j: &crate::spec::Job| golden_content_key(j, "salt");
+        let base_key = k(&base);
+        assert_eq!(base_key.len(), 32);
+        assert_ne!(
+            base_key,
+            content_key(&base, "salt"),
+            "golden keys live in their own domain"
+        );
+
+        // A golden run cannot see the fault plan or the oracle flag:
+        // every fault plan of a base config must share one key.
+        let mut plan = base.clone();
+        plan.plan = FaultPlan::single(2, 19_000).named("renamed");
+        plan.id += 100;
+        assert_eq!(k(&plan), base_key);
+        let mut oracle = base.clone();
+        oracle.oracle = !oracle.oracle;
+        assert_eq!(k(&oracle), base_key);
+
+        // Base-identity fields and the code salt must all be in the key.
+        let mut seed = base.clone();
+        seed.seed += 1;
+        assert_ne!(k(&seed), base_key);
+        let mut cores = base.clone();
+        cores.cores *= 2;
+        assert_ne!(k(&cores), base_key);
+        let mut app = base.clone();
+        app.app = "FFT".to_string();
+        assert_ne!(k(&app), base_key);
+        let mut scale = base.clone();
+        scale.scale = RunScale::tiny();
+        assert_ne!(k(&scale), base_key);
+        assert_ne!(golden_content_key(&base, "other-salt"), base_key);
+    }
+
+    #[test]
+    fn golden_save_load_round_trip_and_corruption_misses() {
+        let dir = std::env::temp_dir().join(format!(
+            "rebound-golden-unit-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = Store::open(&dir).expect("open");
+        let job = jobs_for_keys().remove(0);
+        let key = store.golden_key(&job);
+        assert!(store.load_golden(&key, &job).is_none(), "fresh store cold");
+
+        let snap = GoldenSnapshot::capture(&job);
+        assert!(snap.is_clean() && snap.line_count() > 0);
+        store.save_golden(&key, &snap).expect("save");
+        assert_eq!(store.load_golden(&key, &job), Some(snap.clone()));
+
+        // Truncation (missing sentinel) reads as a miss.
+        let enc = encode_golden(&snap);
+        let path = store.golden_path(&key);
+        let header = format!("rebound-store golden v{STORE_SCHEMA_VERSION}\n");
+        let truncated = &enc[..enc.len() - "end\n".len() - 3];
+        fs::write(&path, format!("{header}{truncated}")).unwrap();
+        assert!(store.load_golden(&key, &job).is_none());
+
+        // Wrong header version reads as a miss.
+        fs::write(&path, format!("rebound-store golden v999\n{enc}")).unwrap();
+        assert!(store.load_golden(&key, &job).is_none());
+
+        // Self-heal: a fresh save over the corpse round-trips again.
+        store.save_golden(&key, &snap).expect("re-save");
+        assert_eq!(store.load_golden(&key, &job), Some(snap));
+        assert!(store.remove_golden(&key).expect("remove"));
+        assert!(!store.remove_golden(&key).expect("second remove"));
+
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

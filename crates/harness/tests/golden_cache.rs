@@ -1,0 +1,187 @@
+//! Campaign-level golden-cache behaviour: the cache may only ever
+//! change *when* golden replays happen — never what any emitted byte
+//! contains. These tests pin the four load-bearing properties:
+//!
+//! 1. CSV/JSON bytes are identical with the cache on or off, for any
+//!    worker count and any `sim_threads` (including the warm-cache
+//!    fall-through that skips the overlap thread entirely);
+//! 2. with a store, goldens persist as `.golden` objects and a later
+//!    campaign (or CI shard) computes zero goldens while still writing
+//!    identical bytes;
+//! 3. a corrupt golden object reads as a miss that self-heals on
+//!    recompute;
+//! 4. the stats line reports real reuse on a multi-plan matrix.
+
+use rebound_core::Scheme;
+use rebound_harness::{run_jobs_opts, CampaignSpec, FaultPhase, FaultPlan, Job, RunScale, Store};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_store() -> (Store, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "rebound-golden-cache-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    (Store::open(&dir).expect("open store"), dir)
+}
+
+/// A small adversarial-shaped matrix: two base configs, several fault
+/// plans each, phase triggers included — enough plans per base that the
+/// cache has real sharing to do, at smoke scale so the suite stays fast.
+fn matrix() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (scheme, app) in [(Scheme::REBOUND, "Blackscholes"), (Scheme::REBOUND, "FFT")] {
+        for plan in [
+            FaultPlan::clean(),
+            FaultPlan::single(1, 20_000),
+            FaultPlan::single(2, 15_000),
+            FaultPlan::on_phase(1, FaultPhase::CkptDrain).named("mid-drain"),
+            FaultPlan::storm(1, 2, 15_000, 6_000),
+        ] {
+            jobs.push(Job {
+                id: jobs.len(),
+                scheme,
+                app: app.to_string(),
+                cores: 4,
+                seed: 7,
+                plan,
+                scale: RunScale::smoke(),
+                oracle: true,
+            });
+        }
+    }
+    jobs
+}
+
+#[test]
+fn bytes_identical_with_cache_on_or_off_any_threads() {
+    let jobs = matrix();
+    let reference = run_jobs_opts(jobs.clone(), 1, 1, None, false);
+    assert!(reference.failures().is_empty(), "{}", reference.summary());
+    assert!(reference.golden.is_none(), "cache off reports no stats");
+    let ref_csv = reference.to_csv();
+    let ref_json = reference.to_json();
+
+    for (workers, sim_threads) in [(1, 1), (4, 1), (1, 2), (4, 2)] {
+        let cached = run_jobs_opts(jobs.clone(), workers, sim_threads, None, true);
+        assert_eq!(
+            cached.to_csv(),
+            ref_csv,
+            "workers={workers} sim_threads={sim_threads}"
+        );
+        assert_eq!(
+            cached.to_json(),
+            ref_json,
+            "workers={workers} sim_threads={sim_threads}"
+        );
+        let stats = cached.golden.expect("cache on reports stats");
+        assert_eq!(
+            stats.computed, 2,
+            "one golden per base config (workers={workers} t={sim_threads}): {stats:?}"
+        );
+        assert!(
+            stats.reused >= 6,
+            "4 faulty plans per base share each golden: {stats:?}"
+        );
+        assert!(!cached.golden_footprint.is_empty());
+    }
+}
+
+#[test]
+fn store_persists_goldens_across_campaigns() {
+    let jobs = matrix();
+    let (store, dir) = temp_store();
+
+    let cold = run_jobs_opts(jobs.clone(), 2, 1, Some(&store), true);
+    let cold_csv = cold.to_csv();
+    let g = cold.golden.expect("stats present");
+    assert_eq!((g.computed, g.from_store), (2, 0), "{g:?}");
+
+    // A later campaign with cold *rows* but warm *goldens* — the
+    // cross-shard / cross-campaign case — must simulate zero goldens.
+    for j in &jobs {
+        store.remove(&store.key(j)).expect("drop row object");
+    }
+    let warm = run_jobs_opts(jobs.clone(), 2, 1, Some(&store), true);
+    assert_eq!(warm.to_csv(), cold_csv, "warm-golden bytes diverged");
+    let g = warm.golden.expect("stats present");
+    assert_eq!(g.computed, 0, "goldens must come from the store: {g:?}");
+    assert_eq!(g.from_store, 2, "{g:?}");
+    assert!(g.reused >= 6, "{g:?}");
+
+    // Same again with the overlap scheduler: a store-warm golden must
+    // fall through to the single-threaded path with identical bytes.
+    for j in &jobs {
+        store.remove(&store.key(j)).expect("drop row object");
+    }
+    let overlapped = run_jobs_opts(jobs.clone(), 2, 2, Some(&store), true);
+    assert_eq!(overlapped.to_csv(), cold_csv);
+    assert_eq!(overlapped.golden.expect("stats").computed, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_golden_objects_self_heal() {
+    let jobs: Vec<Job> = matrix()
+        .into_iter()
+        .filter(|j| j.app == "Blackscholes")
+        .collect();
+    let (store, dir) = temp_store();
+
+    let cold = run_jobs_opts(jobs.clone(), 1, 1, Some(&store), true);
+    let cold_csv = cold.to_csv();
+
+    // Corrupt the stored golden in place (the documented fan-out layout:
+    // DIR/<2 hex>/<30 hex>.golden) and drop the rows so judging must
+    // consult it again.
+    let gkey = store.golden_key(&jobs[1]);
+    let gpath = dir.join(&gkey[..2]).join(format!("{}.golden", &gkey[2..]));
+    assert!(gpath.is_file(), "cold campaign persisted the golden");
+    std::fs::write(
+        &gpath,
+        "rebound-store golden v1\nclean,,9,9,9,9,9,9,1\n7,7\nen",
+    )
+    .unwrap();
+    for j in &jobs {
+        store.remove(&store.key(j)).expect("drop row object");
+    }
+
+    let healed = run_jobs_opts(jobs.clone(), 1, 1, Some(&store), true);
+    assert_eq!(healed.to_csv(), cold_csv, "corrupt golden changed bytes");
+    let g = healed.golden.expect("stats present");
+    assert_eq!(
+        (g.computed, g.from_store),
+        (1, 0),
+        "a corrupt object is a miss that recomputes: {g:?}"
+    );
+
+    // And the recompute overwrote the corpse: next time it loads clean.
+    for j in &jobs {
+        store.remove(&store.key(j)).expect("drop row object");
+    }
+    let reread = run_jobs_opts(jobs, 1, 1, Some(&store), true);
+    assert_eq!(reread.to_csv(), cold_csv);
+    let g = reread.golden.expect("stats present");
+    assert_eq!((g.computed, g.from_store), (0, 1), "{g:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The stock smoke spec through the public entry points: cache on/off
+/// byte-identity holds for a real `CampaignSpec` expansion too, and the
+/// summary line carries the goldens fragment only when the cache ran.
+#[test]
+fn smoke_spec_summary_reports_goldens() {
+    let mut spec = CampaignSpec::smoke();
+    spec.apps.truncate(1);
+    let jobs = spec.expand();
+    let on = run_jobs_opts(jobs.clone(), 2, 1, None, true);
+    let off = run_jobs_opts(jobs, 2, 1, None, false);
+    assert_eq!(on.to_csv(), off.to_csv());
+    assert!(on.summary().contains("goldens: "), "{}", on.summary());
+    assert!(!off.summary().contains("goldens: "), "{}", off.summary());
+}

@@ -1,0 +1,145 @@
+//! Golden-snapshot codec properties, mirroring the `RunRow` codec
+//! properties in `store_props.rs`: any snapshot the harness can
+//! construct — hostile stuck-reason strings, full-range scalars,
+//! arbitrary (deduplicated, non-sync) line addresses and values —
+//! encodes to a `.golden` object body and decodes back to an identical
+//! snapshot, and **every** truncation of that body reads as a miss or
+//! as the identical snapshot, never as silently different data and
+//! never as a panic. A warm `--store` campaign judges faulty runs
+//! against decoded snapshots, so a codec that lost or altered a byte
+//! would corrupt verdicts, not just bookkeeping.
+
+use proptest::prelude::*;
+use rebound_engine::LineAddr;
+use rebound_harness::store::{decode_golden, encode_golden};
+use rebound_harness::GoldenSnapshot;
+use rebound_workloads::{all_profiles, AddressLayout};
+
+/// Characters the CSV framing historically gets wrong, weighted
+/// heavily, plus the full scalar range. Newlines are excluded: the
+/// stuck reason is always a `Debug` rendering (which escapes `\n`), and
+/// the codec's one-record-per-line framing is allowed to rely on that.
+fn hostile_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        Just(','),
+        Just('"'),
+        Just('\r'),
+        Just('\t'),
+        Just('\u{0}'),
+        Just('\u{1f}'),
+        Just('\u{7f}'),
+        Just('é'),
+        Just('\u{1F600}'),
+        any::<char>(),
+    ]
+}
+
+fn hostile_line() -> impl Strategy<Value = String> {
+    proptest::collection::vec(hostile_char(), 0..24)
+        .prop_map(|v| v.into_iter().filter(|&c| c != '\n').collect())
+}
+
+/// `clean`, or stuck with a hostile single-line diagnosis.
+fn arb_end() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), hostile_line().prop_map(Some)]
+}
+
+/// Arbitrary capture-order entries: raw addresses deduplicated (a real
+/// capture visits each line once) and sync lines excluded (a real
+/// capture never records one; the decoder rejects them as corrupt).
+fn arb_entries() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((any::<u64>(), any::<u64>()), 0..48).prop_map(|pairs| {
+        let layout = AddressLayout;
+        let mut seen = std::collections::HashSet::new();
+        pairs
+            .into_iter()
+            .filter(|&(raw, _)| !layout.is_sync_line(LineAddr(raw)) && seen.insert(raw))
+            .collect()
+    })
+}
+
+fn build(
+    app: &str,
+    cores: usize,
+    end: Option<String>,
+    scalars: &[u64],
+    entries: Vec<(u64, u64)>,
+) -> GoldenSnapshot {
+    GoldenSnapshot::from_parts(
+        app,
+        cores,
+        end,
+        [
+            scalars[0], scalars[1], scalars[2], scalars[3], scalars[4], scalars[5],
+        ],
+        entries,
+    )
+    .expect("deduplicated non-sync entries always rebuild")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary snapshots survive the codec byte-for-byte, whatever the
+    /// base identity (any catalog app, 1..=16 cores — the interner's
+    /// span geometry varies with both).
+    #[test]
+    fn golden_codec_round_trips(
+        app_idx in 0..all_profiles().len(),
+        cores in 1usize..=16,
+        end in arb_end(),
+        scalars in proptest::collection::vec(any::<u64>(), 6..=6),
+        entries in arb_entries(),
+    ) {
+        let app = all_profiles()[app_idx].name;
+        let snap = build(app, cores, end, &scalars, entries);
+        let enc = encode_golden(&snap);
+        prop_assert_eq!(decode_golden(&enc, app, cores), Some(snap));
+    }
+
+    /// Every truncation of an encoded snapshot is safe: it decodes to a
+    /// miss (`None`) or to the identical snapshot (only possible when the
+    /// cut removes nothing but the trailing newline) — never to silently
+    /// different data, and never to a panic. This is the property that
+    /// makes a killed campaign's half-written golden object harmless.
+    #[test]
+    fn golden_truncations_read_as_misses(
+        app_idx in 0..all_profiles().len(),
+        cores in 1usize..=16,
+        end in arb_end(),
+        scalars in proptest::collection::vec(any::<u64>(), 6..=6),
+        entries in arb_entries(),
+        cut_seed in any::<u64>(),
+    ) {
+        let app = all_profiles()[app_idx].name;
+        let snap = build(app, cores, end, &scalars, entries);
+        let enc = encode_golden(&snap);
+        // Probe a spread of cut points including the boundary ones.
+        let mut cuts = vec![0, 1, enc.len() - 1, enc.len().saturating_sub(2)];
+        for i in 0..8u64 {
+            cuts.push((cut_seed.wrapping_mul(i * 2 + 1) as usize) % enc.len());
+        }
+        for cut in cuts {
+            let prefix = &enc[..floor_char_boundary(&enc, cut)];
+            match decode_golden(prefix, app, cores) {
+                None => {}
+                Some(decoded) => prop_assert_eq!(
+                    decoded,
+                    snap.clone(),
+                    "prefix of length {} decoded to different data",
+                    prefix.len()
+                ),
+            }
+        }
+    }
+}
+
+/// `str::floor_char_boundary` is unstable; a byte-wise walk backwards
+/// to the nearest boundary keeps the truncation sweep valid UTF-8.
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}

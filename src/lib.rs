@@ -56,6 +56,6 @@ pub use rebound_workloads as workloads;
 pub use rebound_core::{Machine, MachineConfig, RunReport, Scheme};
 pub use rebound_harness::{
     run_campaign, CampaignResult, CampaignSpec, FaultPhase, FaultPlan, FaultSpec, FaultTrigger,
-    Shard, Store,
+    GoldenCache, GoldenSnapshot, Shard, Store,
 };
 pub use rebound_workloads::{all_profiles, profile_named, AppProfile};
